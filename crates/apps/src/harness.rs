@@ -1,0 +1,158 @@
+//! Shared machinery for running application skeletons under the
+//! instrumented MPI runtime, in any oracle mode.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pythia_core::trace::TraceData;
+use pythia_minimpi::World;
+use pythia_runtime_mpi::session::{assemble_trace, MpiMode, PythiaComm, RankReport};
+use pythia_runtime_mpi::SharedRegistry;
+
+use crate::work::WorkScale;
+use crate::{MpiApp, WorkingSet};
+
+/// Outcome of one application run.
+pub struct RunResult {
+    /// Per-rank reports, in rank order.
+    pub reports: Vec<RankReport>,
+    /// The registry the run interned into.
+    pub registry: SharedRegistry,
+    /// Wall-clock duration of the whole run (the Table I metric).
+    pub elapsed: Duration,
+}
+
+impl RunResult {
+    /// Total events across ranks (Table I "# events").
+    pub fn total_events(&self) -> u64 {
+        self.reports.iter().map(|r| r.events).sum()
+    }
+
+    /// Mean grammar rule count across ranks (Table I "# rules"; record
+    /// mode only).
+    pub fn mean_rules(&self) -> f64 {
+        if self.reports.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.reports.iter().map(|r| r.rules).sum();
+        total as f64 / self.reports.len() as f64
+    }
+
+    /// Assembles a [`TraceData`] from a record-mode run.
+    pub fn into_trace(self) -> TraceData {
+        assemble_trace(self.reports, &self.registry)
+    }
+}
+
+/// Runs `app` on `ranks` ranks in the given oracle mode.
+pub fn run_app(
+    app: &dyn MpiApp,
+    ranks: usize,
+    ws: WorkingSet,
+    mode: MpiMode,
+    work: WorkScale,
+) -> RunResult {
+    let registry = PythiaComm::registry_for(&mode);
+    run_app_in_registry(app, ranks, ws, mode, work, registry)
+}
+
+/// Like [`run_app`], but interning into a caller-supplied registry — use
+/// this when several runs must agree on event ids (e.g. recording the same
+/// application at two working sets for offline comparison).
+pub fn run_app_in_registry(
+    app: &dyn MpiApp,
+    ranks: usize,
+    ws: WorkingSet,
+    mode: MpiMode,
+    work: WorkScale,
+    registry: SharedRegistry,
+) -> RunResult {
+    if let MpiMode::Predict {
+        trace, map_ranks, ..
+    } = &mode
+    {
+        // Fail before spawning ranks: a rank whose thread is missing from
+        // the trace would panic mid-collective and deadlock the others.
+        assert!(
+            *map_ranks || trace.thread_count() == ranks,
+            "trace records {} threads but the run launches {ranks} ranks              (use MpiMode::predict_mapped to map)",
+            trace.thread_count(),
+        );
+    }
+    let t0 = Instant::now();
+    let mut reports = World::run(ranks, |comm| {
+        let pc = PythiaComm::wrap(comm, &mode, Arc::clone(&registry));
+        app.run(&pc, ws, &work);
+        pc.finish()
+    });
+    let elapsed = t0.elapsed();
+    reports.sort_by_key(|r| r.rank);
+    RunResult {
+        reports,
+        registry,
+        elapsed,
+    }
+}
+
+/// Records a reference trace of `app` (convenience for tests/benches).
+pub fn record_trace(
+    app: &dyn MpiApp,
+    ranks: usize,
+    ws: WorkingSet,
+    work: WorkScale,
+) -> Arc<TraceData> {
+    let result = run_app(app, ranks, ws, MpiMode::record(), work);
+    Arc::new(result.into_trace())
+}
+
+/// Structural smoke check shared by the per-application tests: the app
+/// records a non-trivial, losslessly-compressed event stream on every
+/// rank, and replaying the same working set predicts with high accuracy.
+#[doc(hidden)]
+pub fn check_app_structure(app: &dyn MpiApp, ranks: usize, min_accuracy: f64) {
+    // Record.
+    let rec = run_app(
+        app,
+        ranks,
+        WorkingSet::Small,
+        MpiMode::record(),
+        WorkScale::ZERO,
+    );
+    assert!(rec.total_events() > 0, "{} raised no events", app.name());
+    for r in &rec.reports {
+        let t = r.thread_trace.as_ref().expect("record mode");
+        assert_eq!(
+            t.grammar.trace_len(),
+            r.events,
+            "{} rank {}: lossless reduction violated",
+            app.name(),
+            r.rank
+        );
+        assert!(t.grammar.rule_count() >= 1);
+    }
+    let trace = Arc::new(rec.into_trace());
+
+    // Predict on the identical working set: accuracy must be high.
+    let pred = run_app(
+        app,
+        ranks,
+        WorkingSet::Small,
+        MpiMode::predict(Arc::clone(&trace)),
+        WorkScale::ZERO,
+    );
+    let mut correct = 0u64;
+    let mut total = 0u64;
+    for r in &pred.reports {
+        for (_, acc) in &r.accuracy {
+            correct += acc.correct;
+            total += acc.total();
+        }
+    }
+    assert!(total > 0, "{}: no predictions scored", app.name());
+    let accuracy = correct as f64 / total as f64;
+    assert!(
+        accuracy >= min_accuracy,
+        "{}: same-workload accuracy {accuracy:.3} < {min_accuracy}",
+        app.name()
+    );
+}

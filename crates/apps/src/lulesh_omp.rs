@@ -1,0 +1,149 @@
+//! The OpenMP-only LULESH variant used by the paper's adaptive
+//! thread-count experiments (§III-D, Figs. 10–14).
+//!
+//! Real LULESH contains 30 OpenMP parallel regions of very different
+//! sizes: a handful of O(elements) loops dominate large problems, while
+//! many small boundary/constraint loops dominate *small* problems — where
+//! their fork/join synchronization cost is what PYTHIA's adaptive policy
+//! eliminates. This model reproduces that mix: per time step, 8 regions
+//! of `s³` work units, 10 of `s²`, and 12 of `s` (30 total, like the
+//! paper's count), each split statically across the team.
+//!
+//! The paper's two LULESH fixes are reflected here by construction:
+//! regions read their team size from the runtime on every execution
+//! (`team` parameter — the `omp_get_num_threads` fix), and all buffers are
+//! reused across steps (no allocation churn).
+
+use std::time::{Duration, Instant};
+
+use pythia_minomp::loops::static_chunk;
+use pythia_minomp::{OmpRuntime, RegionId};
+
+use crate::work::spin_for;
+
+/// Configuration of one LULESH-OMP run.
+#[derive(Debug, Clone, Copy)]
+pub struct LuleshOmpConfig {
+    /// Problem size `-s` (elements per edge: paper sweeps 5..=50).
+    pub problem_size: u64,
+    /// Number of Lagrange time steps.
+    pub steps: usize,
+    /// Nanoseconds of compute per work unit.
+    pub ns_per_unit: u64,
+}
+
+impl Default for LuleshOmpConfig {
+    fn default() -> Self {
+        LuleshOmpConfig {
+            problem_size: 30,
+            steps: 10,
+            ns_per_unit: 20,
+        }
+    }
+}
+
+/// `(region id, problem-size exponent)` for the 30 parallel regions.
+pub fn regions() -> Vec<(RegionId, u32)> {
+    let mut v = Vec::with_capacity(30);
+    let mut id = 0u32;
+    for _ in 0..8 {
+        v.push((RegionId(id), 3));
+        id += 1;
+    }
+    for _ in 0..10 {
+        v.push((RegionId(id), 2));
+        id += 1;
+    }
+    for _ in 0..12 {
+        v.push((RegionId(id), 1));
+        id += 1;
+    }
+    v
+}
+
+/// Work units of one region at problem size `s`.
+pub fn region_units(s: u64, exponent: u32) -> u64 {
+    s.saturating_pow(exponent)
+}
+
+/// Runs the model through `rt` and returns the wall-clock time of the
+/// time-step loop (the Figs. 10–14 metric).
+pub fn run(rt: &OmpRuntime, cfg: &LuleshOmpConfig) -> Duration {
+    let region_table = regions();
+    let s = cfg.problem_size;
+    let ns = cfg.ns_per_unit;
+    let t0 = Instant::now();
+    for _ in 0..cfg.steps {
+        for &(region, exponent) in &region_table {
+            let units = region_units(s, exponent);
+            rt.parallel(region, |tid, team| {
+                let mine = static_chunk(units as usize, tid, team).len() as u64;
+                spin_for(Duration::from_nanos(mine * ns));
+            });
+        }
+    }
+    t0.elapsed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pythia_minomp::PoolMode;
+    use pythia_runtime_omp::{OmpOracle, ThresholdPolicy};
+
+    #[test]
+    fn thirty_regions_like_real_lulesh() {
+        let r = regions();
+        assert_eq!(r.len(), 30);
+        // Region ids are distinct.
+        let ids: std::collections::HashSet<u32> = r.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids.len(), 30);
+    }
+
+    #[test]
+    fn units_scale_with_problem_size() {
+        assert_eq!(region_units(10, 3), 1000);
+        assert_eq!(region_units(30, 2), 900);
+        assert_eq!(region_units(50, 1), 50);
+    }
+
+    #[test]
+    fn vanilla_run_executes_all_regions() {
+        let rt = OmpRuntime::new(2);
+        let cfg = LuleshOmpConfig {
+            problem_size: 5,
+            steps: 2,
+            ns_per_unit: 0,
+        };
+        let elapsed = run(&rt, &cfg);
+        assert!(elapsed < Duration::from_secs(5));
+        assert_eq!(rt.pool_stats().regions_run, 2 * 30);
+    }
+
+    #[test]
+    fn record_then_adaptive_cycle() {
+        // Record a reference execution.
+        let oracle = OmpOracle::recorder();
+        let cfg = LuleshOmpConfig {
+            problem_size: 8,
+            steps: 4,
+            ns_per_unit: 5,
+        };
+        {
+            let rt = OmpRuntime::with_listener(4, PoolMode::Park, oracle.listener());
+            run(&rt, &cfg);
+        }
+        let trace = oracle.finish_trace().unwrap();
+        assert_eq!(trace.total_events(), (4 * 30 * 2) as u64);
+
+        // Adaptive run: small regions get small teams.
+        let oracle = OmpOracle::predictor(&trace, ThresholdPolicy::default(), 0.0, 9);
+        {
+            let rt = OmpRuntime::with_listener(4, PoolMode::Park, oracle.listener());
+            run(&rt, &cfg);
+        }
+        let stats = oracle.stats();
+        assert_eq!(stats.regions, 4 * 30);
+        assert!(stats.adapted > 0, "{stats:?}");
+    }
+}

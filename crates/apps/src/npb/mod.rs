@@ -1,0 +1,65 @@
+//! The eight NAS Parallel Benchmarks kernels of the paper's evaluation
+//! (MPI implementations, §III-A2). The paper's `small`/`medium`/`large`
+//! working sets are NPB problem classes A/B/C; iteration counts here are
+//! scaled-down versions of the published class parameters (factors noted
+//! per kernel).
+
+pub mod bt;
+pub mod cg;
+pub mod ep;
+pub mod ft;
+pub mod is;
+pub mod lu;
+pub mod mg;
+pub mod sp;
+
+/// Near-square 2D factorization of the rank count (`cols >= rows`).
+pub fn grid_2d(ranks: usize) -> (usize, usize) {
+    let mut rows = (ranks as f64).sqrt() as usize;
+    while rows > 1 && !ranks.is_multiple_of(rows) {
+        rows -= 1;
+    }
+    (rows.max(1), ranks / rows.max(1))
+}
+
+/// Coordinates of `rank` in a `(rows, cols)` grid (row-major).
+pub fn coords_2d(rank: usize, dims: (usize, usize)) -> (usize, usize) {
+    (rank / dims.1, rank % dims.1)
+}
+
+/// Rank of `(row, col)` with periodic wrap-around.
+pub fn rank_2d(row: isize, col: isize, dims: (usize, usize)) -> usize {
+    let r = row.rem_euclid(dims.0 as isize) as usize;
+    let c = col.rem_euclid(dims.1 as isize) as usize;
+    r * dims.1 + c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_2d_factors_exactly() {
+        for ranks in 1..=64 {
+            let (r, c) = grid_2d(ranks);
+            assert_eq!(r * c, ranks, "ranks={ranks}");
+            assert!(r <= c);
+        }
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let dims = grid_2d(12);
+        for rank in 0..12 {
+            let (r, c) = coords_2d(rank, dims);
+            assert_eq!(rank_2d(r as isize, c as isize, dims), rank);
+        }
+    }
+
+    #[test]
+    fn periodic_wrap() {
+        let dims = (2, 3);
+        assert_eq!(rank_2d(-1, 0, dims), rank_2d(1, 0, dims));
+        assert_eq!(rank_2d(0, 3, dims), rank_2d(0, 0, dims));
+    }
+}

@@ -1,0 +1,80 @@
+//! Criterion micro-benchmarks of the on-line grammar reduction
+//! (PYTHIA-RECORD's hot path): event-ingestion throughput for the trace
+//! shapes that bound the paper's Table I — highly regular loops (LU-like),
+//! nested loops (BT-like), and irregular streams (Quicksilver-like).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use pythia_core::event::EventId;
+use pythia_core::grammar::builder::GrammarBuilder;
+
+fn periodic_stream(period: u32, len: usize) -> Vec<EventId> {
+    (0..len).map(|i| EventId(i as u32 % period)).collect()
+}
+
+fn nested_stream(len: usize) -> Vec<EventId> {
+    // ((a b)^3 c)^k — BT-like nesting.
+    let mut v = Vec::with_capacity(len + 8);
+    while v.len() < len {
+        for _ in 0..3 {
+            v.push(EventId(0));
+            v.push(EventId(1));
+        }
+        v.push(EventId(2));
+    }
+    v.truncate(len);
+    v
+}
+
+fn irregular_stream(len: usize, alphabet: u32) -> Vec<EventId> {
+    let mut state = 0x2545F4914F6CDD1Du64;
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            EventId((state % alphabet as u64) as u32)
+        })
+        .collect()
+}
+
+fn bench_ingestion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grammar_ingestion");
+    const LEN: usize = 100_000;
+    group.throughput(Throughput::Elements(LEN as u64));
+    for (name, stream) in [
+        ("periodic_p4", periodic_stream(4, LEN)),
+        ("nested_bt_like", nested_stream(LEN)),
+        ("irregular_a8", irregular_stream(LEN, 8)),
+        ("irregular_a64", irregular_stream(LEN, 64)),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &stream, |b, stream| {
+            b.iter(|| {
+                let mut builder = GrammarBuilder::new();
+                for &e in stream {
+                    builder.push(e);
+                }
+                builder.grammar().rule_count()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_unfold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grammar_unfold");
+    const LEN: usize = 100_000;
+    group.throughput(Throughput::Elements(LEN as u64));
+    let mut builder = GrammarBuilder::new();
+    for e in nested_stream(LEN) {
+        builder.push(e);
+    }
+    let grammar = builder.into_grammar();
+    group.bench_function("nested_bt_like", |b| {
+        b.iter(|| grammar.unfold_iter().count())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingestion, bench_unfold);
+criterion_main!(benches);

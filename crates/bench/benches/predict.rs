@@ -1,0 +1,97 @@
+//! Criterion micro-benchmarks of PYTHIA-PREDICT: prediction latency as a
+//! function of the prediction distance (the mechanism behind the paper's
+//! Fig. 9 — cost grows linearly with distance, and irregular grammars are
+//! more expensive to browse), plus `observe` tracking throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use pythia_core::event::{EventId, EventRegistry};
+use pythia_core::predict::{Predictor, PredictorConfig};
+use pythia_core::record::{RecordConfig, Recorder};
+use pythia_core::trace::TraceData;
+
+/// A BT-like regular trace: setup, a long nested loop, teardown.
+fn regular_trace() -> TraceData {
+    let mut rec = Recorder::new(RecordConfig {
+        timestamps: false,
+        validate: false,
+    });
+    for _ in 0..6 {
+        rec.record(EventId(10));
+    }
+    for _ in 0..200 {
+        for _ in 0..4 {
+            rec.record(EventId(0));
+            rec.record(EventId(1));
+        }
+        rec.record(EventId(2));
+        rec.record(EventId(3));
+    }
+    rec.record(EventId(11));
+    rec.finish(&EventRegistry::new())
+}
+
+/// A Quicksilver-like irregular trace: pseudo-random event stream.
+fn irregular_trace() -> TraceData {
+    let mut rec = Recorder::new(RecordConfig {
+        timestamps: false,
+        validate: false,
+    });
+    let mut state = 0x9E3779B97F4A7C15u64;
+    for _ in 0..20_000 {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        rec.record(EventId((state % 24) as u32));
+    }
+    rec.finish(&EventRegistry::new())
+}
+
+fn synced_predictor(trace: &TraceData, warmup: &[u32]) -> Predictor {
+    let mut p = Predictor::for_thread(trace, 0, PredictorConfig::default()).unwrap();
+    for &e in warmup {
+        p.observe(EventId(e));
+    }
+    p
+}
+
+fn bench_predict_distance(c: &mut Criterion) {
+    let regular = regular_trace();
+    let irregular = irregular_trace();
+    let mut group = c.benchmark_group("predict_distance");
+    for distance in [1usize, 2, 4, 8, 16, 32, 64, 128] {
+        let p = synced_predictor(&regular, &[0, 1, 0, 1, 0, 1, 0, 1, 2, 3, 0, 1]);
+        group.bench_with_input(
+            BenchmarkId::new("regular", distance),
+            &distance,
+            |b, &d| b.iter(|| p.predict(d).most_likely()),
+        );
+        let pi = synced_predictor(&irregular, &[1, 2, 3]);
+        group.bench_with_input(
+            BenchmarkId::new("irregular", distance),
+            &distance,
+            |b, &d| b.iter(|| pi.predict(d).most_likely()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_observe_throughput(c: &mut Criterion) {
+    let trace = regular_trace();
+    let stream: Vec<EventId> = trace.thread(0).unwrap().grammar.unfold();
+    let mut group = c.benchmark_group("observe_throughput");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    group.bench_function("regular_replay", |b| {
+        b.iter(|| {
+            let mut p = Predictor::for_thread(&trace, 0, PredictorConfig::default()).unwrap();
+            for &e in &stream {
+                p.observe(e);
+            }
+            p.stats().matched
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_predict_distance, bench_observe_throughput);
+criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! Ablation of PYTHIA-PREDICT's main design knob: the number of candidate
+//! progress sequences tracked simultaneously (`max_candidates` /
+//! `max_states`).
+//!
+//! The paper's tolerance mechanism (§II-B2) relies on keeping *sets* of
+//! partial progress sequences; a budget of 1 degenerates to greedy
+//! tracking. This bench quantifies what the set buys: accuracy on
+//! regular and irregular applications across working sets, and the
+//! prediction latency it costs.
+//!
+//! Usage: `ablation_oracle [--ranks N] [--budgets 1,4,16,64]
+//! [--distance N] [--json P]`
+
+use std::sync::Arc;
+
+use pythia_apps::harness::run_app_in_registry;
+use pythia_apps::work::WorkScale;
+use pythia_apps::{find_app, WorkingSet};
+use pythia_runtime_mpi::MpiMode;
+use pythia_bench::{maybe_write_json, Args, Table};
+use pythia_core::event::EventId;
+use pythia_core::predict::{Predictor, PredictorConfig};
+
+fn main() {
+    let args = Args::capture();
+    if args.flag("help") {
+        eprintln!(
+            "ablation_oracle: accuracy/latency vs candidate budget\n\
+             --ranks N       ranks per app (default 4)\n\
+             --budgets LIST  candidate budgets (default 1,4,16,64)\n\
+             --distance N    prediction distance (default 4)\n\
+             --json PATH     write results as JSON"
+        );
+        return;
+    }
+    let ranks: usize = args.parse_or("ranks", 4);
+    let budgets: Vec<usize> = args.parse_list("budgets", &[1, 4, 16, 64]);
+    let distance: usize = args.parse_or("distance", 4);
+
+    let mut table = Table::new(&[
+        "Application",
+        "budget",
+        "accuracy",
+        "mean predict (µs)",
+        "reseeds",
+    ]);
+    let mut json_rows = Vec::new();
+
+    for name in ["SP", "MG", "AMG", "Quicksilver"] {
+        let app = find_app(name).unwrap();
+        // Record small + large into the SAME registry (event ids must
+        // agree across runs), then replay the large event stream offline
+        // so the ablation isolates the predictor from runtime noise.
+        let mode = MpiMode::record();
+        let registry = pythia_runtime_mpi::PythiaComm::registry_for(&mode);
+        let small_run = run_app_in_registry(
+            app.as_ref(),
+            ranks,
+            WorkingSet::Small,
+            mode.clone(),
+            WorkScale::ZERO,
+            std::sync::Arc::clone(&registry),
+        );
+        let large_run = run_app_in_registry(
+            app.as_ref(),
+            ranks,
+            WorkingSet::Large,
+            mode,
+            WorkScale::ZERO,
+            std::sync::Arc::clone(&registry),
+        );
+        let trace = small_run.into_trace();
+        // Rank 0's event stream of the large run.
+        let stream: Vec<EventId> =
+            large_run.reports[0].thread_trace.as_ref().unwrap().grammar.unfold();
+
+        for &budget in &budgets {
+            let cfg = PredictorConfig {
+                max_candidates: budget,
+                max_states: budget.max(2),
+            };
+            let mut p =
+                Predictor::from_thread_trace(Arc::clone(trace.thread(0).unwrap()), cfg);
+            let mut correct = 0u64;
+            let mut scored = 0u64;
+            let mut nanos = 0u128;
+            let mut samples = 0u64;
+            for i in 0..stream.len() {
+                p.observe(stream[i]);
+                if i + distance < stream.len() {
+                    let t0 = std::time::Instant::now();
+                    let pred = p.predict(distance);
+                    nanos += t0.elapsed().as_nanos();
+                    samples += 1;
+                    scored += 1;
+                    if pred.most_likely() == Some(stream[i + distance]) {
+                        correct += 1;
+                    }
+                }
+            }
+            let acc = correct as f64 / scored.max(1) as f64;
+            let mean_us = nanos as f64 / samples.max(1) as f64 / 1000.0;
+            let reseeds = p.stats().reseeded;
+            table.row(vec![
+                name.to_string(),
+                budget.to_string(),
+                format!("{:.1}%", acc * 100.0),
+                format!("{mean_us:.2}"),
+                reseeds.to_string(),
+            ]);
+            json_rows.push(serde_json::json!({
+                "app": name,
+                "budget": budget,
+                "distance": distance,
+                "accuracy": acc,
+                "mean_predict_us": mean_us,
+                "reseeds": reseeds,
+            }));
+        }
+    }
+
+    println!(
+        "Ablation: candidate budget vs accuracy/latency (distance {distance}, \
+         record=small, replay=large, rank 0 streams)\n"
+    );
+    table.print();
+    maybe_write_json(&args, &serde_json::json!({ "ablation_oracle": json_rows }));
+}

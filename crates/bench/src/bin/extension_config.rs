@@ -1,0 +1,108 @@
+//! **Extension** — the paper's stated future work (§V: "Further
+//! investigations are needed to make Pythia able to predict accurately
+//! when the application runs with different configuration (number of
+//! threads, number of processes)").
+//!
+//! A first approximation is implemented in
+//! [`pythia_runtime_mpi::MpiMode::predict_mapped`]: when a run uses more
+//! ranks than the reference execution recorded, rank `r` follows trace
+//! thread `r mod threads`. This bench quantifies how far that gets per
+//! application: kernels whose per-rank behavior is position-independent
+//! (collective-only, ring patterns) keep high accuracy, while kernels
+//! whose event stream depends on the grid position (wavefronts, boundary
+//! ranks) degrade — the open problem the paper points at.
+//!
+//! Usage: `extension_config [--from N] [--to N] [--json P]`
+
+use std::sync::Arc;
+
+use pythia_apps::harness::{record_trace, run_app};
+use pythia_apps::work::WorkScale;
+use pythia_apps::{all_apps, WorkingSet};
+use pythia_bench::{maybe_write_json, Args, Table};
+use pythia_runtime_mpi::MpiMode;
+
+fn main() {
+    let args = Args::capture();
+    if args.flag("help") {
+        eprintln!(
+            "extension_config: cross-rank-count prediction (paper future work)\n\
+             --from N    ranks of the reference execution (default 4)\n\
+             --to N      ranks of the predicted execution (default 8)\n\
+             --json PATH write results as JSON"
+        );
+        return;
+    }
+    let from: usize = args.parse_or("from", 4);
+    let to: usize = args.parse_or("to", 8);
+
+    let mut table = Table::new(&[
+        "Application",
+        &format!("same-config acc ({from} ranks)"),
+        &format!("cross-config acc ({from}->{to} ranks)"),
+        "unknown events",
+    ]);
+    let mut json_rows = Vec::new();
+
+    for app in all_apps() {
+        let trace = record_trace(app.as_ref(), from, WorkingSet::Small, WorkScale::ZERO);
+
+        let acc_of = |res: &pythia_apps::harness::RunResult| {
+            let (mut c, mut t) = (0u64, 0u64);
+            for r in &res.reports {
+                for (_, a) in &r.accuracy {
+                    c += a.correct;
+                    t += a.total();
+                }
+            }
+            if t == 0 {
+                f64::NAN
+            } else {
+                c as f64 / t as f64
+            }
+        };
+
+        let same = run_app(
+            app.as_ref(),
+            from,
+            WorkingSet::Small,
+            MpiMode::predict(Arc::clone(&trace)),
+            WorkScale::ZERO,
+        );
+        let cross = run_app(
+            app.as_ref(),
+            to,
+            WorkingSet::Small,
+            MpiMode::predict_mapped(Arc::clone(&trace), vec![1]),
+            WorkScale::ZERO,
+        );
+        let same_acc = acc_of(&same);
+        let cross_acc = acc_of(&cross);
+        let unknown: u64 = cross
+            .reports
+            .iter()
+            .filter_map(|r| r.predict_stats.map(|s| s.unknown))
+            .sum();
+        table.row(vec![
+            app.name().to_string(),
+            format!("{:.1}%", same_acc * 100.0),
+            format!("{:.1}%", cross_acc * 100.0),
+            unknown.to_string(),
+        ]);
+        json_rows.push(serde_json::json!({
+            "app": app.name(),
+            "from_ranks": from,
+            "to_ranks": to,
+            "same_config_accuracy": same_acc,
+            "cross_config_accuracy": cross_acc,
+            "unknown_events": unknown,
+        }));
+    }
+
+    println!(
+        "Extension: cross-configuration prediction — trace from {from} ranks, \
+         run with {to} ranks (thread = rank mod {from})\n"
+    );
+    table.print();
+    maybe_write_json(&args, &serde_json::json!({ "extension_config": json_rows }));
+}

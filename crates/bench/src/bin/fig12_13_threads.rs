@@ -1,0 +1,132 @@
+//! **Figs. 12/13** — LULESH (problem size 30) execution time as a function
+//! of the maximum number of threads.
+//!
+//! Vanilla and PYTHIA-RECORD always use the maximum; PYTHIA-PREDICT adapts
+//! per region while respecting it. The paper shows all three equal up to
+//! ~8 threads, then PYTHIA-PREDICT winning by up to 38.8 % (Pudding) /
+//! 20.0 % (Pixel) as the fork/join cost of the many small regions grows
+//! with the team size.
+//!
+//! `--ablation` additionally runs PYTHIA-PREDICT with the stock
+//! destroy-on-shrink pool, quantifying the paper's park-the-threads pool
+//! change (§III-D1).
+//!
+//! Usage: `fig12_13_threads [--threads LIST] [--size N] [--steps N]
+//! [--runs N] [--ns-per-unit N] [--ablation] [--json P]`
+
+use pythia_apps::lulesh_omp::LuleshOmpConfig;
+use pythia_bench::lulesh::{record_reference, run_many, LuleshMode};
+use pythia_bench::{host_threads, maybe_write_json, min_mean_max, Args, Table};
+use pythia_minomp::PoolMode;
+
+fn main() {
+    let args = Args::capture();
+    if args.flag("help") {
+        eprintln!(
+            "fig12_13_threads: reproduce Figs. 12/13 (time vs max threads)\n\
+             --threads LIST  max-thread sweep (default 1,2,4,8,12,16,24)\n\
+             --size N        problem size (default 30, as the paper)\n\
+             --steps N       time steps (default 10)\n\
+             --runs N        repetitions (default 3)\n\
+             --ns-per-unit N compute scale (default 20)\n\
+             --ablation      also run predict with the destroy-on-shrink pool\n\
+             --json PATH     write results as JSON"
+        );
+        return;
+    }
+    let default_threads: Vec<usize> = vec![1, 2, 4, 8, 12, 16, 24];
+    let threads_list: Vec<usize> = args.parse_list("threads", &default_threads);
+    let size: u64 = args.parse_or("size", 30);
+    let steps: usize = args.parse_or("steps", 10);
+    let runs: usize = args.parse_or("runs", 3);
+    let ns_per_unit: u64 = args.parse_or("ns-per-unit", 20);
+    let ablation = args.flag("ablation");
+
+    let cfg = LuleshOmpConfig {
+        problem_size: size,
+        steps,
+        ns_per_unit,
+    };
+
+    let host = host_threads(1024);
+    println!(
+        "Figs. 12/13: LULESH (s={size}) time vs max threads ({steps} steps, host has {host} hw threads)\n"
+    );
+    let mut headers = vec![
+        "max threads",
+        "Vanilla (s)",
+        "Pythia-record (s)",
+        "Pythia-predict (s)",
+        "speedup(%)",
+    ];
+    if ablation {
+        headers.push("predict+destroy-pool (s)");
+    }
+    let mut table = Table::new(&headers);
+    let mut json_rows = Vec::new();
+
+    for &threads in &threads_list {
+        let trace = record_reference(threads, &cfg);
+        let vanilla = run_many(
+            LuleshMode::Vanilla,
+            threads,
+            PoolMode::Park,
+            &cfg,
+            None,
+            runs,
+        );
+        let record = run_many(
+            LuleshMode::Record,
+            threads,
+            PoolMode::Park,
+            &cfg,
+            None,
+            runs,
+        );
+        let predict = run_many(
+            LuleshMode::Predict { error_rate: 0.0 },
+            threads,
+            PoolMode::Park,
+            &cfg,
+            Some(&trace),
+            runs,
+        );
+        let (_, v, _) = min_mean_max(&vanilla);
+        let (_, r, _) = min_mean_max(&record);
+        let (_, p, _) = min_mean_max(&predict);
+        let speedup = (v - p) / v * 100.0;
+        let mut row = vec![
+            threads.to_string(),
+            format!("{v:.4}"),
+            format!("{r:.4}"),
+            format!("{p:.4}"),
+            format!("{speedup:+.1}"),
+        ];
+        let mut destroy_mean = None;
+        if ablation {
+            let destroy = run_many(
+                LuleshMode::Predict { error_rate: 0.0 },
+                threads,
+                PoolMode::DestroyOnShrink,
+                &cfg,
+                Some(&trace),
+                runs,
+            );
+            let (_, d, _) = min_mean_max(&destroy);
+            destroy_mean = Some(d);
+            row.push(format!("{d:.4}"));
+        }
+        table.row(row);
+        json_rows.push(serde_json::json!({
+            "threads": threads,
+            "size": size,
+            "vanilla_s": v,
+            "record_s": r,
+            "predict_s": p,
+            "speedup_pct": speedup,
+            "predict_destroy_pool_s": destroy_mean,
+        }));
+    }
+    table.print();
+    maybe_write_json(&args, &serde_json::json!({ "fig12_13": json_rows }));
+}

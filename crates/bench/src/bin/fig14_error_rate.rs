@@ -1,0 +1,111 @@
+//! **Fig. 14** — LULESH (problem size 30) execution time as a function of
+//! the injected unexpected-event rate (§III-E resilience experiment).
+//!
+//! The modified runtime randomly submits events that never occurred in the
+//! reference execution. At low rates PYTHIA-PREDICT keeps its advantage
+//! over Vanilla/PYTHIA-RECORD; as the rate grows, predictions degrade and
+//! the runtime falls back to maximum threads for small regions, eroding
+//! the benefit — the paper's Fig. 14 trend.
+//!
+//! Usage: `fig14_error_rate [--rates 0,0.1,...] [--threads N] [--size N]
+//! [--steps N] [--runs N] [--ns-per-unit N] [--json P]`
+
+use pythia_apps::lulesh_omp::LuleshOmpConfig;
+use pythia_bench::lulesh::{record_reference, run_many, LuleshMode};
+use pythia_bench::{maybe_write_json, min_mean_max, Args, Table};
+use pythia_minomp::PoolMode;
+
+fn main() {
+    let args = Args::capture();
+    if args.flag("help") {
+        eprintln!(
+            "fig14_error_rate: reproduce Fig. 14 (time vs error rate)\n\
+             --rates LIST    injection rates (default 0,0.05,0.1,0.2,0.3,0.5)\n\
+             --threads N     max threads (default 24)\n\
+             --size N        problem size (default 30)\n\
+             --steps N       time steps (default 10)\n\
+             --runs N        repetitions (default 3)\n\
+             --ns-per-unit N compute scale (default 20)\n\
+             --json PATH     write results as JSON"
+        );
+        return;
+    }
+    let rates: Vec<f64> = args.parse_list("rates", &[0.0, 0.05, 0.1, 0.2, 0.3, 0.5]);
+    let threads: usize = args.parse_or("threads", 24);
+    let size: u64 = args.parse_or("size", 30);
+    let steps: usize = args.parse_or("steps", 10);
+    let runs: usize = args.parse_or("runs", 3);
+    let ns_per_unit: u64 = args.parse_or("ns-per-unit", 20);
+
+    let cfg = LuleshOmpConfig {
+        problem_size: size,
+        steps,
+        ns_per_unit,
+    };
+    let trace = record_reference(threads, &cfg);
+
+    // Baselines (error rate does not apply to them).
+    let vanilla = run_many(
+        LuleshMode::Vanilla,
+        threads,
+        PoolMode::Park,
+        &cfg,
+        None,
+        runs,
+    );
+    let record = run_many(
+        LuleshMode::Record,
+        threads,
+        PoolMode::Park,
+        &cfg,
+        None,
+        runs,
+    );
+    let (_, v, _) = min_mean_max(&vanilla);
+    let (_, r, _) = min_mean_max(&record);
+
+    println!("Fig. 14: LULESH (s={size}) time vs unexpected-event rate ({threads} threads)\n");
+    println!("baselines: Vanilla {v:.4}s, Pythia-record {r:.4}s\n");
+    let mut table = Table::new(&[
+        "error rate",
+        "Pythia-predict (s)",
+        "vs Vanilla (%)",
+        "uninformed predictions",
+    ]);
+    let mut json_rows = Vec::new();
+    for &rate in &rates {
+        let mut times = Vec::new();
+        let mut uninformed = 0u64;
+        for i in 0..runs {
+            let (d, stats) = pythia_bench::lulesh::run_once(
+                LuleshMode::Predict { error_rate: rate },
+                threads,
+                PoolMode::Park,
+                &cfg,
+                Some(&trace),
+                2000 + i as u64,
+            );
+            times.push(d.as_secs_f64());
+            uninformed = stats.uninformed;
+        }
+        let (_, p, _) = min_mean_max(&times);
+        let gain = (v - p) / v * 100.0;
+        table.row(vec![
+            format!("{rate:.2}"),
+            format!("{p:.4}"),
+            format!("{gain:+.1}"),
+            uninformed.to_string(),
+        ]);
+        json_rows.push(serde_json::json!({
+            "error_rate": rate,
+            "threads": threads,
+            "predict_s": p,
+            "vanilla_s": v,
+            "record_s": r,
+            "gain_pct": gain,
+            "uninformed": uninformed,
+        }));
+    }
+    table.print();
+    maybe_write_json(&args, &serde_json::json!({ "fig14": json_rows }));
+}

@@ -1,0 +1,91 @@
+//! **Fig. 8** — accuracy of PYTHIA-PREDICT predictions.
+//!
+//! Records each application with the *small* working set, then replays the
+//! application with small/medium/large working sets while requesting, at
+//! every blocking MPI call, the event `x` ahead for
+//! `x ∈ {1, 2, 4, …, 128}`. Reports the fraction of correct predictions
+//! per application, working set, and distance — the paper's Fig. 8 series.
+//!
+//! Usage: `fig8_accuracy [--ranks N] [--app NAME]
+//! [--distances 1,2,4,...] [--json PATH]`
+
+use std::sync::Arc;
+
+use pythia_apps::harness::{record_trace, run_app};
+use pythia_apps::work::WorkScale;
+use pythia_apps::{all_apps, WorkingSet};
+use pythia_bench::{maybe_write_json, Args, Table};
+use pythia_runtime_mpi::MpiMode;
+
+fn main() {
+    let args = Args::capture();
+    if args.flag("help") {
+        eprintln!(
+            "fig8_accuracy: reproduce Fig. 8 (prediction accuracy vs distance)\n\
+             --ranks N       ranks per app (default 8)\n\
+             --app NAME      only run one application\n\
+             --distances L   comma-separated distances (default 1,2,4,...,128)\n\
+             --json PATH     write results as JSON"
+        );
+        return;
+    }
+    let ranks: usize = args.parse_or("ranks", 8);
+    let distances: Vec<usize> = args.parse_list("distances", &[1, 2, 4, 8, 16, 32, 64, 128]);
+    let only = args.value("app").map(str::to_owned);
+    // Structure-only runs: compute does not affect event accuracy.
+    let work = WorkScale::ZERO;
+
+    let mut headers: Vec<String> = vec!["Application".into(), "predict ws".into()];
+    headers.extend(distances.iter().map(|d| format!("x={d}")));
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new(&header_refs);
+    let mut json_rows = Vec::new();
+
+    for app in all_apps() {
+        if let Some(ref name) = only {
+            if !app.name().eq_ignore_ascii_case(name) {
+                continue;
+            }
+        }
+        // Reference execution with the small working set (paper §III-C2).
+        let trace = record_trace(app.as_ref(), ranks, WorkingSet::Small, work);
+        for ws in WorkingSet::ALL {
+            let mode = MpiMode::predict_distances(Arc::clone(&trace), distances.clone());
+            let res = run_app(app.as_ref(), ranks, ws, mode, work);
+            // Aggregate accuracy across ranks per distance.
+            let mut per_distance: Vec<(u64, u64)> = vec![(0, 0); distances.len()];
+            for r in &res.reports {
+                for (slot, (_, acc)) in r.accuracy.iter().enumerate() {
+                    per_distance[slot].0 += acc.correct;
+                    per_distance[slot].1 += acc.total();
+                }
+            }
+            let accs: Vec<f64> = per_distance
+                .iter()
+                .map(|&(c, t)| if t == 0 { f64::NAN } else { c as f64 / t as f64 })
+                .collect();
+            let mut row = vec![app.name().to_string(), ws.label().to_string()];
+            row.extend(accs.iter().map(|a| {
+                if a.is_nan() {
+                    "-".to_string()
+                } else {
+                    format!("{:.1}%", a * 100.0)
+                }
+            }));
+            table.row(row);
+            json_rows.push(serde_json::json!({
+                "app": app.name(),
+                "record_ws": "small",
+                "predict_ws": ws.label(),
+                "ranks": ranks,
+                "distances": distances,
+                "accuracy": accs,
+            }));
+        }
+    }
+
+    println!("Fig. 8: accuracy of PYTHIA-PREDICT predictions");
+    println!("(reference trace: small working set; {ranks} ranks)\n");
+    table.print();
+    maybe_write_json(&args, &serde_json::json!({ "fig8": json_rows }));
+}

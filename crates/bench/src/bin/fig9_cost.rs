@@ -1,0 +1,76 @@
+//! **Fig. 9** — cost of PYTHIA-PREDICT predictions.
+//!
+//! Records each application with the *large* working set, replays it on
+//! the same set, and measures the wall-clock latency of each prediction
+//! request as a function of the prediction distance (the paper's Fig. 9:
+//! µs-scale, growing linearly with distance, higher for irregular
+//! grammars like Quicksilver's).
+//!
+//! Usage: `fig9_cost [--ranks N] [--app NAME] [--distances L] [--json P]`
+
+use std::sync::Arc;
+
+use pythia_apps::harness::{record_trace, run_app};
+use pythia_apps::work::WorkScale;
+use pythia_apps::{all_apps, WorkingSet};
+use pythia_bench::{maybe_write_json, Args, Table};
+use pythia_runtime_mpi::probe::CostProbe;
+use pythia_runtime_mpi::MpiMode;
+
+fn main() {
+    let args = Args::capture();
+    if args.flag("help") {
+        eprintln!(
+            "fig9_cost: reproduce Fig. 9 (prediction cost vs distance)\n\
+             --ranks N       ranks per app (default 8)\n\
+             --app NAME      only run one application\n\
+             --distances L   comma-separated distances (default 1,2,4,...,128)\n\
+             --json PATH     write results as JSON"
+        );
+        return;
+    }
+    let ranks: usize = args.parse_or("ranks", 8);
+    let distances: Vec<usize> = args.parse_list("distances", &[1, 2, 4, 8, 16, 32, 64, 128]);
+    let only = args.value("app").map(str::to_owned);
+    let work = WorkScale::ZERO;
+
+    let mut headers: Vec<String> = vec!["Application".into()];
+    headers.extend(distances.iter().map(|d| format!("x={d} (µs)")));
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new(&header_refs);
+    let mut json_rows = Vec::new();
+
+    for app in all_apps() {
+        if let Some(ref name) = only {
+            if !app.name().eq_ignore_ascii_case(name) {
+                continue;
+            }
+        }
+        let trace = record_trace(app.as_ref(), ranks, WorkingSet::Large, work);
+        let mode = MpiMode::predict_distances(Arc::clone(&trace), distances.clone());
+        let res = run_app(app.as_ref(), ranks, WorkingSet::Large, mode, work);
+        let mut merged = CostProbe::new();
+        for r in &res.reports {
+            merged.merge(&r.cost);
+        }
+        let mut row = vec![app.name().to_string()];
+        let mut means_us = Vec::new();
+        for &d in &distances {
+            let us = merged.mean_ns(d).map(|ns| ns / 1000.0);
+            means_us.push(us);
+            row.push(us.map_or("-".to_string(), |u| format!("{u:.2}")));
+        }
+        table.row(row);
+        json_rows.push(serde_json::json!({
+            "app": app.name(),
+            "ranks": ranks,
+            "distances": distances,
+            "mean_us": means_us,
+        }));
+    }
+
+    println!("Fig. 9: cost of PYTHIA-PREDICT predictions (mean latency per request)");
+    println!("(large working set, {ranks} ranks)\n");
+    table.print();
+    maybe_write_json(&args, &serde_json::json!({ "fig9": json_rows }));
+}

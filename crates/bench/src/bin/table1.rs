@@ -1,0 +1,129 @@
+//! **Table I** — performance evaluation of PYTHIA-RECORD.
+//!
+//! For each of the 13 applications (large working set), runs the skeleton
+//! with the vanilla runtime and with PYTHIA-RECORD, and reports mean
+//! execution time, record overhead %, total recorded events, and the mean
+//! grammar rule count — the exact columns of the paper's Table I.
+//!
+//! `--show-grammar <APP>` additionally prints the grammar recorded by
+//! rank 0, reproducing the paper's Fig. 7 for BT.
+//!
+//! Usage: `table1 [--ranks N] [--runs N] [--ws small|medium|large]
+//! [--ns-per-unit N] [--app NAME] [--show-grammar NAME] [--json PATH]`
+
+use pythia_apps::harness::run_app;
+use pythia_apps::work::WorkScale;
+use pythia_apps::{all_apps, WorkingSet};
+use pythia_bench::{maybe_write_json, mean, Args, Table};
+use pythia_runtime_mpi::MpiMode;
+
+fn main() {
+    let args = Args::capture();
+    if args.flag("help") {
+        eprintln!(
+            "table1: reproduce Table I (PYTHIA-RECORD overhead)\n\
+             --ranks N         ranks per app (default 8; paper: 64/8)\n\
+             --runs N          repetitions per configuration (default 3; paper: 10)\n\
+             --ws CLASS        small|medium|large (default large)\n\
+             --ns-per-unit N   synthetic compute scale (default 20)\n\
+             --app NAME        only run one application\n\
+             --show-grammar NAME  print rank 0's grammar (Fig. 7)\n\
+             --json PATH       write results as JSON"
+        );
+        return;
+    }
+    let ranks: usize = args.parse_or("ranks", 8);
+    let runs: usize = args.parse_or("runs", 3);
+    let ws = match args.value("ws").unwrap_or("large") {
+        "small" => WorkingSet::Small,
+        "medium" => WorkingSet::Medium,
+        _ => WorkingSet::Large,
+    };
+    let work = WorkScale {
+        ns_per_unit: args.parse_or("ns-per-unit", 20),
+    };
+    let only = args.value("app").map(str::to_owned);
+    let show_grammar = args.value("show-grammar").map(str::to_owned);
+
+    let mut table = Table::new(&[
+        "Application",
+        "Vanilla (s)",
+        "PYTHIA-RECORD (s)",
+        "overhead(%)",
+        "# events",
+        "# rules",
+    ]);
+    let mut json_rows = Vec::new();
+
+    for app in all_apps() {
+        if let Some(ref name) = only {
+            if !app.name().eq_ignore_ascii_case(name) {
+                continue;
+            }
+        }
+        let mut vanilla_times = Vec::new();
+        let mut record_times = Vec::new();
+        let mut events = 0u64;
+        let mut rules = 0f64;
+        for _ in 0..runs {
+            let v = run_app(app.as_ref(), ranks, ws, MpiMode::Vanilla, work);
+            vanilla_times.push(v.elapsed.as_secs_f64());
+            let r = run_app(app.as_ref(), ranks, ws, MpiMode::record(), work);
+            record_times.push(r.elapsed.as_secs_f64());
+            events = r.total_events();
+            rules = r.mean_rules();
+
+            if show_grammar.as_deref() == Some(app.name()) {
+                let trace = r.into_trace();
+                let registry = trace.registry().clone();
+                let g = &trace.thread(0).unwrap().grammar;
+                println!(
+                    "--- grammar of {}.{} rank 0 (cf. paper Fig. 7) ---",
+                    app.name(),
+                    ws.label()
+                );
+                println!(
+                    "{}",
+                    g.render(&|e| registry
+                        .name_of(e)
+                        .replace("MPI_", "")
+                        .replace("omp_region_", "omp_"))
+                );
+            }
+        }
+        let v = mean(&vanilla_times);
+        let r = mean(&record_times);
+        let overhead = (r - v) / v * 100.0;
+        table.row(vec![
+            format!("{}.{}", app.name(), capitalize(ws.label())),
+            format!("{v:.3}"),
+            format!("{r:.3}"),
+            format!("{overhead:+.1}"),
+            format!("{events}"),
+            format!("{rules:.0}"),
+        ]);
+        json_rows.push(serde_json::json!({
+            "app": app.name(),
+            "working_set": ws.label(),
+            "ranks": ranks,
+            "vanilla_s": v,
+            "record_s": r,
+            "overhead_pct": overhead,
+            "events": events,
+            "rules": rules,
+        }));
+    }
+
+    println!("Table I: performance evaluation of PYTHIA-RECORD");
+    println!("({ranks} ranks, {runs} runs, ws={}, {}ns/unit)\n", ws.label(), work.ns_per_unit);
+    table.print();
+    maybe_write_json(&args, &serde_json::json!({ "table1": json_rows }));
+}
+
+fn capitalize(s: &str) -> String {
+    let mut c = s.chars();
+    match c.next() {
+        Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+        None => String::new(),
+    }
+}

@@ -1,0 +1,145 @@
+//! Shared driver for the LULESH-OpenMP experiments (Figs. 10–14): runs the
+//! model under the three configurations the paper compares — *Vanilla*
+//! (stock runtime, max threads), *PYTHIA-RECORD* (recording, max threads),
+//! and *PYTHIA-PREDICT* (adaptive team sizes from duration predictions).
+
+use std::time::Duration;
+
+use pythia_apps::lulesh_omp::{self, LuleshOmpConfig};
+use pythia_core::trace::TraceData;
+use pythia_minomp::{OmpRuntime, PoolMode};
+use pythia_runtime_omp::{OmpOracle, OmpStats, ThresholdPolicy};
+
+/// The three runtime configurations of Figs. 10–14.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LuleshMode {
+    /// Stock runtime: no oracle, maximum threads everywhere.
+    Vanilla,
+    /// PYTHIA-RECORD: events recorded, maximum threads everywhere.
+    Record,
+    /// PYTHIA-PREDICT: adaptive team sizes, with an §III-E error-injection
+    /// rate (0.0 reproduces Figs. 10–13).
+    Predict {
+        /// Probability of injecting an unexpected event per region.
+        error_rate: f64,
+    },
+}
+
+impl LuleshMode {
+    /// Label used in tables.
+    pub fn label(&self) -> String {
+        match self {
+            LuleshMode::Vanilla => "Vanilla".into(),
+            LuleshMode::Record => "Pythia-record".into(),
+            LuleshMode::Predict { error_rate } if *error_rate == 0.0 => "Pythia-predict".into(),
+            LuleshMode::Predict { error_rate } => format!("Pythia-predict(err={error_rate})"),
+        }
+    }
+}
+
+/// Records a reference trace of the model at `cfg` with `max_threads`.
+pub fn record_reference(max_threads: usize, cfg: &LuleshOmpConfig) -> TraceData {
+    let oracle = OmpOracle::recorder();
+    {
+        let rt = OmpRuntime::with_listener(max_threads, PoolMode::Park, oracle.listener());
+        lulesh_omp::run(&rt, cfg);
+    }
+    oracle.finish_trace().expect("recorder produces a trace")
+}
+
+/// Runs one configuration once; returns the time-step-loop duration and
+/// the oracle statistics (empty for vanilla).
+pub fn run_once(
+    mode: LuleshMode,
+    max_threads: usize,
+    pool: PoolMode,
+    cfg: &LuleshOmpConfig,
+    trace: Option<&TraceData>,
+    seed: u64,
+) -> (Duration, OmpStats) {
+    let oracle = match mode {
+        LuleshMode::Vanilla => OmpOracle::vanilla(),
+        LuleshMode::Record => OmpOracle::recorder(),
+        LuleshMode::Predict { error_rate } => OmpOracle::predictor(
+            trace.expect("predict mode needs a reference trace"),
+            ThresholdPolicy::default(),
+            error_rate,
+            seed,
+        ),
+    };
+    let elapsed = {
+        let rt = OmpRuntime::with_listener(max_threads, pool, oracle.listener());
+        lulesh_omp::run(&rt, cfg)
+    };
+    let stats = oracle.stats();
+    (elapsed, stats)
+}
+
+/// Runs a configuration `runs` times, returning seconds per run.
+pub fn run_many(
+    mode: LuleshMode,
+    max_threads: usize,
+    pool: PoolMode,
+    cfg: &LuleshOmpConfig,
+    trace: Option<&TraceData>,
+    runs: usize,
+) -> Vec<f64> {
+    (0..runs)
+        .map(|i| {
+            run_once(mode, max_threads, pool, cfg, trace, 1000 + i as u64)
+                .0
+                .as_secs_f64()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> LuleshOmpConfig {
+        LuleshOmpConfig {
+            problem_size: 5,
+            steps: 2,
+            ns_per_unit: 1,
+        }
+    }
+
+    #[test]
+    fn all_modes_run() {
+        let cfg = tiny();
+        let trace = record_reference(2, &cfg);
+        for mode in [
+            LuleshMode::Vanilla,
+            LuleshMode::Record,
+            LuleshMode::Predict { error_rate: 0.0 },
+            LuleshMode::Predict { error_rate: 0.3 },
+        ] {
+            let (d, stats) = run_once(mode, 2, PoolMode::Park, &cfg, Some(&trace), 1);
+            assert!(d < Duration::from_secs(10));
+            if mode != LuleshMode::Vanilla {
+                assert_eq!(stats.regions, 60);
+            }
+        }
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(LuleshMode::Vanilla.label(), "Vanilla");
+        assert_eq!(
+            LuleshMode::Predict { error_rate: 0.0 }.label(),
+            "Pythia-predict"
+        );
+        assert!(LuleshMode::Predict { error_rate: 0.25 }
+            .label()
+            .contains("0.25"));
+    }
+
+    #[test]
+    fn run_many_counts() {
+        let cfg = tiny();
+        let times = run_many(LuleshMode::Vanilla, 2, PoolMode::Park, &cfg, None, 3);
+        assert_eq!(times.len(), 3);
+        assert!(times.iter().all(|&t| t >= 0.0));
+    }
+}

@@ -1,0 +1,212 @@
+//! Events and the event registry.
+//!
+//! A runtime system notifies PYTHIA of an *event* whenever the application
+//! reaches a key point: entry/exit of a function (e.g. `MPI_Send`), start or
+//! end of a construct (a loop, an OpenMP parallel region), submission of a
+//! task, … (paper §II-A). Each event is *an integer that identifies the key
+//! point*, optionally refined by an additional payload such as the
+//! destination rank of an MPI message or the root of a collective.
+//!
+//! The [`EventRegistry`] interns `(name, payload)` descriptors into dense
+//! [`EventId`]s so that the grammar only ever manipulates small integers.
+//! Two calls with the same descriptor yield the same id, which is exactly
+//! the identity the grammar needs: `MPI_Send(dest=3)` and `MPI_Send(dest=5)`
+//! are *different* terminal symbols, while two `MPI_Barrier`s are the same.
+
+use serde::{Deserialize, Serialize};
+
+use crate::util::FxHashMap;
+
+/// A dense identifier for an interned event descriptor.
+///
+/// `EventId`s are the terminal symbols of the trace grammar. They are only
+/// meaningful relative to the [`EventRegistry`] that produced them (the
+/// registry is saved inside the trace file so ids remain stable between the
+/// recording run and predicting runs, provided the runtime interns the same
+/// descriptors).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EventId(pub u32);
+
+impl EventId {
+    /// Index into registry-ordered arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for EventId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// The descriptor interned for an event: a key-point name plus an optional
+/// integer payload (peer rank, reduction operation, region id, …).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EventDesc {
+    /// Key-point name, e.g. `"MPI_Send"` or `"GOMP_parallel_start"`.
+    pub name: String,
+    /// Optional distinguishing payload, e.g. destination rank.
+    pub payload: Option<i64>,
+}
+
+impl std::fmt::Display for EventDesc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.payload {
+            Some(p) => write!(f, "{}({})", self.name, p),
+            None => write!(f, "{}", self.name),
+        }
+    }
+}
+
+/// Interns event descriptors into dense [`EventId`]s.
+///
+/// The registry is shared by all threads of an application run (interning is
+/// expected to be wrapped behind a lock by the integration layer; see
+/// `pythia-runtime-mpi`); it is serialized into the trace file so that the
+/// predicting run resolves the same descriptors to the same ids.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct EventRegistry {
+    descs: Vec<EventDesc>,
+    #[serde(skip)]
+    index: FxHashMap<EventDesc, EventId>,
+}
+
+impl EventRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `(name, payload)` and returns its stable [`EventId`].
+    pub fn intern(&mut self, name: &str, payload: Option<i64>) -> EventId {
+        let desc = EventDesc {
+            name: name.to_owned(),
+            payload,
+        };
+        if let Some(&id) = self.index.get(&desc) {
+            return id;
+        }
+        let id = EventId(self.descs.len() as u32);
+        self.descs.push(desc.clone());
+        self.index.insert(desc, id);
+        id
+    }
+
+    /// Looks up an already-interned descriptor without inserting.
+    pub fn lookup(&self, name: &str, payload: Option<i64>) -> Option<EventId> {
+        let desc = EventDesc {
+            name: name.to_owned(),
+            payload,
+        };
+        self.index.get(&desc).copied()
+    }
+
+    /// Returns the descriptor for `id`, if it exists.
+    pub fn describe(&self, id: EventId) -> Option<&EventDesc> {
+        self.descs.get(id.index())
+    }
+
+    /// Human-readable name for `id` (falls back to the raw id).
+    pub fn name_of(&self, id: EventId) -> String {
+        match self.describe(id) {
+            Some(d) => d.to_string(),
+            None => id.to_string(),
+        }
+    }
+
+    /// Number of interned descriptors.
+    pub fn len(&self) -> usize {
+        self.descs.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.descs.is_empty()
+    }
+
+    /// Iterates over `(id, descriptor)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (EventId, &EventDesc)> {
+        self.descs
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (EventId(i as u32), d))
+    }
+
+    /// Rebuilds the lookup index after deserialization (the map is not
+    /// serialized; call this once after loading a trace).
+    pub fn rebuild_index(&mut self) {
+        self.index = self
+            .descs
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (d.clone(), EventId(i as u32)))
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable() {
+        let mut r = EventRegistry::new();
+        let a = r.intern("MPI_Send", Some(3));
+        let b = r.intern("MPI_Send", Some(5));
+        let a2 = r.intern("MPI_Send", Some(3));
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn payload_distinguishes_events() {
+        let mut r = EventRegistry::new();
+        let bare = r.intern("MPI_Bcast", None);
+        let rooted = r.intern("MPI_Bcast", Some(0));
+        assert_ne!(bare, rooted);
+    }
+
+    #[test]
+    fn describe_and_names() {
+        let mut r = EventRegistry::new();
+        let a = r.intern("MPI_Barrier", None);
+        assert_eq!(r.describe(a).unwrap().name, "MPI_Barrier");
+        assert_eq!(r.name_of(a), "MPI_Barrier");
+        let b = r.intern("MPI_Send", Some(7));
+        assert_eq!(r.name_of(b), "MPI_Send(7)");
+        assert_eq!(r.name_of(EventId(99)), "e99");
+    }
+
+    #[test]
+    fn lookup_does_not_insert() {
+        let mut r = EventRegistry::new();
+        assert_eq!(r.lookup("x", None), None);
+        assert_eq!(r.len(), 0);
+        let x = r.intern("x", None);
+        assert_eq!(r.lookup("x", None), Some(x));
+    }
+
+    #[test]
+    fn rebuild_index_restores_lookup() {
+        let mut r = EventRegistry::new();
+        let a = r.intern("a", None);
+        let json = serde_json::to_string(&r).unwrap();
+        let mut r2: EventRegistry = serde_json::from_str(&json).unwrap();
+        // Index was skipped during serialization.
+        assert_eq!(r2.lookup("a", None), None);
+        r2.rebuild_index();
+        assert_eq!(r2.lookup("a", None), Some(a));
+        assert_eq!(r2.describe(a).unwrap().name, "a");
+    }
+
+    #[test]
+    fn iter_in_id_order() {
+        let mut r = EventRegistry::new();
+        let ids: Vec<EventId> = (0..5).map(|i| r.intern("e", Some(i))).collect();
+        let seen: Vec<EventId> = r.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, seen);
+    }
+}

@@ -1,0 +1,793 @@
+//! On-the-fly reduction of an event stream into the trace grammar
+//! (PYTHIA-RECORD's core algorithm, paper §II-A and Fig. 3).
+//!
+//! The algorithm is derived from Sequitur (Nevill-Manning & Witten) extended
+//! with consecutive-repetition exponents (as in Cyclitur): every use of a
+//! symbol carries a repetition count, and *digrams* — ordered pairs of
+//! distinct adjacent symbols — must be unique across the grammar. When a
+//! digram appears twice, the shared part `a^k b^m` (with `k`/`m` the minimum
+//! exponents of the two occurrences) is factored into a rule, reusing an
+//! existing rule whose body is exactly that digram when possible. Rules
+//! whose weighted use count drops below two are inlined back (rule utility).
+//!
+//! ### Implementation notes
+//!
+//! Rule bodies are flat `Vec<SymbolUse>`s rather than the linked lists of
+//! classic Sequitur; bodies stay short once the trace compresses, and the
+//! root is only mutated near its tail in the common case. The digram index
+//! maps a symbol pair to one location and is repaired lazily: positions may
+//! go stale after a splice, so lookups re-validate and rescan the recorded
+//! rule when needed. Structural repairs (digram collisions → factoring,
+//! boundary merges, rule-utility inlining) are driven by a work queue of
+//! *dirty windows* so that no recursive mutation happens while a rule body
+//! is being scanned.
+
+use std::collections::VecDeque;
+
+use crate::event::EventId;
+use crate::grammar::{Grammar, Loc, Rule, RuleId, Symbol, SymbolUse};
+use crate::util::FxHashMap;
+
+/// Range of pair-start indices (inclusive) of a rule body that must be
+/// re-checked for merges / unregistered digrams / digram collisions.
+#[derive(Debug, Clone, Copy)]
+struct Window {
+    rule: RuleId,
+    lo: usize,
+    hi: usize,
+}
+
+/// Incrementally reduces a terminal sequence into a [`Grammar`].
+///
+/// ```
+/// use pythia_core::event::EventId;
+/// use pythia_core::grammar::builder::GrammarBuilder;
+///
+/// let mut b = GrammarBuilder::new();
+/// for ev in [0u32, 1, 1, 2, 1, 2, 0, 1] {
+///     b.push(EventId(ev));
+/// }
+/// let g = b.into_grammar();
+/// let unfolded: Vec<u32> = g.unfold().into_iter().map(|e| e.0).collect();
+/// assert_eq!(unfolded, vec![0, 1, 1, 2, 1, 2, 0, 1]);
+/// ```
+#[derive(Debug)]
+pub struct GrammarBuilder {
+    g: Grammar,
+    digrams: FxHashMap<(Symbol, Symbol), Loc>,
+    free: Vec<RuleId>,
+    windows: VecDeque<Window>,
+    utility: Vec<RuleId>,
+    event_count: u64,
+}
+
+impl Default for GrammarBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GrammarBuilder {
+    /// Creates a builder with an empty grammar.
+    pub fn new() -> Self {
+        GrammarBuilder {
+            g: Grammar::new(),
+            digrams: FxHashMap::default(),
+            free: Vec::new(),
+            windows: VecDeque::new(),
+            utility: Vec::new(),
+            event_count: 0,
+        }
+    }
+
+    /// Appends one terminal event to the trace, updating the grammar so all
+    /// invariants hold when this returns.
+    pub fn push(&mut self, event: EventId) {
+        self.event_count += 1;
+        let root = self.g.root;
+        let sym = Symbol::Terminal(event);
+        let body = &mut self.g.rule_mut(root).body;
+        if let Some(last) = body.last_mut() {
+            if last.symbol == sym {
+                last.count += 1;
+                return;
+            }
+        }
+        body.push(SymbolUse::new(sym, 1));
+        let len = self.g.rule(root).body.len();
+        if len >= 2 {
+            self.push_window(root, len - 2, len - 2);
+            self.drain();
+        }
+    }
+
+    /// Appends a whole sequence of events.
+    pub fn push_all(&mut self, events: impl IntoIterator<Item = EventId>) {
+        for e in events {
+            self.push(e);
+        }
+    }
+
+    /// Number of events pushed so far.
+    pub fn event_count(&self) -> u64 {
+        self.event_count
+    }
+
+    /// Read access to the grammar under construction.
+    pub fn grammar(&self) -> &Grammar {
+        &self.g
+    }
+
+    /// Finishes the reduction and returns the (non-compacted) grammar.
+    pub fn into_grammar(self) -> Grammar {
+        debug_assert!(self.windows.is_empty() && self.utility.is_empty());
+        self.g
+    }
+
+    /// Read-only digram-index lookup (no lazy revalidation); used by the
+    /// invariant validator.
+    pub(crate) fn digram_entry(&self, key: (Symbol, Symbol)) -> Option<Loc> {
+        self.digrams.get(&key).copied()
+    }
+
+    // ------------------------------------------------------------------
+    // Work-queue driver
+    // ------------------------------------------------------------------
+
+    fn push_window(&mut self, rule: RuleId, lo: usize, hi: usize) {
+        self.windows.push_back(Window { rule, lo, hi });
+    }
+
+    /// Adjusts queued windows of `rule` after positions at/after `from`
+    /// shifted by `delta`.
+    fn shift_windows(&mut self, rule: RuleId, from: usize, delta: isize) {
+        if delta == 0 {
+            return;
+        }
+        let apply = |v: usize| -> usize {
+            if v >= from {
+                (v as isize + delta).max(0) as usize
+            } else {
+                v
+            }
+        };
+        for w in &mut self.windows {
+            if w.rule == rule {
+                w.lo = apply(w.lo);
+                w.hi = apply(w.hi);
+            }
+        }
+    }
+
+    /// Processes queued repairs until the grammar is stable. Rule-utility
+    /// fixes run first (matching the order of the paper's Fig. 3 example).
+    fn drain(&mut self) {
+        loop {
+            if let Some(rid) = self.utility.pop() {
+                self.enforce_utility(rid);
+                continue;
+            }
+            if let Some(w) = self.windows.pop_front() {
+                self.scan_window(w);
+                continue;
+            }
+            break;
+        }
+    }
+
+    /// Scans a dirty window for adjacent-equal merges, unindexed digrams,
+    /// and digram collisions. Any structural mutation re-queues the
+    /// remainder and returns, so mutation never happens inside an active
+    /// scan position.
+    fn scan_window(&mut self, w: Window) {
+        if !self.g.is_live(w.rule) {
+            return;
+        }
+        let mut pos = w.lo.saturating_sub(1);
+        let mut hi = w.hi + 1;
+        loop {
+            let body_len = self.g.rule(w.rule).body.len();
+            if body_len < 2 || pos + 1 >= body_len || pos > hi {
+                return;
+            }
+            let (a, b) = {
+                let body = &self.g.rule(w.rule).body;
+                (body[pos], body[pos + 1])
+            };
+            if a.symbol == b.symbol {
+                // Invariant 3: merge `a^n a^m` into `a^{n+m}`.
+                self.merge_at(w.rule, pos);
+                hi = hi.saturating_sub(1);
+                pos = pos.saturating_sub(1);
+                continue;
+            }
+            let here = Loc {
+                rule: w.rule,
+                pos,
+            };
+            let key = (a.symbol, b.symbol);
+            match self.find_digram(key) {
+                None => {
+                    self.digrams.insert(key, here);
+                    pos += 1;
+                }
+                Some(loc) if loc == here => {
+                    pos += 1;
+                }
+                Some(other) => {
+                    // Invariant 2 violated: factor the repeated digram.
+                    // Requeue the remainder first; `factor` keeps queued
+                    // windows aligned across its splices.
+                    self.push_window(w.rule, pos, hi);
+                    self.factor(other, here, key);
+                    return;
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Digram index
+    // ------------------------------------------------------------------
+
+    /// The digram (pair of adjacent symbols) starting at `loc`, if any.
+    fn digram_at(&self, loc: Loc) -> Option<(Symbol, Symbol)> {
+        let rule = self.g.try_rule(loc.rule)?;
+        if loc.pos + 1 >= rule.body.len() {
+            return None;
+        }
+        Some((rule.body[loc.pos].symbol, rule.body[loc.pos + 1].symbol))
+    }
+
+    /// Looks up a digram with lazy re-validation: positions recorded in the
+    /// index may have shifted within their rule after splices; rescan the
+    /// rule to fix them, and drop entries whose digram no longer exists.
+    fn find_digram(&mut self, key: (Symbol, Symbol)) -> Option<Loc> {
+        let loc = *self.digrams.get(&key)?;
+        if self.digram_at(loc) == Some(key) {
+            return Some(loc);
+        }
+        // Stale: rescan the recorded rule for the pair.
+        if let Some(rule) = self.g.try_rule(loc.rule) {
+            for pos in 0..rule.body.len().saturating_sub(1) {
+                if (rule.body[pos].symbol, rule.body[pos + 1].symbol) == key {
+                    let fixed = Loc {
+                        rule: loc.rule,
+                        pos,
+                    };
+                    self.digrams.insert(key, fixed);
+                    return Some(fixed);
+                }
+            }
+        }
+        self.digrams.remove(&key);
+        None
+    }
+
+    /// Removes the index entry for `key` if it points into `loc.rule`
+    /// (positions may be stale, so matching on the rule is the reliable
+    /// part; a live occurrence elsewhere would have its own entry).
+    fn unregister(&mut self, key: (Symbol, Symbol), loc: Loc) {
+        if let Some(entry) = self.digrams.get(&key) {
+            if entry.rule == loc.rule {
+                self.digrams.remove(&key);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Structural mutations
+    // ------------------------------------------------------------------
+
+    /// Merges `body[pos]` and `body[pos+1]` (equal symbols) into one use.
+    fn merge_at(&mut self, rule: RuleId, pos: usize) {
+        let extra = {
+            let body = &mut self.g.rule_mut(rule).body;
+            debug_assert_eq!(body[pos].symbol, body[pos + 1].symbol);
+            let extra = body[pos + 1].count;
+            body[pos].count += extra;
+            body.remove(pos + 1);
+            extra
+        };
+        let _ = extra; // total exponent preserved: refcounts unchanged
+        self.shift_windows(rule, pos + 1, -1);
+    }
+
+    fn inc_ref(&mut self, rule: RuleId, by: u32) {
+        self.g.rule_mut(rule).refcount += by;
+    }
+
+    fn dec_ref(&mut self, rule: RuleId, by: u32) {
+        let rc = &mut self.g.rule_mut(rule).refcount;
+        *rc = rc.saturating_sub(by);
+        if *rc < 2 {
+            self.utility.push(rule);
+        }
+    }
+
+    /// Allocates a rule slot (recycling freed ids).
+    fn alloc_rule(&mut self, body: Vec<SymbolUse>) -> RuleId {
+        // Creation increments the refcount of every referenced rule.
+        for u in &body {
+            if let Symbol::Rule(r) = u.symbol {
+                self.inc_ref(r, u.count);
+            }
+        }
+        let rule = Rule { body, refcount: 0 };
+        if let Some(id) = self.free.pop() {
+            self.g.rules[id.index()] = Some(rule);
+            id
+        } else {
+            let id = RuleId(self.g.rules.len() as u32);
+            self.g.rules.push(Some(rule));
+            id
+        }
+    }
+
+    /// Factors the digram `key` shared by sites `s1` and `s2` into a rule
+    /// (created, or reused when one site is already exactly a whole rule
+    /// body), rewriting the non-reused site(s).
+    fn factor(&mut self, s1: Loc, s2: Loc, key: (Symbol, Symbol)) {
+        debug_assert!(s1 != s2);
+        debug_assert_eq!(self.digram_at(s1), Some(key));
+        debug_assert_eq!(self.digram_at(s2), Some(key));
+        if s1.rule == s2.rule {
+            debug_assert!(s1.pos.abs_diff(s2.pos) >= 2, "digram sites overlap");
+        }
+        let (a, b) = key;
+        let (p1, q1) = {
+            let body = &self.g.rule(s1.rule).body;
+            (body[s1.pos].count, body[s1.pos + 1].count)
+        };
+        let (p2, q2) = {
+            let body = &self.g.rule(s2.rule).body;
+            (body[s2.pos].count, body[s2.pos + 1].count)
+        };
+        let ka = p1.min(p2);
+        let kb = q1.min(q2);
+
+        let whole = |s: Loc, p: u32, q: u32| -> bool {
+            s.pos == 0
+                && s.rule != self.g.root
+                && self.g.rule(s.rule).body.len() == 2
+                && p == ka
+                && q == kb
+        };
+
+        if whole(s1, p1, q1) {
+            // Reuse s1's rule; only rewrite s2 (paper: "if possible, reuses
+            // an existing [non-terminal]", Fig. 3e).
+            let n = s1.rule;
+            self.substitute(s2, ka, kb, n);
+            self.digrams.insert(key, Loc { rule: n, pos: 0 });
+        } else if whole(s2, p2, q2) {
+            let n = s2.rule;
+            self.substitute(s1, ka, kb, n);
+            self.digrams.insert(key, Loc { rule: n, pos: 0 });
+        } else {
+            // Create a new rule N -> a^ka b^kb and rewrite both sites.
+            let n = self.alloc_rule(vec![SymbolUse::new(a, ka), SymbolUse::new(b, kb)]);
+            // Same-rule sites: rewrite the later one first so the earlier
+            // site's position stays valid.
+            if s1.rule == s2.rule && s2.pos > s1.pos {
+                self.substitute(s2, ka, kb, n);
+                self.substitute(s1, ka, kb, n);
+            } else {
+                self.substitute(s1, ka, kb, n);
+                self.substitute(s2, ka, kb, n);
+            }
+            self.digrams.insert(key, Loc { rule: n, pos: 0 });
+        }
+    }
+
+    /// Replaces `a^ka b^kb` inside the digram at `site` by one use of rule
+    /// `n`, keeping the leftover exponents around it:
+    /// `… X a^p b^q Y … ⇒ … X a^{p−ka} N b^{q−kb} Y …`.
+    fn substitute(&mut self, site: Loc, ka: u32, kb: u32, n: RuleId) {
+        let r = site.rule;
+        let pos = site.pos;
+        let (a_use, b_use, body_len) = {
+            let body = &self.g.rule(r).body;
+            (body[pos], body[pos + 1], body.len())
+        };
+        debug_assert!(a_use.count >= ka && b_use.count >= kb);
+
+        // Unregister digrams destroyed by the splice.
+        self.unregister((a_use.symbol, b_use.symbol), site);
+        if a_use.count == ka && pos > 0 {
+            let prev = self.g.rule(r).body[pos - 1].symbol;
+            self.unregister(
+                (prev, a_use.symbol),
+                Loc {
+                    rule: r,
+                    pos: pos - 1,
+                },
+            );
+        }
+        if b_use.count == kb && pos + 2 < body_len {
+            let next = self.g.rule(r).body[pos + 2].symbol;
+            self.unregister(
+                (b_use.symbol, next),
+                Loc {
+                    rule: r,
+                    pos: pos + 1,
+                },
+            );
+        }
+
+        // Reference counts: the exponents absorbed into N leave this body.
+        if let Symbol::Rule(ar) = a_use.symbol {
+            self.dec_ref(ar, ka);
+        }
+        if let Symbol::Rule(br) = b_use.symbol {
+            self.dec_ref(br, kb);
+        }
+        self.inc_ref(n, 1);
+
+        // Splice the replacement segment in.
+        let mut seg: Vec<SymbolUse> = Vec::with_capacity(3);
+        if a_use.count > ka {
+            seg.push(SymbolUse::new(a_use.symbol, a_use.count - ka));
+        }
+        seg.push(SymbolUse::new(Symbol::Rule(n), 1));
+        if b_use.count > kb {
+            seg.push(SymbolUse::new(b_use.symbol, b_use.count - kb));
+        }
+        let seg_len = seg.len();
+        {
+            let body = &mut self.g.rule_mut(r).body;
+            body.splice(pos..=pos + 1, seg);
+        }
+        self.shift_windows(r, pos + 2, seg_len as isize - 2);
+        // Re-check boundaries and the spliced interior (merges with equal
+        // neighbours, new digrams, possible cascaded collisions).
+        self.push_window(r, pos.saturating_sub(1), pos + seg_len);
+
+        // A non-root body reduced to a single unit use is an alias
+        // (`Y -> N`): eliminate it.
+        if r != self.g.root && self.g.rule(r).body.len() == 1 {
+            self.eliminate_alias(r);
+        }
+    }
+
+    /// Replaces every use of alias rule `y` (whose body is a single
+    /// `SymbolUse`) by that use, then deletes `y`.
+    fn eliminate_alias(&mut self, y: RuleId) {
+        let inner = {
+            let body = &self.g.rule(y).body;
+            debug_assert_eq!(body.len(), 1);
+            body[0]
+        };
+        // Uses of y elsewhere in the grammar.
+        let sites = self.g.rule_uses(y);
+        for site in sites {
+            let use_count = {
+                let body = &mut self.g.rule_mut(site.rule).body;
+                let u = &mut body[site.pos];
+                debug_assert_eq!(u.symbol, Symbol::Rule(y));
+                let c = u.count;
+                u.symbol = inner.symbol;
+                u.count = c
+                    .checked_mul(inner.count)
+                    .expect("repetition exponent overflow");
+                c
+            };
+            let _ = use_count;
+            if let Symbol::Rule(ir) = inner.symbol {
+                let new_count = self.g.rule(site.rule).body[site.pos].count;
+                self.inc_ref(ir, new_count);
+            }
+            // Entries keyed on y at this site become garbage; lazy lookup
+            // cleans them. New adjacencies need a re-check.
+            self.push_window(site.rule, site.pos.saturating_sub(1), site.pos + 1);
+        }
+        // Delete y: its body held `inner.count` references to inner.
+        if let Symbol::Rule(ir) = inner.symbol {
+            self.dec_ref(ir, inner.count);
+        }
+        self.g.rules[y.index()] = None;
+        self.free.push(y);
+    }
+
+    /// Rule-utility enforcement (invariant 1): a non-root rule whose
+    /// weighted reference count dropped below 2 is inlined at its single use
+    /// (refcount 1) or deleted (refcount 0).
+    fn enforce_utility(&mut self, x: RuleId) {
+        if x == self.g.root || !self.g.is_live(x) {
+            return;
+        }
+        match self.g.rule(x).refcount {
+            0 => self.delete_rule(x),
+            1 => {
+                let sites = self.g.rule_uses(x);
+                debug_assert_eq!(sites.len(), 1, "refcount 1 rule with != 1 site");
+                if let Some(&site) = sites.first() {
+                    self.inline_at(x, site);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Deletes a rule with no remaining uses, releasing its references.
+    fn delete_rule(&mut self, x: RuleId) {
+        let body = std::mem::take(&mut self.g.rule_mut(x).body);
+        for (i, u) in body.iter().enumerate() {
+            if i + 1 < body.len() {
+                self.unregister((u.symbol, body[i + 1].symbol), Loc { rule: x, pos: i });
+            }
+            if let Symbol::Rule(r) = u.symbol {
+                self.dec_ref(r, u.count);
+            }
+        }
+        self.g.rules[x.index()] = None;
+        self.free.push(x);
+    }
+
+    /// Inlines rule `x` (single use, count 1) into its use site.
+    fn inline_at(&mut self, x: RuleId, site: Loc) {
+        let xbody = std::mem::take(&mut self.g.rule_mut(x).body);
+        debug_assert!(!xbody.is_empty());
+        let r = site.rule;
+        let pos = site.pos;
+        debug_assert_eq!(self.g.rule(r).body[pos], SymbolUse::new(Symbol::Rule(x), 1));
+
+        // Boundary digrams involving X disappear.
+        if pos > 0 {
+            let prev = self.g.rule(r).body[pos - 1].symbol;
+            self.unregister(
+                (prev, Symbol::Rule(x)),
+                Loc {
+                    rule: r,
+                    pos: pos - 1,
+                },
+            );
+        }
+        if pos + 1 < self.g.rule(r).body.len() {
+            let next = self.g.rule(r).body[pos + 1].symbol;
+            self.unregister((Symbol::Rule(x), next), Loc { rule: r, pos });
+        }
+
+        let xlen = xbody.len();
+        // Interior digrams of X move with the body: re-point their entries.
+        for i in 0..xlen.saturating_sub(1) {
+            let key = (xbody[i].symbol, xbody[i + 1].symbol);
+            self.digrams.insert(
+                key,
+                Loc {
+                    rule: r,
+                    pos: pos + i,
+                },
+            );
+        }
+        {
+            let body = &mut self.g.rule_mut(r).body;
+            body.splice(pos..=pos, xbody);
+        }
+        self.shift_windows(r, pos + 1, xlen as isize - 1);
+        // Boundary pairs are new; the scan also performs boundary merges.
+        self.push_window(r, pos.saturating_sub(1), pos + xlen);
+
+        // X's references moved (not released): delete without dec_ref.
+        self.g.rules[x.index()] = None;
+        self.free.push(x);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(n: u32) -> EventId {
+        EventId(n)
+    }
+
+    fn build(seq: &[u32]) -> GrammarBuilder {
+        let mut b = GrammarBuilder::new();
+        for &s in seq {
+            b.push(e(s));
+            b.check_invariants().unwrap();
+        }
+        b
+    }
+
+    fn unfolded(b: &GrammarBuilder) -> Vec<u32> {
+        b.grammar().unfold().into_iter().map(|x| x.0).collect()
+    }
+
+    #[test]
+    fn empty_builder() {
+        let b = GrammarBuilder::new();
+        assert_eq!(b.event_count(), 0);
+        assert_eq!(unfolded(&b), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn single_event() {
+        let b = build(&[7]);
+        assert_eq!(unfolded(&b), vec![7]);
+        assert_eq!(b.grammar().rule_count(), 1);
+    }
+
+    #[test]
+    fn pure_repetition_collapses_to_one_use() {
+        let b = build(&[4; 1000]);
+        assert_eq!(b.grammar().rule(b.grammar().root()).body.len(), 1);
+        assert_eq!(
+            b.grammar().rule(b.grammar().root()).body[0].count,
+            1000
+        );
+        assert_eq!(unfolded(&b), vec![4; 1000]);
+    }
+
+    #[test]
+    fn paper_fig1_trace() {
+        // "abbcbcab" (paper Fig. 1)
+        let b = build(&[0, 1, 1, 2, 1, 2, 0, 1]);
+        assert_eq!(unfolded(&b), vec![0, 1, 1, 2, 1, 2, 0, 1]);
+    }
+
+    #[test]
+    fn simple_loop_creates_rule_with_exponent() {
+        // (a b)^50, paper Fig. 2: grammar should be a loop of 50 reps of a
+        // rule A -> a b.
+        let mut seq = Vec::new();
+        for _ in 0..50 {
+            seq.push(0);
+            seq.push(1);
+        }
+        let b = build(&seq);
+        assert_eq!(unfolded(&b), seq);
+        let g = b.grammar();
+        // Root should be a single use with exponent 50 of a rule "ab".
+        let root = g.rule(g.root());
+        assert_eq!(root.body.len(), 1, "{}", g.render(&|x| x.to_string()));
+        assert_eq!(root.body[0].count, 50);
+        let a = root.body[0].symbol.rule().unwrap();
+        assert_eq!(g.rule(a).body.len(), 2);
+    }
+
+    #[test]
+    fn paper_fig3_cascade() {
+        // Reconstructs the Fig. 3 scenario: trace so far unfolds with a
+        // grammar containing A -> b^3 c^2, B -> b^2 A, root ending "B b^5",
+        // then two more `c`s arrive. We don't force the exact same rule ids,
+        // but the final state must contain B -> b^2 A, A -> b^3 c^2 and a
+        // root ending with B^2, with no C rule left.
+        //
+        // Build the prefix: x (b^2 b^3 c^2) (b^2 b^3 c^2) b^5  => that is
+        // x A' A' b^5 with A' = b^5 c^2... To get the paper's exact shapes we
+        // drive the sequence that produces them:
+        //   x b b (b b b c c) ... simpler: verify algebraically through
+        // unfold-equality and invariants instead of exact shapes, then check
+        // the c^2 suffix folds into a repeated non-terminal.
+        let mut seq: Vec<u32> = vec![9];
+        let block: Vec<u32> = vec![1, 1, 1, 1, 1, 2, 2]; // b^2 (b^3 c^2)
+        seq.extend(&block);
+        seq.extend(&block);
+        // tail: b^5 then c, c  -> completes a third block
+        seq.extend([1, 1, 1, 1, 1]);
+        seq.push(2);
+        let b1 = build(&seq);
+        assert_eq!(unfolded(&b1), seq);
+        let mut b2 = b1;
+        b2.push(e(2));
+        b2.check_invariants().unwrap();
+        let mut want = seq.clone();
+        want.push(2);
+        assert_eq!(unfolded(&b2), want);
+        // Three identical blocks must now be folded: the root should be
+        // short (x + B-ish structure), and some use must carry exponent >= 2.
+        let g = b2.grammar();
+        let root = g.rule(g.root());
+        assert!(
+            root.body.len() <= 3,
+            "root not folded: {}",
+            g.render(&|x| x.to_string())
+        );
+        let has_rep = root.body.iter().any(|u| u.count >= 2);
+        assert!(has_rep, "{}", g.render(&|x| x.to_string()));
+    }
+
+    #[test]
+    fn nested_repetition() {
+        // ((a b)^3 c)^4
+        let mut seq = Vec::new();
+        for _ in 0..4 {
+            for _ in 0..3 {
+                seq.push(0);
+                seq.push(1);
+            }
+            seq.push(2);
+        }
+        let b = build(&seq);
+        assert_eq!(unfolded(&b), seq);
+        // Expect a deeply folded grammar: few rules, root of 1 use.
+        let g = b.grammar();
+        assert!(g.rule_count() <= 4, "{}", g.render(&|x| x.to_string()));
+    }
+
+    #[test]
+    fn alternating_long() {
+        let mut seq = Vec::new();
+        for i in 0..500 {
+            seq.push(i % 2);
+        }
+        let b = build(&seq);
+        assert_eq!(unfolded(&b), seq);
+        assert!(b.grammar().rule_count() <= 6);
+    }
+
+    #[test]
+    fn all_distinct_events() {
+        let seq: Vec<u32> = (0..100).collect();
+        let b = build(&seq);
+        assert_eq!(unfolded(&b), seq);
+        // No repetition: everything stays in the root.
+        assert_eq!(b.grammar().rule_count(), 1);
+        assert_eq!(b.grammar().rule(b.grammar().root()).body.len(), 100);
+    }
+
+    #[test]
+    fn runs_with_varying_lengths() {
+        // a^3 b a^5 b a^3 b — runs of a with different exponents around a
+        // repeated digram.
+        let mut seq = Vec::new();
+        for run in [3usize, 5, 3] {
+            seq.extend(std::iter::repeat_n(0u32, run));
+            seq.push(1);
+        }
+        let b = build(&seq);
+        assert_eq!(unfolded(&b), seq);
+    }
+
+    #[test]
+    fn interleaved_phases() {
+        // Mimics an app with a setup phase, a compute loop, and a teardown.
+        let mut seq: Vec<u32> = vec![10, 11, 12];
+        for _ in 0..30 {
+            seq.extend([0, 1, 2, 2, 3]);
+        }
+        seq.extend([13, 14]);
+        let b = build(&seq);
+        assert_eq!(unfolded(&b), seq);
+        assert!(
+            b.grammar().rule_count() <= 6,
+            "{}",
+            b.grammar().render(&|x| x.to_string())
+        );
+    }
+
+    #[test]
+    fn fuzz_small_alphabet() {
+        // Deterministic pseudo-random stress with alphabet 3; invariants
+        // are checked after every push inside `build`.
+        let mut state = 0x12345678u64;
+        let mut seq = Vec::new();
+        for _ in 0..800 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seq.push(((state >> 33) % 3) as u32);
+        }
+        let b = build(&seq);
+        assert_eq!(unfolded(&b), seq);
+    }
+
+    #[test]
+    fn fuzz_medium_alphabet() {
+        let mut state = 0xdeadbeefu64;
+        let mut seq = Vec::new();
+        for _ in 0..800 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seq.push(((state >> 33) % 12) as u32);
+        }
+        let b = build(&seq);
+        assert_eq!(unfolded(&b), seq);
+    }
+
+    #[test]
+    fn event_count_tracked() {
+        let b = build(&[0, 1, 0, 1, 0, 1]);
+        assert_eq!(b.event_count(), 6);
+        assert_eq!(b.grammar().trace_len(), 6);
+    }
+}

@@ -1,0 +1,162 @@
+//! Debug validator for the grammar invariants of paper §II-A.
+//!
+//! The validator is exercised after every event push by the unit tests and
+//! the property-based tests; it is not used on the hot path. It verifies:
+//!
+//! 1. rule utility — every non-root rule is used at least twice (weighted
+//!    by repetition exponents);
+//! 2. digram uniqueness — every ordered pair of distinct adjacent symbols
+//!    appears at most once across all rule bodies, and the digram index
+//!    covers exactly those pairs;
+//! 3. run merging — no symbol appears twice side by side, and every
+//!    repetition exponent is at least 1;
+//! 4. structure — reference counts match a full recount, every live rule is
+//!    reachable from the root, and the rule graph is acyclic.
+
+use crate::grammar::builder::GrammarBuilder;
+use crate::grammar::{Loc, RuleId, Symbol};
+use crate::util::{FxHashMap, FxHashSet};
+
+impl GrammarBuilder {
+    /// Validates all grammar invariants, returning a description of the
+    /// first violation found.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let g = self.grammar();
+        let root = g.root();
+
+        // -- per-rule body checks + collect pairs and refcounts ----------
+        let mut pairs: FxHashMap<(Symbol, Symbol), Loc> = FxHashMap::default();
+        let mut refcounts: FxHashMap<RuleId, u32> = FxHashMap::default();
+        for (id, rule) in g.iter_rules() {
+            if id != root && rule.body.is_empty() {
+                return Err(format!("non-root rule {id} has an empty body"));
+            }
+            if id != root && rule.body.len() == 1 && rule.body[0].count == 1 {
+                return Err(format!("rule {id} is an alias (single unit use)"));
+            }
+            for (pos, u) in rule.body.iter().enumerate() {
+                if u.count == 0 {
+                    return Err(format!("zero repetition count at {id}[{pos}]"));
+                }
+                if let Symbol::Rule(r) = u.symbol {
+                    if !g.is_live(r) {
+                        return Err(format!("{id}[{pos}] references dead rule {r}"));
+                    }
+                    *refcounts.entry(r).or_insert(0) += u.count;
+                }
+                if pos + 1 < rule.body.len() {
+                    let next = rule.body[pos + 1];
+                    if next.symbol == u.symbol {
+                        return Err(format!(
+                            "adjacent equal symbols (unmerged run) at {id}[{pos}]"
+                        ));
+                    }
+                    let key = (u.symbol, next.symbol);
+                    if let Some(prev) = pairs.insert(key, Loc { rule: id, pos }) {
+                        return Err(format!(
+                            "digram duplicated at {id}[{pos}] and {}[{}]",
+                            prev.rule, prev.pos
+                        ));
+                    }
+                }
+            }
+        }
+
+        // -- digram index covers exactly the existing pairs --------------
+        for (key, loc) in &pairs {
+            match self.digram_entry(*key) {
+                None => {
+                    return Err(format!(
+                        "pair at {}[{}] missing from digram index",
+                        loc.rule, loc.pos
+                    ));
+                }
+                Some(entry) => {
+                    if entry.rule != loc.rule {
+                        return Err(format!(
+                            "digram index points at rule {} but pair lives in {}",
+                            entry.rule, loc.rule
+                        ));
+                    }
+                }
+            }
+        }
+
+        // -- refcounts + utility ------------------------------------------
+        for (id, rule) in g.iter_rules() {
+            let expected = refcounts.get(&id).copied().unwrap_or(0);
+            if rule.refcount != expected {
+                return Err(format!(
+                    "rule {id} refcount {} != recount {expected}",
+                    rule.refcount
+                ));
+            }
+            if id != root && expected < 2 {
+                return Err(format!(
+                    "rule utility violated: {id} used {expected} time(s)"
+                ));
+            }
+            if id == root && expected != 0 {
+                return Err(format!("root is referenced {expected} time(s)"));
+            }
+        }
+
+        // -- reachability (acyclicity is asserted by topological_order) ---
+        let order = g.topological_order();
+        let reachable: FxHashSet<RuleId> = {
+            let mut seen: FxHashSet<RuleId> = FxHashSet::default();
+            let mut stack = vec![root];
+            while let Some(r) = stack.pop() {
+                if !seen.insert(r) {
+                    continue;
+                }
+                for u in &g.rule(r).body {
+                    if let Symbol::Rule(child) = u.symbol {
+                        stack.push(child);
+                    }
+                }
+            }
+            seen
+        };
+        for (id, _) in g.iter_rules() {
+            if !reachable.contains(&id) {
+                return Err(format!("rule {id} unreachable from root"));
+            }
+        }
+        if order.len() != g.rule_count() {
+            return Err("topological order misses live rules".to_owned());
+        }
+
+        // -- losslessness of length ---------------------------------------
+        if g.trace_len() != self.event_count() {
+            return Err(format!(
+                "trace length {} != events pushed {}",
+                g.trace_len(),
+                self.event_count()
+            ));
+        }
+
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventId;
+
+    #[test]
+    fn fresh_builder_is_valid() {
+        let b = GrammarBuilder::new();
+        b.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn validator_runs_after_pushes() {
+        let mut b = GrammarBuilder::new();
+        for ev in [0u32, 1, 2, 0, 1, 2, 0, 1, 2, 3, 3, 3] {
+            b.push(EventId(ev));
+            b.check_invariants().unwrap();
+        }
+    }
+}

@@ -1,0 +1,718 @@
+//! PYTHIA-PREDICT: following the current execution inside the reference
+//! grammar and predicting future events (paper §II-B and §II-C).
+//!
+//! A [`Predictor`] is fed the events of **one thread** of the new execution
+//! through [`Predictor::observe`]. It maintains a weighted set of candidate
+//! [`Path`]s (progress sequences):
+//!
+//! * when the stream matches the reference behavior, the set quickly
+//!   collapses to a handful of candidates advanced deterministically;
+//! * an event that *exists* in the grammar but does not match any candidate
+//!   re-seeds the set from every occurrence of that event (tolerance to
+//!   unexpected events, §II-B2);
+//! * an event that never occurred in the reference execution leaves the
+//!   oracle without information ([`ObserveOutcome::Unknown`]) — the runtime
+//!   system should fall back to its heuristic until the stream
+//!   re-synchronizes.
+//!
+//! [`Predictor::predict`] simulates the candidate set `distance` events
+//! forward, weighting branches by occurrence counts in the reference
+//! execution; [`Predictor::predict_delay_ns`] additionally accumulates the
+//! timing model's context-sensitive mean durations along the most probable
+//! chain (§II-C).
+
+pub mod path;
+pub mod walker;
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::error::Result;
+use crate::event::EventId;
+use crate::grammar::Loc;
+use crate::trace::{ThreadTrace, TraceData};
+use crate::util::FxHashMap;
+use path::Path;
+use walker::{Branch, Outcome, Walker};
+
+/// Tuning knobs of the predictor.
+#[derive(Debug, Clone)]
+pub struct PredictorConfig {
+    /// Maximum number of candidate progress sequences tracked after each
+    /// observation (lowest-weight candidates are dropped).
+    pub max_candidates: usize,
+    /// Maximum number of weighted states expanded per step while
+    /// simulating forward in [`Predictor::predict`].
+    pub max_states: usize,
+}
+
+impl Default for PredictorConfig {
+    fn default() -> Self {
+        PredictorConfig {
+            max_candidates: 64,
+            max_states: 128,
+        }
+    }
+}
+
+/// Statistics accumulated by a [`Predictor`]; useful for accuracy studies
+/// and for runtimes that want to distrust a frequently-mismatching oracle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PredictStats {
+    /// Total events observed.
+    pub observed: u64,
+    /// Events that matched a tracked candidate.
+    pub matched: u64,
+    /// Events that forced a re-seed (present in the grammar, but not where
+    /// the candidates expected them).
+    pub reseeded: u64,
+    /// Events absent from the reference execution.
+    pub unknown: u64,
+}
+
+/// How an observation related to the tracked candidates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObserveOutcome {
+    /// The event continued at least one candidate progress sequence.
+    Matched,
+    /// The event exists in the grammar but matched no candidate; the
+    /// candidate set was re-seeded from its occurrences.
+    Reseeded,
+    /// The event never occurred in the reference execution; the oracle has
+    /// no information until the stream re-synchronizes.
+    Unknown,
+}
+
+/// A probability distribution over the next event at some distance.
+#[derive(Debug, Clone, Default)]
+pub struct Prediction {
+    /// `(event, probability)` sorted by decreasing probability. Empty when
+    /// the oracle has no information.
+    pub distribution: Vec<(EventId, f64)>,
+    /// Probability mass on "the reference trace ends before that distance".
+    pub end_probability: f64,
+}
+
+impl Prediction {
+    /// The most probable event, if any.
+    pub fn most_likely(&self) -> Option<EventId> {
+        self.distribution.first().map(|&(e, _)| e)
+    }
+
+    /// Probability of a specific event.
+    pub fn probability(&self, event: EventId) -> f64 {
+        self.distribution
+            .iter()
+            .find(|&&(e, _)| e == event)
+            .map_or(0.0, |&(_, p)| p)
+    }
+
+    /// Whether the oracle had any information.
+    pub fn is_informed(&self) -> bool {
+        !self.distribution.is_empty() || self.end_probability > 0.0
+    }
+}
+
+/// Follows one thread of the current execution inside a reference trace
+/// and predicts its future behavior.
+#[derive(Debug)]
+pub struct Predictor {
+    thread: Arc<ThreadTrace>,
+    config: PredictorConfig,
+    expansions: Vec<f64>,
+    rule_uses: Vec<Vec<Loc>>,
+    term_uses: FxHashMap<EventId, Vec<Loc>>,
+    candidates: Vec<(Path, f64)>,
+    stats: PredictStats,
+}
+
+impl Predictor {
+    /// Creates a predictor over thread 0 of `trace` with default settings.
+    pub fn new(trace: &TraceData) -> Self {
+        Self::for_thread(trace, 0, PredictorConfig::default())
+            .expect("trace has no thread 0")
+    }
+
+    /// Creates a predictor over a specific thread of a multi-thread trace.
+    pub fn for_thread(trace: &TraceData, index: usize, config: PredictorConfig) -> Result<Self> {
+        Ok(Self::from_thread_trace(trace.thread(index)?.clone(), config))
+    }
+
+    /// Creates a predictor directly from a [`ThreadTrace`].
+    pub fn from_thread_trace(thread: Arc<ThreadTrace>, config: PredictorConfig) -> Self {
+        let g = &thread.grammar;
+        let n = g.rules_slots();
+        let expansions: Vec<f64> = g.expansion_counts().into_iter().map(|x| x as f64).collect();
+        let mut rule_uses: Vec<Vec<Loc>> = vec![Vec::new(); n];
+        let mut term_uses: FxHashMap<EventId, Vec<Loc>> = FxHashMap::default();
+        for (id, rule) in g.iter_rules() {
+            for (pos, u) in rule.body.iter().enumerate() {
+                let loc = Loc { rule: id, pos };
+                match u.symbol {
+                    crate::grammar::Symbol::Terminal(e) => {
+                        term_uses.entry(e).or_default().push(loc)
+                    }
+                    crate::grammar::Symbol::Rule(r) => rule_uses[r.index()].push(loc),
+                }
+            }
+        }
+        Predictor {
+            thread,
+            config,
+            expansions,
+            rule_uses,
+            term_uses,
+            candidates: Vec::new(),
+            stats: PredictStats::default(),
+        }
+    }
+
+    fn walker(&self) -> Walker<'_> {
+        Walker {
+            grammar: &self.thread.grammar,
+            expansions: &self.expansions,
+            rule_uses: &self.rule_uses,
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> PredictStats {
+        self.stats
+    }
+
+    /// Number of candidate progress sequences currently tracked.
+    pub fn candidate_count(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Whether the predictor currently knows where the application is.
+    pub fn is_synchronized(&self) -> bool {
+        !self.candidates.is_empty()
+    }
+
+    /// Submits the next event of the current execution.
+    pub fn observe(&mut self, event: EventId) -> ObserveOutcome {
+        self.stats.observed += 1;
+        if !self.term_uses.contains_key(&event) {
+            // Never seen in the reference execution: the oracle loses track
+            // (paper §II-B2 — the runtime must fall back to heuristics).
+            self.candidates.clear();
+            self.stats.unknown += 1;
+            return ObserveOutcome::Unknown;
+        }
+        if !self.candidates.is_empty() {
+            // Advance every candidate and keep the branches that emit the
+            // observed event.
+            let walker = self.walker();
+            let mut branches = Vec::new();
+            for (path, weight) in &self.candidates {
+                let mut out = Vec::new();
+                walker.expand(path, &mut out);
+                for b in out {
+                    if b.outcome == Outcome::Event(event) {
+                        branches.push((b.path, weight * b.factor));
+                    }
+                }
+            }
+            if !branches.is_empty() {
+                self.candidates = Self::consolidate(branches, self.config.max_candidates);
+                self.stats.matched += 1;
+                return ObserveOutcome::Matched;
+            }
+        }
+        // Start (or re-start after a mismatch) from every occurrence of the
+        // event, weighted by occurrence counts.
+        self.seed(event);
+        self.stats.reseeded += 1;
+        ObserveOutcome::Reseeded
+    }
+
+    fn seed(&mut self, event: EventId) {
+        let uses = &self.term_uses[&event];
+        let mut cands = Vec::with_capacity(uses.len());
+        for loc in uses {
+            let count = self.thread.grammar.rule(loc.rule).body[loc.pos].count;
+            let weight = self.expansions[loc.rule.index()] * count as f64;
+            if weight > 0.0 {
+                cands.push((Path::seed(loc.rule, loc.pos), weight));
+            }
+        }
+        self.candidates = Self::consolidate(cands, self.config.max_candidates);
+    }
+
+    /// Merges identical paths, normalizes weights, and keeps the heaviest
+    /// `cap` candidates.
+    fn consolidate(cands: Vec<(Path, f64)>, cap: usize) -> Vec<(Path, f64)> {
+        let mut merged: FxHashMap<Path, f64> = FxHashMap::default();
+        for (p, w) in cands {
+            *merged.entry(p).or_insert(0.0) += w;
+        }
+        let mut v: Vec<(Path, f64)> = merged.into_iter().collect();
+        v.sort_by(|a, b| b.1.total_cmp(&a.1));
+        v.truncate(cap);
+        let total: f64 = v.iter().map(|&(_, w)| w).sum();
+        if total > 0.0 {
+            for (_, w) in &mut v {
+                *w /= total;
+            }
+        }
+        v
+    }
+
+    /// Predicts the event that will occur `distance` events from now
+    /// (`distance = 1` is the next event), simulating the candidate set
+    /// forward and aggregating branch weights (paper §II-C).
+    pub fn predict(&self, distance: usize) -> Prediction {
+        assert!(distance >= 1, "prediction distance must be >= 1");
+        if self.candidates.is_empty() {
+            return Prediction::default();
+        }
+        let walker = self.walker();
+        let mut states = self.candidates.clone();
+        let mut end_mass = 0.0f64;
+        let mut last_step: Vec<(EventId, f64)> = Vec::new();
+        for step in 0..distance {
+            let mut next: Vec<(Path, f64)> = Vec::new();
+            let mut out: Vec<Branch> = Vec::new();
+            if step + 1 == distance {
+                last_step.clear();
+            }
+            for (path, weight) in &states {
+                out.clear();
+                walker.expand(path, &mut out);
+                for b in &out {
+                    let w = weight * b.factor;
+                    match b.outcome {
+                        Outcome::End => end_mass += w,
+                        Outcome::Event(e) => {
+                            if step + 1 == distance {
+                                last_step.push((e, w));
+                            } else {
+                                next.push((b.path.clone(), w));
+                            }
+                        }
+                    }
+                }
+            }
+            if step + 1 == distance {
+                break;
+            }
+            if next.is_empty() {
+                break;
+            }
+            // Merge identical states but do not renormalize: remaining mass
+            // must stay comparable with `end_mass`.
+            let mut merged: FxHashMap<Path, f64> = FxHashMap::default();
+            for (p, w) in next {
+                *merged.entry(p).or_insert(0.0) += w;
+            }
+            let mut v: Vec<(Path, f64)> = merged.into_iter().collect();
+            v.sort_by(|a, b| b.1.total_cmp(&a.1));
+            v.truncate(self.config.max_states);
+            states = v;
+        }
+        let mut per_event: FxHashMap<EventId, f64> = FxHashMap::default();
+        for (e, w) in last_step {
+            *per_event.entry(e).or_insert(0.0) += w;
+        }
+        let mut distribution: Vec<(EventId, f64)> = per_event.into_iter().collect();
+        let total: f64 = distribution.iter().map(|&(_, w)| w).sum::<f64>() + end_mass;
+        if total > 0.0 {
+            for (_, w) in &mut distribution {
+                *w /= total;
+            }
+            end_mass /= total;
+        }
+        distribution.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        Prediction {
+            distribution,
+            end_probability: end_mass,
+        }
+    }
+
+    /// Estimated time (nanoseconds) until the event `distance` steps ahead,
+    /// following the most probable chain of progress sequences and summing
+    /// the timing model's context means (paper §II-C). Returns `None` when
+    /// the oracle is out of sync or the trace holds no timing data.
+    pub fn predict_delay_ns(&self, distance: usize) -> Option<f64> {
+        assert!(distance >= 1, "prediction distance must be >= 1");
+        if self.candidates.is_empty() || self.thread.timing.is_empty() {
+            return None;
+        }
+        let walker = self.walker();
+        // Follow the heaviest candidate.
+        let (mut path, _) = self
+            .candidates
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))?
+            .clone();
+        let mut total = 0.0f64;
+        let mut out: Vec<Branch> = Vec::new();
+        for _ in 0..distance {
+            out.clear();
+            walker.expand(&path, &mut out);
+            let best = out
+                .iter()
+                .filter(|b| matches!(b.outcome, Outcome::Event(_)))
+                .max_by(|a, b| a.factor.total_cmp(&b.factor))?;
+            let Outcome::Event(e) = best.outcome else {
+                return None;
+            };
+            let frames = best.path.context_frames();
+            let mean = self
+                .thread
+                .timing
+                .mean_ns(e, &frames)
+                .or_else(|| self.thread.timing.mean_ns(e, &[]))?;
+            total += mean;
+            path = best.path.clone();
+        }
+        Some(total)
+    }
+
+    /// [`Predictor::predict_delay_ns`] as a [`Duration`].
+    pub fn predict_delay(&self, distance: usize) -> Option<Duration> {
+        self.predict_delay_ns(distance)
+            .map(|ns| Duration::from_nanos(ns.max(0.0) as u64))
+    }
+
+    /// The most probable sequence of the next `n` events, following the
+    /// greedy maximum-likelihood chain (useful for prefetch-style
+    /// optimizations that need the whole upcoming window, not one event).
+    /// Shorter than `n` if the chain reaches the end of the reference
+    /// trace or the oracle is out of sync.
+    pub fn predict_sequence(&self, n: usize) -> Vec<EventId> {
+        let mut out_events = Vec::with_capacity(n);
+        if self.candidates.is_empty() {
+            return out_events;
+        }
+        let walker = self.walker();
+        let Some((mut path, _)) = self
+            .candidates
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .cloned()
+        else {
+            return out_events;
+        };
+        let mut branches: Vec<Branch> = Vec::new();
+        for _ in 0..n {
+            branches.clear();
+            walker.expand(&path, &mut branches);
+            let Some(best) = branches
+                .iter()
+                .filter(|b| matches!(b.outcome, Outcome::Event(_)))
+                .max_by(|a, b| a.factor.total_cmp(&b.factor))
+            else {
+                break;
+            };
+            let Outcome::Event(e) = best.outcome else {
+                break;
+            };
+            out_events.push(e);
+            path = best.path.clone();
+        }
+        out_events
+    }
+
+    /// Drops all tracked candidates, forcing a re-seed on the next event.
+    pub fn desynchronize(&mut self) {
+        self.candidates.clear();
+    }
+
+    /// The grammar being tracked.
+    pub fn grammar(&self) -> &crate::grammar::Grammar {
+        &self.thread.grammar
+    }
+
+    /// Weighted candidate summary: `(depth, weight)` per candidate, for
+    /// diagnostics.
+    pub fn candidate_summary(&self) -> Vec<(usize, f64)> {
+        self.candidates
+            .iter()
+            .map(|(p, w)| (p.depth(), *w))
+            .collect()
+    }
+}
+
+/// Re-export the key types at module level.
+pub use path::{Frame, Rep};
+pub use walker::Outcome as BranchOutcome;
+
+#[allow(unused)]
+fn _assert_send_sync() {
+    fn check<T: Send>() {}
+    check::<Predictor>();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventRegistry;
+    use crate::record::{RecordConfig, Recorder};
+
+    fn e(n: u32) -> EventId {
+        EventId(n)
+    }
+
+    /// Records `seq` (with uniform 100ns spacing) into a trace.
+    fn trace_of(seq: &[u32]) -> TraceData {
+        let mut rec = Recorder::new(RecordConfig::default());
+        let mut t = 0u64;
+        for &s in seq {
+            t += 100;
+            rec.record_at(e(s), t);
+        }
+        rec.finish(&EventRegistry::new())
+    }
+
+    #[test]
+    fn predicts_deterministic_next_event() {
+        let seq: Vec<u32> = (0..50).flat_map(|_| [0, 1, 2]).collect();
+        let trace = trace_of(&seq);
+        let mut p = Predictor::new(&trace);
+        assert_eq!(p.observe(e(0)), ObserveOutcome::Reseeded);
+        let pred = p.predict(1);
+        assert_eq!(pred.most_likely(), Some(e(1)));
+        assert!(pred.probability(e(1)) > 0.9);
+    }
+
+    #[test]
+    fn tracks_along_stream_with_high_accuracy() {
+        let seq: Vec<u32> = (0..100).flat_map(|_| [0, 1, 2, 2, 3]).collect();
+        let trace = trace_of(&seq);
+        let mut p = Predictor::new(&trace);
+        let mut correct = 0;
+        let mut total = 0;
+        for i in 0..seq.len() - 1 {
+            p.observe(e(seq[i]));
+            let pred = p.predict(1);
+            total += 1;
+            if pred.most_likely() == Some(e(seq[i + 1])) {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / total as f64;
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn distance_prediction_follows_loop() {
+        // Period-3 loop: at distance 3 the same event comes back.
+        let seq: Vec<u32> = (0..60).flat_map(|_| [0, 1, 2]).collect();
+        let trace = trace_of(&seq);
+        let mut p = Predictor::new(&trace);
+        for &s in &seq[..30] {
+            p.observe(e(s));
+        }
+        // Last observed is seq[29] == 2 (index 29 → 29 % 3 == 2).
+        let pred3 = p.predict(3);
+        assert_eq!(pred3.most_likely(), Some(e(2)));
+        let pred1 = p.predict(1);
+        assert_eq!(pred1.most_likely(), Some(e(0)));
+        let pred2 = p.predict(2);
+        assert_eq!(pred2.most_likely(), Some(e(1)));
+    }
+
+    #[test]
+    fn unknown_event_loses_then_resyncs() {
+        let seq: Vec<u32> = (0..40).flat_map(|_| [0, 1]).collect();
+        let trace = trace_of(&seq);
+        let mut p = Predictor::new(&trace);
+        p.observe(e(0));
+        assert!(p.is_synchronized());
+        assert_eq!(p.observe(e(99)), ObserveOutcome::Unknown);
+        assert!(!p.is_synchronized());
+        assert!(!p.predict(1).is_informed());
+        // Re-synchronizes on the next known event.
+        assert_eq!(p.observe(e(0)), ObserveOutcome::Reseeded);
+        assert_eq!(p.predict(1).most_likely(), Some(e(1)));
+    }
+
+    #[test]
+    fn mismatched_event_reseeds() {
+        // Reference alternates 0 1 0 1; feed 0 0 — the second 0 mismatches.
+        let seq: Vec<u32> = (0..40).flat_map(|_| [0, 1]).collect();
+        let trace = trace_of(&seq);
+        let mut p = Predictor::new(&trace);
+        p.observe(e(0));
+        let outcome = p.observe(e(0));
+        assert_eq!(outcome, ObserveOutcome::Reseeded);
+        assert!(p.is_synchronized());
+        assert_eq!(p.stats().reseeded, 2);
+    }
+
+    #[test]
+    fn mid_stream_start_tolerated() {
+        // Paper §II-B1: start observing mid-trace.
+        let seq: Vec<u32> = (0..50).flat_map(|_| [0, 1, 2, 3]).collect();
+        let trace = trace_of(&seq);
+        let mut p = Predictor::new(&trace);
+        // Start at phase 2 of the loop.
+        for &s in &[2u32, 3, 0, 1, 2, 3, 0] {
+            p.observe(e(s));
+        }
+        assert_eq!(p.predict(1).most_likely(), Some(e(1)));
+    }
+
+    #[test]
+    fn end_probability_at_trace_end() {
+        let trace = trace_of(&[0, 1, 2]);
+        let mut p = Predictor::new(&trace);
+        p.observe(e(0));
+        p.observe(e(1));
+        p.observe(e(2));
+        let pred = p.predict(1);
+        assert!(
+            pred.end_probability > 0.5,
+            "end probability {}",
+            pred.end_probability
+        );
+    }
+
+    #[test]
+    fn delay_prediction_uniform_spacing() {
+        let seq: Vec<u32> = (0..100).flat_map(|_| [0, 1]).collect();
+        let trace = trace_of(&seq);
+        let mut p = Predictor::new(&trace);
+        for &s in &seq[..20] {
+            p.observe(e(s));
+        }
+        let d1 = p.predict_delay_ns(1).unwrap();
+        assert!((d1 - 100.0).abs() < 1.0, "{d1}");
+        let d4 = p.predict_delay_ns(4).unwrap();
+        assert!((d4 - 400.0).abs() < 4.0, "{d4}");
+    }
+
+    #[test]
+    fn delay_none_without_timing() {
+        let mut rec = Recorder::new(RecordConfig {
+            timestamps: false,
+            validate: false,
+        });
+        for _ in 0..10 {
+            rec.record(e(0));
+            rec.record(e(1));
+        }
+        let trace = rec.finish(&EventRegistry::new());
+        let mut p = Predictor::new(&trace);
+        p.observe(e(0));
+        assert_eq!(p.predict_delay_ns(1), None);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let seq: Vec<u32> = (0..10).flat_map(|_| [0, 1]).collect();
+        let trace = trace_of(&seq);
+        let mut p = Predictor::new(&trace);
+        for &s in &seq {
+            p.observe(e(s));
+        }
+        let st = p.stats();
+        assert_eq!(st.observed, 20);
+        assert_eq!(st.reseeded, 1); // only the initial seed
+        assert_eq!(st.matched, 19);
+        assert_eq!(st.unknown, 0);
+    }
+
+    #[test]
+    fn candidate_cap_respected() {
+        // Many occurrences of the same event: candidates stay bounded.
+        let mut seq = Vec::new();
+        for i in 0..64u32 {
+            seq.push(200 + i); // unique separators
+            seq.push(7); // the common event
+        }
+        let trace = trace_of(&seq);
+        let cfg = PredictorConfig {
+            max_candidates: 8,
+            max_states: 16,
+        };
+        let mut p = Predictor::for_thread(&trace, 0, cfg).unwrap();
+        p.observe(e(7));
+        assert!(p.candidate_count() <= 8);
+    }
+
+    #[test]
+    fn varying_problem_size_prediction() {
+        // Record a loop of 10 iterations; predict on a run with 30
+        // iterations: inner-loop predictions stay accurate (paper §III-C2's
+        // observation about working-set-independent behavior).
+        let small: Vec<u32> = (0..10).flat_map(|_| [0, 1, 2]).collect();
+        let trace = trace_of(&small);
+        let large: Vec<u32> = (0..30).flat_map(|_| [0, 1, 2]).collect();
+        let mut p = Predictor::new(&trace);
+        let mut correct = 0;
+        let mut total = 0;
+        for i in 0..large.len() - 1 {
+            p.observe(e(large[i]));
+            total += 1;
+            if p.predict(1).most_likely() == Some(e(large[i + 1])) {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / total as f64;
+        assert!(acc > 0.8, "accuracy {acc}");
+    }
+}
+
+#[cfg(test)]
+mod sequence_tests {
+    use super::*;
+    use crate::event::EventRegistry;
+    use crate::record::{RecordConfig, Recorder};
+
+    fn e(n: u32) -> EventId {
+        EventId(n)
+    }
+
+    #[test]
+    fn predict_sequence_follows_loop() {
+        let mut rec = Recorder::new(RecordConfig {
+            timestamps: false,
+            validate: false,
+        });
+        for _ in 0..50 {
+            for ev in [0u32, 1, 2, 3] {
+                rec.record_at(e(ev), 0);
+            }
+        }
+        let trace = rec.finish(&EventRegistry::new());
+        let mut p = Predictor::new(&trace);
+        for ev in [0u32, 1, 2, 3, 0] {
+            p.observe(e(ev));
+        }
+        let seq = p.predict_sequence(7);
+        let want: Vec<EventId> = [1u32, 2, 3, 0, 1, 2, 3].iter().map(|&x| e(x)).collect();
+        assert_eq!(seq, want);
+    }
+
+    #[test]
+    fn predict_sequence_stops_at_trace_end() {
+        let mut rec = Recorder::new(RecordConfig {
+            timestamps: false,
+            validate: false,
+        });
+        for ev in [0u32, 1, 2] {
+            rec.record_at(e(ev), 0);
+        }
+        let trace = rec.finish(&EventRegistry::new());
+        let mut p = Predictor::new(&trace);
+        p.observe(e(0));
+        let seq = p.predict_sequence(10);
+        assert_eq!(seq, vec![e(1), e(2)]);
+    }
+
+    #[test]
+    fn predict_sequence_empty_when_desynced() {
+        let mut rec = Recorder::new(RecordConfig {
+            timestamps: false,
+            validate: false,
+        });
+        rec.record_at(e(0), 0);
+        rec.record_at(e(1), 0);
+        let trace = rec.finish(&EventRegistry::new());
+        let p = Predictor::new(&trace);
+        assert!(p.predict_sequence(5).is_empty());
+    }
+}

@@ -1,0 +1,182 @@
+//! Progress sequences (paper §II-B, Figs. 4–6).
+//!
+//! A *progress sequence* denotes one occurrence of an event in the
+//! reference execution: the path from the terminal symbol up toward the
+//! root of the grammar. PYTHIA-PREDICT tracks the application's position as
+//! a set of candidate progress sequences; a sequence may be *partial* (its
+//! top frame is not the root) when the predictor started mid-stream or
+//! recovered from an unexpected event — partial sequences are extended
+//! upward lazily as more events disambiguate the position (paper §II-B2).
+
+use crate::grammar::{Grammar, RuleId, Symbol};
+use crate::timing::ContextFrame;
+
+/// Repetition state of one frame: how many repetitions of the symbol use
+/// have *completed* at this level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rep {
+    /// The frame was entered at repetition 0 (start offset known); `r`
+    /// repetitions have completed.
+    Known(u32),
+    /// The frame was entered mid-run at an unknown offset (seeded or
+    /// extended upward); `k ≥ 1` repetitions have completed since entry.
+    /// The true start offset is uniform over the possibilities, which is
+    /// where prediction branching weights come from.
+    Unknown(u32),
+}
+
+/// One level of a progress sequence: a symbol use (`pos`-th entry of
+/// `rule`'s body) plus its repetition state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Frame {
+    /// Rule whose body contains the use.
+    pub rule: RuleId,
+    /// Index of the use within the rule body.
+    pub pos: usize,
+    /// Repetition state.
+    pub rep: Rep,
+}
+
+/// A (possibly partial) progress sequence. Frames are stored outermost
+/// first; the last frame always points at a terminal use.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Path {
+    /// Frames, outermost first.
+    pub frames: Vec<Frame>,
+}
+
+impl Path {
+    /// A fresh partial path seeded at one terminal occurrence whose start
+    /// offset within its repetition run is unknown; the observed event
+    /// counts as one completed repetition.
+    pub fn seed(rule: RuleId, pos: usize) -> Self {
+        Path {
+            frames: vec![Frame {
+                rule,
+                pos,
+                rep: Rep::Unknown(1),
+            }],
+        }
+    }
+
+    /// The innermost frame (terminal level).
+    pub fn innermost(&self) -> &Frame {
+        self.frames.last().expect("path has no frames")
+    }
+
+    /// Whether the path is anchored at the grammar root.
+    pub fn is_anchored(&self, grammar: &Grammar) -> bool {
+        self.frames
+            .first()
+            .is_some_and(|f| f.rule == grammar.root())
+    }
+
+    /// Path depth (number of frames).
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// The terminal this path points at.
+    pub fn terminal(&self, grammar: &Grammar) -> crate::event::EventId {
+        let f = self.innermost();
+        grammar.rule(f.rule).body[f.pos]
+            .symbol
+            .terminal()
+            .expect("innermost frame must point at a terminal")
+    }
+
+    /// Context frames for the timing model: `(rule, pos)` innermost first.
+    pub fn context_frames(&self) -> Vec<ContextFrame> {
+        self.frames.iter().rev().map(|f| (f.rule, f.pos)).collect()
+    }
+
+    /// Appends the frames needed to reach the first terminal of `symbol`
+    /// (fresh descent: offsets known, nothing completed; the terminal frame
+    /// records one completed repetition — the event it emits).
+    ///
+    /// `rule`/`pos` locate the use of `symbol` whose frame was already
+    /// pushed by the caller; this only descends *below* it.
+    pub(crate) fn descend(&mut self, grammar: &Grammar, mut symbol: Symbol) {
+        while let Symbol::Rule(r) = symbol {
+            self.frames.push(Frame {
+                rule: r,
+                pos: 0,
+                rep: Rep::Known(0),
+            });
+            symbol = grammar.rule(r).body[0].symbol;
+        }
+        // The innermost frame now points at the first use of a (possibly
+        // new) rule; mark the terminal's emitted repetition.
+        let f = self.frames.last_mut().expect("descend on empty path");
+        debug_assert!(matches!(
+            grammar.rule(f.rule).body[f.pos].symbol,
+            Symbol::Terminal(_)
+        ));
+        f.rep = match f.rep {
+            Rep::Known(r) => Rep::Known(r + 1),
+            Rep::Unknown(k) => Rep::Unknown(k + 1),
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventId;
+    use crate::grammar::builder::GrammarBuilder;
+
+    fn grammar_of(seq: &[u32]) -> Grammar {
+        let mut b = GrammarBuilder::new();
+        for &s in seq {
+            b.push(EventId(s));
+        }
+        b.into_grammar().compact()
+    }
+
+    #[test]
+    fn seed_path_shape() {
+        let g = grammar_of(&[0, 1, 0, 1, 0, 1]);
+        let uses = g.terminal_uses(EventId(0));
+        assert!(!uses.is_empty());
+        let p = Path::seed(uses[0].rule, uses[0].pos);
+        assert_eq!(p.depth(), 1);
+        assert_eq!(p.terminal(&g), EventId(0));
+        assert_eq!(p.innermost().rep, Rep::Unknown(1));
+    }
+
+    #[test]
+    fn context_frames_innermost_first() {
+        let p = Path {
+            frames: vec![
+                Frame {
+                    rule: RuleId(0),
+                    pos: 3,
+                    rep: Rep::Known(0),
+                },
+                Frame {
+                    rule: RuleId(2),
+                    pos: 1,
+                    rep: Rep::Known(1),
+                },
+            ],
+        };
+        assert_eq!(p.context_frames(), vec![(RuleId(2), 1), (RuleId(0), 3)]);
+    }
+
+    #[test]
+    fn anchored_detection() {
+        let g = grammar_of(&[0, 1, 2, 0, 1, 2]);
+        let root_path = Path {
+            frames: vec![Frame {
+                rule: g.root(),
+                pos: 0,
+                rep: Rep::Known(0),
+            }],
+        };
+        assert!(root_path.is_anchored(&g));
+        let uses = g.terminal_uses(EventId(1));
+        // In this grammar the terminal lives inside a sub-rule.
+        let partial = Path::seed(uses[0].rule, uses[0].pos);
+        let _ = partial.is_anchored(&g); // must not panic either way
+    }
+}

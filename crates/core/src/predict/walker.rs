@@ -1,0 +1,366 @@
+//! Single-step expansion of progress sequences: given a candidate path,
+//! enumerate every possible next terminal together with the successor path
+//! and its relative weight (paper §II-B1's depth-first traversal, extended
+//! with the branching needed for partial paths and unknown repetition
+//! offsets).
+
+use crate::event::EventId;
+use crate::grammar::{Grammar, Loc, Symbol};
+use crate::predict::path::{Frame, Path, Rep};
+
+/// What a branch leads to.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Outcome {
+    /// The next event is `0` and the successor path is valid.
+    Event(EventId),
+    /// The reference trace ends here (the path ran past the root).
+    End,
+}
+
+/// One possible continuation of a path.
+#[derive(Debug, Clone)]
+pub struct Branch {
+    /// Next event or end of trace.
+    pub outcome: Outcome,
+    /// Successor path (meaningless for [`Outcome::End`]).
+    pub path: Path,
+    /// Weight of this branch relative to the input path's weight
+    /// (occurrence-count fraction; branches of one expansion sum to 1).
+    pub factor: f64,
+}
+
+/// Advances a repetition state by one completed repetition.
+fn bump(rep: Rep) -> Rep {
+    match rep {
+        Rep::Known(r) => Rep::Known(r + 1),
+        Rep::Unknown(k) => Rep::Unknown(k + 1),
+    }
+}
+
+/// Borrowed read-side state needed to expand paths.
+pub struct Walker<'a> {
+    /// The reference grammar.
+    pub grammar: &'a Grammar,
+    /// `expansion_counts` of the grammar, as `f64`, indexed by rule slot.
+    pub expansions: &'a [f64],
+    /// Use sites of every rule, indexed by rule slot.
+    pub rule_uses: &'a [Vec<Loc>],
+}
+
+impl Walker<'_> {
+    /// Enumerates all continuations of `path`, appending them to `out`.
+    /// The factors of the produced branches sum to 1 (up to rounding).
+    pub fn expand(&self, path: &Path, out: &mut Vec<Branch>) {
+        debug_assert!(!path.frames.is_empty());
+        let mut frames = path.frames.clone();
+        let innermost = frames.len() - 1;
+        self.decide(&mut frames, innermost, 1.0, out);
+    }
+
+    /// A repetition of the use at `frames[idx]` just completed — `rep`
+    /// already counts it (frames below `idx` have been truncated). Emit the
+    /// possible continuations: begin another repetition of the same use, or
+    /// move past it.
+    fn decide(&self, frames: &mut Vec<Frame>, idx: usize, weight: f64, out: &mut Vec<Branch>) {
+        if weight <= 0.0 {
+            return;
+        }
+        frames.truncate(idx + 1);
+        let f = frames[idx];
+        let use_ = self.grammar.rule(f.rule).body[f.pos];
+        let c = use_.count;
+        let (stay_w, exit_w) = match f.rep {
+            Rep::Known(r) => {
+                debug_assert!(r >= 1 && r <= c);
+                // Offset known: deterministically stay or exit.
+                if r < c {
+                    (weight, 0.0)
+                } else {
+                    (0.0, weight)
+                }
+            }
+            Rep::Unknown(k) => {
+                debug_assert!(k >= 1 && k <= c);
+                // k repetitions completed at an unknown start offset: the
+                // first one could have been any of offsets 0..=c-k, so of
+                // the (c-k+1) possibilities, (c-k) continue and 1 exits.
+                let possibilities = (c - k + 1) as f64;
+                (
+                    weight * (c - k) as f64 / possibilities,
+                    weight / possibilities,
+                )
+            }
+        };
+        if stay_w > 0.0 {
+            let mut stay_frames = frames.clone();
+            self.stay(&mut stay_frames, idx, stay_w, out);
+        }
+        if exit_w > 0.0 {
+            self.exit(frames, idx, exit_w, out);
+        }
+    }
+
+    /// Begin another repetition of the use at `frames[idx]`. For a terminal
+    /// the new repetition completes immediately (the event is emitted), so
+    /// the completed count advances; for a rule it completes later, when
+    /// the child body finishes a pass (see [`Walker::exit`]).
+    fn stay(&self, frames: &mut [Frame], idx: usize, weight: f64, out: &mut Vec<Branch>) {
+        let use_ = self.grammar.rule(frames[idx].rule).body[frames[idx].pos];
+        match use_.symbol {
+            Symbol::Terminal(e) => {
+                frames[idx].rep = bump(frames[idx].rep);
+                out.push(Branch {
+                    outcome: Outcome::Event(e),
+                    path: Path {
+                        frames: frames.to_vec(),
+                    },
+                    factor: weight,
+                });
+            }
+            Symbol::Rule(_) => {
+                let mut path = Path {
+                    frames: frames.to_vec(),
+                };
+                // Re-enter the sub-rule from its first terminal.
+                path.descend(self.grammar, use_.symbol);
+                let e = path.terminal(self.grammar);
+                out.push(Branch {
+                    outcome: Outcome::Event(e),
+                    path,
+                    factor: weight,
+                });
+            }
+        }
+    }
+
+    /// The use at `frames[idx]` is done repeating: move to the next
+    /// position of the rule, or complete the rule and continue one level
+    /// up, extending partial paths past their top frame when needed.
+    fn exit(&self, frames: &mut Vec<Frame>, idx: usize, weight: f64, out: &mut Vec<Branch>) {
+        if weight <= 0.0 {
+            return;
+        }
+        let f = frames[idx];
+        let body_len = self.grammar.rule(f.rule).body.len();
+        if f.pos + 1 < body_len {
+            // Next use within the same rule.
+            frames[idx] = Frame {
+                rule: f.rule,
+                pos: f.pos + 1,
+                rep: Rep::Known(0),
+            };
+            let mut path = Path {
+                frames: frames.clone(),
+            };
+            let symbol = self.grammar.rule(f.rule).body[f.pos + 1].symbol;
+            path.descend(self.grammar, symbol);
+            let e = path.terminal(self.grammar);
+            out.push(Branch {
+                outcome: Outcome::Event(e),
+                path,
+                factor: weight,
+            });
+            return;
+        }
+        // The rule body completed one pass: that completes one repetition
+        // of the parent use.
+        if idx > 0 {
+            frames[idx - 1].rep = bump(frames[idx - 1].rep);
+            self.decide(frames, idx - 1, weight, out);
+            return;
+        }
+        // Popping past the top frame.
+        let top_rule = f.rule;
+        if top_rule == self.grammar.root() {
+            out.push(Branch {
+                outcome: Outcome::End,
+                path: Path {
+                    frames: frames.clone(),
+                },
+                factor: weight,
+            });
+            return;
+        }
+        // Partial path: extend upward over every use site of the top rule,
+        // weighting by how often each site accounts for the rule's
+        // expansions (paper §II-C: probabilities are occurrence counts).
+        let total = self.expansions[top_rule.index()];
+        if total <= 0.0 {
+            return;
+        }
+        let sites = &self.rule_uses[top_rule.index()];
+        for site in sites {
+            let use_ = self.grammar.rule(site.rule).body[site.pos];
+            debug_assert_eq!(use_.symbol, Symbol::Rule(top_rule));
+            let site_visits = self.expansions[site.rule.index()] * use_.count as f64;
+            let w = weight * site_visits / total;
+            if w <= 0.0 {
+                continue;
+            }
+            // We just completed one repetition of the rule at this site,
+            // with unknown offset.
+            let mut new_frames = Vec::with_capacity(frames.len() + 1);
+            new_frames.push(Frame {
+                rule: site.rule,
+                pos: site.pos,
+                rep: Rep::Unknown(1),
+            });
+            self.decide(&mut new_frames, 0, w, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::builder::GrammarBuilder;
+
+    fn e(n: u32) -> EventId {
+        EventId(n)
+    }
+
+    struct Fixture {
+        grammar: Grammar,
+        expansions: Vec<f64>,
+        rule_uses: Vec<Vec<Loc>>,
+    }
+
+    impl Fixture {
+        fn new(seq: &[u32]) -> Self {
+            let mut b = GrammarBuilder::new();
+            for &s in seq {
+                b.push(e(s));
+            }
+            let grammar = b.into_grammar().compact();
+            let expansions: Vec<f64> = grammar
+                .expansion_counts()
+                .into_iter()
+                .map(|x| x as f64)
+                .collect();
+            let rule_uses = (0..grammar.rule_count())
+                .map(|i| grammar.rule_uses(crate::grammar::RuleId(i as u32)))
+                .collect();
+            Fixture {
+                grammar,
+                expansions,
+                rule_uses,
+            }
+        }
+
+        fn walker(&self) -> Walker<'_> {
+            Walker {
+                grammar: &self.grammar,
+                expansions: &self.expansions,
+                rule_uses: &self.rule_uses,
+            }
+        }
+    }
+
+    #[test]
+    fn factors_sum_to_one() {
+        let fx = Fixture::new(&[0, 1, 1, 2, 1, 2, 0, 1, 3, 0, 1, 1, 2]);
+        let w = fx.walker();
+        for ev in [0u32, 1, 2, 3] {
+            for loc in fx.grammar.terminal_uses(e(ev)) {
+                let p = Path::seed(loc.rule, loc.pos);
+                let mut out = Vec::new();
+                w.expand(&p, &mut out);
+                let total: f64 = out.iter().map(|b| b.factor).sum();
+                assert!(
+                    (total - 1.0).abs() < 1e-9,
+                    "event {ev}: branch factors sum to {total}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_successor() {
+        // a b a b: from a (inside the folded rule), the next event is b
+        // with probability 1.
+        let fx = Fixture::new(&[0, 1, 0, 1, 0, 1, 0, 1]);
+        let w = fx.walker();
+        let uses = fx.grammar.terminal_uses(e(0));
+        assert_eq!(uses.len(), 1);
+        let p = Path::seed(uses[0].rule, uses[0].pos);
+        let mut out = Vec::new();
+        w.expand(&p, &mut out);
+        for b in &out {
+            assert_eq!(b.outcome, Outcome::Event(e(1)));
+        }
+    }
+
+    #[test]
+    fn repetition_branching_weights() {
+        // a^4 b, repeated: from an `a` at unknown offset, staying on `a`
+        // should carry 3/4 of the weight.
+        let mut seq = Vec::new();
+        for _ in 0..6 {
+            seq.extend([0, 0, 0, 0, 1]);
+        }
+        let fx = Fixture::new(&seq);
+        let w = fx.walker();
+        let uses = fx.grammar.terminal_uses(e(0));
+        assert_eq!(uses.len(), 1, "{}", fx.grammar.render(&|x| x.to_string()));
+        let p = Path::seed(uses[0].rule, uses[0].pos);
+        let mut out = Vec::new();
+        w.expand(&p, &mut out);
+        let stay: f64 = out
+            .iter()
+            .filter(|b| b.outcome == Outcome::Event(e(0)))
+            .map(|b| b.factor)
+            .sum();
+        let leave: f64 = out
+            .iter()
+            .filter(|b| b.outcome == Outcome::Event(e(1)))
+            .map(|b| b.factor)
+            .sum();
+        assert!((stay - 0.75).abs() < 1e-9, "stay weight {stay}");
+        assert!((leave - 0.25).abs() < 1e-9, "leave weight {leave}");
+    }
+
+    #[test]
+    fn end_of_trace_reachable() {
+        // Root-anchored path at the last event must yield End.
+        let fx = Fixture::new(&[0, 1, 2]);
+        let g = &fx.grammar;
+        let root = g.root();
+        let last_pos = g.rule(root).body.len() - 1;
+        let p = Path {
+            frames: vec![Frame {
+                rule: root,
+                pos: last_pos,
+                rep: Rep::Known(1),
+            }],
+        };
+        let w = fx.walker();
+        let mut out = Vec::new();
+        w.expand(&p, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].outcome, Outcome::End);
+    }
+
+    #[test]
+    fn upward_extension_covers_all_sites() {
+        // Trace where rule "ab" is used in two different contexts:
+        // a b c a b d a b c a b d — after finishing "ab" the next event is
+        // c or d with equal weight.
+        let fx = Fixture::new(&[0, 1, 2, 0, 1, 3, 0, 1, 2, 0, 1, 3]);
+        let w = fx.walker();
+        let uses = fx.grammar.terminal_uses(e(1));
+        let mut all = Vec::new();
+        for u in uses {
+            let p = Path::seed(u.rule, u.pos);
+            w.expand(&p, &mut all);
+        }
+        let evs: std::collections::HashSet<u32> = all
+            .iter()
+            .filter_map(|b| match b.outcome {
+                Outcome::Event(x) => Some(x.0),
+                Outcome::End => None,
+            })
+            .collect();
+        assert!(evs.contains(&2), "{evs:?}");
+        assert!(evs.contains(&3), "{evs:?}");
+    }
+}

@@ -1,0 +1,190 @@
+//! PYTHIA-RECORD: capturing the behavior of the reference execution
+//! (paper §II-A).
+//!
+//! A [`Recorder`] accepts the event stream of **one thread** and reduces it
+//! on the fly into a grammar through
+//! [`crate::grammar::builder::GrammarBuilder`]; it can also
+//! log a timestamp per event so that a [`TimingModel`] is derived when the
+//! recording finishes. Multi-threaded applications create one `Recorder`
+//! per thread (the paper maintains one grammar per thread) and assemble the
+//! results into a single [`crate::trace::TraceData`].
+
+use std::time::Instant;
+
+use crate::event::{EventId, EventRegistry};
+use crate::grammar::builder::GrammarBuilder;
+use crate::grammar::Grammar;
+use crate::timing::TimingModel;
+use crate::trace::{ThreadTrace, TraceData};
+
+/// Configuration of a [`Recorder`].
+#[derive(Debug, Clone)]
+pub struct RecordConfig {
+    /// Log a timestamp per event and build a [`TimingModel`] at the end.
+    /// Costs 8 bytes per event; disable for very long traces when only
+    /// event prediction (not duration prediction) is needed.
+    pub timestamps: bool,
+    /// Check all grammar invariants after every event (very slow; meant for
+    /// tests and debugging of the reduction algorithm).
+    pub validate: bool,
+}
+
+impl Default for RecordConfig {
+    fn default() -> Self {
+        RecordConfig {
+            timestamps: true,
+            validate: false,
+        }
+    }
+}
+
+/// Records the event stream of one thread of the reference execution.
+#[derive(Debug)]
+pub struct Recorder {
+    builder: GrammarBuilder,
+    config: RecordConfig,
+    epoch: Instant,
+    timestamps_ns: Vec<u64>,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new(RecordConfig::default())
+    }
+}
+
+impl Recorder {
+    /// Creates a recorder; the timestamp epoch is the creation instant.
+    pub fn new(config: RecordConfig) -> Self {
+        Recorder {
+            builder: GrammarBuilder::new(),
+            config,
+            epoch: Instant::now(),
+            timestamps_ns: Vec::new(),
+        }
+    }
+
+    /// Records one event, stamped with the current time.
+    pub fn record(&mut self, event: EventId) {
+        let ns = if self.config.timestamps {
+            self.epoch.elapsed().as_nanos() as u64
+        } else {
+            0
+        };
+        self.record_at(event, ns);
+    }
+
+    /// Records one event with an explicit timestamp (nanoseconds since an
+    /// arbitrary per-recorder epoch; must be monotonically non-decreasing).
+    /// Used by simulations and tests that run on virtual time.
+    pub fn record_at(&mut self, event: EventId, ns: u64) {
+        if self.config.timestamps {
+            self.timestamps_ns.push(ns);
+        }
+        self.builder.push(event);
+        if self.config.validate {
+            if let Err(msg) = self.builder.check_invariants() {
+                panic!("grammar invariant violated after event {event}: {msg}");
+            }
+        }
+    }
+
+    /// Number of events recorded so far.
+    pub fn event_count(&self) -> u64 {
+        self.builder.event_count()
+    }
+
+    /// The grammar built so far (not compacted).
+    pub fn grammar(&self) -> &Grammar {
+        self.builder.grammar()
+    }
+
+    /// Number of rules in the current grammar (Table I's "# rules").
+    pub fn rule_count(&self) -> usize {
+        self.builder.grammar().rule_count()
+    }
+
+    /// Finishes this thread's recording: compacts the grammar and replays
+    /// the timestamps into a [`TimingModel`] (paper §II-C).
+    pub fn finish_thread(self) -> ThreadTrace {
+        let event_count = self.builder.event_count();
+        let grammar = self.builder.into_grammar().compact();
+        let timing = TimingModel::build(&grammar, &self.timestamps_ns);
+        ThreadTrace {
+            grammar,
+            timing,
+            event_count,
+        }
+    }
+
+    /// Convenience for single-threaded programs: wraps the single thread
+    /// trace into a complete [`TraceData`].
+    pub fn finish(self, registry: &EventRegistry) -> TraceData {
+        TraceData::from_threads(vec![self.finish_thread()], registry.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(n: u32) -> EventId {
+        EventId(n)
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        let mut rec = Recorder::new(RecordConfig {
+            timestamps: true,
+            validate: true,
+        });
+        let seq = [0u32, 1, 2, 0, 1, 2, 0, 1, 2];
+        let mut t = 0;
+        for &s in &seq {
+            t += 10;
+            rec.record_at(e(s), t);
+        }
+        assert_eq!(rec.event_count(), 9);
+        let thread = rec.finish_thread();
+        assert_eq!(thread.event_count, 9);
+        let got: Vec<u32> = thread.grammar.unfold().into_iter().map(|x| x.0).collect();
+        assert_eq!(got, seq);
+        assert!(!thread.timing.is_empty());
+    }
+
+    #[test]
+    fn timestamps_disabled_gives_empty_timing() {
+        let mut rec = Recorder::new(RecordConfig {
+            timestamps: false,
+            validate: false,
+        });
+        for _ in 0..10 {
+            rec.record(e(0));
+            rec.record(e(1));
+        }
+        let thread = rec.finish_thread();
+        assert!(thread.timing.is_empty());
+        assert_eq!(thread.event_count, 20);
+    }
+
+    #[test]
+    fn wall_clock_timestamps_are_monotonic() {
+        let mut rec = Recorder::default();
+        for _ in 0..5 {
+            rec.record(e(0));
+        }
+        let w = rec.timestamps_ns.windows(2).all(|w| w[0] <= w[1]);
+        assert!(w);
+    }
+
+    #[test]
+    fn finish_embeds_registry() {
+        let mut registry = EventRegistry::new();
+        let a = registry.intern("a", None);
+        let mut rec = Recorder::default();
+        rec.record(a);
+        let trace = rec.finish(&registry);
+        assert_eq!(trace.registry().lookup("a", None), Some(a));
+        assert_eq!(trace.thread_count(), 1);
+    }
+}

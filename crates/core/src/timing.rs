@@ -1,0 +1,400 @@
+//! Timing model: predicting *when* future events will occur (paper §II-C).
+//!
+//! During the reference execution PYTHIA-RECORD optionally logs the
+//! timestamp of every event. At the end of the run the event sequence is
+//! *replayed* through the grammar: for every event occurrence, the model
+//! records the elapsed time since the previous event, keyed by the
+//! occurrence's *progress-sequence context* — the path from the terminal up
+//! toward the root, truncated at every depth up to
+//! [`TimingModel::MAX_DEPTH`].
+//!
+//! Keying every suffix length reproduces the paper's context-sensitivity
+//! example (Fig. 6): the duration between an `a` and a `b` event *when a
+//! `c` is expected next* ("BAb" context) is kept separate from the average
+//! over all `a`→`b` transitions ("Ab" context); the predictor queries the
+//! deepest context it knows and falls back to shallower ones.
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::EventId;
+use crate::grammar::{Grammar, RuleId, Symbol};
+use crate::util::{stable_hash, FxHashMap};
+
+/// One aggregated duration bucket (serialized representation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimingEntry {
+    /// Stable hash of the progress-sequence context.
+    pub key: u64,
+    /// Sum of observed inter-event durations, in nanoseconds.
+    pub sum_ns: u64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+/// Aggregated inter-event durations keyed by progress-sequence context.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TimingModel {
+    entries: Vec<TimingEntry>,
+    #[serde(skip)]
+    index: FxHashMap<u64, usize>,
+}
+
+/// A borrowed progress-sequence context: the terminal event plus the
+/// `(rule, position)` pairs of the path, innermost first.
+pub type ContextFrame = (RuleId, usize);
+
+impl TimingModel {
+    /// Maximum context depth recorded (number of `(rule, pos)` frames).
+    pub const MAX_DEPTH: usize = 4;
+
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether any duration was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of distinct context buckets.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Stable key for a context of `depth` frames (innermost first).
+    pub fn context_key(event: EventId, frames: &[ContextFrame], depth: usize) -> u64 {
+        debug_assert!(depth <= frames.len());
+        stable_hash(&(depth as u64, event, &frames[..depth]))
+    }
+
+    /// Records one observation of `delta_ns` for the given context at every
+    /// depth up to [`Self::MAX_DEPTH`].
+    pub fn observe(&mut self, event: EventId, frames: &[ContextFrame], delta_ns: u64) {
+        let max_depth = frames.len().min(Self::MAX_DEPTH);
+        for depth in 0..=max_depth {
+            let key = Self::context_key(event, frames, depth);
+            self.add(key, delta_ns);
+        }
+    }
+
+    fn add(&mut self, key: u64, delta_ns: u64) {
+        match self.index.get(&key) {
+            Some(&i) => {
+                let e = &mut self.entries[i];
+                e.sum_ns = e.sum_ns.saturating_add(delta_ns);
+                e.count += 1;
+            }
+            None => {
+                self.index.insert(key, self.entries.len());
+                self.entries.push(TimingEntry {
+                    key,
+                    sum_ns: delta_ns,
+                    count: 1,
+                });
+            }
+        }
+    }
+
+    /// Mean duration (ns) for the deepest known context, searching from
+    /// `frames.len()` (capped) down to the context-free depth 0.
+    pub fn mean_ns(&self, event: EventId, frames: &[ContextFrame]) -> Option<f64> {
+        let max_depth = frames.len().min(Self::MAX_DEPTH);
+        for depth in (0..=max_depth).rev() {
+            let key = Self::context_key(event, frames, depth);
+            if let Some(&i) = self.index.get(&key) {
+                let e = &self.entries[i];
+                return Some(e.sum_ns as f64 / e.count as f64);
+            }
+        }
+        None
+    }
+
+    /// Mean duration (ns) for exactly one depth, without fallback.
+    pub fn mean_ns_at_depth(
+        &self,
+        event: EventId,
+        frames: &[ContextFrame],
+        depth: usize,
+    ) -> Option<f64> {
+        if depth > frames.len() {
+            return None;
+        }
+        let key = Self::context_key(event, frames, depth);
+        self.index.get(&key).map(|&i| {
+            let e = &self.entries[i];
+            e.sum_ns as f64 / e.count as f64
+        })
+    }
+
+    /// Rebuilds the lookup index after deserialization.
+    pub fn rebuild_index(&mut self) {
+        self.index = self
+            .entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.key, i))
+            .collect();
+    }
+
+    /// Raw entries (serialization order).
+    pub fn entries(&self) -> &[TimingEntry] {
+        &self.entries
+    }
+
+    /// Restores a model from raw entries (used by the binary trace reader).
+    pub fn from_entries(entries: Vec<TimingEntry>) -> Self {
+        let mut m = TimingModel {
+            entries,
+            index: FxHashMap::default(),
+        };
+        m.rebuild_index();
+        m
+    }
+
+    /// Builds the timing model for a finished (compacted) grammar by
+    /// replaying the trace through it with the recorded timestamps
+    /// (nanoseconds, one per event, same order as recording).
+    ///
+    /// This is the paper's post-run replay: every event occurrence is
+    /// located by its (here fully deterministic) progress sequence, and the
+    /// elapsed time from the previous event is averaged per context.
+    pub fn build(grammar: &Grammar, timestamps_ns: &[u64]) -> Self {
+        let mut model = TimingModel::new();
+        if timestamps_ns.is_empty() {
+            return model;
+        }
+        let mut replay = Replay::new(grammar);
+        let mut prev_ts: Option<u64> = None;
+        let mut idx = 0usize;
+        while let Some((event, frames)) = replay.next_event() {
+            let Some(&ts) = timestamps_ns.get(idx) else {
+                debug_assert!(false, "more events than timestamps");
+                break;
+            };
+            idx += 1;
+            if let Some(p) = prev_ts {
+                model.observe(event, &frames, ts.saturating_sub(p));
+            }
+            prev_ts = Some(ts);
+        }
+        debug_assert_eq!(
+            idx,
+            timestamps_ns.len(),
+            "timestamp count does not match trace length"
+        );
+        model
+    }
+}
+
+/// Deterministic replay of a grammar that exposes, for each terminal
+/// occurrence, its progress-sequence context (innermost-first `(rule, pos)`
+/// frames). Shared by the timing-model builder and the tests.
+pub struct Replay<'g> {
+    grammar: &'g Grammar,
+    // (rule, pos, repetitions already emitted), outermost first.
+    stack: Vec<(RuleId, usize, u32)>,
+    started: bool,
+    frames_buf: Vec<ContextFrame>,
+}
+
+impl<'g> Replay<'g> {
+    /// Starts a replay at the beginning of the trace.
+    pub fn new(grammar: &'g Grammar) -> Self {
+        Replay {
+            grammar,
+            stack: Vec::new(),
+            started: false,
+            frames_buf: Vec::new(),
+        }
+    }
+
+    fn descend(&mut self) {
+        loop {
+            let &(rule, pos, _) = self.stack.last().unwrap();
+            match self.grammar.rule(rule).body[pos].symbol {
+                Symbol::Terminal(_) => return,
+                Symbol::Rule(r) => self.stack.push((r, 0, 0)),
+            }
+        }
+    }
+
+    fn advance(&mut self) {
+        loop {
+            let Some(&(r, p, rep)) = self.stack.last() else {
+                return;
+            };
+            let use_ = self.grammar.rule(r).body[p];
+            let body_len = self.grammar.rule(r).body.len();
+            if rep + 1 < use_.count {
+                self.stack.last_mut().unwrap().2 = rep + 1;
+                if let Symbol::Rule(_) = use_.symbol {
+                    self.descend();
+                }
+                return;
+            }
+            if p + 1 < body_len {
+                let top = self.stack.last_mut().unwrap();
+                top.1 = p + 1;
+                top.2 = 0;
+                self.descend();
+                return;
+            }
+            self.stack.pop();
+        }
+    }
+
+    /// Returns the next terminal occurrence and its context frames
+    /// (innermost first), or `None` at end of trace.
+    pub fn next_event(&mut self) -> Option<(EventId, Vec<ContextFrame>)> {
+        if !self.started {
+            self.started = true;
+            if self.grammar.rule(self.grammar.root()).body.is_empty() {
+                return None;
+            }
+            self.stack.push((self.grammar.root(), 0, 0));
+            self.descend();
+        } else {
+            self.advance();
+        }
+        let &(rule, pos, _) = self.stack.last()?;
+        let event = self
+            .grammar
+            .rule(rule)
+            .body[pos]
+            .symbol
+            .terminal()
+            .expect("replay stack must end at a terminal");
+        self.frames_buf.clear();
+        self.frames_buf
+            .extend(self.stack.iter().rev().map(|&(r, p, _)| (r, p)));
+        Some((event, self.frames_buf.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::builder::GrammarBuilder;
+
+    fn e(n: u32) -> EventId {
+        EventId(n)
+    }
+
+    fn grammar_of(seq: &[u32]) -> Grammar {
+        let mut b = GrammarBuilder::new();
+        for &s in seq {
+            b.push(e(s));
+        }
+        b.into_grammar().compact()
+    }
+
+    #[test]
+    fn replay_matches_unfold() {
+        let seq = [0u32, 1, 1, 2, 1, 2, 0, 1, 0, 1, 1, 2];
+        let g = grammar_of(&seq);
+        let mut replay = Replay::new(&g);
+        let mut got = Vec::new();
+        while let Some((ev, frames)) = replay.next_event() {
+            assert!(!frames.is_empty());
+            // Innermost frame must point at the terminal itself.
+            let (r, p) = frames[0];
+            assert_eq!(g.rule(r).body[p].symbol, Symbol::Terminal(ev));
+            got.push(ev.0);
+        }
+        assert_eq!(got, seq);
+    }
+
+    #[test]
+    fn replay_empty_grammar() {
+        let g = Grammar::new();
+        let mut replay = Replay::new(&g);
+        assert!(replay.next_event().is_none());
+        assert!(replay.next_event().is_none());
+    }
+
+    #[test]
+    fn build_model_records_all_depths() {
+        // a b a b a b with 100ns per step.
+        let seq = [0u32, 1, 0, 1, 0, 1];
+        let g = grammar_of(&seq);
+        let ts: Vec<u64> = (0..seq.len() as u64).map(|i| i * 100).collect();
+        let model = TimingModel::build(&g, &ts);
+        assert!(!model.is_empty());
+        // Depth-0 (context-free) query for event b.
+        let mean = model.mean_ns(e(1), &[]).unwrap();
+        assert!((mean - 100.0).abs() < 1e-9, "{mean}");
+    }
+
+    #[test]
+    fn context_distinguishes_durations() {
+        // Trace: (a b)^4 where the b after the *first* a in each pair is
+        // instant but... simpler: a b c a b d: the a->b delta differs
+        // depending on what follows; a context-free mean averages them.
+        let seq = [0u32, 1, 2, 0, 1, 3, 0, 1, 2, 0, 1, 3];
+        let g = grammar_of(&seq);
+        // deltas: b after a costs 10 when c follows, 1000 when d follows.
+        let mut ts = Vec::new();
+        let mut t = 0u64;
+        ts.push(t);
+        for i in 1..seq.len() {
+            let prev = seq[i - 1];
+            let cur = seq[i];
+            let delta = if cur == 1 {
+                // cost of reaching b depends on which block we are in
+                if seq[(i + 1) % seq.len()] == 2 {
+                    10
+                } else {
+                    1000
+                }
+            } else {
+                let _ = prev;
+                50
+            };
+            t += delta;
+            ts.push(t);
+        }
+        let model = TimingModel::build(&g, &ts);
+        // The context-free mean for b is between the two extremes.
+        let mean0 = model.mean_ns(e(1), &[]).unwrap();
+        assert!(mean0 > 10.0 && mean0 < 1000.0);
+    }
+
+    #[test]
+    fn mean_falls_back_to_shallower_depth() {
+        let seq = [0u32, 1, 0, 1];
+        let g = grammar_of(&seq);
+        let ts = vec![0, 5, 10, 15];
+        let model = TimingModel::build(&g, &ts);
+        // Query with a bogus deep context: falls back to depth 0.
+        let bogus = [(RuleId(7), 3), (RuleId(8), 1)];
+        let mean = model.mean_ns(e(1), &bogus).unwrap();
+        assert!(mean > 0.0);
+        assert_eq!(model.mean_ns_at_depth(e(1), &bogus, 2), None);
+    }
+
+    #[test]
+    fn unknown_event_has_no_mean() {
+        let seq = [0u32, 1];
+        let g = grammar_of(&seq);
+        let model = TimingModel::build(&g, &[0, 10]);
+        assert_eq!(model.mean_ns(e(99), &[]), None);
+    }
+
+    #[test]
+    fn entries_roundtrip() {
+        let seq = [0u32, 1, 0, 1, 0, 1];
+        let g = grammar_of(&seq);
+        let ts: Vec<u64> = (0..6u64).map(|i| i * 7).collect();
+        let model = TimingModel::build(&g, &ts);
+        let rebuilt = TimingModel::from_entries(model.entries().to_vec());
+        assert_eq!(model.mean_ns(e(1), &[]), rebuilt.mean_ns(e(1), &[]));
+    }
+
+    #[test]
+    fn no_timestamps_no_model() {
+        let g = grammar_of(&[0, 1, 0, 1]);
+        let model = TimingModel::build(&g, &[]);
+        assert!(model.is_empty());
+    }
+}

@@ -1,0 +1,575 @@
+//! Trace files: the data PYTHIA saves at the end of the reference execution
+//! and reloads on subsequent executions.
+//!
+//! Only the *grammar* is stored, never the unfolded trace (paper §II-A,
+//! Fig. 1), plus the timing model derived from the timestamps and the event
+//! registry mapping descriptors to terminal ids. Two on-disk formats are
+//! supported:
+//!
+//! * a compact, versioned **binary** format (default; hand-rolled on
+//!   [`bytes`] with explicit bounds checks so truncated or corrupt files
+//!   fail with a clean [`Error::Corrupt`] instead of a panic);
+//! * a **JSON** format (via `serde`) for debugging and interoperability.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Error, Result};
+use crate::event::EventRegistry;
+use crate::grammar::{Grammar, Rule, RuleId, Symbol, SymbolUse};
+use crate::timing::{TimingEntry, TimingModel};
+
+/// Magic bytes opening every binary trace file.
+pub const MAGIC: &[u8; 8] = b"PYTHIA\x00\x01";
+/// Current binary format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// The recorded behavior of one thread: its grammar (compacted), timing
+/// model, and total event count.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThreadTrace {
+    /// The compacted grammar describing the thread's event sequence.
+    pub grammar: Grammar,
+    /// Mean inter-event durations per progress-sequence context.
+    pub timing: TimingModel,
+    /// Number of events the grammar unfolds to.
+    pub event_count: u64,
+}
+
+/// A complete reference-execution trace: one [`ThreadTrace`] per thread
+/// plus the shared [`EventRegistry`].
+#[derive(Debug, Clone)]
+pub struct TraceData {
+    threads: Vec<Arc<ThreadTrace>>,
+    registry: EventRegistry,
+}
+
+/// Serde mirror of [`TraceData`] (used by the JSON format).
+#[derive(Serialize, Deserialize)]
+struct TraceDataSerde {
+    threads: Vec<ThreadTrace>,
+    registry: EventRegistry,
+}
+
+impl TraceData {
+    /// Assembles a trace from per-thread recordings.
+    pub fn from_threads(threads: Vec<ThreadTrace>, registry: EventRegistry) -> Self {
+        TraceData {
+            threads: threads.into_iter().map(Arc::new).collect(),
+            registry,
+        }
+    }
+
+    /// Number of recorded threads.
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// The trace of thread `i`.
+    pub fn thread(&self, i: usize) -> Result<&Arc<ThreadTrace>> {
+        self.threads.get(i).ok_or(Error::NoSuchThread(i))
+    }
+
+    /// All thread traces.
+    pub fn threads(&self) -> &[Arc<ThreadTrace>] {
+        &self.threads
+    }
+
+    /// The event registry shared by all threads.
+    pub fn registry(&self) -> &EventRegistry {
+        &self.registry
+    }
+
+    /// Total events across threads (Table I's "# events").
+    pub fn total_events(&self) -> u64 {
+        self.threads.iter().map(|t| t.event_count).sum()
+    }
+
+    /// Mean number of grammar rules across threads (Table I's "# rules").
+    pub fn mean_rule_count(&self) -> f64 {
+        if self.threads.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.threads.iter().map(|t| t.grammar.rule_count()).sum();
+        total as f64 / self.threads.len() as f64
+    }
+
+    // ------------------------------------------------------------------
+    // Binary format
+    // ------------------------------------------------------------------
+
+    /// Serializes to the binary format.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(FORMAT_VERSION);
+        // Registry.
+        buf.put_u32_le(self.registry.len() as u32);
+        for (_, desc) in self.registry.iter() {
+            put_str(&mut buf, &desc.name);
+            match desc.payload {
+                Some(p) => {
+                    buf.put_u8(1);
+                    buf.put_i64_le(p);
+                }
+                None => buf.put_u8(0),
+            }
+        }
+        // Threads.
+        buf.put_u32_le(self.threads.len() as u32);
+        for t in &self.threads {
+            buf.put_u64_le(t.event_count);
+            put_grammar(&mut buf, &t.grammar);
+            put_timing(&mut buf, &t.timing);
+        }
+        buf.freeze()
+    }
+
+    /// Deserializes from the binary format.
+    pub fn from_bytes(mut data: &[u8]) -> Result<Self> {
+        let buf = &mut data;
+        let magic = take(buf, MAGIC.len())?;
+        if magic != MAGIC {
+            return Err(Error::BadMagic);
+        }
+        let version = get_u32(buf)?;
+        if version != FORMAT_VERSION {
+            return Err(Error::UnsupportedVersion(version));
+        }
+        let n_events = get_u32(buf)? as usize;
+        let mut registry = EventRegistry::new();
+        for _ in 0..n_events {
+            let name = get_str(buf)?;
+            let has_payload = get_u8(buf)?;
+            let payload = match has_payload {
+                0 => None,
+                1 => Some(get_i64(buf)?),
+                x => {
+                    return Err(Error::Corrupt(format!("bad payload tag {x}")));
+                }
+            };
+            registry.intern(&name, payload);
+        }
+        let n_threads = get_u32(buf)? as usize;
+        if n_threads > 1 << 20 {
+            return Err(Error::Corrupt(format!("implausible thread count {n_threads}")));
+        }
+        // Cap pre-allocation: a corrupt length field must not trigger a huge
+    // allocation before the data runs out.
+    let mut threads = Vec::with_capacity(n_threads.min(1024));
+        for _ in 0..n_threads {
+            let event_count = get_u64(buf)?;
+            let grammar = get_grammar(buf)?;
+            let timing = get_timing(buf)?;
+            threads.push(ThreadTrace {
+                grammar,
+                timing,
+                event_count,
+            });
+        }
+        if !buf.is_empty() {
+            return Err(Error::Corrupt(format!(
+                "{} trailing bytes after trace data",
+                buf.len()
+            )));
+        }
+        Ok(TraceData::from_threads(threads, registry))
+    }
+
+    /// Saves the binary format to `path`.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        std::fs::write(path, self.to_bytes())?;
+        Ok(())
+    }
+
+    /// Loads the binary format from `path`.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self> {
+        let data = std::fs::read(path)?;
+        Self::from_bytes(&data)
+    }
+
+    // ------------------------------------------------------------------
+    // JSON format
+    // ------------------------------------------------------------------
+
+    /// Serializes to pretty-printed JSON.
+    pub fn to_json(&self) -> Result<String> {
+        let mirror = TraceDataSerde {
+            threads: self.threads.iter().map(|t| (**t).clone()).collect(),
+            registry: self.registry.clone(),
+        };
+        serde_json::to_string_pretty(&mirror).map_err(|e| Error::Json(e.to_string()))
+    }
+
+    /// Deserializes from JSON.
+    pub fn from_json(json: &str) -> Result<Self> {
+        let mut mirror: TraceDataSerde =
+            serde_json::from_str(json).map_err(|e| Error::Json(e.to_string()))?;
+        mirror.registry.rebuild_index();
+        for t in &mut mirror.threads {
+            t.timing.rebuild_index();
+            validate_grammar(&t.grammar)?;
+        }
+        Ok(TraceData::from_threads(mirror.threads, mirror.registry))
+    }
+
+    /// Saves the JSON format to `path`.
+    pub fn save_json(&self, path: impl AsRef<Path>) -> Result<()> {
+        std::fs::write(path, self.to_json()?)?;
+        Ok(())
+    }
+
+    /// Loads the JSON format from `path`.
+    pub fn load_json(path: impl AsRef<Path>) -> Result<Self> {
+        let json = std::fs::read_to_string(path)?;
+        Self::from_json(&json)
+    }
+}
+
+// ----------------------------------------------------------------------
+// Binary helpers (explicit bounds checks; `bytes::Buf` panics on underflow
+// so every read goes through `take`).
+// ----------------------------------------------------------------------
+
+fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8]> {
+    if buf.len() < n {
+        return Err(Error::Corrupt(format!(
+            "unexpected end of file (wanted {n} bytes, {} left)",
+            buf.len()
+        )));
+    }
+    let (head, tail) = buf.split_at(n);
+    *buf = tail;
+    Ok(head)
+}
+
+fn get_u8(buf: &mut &[u8]) -> Result<u8> {
+    Ok(take(buf, 1)?[0])
+}
+
+fn get_u32(buf: &mut &[u8]) -> Result<u32> {
+    Ok(take(buf, 4)?.get_u32_le())
+}
+
+fn get_u64(buf: &mut &[u8]) -> Result<u64> {
+    Ok(take(buf, 8)?.get_u64_le())
+}
+
+fn get_i64(buf: &mut &[u8]) -> Result<i64> {
+    Ok(take(buf, 8)?.get_i64_le())
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut &[u8]) -> Result<String> {
+    let len = get_u32(buf)? as usize;
+    if len > 1 << 20 {
+        return Err(Error::Corrupt(format!("implausible string length {len}")));
+    }
+    let bytes = take(buf, len)?;
+    String::from_utf8(bytes.to_vec()).map_err(|_| Error::Corrupt("invalid utf-8".into()))
+}
+
+fn put_grammar(buf: &mut BytesMut, g: &Grammar) {
+    // The grammar must be compacted (dense ids, root 0).
+    debug_assert_eq!(g.root(), RuleId(0));
+    let rules: Vec<_> = g.iter_rules().collect();
+    buf.put_u32_le(rules.len() as u32);
+    for (_, rule) in rules {
+        buf.put_u32_le(rule.body.len() as u32);
+        for u in &rule.body {
+            match u.symbol {
+                Symbol::Terminal(e) => {
+                    buf.put_u8(0);
+                    buf.put_u32_le(e.0);
+                }
+                Symbol::Rule(r) => {
+                    buf.put_u8(1);
+                    buf.put_u32_le(r.0);
+                }
+            }
+            buf.put_u32_le(u.count);
+        }
+        buf.put_u32_le(rule.refcount);
+    }
+}
+
+fn get_grammar(buf: &mut &[u8]) -> Result<Grammar> {
+    let n_rules = get_u32(buf)? as usize;
+    if n_rules > 1 << 26 {
+        return Err(Error::Corrupt(format!("implausible rule count {n_rules}")));
+    }
+    let mut rules = Vec::with_capacity(n_rules.min(4096));
+    for _ in 0..n_rules {
+        let body_len = get_u32(buf)? as usize;
+        if body_len > 1 << 26 {
+            return Err(Error::Corrupt(format!("implausible body length {body_len}")));
+        }
+        let mut body = Vec::with_capacity(body_len.min(4096));
+        for _ in 0..body_len {
+            let tag = get_u8(buf)?;
+            let id = get_u32(buf)?;
+            let symbol = match tag {
+                0 => Symbol::Terminal(crate::event::EventId(id)),
+                1 => Symbol::Rule(RuleId(id)),
+                x => return Err(Error::Corrupt(format!("bad symbol tag {x}"))),
+            };
+            let count = get_u32(buf)?;
+            if count == 0 {
+                return Err(Error::Corrupt("zero repetition count".into()));
+            }
+            body.push(SymbolUse { symbol, count });
+        }
+        let refcount = get_u32(buf)?;
+        rules.push(Some(Rule { body, refcount }));
+    }
+    if rules.is_empty() {
+        return Err(Error::Corrupt("grammar with no rules".into()));
+    }
+    let g = Grammar {
+        rules,
+        root: RuleId(0),
+    };
+    validate_grammar(&g)?;
+    Ok(g)
+}
+
+/// Structural validation of a deserialized grammar: all rule references in
+/// bounds, rule graph acyclic (so loading a hostile file cannot make the
+/// predictor loop forever or index out of bounds).
+fn validate_grammar(g: &Grammar) -> Result<()> {
+    let n = g.rule_count();
+    for (id, rule) in g.iter_rules() {
+        if id != g.root() && rule.body.is_empty() {
+            return Err(Error::Corrupt(format!("empty body for rule {id}")));
+        }
+        for u in &rule.body {
+            if u.count == 0 {
+                return Err(Error::Corrupt("zero repetition count".into()));
+            }
+            if let Symbol::Rule(r) = u.symbol {
+                if r.index() >= n || !g.is_live(r) {
+                    return Err(Error::Corrupt(format!(
+                        "rule {id} references out-of-range rule {r}"
+                    )));
+                }
+            }
+        }
+    }
+    // Cycle detection (iterative three-color DFS, mirrors
+    // `Grammar::topological_order` but returns an error instead of
+    // panicking).
+    let mut color = vec![0u8; n]; // 0 white, 1 grey, 2 black
+    for start in 0..n {
+        if color[start] != 0 {
+            continue;
+        }
+        let mut stack = vec![(RuleId(start as u32), 0usize)];
+        color[start] = 1;
+        'outer: while let Some(&(r, next)) = stack.last() {
+            let body = &g.rule(r).body;
+            let mut i = next;
+            while i < body.len() {
+                let sym = body[i].symbol;
+                i += 1;
+                if let Symbol::Rule(child) = sym {
+                    match color[child.index()] {
+                        0 => {
+                            color[child.index()] = 1;
+                            stack.last_mut().unwrap().1 = i;
+                            stack.push((child, 0));
+                            continue 'outer;
+                        }
+                        1 => {
+                            return Err(Error::Corrupt(format!(
+                                "rule graph cycle through {child}"
+                            )));
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            color[r.index()] = 2;
+            stack.pop();
+        }
+    }
+    Ok(())
+}
+
+fn put_timing(buf: &mut BytesMut, t: &TimingModel) {
+    let entries = t.entries();
+    buf.put_u32_le(entries.len() as u32);
+    for e in entries {
+        buf.put_u64_le(e.key);
+        buf.put_u64_le(e.sum_ns);
+        buf.put_u64_le(e.count);
+    }
+}
+
+fn get_timing(buf: &mut &[u8]) -> Result<TimingModel> {
+    let n = get_u32(buf)? as usize;
+    if n > 1 << 26 {
+        return Err(Error::Corrupt(format!("implausible timing entry count {n}")));
+    }
+    let mut entries = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        let key = get_u64(buf)?;
+        let sum_ns = get_u64(buf)?;
+        let count = get_u64(buf)?;
+        if count == 0 {
+            return Err(Error::Corrupt("timing entry with zero count".into()));
+        }
+        entries.push(TimingEntry { key, sum_ns, count });
+    }
+    Ok(TimingModel::from_entries(entries))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{RecordConfig, Recorder};
+
+    fn sample_trace() -> TraceData {
+        let mut registry = EventRegistry::new();
+        let a = registry.intern("MPI_Send", Some(1));
+        let b = registry.intern("MPI_Recv", Some(0));
+        let c = registry.intern("MPI_Barrier", None);
+        let mut rec = Recorder::new(RecordConfig::default());
+        let mut t = 0u64;
+        for _ in 0..20 {
+            for ev in [a, b, b, c] {
+                t += 100;
+                rec.record_at(ev, t);
+            }
+        }
+        rec.finish(&registry)
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let trace = sample_trace();
+        let bytes = trace.to_bytes();
+        let loaded = TraceData::from_bytes(&bytes).unwrap();
+        assert_eq!(loaded.thread_count(), 1);
+        assert_eq!(loaded.total_events(), trace.total_events());
+        assert_eq!(
+            loaded.thread(0).unwrap().grammar.unfold(),
+            trace.thread(0).unwrap().grammar.unfold()
+        );
+        assert!(loaded.registry().lookup("MPI_Send", Some(1)).is_some());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let trace = sample_trace();
+        let json = trace.to_json().unwrap();
+        let loaded = TraceData::from_json(&json).unwrap();
+        assert_eq!(
+            loaded.thread(0).unwrap().grammar.unfold(),
+            trace.thread(0).unwrap().grammar.unfold()
+        );
+        // Timing model index must be rebuilt.
+        let ev = loaded.registry().lookup("MPI_Recv", Some(0)).unwrap();
+        assert!(loaded.thread(0).unwrap().timing.mean_ns(ev, &[]).is_some());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let trace = sample_trace();
+        let dir = std::env::temp_dir().join("pythia-core-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.pythia");
+        trace.save(&path).unwrap();
+        let loaded = TraceData::load(&path).unwrap();
+        assert_eq!(loaded.total_events(), trace.total_events());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = TraceData::from_bytes(b"NOTPYTHIA-AT-ALL....").unwrap_err();
+        assert!(matches!(err, Error::BadMagic));
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let trace = sample_trace();
+        let bytes = trace.to_bytes();
+        // Every possible truncation must fail cleanly (never panic).
+        for cut in 0..bytes.len() {
+            let res = TraceData::from_bytes(&bytes[..cut]);
+            assert!(res.is_err(), "truncation at {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let trace = sample_trace();
+        let mut bytes = trace.to_bytes().to_vec();
+        bytes.extend_from_slice(b"junk");
+        assert!(matches!(
+            TraceData::from_bytes(&bytes),
+            Err(Error::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn unsupported_version_rejected() {
+        let trace = sample_trace();
+        let mut bytes = trace.to_bytes().to_vec();
+        bytes[8] = 99; // little-endian version field follows the magic
+        assert!(matches!(
+            TraceData::from_bytes(&bytes),
+            Err(Error::UnsupportedVersion(_))
+        ));
+    }
+
+    #[test]
+    fn cyclic_grammar_rejected() {
+        // Hand-craft a JSON trace whose rule graph has a cycle.
+        let trace = sample_trace();
+        let mut json: serde_json::Value = serde_json::from_str(&trace.to_json().unwrap()).unwrap();
+        // Make rule 1 reference itself.
+        let body = json["threads"][0]["grammar"]["rules"][1]["body"]
+            .as_array_mut()
+            .unwrap();
+        body[0]["symbol"] = serde_json::json!({ "Rule": 1 });
+        let res = TraceData::from_json(&json.to_string());
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn missing_thread_lookup_fails() {
+        let trace = sample_trace();
+        assert!(matches!(trace.thread(5), Err(Error::NoSuchThread(5))));
+    }
+
+    #[test]
+    fn multi_thread_totals() {
+        let mut registry = EventRegistry::new();
+        let a = registry.intern("a", None);
+        let mk = |n: u64| {
+            let mut rec = Recorder::new(RecordConfig {
+                timestamps: false,
+                validate: false,
+            });
+            for _ in 0..n {
+                rec.record(a);
+            }
+            rec.finish_thread()
+        };
+        let trace = TraceData::from_threads(vec![mk(10), mk(20)], registry);
+        assert_eq!(trace.thread_count(), 2);
+        assert_eq!(trace.total_events(), 30);
+        assert!(trace.mean_rule_count() >= 1.0);
+        let bytes = trace.to_bytes();
+        let loaded = TraceData::from_bytes(&bytes).unwrap();
+        assert_eq!(loaded.total_events(), 30);
+    }
+}

@@ -1,0 +1,126 @@
+//! Soak tests of the grammar reduction at realistic trace scales: long
+//! streams of the shapes the 13 applications produce. Invariants are
+//! checked at checkpoints (per-event validation at this scale would
+//! dominate the run), and losslessness is verified exactly.
+
+use pythia_core::event::EventId;
+use pythia_core::grammar::builder::GrammarBuilder;
+
+fn soak(seq: &[u32], max_rules: usize) {
+    let mut b = GrammarBuilder::new();
+    let checkpoint = (seq.len() / 8).max(1);
+    for (i, &s) in seq.iter().enumerate() {
+        b.push(EventId(s));
+        if i % checkpoint == 0 {
+            b.check_invariants().unwrap();
+        }
+    }
+    b.check_invariants().unwrap();
+    let got: Vec<u32> = b.grammar().unfold().into_iter().map(|x| x.0).collect();
+    assert_eq!(got, seq, "lossless reduction violated");
+    assert!(
+        b.grammar().rule_count() <= max_rules,
+        "{} rules for a {}-event stream",
+        b.grammar().rule_count(),
+        seq.len()
+    );
+}
+
+/// LU-like: a long, perfectly regular wavefront loop.
+#[test]
+fn soak_regular_wavefront() {
+    let mut seq = Vec::new();
+    for _ in 0..2000 {
+        // recv recv compute send send, twice (two sweeps), then halo.
+        for _ in 0..2 {
+            for _ in 0..16 {
+                seq.extend([0u32, 1, 2, 3, 4]);
+            }
+        }
+        seq.extend([5, 6, 5, 6, 7]);
+    }
+    soak(&seq, 32);
+}
+
+/// BT-like: nested loops with setup and teardown phases.
+#[test]
+fn soak_nested_phases() {
+    let mut seq = vec![10u32; 6];
+    seq.push(11);
+    for _ in 0..500 {
+        for _ in 0..3 {
+            seq.extend([0u32, 0, 1, 1, 2]);
+        }
+        seq.extend([3, 3]);
+    }
+    seq.extend([12, 13, 12, 13]);
+    soak(&seq, 24);
+}
+
+/// Quicksilver-like: random-length bursts driven by a fixed-seed PRNG.
+#[test]
+fn soak_irregular_bursts() {
+    let mut state = 0x6b43a9b5u64;
+    let mut rnd = move |m: u64| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) % m
+    };
+    let mut seq = Vec::new();
+    for _ in 0..800 {
+        seq.extend([20u32, 21]); // region begin/end
+        seq.push(22); // alltoall
+        for _ in 0..rnd(6) {
+            seq.push(23 + rnd(4) as u32); // sends to random peers
+        }
+        for _ in 0..rnd(6) {
+            seq.push(30 + rnd(4) as u32); // recvs from random peers
+        }
+        seq.push(40); // allreduce
+    }
+    // Irregular: the grammar is large but must stay far below the trace.
+    soak(&seq, seq.len() / 4);
+}
+
+/// Pathological small-alphabet noise — worst case for digram collisions.
+#[test]
+fn soak_binary_noise() {
+    let mut state = 0x12345u64;
+    let mut seq = Vec::new();
+    for _ in 0..20_000 {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        seq.push(((state >> 33) & 1) as u32);
+    }
+    soak(&seq, seq.len());
+}
+
+/// A single run of one symbol folds to one use regardless of length.
+#[test]
+fn soak_monotone_run() {
+    let seq = vec![9u32; 100_000];
+    let mut b = GrammarBuilder::new();
+    for &s in &seq {
+        b.push(EventId(s));
+    }
+    b.check_invariants().unwrap();
+    assert_eq!(b.grammar().rule_count(), 1);
+    assert_eq!(b.grammar().trace_len(), 100_000);
+}
+
+/// Alternating phases that almost repeat (off-by-one lengths) stress the
+/// leftover-exponent handling of the factoring step.
+#[test]
+fn soak_off_by_one_runs() {
+    let mut seq = Vec::new();
+    for i in 0..600usize {
+        let run = 2 + (i % 5);
+        seq.extend(std::iter::repeat_n(0u32, run));
+        seq.push(1);
+        seq.extend(std::iter::repeat_n(2u32, 7 - (i % 5)));
+        seq.push(3);
+    }
+    soak(&seq, 128);
+}

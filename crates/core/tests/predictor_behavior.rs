@@ -1,0 +1,174 @@
+//! Behavioral tests of PYTHIA-PREDICT beyond the unit suite: candidate
+//! management, ambiguity resolution, configuration extremes, and the
+//! paper's worked examples.
+
+use pythia_core::event::{EventId, EventRegistry};
+use pythia_core::predict::{ObserveOutcome, Predictor, PredictorConfig};
+use pythia_core::record::{RecordConfig, Recorder};
+use pythia_core::trace::TraceData;
+
+fn e(n: u32) -> EventId {
+    EventId(n)
+}
+
+fn trace_of(seq: &[u32]) -> TraceData {
+    let mut rec = Recorder::new(RecordConfig {
+        timestamps: false,
+        validate: true,
+    });
+    for &s in seq {
+        rec.record_at(e(s), 0);
+    }
+    rec.finish(&EventRegistry::new())
+}
+
+/// The paper's §II-B1 walkthrough on the Fig. 1 trace "abbcbcab": start
+/// mid-stream at a `b`; after seeing `c`, the oracle has narrowed to the
+/// `B -> b c` occurrences; the next `b` then predicts a following `c`
+/// with high probability.
+#[test]
+fn paper_walkthrough_fig1() {
+    let trace = trace_of(&[0, 1, 1, 2, 1, 2, 0, 1]); // a b b c b c a b
+    let mut p = Predictor::for_thread(&trace, 0, PredictorConfig::default()).unwrap();
+
+    assert_eq!(p.observe(e(1)), ObserveOutcome::Reseeded); // b: 4 occurrences
+    let after_b = p.candidate_count();
+    assert!(after_b >= 2, "b is ambiguous: {after_b} candidates");
+
+    assert_eq!(p.observe(e(2)), ObserveOutcome::Matched); // c: narrows to B
+    // Inside a B occurrence, the possible next events are b (second B) or
+    // a (the trailing "ab").
+    let pred = p.predict(1);
+    let possible: Vec<u32> = pred.distribution.iter().map(|&(ev, _)| ev.0).collect();
+    for ev in &possible {
+        assert!([0u32, 1].contains(ev), "unexpected successor {ev}");
+    }
+
+    assert_eq!(p.observe(e(1)), ObserveOutcome::Matched); // b: a new B starts
+    let pred = p.predict(1);
+    assert_eq!(pred.most_likely(), Some(e(2)), "inside B, c follows b");
+}
+
+/// Progress sequences reaching the end of a repetition run must weight
+/// "stay" vs "leave" by occurrence counts (paper §II-C).
+#[test]
+fn repetition_probabilities_follow_counts() {
+    // a^5 b, repeated often.
+    let mut seq = Vec::new();
+    for _ in 0..40 {
+        seq.extend([0, 0, 0, 0, 0, 1]);
+    }
+    let trace = trace_of(&seq);
+    let mut p = Predictor::for_thread(&trace, 0, PredictorConfig::default()).unwrap();
+    p.observe(e(0)); // somewhere inside the a-run, offset unknown
+    let pred = p.predict(1);
+    // 4 of 5 positions continue the run; 1 of 5 exits to b.
+    assert!((pred.probability(e(0)) - 0.8).abs() < 0.05, "{pred:?}");
+    assert!((pred.probability(e(1)) - 0.2).abs() < 0.05, "{pred:?}");
+
+    // After observing four more `a`s the run must end: b is certain.
+    for _ in 0..4 {
+        p.observe(e(0));
+    }
+    let pred = p.predict(1);
+    assert!(pred.probability(e(1)) > 0.95, "{pred:?}");
+}
+
+/// A single candidate survives long streams without state growth.
+#[test]
+fn candidate_set_stays_bounded_on_long_replays() {
+    let mut seq = Vec::new();
+    for _ in 0..500 {
+        seq.extend([0, 1, 2, 3, 4]);
+    }
+    let trace = trace_of(&seq);
+    let mut p = Predictor::for_thread(&trace, 0, PredictorConfig::default()).unwrap();
+    let mut max_candidates = 0;
+    for &s in &seq {
+        p.observe(e(s));
+        max_candidates = max_candidates.max(p.candidate_count());
+    }
+    assert!(max_candidates <= 8, "candidates grew to {max_candidates}");
+    assert_eq!(p.stats().matched, seq.len() as u64 - 1);
+}
+
+/// Extreme configurations still work: a single tracked candidate.
+#[test]
+fn minimal_candidate_budget() {
+    let mut seq = Vec::new();
+    for _ in 0..50 {
+        seq.extend([7, 8, 9]);
+    }
+    let trace = trace_of(&seq);
+    let cfg = PredictorConfig {
+        max_candidates: 1,
+        max_states: 1,
+    };
+    let mut p = Predictor::for_thread(&trace, 0, cfg).unwrap();
+    let mut correct = 0;
+    for i in 0..seq.len() - 1 {
+        p.observe(e(seq[i]));
+        if p.predict(1).most_likely() == Some(e(seq[i + 1])) {
+            correct += 1;
+        }
+    }
+    assert!(
+        correct as f64 / (seq.len() - 1) as f64 > 0.9,
+        "greedy tracking got {correct}"
+    );
+}
+
+/// `desynchronize` drops all knowledge until the next event.
+#[test]
+fn desynchronize_forces_reseed() {
+    let trace = trace_of(&[0, 1, 0, 1, 0, 1]);
+    let mut p = Predictor::for_thread(&trace, 0, PredictorConfig::default()).unwrap();
+    p.observe(e(0));
+    assert!(p.is_synchronized());
+    p.desynchronize();
+    assert!(!p.is_synchronized());
+    assert!(!p.predict(1).is_informed());
+    assert_eq!(p.observe(e(1)), ObserveOutcome::Reseeded);
+}
+
+/// An empty reference trace never synchronizes but never panics either.
+#[test]
+fn empty_trace_is_inert() {
+    let trace = trace_of(&[]);
+    let mut p = Predictor::for_thread(&trace, 0, PredictorConfig::default()).unwrap();
+    assert_eq!(p.observe(e(0)), ObserveOutcome::Unknown);
+    assert!(!p.predict(1).is_informed());
+    assert_eq!(p.predict_delay_ns(1), None);
+}
+
+/// Prediction ties are broken deterministically (stable ordering), so two
+/// identical runs give identical answers.
+#[test]
+fn predictions_are_deterministic() {
+    let seq: Vec<u32> = (0..200).map(|i| [0, 1, 0, 2][i % 4]).collect();
+    let trace = trace_of(&seq);
+    let run = || {
+        let mut p = Predictor::for_thread(&trace, 0, PredictorConfig::default()).unwrap();
+        let mut outs = Vec::new();
+        for &s in &seq[..40] {
+            p.observe(e(s));
+            outs.push(p.predict(2).most_likely());
+        }
+        outs
+    };
+    assert_eq!(run(), run());
+}
+
+/// Distance-x predictions respect the end of the reference trace: all
+/// probability mass beyond it lands in `end_probability`.
+#[test]
+fn end_mass_grows_near_trace_end() {
+    let trace = trace_of(&[0, 1, 2, 3]);
+    let mut p = Predictor::for_thread(&trace, 0, PredictorConfig::default()).unwrap();
+    p.observe(e(0));
+    p.observe(e(1));
+    let near = p.predict(2); // would land on 3: fine
+    let past = p.predict(4); // would run past the end
+    assert!(near.end_probability < past.end_probability);
+    assert!(past.end_probability > 0.9, "{past:?}");
+}

@@ -1,0 +1,173 @@
+//! Property-based tests of the core invariants:
+//!
+//! * the grammar reduction is lossless and maintains all Sequitur
+//!   invariants for arbitrary event sequences;
+//! * trace serialization round-trips;
+//! * the predictor is exact on deterministic replays of the reference
+//!   stream once synchronized.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use pythia_core::event::{EventId, EventRegistry};
+use pythia_core::grammar::builder::GrammarBuilder;
+use pythia_core::predict::{Predictor, PredictorConfig};
+use pythia_core::record::{RecordConfig, Recorder};
+use pythia_core::trace::TraceData;
+
+fn ids(seq: &[u32]) -> Vec<EventId> {
+    seq.iter().map(|&x| EventId(x)).collect()
+}
+
+/// Random sequence with a small alphabet (heavy digram collisions).
+fn small_alphabet() -> impl Strategy<Value = Vec<u32>> {
+    vec(0u32..4, 0..300)
+}
+
+/// Random sequence with a medium alphabet.
+fn medium_alphabet() -> impl Strategy<Value = Vec<u32>> {
+    vec(0u32..32, 0..300)
+}
+
+/// Structured sequences: random nesting of repeated blocks, mimicking the
+/// loop structure of HPC applications.
+fn structured() -> impl Strategy<Value = Vec<u32>> {
+    (vec(0u32..6, 1..6), 1u32..20, vec(0u32..6, 0..4)).prop_map(|(block, reps, tail)| {
+        let mut seq = Vec::new();
+        for _ in 0..reps {
+            seq.extend(&block);
+        }
+        seq.extend(&tail);
+        seq
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn reduction_is_lossless_small(seq in small_alphabet()) {
+        let mut b = GrammarBuilder::new();
+        for &s in &seq {
+            b.push(EventId(s));
+        }
+        b.check_invariants().unwrap();
+        prop_assert_eq!(b.grammar().unfold(), ids(&seq));
+    }
+
+    #[test]
+    fn reduction_is_lossless_medium(seq in medium_alphabet()) {
+        let mut b = GrammarBuilder::new();
+        for &s in &seq {
+            b.push(EventId(s));
+        }
+        b.check_invariants().unwrap();
+        prop_assert_eq!(b.grammar().unfold(), ids(&seq));
+    }
+
+    #[test]
+    fn reduction_is_lossless_structured(seq in structured()) {
+        let mut b = GrammarBuilder::new();
+        for &s in &seq {
+            b.push(EventId(s));
+            b.check_invariants().unwrap();
+        }
+        prop_assert_eq!(b.grammar().unfold(), ids(&seq));
+    }
+
+    #[test]
+    fn compaction_preserves_unfold(seq in small_alphabet()) {
+        let mut b = GrammarBuilder::new();
+        for &s in &seq {
+            b.push(EventId(s));
+        }
+        let g = b.into_grammar();
+        let c = g.compact();
+        prop_assert_eq!(g.unfold(), c.unfold());
+        prop_assert_eq!(g.rule_count(), c.rule_count());
+    }
+
+    #[test]
+    fn trace_binary_roundtrip(seq in medium_alphabet()) {
+        let mut rec = Recorder::new(RecordConfig::default());
+        let mut t = 0u64;
+        for &s in &seq {
+            t += 1 + (s as u64 * 13) % 97;
+            rec.record_at(EventId(s), t);
+        }
+        let trace = rec.finish(&EventRegistry::new());
+        let bytes = trace.to_bytes();
+        let loaded = TraceData::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(
+            loaded.thread(0).unwrap().grammar.unfold(),
+            trace.thread(0).unwrap().grammar.unfold()
+        );
+        prop_assert_eq!(loaded.total_events(), seq.len() as u64);
+    }
+
+    #[test]
+    fn trace_json_roundtrip(seq in vec(0u32..8, 0..100)) {
+        let mut rec = Recorder::new(RecordConfig::default());
+        let mut t = 0u64;
+        for &s in &seq {
+            t += 10;
+            rec.record_at(EventId(s), t);
+        }
+        let trace = rec.finish(&EventRegistry::new());
+        let json = trace.to_json().unwrap();
+        let loaded = TraceData::from_json(&json).unwrap();
+        prop_assert_eq!(
+            loaded.thread(0).unwrap().grammar.unfold(),
+            trace.thread(0).unwrap().grammar.unfold()
+        );
+    }
+
+    /// Replaying the exact reference stream: after a synchronization
+    /// prefix, next-event predictions must be correct whenever the
+    /// predictor claims full confidence (probability ~1).
+    #[test]
+    fn confident_predictions_are_correct(seq in structured()) {
+        prop_assume!(seq.len() >= 4);
+        let mut rec = Recorder::new(RecordConfig { timestamps: false, validate: false });
+        for &s in &seq {
+            rec.record_at(EventId(s), 0);
+        }
+        let trace = rec.finish(&EventRegistry::new());
+        let mut p = Predictor::for_thread(&trace, 0, PredictorConfig::default()).unwrap();
+        for i in 0..seq.len() - 1 {
+            p.observe(EventId(seq[i]));
+            let pred = p.predict(1);
+            if let Some(best) = pred.most_likely() {
+                if pred.probability(best) > 0.999 {
+                    prop_assert_eq!(
+                        best,
+                        EventId(seq[i + 1]),
+                        "confident misprediction at index {} of {:?}",
+                        i,
+                        seq
+                    );
+                }
+            }
+        }
+    }
+
+    /// Prediction distributions are normalized: probabilities plus the
+    /// end-of-trace mass sum to 1 (or the prediction is uninformed).
+    #[test]
+    fn prediction_mass_normalized(seq in small_alphabet(), distance in 1usize..8) {
+        prop_assume!(!seq.is_empty());
+        let mut rec = Recorder::new(RecordConfig { timestamps: false, validate: false });
+        for &s in &seq {
+            rec.record_at(EventId(s), 0);
+        }
+        let trace = rec.finish(&EventRegistry::new());
+        let mut p = Predictor::for_thread(&trace, 0, PredictorConfig::default()).unwrap();
+        p.observe(EventId(seq[0]));
+        let pred = p.predict(distance);
+        if pred.is_informed() {
+            let total: f64 = pred.distribution.iter().map(|&(_, w)| w).sum::<f64>()
+                + pred.end_probability;
+            prop_assert!((total - 1.0).abs() < 1e-6, "mass {total}");
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Context-sensitive duration prediction — the paper's Fig. 6 semantics:
+//! the mean duration of an `a → b` transition *when a `c` is expected
+//! next* must be kept separate from the global `a → b` mean, and the
+//! predictor must use the most specific context its progress sequence
+//! provides.
+
+use pythia_core::event::{EventId, EventRegistry};
+use pythia_core::predict::{Predictor, PredictorConfig};
+use pythia_core::record::{RecordConfig, Recorder};
+
+const A: EventId = EventId(0);
+const B: EventId = EventId(1);
+const C: EventId = EventId(2);
+const D: EventId = EventId(3);
+
+/// Records `(a b c a b d)^reps` where reaching `b` costs `fast_ns` in the
+/// `…c` context and `slow_ns` in the `…d` context; every other transition
+/// costs `step_ns`.
+fn record_two_context_trace(
+    reps: usize,
+    fast_ns: u64,
+    slow_ns: u64,
+    step_ns: u64,
+) -> pythia_core::trace::TraceData {
+    let mut rec = Recorder::new(RecordConfig::default());
+    let mut t = 0u64;
+    for _ in 0..reps {
+        for (ev, delta) in [
+            (A, step_ns),
+            (B, fast_ns),
+            (C, step_ns),
+            (A, step_ns),
+            (B, slow_ns),
+            (D, step_ns),
+        ] {
+            t += delta;
+            rec.record_at(ev, t);
+        }
+    }
+    rec.finish(&EventRegistry::new())
+}
+
+#[test]
+fn context_separates_fast_and_slow_transitions() {
+    let trace = record_two_context_trace(25, 10, 1_000, 5);
+    let mut p = Predictor::for_thread(&trace, 0, PredictorConfig::default()).unwrap();
+
+    // Walk one full period plus the next period's opening `a`: that `a`'s
+    // `b` is the one followed by `c` — the fast context.
+    for ev in [A, B, C, A, B, D, A] {
+        p.observe(ev);
+    }
+    let fast = p.predict_delay_ns(1).expect("timing data available");
+    assert!(
+        fast < 500.0,
+        "expected the fast-context mean (~10ns), got {fast}"
+    );
+
+    // Continue to the mid-period `a`, whose `b` is followed by `d`: the
+    // slow context.
+    for ev in [B, C, A] {
+        p.observe(ev);
+    }
+    let slow = p.predict_delay_ns(1).expect("timing data available");
+    assert!(
+        slow > 500.0,
+        "expected the slow-context mean (~1000ns), got {slow}"
+    );
+    assert!(slow / fast > 10.0, "contexts not separated: {fast} vs {slow}");
+}
+
+#[test]
+fn multi_step_delay_accumulates_context_means() {
+    let trace = record_two_context_trace(25, 100, 100, 50);
+    let mut p = Predictor::for_thread(&trace, 0, PredictorConfig::default()).unwrap();
+    for ev in [A, B, C, A, B, D, A] {
+        p.observe(ev);
+    }
+    let one = p.predict_delay_ns(1).unwrap();
+    let two = p.predict_delay_ns(2).unwrap();
+    let three = p.predict_delay_ns(3).unwrap();
+    assert!(two > one && three > two, "{one} {two} {three}");
+    // b costs 100, then d costs 50, then a costs 50.
+    assert!((one - 100.0).abs() < 20.0, "{one}");
+    assert!((two - 150.0).abs() < 30.0, "{two}");
+    assert!((three - 200.0).abs() < 40.0, "{three}");
+}
+
+#[test]
+fn uniform_trace_has_uniform_delay_everywhere() {
+    // Sanity: with equal spacing, every context answers the same mean.
+    let mut rec = Recorder::new(RecordConfig::default());
+    let mut t = 0u64;
+    for _ in 0..50 {
+        for ev in [A, B, C] {
+            t += 70;
+            rec.record_at(ev, t);
+        }
+    }
+    let trace = rec.finish(&EventRegistry::new());
+    let mut p = Predictor::for_thread(&trace, 0, PredictorConfig::default()).unwrap();
+    for ev in [A, B, C, A, B] {
+        p.observe(ev);
+    }
+    for d in 1..=6 {
+        let est = p.predict_delay_ns(d).unwrap();
+        let expect = 70.0 * d as f64;
+        assert!(
+            (est - expect).abs() < 5.0,
+            "distance {d}: {est} vs {expect}"
+        );
+    }
+}

@@ -1,0 +1,177 @@
+//! Collective rendezvous board.
+//!
+//! All collectives are built on one primitive: a generation-counted
+//! *exchange* where every member of a communicator deposits a list of byte
+//! buffers and receives a snapshot of everyone's deposits once all have
+//! arrived. A second (departure) phase keeps generations from overlapping,
+//! so the board can be reused for the next collective immediately.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+
+/// Shared rendezvous state for one communicator.
+#[derive(Debug)]
+pub struct Board {
+    size: usize,
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+#[derive(Debug)]
+struct State {
+    generation: u64,
+    arrived: usize,
+    departed: usize,
+    slots: Vec<Vec<Bytes>>,
+    snapshot: Option<Arc<Vec<Vec<Bytes>>>>,
+}
+
+impl Board {
+    /// Creates a board for `size` participants.
+    pub fn new(size: usize) -> Self {
+        assert!(size >= 1, "a communicator needs at least one member");
+        Board {
+            size,
+            state: Mutex::new(State {
+                generation: 0,
+                arrived: 0,
+                departed: 0,
+                slots: vec![Vec::new(); size],
+                snapshot: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Number of participants.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Deposits `mine` as participant `rank`, blocks until every
+    /// participant of this generation has deposited, and returns the
+    /// snapshot of all deposits (indexed by rank).
+    ///
+    /// All participants must call `exchange` the same number of times in
+    /// the same order — the standard MPI requirement for collectives.
+    pub fn exchange(&self, rank: usize, mine: Vec<Bytes>) -> Arc<Vec<Vec<Bytes>>> {
+        assert!(rank < self.size, "rank {rank} out of range");
+        let mut st = self.state.lock();
+        let my_gen = st.generation;
+        st.slots[rank] = mine;
+        st.arrived += 1;
+        if st.arrived == self.size {
+            let vals: Vec<Vec<Bytes>> = st.slots.iter_mut().map(std::mem::take).collect();
+            st.snapshot = Some(Arc::new(vals));
+            self.cv.notify_all();
+        } else {
+            while !(st.generation == my_gen && st.snapshot.is_some()) {
+                self.cv.wait(&mut st);
+            }
+        }
+        let snap = st.snapshot.clone().expect("snapshot published");
+        // Departure phase: the last participant to leave resets the board
+        // for the next generation.
+        st.departed += 1;
+        if st.departed == self.size {
+            st.snapshot = None;
+            st.arrived = 0;
+            st.departed = 0;
+            st.generation += 1;
+            self.cv.notify_all();
+        } else {
+            while st.generation == my_gen {
+                self.cv.wait(&mut st);
+            }
+        }
+        snap
+    }
+
+    /// Barrier: an exchange with empty payloads.
+    pub fn barrier(&self, rank: usize) {
+        let _ = self.exchange(rank, Vec::new());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn payload(rank: usize) -> Vec<Bytes> {
+        vec![Bytes::from(vec![rank as u8])]
+    }
+
+    #[test]
+    fn exchange_collects_all_deposits() {
+        let board = Arc::new(Board::new(4));
+        std::thread::scope(|s| {
+            for rank in 0..4 {
+                let board = Arc::clone(&board);
+                s.spawn(move || {
+                    let snap = board.exchange(rank, payload(rank));
+                    for (i, slot) in snap.iter().enumerate() {
+                        assert_eq!(slot[0][0] as usize, i);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn generations_do_not_mix() {
+        let board = Arc::new(Board::new(3));
+        const ROUNDS: usize = 50;
+        std::thread::scope(|s| {
+            for rank in 0..3 {
+                let board = Arc::clone(&board);
+                s.spawn(move || {
+                    for round in 0..ROUNDS {
+                        let mine = vec![Bytes::from(vec![rank as u8, round as u8])];
+                        let snap = board.exchange(rank, mine);
+                        for (i, slot) in snap.iter().enumerate() {
+                            assert_eq!(slot[0][0] as usize, i);
+                            assert_eq!(slot[0][1] as usize, round, "generation mixed");
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        let board = Arc::new(Board::new(4));
+        let counter = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for rank in 0..4 {
+                let board = Arc::clone(&board);
+                let counter = Arc::clone(&counter);
+                s.spawn(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    board.barrier(rank);
+                    // After the barrier, everyone must have incremented.
+                    assert_eq!(counter.load(Ordering::SeqCst), 4);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn single_member_board_never_blocks() {
+        let board = Board::new(1);
+        for _ in 0..10 {
+            let snap = board.exchange(0, payload(0));
+            assert_eq!(snap.len(), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rank_panics() {
+        let board = Board::new(2);
+        board.barrier(5);
+    }
+}

@@ -1,0 +1,746 @@
+//! Worlds, communicators, and the full MPI-like call surface.
+
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::collective::Board;
+use crate::datatype::{from_bytes, reduce_vecs, to_bytes, MpiReduce, MpiType, ReduceOp};
+use crate::p2p::{Mailbox, Message, Status, Tag};
+use crate::request::Request;
+
+/// Key identifying a sub-communicator produced by [`Comm::split`]: every
+/// member computes the same `(parent id, split sequence number, color)`
+/// triple and attaches to the same shared state.
+type CommKey = (u64, u64, i64);
+
+/// Process-wide state shared by all ranks.
+#[derive(Debug)]
+struct WorldShared {
+    mailboxes: Vec<Mailbox>,
+    registry: Mutex<CommRegistry>,
+}
+
+#[derive(Debug)]
+struct CommRegistry {
+    next_id: u64,
+    comms: HashMap<CommKey, Arc<CommShared>>,
+}
+
+/// Shared state of one communicator.
+#[derive(Debug)]
+struct CommShared {
+    id: u64,
+    board: Board,
+    /// Communicator-local rank → world rank.
+    members: Vec<usize>,
+}
+
+/// Entry point: launches `n` ranks as threads.
+pub struct World;
+
+impl World {
+    /// Runs `f` on `size` ranks (one OS thread each) and returns the
+    /// per-rank results in rank order. Panics in any rank propagate.
+    pub fn run<R, F>(size: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Comm) -> R + Send + Sync,
+    {
+        assert!(size >= 1, "world size must be at least 1");
+        let shared = Arc::new(WorldShared {
+            mailboxes: (0..size).map(|_| Mailbox::new()).collect(),
+            registry: Mutex::new(CommRegistry {
+                next_id: 1,
+                comms: HashMap::new(),
+            }),
+        });
+        let world_comm = Arc::new(CommShared {
+            id: 0,
+            board: Board::new(size),
+            members: (0..size).collect(),
+        });
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..size)
+                .map(|rank| {
+                    let comm = Comm {
+                        world: Arc::clone(&shared),
+                        shared: Arc::clone(&world_comm),
+                        local_rank: rank,
+                        split_seq: Cell::new(0),
+                    };
+                    let f = &f;
+                    s.spawn(move || f(comm))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank thread panicked"))
+                .collect()
+        })
+    }
+}
+
+/// A communicator handle held by one rank (the `MPI_Comm` equivalent plus
+/// the calling rank's identity). Cloneable only through [`Comm::split`];
+/// each rank drives its own handle.
+#[derive(Debug)]
+pub struct Comm {
+    world: Arc<WorldShared>,
+    shared: Arc<CommShared>,
+    local_rank: usize,
+    split_seq: Cell<u64>,
+}
+
+impl Comm {
+    /// This rank's index within the communicator.
+    pub fn rank(&self) -> usize {
+        self.local_rank
+    }
+
+    /// Number of ranks in the communicator.
+    pub fn size(&self) -> usize {
+        self.shared.members.len()
+    }
+
+    /// Stable identifier of the communicator (0 = world).
+    pub fn id(&self) -> u64 {
+        self.shared.id
+    }
+
+    /// World rank of a communicator-local rank.
+    pub fn world_rank(&self, local: usize) -> usize {
+        self.shared.members[local]
+    }
+
+    fn mailbox(&self) -> &Mailbox {
+        &self.world.mailboxes[self.shared.members[self.local_rank]]
+    }
+
+    // ------------------------------------------------------------------
+    // Point-to-point
+    // ------------------------------------------------------------------
+
+    /// Blocking standard send (eager: buffers and returns immediately, as
+    /// small-message MPI sends do).
+    pub fn send<T: MpiType>(&self, buf: &[T], dest: usize, tag: Tag) {
+        let world_dest = self.shared.members[dest];
+        self.world.mailboxes[world_dest].deposit(Message {
+            src: self.local_rank,
+            tag,
+            comm_id: self.shared.id,
+            data: to_bytes(buf),
+        });
+    }
+
+    /// Blocking receive matching `(src, tag)` (`None` = wildcard).
+    pub fn recv<T: MpiType>(&self, src: Option<usize>, tag: Option<Tag>) -> (Vec<T>, Status) {
+        let msg = self.mailbox().take_matching(self.shared.id, src, tag);
+        let status = Status {
+            source: msg.src,
+            tag: msg.tag,
+            len: msg.data.len(),
+        };
+        (from_bytes(&msg.data), status)
+    }
+
+    /// Nonblocking receive if a matching message is already queued.
+    pub fn try_recv<T: MpiType>(
+        &self,
+        src: Option<usize>,
+        tag: Option<Tag>,
+    ) -> Option<(Vec<T>, Status)> {
+        let msg = self.mailbox().try_take_matching(self.shared.id, src, tag)?;
+        let status = Status {
+            source: msg.src,
+            tag: msg.tag,
+            len: msg.data.len(),
+        };
+        Some((from_bytes(&msg.data), status))
+    }
+
+    /// Whether a matching message is queued (`MPI_Iprobe`).
+    pub fn probe(&self, src: Option<usize>, tag: Option<Tag>) -> bool {
+        self.mailbox().probe(self.shared.id, src, tag)
+    }
+
+    /// Sends several messages to `dest` as one modeled wire transfer (an
+    /// aggregated send). The messages still match receives individually,
+    /// in order.
+    pub fn send_batch<T: MpiType>(&self, bufs: &[Vec<T>], dest: usize, tag: Tag) {
+        let world_dest = self.shared.members[dest];
+        let msgs: Vec<Message> = bufs
+            .iter()
+            .map(|b| Message {
+                src: self.local_rank,
+                tag,
+                comm_id: self.shared.id,
+                data: to_bytes(b),
+            })
+            .collect();
+        self.world.mailboxes[world_dest].deposit_batch(msgs);
+    }
+
+    /// [`Comm::send_batch`] for already-encoded payloads (used by the
+    /// prediction-driven aggregation layer in `pythia-runtime-mpi`).
+    pub fn send_batch_raw(&self, bufs: Vec<bytes::Bytes>, dest: usize, tag: Tag) {
+        let world_dest = self.shared.members[dest];
+        let msgs: Vec<Message> = bufs
+            .into_iter()
+            .map(|data| Message {
+                src: self.local_rank,
+                tag,
+                comm_id: self.shared.id,
+                data,
+            })
+            .collect();
+        self.world.mailboxes[world_dest].deposit_batch(msgs);
+    }
+
+    /// Network counters of this rank's incoming mailbox (transfers vs
+    /// logical messages; see [`crate::p2p::NetworkStats`]).
+    pub fn network_stats(&self) -> crate::p2p::NetworkStats {
+        self.mailbox().network_stats()
+    }
+
+    /// Nonblocking send; completes immediately (eager buffering).
+    pub fn isend<T: MpiType>(&self, buf: &[T], dest: usize, tag: Tag) -> Request<T> {
+        self.send(buf, dest, tag);
+        Request::send(dest, tag)
+    }
+
+    /// Nonblocking receive; the matching happens at wait time.
+    pub fn irecv<T: MpiType>(&self, src: Option<usize>, tag: Option<Tag>) -> Request<T> {
+        Request::recv(src, tag)
+    }
+
+    /// Completes a request. Send requests yield `None`; receive requests
+    /// block until their message arrives and yield the payload.
+    pub fn wait<T: MpiType>(&self, request: Request<T>) -> Option<(Vec<T>, Status)> {
+        match request {
+            Request::Send { .. } => None,
+            Request::Recv { src, tag } => Some(self.recv(src, tag)),
+        }
+    }
+
+    /// Completes a batch of requests in order (`MPI_Waitall`).
+    pub fn waitall<T: MpiType>(
+        &self,
+        requests: Vec<Request<T>>,
+    ) -> Vec<Option<(Vec<T>, Status)>> {
+        requests.into_iter().map(|r| self.wait(r)).collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Collectives
+    // ------------------------------------------------------------------
+
+    /// Synchronizes all ranks of the communicator (`MPI_Barrier`).
+    pub fn barrier(&self) {
+        self.shared.board.barrier(self.local_rank);
+    }
+
+    /// Broadcast from `root`: every rank passes its local `data` (only the
+    /// root's matters) and receives the root's (`MPI_Bcast`).
+    pub fn bcast<T: MpiType>(&self, data: &[T], root: usize) -> Vec<T> {
+        let mine = if self.local_rank == root {
+            vec![to_bytes(data)]
+        } else {
+            Vec::new()
+        };
+        let snap = self.shared.board.exchange(self.local_rank, mine);
+        from_bytes(&snap[root][0])
+    }
+
+    /// Reduction to `root` (`MPI_Reduce`): returns `Some` on the root.
+    pub fn reduce<T: MpiReduce>(&self, contrib: &[T], op: ReduceOp, root: usize) -> Option<Vec<T>> {
+        let snap = self
+            .shared
+            .board
+            .exchange(self.local_rank, vec![to_bytes(contrib)]);
+        if self.local_rank != root {
+            return None;
+        }
+        Some(Self::fold(&snap, op))
+    }
+
+    /// Reduction to all ranks (`MPI_Allreduce`).
+    pub fn allreduce<T: MpiReduce>(&self, contrib: &[T], op: ReduceOp) -> Vec<T> {
+        let snap = self
+            .shared
+            .board
+            .exchange(self.local_rank, vec![to_bytes(contrib)]);
+        Self::fold(&snap, op)
+    }
+
+    fn fold<T: MpiReduce>(snap: &[Vec<bytes::Bytes>], op: ReduceOp) -> Vec<T> {
+        let mut acc: Option<Vec<T>> = None;
+        for slot in snap {
+            let vals: Vec<T> = from_bytes(&slot[0]);
+            acc = Some(match acc {
+                None => vals,
+                Some(a) => reduce_vecs(op, a, &vals),
+            });
+        }
+        acc.expect("non-empty communicator")
+    }
+
+    /// Personalized all-to-all exchange (`MPI_Alltoall(v)`): `sends[i]`
+    /// goes to rank `i`; returns what every rank sent to this one.
+    pub fn alltoall<T: MpiType>(&self, sends: &[Vec<T>]) -> Vec<Vec<T>> {
+        assert_eq!(
+            sends.len(),
+            self.size(),
+            "alltoall needs one send buffer per rank"
+        );
+        let mine: Vec<bytes::Bytes> = sends.iter().map(|s| to_bytes(s)).collect();
+        let snap = self.shared.board.exchange(self.local_rank, mine);
+        (0..self.size())
+            .map(|src| from_bytes(&snap[src][self.local_rank]))
+            .collect()
+    }
+
+    /// Gather to `root` (`MPI_Gather`): returns `Some(per-rank data)` on
+    /// the root.
+    pub fn gather<T: MpiType>(&self, contrib: &[T], root: usize) -> Option<Vec<Vec<T>>> {
+        let snap = self
+            .shared
+            .board
+            .exchange(self.local_rank, vec![to_bytes(contrib)]);
+        if self.local_rank != root {
+            return None;
+        }
+        Some(snap.iter().map(|slot| from_bytes(&slot[0])).collect())
+    }
+
+    /// Gather to all ranks (`MPI_Allgather`).
+    pub fn allgather<T: MpiType>(&self, contrib: &[T]) -> Vec<Vec<T>> {
+        let snap = self
+            .shared
+            .board
+            .exchange(self.local_rank, vec![to_bytes(contrib)]);
+        snap.iter().map(|slot| from_bytes(&slot[0])).collect()
+    }
+
+    /// Scatter from `root` (`MPI_Scatter`): the root provides one chunk per
+    /// rank; every rank receives its chunk.
+    pub fn scatter<T: MpiType>(&self, chunks: Option<&[Vec<T>]>, root: usize) -> Vec<T> {
+        let mine = if self.local_rank == root {
+            let chunks = chunks.expect("root must provide chunks");
+            assert_eq!(chunks.len(), self.size(), "one chunk per rank");
+            chunks.iter().map(|c| to_bytes(c)).collect()
+        } else {
+            Vec::new()
+        };
+        let snap = self.shared.board.exchange(self.local_rank, mine);
+        from_bytes(&snap[root][self.local_rank])
+    }
+
+    /// Combined send+receive (`MPI_Sendrecv`): ships `buf` to `dest` and
+    /// receives one message from `src`. Deadlock-free because sends are
+    /// eager.
+    pub fn sendrecv<T: MpiType>(
+        &self,
+        buf: &[T],
+        dest: usize,
+        src: Option<usize>,
+        tag: Tag,
+    ) -> (Vec<T>, Status) {
+        self.send(buf, dest, tag);
+        self.recv(src, Some(tag))
+    }
+
+    /// Inclusive prefix reduction (`MPI_Scan`): rank `r` receives the
+    /// reduction of the contributions of ranks `0..=r`.
+    pub fn scan<T: MpiReduce>(&self, contrib: &[T], op: ReduceOp) -> Vec<T> {
+        let snap = self
+            .shared
+            .board
+            .exchange(self.local_rank, vec![to_bytes(contrib)]);
+        let mut acc: Option<Vec<T>> = None;
+        for slot in snap.iter().take(self.local_rank + 1) {
+            let vals: Vec<T> = from_bytes(&slot[0]);
+            acc = Some(match acc {
+                None => vals,
+                Some(a) => reduce_vecs(op, a, &vals),
+            });
+        }
+        acc.expect("at least own contribution")
+    }
+
+    /// Reduce-scatter (`MPI_Reduce_scatter_block`-style): every rank
+    /// contributes one chunk per rank; rank `r` receives the element-wise
+    /// reduction of everyone's `r`-th chunk.
+    pub fn reduce_scatter<T: MpiReduce>(&self, chunks: &[Vec<T>], op: ReduceOp) -> Vec<T> {
+        assert_eq!(chunks.len(), self.size(), "one chunk per rank");
+        let mine: Vec<bytes::Bytes> = chunks.iter().map(|c| to_bytes(c)).collect();
+        let snap = self.shared.board.exchange(self.local_rank, mine);
+        let mut acc: Option<Vec<T>> = None;
+        for slot in snap.iter() {
+            let vals: Vec<T> = from_bytes(&slot[self.local_rank]);
+            acc = Some(match acc {
+                None => vals,
+                Some(a) => reduce_vecs(op, a, &vals),
+            });
+        }
+        acc.expect("non-empty communicator")
+    }
+
+    /// Duplicates the communicator (`MPI_Comm_dup`): same members and
+    /// ranks, separate message-matching space.
+    pub fn dup(&self) -> Comm {
+        self.split(0, self.local_rank as i64)
+    }
+
+    // ------------------------------------------------------------------
+    // Communicator management
+    // ------------------------------------------------------------------
+
+    /// Splits the communicator by `color` (`MPI_Comm_split`): ranks with
+    /// the same color form a new communicator, ordered by `(key, rank)`.
+    /// Every member must call `split` the same number of times in the same
+    /// order.
+    pub fn split(&self, color: i64, key: i64) -> Comm {
+        let seq = self.split_seq.get();
+        self.split_seq.set(seq + 1);
+        // Share (color, key) so each rank can compute the same membership.
+        let all: Vec<Vec<i64>> = self
+            .allgather(&[color, key])
+            .into_iter()
+            .collect();
+        let mut members: Vec<(i64, usize)> = all
+            .iter()
+            .enumerate()
+            .filter(|(_, ck)| ck[0] == color)
+            .map(|(r, ck)| (ck[1], r))
+            .collect();
+        members.sort();
+        let local_members: Vec<usize> = members
+            .iter()
+            .map(|&(_, r)| self.shared.members[r])
+            .collect();
+        let my_new_rank = members
+            .iter()
+            .position(|&(_, r)| r == self.local_rank)
+            .expect("caller must be a member of its own color group");
+        let comm_key: CommKey = (self.shared.id, seq, color);
+        let shared = {
+            let mut reg = self.world.registry.lock();
+            if let Some(existing) = reg.comms.get(&comm_key) {
+                Arc::clone(existing)
+            } else {
+                let id = reg.next_id;
+                reg.next_id += 1;
+                let created = Arc::new(CommShared {
+                    id,
+                    board: Board::new(local_members.len()),
+                    members: local_members.clone(),
+                });
+                reg.comms.insert(comm_key, Arc::clone(&created));
+                created
+            }
+        };
+        debug_assert_eq!(shared.members, local_members);
+        Comm {
+            world: Arc::clone(&self.world),
+            shared,
+            local_rank: my_new_rank,
+            split_seq: Cell::new(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_send_recv() {
+        let out = World::run(4, |comm| {
+            let next = (comm.rank() + 1) % comm.size();
+            let prev = (comm.rank() + comm.size() - 1) % comm.size();
+            comm.send(&[comm.rank() as u64], next, 0);
+            let (data, status) = comm.recv::<u64>(Some(prev), Some(0));
+            assert_eq!(status.source, prev);
+            data[0]
+        });
+        assert_eq!(out, vec![3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn wildcard_receive() {
+        let out = World::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(&[42u64], 1, 7);
+                0
+            } else {
+                let (data, status) = comm.recv::<u64>(None, None);
+                assert_eq!(status.tag, 7);
+                assert_eq!(status.source, 0);
+                data[0]
+            }
+        });
+        assert_eq!(out[1], 42);
+    }
+
+    #[test]
+    fn isend_irecv_waitall() {
+        let out = World::run(3, |comm| {
+            let mut reqs = Vec::new();
+            for peer in 0..comm.size() {
+                if peer != comm.rank() {
+                    reqs.push(comm.isend(&[comm.rank() as i64], peer, 1));
+                    reqs.push(comm.irecv::<i64>(Some(peer), Some(1)));
+                }
+            }
+            let results = comm.waitall(reqs);
+            results
+                .into_iter()
+                .flatten()
+                .map(|(data, _)| data[0])
+                .sum::<i64>()
+        });
+        // Each rank receives the ids of the two other ranks.
+        assert_eq!(out[0], 3);
+        assert_eq!(out[1], 2);
+        assert_eq!(out[2], 1);
+    }
+
+    #[test]
+    fn bcast_from_each_root() {
+        for root in 0..3 {
+            let out = World::run(3, move |comm| {
+                let data = if comm.rank() == root {
+                    vec![root as u64 * 100]
+                } else {
+                    vec![0]
+                };
+                comm.bcast(&data, root)[0]
+            });
+            assert_eq!(out, vec![root as u64 * 100; 3]);
+        }
+    }
+
+    #[test]
+    fn allreduce_matches_sequential() {
+        let out = World::run(5, |comm| {
+            let contrib = [comm.rank() as f64, 1.0];
+            comm.allreduce(&contrib, ReduceOp::Sum)
+        });
+        for v in out {
+            assert_eq!(v, vec![0.0 + 1.0 + 2.0 + 3.0 + 4.0, 5.0]);
+        }
+    }
+
+    #[test]
+    fn reduce_only_root_gets_result() {
+        let out = World::run(4, |comm| {
+            comm.reduce(&[comm.rank() as i64 + 1], ReduceOp::Prod, 2)
+        });
+        assert!(out[0].is_none());
+        assert_eq!(out[2].as_ref().unwrap()[0], 24);
+    }
+
+    #[test]
+    fn alltoall_transposes() {
+        let out = World::run(3, |comm| {
+            let sends: Vec<Vec<u64>> = (0..comm.size())
+                .map(|d| vec![(comm.rank() * 10 + d) as u64])
+                .collect();
+            comm.alltoall(&sends)
+        });
+        // Rank r receives s*10 + r from each sender s.
+        for (r, recvd) in out.iter().enumerate() {
+            for (s, v) in recvd.iter().enumerate() {
+                assert_eq!(v[0], (s * 10 + r) as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip() {
+        let out = World::run(4, |comm| {
+            let gathered = comm.gather(&[comm.rank() as u64], 0);
+            let chunks: Option<Vec<Vec<u64>>> = gathered
+                .map(|g| g.into_iter().map(|mut v| { v[0] *= 2; v }).collect());
+            comm.scatter(chunks.as_deref(), 0)[0]
+        });
+        assert_eq!(out, vec![0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn allgather_collects_everything() {
+        let out = World::run(3, |comm| comm.allgather(&[comm.rank() as u64 + 7]));
+        for v in out {
+            assert_eq!(v, vec![vec![7], vec![8], vec![9]]);
+        }
+    }
+
+    #[test]
+    fn split_into_row_communicators() {
+        // 2x2 grid: split into rows; sum ranks within each row.
+        let out = World::run(4, |comm| {
+            let row = (comm.rank() / 2) as i64;
+            let row_comm = comm.split(row, comm.rank() as i64);
+            assert_eq!(row_comm.size(), 2);
+            let total = row_comm.allreduce(&[comm.rank() as u64], ReduceOp::Sum);
+            (row_comm.rank(), total[0])
+        });
+        assert_eq!(out[0], (0, 1));
+        assert_eq!(out[1], (1, 1));
+        assert_eq!(out[2], (0, 5));
+        assert_eq!(out[3], (1, 5));
+    }
+
+    #[test]
+    fn split_p2p_does_not_cross_communicators() {
+        let out = World::run(4, |comm| {
+            let color = (comm.rank() % 2) as i64;
+            let sub = comm.split(color, comm.rank() as i64);
+            // Ping within the sub-communicator (local ranks 0 <-> 1).
+            if sub.rank() == 0 {
+                sub.send(&[comm.rank() as u64], 1, 5);
+                0
+            } else {
+                let (data, _) = sub.recv::<u64>(Some(0), Some(5));
+                data[0]
+            }
+        });
+        // Color 0 = world {0, 2}, color 1 = world {1, 3}: local rank 1 of
+        // each sub-comm (world 2 and 3) receives its local rank 0's world
+        // rank (0 and 1 respectively).
+        assert_eq!(out[2], 0);
+        assert_eq!(out[3], 1);
+    }
+
+    #[test]
+    fn repeated_splits_get_distinct_comms() {
+        let out = World::run(2, |comm| {
+            let a = comm.split(0, 0);
+            let b = comm.split(0, 0);
+            assert_ne!(a.id(), b.id());
+            a.barrier();
+            b.barrier();
+            comm.id()
+        });
+        assert_eq!(out, vec![0, 0]);
+    }
+
+    #[test]
+    fn single_rank_world() {
+        let out = World::run(1, |comm| {
+            comm.barrier();
+            let r = comm.allreduce(&[41u64], ReduceOp::Sum);
+            comm.send(&[7u64], 0, 0); // self-send
+            let (d, _) = comm.recv::<u64>(Some(0), Some(0));
+            r[0] + d[0]
+        });
+        assert_eq!(out, vec![48]);
+    }
+
+    #[test]
+    fn try_recv_and_probe() {
+        let out = World::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.barrier();
+                comm.send(&[9u64], 1, 3);
+                comm.barrier();
+                0
+            } else {
+                assert!(comm.try_recv::<u64>(Some(0), Some(3)).is_none());
+                assert!(!comm.probe(Some(0), Some(3)));
+                comm.barrier();
+                comm.barrier();
+                assert!(comm.probe(Some(0), Some(3)));
+                comm.try_recv::<u64>(Some(0), Some(3)).unwrap().0[0]
+            }
+        });
+        assert_eq!(out[1], 9);
+    }
+}
+
+#[cfg(test)]
+mod extended_api_tests {
+    use super::*;
+
+    #[test]
+    fn sendrecv_ring_shift() {
+        let out = World::run(4, |comm| {
+            let next = (comm.rank() + 1) % comm.size();
+            let prev = (comm.rank() + comm.size() - 1) % comm.size();
+            let (data, status) =
+                comm.sendrecv(&[comm.rank() as u64], next, Some(prev), 9);
+            assert_eq!(status.source, prev);
+            data[0]
+        });
+        assert_eq!(out, vec![3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn scan_prefix_sums() {
+        let out = World::run(5, |comm| {
+            comm.scan(&[comm.rank() as u64 + 1], ReduceOp::Sum)[0]
+        });
+        assert_eq!(out, vec![1, 3, 6, 10, 15]);
+    }
+
+    #[test]
+    fn scan_with_min_op() {
+        let out = World::run(4, |comm| {
+            let v = [10i64 - comm.rank() as i64];
+            comm.scan(&v, ReduceOp::Min)[0]
+        });
+        // Contributions 10, 9, 8, 7 -> prefix minima.
+        assert_eq!(out, vec![10, 9, 8, 7]);
+    }
+
+    #[test]
+    fn reduce_scatter_distributes_reductions() {
+        let out = World::run(3, |comm| {
+            // Rank r contributes chunk[d] = [r*10 + d].
+            let chunks: Vec<Vec<u64>> = (0..comm.size())
+                .map(|d| vec![(comm.rank() * 10 + d) as u64])
+                .collect();
+            comm.reduce_scatter(&chunks, ReduceOp::Sum)[0]
+        });
+        // Rank d receives sum over r of (r*10 + d) = 30 + 3d.
+        assert_eq!(out, vec![30, 33, 36]);
+    }
+
+    #[test]
+    fn dup_preserves_ranks_but_isolates_messages() {
+        let out = World::run(3, |comm| {
+            let dup = comm.dup();
+            assert_eq!(dup.rank(), comm.rank());
+            assert_eq!(dup.size(), comm.size());
+            assert_ne!(dup.id(), comm.id());
+            // A message on the dup is invisible to the original.
+            if comm.rank() == 0 {
+                dup.send(&[7u64], 1, 1);
+                comm.send(&[8u64], 1, 1);
+            }
+            if comm.rank() == 1 {
+                let (a, _) = comm.recv::<u64>(Some(0), Some(1));
+                let (b, _) = dup.recv::<u64>(Some(0), Some(1));
+                assert_eq!((a[0], b[0]), (8, 7));
+            }
+            comm.barrier();
+            1
+        });
+        assert_eq!(out, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn scan_matches_allreduce_on_last_rank() {
+        let out = World::run(4, |comm| {
+            let contrib = [comm.rank() as f64 + 0.5];
+            let scan = comm.scan(&contrib, ReduceOp::Sum)[0];
+            let all = comm.allreduce(&contrib, ReduceOp::Sum)[0];
+            (scan, all)
+        });
+        let (scan_last, all_last) = out[3];
+        assert_eq!(scan_last, all_last);
+    }
+}

@@ -1,0 +1,188 @@
+//! Typed message payloads and reduction operations.
+//!
+//! Messages travel as raw little-endian byte buffers ([`bytes::Bytes`]);
+//! the [`MpiType`] trait converts element slices to and from that wire
+//! representation, and [`MpiReduce`] supplies the element-wise combiners
+//! used by `MPI_Reduce`-style collectives.
+
+use bytes::Bytes;
+
+/// Reduction operations supported by the reduce-style collectives
+/// (`MPI_SUM`, `MPI_PROD`, `MPI_MIN`, `MPI_MAX` equivalents).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReduceOp {
+    /// Element-wise sum.
+    Sum,
+    /// Element-wise product.
+    Prod,
+    /// Element-wise minimum.
+    Min,
+    /// Element-wise maximum.
+    Max,
+}
+
+impl ReduceOp {
+    /// Stable small integer used as an event payload by the PYTHIA MPI
+    /// runtime (the paper records the reduction operation with the event).
+    pub fn code(self) -> i64 {
+        match self {
+            ReduceOp::Sum => 0,
+            ReduceOp::Prod => 1,
+            ReduceOp::Min => 2,
+            ReduceOp::Max => 3,
+        }
+    }
+}
+
+/// Element types that can be shipped through the runtime.
+pub trait MpiType: Copy + Send + Sync + 'static {
+    /// Number of bytes per element on the wire.
+    const WIDTH: usize;
+
+    /// Appends the little-endian encoding of `vals` to `out`.
+    fn encode(vals: &[Self], out: &mut Vec<u8>);
+
+    /// Decodes a whole buffer (must be a multiple of [`Self::WIDTH`]).
+    fn decode(bytes: &[u8]) -> Vec<Self>;
+}
+
+/// Element types usable with [`ReduceOp`].
+pub trait MpiReduce: MpiType + PartialOrd {
+    /// Combines two elements under `op`.
+    fn combine(op: ReduceOp, a: Self, b: Self) -> Self;
+}
+
+macro_rules! impl_mpi_numeric {
+    ($($t:ty),*) => {$(
+        impl MpiType for $t {
+            const WIDTH: usize = std::mem::size_of::<$t>();
+
+            fn encode(vals: &[Self], out: &mut Vec<u8>) {
+                out.reserve(vals.len() * Self::WIDTH);
+                for v in vals {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+
+            fn decode(bytes: &[u8]) -> Vec<Self> {
+                #[allow(clippy::modulo_one)] // WIDTH is 1 for u8
+                {
+                    assert!(
+                        bytes.len() % Self::WIDTH == 0,
+                    "payload length {} not a multiple of element width {}",
+                        bytes.len(),
+                        Self::WIDTH
+                    );
+                }
+                bytes
+                    .chunks_exact(Self::WIDTH)
+                    .map(|c| <$t>::from_le_bytes(c.try_into().unwrap()))
+                    .collect()
+            }
+        }
+
+        impl MpiReduce for $t {
+            fn combine(op: ReduceOp, a: Self, b: Self) -> Self {
+                match op {
+                    ReduceOp::Sum => a + b,
+                    ReduceOp::Prod => a * b,
+                    ReduceOp::Min => if b < a { b } else { a },
+                    ReduceOp::Max => if b > a { b } else { a },
+                }
+            }
+        }
+    )*};
+}
+
+impl_mpi_numeric!(u8, i32, u32, i64, u64, f32, f64);
+
+/// Encodes a slice into a frozen byte buffer.
+pub fn to_bytes<T: MpiType>(vals: &[T]) -> Bytes {
+    let mut out = Vec::new();
+    T::encode(vals, &mut out);
+    Bytes::from(out)
+}
+
+/// Decodes a byte buffer produced by [`to_bytes`].
+pub fn from_bytes<T: MpiType>(bytes: &Bytes) -> Vec<T> {
+    T::decode(bytes)
+}
+
+/// Element-wise reduction of two equal-length decoded vectors.
+pub fn reduce_vecs<T: MpiReduce>(op: ReduceOp, mut acc: Vec<T>, other: &[T]) -> Vec<T> {
+    assert_eq!(
+        acc.len(),
+        other.len(),
+        "reduction buffers must have equal lengths"
+    );
+    for (a, b) in acc.iter_mut().zip(other) {
+        *a = T::combine(op, *a, *b);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_f64() {
+        let vals = [1.5f64, -2.25, 0.0, f64::MAX];
+        let b = to_bytes(&vals);
+        assert_eq!(from_bytes::<f64>(&b), vals);
+    }
+
+    #[test]
+    fn roundtrip_i32_and_u8() {
+        let vals = [-1i32, 0, 7, i32::MIN];
+        assert_eq!(from_bytes::<i32>(&to_bytes(&vals)), vals);
+        let bytes_vals = [0u8, 255, 13];
+        assert_eq!(from_bytes::<u8>(&to_bytes(&bytes_vals)), bytes_vals);
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        let vals: [f32; 0] = [];
+        let b = to_bytes(&vals);
+        assert!(b.is_empty());
+        assert!(from_bytes::<f32>(&b).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn misaligned_payload_panics() {
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        let _ = from_bytes::<i32>(&b);
+    }
+
+    #[test]
+    fn reduce_ops() {
+        assert_eq!(f64::combine(ReduceOp::Sum, 2.0, 3.0), 5.0);
+        assert_eq!(f64::combine(ReduceOp::Prod, 2.0, 3.0), 6.0);
+        assert_eq!(i64::combine(ReduceOp::Min, -2, 3), -2);
+        assert_eq!(i64::combine(ReduceOp::Max, -2, 3), 3);
+    }
+
+    #[test]
+    fn reduce_vecs_elementwise() {
+        let acc = vec![1u64, 10, 100];
+        let out = reduce_vecs(ReduceOp::Sum, acc, &[2, 20, 200]);
+        assert_eq!(out, vec![3, 30, 300]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn reduce_vecs_length_mismatch_panics() {
+        let _ = reduce_vecs(ReduceOp::Sum, vec![1u64], &[1, 2]);
+    }
+
+    #[test]
+    fn op_codes_distinct() {
+        let codes: std::collections::HashSet<i64> =
+            [ReduceOp::Sum, ReduceOp::Prod, ReduceOp::Min, ReduceOp::Max]
+                .iter()
+                .map(|o| o.code())
+                .collect();
+        assert_eq!(codes.len(), 4);
+    }
+}

@@ -1,0 +1,55 @@
+//! # pythia-minimpi
+//!
+//! An in-process, thread-based MPI-like message-passing runtime.
+//!
+//! This crate is the communication substrate of the PYTHIA reproduction
+//! (Colin et al., CLUSTER 2022). The paper evaluates PYTHIA by intercepting
+//! the MPI calls of 13 HPC applications; PYTHIA itself never looks at the
+//! wire — it only observes *which* MPI functions are called, with which
+//! peers/roots/operations, and *when*. `pythia-minimpi` therefore
+//! implements a real message-passing runtime with the same call surface
+//! (point-to-point send/recv, nonblocking operations with requests,
+//! collectives, communicator splitting), executing ranks as threads of one
+//! process so the full 13-application evaluation runs on a laptop.
+//!
+//! ## Model
+//!
+//! * [`World::run`] launches `n` ranks, each executing the same closure on
+//!   its own OS thread with a [`Comm`] handle (the `MPI_COMM_WORLD`
+//!   equivalent).
+//! * Point-to-point messages are eager and buffered: [`Comm::send`]
+//!   deposits into the destination's mailbox and returns; [`Comm::recv`]
+//!   blocks until a message matching `(source, tag)` arrives. Matching is
+//!   FIFO per (source, tag) pair — MPI's non-overtaking rule.
+//! * Nonblocking operations return [`Request`]s completed by
+//!   [`Comm::wait`] / [`Comm::waitall`]. Receive requests are *lazy*: the
+//!   matching happens at wait time (sufficient for the skeleton
+//!   applications; documented deviation from eager MPI progress).
+//! * Collectives ([`Comm::barrier`], [`Comm::bcast`], [`Comm::reduce`],
+//!   [`Comm::allreduce`], [`Comm::alltoall`], [`Comm::gather`],
+//!   [`Comm::allgather`], [`Comm::scatter`]) are built on a generation-
+//!   counted rendezvous board.
+//! * [`Comm::split`] creates sub-communicators, as used by e.g. the NPB
+//!   kernels (row/column communicators in CG, BT).
+//!
+//! ```
+//! use pythia_minimpi::{World, ReduceOp};
+//!
+//! let sums = World::run(4, |comm| {
+//!     let mine = [comm.rank() as u64 + 1];
+//!     let total = comm.allreduce(&mine, ReduceOp::Sum);
+//!     total[0]
+//! });
+//! assert_eq!(sums, vec![10, 10, 10, 10]);
+//! ```
+
+pub mod collective;
+pub mod comm;
+pub mod datatype;
+pub mod p2p;
+pub mod request;
+
+pub use comm::{Comm, World};
+pub use datatype::{MpiReduce, MpiType, ReduceOp};
+pub use p2p::{Message, NetworkStats, Status, Tag, ANY_SOURCE, ANY_TAG};
+pub use request::Request;

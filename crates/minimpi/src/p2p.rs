@@ -1,0 +1,225 @@
+//! Point-to-point messaging: per-rank mailboxes with MPI-style
+//! `(communicator, source, tag)` matching.
+//!
+//! Sends are eager and buffered (the sender never blocks); receives block
+//! on a condition variable until a matching message arrives. Within one
+//! `(source, tag)` pair, messages are matched in the order they were sent
+//! (MPI's non-overtaking rule) because the mailbox is scanned
+//! front-to-back and senders append at the back.
+
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+
+/// Message tag (application-chosen demultiplexing key).
+pub type Tag = i32;
+
+/// Wildcard source for [`crate::Comm::recv`] (`MPI_ANY_SOURCE`).
+pub const ANY_SOURCE: Option<usize> = None;
+
+/// Wildcard tag for [`crate::Comm::recv`] (`MPI_ANY_TAG`).
+pub const ANY_TAG: Option<Tag> = None;
+
+/// A buffered message.
+#[derive(Debug, Clone)]
+pub struct Message {
+    /// World rank of the sender.
+    pub src: usize,
+    /// Application tag.
+    pub tag: Tag,
+    /// Communicator the message was sent on.
+    pub comm_id: u64,
+    /// Encoded payload.
+    pub data: Bytes,
+}
+
+/// Receive metadata (the `MPI_Status` equivalent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Status {
+    /// World rank of the sender.
+    pub source: usize,
+    /// Tag of the matched message.
+    pub tag: Tag,
+    /// Payload length in bytes.
+    pub len: usize,
+}
+
+/// Counters modeling the "network" cost of a mailbox: one *transfer* per
+/// deposit call, regardless of how many logical messages it carries. This
+/// is what prediction-driven send aggregation (à la NewMadeleine, paper
+/// §III-B's motivating optimization) reduces.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetworkStats {
+    /// Deposit operations (modeled wire transfers).
+    pub transfers: u64,
+    /// Logical messages delivered.
+    pub messages: u64,
+}
+
+/// One rank's incoming-message queue.
+#[derive(Debug, Default)]
+pub struct Mailbox {
+    inner: Mutex<VecDeque<Message>>,
+    cv: Condvar,
+    stats: Mutex<NetworkStats>,
+}
+
+impl Mailbox {
+    /// Creates an empty mailbox.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deposits a message (never blocks).
+    pub fn deposit(&self, msg: Message) {
+        {
+            let mut st = self.stats.lock();
+            st.transfers += 1;
+            st.messages += 1;
+        }
+        let mut q = self.inner.lock();
+        q.push_back(msg);
+        self.cv.notify_all();
+    }
+
+    /// Deposits several messages as one transfer (an aggregated send: the
+    /// messages still match receives individually and in order).
+    pub fn deposit_batch(&self, msgs: Vec<Message>) {
+        if msgs.is_empty() {
+            return;
+        }
+        {
+            let mut st = self.stats.lock();
+            st.transfers += 1;
+            st.messages += msgs.len() as u64;
+        }
+        let mut q = self.inner.lock();
+        q.extend(msgs);
+        self.cv.notify_all();
+    }
+
+    /// Network counters accumulated by this mailbox.
+    pub fn network_stats(&self) -> NetworkStats {
+        *self.stats.lock()
+    }
+
+    /// Blocks until a message matching `(comm_id, src, tag)` is available
+    /// and removes it. `None` filters are wildcards.
+    pub fn take_matching(&self, comm_id: u64, src: Option<usize>, tag: Option<Tag>) -> Message {
+        let mut q = self.inner.lock();
+        loop {
+            if let Some(idx) = Self::find(&q, comm_id, src, tag) {
+                return q.remove(idx).expect("index just found");
+            }
+            self.cv.wait(&mut q);
+        }
+    }
+
+    /// Nonblocking variant of [`Mailbox::take_matching`].
+    pub fn try_take_matching(
+        &self,
+        comm_id: u64,
+        src: Option<usize>,
+        tag: Option<Tag>,
+    ) -> Option<Message> {
+        let mut q = self.inner.lock();
+        Self::find(&q, comm_id, src, tag).and_then(|idx| q.remove(idx))
+    }
+
+    /// Whether a matching message is queued (the `MPI_Iprobe` equivalent).
+    pub fn probe(&self, comm_id: u64, src: Option<usize>, tag: Option<Tag>) -> bool {
+        let q = self.inner.lock();
+        Self::find(&q, comm_id, src, tag).is_some()
+    }
+
+    /// Number of queued messages (diagnostics).
+    pub fn queued(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    fn find(
+        q: &VecDeque<Message>,
+        comm_id: u64,
+        src: Option<usize>,
+        tag: Option<Tag>,
+    ) -> Option<usize> {
+        q.iter().position(|m| {
+            m.comm_id == comm_id
+                && src.is_none_or(|s| m.src == s)
+                && tag.is_none_or(|t| m.tag == t)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(src: usize, tag: Tag, comm: u64, byte: u8) -> Message {
+        Message {
+            src,
+            tag,
+            comm_id: comm,
+            data: Bytes::from(vec![byte]),
+        }
+    }
+
+    #[test]
+    fn fifo_within_source_tag() {
+        let mb = Mailbox::new();
+        mb.deposit(msg(0, 1, 0, 10));
+        mb.deposit(msg(0, 1, 0, 20));
+        let a = mb.take_matching(0, Some(0), Some(1));
+        let b = mb.take_matching(0, Some(0), Some(1));
+        assert_eq!(a.data[0], 10);
+        assert_eq!(b.data[0], 20);
+    }
+
+    #[test]
+    fn tag_and_source_filtering() {
+        let mb = Mailbox::new();
+        mb.deposit(msg(0, 1, 0, 10));
+        mb.deposit(msg(1, 2, 0, 20));
+        let m = mb.take_matching(0, Some(1), Some(2));
+        assert_eq!(m.data[0], 20);
+        assert_eq!(mb.queued(), 1);
+    }
+
+    #[test]
+    fn wildcards_match_anything() {
+        let mb = Mailbox::new();
+        mb.deposit(msg(3, 7, 0, 42));
+        let m = mb.take_matching(0, ANY_SOURCE, ANY_TAG);
+        assert_eq!(m.src, 3);
+        assert_eq!(m.tag, 7);
+    }
+
+    #[test]
+    fn comm_id_isolates_communicators() {
+        let mb = Mailbox::new();
+        mb.deposit(msg(0, 1, 5, 10));
+        assert!(mb.try_take_matching(0, Some(0), Some(1)).is_none());
+        assert!(mb.try_take_matching(5, Some(0), Some(1)).is_some());
+    }
+
+    #[test]
+    fn probe_does_not_consume() {
+        let mb = Mailbox::new();
+        mb.deposit(msg(0, 1, 0, 10));
+        assert!(mb.probe(0, Some(0), None));
+        assert!(mb.probe(0, Some(0), None));
+        assert_eq!(mb.queued(), 1);
+    }
+
+    #[test]
+    fn blocking_take_wakes_on_deposit() {
+        use std::sync::Arc;
+        let mb = Arc::new(Mailbox::new());
+        let mb2 = Arc::clone(&mb);
+        let h = std::thread::spawn(move || mb2.take_matching(0, Some(0), Some(9)));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        mb.deposit(msg(0, 9, 0, 77));
+        let m = h.join().unwrap();
+        assert_eq!(m.data[0], 77);
+    }
+}

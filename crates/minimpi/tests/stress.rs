@@ -1,0 +1,184 @@
+//! Stress and property tests of the message-passing substrate: collective
+//! results against sequential references on random inputs, mixed
+//! p2p/collective traffic, and ordering guarantees under load.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use pythia_minimpi::{ReduceOp, World};
+
+#[test]
+fn heavy_mixed_traffic_terminates() {
+    // Every rank floods its ring neighbours while collectives interleave.
+    let out = World::run(6, |comm| {
+        let n = comm.size();
+        let next = (comm.rank() + 1) % n;
+        let prev = (comm.rank() + n - 1) % n;
+        let mut acc = 0u64;
+        for round in 0..200u64 {
+            comm.send(&[round], next, (round % 7) as i32);
+            let (v, _) = comm.recv::<u64>(Some(prev), Some((round % 7) as i32));
+            acc += v[0];
+            if round % 10 == 0 {
+                let s = comm.allreduce(&[round], ReduceOp::Max);
+                assert_eq!(s[0], round);
+            }
+        }
+        acc
+    });
+    for v in out {
+        assert_eq!(v, (0..200).sum::<u64>());
+    }
+}
+
+#[test]
+fn non_overtaking_order_under_load() {
+    let out = World::run(2, |comm| {
+        if comm.rank() == 0 {
+            for i in 0..1000u64 {
+                comm.send(&[i], 1, 3);
+            }
+            Vec::new()
+        } else {
+            (0..1000)
+                .map(|_| comm.recv::<u64>(Some(0), Some(3)).0[0])
+                .collect::<Vec<u64>>()
+        }
+    });
+    let received = &out[1];
+    let sorted: Vec<u64> = (0..1000).collect();
+    assert_eq!(received, &sorted, "same-(src,tag) messages reordered");
+}
+
+#[test]
+fn different_tags_can_be_drained_out_of_order() {
+    let out = World::run(2, |comm| {
+        if comm.rank() == 0 {
+            comm.send(&[1u64], 1, 1);
+            comm.send(&[2u64], 1, 2);
+            0
+        } else {
+            // Drain tag 2 before tag 1.
+            let (b, _) = comm.recv::<u64>(Some(0), Some(2));
+            let (a, _) = comm.recv::<u64>(Some(0), Some(1));
+            a[0] * 10 + b[0]
+        }
+    });
+    assert_eq!(out[1], 12);
+}
+
+#[test]
+fn collectives_with_empty_payloads() {
+    let out = World::run(3, |comm| {
+        let empty: Vec<f64> = Vec::new();
+        let r = comm.allreduce(&empty, ReduceOp::Sum);
+        assert!(r.is_empty());
+        let g = comm.allgather(&empty);
+        assert_eq!(g.len(), 3);
+        let b = comm.bcast(&empty, 0);
+        assert!(b.is_empty());
+        comm.barrier();
+        1
+    });
+    assert_eq!(out, vec![1, 1, 1]);
+}
+
+#[test]
+fn large_payload_roundtrip() {
+    let out = World::run(2, |comm| {
+        if comm.rank() == 0 {
+            let big: Vec<u64> = (0..100_000).collect();
+            comm.send(&big, 1, 0);
+            0
+        } else {
+            let (data, status) = comm.recv::<u64>(Some(0), Some(0));
+            assert_eq!(status.len, 100_000 * 8);
+            data.iter().sum::<u64>() % 1_000_003
+        }
+    });
+    let expect: u64 = (0..100_000u64).sum::<u64>() % 1_000_003;
+    assert_eq!(out[1], expect);
+}
+
+#[test]
+fn nested_split_hierarchy() {
+    // Split 8 ranks into halves, then quarters; collectives at each level.
+    let out = World::run(8, |comm| {
+        let half = comm.split((comm.rank() / 4) as i64, comm.rank() as i64);
+        let quarter = half.split((half.rank() / 2) as i64, half.rank() as i64);
+        let world_sum = comm.allreduce(&[1u64], ReduceOp::Sum)[0];
+        let half_sum = half.allreduce(&[1u64], ReduceOp::Sum)[0];
+        let quarter_sum = quarter.allreduce(&[1u64], ReduceOp::Sum)[0];
+        (world_sum, half_sum, quarter_sum)
+    });
+    for v in out {
+        assert_eq!(v, (8, 4, 2));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Allreduce(sum) over random per-rank vectors equals the sequential
+    /// sum, regardless of rank count.
+    #[test]
+    fn allreduce_matches_reference(
+        ranks in 1usize..6,
+        data in vec(vec(-1000i64..1000, 4), 1..6),
+    ) {
+        let contribs: Vec<Vec<i64>> = (0..ranks)
+            .map(|r| data[r % data.len()].clone())
+            .collect();
+        let mut expect = vec![0i64; 4];
+        for c in &contribs {
+            for (e, v) in expect.iter_mut().zip(c) {
+                *e += v;
+            }
+        }
+        let contribs_ref = &contribs;
+        let out = World::run(ranks, move |comm| {
+            comm.allreduce(&contribs_ref[comm.rank()], ReduceOp::Sum)
+        });
+        for v in out {
+            prop_assert_eq!(&v, &expect);
+        }
+    }
+
+    /// Alltoall is an exact matrix transpose for arbitrary payloads.
+    #[test]
+    fn alltoall_transposes_any_matrix(
+        ranks in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let out = World::run(ranks, move |comm| {
+            let sends: Vec<Vec<u64>> = (0..comm.size())
+                .map(|d| vec![seed + (comm.rank() * 100 + d) as u64])
+                .collect();
+            comm.alltoall(&sends)
+        });
+        for (r, recvd) in out.iter().enumerate() {
+            for (s, v) in recvd.iter().enumerate() {
+                prop_assert_eq!(v[0], seed + (s * 100 + r) as u64);
+            }
+        }
+    }
+
+    /// Gather/scatter round-trip arbitrary data unchanged.
+    #[test]
+    fn gather_scatter_identity(
+        ranks in 1usize..6,
+        root_choice in 0usize..6,
+        base in 0u64..1_000_000,
+    ) {
+        let root = root_choice % ranks;
+        let out = World::run(ranks, move |comm| {
+            let mine = [base + comm.rank() as u64];
+            let gathered = comm.gather(&mine, root);
+            let chunks: Option<Vec<Vec<u64>>> = gathered;
+            comm.scatter(chunks.as_deref(), root)[0]
+        });
+        for (r, v) in out.iter().enumerate() {
+            prop_assert_eq!(*v, base + r as u64);
+        }
+    }
+}

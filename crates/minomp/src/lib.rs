@@ -1,0 +1,49 @@
+//! # pythia-minomp
+//!
+//! An OpenMP-like fork/join runtime with a persistent worker pool and a
+//! pluggable per-region thread-count decision — the substrate for the
+//! PYTHIA paper's GNU-OpenMP experiments (§III-B, §III-D).
+//!
+//! The paper modifies GNU OpenMP so that, at the start of every parallel
+//! region, the runtime asks PYTHIA for the region's probable duration and
+//! picks the number of threads accordingly (few threads for short regions
+//! whose fork/join synchronization would dominate; all threads for long
+//! ones). It also changes the thread pool to *park* spurious threads
+//! instead of destroying them when the thread count shrinks.
+//! `pythia-minomp` reproduces exactly those decision points:
+//!
+//! * [`OmpRuntime::parallel`] runs a region `f(thread_num, team_size)` on a
+//!   team whose size is chosen by the installed [`OmpListener`]
+//!   (PYTHIA integrations live in `pythia-runtime-omp`);
+//! * [`pool::Pool`] keeps workers alive and parked ([`pool::PoolMode::Park`],
+//!   the paper's modification) or destroys and respawns them on shrink
+//!   ([`pool::PoolMode::DestroyOnShrink`], stock GNU OpenMP behavior) —
+//!   keeping both allows the ablation;
+//! * fork/join synchronization is real (mutex + condvar wakeups per
+//!   worker), so the small-region overhead the paper exploits exists here
+//!   too;
+//! * [`OmpRuntime::parallel_for`] provides statically-chunked worksharing
+//!   and [`OmpRuntime::critical`] named critical sections (the
+//!   `GOMP_critical` events of the paper's OpenMP runtime).
+//!
+//! ```
+//! use pythia_minomp::{OmpRuntime, RegionId};
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//!
+//! let rt = OmpRuntime::new(4);
+//! let sum = AtomicU64::new(0);
+//! rt.parallel_for(RegionId(0), 1000, |i| {
+//!     sum.fetch_add(i as u64, Ordering::Relaxed);
+//! });
+//! assert_eq!(sum.load(Ordering::Relaxed), 999 * 1000 / 2);
+//! ```
+
+pub mod listener;
+pub mod loops;
+pub mod pool;
+pub mod runtime;
+pub mod sync;
+
+pub use listener::{OmpListener, ThreadChoice, VanillaListener};
+pub use pool::{Pool, PoolMode, PoolStats};
+pub use runtime::{OmpRuntime, RegionId};

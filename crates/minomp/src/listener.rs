@@ -1,0 +1,56 @@
+//! The runtime-system decision hook.
+//!
+//! An [`OmpListener`] is informed of every parallel region's begin and end
+//! and decides how many threads the region gets. This is exactly the
+//! decision point the paper instruments in GNU OpenMP (§III-D1): the
+//! PYTHIA-record listener submits events; the PYTHIA-predict listener
+//! additionally asks the oracle for the region's probable duration and
+//! derives a team size from a threshold table. Both live in
+//! `pythia-runtime-omp`; this crate only ships the vanilla behavior.
+
+use crate::runtime::RegionId;
+
+/// Team-size decision returned by [`OmpListener::region_begin`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadChoice {
+    /// Use the runtime default (the maximum thread count — GNU OpenMP's
+    /// usual choice).
+    Default,
+    /// Use exactly `n` threads (clamped to `1..=max_threads`).
+    Exactly(usize),
+}
+
+/// Observer and decision-maker for parallel regions.
+pub trait OmpListener: Send {
+    /// Called when a parallel region is about to start; returns the team
+    /// size to use.
+    fn region_begin(&mut self, region: RegionId) -> ThreadChoice;
+
+    /// Called when the region completed, with the team size that ran it.
+    fn region_end(&mut self, region: RegionId, team: usize);
+}
+
+/// The stock behavior: always run with the maximum number of threads and
+/// observe nothing.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct VanillaListener;
+
+impl OmpListener for VanillaListener {
+    fn region_begin(&mut self, _region: RegionId) -> ThreadChoice {
+        ThreadChoice::Default
+    }
+
+    fn region_end(&mut self, _region: RegionId, _team: usize) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vanilla_always_defaults() {
+        let mut l = VanillaListener;
+        assert_eq!(l.region_begin(RegionId(3)), ThreadChoice::Default);
+        l.region_end(RegionId(3), 8);
+    }
+}

@@ -1,0 +1,57 @@
+//! Worksharing helpers: static partitioning of iteration spaces.
+
+use std::ops::Range;
+
+/// The contiguous chunk of `0..n` assigned to `thread_num` of a team of
+/// `team_size` under OpenMP static scheduling (remainder spread over the
+/// first threads).
+pub fn static_chunk(n: usize, thread_num: usize, team_size: usize) -> Range<usize> {
+    debug_assert!(thread_num < team_size);
+    let base = n / team_size;
+    let rem = n % team_size;
+    let start = thread_num * base + thread_num.min(rem);
+    let len = base + usize::from(thread_num < rem);
+    start..(start + len)
+}
+
+/// Splits `0..n` into `team_size` static chunks (diagnostics/tests).
+pub fn all_chunks(n: usize, team_size: usize) -> Vec<Range<usize>> {
+    (0..team_size).map(|t| static_chunk(n, t, team_size)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_partition_exactly() {
+        for n in [0usize, 1, 7, 64, 1000, 1001] {
+            for team in [1usize, 2, 3, 8, 24] {
+                let chunks = all_chunks(n, team);
+                let mut covered = 0;
+                let mut next = 0;
+                for c in &chunks {
+                    assert_eq!(c.start, next, "n={n} team={team}");
+                    covered += c.len();
+                    next = c.end;
+                }
+                assert_eq!(covered, n, "n={n} team={team}");
+                assert_eq!(next, n);
+            }
+        }
+    }
+
+    #[test]
+    fn chunks_balanced_within_one() {
+        let chunks = all_chunks(10, 3);
+        let lens: Vec<usize> = chunks.iter().map(|c| c.len()).collect();
+        assert_eq!(lens, vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let chunks = all_chunks(2, 5);
+        let lens: Vec<usize> = chunks.iter().map(|c| c.len()).collect();
+        assert_eq!(lens, vec![1, 1, 0, 0, 0]);
+    }
+}

@@ -1,0 +1,383 @@
+//! The worker-thread pool behind parallel regions.
+//!
+//! The paper's §III-D1 changes GNU OpenMP's pool management: by default GNU
+//! OpenMP *destroys* spurious threads when the OpenMP thread count
+//! decreases and must respawn them when it grows again; the paper makes
+//! them *wait (park) until they are needed again*. Both behaviors are
+//! implemented here, selected by [`PoolMode`], so the benefit of the change
+//! can be measured (`bench/bin/fig12_13_threads.rs` ablation).
+//!
+//! A region runs on a *team*: the calling (master) thread acts as thread 0
+//! and `team - 1` pool workers join it. Fork and join use a mutex/condvar
+//! handshake per worker, so per-region synchronization cost grows with the
+//! team size — the effect the adaptive policy exploits.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::{Condvar, Mutex};
+
+/// What happens to workers when a region uses fewer threads than before.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolMode {
+    /// Keep spurious workers alive, parked on a condition variable until
+    /// needed again (the paper's modification).
+    Park,
+    /// Destroy spurious workers on shrink and respawn them on growth
+    /// (stock GNU OpenMP behavior).
+    DestroyOnShrink,
+}
+
+/// Counters describing pool activity (used by the ablation benches).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Worker threads spawned over the pool's lifetime.
+    pub threads_spawned: u64,
+    /// Worker threads destroyed over the pool's lifetime.
+    pub threads_destroyed: u64,
+    /// Parallel regions executed.
+    pub regions_run: u64,
+}
+
+/// Type-erased region body: called as `f(thread_num, team_size)`.
+///
+/// The pointer is only dereferenced between fork and join of one region;
+/// [`Pool::run`] does not return until every worker has finished, so the
+/// underlying closure outlives all uses (same discipline as rayon's scoped
+/// jobs).
+#[derive(Clone, Copy)]
+struct JobFn(*const (dyn Fn(usize, usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared calls are allowed) and `Pool::run`
+// joins all workers before the closure can be dropped.
+unsafe impl Send for JobFn {}
+
+/// Join-side state of one region.
+struct JobState {
+    remaining: Mutex<usize>,
+    done: Condvar,
+    panicked: AtomicBool,
+}
+
+impl JobState {
+    fn new(workers: usize) -> Arc<Self> {
+        Arc::new(JobState {
+            remaining: Mutex::new(workers),
+            done: Condvar::new(),
+            panicked: AtomicBool::new(false),
+        })
+    }
+
+    fn complete(&self, panicked: bool) {
+        if panicked {
+            self.panicked.store(true, Ordering::SeqCst);
+        }
+        let mut left = self.remaining.lock();
+        *left -= 1;
+        if *left == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut left = self.remaining.lock();
+        while *left > 0 {
+            self.done.wait(&mut left);
+        }
+    }
+}
+
+enum Command {
+    Run {
+        job: JobFn,
+        thread_num: usize,
+        team_size: usize,
+        state: Arc<JobState>,
+    },
+    Exit,
+}
+
+struct WorkerShared {
+    slot: Mutex<Option<Command>>,
+    cv: Condvar,
+}
+
+struct Worker {
+    shared: Arc<WorkerShared>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Worker {
+    fn spawn(index: usize) -> Self {
+        let shared = Arc::new(WorkerShared {
+            slot: Mutex::new(None),
+            cv: Condvar::new(),
+        });
+        let shared2 = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name(format!("minomp-worker-{index}"))
+            .spawn(move || worker_loop(shared2))
+            .expect("failed to spawn pool worker");
+        Worker {
+            shared,
+            handle: Some(handle),
+        }
+    }
+
+    fn assign(&self, cmd: Command) {
+        let mut slot = self.shared.slot.lock();
+        debug_assert!(slot.is_none(), "worker already has a command");
+        *slot = Some(cmd);
+        self.shared.cv.notify_one();
+    }
+
+    fn shutdown(&mut self) {
+        self.assign(Command::Exit);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<WorkerShared>) {
+    loop {
+        let cmd = {
+            let mut slot = shared.slot.lock();
+            loop {
+                if let Some(cmd) = slot.take() {
+                    break cmd;
+                }
+                shared.cv.wait(&mut slot);
+            }
+        };
+        match cmd {
+            Command::Run {
+                job,
+                thread_num,
+                team_size,
+                state,
+            } => {
+                // SAFETY: `Pool::run` keeps the closure alive until every
+                // worker has called `state.complete`.
+                let f = unsafe { &*job.0 };
+                let r = catch_unwind(AssertUnwindSafe(|| f(thread_num, team_size)));
+                state.complete(r.is_err());
+            }
+            Command::Exit => return,
+        }
+    }
+}
+
+/// A pool of parked worker threads executing parallel regions.
+pub struct Pool {
+    mode: PoolMode,
+    workers: Vec<Worker>,
+    spawned: u64,
+    destroyed: u64,
+    regions: u64,
+    /// Set while a region is in flight, to reject nested/concurrent `run`
+    /// calls (nested regions are serialized by the caller — see
+    /// [`crate::OmpRuntime`]).
+    active: AtomicUsize,
+}
+
+impl Pool {
+    /// Creates an empty pool (workers are spawned on demand).
+    pub fn new(mode: PoolMode) -> Self {
+        Pool {
+            mode,
+            workers: Vec::new(),
+            spawned: 0,
+            destroyed: 0,
+            regions: 0,
+            active: AtomicUsize::new(0),
+        }
+    }
+
+    /// The shrink behavior of this pool.
+    pub fn mode(&self) -> PoolMode {
+        self.mode
+    }
+
+    /// Number of live worker threads (excluding the master).
+    pub fn alive_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            threads_spawned: self.spawned,
+            threads_destroyed: self.destroyed,
+            regions_run: self.regions,
+        }
+    }
+
+    /// Runs `f(thread_num, team_size)` on a team of `team` threads (the
+    /// caller is thread 0). Returns when every team member has finished.
+    ///
+    /// Panics if any team member panicked, or when called re-entrantly.
+    pub fn run(&mut self, team: usize, f: &(dyn Fn(usize, usize) + Sync)) {
+        assert!(team >= 1, "team must have at least one thread");
+        assert_eq!(
+            self.active.swap(1, Ordering::SeqCst),
+            0,
+            "Pool::run is not reentrant"
+        );
+        self.regions += 1;
+        let needed = team - 1;
+
+        // Stock GNU OpenMP destroys spurious threads when the thread count
+        // shrinks; the paper's version parks them instead.
+        if self.mode == PoolMode::DestroyOnShrink && self.workers.len() > needed {
+            for mut w in self.workers.drain(needed..) {
+                w.shutdown();
+                self.destroyed += 1;
+            }
+        }
+        while self.workers.len() < needed {
+            self.workers.push(Worker::spawn(self.workers.len() + 1));
+            self.spawned += 1;
+        }
+
+        if needed == 0 {
+            f(0, 1);
+            self.active.store(0, Ordering::SeqCst);
+            return;
+        }
+
+        let state = JobState::new(needed);
+        // SAFETY: erases the closure's borrow lifetime. The join below
+        // (`state.wait()`) guarantees no worker touches the pointer after
+        // `run` returns, so the 'static in `JobFn` is never relied upon
+        // beyond the borrow's real extent.
+        let job = JobFn(unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(usize, usize) + Sync + '_),
+                *const (dyn Fn(usize, usize) + Sync + 'static),
+            >(f as *const _)
+        });
+        for (i, w) in self.workers.iter().take(needed).enumerate() {
+            w.assign(Command::Run {
+                job,
+                thread_num: i + 1,
+                team_size: team,
+                state: Arc::clone(&state),
+            });
+        }
+        let master = catch_unwind(AssertUnwindSafe(|| f(0, team)));
+        state.wait();
+        self.active.store(0, Ordering::SeqCst);
+        if master.is_err() || state.panicked.load(Ordering::SeqCst) {
+            panic!("a thread panicked inside a parallel region");
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        for w in &mut self.workers {
+            w.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn runs_with_all_thread_ids() {
+        let mut pool = Pool::new(PoolMode::Park);
+        let seen = AtomicU64::new(0);
+        pool.run(4, &|tid, team| {
+            assert_eq!(team, 4);
+            seen.fetch_or(1 << tid, Ordering::SeqCst);
+        });
+        assert_eq!(seen.load(Ordering::SeqCst), 0b1111);
+    }
+
+    #[test]
+    fn serial_team_runs_inline() {
+        let mut pool = Pool::new(PoolMode::Park);
+        let hit = AtomicU64::new(0);
+        pool.run(1, &|tid, team| {
+            assert_eq!((tid, team), (0, 1));
+            hit.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hit.load(Ordering::SeqCst), 1);
+        assert_eq!(pool.alive_workers(), 0);
+    }
+
+    #[test]
+    fn park_mode_keeps_workers() {
+        let mut pool = Pool::new(PoolMode::Park);
+        pool.run(8, &|_, _| {});
+        assert_eq!(pool.alive_workers(), 7);
+        pool.run(2, &|_, _| {});
+        // Spurious workers parked, not destroyed.
+        assert_eq!(pool.alive_workers(), 7);
+        assert_eq!(pool.stats().threads_destroyed, 0);
+        assert_eq!(pool.stats().threads_spawned, 7);
+    }
+
+    #[test]
+    fn destroy_mode_shrinks_and_respawns() {
+        let mut pool = Pool::new(PoolMode::DestroyOnShrink);
+        pool.run(8, &|_, _| {});
+        assert_eq!(pool.alive_workers(), 7);
+        pool.run(2, &|_, _| {});
+        assert_eq!(pool.alive_workers(), 1);
+        assert_eq!(pool.stats().threads_destroyed, 6);
+        pool.run(8, &|_, _| {});
+        assert_eq!(pool.stats().threads_spawned, 7 + 6);
+    }
+
+    #[test]
+    fn many_regions_reuse_team() {
+        let mut pool = Pool::new(PoolMode::Park);
+        let counter = AtomicU64::new(0);
+        for _ in 0..200 {
+            pool.run(4, &|_, _| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 800);
+        assert_eq!(pool.stats().regions_run, 200);
+        assert_eq!(pool.stats().threads_spawned, 3);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let mut pool = Pool::new(PoolMode::Park);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(4, &|tid, _| {
+                if tid == 2 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn borrowed_data_is_safe() {
+        // The closure borrows a stack vector; `run` must not return before
+        // all workers finished writing.
+        let mut pool = Pool::new(PoolMode::Park);
+        let data: Vec<AtomicU64> = (0..64).map(|_| AtomicU64::new(0)).collect();
+        pool.run(8, &|tid, team| {
+            for (i, slot) in data.iter().enumerate() {
+                if i % team == tid {
+                    slot.store(i as u64 + 1, Ordering::SeqCst);
+                }
+            }
+        });
+        for (i, slot) in data.iter().enumerate() {
+            assert_eq!(slot.load(Ordering::SeqCst), i as u64 + 1);
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Intra-team synchronization: named critical sections and a team barrier.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+/// Named critical sections (the `GOMP_critical_start`/`end` equivalent).
+///
+/// Shareable across the team: the runtime hands an `Arc<Criticals>` to
+/// region bodies that need mutual exclusion.
+#[derive(Debug, Default)]
+pub struct Criticals {
+    locks: Mutex<HashMap<u32, Arc<Mutex<()>>>>,
+}
+
+impl Criticals {
+    /// Creates an empty set of critical sections.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs `f` under the critical section named `id`.
+    pub fn critical<R>(&self, id: u32, f: impl FnOnce() -> R) -> R {
+        let lock = {
+            let mut map = self.locks.lock();
+            Arc::clone(map.entry(id).or_default())
+        };
+        let _guard = lock.lock();
+        f()
+    }
+
+    /// Number of distinct critical sections used so far.
+    pub fn distinct(&self) -> usize {
+        self.locks.lock().len()
+    }
+}
+
+/// A reusable barrier for `n` participants (sense-reversing via a
+/// generation counter).
+#[derive(Debug)]
+pub struct TeamBarrier {
+    size: usize,
+    state: Mutex<(usize, u64)>, // (arrived, generation)
+    cv: Condvar,
+}
+
+impl TeamBarrier {
+    /// Creates a barrier for `size` participants.
+    pub fn new(size: usize) -> Self {
+        assert!(size >= 1);
+        TeamBarrier {
+            size,
+            state: Mutex::new((0, 0)),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Blocks until all `size` participants arrived.
+    pub fn wait(&self) {
+        let mut st = self.state.lock();
+        let gen = st.1;
+        st.0 += 1;
+        if st.0 == self.size {
+            st.0 = 0;
+            st.1 += 1;
+            self.cv.notify_all();
+        } else {
+            while st.1 == gen {
+                self.cv.wait(&mut st);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn critical_provides_mutual_exclusion() {
+        let crit = Arc::new(Criticals::new());
+        let counter = Arc::new(AtomicUsize::new(0));
+        let max_seen = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let crit = Arc::clone(&crit);
+                let counter = Arc::clone(&counter);
+                let max_seen = Arc::clone(&max_seen);
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        crit.critical(0, || {
+                            let c = counter.fetch_add(1, Ordering::SeqCst) + 1;
+                            max_seen.fetch_max(c, Ordering::SeqCst);
+                            counter.fetch_sub(1, Ordering::SeqCst);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(max_seen.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn distinct_criticals_do_not_interfere() {
+        let crit = Criticals::new();
+        crit.critical(1, || {
+            crit.critical(2, || {}); // different name: no deadlock
+        });
+        assert_eq!(crit.distinct(), 2);
+    }
+
+    #[test]
+    fn barrier_reusable_across_rounds() {
+        let barrier = Arc::new(TeamBarrier::new(4));
+        let phase = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let barrier = Arc::clone(&barrier);
+                let phase = Arc::clone(&phase);
+                s.spawn(move || {
+                    for round in 0..10 {
+                        barrier.wait();
+                        assert!(phase.load(Ordering::SeqCst) >= round);
+                        phase.fetch_max(round + 1, Ordering::SeqCst);
+                        barrier.wait();
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn single_participant_barrier_never_blocks() {
+        let b = TeamBarrier::new(1);
+        for _ in 0..5 {
+            b.wait();
+        }
+    }
+}

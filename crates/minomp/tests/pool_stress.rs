@@ -1,0 +1,101 @@
+//! Stress tests of the worker pool under rapidly varying team sizes —
+//! the regime the adaptive policy creates (small team, large team, small
+//! team, …) and the §III-D1 pool change targets.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use pythia_minomp::{OmpListener, OmpRuntime, PoolMode, RegionId, ThreadChoice};
+
+/// A listener that cycles through team sizes deterministically.
+struct CyclingListener {
+    sizes: Vec<usize>,
+    next: usize,
+}
+
+impl OmpListener for CyclingListener {
+    fn region_begin(&mut self, _r: RegionId) -> ThreadChoice {
+        let t = self.sizes[self.next % self.sizes.len()];
+        self.next += 1;
+        ThreadChoice::Exactly(t)
+    }
+    fn region_end(&mut self, _r: RegionId, _team: usize) {}
+}
+
+fn run_cycle(mode: PoolMode, rounds: usize) -> (u64, pythia_minomp::PoolStats) {
+    let rt = OmpRuntime::with_listener(
+        8,
+        mode,
+        Box::new(CyclingListener {
+            sizes: vec![1, 8, 2, 6, 1, 4],
+            next: 0,
+        }),
+    );
+    let counter = AtomicU64::new(0);
+    for i in 0..rounds {
+        rt.parallel(RegionId((i % 5) as u32), |_, _| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+    (counter.load(Ordering::Relaxed), rt.pool_stats())
+}
+
+#[test]
+fn park_mode_survives_team_size_churn() {
+    let (executed, stats) = run_cycle(PoolMode::Park, 300);
+    // Sum of team sizes over the cycle: 1+8+2+6+1+4 = 22 per 6 regions.
+    assert_eq!(executed, 300 / 6 * 22);
+    assert_eq!(stats.regions_run, 300);
+    // Parked pool spawns each worker exactly once.
+    assert_eq!(stats.threads_spawned, 7);
+    assert_eq!(stats.threads_destroyed, 0);
+}
+
+#[test]
+fn destroy_mode_churns_threads() {
+    let (executed, stats) = run_cycle(PoolMode::DestroyOnShrink, 300);
+    assert_eq!(executed, 300 / 6 * 22);
+    // Every 8->small shrink destroys workers that the next growth must
+    // respawn; the churn is what the paper's pool change eliminates.
+    assert!(
+        stats.threads_destroyed > 100,
+        "expected heavy churn: {stats:?}"
+    );
+    // The last region (index 299) uses sizes[299 % 6] = 4 threads, so 3
+    // workers are still alive when the pool drops.
+    assert_eq!(
+        stats.threads_spawned,
+        stats.threads_destroyed + 3,
+        "spawns = destroys + alive at exit: {stats:?}"
+    );
+}
+
+#[test]
+fn deep_region_interleaving_with_shared_state() {
+    // Regions reading and writing shared state through criticals, with
+    // team sizes changing every region.
+    let rt = OmpRuntime::with_listener(
+        6,
+        PoolMode::Park,
+        Box::new(CyclingListener {
+            sizes: vec![6, 1, 3],
+            next: 0,
+        }),
+    );
+    let mut history = Vec::new();
+    for round in 0..60u64 {
+        let sum = AtomicU64::new(0);
+        rt.parallel(RegionId(0), |tid, team| {
+            rt.critical(0, || {
+                sum.fetch_add(round * team as u64 + tid as u64, Ordering::Relaxed);
+            });
+        });
+        history.push(sum.load(Ordering::Relaxed));
+    }
+    // Spot-check the deterministic parts (team size cycle 6,1,3).
+    // round 0, team 6: sum of tids 0..6 = 15.
+    assert_eq!(history[0], 15);
+    // round 1, team 1: 1*1 + 0 = 1.
+    assert_eq!(history[1], 1);
+    // round 2, team 3: 3*(2*3) ... = sum(2*3 + tid) = 18 + 3 = 21.
+    assert_eq!(history[2], 21);
+}

@@ -1,0 +1,199 @@
+//! MPI call descriptors and the per-rank event-interning cache.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use pythia_core::event::{EventId, EventRegistry};
+use pythia_core::util::FxHashMap;
+
+/// The MPI primitives the runtime system instruments (paper §III-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MpiCall {
+    /// `MPI_Send` (payload: destination rank).
+    Send,
+    /// `MPI_Recv` (payload: source rank, `-1` for `MPI_ANY_SOURCE`).
+    Recv,
+    /// `MPI_Isend` (payload: destination rank).
+    Isend,
+    /// `MPI_Irecv` (payload: source rank, `-1` for any).
+    Irecv,
+    /// `MPI_Wait`.
+    Wait,
+    /// `MPI_Waitall`.
+    Waitall,
+    /// `MPI_Barrier`.
+    Barrier,
+    /// `MPI_Bcast` (payload: root).
+    Bcast,
+    /// `MPI_Reduce` (payload: reduction operation).
+    Reduce,
+    /// `MPI_Allreduce` (payload: reduction operation).
+    Allreduce,
+    /// `MPI_Alltoall`.
+    Alltoall,
+    /// `MPI_Gather` (payload: root).
+    Gather,
+    /// `MPI_Allgather`.
+    Allgather,
+    /// `MPI_Scatter` (payload: root).
+    Scatter,
+    /// `MPI_Sendrecv` (payload: destination rank).
+    Sendrecv,
+    /// `MPI_Scan` (payload: reduction operation).
+    Scan,
+    /// `MPI_Reduce_scatter` (payload: reduction operation).
+    ReduceScatter,
+    /// `MPI_Comm_dup`.
+    CommDup,
+    /// `MPI_Comm_split`.
+    CommSplit,
+    /// A non-MPI key point submitted through the same per-thread event
+    /// stream (e.g. the OpenMP region begin/end events of the hybrid
+    /// MPI+OpenMP applications — the paper maintains one grammar per
+    /// thread across both runtime systems).
+    Custom(&'static str),
+}
+
+impl MpiCall {
+    /// The MPI function name used as the event key point.
+    pub fn name(self) -> &'static str {
+        match self {
+            MpiCall::Send => "MPI_Send",
+            MpiCall::Recv => "MPI_Recv",
+            MpiCall::Isend => "MPI_Isend",
+            MpiCall::Irecv => "MPI_Irecv",
+            MpiCall::Wait => "MPI_Wait",
+            MpiCall::Waitall => "MPI_Waitall",
+            MpiCall::Barrier => "MPI_Barrier",
+            MpiCall::Bcast => "MPI_Bcast",
+            MpiCall::Reduce => "MPI_Reduce",
+            MpiCall::Allreduce => "MPI_Allreduce",
+            MpiCall::Alltoall => "MPI_Alltoall",
+            MpiCall::Gather => "MPI_Gather",
+            MpiCall::Allgather => "MPI_Allgather",
+            MpiCall::Scatter => "MPI_Scatter",
+            MpiCall::Sendrecv => "MPI_Sendrecv",
+            MpiCall::Scan => "MPI_Scan",
+            MpiCall::ReduceScatter => "MPI_Reduce_scatter",
+            MpiCall::CommDup => "MPI_Comm_dup",
+            MpiCall::CommSplit => "MPI_Comm_split",
+            MpiCall::Custom(name) => name,
+        }
+    }
+
+    /// Whether the runtime requests predictions when entering this call
+    /// (blocking synchronization points, paper §III-B).
+    pub fn is_blocking_sync(self) -> bool {
+        matches!(
+            self,
+            MpiCall::Wait
+                | MpiCall::Waitall
+                | MpiCall::Barrier
+                | MpiCall::Bcast
+                | MpiCall::Reduce
+                | MpiCall::Allreduce
+                | MpiCall::Alltoall
+                | MpiCall::Gather
+                | MpiCall::Allgather
+                | MpiCall::Scatter
+                | MpiCall::Scan
+                | MpiCall::ReduceScatter
+        )
+    }
+}
+
+/// Registry shared by all ranks of a run (the trace file stores one
+/// registry; interning must be globally consistent).
+pub type SharedRegistry = Arc<Mutex<EventRegistry>>;
+
+/// Per-rank cache avoiding the registry lock on every event.
+#[derive(Debug, Default)]
+pub struct EventCache {
+    map: FxHashMap<(MpiCall, Option<i64>), EventId>,
+}
+
+impl EventCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resolves `(call, payload)` to its [`EventId`], interning through the
+    /// shared registry on a cache miss.
+    pub fn resolve(
+        &mut self,
+        registry: &SharedRegistry,
+        call: MpiCall,
+        payload: Option<i64>,
+    ) -> EventId {
+        if let Some(&id) = self.map.get(&(call, payload)) {
+            return id;
+        }
+        let id = registry.lock().intern(call.name(), payload);
+        self.map.insert((call, payload), id);
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_interns_once() {
+        let registry: SharedRegistry = Arc::new(Mutex::new(EventRegistry::new()));
+        let mut cache = EventCache::new();
+        let a = cache.resolve(&registry, MpiCall::Send, Some(3));
+        let b = cache.resolve(&registry, MpiCall::Send, Some(3));
+        let c = cache.resolve(&registry, MpiCall::Send, Some(4));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(registry.lock().len(), 2);
+    }
+
+    #[test]
+    fn cache_consistent_across_ranks() {
+        let registry: SharedRegistry = Arc::new(Mutex::new(EventRegistry::new()));
+        let mut c1 = EventCache::new();
+        let mut c2 = EventCache::new();
+        let a = c1.resolve(&registry, MpiCall::Barrier, None);
+        let b = c2.resolve(&registry, MpiCall::Barrier, None);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn blocking_classification_matches_paper() {
+        assert!(MpiCall::Wait.is_blocking_sync());
+        assert!(MpiCall::Allreduce.is_blocking_sync());
+        assert!(MpiCall::Barrier.is_blocking_sync());
+        assert!(!MpiCall::Isend.is_blocking_sync());
+        assert!(!MpiCall::Send.is_blocking_sync());
+    }
+
+    #[test]
+    fn names_are_mpi_spelled() {
+        assert_eq!(MpiCall::Allreduce.name(), "MPI_Allreduce");
+        assert_eq!(MpiCall::CommSplit.name(), "MPI_Comm_split");
+    }
+}
+
+#[cfg(test)]
+mod extended_call_tests {
+    use super::*;
+
+    #[test]
+    fn extended_calls_have_mpi_names() {
+        assert_eq!(MpiCall::Sendrecv.name(), "MPI_Sendrecv");
+        assert_eq!(MpiCall::Scan.name(), "MPI_Scan");
+        assert_eq!(MpiCall::ReduceScatter.name(), "MPI_Reduce_scatter");
+        assert_eq!(MpiCall::CommDup.name(), "MPI_Comm_dup");
+    }
+
+    #[test]
+    fn extended_blocking_classification() {
+        assert!(MpiCall::Scan.is_blocking_sync());
+        assert!(MpiCall::ReduceScatter.is_blocking_sync());
+        assert!(!MpiCall::Sendrecv.is_blocking_sync());
+        assert!(!MpiCall::CommDup.is_blocking_sync());
+    }
+}

@@ -1,0 +1,299 @@
+//! Measurement probes for the paper's evaluation.
+//!
+//! * [`AccuracyProbe`] — Fig. 8: at every blocking call, the runtime asks
+//!   "which event happens in `x` events?" for a set of distances; when the
+//!   stream reaches the target position, the prediction is scored correct,
+//!   incorrect, or uninformed.
+//! * [`CostProbe`] — Fig. 9: wall-clock latency of each prediction call,
+//!   aggregated per distance.
+
+use std::collections::VecDeque;
+
+use pythia_core::event::EventId;
+
+/// Accuracy counters for one prediction distance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DistanceAccuracy {
+    /// Predictions whose target event matched.
+    pub correct: u64,
+    /// Predictions whose target event differed.
+    pub incorrect: u64,
+    /// Predictions where the oracle had no information.
+    pub uninformed: u64,
+}
+
+impl DistanceAccuracy {
+    /// Fraction of predictions that were correct, counting uninformed
+    /// predictions as failures (the paper counts correct vs. the rest).
+    pub fn accuracy(&self) -> f64 {
+        let total = self.correct + self.incorrect + self.uninformed;
+        if total == 0 {
+            return f64::NAN;
+        }
+        self.correct as f64 / total as f64
+    }
+
+    /// Total scored predictions.
+    pub fn total(&self) -> u64 {
+        self.correct + self.incorrect + self.uninformed
+    }
+}
+
+#[derive(Debug)]
+struct PendingPrediction {
+    /// Event index the prediction targets.
+    target: u64,
+    /// Index into the distances table.
+    distance_slot: usize,
+    /// Predicted event (`None` = oracle uninformed).
+    predicted: Option<EventId>,
+}
+
+/// Scores distance-`x` predictions against the events that actually occur.
+#[derive(Debug)]
+pub struct AccuracyProbe {
+    distances: Vec<usize>,
+    counters: Vec<DistanceAccuracy>,
+    pending: VecDeque<PendingPrediction>,
+    next_index: u64,
+}
+
+impl AccuracyProbe {
+    /// Creates a probe scoring the given prediction distances.
+    pub fn new(distances: Vec<usize>) -> Self {
+        assert!(!distances.is_empty());
+        assert!(distances.iter().all(|&d| d >= 1));
+        let n = distances.len();
+        AccuracyProbe {
+            distances,
+            counters: vec![DistanceAccuracy::default(); n],
+            pending: VecDeque::new(),
+            next_index: 0,
+        }
+    }
+
+    /// The distances being scored.
+    pub fn distances(&self) -> &[usize] {
+        &self.distances
+    }
+
+    /// Records that an event occurred; resolves any prediction targeting
+    /// this position. Call for *every* submitted event, in order.
+    pub fn on_event(&mut self, event: EventId) {
+        let index = self.next_index;
+        self.next_index += 1;
+        while let Some(p) = self.pending.front() {
+            if p.target > index {
+                break;
+            }
+            let p = self.pending.pop_front().expect("front exists");
+            if p.target < index {
+                continue; // unreachable with ordered inserts, but safe
+            }
+            let c = &mut self.counters[p.distance_slot];
+            match p.predicted {
+                None => c.uninformed += 1,
+                Some(e) if e == event => c.correct += 1,
+                Some(_) => c.incorrect += 1,
+            }
+        }
+    }
+
+    /// Registers a prediction made *after* the most recent event, aiming
+    /// `distance` events ahead of it.
+    pub fn on_prediction(&mut self, distance_slot: usize, predicted: Option<EventId>) {
+        let distance = self.distances[distance_slot];
+        let target = self.next_index + distance as u64 - 1;
+        // Keep the queue sorted by target: predictions are made in stream
+        // order, but different distances interleave.
+        let pos = self
+            .pending
+            .iter()
+            .rposition(|p| p.target <= target)
+            .map_or(0, |i| i + 1);
+        self.pending.insert(
+            pos,
+            PendingPrediction {
+                target,
+                distance_slot,
+                predicted,
+            },
+        );
+    }
+
+    /// Results per distance, in the order given to [`AccuracyProbe::new`].
+    pub fn results(&self) -> Vec<(usize, DistanceAccuracy)> {
+        self.distances
+            .iter()
+            .copied()
+            .zip(self.counters.iter().copied())
+            .collect()
+    }
+
+    /// Predictions still waiting for their target event (end-of-stream
+    /// leftovers are simply dropped, as in the paper's methodology).
+    pub fn unresolved(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+/// Aggregates prediction latency per distance (Fig. 9).
+#[derive(Debug, Default)]
+pub struct CostProbe {
+    /// `(distance, total nanoseconds, samples)` per distance.
+    buckets: Vec<(usize, u128, u64)>,
+}
+
+impl CostProbe {
+    /// Creates an empty probe.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one latency sample.
+    pub fn add(&mut self, distance: usize, nanos: u128) {
+        if let Some(b) = self.buckets.iter_mut().find(|b| b.0 == distance) {
+            b.1 += nanos;
+            b.2 += 1;
+        } else {
+            self.buckets.push((distance, nanos, 1));
+        }
+    }
+
+    /// Mean latency in nanoseconds for `distance`, if sampled.
+    pub fn mean_ns(&self, distance: usize) -> Option<f64> {
+        self.buckets
+            .iter()
+            .find(|b| b.0 == distance && b.2 > 0)
+            .map(|b| b.1 as f64 / b.2 as f64)
+    }
+
+    /// All `(distance, mean ns, samples)` rows, sorted by distance.
+    pub fn rows(&self) -> Vec<(usize, f64, u64)> {
+        let mut rows: Vec<(usize, f64, u64)> = self
+            .buckets
+            .iter()
+            .filter(|b| b.2 > 0)
+            .map(|b| (b.0, b.1 as f64 / b.2 as f64, b.2))
+            .collect();
+        rows.sort_by_key(|r| r.0);
+        rows
+    }
+
+    /// Merges another probe's samples (for cross-rank aggregation).
+    pub fn merge(&mut self, other: &CostProbe) {
+        for &(d, total, n) in &other.buckets {
+            if let Some(b) = self.buckets.iter_mut().find(|b| b.0 == d) {
+                b.1 += total;
+                b.2 += n;
+            } else {
+                self.buckets.push((d, total, n));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(n: u32) -> EventId {
+        EventId(n)
+    }
+
+    #[test]
+    fn scores_correct_prediction_at_distance_one() {
+        let mut p = AccuracyProbe::new(vec![1]);
+        p.on_event(e(0));
+        p.on_prediction(0, Some(e(1)));
+        p.on_event(e(1));
+        let r = p.results();
+        assert_eq!(r[0].1.correct, 1);
+        assert_eq!(r[0].1.incorrect, 0);
+    }
+
+    #[test]
+    fn scores_incorrect_prediction() {
+        let mut p = AccuracyProbe::new(vec![1]);
+        p.on_event(e(0));
+        p.on_prediction(0, Some(e(9)));
+        p.on_event(e(1));
+        assert_eq!(p.results()[0].1.incorrect, 1);
+    }
+
+    #[test]
+    fn scores_uninformed_prediction() {
+        let mut p = AccuracyProbe::new(vec![1]);
+        p.on_prediction(0, None);
+        p.on_event(e(1));
+        assert_eq!(p.results()[0].1.uninformed, 1);
+        assert!(p.results()[0].1.accuracy() < 1e-9);
+    }
+
+    #[test]
+    fn distance_two_waits_for_second_event() {
+        let mut p = AccuracyProbe::new(vec![2]);
+        p.on_event(e(0));
+        p.on_prediction(0, Some(e(2)));
+        p.on_event(e(1));
+        assert_eq!(p.results()[0].1.total(), 0);
+        p.on_event(e(2));
+        assert_eq!(p.results()[0].1.correct, 1);
+    }
+
+    #[test]
+    fn interleaved_distances_resolve_independently() {
+        let mut p = AccuracyProbe::new(vec![1, 3]);
+        p.on_event(e(0));
+        p.on_prediction(0, Some(e(1))); // -> index 1
+        p.on_prediction(1, Some(e(3))); // -> index 3
+        p.on_event(e(1));
+        p.on_prediction(0, Some(e(2))); // -> index 2
+        p.on_event(e(2));
+        p.on_event(e(99)); // distance-3 prediction was wrong
+        let r = p.results();
+        assert_eq!(r[0].1.correct, 2);
+        assert_eq!(r[1].1.incorrect, 1);
+        assert_eq!(p.unresolved(), 0);
+    }
+
+    #[test]
+    fn leftover_predictions_unresolved() {
+        let mut p = AccuracyProbe::new(vec![8]);
+        p.on_prediction(0, Some(e(5)));
+        p.on_event(e(0));
+        assert_eq!(p.unresolved(), 1);
+        assert_eq!(p.results()[0].1.total(), 0);
+    }
+
+    #[test]
+    fn accuracy_math() {
+        let d = DistanceAccuracy {
+            correct: 3,
+            incorrect: 1,
+            uninformed: 0,
+        };
+        assert!((d.accuracy() - 0.75).abs() < 1e-12);
+        let empty = DistanceAccuracy::default();
+        assert!(empty.accuracy().is_nan());
+    }
+
+    #[test]
+    fn cost_probe_means_and_merge() {
+        let mut c = CostProbe::new();
+        c.add(1, 100);
+        c.add(1, 200);
+        c.add(4, 1000);
+        assert_eq!(c.mean_ns(1), Some(150.0));
+        assert_eq!(c.mean_ns(4), Some(1000.0));
+        assert_eq!(c.mean_ns(9), None);
+        let mut other = CostProbe::new();
+        other.add(1, 300);
+        other.add(8, 50);
+        c.merge(&other);
+        assert_eq!(c.mean_ns(1), Some(200.0));
+        let rows = c.rows();
+        assert_eq!(rows.len(), 3);
+        assert!(rows.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+}

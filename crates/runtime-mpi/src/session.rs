@@ -1,0 +1,761 @@
+//! The instrumented communicator: every MPI call submits a PYTHIA event;
+//! blocking calls request predictions (paper §III-B).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use pythia_core::event::EventRegistry;
+use pythia_core::oracle::Oracle;
+use pythia_core::predict::{PredictStats, PredictorConfig};
+use pythia_core::record::RecordConfig;
+use pythia_core::trace::{ThreadTrace, TraceData};
+use pythia_minimpi::{Comm, MpiReduce, MpiType, ReduceOp, Request, Status, Tag};
+
+use crate::events::{EventCache, MpiCall};
+use crate::probe::{AccuracyProbe, CostProbe, DistanceAccuracy};
+
+pub use crate::events::SharedRegistry;
+
+/// How the runtime system uses PYTHIA for this execution.
+#[derive(Clone)]
+pub enum MpiMode {
+    /// No oracle (baseline "Vanilla" of the paper's tables).
+    Vanilla,
+    /// Reference execution: record events (PYTHIA-RECORD).
+    Record {
+        /// Log per-event timestamps (costs memory on huge traces).
+        timestamps: bool,
+    },
+    /// Subsequent execution: load the reference trace and predict
+    /// (PYTHIA-PREDICT). Predictions are requested at blocking calls for
+    /// every distance in `distances` and scored by the accuracy probe.
+    Predict {
+        /// The reference trace (thread `i` = rank `i`).
+        trace: Arc<TraceData>,
+        /// Prediction distances to request and score.
+        distances: Vec<usize>,
+        /// Map rank `r` to trace thread `r % thread_count` instead of
+        /// requiring equal counts — the paper's stated future work
+        /// ("predict accurately when the application runs with different
+        /// configuration (number of threads, number of processes)").
+        /// Symmetric ranks of these kernels behave alike, so the modulo
+        /// mapping is a reasonable first approximation.
+        map_ranks: bool,
+    },
+}
+
+impl MpiMode {
+    /// Record mode with timestamps enabled.
+    pub fn record() -> Self {
+        MpiMode::Record { timestamps: true }
+    }
+
+    /// Predict mode scoring only distance 1.
+    pub fn predict(trace: Arc<TraceData>) -> Self {
+        MpiMode::Predict {
+            trace,
+            distances: vec![1],
+            map_ranks: false,
+        }
+    }
+
+    /// Predict mode scoring a set of distances (Fig. 8 uses 1..=128).
+    pub fn predict_distances(trace: Arc<TraceData>, distances: Vec<usize>) -> Self {
+        MpiMode::Predict {
+            trace,
+            distances,
+            map_ranks: false,
+        }
+    }
+
+    /// Predict mode tolerating a different rank count than the reference
+    /// execution (rank `r` follows trace thread `r mod threads`).
+    pub fn predict_mapped(trace: Arc<TraceData>, distances: Vec<usize>) -> Self {
+        MpiMode::Predict {
+            trace,
+            distances,
+            map_ranks: true,
+        }
+    }
+}
+
+/// Everything one rank accumulated during a run.
+#[derive(Debug)]
+pub struct RankReport {
+    /// This rank's communicator-world rank.
+    pub rank: usize,
+    /// Total events submitted to the oracle.
+    pub events: u64,
+    /// Grammar rule count (record mode; 0 otherwise).
+    pub rules: usize,
+    /// The recorded thread trace (record mode).
+    pub thread_trace: Option<ThreadTrace>,
+    /// Per-distance accuracy (predict mode).
+    pub accuracy: Vec<(usize, DistanceAccuracy)>,
+    /// Per-distance prediction latency (predict mode).
+    pub cost: CostProbe,
+    /// Predictor synchronization statistics (predict mode).
+    pub predict_stats: Option<PredictStats>,
+    /// Send-aggregation counters (zero unless aggregation was enabled).
+    pub aggregation: AggregationStats,
+}
+
+/// Configuration of prediction-driven send aggregation — the optimization
+/// the paper names as the MPI runtime's motivation (§III-B: "aggregating
+/// multiple successive MPI send messages"): when the oracle predicts that
+/// the next event is another `MPI_Isend` to the same destination, the
+/// message is buffered and shipped together with the following ones as a
+/// single wire transfer.
+#[derive(Debug, Clone, Copy)]
+pub struct AggregationConfig {
+    /// Minimum predicted probability of "another isend to the same peer
+    /// follows" required to hold a message back.
+    pub min_probability: f64,
+    /// Maximum messages per aggregated transfer.
+    pub max_batch: usize,
+}
+
+impl Default for AggregationConfig {
+    fn default() -> Self {
+        AggregationConfig {
+            min_probability: 0.9,
+            max_batch: 16,
+        }
+    }
+}
+
+/// Counters of the aggregation layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AggregationStats {
+    /// Nonblocking sends issued by the application.
+    pub logical_sends: u64,
+    /// Sends that were buffered based on a prediction.
+    pub held_back: u64,
+    /// Aggregated transfers flushed (each carried >= 2 messages).
+    pub batches: u64,
+}
+
+struct PendingBatch {
+    dest: usize,
+    tag: Tag,
+    bufs: Vec<bytes::Bytes>,
+}
+
+struct AggState {
+    config: AggregationConfig,
+    stats: AggregationStats,
+    pending: Option<PendingBatch>,
+}
+
+pub(crate) struct RankState {
+    pub(crate) oracle: Oracle,
+    cache: EventCache,
+    accuracy: Option<AccuracyProbe>,
+    cost: CostProbe,
+    distances: Vec<usize>,
+    events: u64,
+    aggregation: Option<AggState>,
+}
+
+impl RankState {
+    /// Submits an already-resolved event id into this rank's stream
+    /// (shared by the MPI façade and the OpenMP bridge listener).
+    pub(crate) fn submit(
+        &mut self,
+        id: pythia_core::event::EventId,
+    ) -> Option<pythia_core::predict::ObserveOutcome> {
+        self.events += 1;
+        let outcome = self.oracle.event(id);
+        if let Some(probe) = self.accuracy.as_mut() {
+            probe.on_event(id);
+        }
+        outcome
+    }
+}
+
+/// Assembles the per-rank recordings of a run into a [`TraceData`] (rank
+/// `i` becomes thread `i`), embedding the registry the run interned into —
+/// event ids are only meaningful together with that registry.
+///
+/// Panics if a report has no recording (i.e. the run was not in record
+/// mode) or ranks are missing.
+pub fn assemble_trace(reports: Vec<RankReport>, registry: &SharedRegistry) -> TraceData {
+    let mut reports = reports;
+    reports.sort_by_key(|r| r.rank);
+    for (i, r) in reports.iter().enumerate() {
+        assert_eq!(r.rank, i, "missing rank {i} in reports");
+    }
+    let threads: Vec<ThreadTrace> = reports
+        .into_iter()
+        .map(|r| r.thread_trace.expect("report has no recording"))
+        .collect();
+    TraceData::from_threads(threads, registry.lock().clone())
+}
+
+/// A communicator that notifies PYTHIA of every MPI call.
+///
+/// Mirrors the [`Comm`] API; sub-communicators from [`PythiaComm::split`]
+/// share the rank's oracle (the paper maintains one event stream per
+/// process/thread, across all communicators).
+pub struct PythiaComm {
+    comm: Comm,
+    state: Arc<Mutex<RankState>>,
+    registry: SharedRegistry,
+}
+
+impl PythiaComm {
+    /// Wraps a world communicator. `registry` must be shared by all ranks
+    /// of the run; in predict mode it should start from the trace's
+    /// registry (see [`PythiaComm::registry_for`]).
+    pub fn wrap(comm: Comm, mode: &MpiMode, registry: SharedRegistry) -> Self {
+        let (oracle, accuracy, distances) = match mode {
+            MpiMode::Vanilla => (Oracle::off(), None, Vec::new()),
+            MpiMode::Record { timestamps } => (
+                Oracle::record(RecordConfig {
+                    timestamps: *timestamps,
+                    validate: false,
+                }),
+                None,
+                Vec::new(),
+            ),
+            MpiMode::Predict {
+                trace,
+                distances,
+                map_ranks,
+            } => {
+                let thread = if *map_ranks {
+                    comm.rank() % trace.thread_count().max(1)
+                } else {
+                    comm.rank()
+                };
+                let oracle = Oracle::predict(trace, thread, PredictorConfig::default())
+                    .expect("trace is missing this rank's thread");
+                (
+                    oracle,
+                    Some(AccuracyProbe::new(distances.clone())),
+                    distances.clone(),
+                )
+            }
+        };
+        PythiaComm {
+            comm,
+            state: Arc::new(Mutex::new(RankState {
+                oracle,
+                cache: EventCache::new(),
+                accuracy,
+                cost: CostProbe::new(),
+                distances,
+                events: 0,
+                aggregation: None,
+            })),
+            registry,
+        }
+    }
+
+    /// The registry a run in `mode` should share across ranks: the trace's
+    /// registry in predict mode, a fresh one otherwise.
+    pub fn registry_for(mode: &MpiMode) -> SharedRegistry {
+        match mode {
+            MpiMode::Predict { trace, .. } => Arc::new(Mutex::new(trace.registry().clone())),
+            _ => Arc::new(Mutex::new(EventRegistry::new())),
+        }
+    }
+
+    /// Rank within the communicator.
+    pub fn rank(&self) -> usize {
+        self.comm.rank()
+    }
+
+    /// Communicator size.
+    pub fn size(&self) -> usize {
+        self.comm.size()
+    }
+
+    /// The underlying communicator (escape hatch; calls made through it
+    /// are invisible to the oracle).
+    pub fn inner(&self) -> &Comm {
+        &self.comm
+    }
+
+    fn event(&self, call: MpiCall, payload: Option<i64>) {
+        let mut st = self.state.lock();
+        if matches!(st.oracle, Oracle::Off) {
+            // Vanilla: no oracle work at all (the paper's baseline).
+            return;
+        }
+        let id = st.cache.resolve(&self.registry, call, payload);
+        st.submit(id);
+        if call.is_blocking_sync() {
+            self.request_predictions(&mut st);
+        }
+    }
+
+    /// At a blocking call, mimic a runtime that uses the synchronization
+    /// time to plan an optimization: predict the event `x` ahead for every
+    /// configured distance, scoring accuracy and latency.
+    fn request_predictions(&self, st: &mut RankState) {
+        if st.accuracy.is_none() {
+            return;
+        }
+        for slot in 0..st.distances.len() {
+            let d = st.distances[slot];
+            let t0 = Instant::now();
+            let prediction = st.oracle.predict_event(d);
+            let elapsed = t0.elapsed().as_nanos();
+            st.cost.add(d, elapsed);
+            let predicted = prediction.most_likely();
+            st.accuracy
+                .as_mut()
+                .expect("checked above")
+                .on_prediction(slot, predicted);
+        }
+    }
+
+    /// Finishes the rank: consumes the wrapper and returns the report.
+    pub fn finish(self) -> RankReport {
+        self.flush_pending();
+        let rank = self.comm.rank();
+        let state = Arc::try_unwrap(self.state)
+            .map_err(|_| ())
+            .expect("all split communicators must be dropped before finish")
+            .into_inner();
+        let events = state.events;
+        let rules = state
+            .oracle
+            .recorder()
+            .map_or(0, |r| r.rule_count());
+        let predict_stats = state.oracle.predictor().map(|p| p.stats());
+        let aggregation = state
+            .aggregation
+            .as_ref()
+            .map(|a| a.stats)
+            .unwrap_or_default();
+        let accuracy = state
+            .accuracy
+            .as_ref()
+            .map(|a| a.results())
+            .unwrap_or_default();
+        let thread_trace = state.oracle.finish();
+        RankReport {
+            rank,
+            events,
+            rules,
+            thread_trace,
+            accuracy,
+            cost: state.cost,
+            predict_stats,
+            aggregation,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Instrumented MPI surface
+    // ------------------------------------------------------------------
+
+    /// `MPI_Send` (eager semantics: may be buffered, so it participates
+    /// in prediction-driven aggregation like `isend`).
+    pub fn send<T: MpiType>(&self, buf: &[T], dest: usize, tag: Tag) {
+        self.do_send(MpiCall::Send, buf, dest, tag);
+    }
+
+    /// `MPI_Recv`.
+    pub fn recv<T: MpiType>(&self, src: Option<usize>, tag: Option<Tag>) -> (Vec<T>, Status) {
+        self.flush_pending();
+        self.event(MpiCall::Recv, Some(src.map_or(-1, |s| s as i64)));
+        self.comm.recv(src, tag)
+    }
+
+    /// Enables prediction-driven send aggregation (only effective in
+    /// predict mode; see [`AggregationConfig`]).
+    pub fn enable_aggregation(&self, config: AggregationConfig) {
+        self.state.lock().aggregation = Some(AggState {
+            config,
+            stats: AggregationStats::default(),
+            pending: None,
+        });
+    }
+
+    /// Aggregation counters (zero if aggregation was never enabled).
+    pub fn aggregation_stats(&self) -> AggregationStats {
+        self.state
+            .lock()
+            .aggregation
+            .as_ref()
+            .map(|a| a.stats)
+            .unwrap_or_default()
+    }
+
+    /// Ships any buffered messages (one transfer per destination batch).
+    fn flush_pending_locked(&self, st: &mut RankState) {
+        if let Some(agg) = st.aggregation.as_mut() {
+            if let Some(p) = agg.pending.take() {
+                if p.bufs.len() >= 2 {
+                    agg.stats.batches += 1;
+                }
+                self.comm.send_batch_raw(p.bufs, p.dest, p.tag);
+            }
+        }
+    }
+
+    /// Flush entry point used before every operation whose semantics
+    /// require buffered sends to be visible (ordering and progress).
+    fn flush_pending(&self) {
+        let mut st = self.state.lock();
+        self.flush_pending_locked(&mut st);
+    }
+
+    /// `MPI_Isend`. With aggregation enabled and the oracle predicting
+    /// another send to the same peer, the message is buffered and later
+    /// shipped as part of one transfer.
+    pub fn isend<T: MpiType>(&self, buf: &[T], dest: usize, tag: Tag) -> Request<T> {
+        self.do_send(MpiCall::Isend, buf, dest, tag);
+        Request::send(dest, tag)
+    }
+
+    /// Shared path of `send`/`isend`: submit the event, then either ship
+    /// the message or — when the oracle predicts that the next event is
+    /// another send to the same peer — buffer it for an aggregated
+    /// transfer.
+    fn do_send<T: MpiType>(&self, call: MpiCall, buf: &[T], dest: usize, tag: Tag) {
+        let mut st = self.state.lock();
+        if matches!(st.oracle, Oracle::Off) {
+            drop(st);
+            self.comm.send(buf, dest, tag);
+            return;
+        }
+        // Submit the event (identical to the un-aggregated path).
+        let id = st.cache.resolve(&self.registry, call, Some(dest as i64));
+        st.submit(id);
+        if st.aggregation.is_none() || st.oracle.predictor().is_none() {
+            drop(st);
+            self.comm.send(buf, dest, tag);
+            return;
+        }
+        // Aggregation decision.
+        let agg = st.aggregation.as_mut().expect("checked above");
+        agg.stats.logical_sends += 1;
+        // A pending batch for a different peer must go out first to
+        // preserve per-destination ordering.
+        let incompatible = agg
+            .pending
+            .as_ref()
+            .is_some_and(|p| p.dest != dest || p.tag != tag);
+        if incompatible {
+            self.flush_pending_locked(&mut st);
+        }
+        // "Another send to this peer follows" — blocking or nonblocking.
+        let send_id = st
+            .cache
+            .resolve(&self.registry, MpiCall::Send, Some(dest as i64));
+        let isend_id = st
+            .cache
+            .resolve(&self.registry, MpiCall::Isend, Some(dest as i64));
+        let agg = st.aggregation.as_ref().expect("still enabled");
+        let room = agg
+            .pending
+            .as_ref()
+            .is_none_or(|p| p.bufs.len() < agg.config.max_batch);
+        let min_p = agg.config.min_probability;
+        let prediction = st.oracle.predict_event(1);
+        let more_coming = matches!(
+            prediction.most_likely(),
+            Some(m) if m == send_id || m == isend_id
+        ) && prediction.probability(send_id) + prediction.probability(isend_id) >= min_p;
+        let agg = st.aggregation.as_mut().expect("still enabled");
+        let data = pythia_minimpi::datatype::to_bytes(buf);
+        match agg.pending.as_mut() {
+            Some(p) => {
+                p.bufs.push(data);
+                agg.stats.held_back += 1;
+                if !(more_coming && room) {
+                    self.flush_pending_locked(&mut st);
+                }
+            }
+            None if more_coming => {
+                agg.pending = Some(PendingBatch {
+                    dest,
+                    tag,
+                    bufs: vec![data],
+                });
+                agg.stats.held_back += 1;
+            }
+            None => {
+                drop(st);
+                self.comm.send(buf, dest, tag);
+            }
+        }
+    }
+
+    /// `MPI_Irecv`.
+    pub fn irecv<T: MpiType>(&self, src: Option<usize>, tag: Option<Tag>) -> Request<T> {
+        self.event(MpiCall::Irecv, Some(src.map_or(-1, |s| s as i64)));
+        self.comm.irecv(src, tag)
+    }
+
+    /// `MPI_Wait` (requests predictions).
+    pub fn wait<T: MpiType>(&self, request: Request<T>) -> Option<(Vec<T>, Status)> {
+        self.flush_pending();
+        self.event(MpiCall::Wait, None);
+        self.comm.wait(request)
+    }
+
+    /// `MPI_Waitall` (requests predictions).
+    pub fn waitall<T: MpiType>(
+        &self,
+        requests: Vec<Request<T>>,
+    ) -> Vec<Option<(Vec<T>, Status)>> {
+        self.flush_pending();
+        self.event(MpiCall::Waitall, None);
+        self.comm.waitall(requests)
+    }
+
+    /// `MPI_Barrier` (requests predictions).
+    pub fn barrier(&self) {
+        self.flush_pending();
+        self.event(MpiCall::Barrier, None);
+        self.comm.barrier();
+    }
+
+    /// `MPI_Bcast` (requests predictions; payload: root).
+    pub fn bcast<T: MpiType>(&self, data: &[T], root: usize) -> Vec<T> {
+        self.flush_pending();
+        self.event(MpiCall::Bcast, Some(root as i64));
+        self.comm.bcast(data, root)
+    }
+
+    /// `MPI_Reduce` (requests predictions; payload: reduction op).
+    pub fn reduce<T: MpiReduce>(&self, contrib: &[T], op: ReduceOp, root: usize) -> Option<Vec<T>> {
+        self.flush_pending();
+        self.event(MpiCall::Reduce, Some(op.code()));
+        self.comm.reduce(contrib, op, root)
+    }
+
+    /// `MPI_Allreduce` (requests predictions; payload: reduction op).
+    pub fn allreduce<T: MpiReduce>(&self, contrib: &[T], op: ReduceOp) -> Vec<T> {
+        self.flush_pending();
+        self.event(MpiCall::Allreduce, Some(op.code()));
+        self.comm.allreduce(contrib, op)
+    }
+
+    /// `MPI_Alltoall` (requests predictions).
+    pub fn alltoall<T: MpiType>(&self, sends: &[Vec<T>]) -> Vec<Vec<T>> {
+        self.flush_pending();
+        self.event(MpiCall::Alltoall, None);
+        self.comm.alltoall(sends)
+    }
+
+    /// `MPI_Gather` (requests predictions; payload: root).
+    pub fn gather<T: MpiType>(&self, contrib: &[T], root: usize) -> Option<Vec<Vec<T>>> {
+        self.flush_pending();
+        self.event(MpiCall::Gather, Some(root as i64));
+        self.comm.gather(contrib, root)
+    }
+
+    /// `MPI_Allgather` (requests predictions).
+    pub fn allgather<T: MpiType>(&self, contrib: &[T]) -> Vec<Vec<T>> {
+        self.flush_pending();
+        self.event(MpiCall::Allgather, None);
+        self.comm.allgather(contrib)
+    }
+
+    /// `MPI_Scatter` (requests predictions; payload: root).
+    pub fn scatter<T: MpiType>(&self, chunks: Option<&[Vec<T>]>, root: usize) -> Vec<T> {
+        self.flush_pending();
+        self.event(MpiCall::Scatter, Some(root as i64));
+        self.comm.scatter(chunks, root)
+    }
+
+    /// `MPI_Sendrecv` (payload: destination rank; flushes pending
+    /// aggregated sends first — it contains a blocking receive).
+    pub fn sendrecv<T: MpiType>(
+        &self,
+        buf: &[T],
+        dest: usize,
+        src: Option<usize>,
+        tag: Tag,
+    ) -> (Vec<T>, Status) {
+        self.flush_pending();
+        self.event(MpiCall::Sendrecv, Some(dest as i64));
+        self.comm.sendrecv(buf, dest, src, tag)
+    }
+
+    /// `MPI_Scan` (requests predictions; payload: reduction op).
+    pub fn scan<T: MpiReduce>(&self, contrib: &[T], op: ReduceOp) -> Vec<T> {
+        self.flush_pending();
+        self.event(MpiCall::Scan, Some(op.code()));
+        self.comm.scan(contrib, op)
+    }
+
+    /// `MPI_Reduce_scatter` (requests predictions; payload: reduction op).
+    pub fn reduce_scatter<T: MpiReduce>(&self, chunks: &[Vec<T>], op: ReduceOp) -> Vec<T> {
+        self.flush_pending();
+        self.event(MpiCall::ReduceScatter, Some(op.code()));
+        self.comm.reduce_scatter(chunks, op)
+    }
+
+    /// `MPI_Comm_dup`: the duplicate shares this rank's oracle.
+    pub fn dup(&self) -> PythiaComm {
+        self.flush_pending();
+        self.event(MpiCall::CommDup, None);
+        PythiaComm {
+            comm: self.comm.dup(),
+            state: Arc::clone(&self.state),
+            registry: Arc::clone(&self.registry),
+        }
+    }
+
+    /// Submits a non-MPI key point (e.g. an OpenMP region boundary of a
+    /// hybrid application) into this rank's event stream.
+    pub fn custom_event(&self, name: &'static str, payload: Option<i64>) {
+        self.event(MpiCall::Custom(name), payload);
+    }
+
+    /// An [`pythia_minomp::OmpListener`] that feeds an in-rank OpenMP
+    /// runtime's region events into this rank's oracle — one grammar per
+    /// rank across both runtime systems, as in the paper's hybrid
+    /// applications (§III-B). In predict mode, `policy` (if given) turns
+    /// the predicted region duration into the team-size choice.
+    pub fn omp_listener(
+        &self,
+        policy: Option<crate::omp_bridge::DurationPolicy>,
+    ) -> Box<dyn pythia_minomp::OmpListener> {
+        Box::new(crate::omp_bridge::OmpBridgeListener {
+            state: Arc::clone(&self.state),
+            registry: Arc::clone(&self.registry),
+            cache: EventCache::new(),
+            policy,
+        })
+    }
+
+    /// `MPI_Comm_split`: the sub-communicator shares this rank's oracle.
+    pub fn split(&self, color: i64, key: i64) -> PythiaComm {
+        self.flush_pending();
+        self.event(MpiCall::CommSplit, Some(color));
+        PythiaComm {
+            comm: self.comm.split(color, key),
+            state: Arc::clone(&self.state),
+            registry: Arc::clone(&self.registry),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pythia_minimpi::World;
+
+    /// Runs a tiny app in the given mode and returns per-rank reports plus
+    /// the registry the run interned into.
+    fn run_app_with_registry(
+        size: usize,
+        mode: MpiMode,
+        iters: usize,
+    ) -> (Vec<RankReport>, SharedRegistry) {
+        let registry = PythiaComm::registry_for(&mode);
+        let reports = run_app_in(size, mode, iters, &registry);
+        (reports, registry)
+    }
+
+    fn run_app(size: usize, mode: MpiMode, iters: usize) -> Vec<RankReport> {
+        run_app_with_registry(size, mode, iters).0
+    }
+
+    fn run_app_in(
+        size: usize,
+        mode: MpiMode,
+        iters: usize,
+        registry: &SharedRegistry,
+    ) -> Vec<RankReport> {
+        World::run(size, |comm| {
+            let pc = PythiaComm::wrap(comm, &mode, Arc::clone(registry));
+            for _ in 0..iters {
+                let next = (pc.rank() + 1) % pc.size();
+                let prev = (pc.rank() + pc.size() - 1) % pc.size();
+                let r1 = pc.isend(&[pc.rank() as u64], next, 0);
+                let r2 = pc.irecv::<u64>(Some(prev), Some(0));
+                pc.waitall(vec![r1, r2]);
+                pc.allreduce(&[1.0f64], ReduceOp::Sum);
+            }
+            pc.barrier();
+            pc.finish()
+        })
+    }
+
+    #[test]
+    fn vanilla_records_nothing() {
+        let reports = run_app(2, MpiMode::Vanilla, 3);
+        for r in reports {
+            assert_eq!(r.events, 0);
+            assert!(r.thread_trace.is_none());
+        }
+    }
+
+    #[test]
+    fn record_collects_events_and_grammar() {
+        let reports = run_app(2, MpiMode::record(), 10);
+        for r in &reports {
+            // 4 events per iteration + final barrier.
+            assert_eq!(r.events, 41);
+            assert!(r.rules >= 1);
+            let t = r.thread_trace.as_ref().unwrap();
+            assert_eq!(t.event_count, 41);
+        }
+    }
+
+    #[test]
+    fn record_then_predict_is_accurate() {
+        let (reports, registry) = run_app_with_registry(2, MpiMode::record(), 20);
+        let trace = Arc::new(assemble_trace(reports, &registry));
+        let reports = run_app(2, MpiMode::predict(Arc::clone(&trace)), 20);
+        for r in reports {
+            assert_eq!(r.accuracy.len(), 1);
+            let (d, acc) = r.accuracy[0];
+            assert_eq!(d, 1);
+            assert!(acc.total() > 0);
+            assert!(acc.accuracy() > 0.8, "accuracy {}", acc.accuracy());
+            assert!(r.cost.mean_ns(1).is_some());
+            let st = r.predict_stats.unwrap();
+            assert!(st.matched > 0);
+        }
+    }
+
+    #[test]
+    fn predict_longer_distances_also_scored() {
+        let (reports, registry) = run_app_with_registry(2, MpiMode::record(), 30);
+        let trace = Arc::new(assemble_trace(reports, &registry));
+        let mode = MpiMode::predict_distances(trace, vec![1, 4, 16]);
+        let reports = run_app(2, mode, 30);
+        for r in reports {
+            assert_eq!(r.accuracy.len(), 3);
+            for (d, acc) in &r.accuracy {
+                assert!(acc.total() > 0, "distance {d} never scored");
+            }
+            // Distance-1 accuracy should be at least as good as distance-16.
+            let a1 = r.accuracy[0].1.accuracy();
+            let a16 = r.accuracy[2].1.accuracy();
+            assert!(a1 >= a16 - 0.2, "a1={a1} a16={a16}");
+        }
+    }
+
+    #[test]
+    fn split_shares_event_stream() {
+        let mode = MpiMode::record();
+        let registry = PythiaComm::registry_for(&mode);
+        let reports = World::run(4, |comm| {
+            let pc = PythiaComm::wrap(comm, &mode, Arc::clone(&registry));
+            {
+                let row = pc.split((pc.rank() / 2) as i64, pc.rank() as i64);
+                row.barrier();
+                row.allreduce(&[1u64], ReduceOp::Sum);
+            }
+            pc.barrier();
+            pc.finish()
+        });
+        for r in reports {
+            // split + barrier + allreduce + barrier = 4 events.
+            assert_eq!(r.events, 4);
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! The adaptive team-size policy (paper §III-D1).
+//!
+//! Given the oracle's estimate of a region's duration, the runtime trades
+//! the speedup of more threads against their fork/join synchronization
+//! cost: short regions run on few threads, long regions on all of them.
+
+use std::time::Duration;
+
+use pythia_minomp::ThreadChoice;
+
+/// Maps a predicted region duration to a team size: the table holds
+/// `(threshold, threads)` pairs sorted by ascending threshold, and the
+/// first entry whose threshold exceeds `D_est` wins; longer regions (or an
+/// uninformed oracle) use the maximum (paper: "1 thread if `D_est < t_1`,
+/// 4 threads if `D_est < t_4`, 8 threads if `D_est < t_8`, and so on").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThresholdPolicy {
+    thresholds: Vec<(Duration, usize)>,
+}
+
+impl Default for ThresholdPolicy {
+    /// A table tuned for the µs-scale synthetic regions of the benches:
+    /// `< 50µs → 1`, `< 200µs → 2`, `< 800µs → 4`, `< 3.2ms → 8`,
+    /// `< 12.8ms → 16`, else max.
+    fn default() -> Self {
+        ThresholdPolicy::new(vec![
+            (Duration::from_micros(50), 1),
+            (Duration::from_micros(200), 2),
+            (Duration::from_micros(800), 4),
+            (Duration::from_micros(3200), 8),
+            (Duration::from_micros(12800), 16),
+        ])
+    }
+}
+
+impl ThresholdPolicy {
+    /// Builds a policy from `(threshold, threads)` pairs; thresholds must
+    /// strictly increase and team sizes must not decrease.
+    pub fn new(thresholds: Vec<(Duration, usize)>) -> Self {
+        assert!(
+            thresholds.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1),
+            "thresholds must increase and team sizes must be monotone"
+        );
+        assert!(thresholds.iter().all(|&(_, t)| t >= 1));
+        ThresholdPolicy { thresholds }
+    }
+
+    /// The raw table.
+    pub fn table(&self) -> &[(Duration, usize)] {
+        &self.thresholds
+    }
+
+    /// Chooses a team size for a region with estimated duration `d_est`
+    /// (`None` = the oracle has no information → runtime default).
+    pub fn choose(&self, d_est: Option<Duration>) -> ThreadChoice {
+        match d_est {
+            None => ThreadChoice::Default,
+            Some(d) => {
+                for &(threshold, threads) in &self.thresholds {
+                    if d < threshold {
+                        return ThreadChoice::Exactly(threads);
+                    }
+                }
+                ThreadChoice::Default
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_regions_get_one_thread() {
+        let p = ThresholdPolicy::default();
+        assert_eq!(
+            p.choose(Some(Duration::from_micros(10))),
+            ThreadChoice::Exactly(1)
+        );
+    }
+
+    #[test]
+    fn long_regions_get_default() {
+        let p = ThresholdPolicy::default();
+        assert_eq!(p.choose(Some(Duration::from_secs(1))), ThreadChoice::Default);
+    }
+
+    #[test]
+    fn unknown_duration_gets_default() {
+        let p = ThresholdPolicy::default();
+        assert_eq!(p.choose(None), ThreadChoice::Default);
+    }
+
+    #[test]
+    fn intermediate_buckets() {
+        let p = ThresholdPolicy::default();
+        assert_eq!(
+            p.choose(Some(Duration::from_micros(100))),
+            ThreadChoice::Exactly(2)
+        );
+        assert_eq!(
+            p.choose(Some(Duration::from_micros(500))),
+            ThreadChoice::Exactly(4)
+        );
+        assert_eq!(
+            p.choose(Some(Duration::from_millis(2))),
+            ThreadChoice::Exactly(8)
+        );
+    }
+
+    #[test]
+    fn boundary_is_strict() {
+        let p = ThresholdPolicy::new(vec![(Duration::from_micros(50), 1)]);
+        assert_eq!(
+            p.choose(Some(Duration::from_micros(50))),
+            ThreadChoice::Default
+        );
+        assert_eq!(
+            p.choose(Some(Duration::from_nanos(49_999))),
+            ThreadChoice::Exactly(1)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn non_monotone_table_rejected() {
+        let _ = ThresholdPolicy::new(vec![
+            (Duration::from_micros(50), 4),
+            (Duration::from_micros(100), 2),
+        ]);
+    }
+}

@@ -1,0 +1,72 @@
+//! An MPI runtime system using PYTHIA: record a reference execution of an
+//! HPC application skeleton, then replay it (optionally with a different
+//! working set) while predicting future MPI calls at every blocking
+//! operation — the paper's §III-B scenario.
+//!
+//! ```sh
+//! cargo run --release --example mpi_oracle -- [APP] [RANKS]
+//! # e.g.
+//! cargo run --release --example mpi_oracle -- BT 8
+//! ```
+
+use std::sync::Arc;
+
+use pythia::apps::harness::{record_trace, run_app};
+use pythia::apps::work::WorkScale;
+use pythia::apps::{find_app, WorkingSet};
+use pythia::runtime_mpi::MpiMode;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let app_name = args.next().unwrap_or_else(|| "BT".to_string());
+    let ranks: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+    let app = find_app(&app_name).unwrap_or_else(|| {
+        eprintln!("unknown app '{app_name}'; try BT, CG, EP, FT, IS, LU, MG, SP, AMG, Lulesh, Kripke, miniFE, Quicksilver");
+        std::process::exit(1);
+    });
+
+    // Reference execution with the small working set.
+    println!("recording {} on {ranks} ranks (small working set)...", app.name());
+    let trace = record_trace(app.as_ref(), ranks, WorkingSet::Small, WorkScale::ZERO);
+    println!(
+        "  {} events total, mean {:.0} grammar rules/rank",
+        trace.total_events(),
+        trace.mean_rule_count()
+    );
+    println!("\nrank 0 grammar:");
+    let g = &trace.thread(0).unwrap().grammar;
+    print!(
+        "{}",
+        g.render(&|e| trace.registry().name_of(e).replace("MPI_", ""))
+    );
+
+    // Replay on the large working set, predicting at every blocking call.
+    println!("\nreplaying with the LARGE working set, predicting at blocking calls...");
+    let mode = MpiMode::predict_distances(Arc::clone(&trace), vec![1, 8, 64]);
+    let res = run_app(app.as_ref(), ranks, WorkingSet::Large, mode, WorkScale::ZERO);
+
+    println!("\nper-distance accuracy (all ranks):");
+    let mut totals = [(0u64, 0u64); 3];
+    for r in &res.reports {
+        for (slot, (_, acc)) in r.accuracy.iter().enumerate() {
+            totals[slot].0 += acc.correct;
+            totals[slot].1 += acc.total();
+        }
+    }
+    for (slot, d) in [1usize, 8, 64].iter().enumerate() {
+        let (c, t) = totals[slot];
+        if t > 0 {
+            println!(
+                "  distance {d:>2}: {:>5.1}%  ({c}/{t} predictions)",
+                c as f64 / t as f64 * 100.0
+            );
+        } else {
+            println!("  distance {d:>2}: no predictions resolved");
+        }
+    }
+    let st = res.reports[0].predict_stats.unwrap();
+    println!(
+        "\nrank 0 tracking: {} events observed, {} matched, {} re-seeds, {} unknown",
+        st.observed, st.matched, st.reseeded, st.unknown
+    );
+}

@@ -1,0 +1,97 @@
+//! Quickstart: record a reference execution, save the trace, reload it,
+//! and ask the oracle about the future.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use pythia::core::prelude::*;
+
+fn main() -> Result<()> {
+    // ------------------------------------------------------------------
+    // Reference execution (PYTHIA-RECORD).
+    //
+    // A runtime system interns descriptors for its key points and submits
+    // an event whenever the application reaches one. Here we model a tiny
+    // app: a setup call, a loop of (compute, send, wait), and a teardown.
+    // ------------------------------------------------------------------
+    let mut registry = EventRegistry::new();
+    let init = registry.intern("init", None);
+    let compute = registry.intern("compute", None);
+    let send = registry.intern("MPI_Send", Some(1));
+    let wait = registry.intern("MPI_Wait", None);
+    let finalize = registry.intern("finalize", None);
+
+    let mut recorder = Recorder::new(RecordConfig::default());
+    let mut clock = 0u64; // virtual nanoseconds
+    let mut tick = |recorder: &mut Recorder, ev, cost| {
+        clock += cost;
+        recorder.record_at(ev, clock);
+    };
+    tick(&mut recorder, init, 50_000);
+    for _ in 0..100 {
+        tick(&mut recorder, compute, 120_000); // 120µs of compute
+        tick(&mut recorder, send, 3_000);
+        tick(&mut recorder, wait, 15_000);
+    }
+    tick(&mut recorder, finalize, 10_000);
+
+    let trace = recorder.finish(&registry);
+    println!(
+        "recorded {} events, grammar has {} rules:",
+        trace.total_events(),
+        trace.thread(0)?.grammar.rule_count()
+    );
+    println!(
+        "{}",
+        trace
+            .thread(0)?
+            .grammar
+            .render(&|e| trace.registry().name_of(e))
+    );
+
+    // The grammar — not the trace — is what gets saved.
+    let path = std::env::temp_dir().join("pythia-quickstart.trace");
+    trace.save(&path)?;
+    println!("saved to {} ({} bytes)\n", path.display(), std::fs::metadata(&path)?.len());
+
+    // ------------------------------------------------------------------
+    // A later execution (PYTHIA-PREDICT).
+    // ------------------------------------------------------------------
+    let trace = TraceData::load(&path)?;
+    let mut predictor = Predictor::new(&trace);
+
+    // Start mid-stream — the oracle tolerates not seeing the beginning.
+    predictor.observe(compute);
+    predictor.observe(send);
+
+    let next = predictor.predict(1);
+    println!(
+        "after (compute, send): next event is {} (p = {:.2})",
+        trace.registry().name_of(next.most_likely().unwrap()),
+        next.probability(next.most_likely().unwrap()),
+    );
+    let in_three = predictor.predict(3);
+    println!(
+        "three events ahead: {} (p = {:.2})",
+        trace.registry().name_of(in_three.most_likely().unwrap()),
+        in_three.probability(in_three.most_likely().unwrap()),
+    );
+    if let Some(delay) = predictor.predict_delay(2) {
+        println!("estimated time until that wait completes + next compute begins: {delay:?}");
+    }
+
+    // An event the reference never saw leaves the oracle uninformed — the
+    // runtime system falls back to its heuristic until re-synchronized.
+    let unknown = EventId(9999);
+    assert_eq!(predictor.observe(unknown), ObserveOutcome::Unknown);
+    assert!(!predictor.predict(1).is_informed());
+    predictor.observe(compute); // re-synchronizes here
+    assert!(predictor.predict(1).is_informed());
+    println!("\nrecovered after an unexpected event; oracle is tracking again");
+
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}
+
+use pythia::core::predict::ObserveOutcome;

@@ -1,0 +1,161 @@
+//! End-to-end integration of the OpenMP side: the LULESH-OMP model through
+//! the minomp runtime with the PYTHIA listener, in all modes.
+
+use std::time::Duration;
+
+use pythia::apps::lulesh_omp::{self, LuleshOmpConfig};
+use pythia::minomp::{OmpRuntime, PoolMode, RegionId};
+use pythia::runtime_omp::{OmpOracle, ThresholdPolicy};
+
+fn cfg() -> LuleshOmpConfig {
+    LuleshOmpConfig {
+        problem_size: 10,
+        steps: 4,
+        ns_per_unit: 10,
+    }
+}
+
+#[test]
+fn record_then_adapt_small_regions_shrink() {
+    let oracle = OmpOracle::recorder();
+    {
+        let rt = OmpRuntime::with_listener(8, PoolMode::Park, oracle.listener());
+        lulesh_omp::run(&rt, &cfg());
+    }
+    let trace = oracle.finish_trace().unwrap();
+    // 30 regions × 2 events × steps.
+    assert_eq!(trace.total_events(), 30 * 2 * 4);
+
+    let oracle = OmpOracle::predictor(&trace, ThresholdPolicy::default(), 0.0, 3);
+    {
+        let rt = OmpRuntime::with_listener(8, PoolMode::Park, oracle.listener());
+        lulesh_omp::run(&rt, &cfg());
+    }
+    let stats = oracle.stats();
+    assert_eq!(stats.regions, 120);
+    // The s=10 small regions (10 units × 10ns = 100ns) must get smaller
+    // teams than the s³ regions. Exact buckets shift with host load, so
+    // assert the relative spread.
+    assert!(stats.adapted > 0, "{stats:?}");
+    let min_team = stats.team_histogram.iter().map(|e| e.0).min().unwrap();
+    let max_team = stats.team_histogram.iter().map(|e| e.0).max().unwrap();
+    assert!(
+        min_team < max_team,
+        "adaptive policy never differentiated region sizes: {stats:?}"
+    );
+}
+
+#[test]
+fn adaptive_not_slower_than_vanilla_on_small_problems() {
+    // Timing-based, so keep the assertion loose: adaptive must not be
+    // dramatically slower than vanilla on a fork/join-dominated problem.
+    let c = LuleshOmpConfig {
+        problem_size: 5,
+        steps: 6,
+        ns_per_unit: 10,
+    };
+    let vanilla = {
+        let oracle = OmpOracle::vanilla();
+        let rt = OmpRuntime::with_listener(8, PoolMode::Park, oracle.listener());
+        lulesh_omp::run(&rt, &c)
+    };
+    let oracle = OmpOracle::recorder();
+    {
+        let rt = OmpRuntime::with_listener(8, PoolMode::Park, oracle.listener());
+        lulesh_omp::run(&rt, &c);
+    }
+    let trace = oracle.finish_trace().unwrap();
+    let oracle = OmpOracle::predictor(&trace, ThresholdPolicy::default(), 0.0, 11);
+    let adaptive = {
+        let rt = OmpRuntime::with_listener(8, PoolMode::Park, oracle.listener());
+        lulesh_omp::run(&rt, &c)
+    };
+    assert!(
+        adaptive < vanilla.mul_f64(2.0) + Duration::from_millis(50),
+        "adaptive {adaptive:?} unreasonably slower than vanilla {vanilla:?}"
+    );
+}
+
+#[test]
+fn error_injection_degrades_but_never_crashes() {
+    let c = cfg();
+    let oracle = OmpOracle::recorder();
+    {
+        let rt = OmpRuntime::with_listener(4, PoolMode::Park, oracle.listener());
+        lulesh_omp::run(&rt, &c);
+    }
+    let trace = oracle.finish_trace().unwrap();
+    for rate in [0.0, 0.1, 0.5, 1.0] {
+        let oracle = OmpOracle::predictor(&trace, ThresholdPolicy::default(), rate, 99);
+        {
+            let rt = OmpRuntime::with_listener(4, PoolMode::Park, oracle.listener());
+            lulesh_omp::run(&rt, &c);
+        }
+        let stats = oracle.stats();
+        assert_eq!(stats.regions, 120, "rate {rate}");
+        if rate == 0.0 {
+            assert_eq!(stats.injected_errors, 0);
+        }
+        if rate == 1.0 {
+            assert_eq!(stats.injected_errors, 120);
+            // Every region decision right after noise falls back to the
+            // default heuristic.
+            assert_eq!(stats.uninformed, 120, "{stats:?}");
+        }
+    }
+}
+
+#[test]
+fn pool_ablation_destroy_mode_respawns_threads() {
+    let c = cfg();
+    let oracle = OmpOracle::recorder();
+    {
+        let rt = OmpRuntime::with_listener(8, PoolMode::Park, oracle.listener());
+        lulesh_omp::run(&rt, &c);
+    }
+    let trace = oracle.finish_trace().unwrap();
+
+    // Park mode: threads spawned once.
+    let oracle_park = OmpOracle::predictor(&trace, ThresholdPolicy::default(), 0.0, 5);
+    let park_stats = {
+        let rt = OmpRuntime::with_listener(8, PoolMode::Park, oracle_park.listener());
+        lulesh_omp::run(&rt, &c);
+        rt.pool_stats()
+    };
+    // Destroy mode: the adaptive team-size changes force respawns.
+    let oracle_destroy = OmpOracle::predictor(&trace, ThresholdPolicy::default(), 0.0, 5);
+    let destroy_stats = {
+        let rt = OmpRuntime::with_listener(8, PoolMode::DestroyOnShrink, oracle_destroy.listener());
+        lulesh_omp::run(&rt, &c);
+        rt.pool_stats()
+    };
+    assert_eq!(park_stats.threads_destroyed, 0);
+    assert!(
+        destroy_stats.threads_spawned > park_stats.threads_spawned,
+        "destroy mode must respawn: {destroy_stats:?} vs {park_stats:?}"
+    );
+    assert!(destroy_stats.threads_destroyed > 0);
+}
+
+#[test]
+fn regions_share_runtime_with_manual_regions() {
+    // The oracle listener must coexist with direct runtime use.
+    let oracle = OmpOracle::recorder();
+    let rt = OmpRuntime::with_listener(4, PoolMode::Park, oracle.listener());
+    let counter = std::sync::atomic::AtomicU64::new(0);
+    rt.parallel_for(RegionId(500), 100, |_| {
+        counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    });
+    lulesh_omp::run(
+        &rt,
+        &LuleshOmpConfig {
+            problem_size: 5,
+            steps: 1,
+            ns_per_unit: 0,
+        },
+    );
+    assert_eq!(counter.load(std::sync::atomic::Ordering::Relaxed), 100);
+    drop(rt);
+    let trace = oracle.finish_trace().unwrap();
+    assert_eq!(trace.total_events(), 2 + 30 * 2);
+}

@@ -1,0 +1,91 @@
+//! Failure-injection tests of the trace file format with real application
+//! traces: a PYTHIA deployment reloads trace files across runs, so a
+//! corrupt or truncated file must produce a clean error, never a panic,
+//! hang, or huge allocation.
+
+use pythia::apps::harness::record_trace;
+use pythia::apps::work::WorkScale;
+use pythia::apps::{find_app, WorkingSet};
+use pythia::core::trace::TraceData;
+
+fn sample_bytes() -> Vec<u8> {
+    let app = find_app("MG").unwrap();
+    let trace = record_trace(app.as_ref(), 4, WorkingSet::Small, WorkScale::ZERO);
+    trace.to_bytes().to_vec()
+}
+
+/// Every single-byte corruption either round-trips to a loadable trace
+/// (the flip hit a don't-care bit such as a timing value) or fails with a
+/// clean error. Exhaustive over positions with a stride, full coverage of
+/// the header.
+#[test]
+fn single_byte_flips_never_panic() {
+    let bytes = sample_bytes();
+    let positions: Vec<usize> = (0..bytes.len().min(64))
+        .chain((64..bytes.len()).step_by(7))
+        .collect();
+    for pos in positions {
+        for flip in [0x01u8, 0x80, 0xff] {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= flip;
+            // Must return, not panic; both Ok and Err are acceptable.
+            let result = std::panic::catch_unwind(|| TraceData::from_bytes(&corrupt));
+            assert!(
+                result.is_ok(),
+                "panic while parsing flip {flip:#x} at byte {pos}"
+            );
+        }
+    }
+}
+
+/// Truncations of a real multi-thread application trace all fail cleanly.
+#[test]
+fn truncations_of_app_trace_fail_cleanly() {
+    let bytes = sample_bytes();
+    for cut in (0..bytes.len()).step_by(11) {
+        let result = TraceData::from_bytes(&bytes[..cut]);
+        assert!(result.is_err(), "truncation at {cut} accepted");
+    }
+}
+
+/// A corrupt length field must not cause a massive allocation: parsing a
+/// tiny buffer claiming millions of rules returns promptly with an error.
+#[test]
+fn huge_length_fields_rejected_promptly() {
+    let bytes = sample_bytes();
+    let mut corrupt = bytes.clone();
+    // The registry count is the u32 right after magic (8) + version (4).
+    corrupt[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
+    let t0 = std::time::Instant::now();
+    let result = TraceData::from_bytes(&corrupt);
+    assert!(result.is_err());
+    assert!(
+        t0.elapsed() < std::time::Duration::from_secs(2),
+        "corrupt length field parsed too slowly"
+    );
+}
+
+/// JSON traces edited by hand (a use case the format exists for) are
+/// validated structurally: dangling rule references must be rejected.
+#[test]
+fn json_with_dangling_rule_reference_rejected() {
+    let app = find_app("FT").unwrap();
+    let trace = record_trace(app.as_ref(), 2, WorkingSet::Small, WorkScale::ZERO);
+    let mut v: serde_json::Value = serde_json::from_str(&trace.to_json().unwrap()).unwrap();
+    // Point some symbol at a rule id far out of range.
+    let rules = v["threads"][0]["grammar"]["rules"].as_array_mut().unwrap();
+    let body = rules[0]["body"].as_array_mut().unwrap();
+    body[0]["symbol"] = serde_json::json!({ "Rule": 999 });
+    assert!(TraceData::from_json(&v.to_string()).is_err());
+}
+
+/// Loading a file that is not a trace at all (here: its own JSON export)
+/// fails with BadMagic, not garbage parsing.
+#[test]
+fn wrong_format_detected() {
+    let app = find_app("EP").unwrap();
+    let trace = record_trace(app.as_ref(), 2, WorkingSet::Small, WorkScale::ZERO);
+    let json = trace.to_json().unwrap();
+    let err = TraceData::from_bytes(json.as_bytes()).unwrap_err();
+    assert!(matches!(err, pythia::core::error::Error::BadMagic));
+}
