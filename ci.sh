@@ -1,0 +1,9 @@
+#!/bin/sh
+# Tier-1 gate: formatting, lints, release build, full workspace tests.
+# Run from the repository root. Fails fast on the first broken step.
+set -eu
+
+cargo fmt --all --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo build --release
+cargo test -q --workspace

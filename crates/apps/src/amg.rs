@@ -45,12 +45,15 @@ impl MpiApp for Amg {
             // Data-dependent message counts, exchanged so that receives
             // can be posted exactly (this is how real AMG discovers its
             // pattern: a participation exchange precedes the data).
-            let mut rng = SplitMix64::new(
-                0xA316 ^ (comm.rank() as u64) << 8 ^ (level as u64) << 24,
-            );
+            let mut rng =
+                SplitMix64::new(0xA316 ^ (comm.rank() as u64) << 8 ^ (level as u64) << 24);
             let counts: Vec<Vec<i64>> = (0..n)
                 .map(|d| {
-                    let c = if d == comm.rank() { 0 } else { rng.below(3) as i64 };
+                    let c = if d == comm.rank() {
+                        0
+                    } else {
+                        rng.below(3) as i64
+                    };
                     vec![c]
                 })
                 .collect();
@@ -107,7 +110,13 @@ mod tests {
 
     #[test]
     fn irregular_setup_grows_grammar() {
-        let amg = run_app(&Amg, 4, WorkingSet::Medium, MpiMode::record(), WorkScale::ZERO);
+        let amg = run_app(
+            &Amg,
+            4,
+            WorkingSet::Medium,
+            MpiMode::record(),
+            WorkScale::ZERO,
+        );
         let ft = run_app(
             &crate::npb::ft::Ft,
             4,
@@ -126,8 +135,20 @@ mod tests {
 
     #[test]
     fn deterministic_event_counts() {
-        let a = run_app(&Amg, 4, WorkingSet::Small, MpiMode::record(), WorkScale::ZERO);
-        let b = run_app(&Amg, 4, WorkingSet::Small, MpiMode::record(), WorkScale::ZERO);
+        let a = run_app(
+            &Amg,
+            4,
+            WorkingSet::Small,
+            MpiMode::record(),
+            WorkScale::ZERO,
+        );
+        let b = run_app(
+            &Amg,
+            4,
+            WorkingSet::Small,
+            MpiMode::record(),
+            WorkScale::ZERO,
+        );
         assert_eq!(a.total_events(), b.total_events());
     }
 }

@@ -53,10 +53,7 @@ impl MpiApp for Kripke {
                 let down_c = col as isize + dc;
                 for _gs in 0..group_sets {
                     if (0..dims.0 as isize).contains(&up_r) {
-                        comm.recv::<f64>(
-                            Some(up_r as usize * dims.1 + col),
-                            Some(TAG_FLUX),
-                        );
+                        comm.recv::<f64>(Some(up_r as usize * dims.1 + col), Some(TAG_FLUX));
                     }
                     if (0..dims.1 as isize).contains(&up_c) {
                         comm.recv::<f64>(Some(row * dims.1 + up_c as usize), Some(TAG_FLUX));
@@ -92,7 +89,13 @@ mod tests {
 
     #[test]
     fn octant_pattern_mid_sized_grammar() {
-        let res = run_app(&Kripke, 4, WorkingSet::Large, MpiMode::record(), WorkScale::ZERO);
+        let res = run_app(
+            &Kripke,
+            4,
+            WorkingSet::Large,
+            MpiMode::record(),
+            WorkScale::ZERO,
+        );
         assert!(res.total_events() > 500, "{}", res.total_events());
         // Paper: 46 rules — noticeably more than the regular NPB kernels.
         assert!(res.mean_rules() >= 4.0, "{} rules", res.mean_rules());
@@ -101,7 +104,13 @@ mod tests {
 
     #[test]
     fn sweep_terminates_on_rectangular_grid() {
-        let res = run_app(&Kripke, 6, WorkingSet::Small, MpiMode::record(), WorkScale::ZERO);
+        let res = run_app(
+            &Kripke,
+            6,
+            WorkingSet::Small,
+            MpiMode::record(),
+            WorkScale::ZERO,
+        );
         assert!(res.total_events() > 0);
     }
 }

@@ -105,7 +105,13 @@ mod tests {
 
     #[test]
     fn chatty_regular_structure() {
-        let res = run_app(&Lulesh, 4, WorkingSet::Medium, MpiMode::record(), WorkScale::ZERO);
+        let res = run_app(
+            &Lulesh,
+            4,
+            WorkingSet::Medium,
+            MpiMode::record(),
+            WorkScale::ZERO,
+        );
         // 2 + steps*(1 + 10 + 9 + 10 + 9 + 1) + 2 events per rank.
         assert_eq!(res.total_events(), 4 * (2 + 20 * 40 + 2));
         // Paper: 12 rules.
@@ -115,7 +121,10 @@ mod tests {
     #[test]
     fn omp_regions_present_in_registry() {
         let trace = crate::harness::record_trace(&Lulesh, 4, WorkingSet::Small, WorkScale::ZERO);
-        assert!(trace.registry().lookup("omp_region_begin", Some(0)).is_some());
+        assert!(trace
+            .registry()
+            .lookup("omp_region_begin", Some(0))
+            .is_some());
         assert!(trace.registry().lookup("omp_region_end", Some(9)).is_some());
     }
 }

@@ -79,7 +79,13 @@ mod tests {
 
     #[test]
     fn very_regular_grammar() {
-        let res = run_app(&MiniFe, 4, WorkingSet::Large, MpiMode::record(), WorkScale::ZERO);
+        let res = run_app(
+            &MiniFe,
+            4,
+            WorkingSet::Large,
+            MpiMode::record(),
+            WorkScale::ZERO,
+        );
         // setup 6 + iters*9 + final 2.
         assert_eq!(res.total_events(), 4 * (6 + 30 * 9 + 2));
         // Paper: 8 rules.

@@ -108,7 +108,10 @@ mod tests {
         let g = &trace.thread(0).unwrap().grammar;
         let root = g.rule(g.root());
         let max_rep = root.body.iter().map(|u| u.count).max().unwrap();
-        assert!(max_rep >= 29, "no folded time-step loop: max exponent {max_rep}");
+        assert!(
+            max_rep >= 29,
+            "no folded time-step loop: max exponent {max_rep}"
+        );
     }
 
     #[test]

@@ -37,7 +37,8 @@ impl MpiApp for Cg {
         let dims = grid_2d(comm.size());
         let (row, col) = coords_2d(comm.rank(), dims);
         // Reduction partners within the row: log2 swap stages.
-        let stages: usize = (usize::BITS - 1 - dims.1.leading_zeros().min(usize::BITS - 1)) as usize;
+        let stages: usize =
+            (usize::BITS - 1 - dims.1.leading_zeros().min(usize::BITS - 1)) as usize;
         let payload = vec![0.0f64; 8];
 
         comm.bcast(&[rows_n as f64], 0);
@@ -96,7 +97,13 @@ mod tests {
 
     #[test]
     fn chatty_but_regular() {
-        let res = run_app(&Cg, 4, WorkingSet::Small, MpiMode::record(), WorkScale::ZERO);
+        let res = run_app(
+            &Cg,
+            4,
+            WorkingSet::Small,
+            MpiMode::record(),
+            WorkScale::ZERO,
+        );
         // Many events, regular structure: modest rule count.
         assert!(res.total_events() > 400, "{}", res.total_events());
         assert!(res.mean_rules() <= 16.0, "{}", res.mean_rules());
@@ -105,7 +112,13 @@ mod tests {
     #[test]
     fn transpose_partner_is_symmetric_enough_to_not_deadlock() {
         // Structure check on 9 ranks (odd grid) — must terminate.
-        let res = run_app(&Cg, 9, WorkingSet::Small, MpiMode::record(), WorkScale::ZERO);
+        let res = run_app(
+            &Cg,
+            9,
+            WorkingSet::Small,
+            MpiMode::record(),
+            WorkScale::ZERO,
+        );
         assert!(res.total_events() > 0);
     }
 }

@@ -57,8 +57,20 @@ mod tests {
     #[test]
     fn event_count_independent_of_class() {
         // IS's communication structure does not change with the key count.
-        let a = run_app(&Is, 4, WorkingSet::Small, MpiMode::record(), WorkScale::ZERO);
-        let c = run_app(&Is, 4, WorkingSet::Large, MpiMode::record(), WorkScale::ZERO);
+        let a = run_app(
+            &Is,
+            4,
+            WorkingSet::Small,
+            MpiMode::record(),
+            WorkScale::ZERO,
+        );
+        let c = run_app(
+            &Is,
+            4,
+            WorkingSet::Large,
+            MpiMode::record(),
+            WorkScale::ZERO,
+        );
         assert_eq!(a.total_events(), c.total_events());
         assert_eq!(a.total_events(), 4 * (1 + 2 * 10 + 2));
         assert!(a.mean_rules() <= 4.0);

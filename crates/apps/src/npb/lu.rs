@@ -110,20 +110,28 @@ mod tests {
 
     #[test]
     fn chattiest_kernel_regular_grammar() {
-        let res = run_app(&Lu, 4, WorkingSet::Large, MpiMode::record(), WorkScale::ZERO);
-        // Highest per-rank event count of the NPB set.
-        assert!(
-            res.total_events() > 10_000,
-            "{} events",
-            res.total_events()
+        let res = run_app(
+            &Lu,
+            4,
+            WorkingSet::Large,
+            MpiMode::record(),
+            WorkScale::ZERO,
         );
+        // Highest per-rank event count of the NPB set.
+        assert!(res.total_events() > 10_000, "{} events", res.total_events());
         // ... but a compact grammar (paper: 11 rules).
         assert!(res.mean_rules() <= 16.0, "{} rules", res.mean_rules());
     }
 
     #[test]
     fn wavefront_terminates_on_odd_grids() {
-        let res = run_app(&Lu, 6, WorkingSet::Small, MpiMode::record(), WorkScale::ZERO);
+        let res = run_app(
+            &Lu,
+            6,
+            WorkingSet::Small,
+            MpiMode::record(),
+            WorkScale::ZERO,
+        );
         assert!(res.total_events() > 0);
     }
 }

@@ -84,7 +84,13 @@ mod tests {
 
     #[test]
     fn per_level_pattern_folds() {
-        let res = run_app(&Mg, 4, WorkingSet::Medium, MpiMode::record(), WorkScale::ZERO);
+        let res = run_app(
+            &Mg,
+            4,
+            WorkingSet::Medium,
+            MpiMode::record(),
+            WorkScale::ZERO,
+        );
         // 9 events per halo × 2×levels per cycle + reduction.
         let per_cycle = 9 * 2 * 5 + 1;
         assert_eq!(res.total_events(), 4 * (2 + 8 * per_cycle as u64 + 2));

@@ -78,7 +78,13 @@ mod tests {
 
     #[test]
     fn many_small_steps_compact_grammar() {
-        let res = run_app(&Sp, 4, WorkingSet::Large, MpiMode::record(), WorkScale::ZERO);
+        let res = run_app(
+            &Sp,
+            4,
+            WorkingSet::Large,
+            MpiMode::record(),
+            WorkScale::ZERO,
+        );
         assert!(res.total_events() > 4000, "{}", res.total_events());
         assert!(res.mean_rules() <= 14.0, "{} rules", res.mean_rules());
     }

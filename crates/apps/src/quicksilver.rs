@@ -48,12 +48,15 @@ impl MpiApp for Quicksilver {
 
             // Data-dependent particle migration: how many leave toward
             // each neighbour this step (deterministic Monte-Carlo draw).
-            let mut rng = SplitMix64::new(
-                0x5117 ^ ((comm.rank() as u64) << 8) ^ ((step as u64) << 24),
-            );
+            let mut rng =
+                SplitMix64::new(0x5117 ^ ((comm.rank() as u64) << 8) ^ ((step as u64) << 24));
             let counts: Vec<Vec<i64>> = (0..n)
                 .map(|d| {
-                    let c = if d == comm.rank() { 0 } else { rng.below(4) as i64 };
+                    let c = if d == comm.rank() {
+                        0
+                    } else {
+                        rng.below(4) as i64
+                    };
                     vec![c]
                 })
                 .collect();
@@ -118,8 +121,20 @@ mod tests {
 
     #[test]
     fn deterministic_monte_carlo_draws() {
-        let a = run_app(&Quicksilver, 4, WorkingSet::Small, MpiMode::record(), WorkScale::ZERO);
-        let b = run_app(&Quicksilver, 4, WorkingSet::Small, MpiMode::record(), WorkScale::ZERO);
+        let a = run_app(
+            &Quicksilver,
+            4,
+            WorkingSet::Small,
+            MpiMode::record(),
+            WorkScale::ZERO,
+        );
+        let b = run_app(
+            &Quicksilver,
+            4,
+            WorkingSet::Small,
+            MpiMode::record(),
+            WorkScale::ZERO,
+        );
         assert_eq!(a.total_events(), b.total_events());
     }
 }

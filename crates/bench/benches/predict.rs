@@ -61,11 +61,9 @@ fn bench_predict_distance(c: &mut Criterion) {
     let mut group = c.benchmark_group("predict_distance");
     for distance in [1usize, 2, 4, 8, 16, 32, 64, 128] {
         let p = synced_predictor(&regular, &[0, 1, 0, 1, 0, 1, 0, 1, 2, 3, 0, 1]);
-        group.bench_with_input(
-            BenchmarkId::new("regular", distance),
-            &distance,
-            |b, &d| b.iter(|| p.predict(d).most_likely()),
-        );
+        group.bench_with_input(BenchmarkId::new("regular", distance), &distance, |b, &d| {
+            b.iter(|| p.predict(d).most_likely())
+        });
         let pi = synced_predictor(&irregular, &[1, 2, 3]);
         group.bench_with_input(
             BenchmarkId::new("irregular", distance),
@@ -93,5 +91,68 @@ fn bench_observe_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_predict_distance, bench_observe_throughput);
+/// Re-seed-heavy observation: a stream that keeps mismatching against an
+/// irregular reference, so every other event rebuilds the candidate set
+/// from the occurrence index (the pre-cache code re-scanned the grammar
+/// and allocated a path per branch per candidate here).
+fn bench_observe_reseed_heavy(c: &mut Criterion) {
+    let trace = irregular_trace();
+    // Replay the irregular reference stream with a deterministic corruption
+    // every 3rd event: tracking is constantly lost and re-seeded.
+    let reference: Vec<EventId> = trace.thread(0).unwrap().grammar.unfold();
+    let stream: Vec<EventId> = reference
+        .iter()
+        .take(4_000)
+        .enumerate()
+        .map(|(i, &e)| {
+            if i % 3 == 0 {
+                EventId((i % 24) as u32)
+            } else {
+                e
+            }
+        })
+        .collect();
+    let mut group = c.benchmark_group("observe_reseed_heavy");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    group.bench_function("irregular_corrupted_replay", |b| {
+        b.iter(|| {
+            let mut p = Predictor::for_thread(&trace, 0, PredictorConfig::default()).unwrap();
+            for &e in &stream {
+                p.observe(e);
+            }
+            p.stats().reseeded
+        });
+    });
+    group.finish();
+}
+
+/// Long-distance prediction on a deeply structured trace: the striding
+/// simulation skips whole loop bodies, while a stepwise walk pays for each
+/// of the `distance` events individually.
+fn bench_predict_long_distance(c: &mut Criterion) {
+    let regular = regular_trace();
+    let p = synced_predictor(&regular, &[0, 1, 0, 1, 0, 1, 0, 1, 2, 3, 0, 1]);
+    let mut group = c.benchmark_group("predict_long_distance");
+    for distance in [128usize, 512, 2048] {
+        group.bench_with_input(
+            BenchmarkId::new("striding", distance),
+            &distance,
+            |b, &d| b.iter(|| p.predict(d).most_likely()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("stepwise_scan", distance),
+            &distance,
+            |b, &d| b.iter(|| p.predict_scan(d).most_likely()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_predict_distance,
+    bench_observe_throughput,
+    bench_observe_reseed_heavy,
+    bench_predict_long_distance
+);
 criterion_main!(benches);

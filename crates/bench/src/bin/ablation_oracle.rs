@@ -16,10 +16,10 @@ use std::sync::Arc;
 use pythia_apps::harness::run_app_in_registry;
 use pythia_apps::work::WorkScale;
 use pythia_apps::{find_app, WorkingSet};
-use pythia_runtime_mpi::MpiMode;
 use pythia_bench::{maybe_write_json, Args, Table};
 use pythia_core::event::EventId;
 use pythia_core::predict::{Predictor, PredictorConfig};
+use pythia_runtime_mpi::MpiMode;
 
 fn main() {
     let args = Args::capture();
@@ -71,16 +71,19 @@ fn main() {
         );
         let trace = small_run.into_trace();
         // Rank 0's event stream of the large run.
-        let stream: Vec<EventId> =
-            large_run.reports[0].thread_trace.as_ref().unwrap().grammar.unfold();
+        let stream: Vec<EventId> = large_run.reports[0]
+            .thread_trace
+            .as_ref()
+            .unwrap()
+            .grammar
+            .unfold();
 
         for &budget in &budgets {
             let cfg = PredictorConfig {
                 max_candidates: budget,
                 max_states: budget.max(2),
             };
-            let mut p =
-                Predictor::from_thread_trace(Arc::clone(trace.thread(0).unwrap()), cfg);
+            let mut p = Predictor::from_thread_trace(Arc::clone(trace.thread(0).unwrap()), cfg);
             let mut correct = 0u64;
             let mut scored = 0u64;
             let mut nanos = 0u128;

@@ -1,0 +1,262 @@
+//! Machine-readable hot-path benchmark: measures the oracle's observe and
+//! predict costs and writes them to `BENCH_predict.json` (or `--json PATH`).
+//!
+//! Unlike the Criterion benches (which need a statistics harness), this is
+//! a plain wall-clock measurement binary meant for CI trend tracking. It
+//! reports:
+//!
+//! * trace load time (deserialization + grammar-index construction);
+//! * steady-state `observe` ns/event on a matching replay;
+//! * re-seed-heavy `observe` ns/event on a corrupted replay;
+//! * `predict` ns/query at several distances, for both the distance-striding
+//!   implementation and the stepwise reference (`predict_scan`), plus the
+//!   resulting speedup ratio — `predict_scan` is the pre-cache algorithm,
+//!   so the ratio measures exactly what the caching layer buys.
+//!
+//! Usage: `bench_json [--iters N] [--json PATH]`
+
+use std::time::Instant;
+
+use pythia_bench::Args;
+use pythia_core::event::{EventId, EventRegistry};
+use pythia_core::predict::path::Path;
+use pythia_core::predict::walker::{Outcome, Walker};
+use pythia_core::predict::{Predictor, PredictorConfig};
+use pythia_core::record::{RecordConfig, Recorder};
+use pythia_core::trace::TraceData;
+use pythia_core::util::FxHashMap;
+
+/// A BT-like regular trace: setup, a long nested loop, teardown (same shape
+/// as `benches/predict.rs` so numbers are comparable).
+fn regular_trace() -> TraceData {
+    let mut rec = Recorder::new(RecordConfig {
+        timestamps: false,
+        validate: false,
+    });
+    for _ in 0..6 {
+        rec.record(EventId(10));
+    }
+    for _ in 0..200 {
+        for _ in 0..4 {
+            rec.record(EventId(0));
+            rec.record(EventId(1));
+        }
+        rec.record(EventId(2));
+        rec.record(EventId(3));
+    }
+    rec.record(EventId(11));
+    rec.finish(&EventRegistry::new())
+}
+
+/// A Quicksilver-like irregular trace: pseudo-random event stream.
+fn irregular_trace() -> TraceData {
+    let mut rec = Recorder::new(RecordConfig {
+        timestamps: false,
+        validate: false,
+    });
+    let mut state = 0x9E3779B97F4A7C15u64;
+    for _ in 0..20_000 {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        rec.record(EventId((state % 24) as u32));
+    }
+    rec.finish(&EventRegistry::new())
+}
+
+/// The pre-cache observe algorithm, replicated on the public walker API as
+/// a baseline: every candidate's branches are fully materialized by
+/// `Walker::expand` (successor paths allocated) and *then* filtered on the
+/// observed event, with fresh merge maps and vectors per call.
+struct BaselineObserver<'a> {
+    walker: Walker<'a>,
+    candidates: Vec<(Path, f64)>,
+    max_candidates: usize,
+    reseeded: u64,
+}
+
+impl<'a> BaselineObserver<'a> {
+    fn new(trace: &'a TraceData, index: &'a pythia_core::grammar::GrammarIndex) -> Self {
+        BaselineObserver {
+            walker: Walker {
+                grammar: &trace.thread(0).unwrap().grammar,
+                index,
+            },
+            candidates: Vec::new(),
+            max_candidates: PredictorConfig::default().max_candidates,
+            reseeded: 0,
+        }
+    }
+
+    fn observe(&mut self, event: EventId) {
+        if !self.walker.index.knows_event(event) {
+            self.candidates.clear();
+            return;
+        }
+        if !self.candidates.is_empty() {
+            let mut branches = Vec::new();
+            for (path, weight) in &self.candidates {
+                let mut out = Vec::new();
+                self.walker.expand(path, &mut out);
+                for b in out {
+                    if b.outcome == Outcome::Event(event) {
+                        branches.push((b.path, weight * b.factor));
+                    }
+                }
+            }
+            if !branches.is_empty() {
+                self.candidates = Self::consolidate(branches, self.max_candidates);
+                return;
+            }
+        }
+        let occs = self.walker.index.occurrences(event).unwrap_or(&[]);
+        let cands: Vec<(Path, f64)> = occs
+            .iter()
+            .map(|&(loc, w)| (Path::seed(loc.rule, loc.pos), w))
+            .collect();
+        self.candidates = Self::consolidate(cands, self.max_candidates);
+        self.reseeded += 1;
+    }
+
+    fn consolidate(cands: Vec<(Path, f64)>, cap: usize) -> Vec<(Path, f64)> {
+        let mut merged: FxHashMap<Path, f64> = FxHashMap::default();
+        for (p, w) in cands {
+            *merged.entry(p).or_insert(0.0) += w;
+        }
+        let mut v: Vec<(Path, f64)> = merged.into_iter().collect();
+        v.sort_by(|a, b| b.1.total_cmp(&a.1));
+        v.truncate(cap);
+        let total: f64 = v.iter().map(|&(_, w)| w).sum();
+        if total > 0.0 {
+            for (_, w) in &mut v {
+                *w /= total;
+            }
+        }
+        v
+    }
+}
+
+/// Runs `f` `iters` times and returns the mean wall-clock nanoseconds of
+/// one run, after one untimed warm-up run.
+fn time_ns(iters: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t0.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn main() {
+    let args = Args::capture();
+    if args.flag("help") {
+        eprintln!(
+            "bench_json: measure oracle hot-path costs, write JSON\n\
+             --iters N   measurement repetitions (default 20)\n\
+             --json PATH output path (default BENCH_predict.json)"
+        );
+        return;
+    }
+    let iters: usize = args.parse_or("iters", 20);
+    let path = args
+        .value("json")
+        .unwrap_or("BENCH_predict.json")
+        .to_owned();
+
+    let regular = regular_trace();
+    let irregular = irregular_trace();
+
+    // Trace load: deserialize + prewarm the grammar index (from_bytes goes
+    // through TraceData::from_threads, which builds every thread's index).
+    let bytes = irregular.to_bytes();
+    let load_ns = time_ns(iters, || {
+        let t = TraceData::from_bytes(&bytes).expect("roundtrip");
+        std::hint::black_box(t.thread(0).unwrap().index().trace_len());
+    });
+
+    // Steady-state observe: replay the reference stream (all Matched after
+    // the initial seed).
+    let stream: Vec<EventId> = regular.thread(0).unwrap().grammar.unfold();
+    let observe_ns = time_ns(iters, || {
+        let mut p = Predictor::for_thread(&regular, 0, PredictorConfig::default()).unwrap();
+        for &e in &stream {
+            p.observe(e);
+        }
+        std::hint::black_box(p.stats().matched);
+    }) / stream.len() as f64;
+
+    // Re-seed-heavy observe: corrupt every 3rd event of an irregular
+    // reference replay so tracking is constantly lost and re-seeded.
+    let reference: Vec<EventId> = irregular.thread(0).unwrap().grammar.unfold();
+    let corrupted: Vec<EventId> = reference
+        .iter()
+        .take(4_000)
+        .enumerate()
+        .map(|(i, &e)| {
+            if i % 3 == 0 {
+                EventId((i % 24) as u32)
+            } else {
+                e
+            }
+        })
+        .collect();
+    let reseed_ns = time_ns(iters, || {
+        let mut p = Predictor::for_thread(&irregular, 0, PredictorConfig::default()).unwrap();
+        for &e in &corrupted {
+            p.observe(e);
+        }
+        std::hint::black_box(p.stats().reseeded);
+    }) / corrupted.len() as f64;
+    let irregular_index = irregular.thread(0).unwrap().index();
+    let reseed_baseline_ns = time_ns(iters, || {
+        let mut p = BaselineObserver::new(&irregular, &irregular_index);
+        for &e in &corrupted {
+            p.observe(e);
+        }
+        std::hint::black_box(p.reseeded);
+    }) / corrupted.len() as f64;
+
+    // Predict: striding vs stepwise reference at several distances, on a
+    // synchronized predictor over the regular trace.
+    let mut p = Predictor::for_thread(&regular, 0, PredictorConfig::default()).unwrap();
+    for &e in &[0u32, 1, 0, 1, 0, 1, 0, 1, 2, 3, 0, 1] {
+        p.observe(EventId(e));
+    }
+    let mut predict_rows = Vec::new();
+    for distance in [1usize, 16, 128, 512] {
+        let fast_ns = time_ns(iters * 5, || {
+            std::hint::black_box(p.predict(distance).most_likely());
+        });
+        let scan_ns = time_ns(iters * 5, || {
+            std::hint::black_box(p.predict_scan(distance).most_likely());
+        });
+        predict_rows.push((distance, fast_ns, scan_ns));
+    }
+
+    let predict_json: Vec<serde_json::Value> = predict_rows
+        .iter()
+        .map(|&(d, fast, scan)| {
+            serde_json::json!({
+                "distance": d,
+                "predict_ns": fast,
+                "predict_scan_ns": scan,
+                "speedup": scan / fast,
+            })
+        })
+        .collect();
+    let doc = serde_json::json!({
+        "bench": "oracle_hot_path",
+        "iters": iters,
+        "trace_load_ms": load_ns / 1e6,
+        "observe_ns_per_event": observe_ns,
+        "observe_reseed_heavy_ns_per_event": reseed_ns,
+        "observe_reseed_heavy_baseline_ns_per_event": reseed_baseline_ns,
+        "observe_reseed_heavy_speedup": reseed_baseline_ns / reseed_ns,
+        "predict": predict_json,
+    });
+    let text = serde_json::to_string_pretty(&doc).expect("serialize");
+    std::fs::write(&path, &text).expect("write json");
+
+    println!("{text}");
+    eprintln!("wrote {path}");
+}

@@ -122,5 +122,8 @@ fn main() {
          (one 'transfer' = one mailbox deposit, the modeled wire cost)\n"
     );
     table.print();
-    maybe_write_json(&args, &serde_json::json!({ "extension_aggregation": json_rows }));
+    maybe_write_json(
+        &args,
+        &serde_json::json!({ "extension_aggregation": json_rows }),
+    );
 }

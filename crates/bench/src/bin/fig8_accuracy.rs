@@ -62,7 +62,13 @@ fn main() {
             }
             let accs: Vec<f64> = per_distance
                 .iter()
-                .map(|&(c, t)| if t == 0 { f64::NAN } else { c as f64 / t as f64 })
+                .map(|&(c, t)| {
+                    if t == 0 {
+                        f64::NAN
+                    } else {
+                        c as f64 / t as f64
+                    }
+                })
                 .collect();
             let mut row = vec![app.name().to_string(), ws.label().to_string()];
             row.extend(accs.iter().map(|a| {

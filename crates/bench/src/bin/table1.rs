@@ -115,7 +115,11 @@ fn main() {
     }
 
     println!("Table I: performance evaluation of PYTHIA-RECORD");
-    println!("({ranks} ranks, {runs} runs, ws={}, {}ns/unit)\n", ws.label(), work.ns_per_unit);
+    println!(
+        "({ranks} ranks, {runs} runs, ws={}, {}ns/unit)\n",
+        ws.label(),
+        work.ns_per_unit
+    );
     table.print();
     maybe_write_json(&args, &serde_json::json!({ "table1": json_rows }));
 }

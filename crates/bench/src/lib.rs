@@ -70,10 +70,7 @@ impl Args {
     pub fn parse_list<T: std::str::FromStr + Clone>(&self, name: &str, default: &[T]) -> Vec<T> {
         match self.value(name) {
             None => default.to_vec(),
-            Some(v) => v
-                .split(',')
-                .filter_map(|x| x.trim().parse().ok())
-                .collect(),
+            Some(v) => v.split(',').filter_map(|x| x.trim().parse().ok()).collect(),
         }
     }
 }

@@ -23,6 +23,8 @@ pub enum Error {
     NoSuchThread(usize),
     /// JSON (de)serialization failed.
     Json(String),
+    /// A predictor configuration is unusable (e.g. a zero capacity).
+    InvalidConfig(String),
 }
 
 impl fmt::Display for Error {
@@ -39,6 +41,7 @@ impl fmt::Display for Error {
             }
             Error::NoSuchThread(t) => write!(f, "trace has no thread {t}"),
             Error::Json(msg) => write!(f, "json error: {msg}"),
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
         }
     }
 }
@@ -72,6 +75,8 @@ mod tests {
         assert!(e.to_string().contains('3'));
         let e = Error::Corrupt("oops".into());
         assert!(e.to_string().contains("oops"));
+        let e = Error::InvalidConfig("max_candidates".into());
+        assert!(e.to_string().contains("max_candidates"));
     }
 
     #[test]

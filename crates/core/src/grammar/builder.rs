@@ -201,10 +201,7 @@ impl GrammarBuilder {
                 pos = pos.saturating_sub(1);
                 continue;
             }
-            let here = Loc {
-                rule: w.rule,
-                pos,
-            };
+            let here = Loc { rule: w.rule, pos };
             let key = (a.symbol, b.symbol);
             match self.find_digram(key) {
                 None => {
@@ -613,10 +610,7 @@ mod tests {
     fn pure_repetition_collapses_to_one_use() {
         let b = build(&[4; 1000]);
         assert_eq!(b.grammar().rule(b.grammar().root()).body.len(), 1);
-        assert_eq!(
-            b.grammar().rule(b.grammar().root()).body[0].count,
-            1000
-        );
+        assert_eq!(b.grammar().rule(b.grammar().root()).body[0].count, 1000);
         assert_eq!(unfolded(&b), vec![4; 1000]);
     }
 
@@ -765,7 +759,9 @@ mod tests {
         let mut state = 0x12345678u64;
         let mut seq = Vec::new();
         for _ in 0..800 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             seq.push(((state >> 33) % 3) as u32);
         }
         let b = build(&seq);
@@ -777,7 +773,9 @@ mod tests {
         let mut state = 0xdeadbeefu64;
         let mut seq = Vec::new();
         for _ in 0..800 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             seq.push(((state >> 33) % 12) as u32);
         }
         let b = build(&seq);

@@ -1,0 +1,301 @@
+//! Precomputed query layer over an immutable grammar.
+//!
+//! The predict-side hot path must never walk the grammar blindly: reseeding
+//! after a mismatch needs every occurrence of an event *with its weight*,
+//! and distance-`x` simulation needs to know how many terminals a symbol
+//! expands to so whole subtrees can be skipped in O(1). A [`GrammarIndex`]
+//! computes all of that once, at trace-load time, and is shared (`Arc`) by
+//! every predictor over the same thread trace:
+//!
+//! * per-rule metadata: expanded terminal length (exponents included),
+//!   first/last terminal, expansion count as `f64`;
+//! * per-rule *suffix lengths*: expanded length of `body[pos..]`, so a
+//!   forward simulation can skip the whole tail of a rule body in O(1);
+//! * use sites of every rule (for upward extension of partial paths);
+//! * the **occurrence index**: `EventId -> [(Loc, weight)]` with
+//!   `weight = expansions(rule) × count`, exactly the quantity
+//!   `Predictor::seed` needs, in the same deterministic (rule, pos) order
+//!   as [`Grammar::terminal_uses`].
+//!
+//! The index is valid only for the exact grammar it was built from; it is
+//! attached to the immutable post-compaction grammar inside a
+//! [`crate::trace::ThreadTrace`].
+
+use crate::event::EventId;
+use crate::grammar::{Grammar, Loc, RuleId, Symbol, SymbolUse};
+use crate::util::FxHashMap;
+
+/// Precomputed metadata for one rule (slot).
+#[derive(Debug, Clone, Default)]
+pub struct RuleMeta {
+    /// Number of terminals one expansion of the rule body produces.
+    pub expanded_len: u64,
+    /// How many times the body is expanded when unfolding the whole trace
+    /// (the root expands once), as `f64` for weight arithmetic.
+    pub expansions: f64,
+    /// First terminal emitted by one expansion (`None` for an empty body,
+    /// which only the root of an empty grammar has).
+    pub first_terminal: Option<EventId>,
+    /// Last terminal emitted by one expansion.
+    pub last_terminal: Option<EventId>,
+}
+
+/// Precomputed rule-metadata tables and occurrence index for one grammar.
+#[derive(Debug, Clone, Default)]
+pub struct GrammarIndex {
+    /// Per-slot rule metadata (vacant slots hold zeroed entries).
+    metas: Vec<RuleMeta>,
+    /// Per-slot suffix lengths: `suffix_lens[r][pos]` is the expanded
+    /// length of `body[pos..]` (full exponents); one extra trailing `0`.
+    suffix_lens: Vec<Vec<u64>>,
+    /// Use sites of every rule, indexed by rule slot.
+    rule_uses: Vec<Vec<Loc>>,
+    /// Every terminal occurrence with its seed weight
+    /// (`expansions(rule) × count`), in deterministic (rule, pos) order.
+    occurrences: FxHashMap<EventId, Vec<(Loc, f64)>>,
+    /// Total trace length (expanded length of the root).
+    trace_len: u64,
+}
+
+impl GrammarIndex {
+    /// Builds the index in one pass over the rule bodies plus one
+    /// topological sweep for lengths and terminals. O(grammar size).
+    pub fn build(g: &Grammar) -> Self {
+        let n = g.rules_slots();
+        let mut metas = vec![RuleMeta::default(); n];
+        for (i, c) in g.expansion_counts().into_iter().enumerate() {
+            metas[i].expansions = c as f64;
+        }
+        // Children-first sweep: topological order is parents-first.
+        let order = g.topological_order();
+        for &id in order.iter().rev() {
+            let body = &g.rule(id).body;
+            let mut len = 0u64;
+            for u in body {
+                len += u.count as u64 * symbol_len(&metas, u.symbol);
+            }
+            metas[id.index()].expanded_len = len;
+            metas[id.index()].first_terminal = body
+                .first()
+                .map(|u| edge_terminal(&metas, u.symbol, /*first=*/ true));
+            metas[id.index()].last_terminal = body
+                .last()
+                .map(|u| edge_terminal(&metas, u.symbol, /*first=*/ false));
+        }
+        // Suffix lengths, use sites, and the occurrence index in one scan.
+        let mut suffix_lens = vec![Vec::new(); n];
+        let mut rule_uses: Vec<Vec<Loc>> = vec![Vec::new(); n];
+        let mut occurrences: FxHashMap<EventId, Vec<(Loc, f64)>> = FxHashMap::default();
+        for (id, rule) in g.iter_rules() {
+            let mut suffix = vec![0u64; rule.body.len() + 1];
+            for (pos, u) in rule.body.iter().enumerate().rev() {
+                suffix[pos] = suffix[pos + 1] + u.count as u64 * symbol_len(&metas, u.symbol);
+            }
+            suffix_lens[id.index()] = suffix;
+            for (pos, u) in rule.body.iter().enumerate() {
+                let loc = Loc { rule: id, pos };
+                match u.symbol {
+                    Symbol::Terminal(e) => {
+                        let weight = metas[id.index()].expansions * u.count as f64;
+                        occurrences.entry(e).or_default().push((loc, weight));
+                    }
+                    Symbol::Rule(r) => rule_uses[r.index()].push(loc),
+                }
+            }
+        }
+        let trace_len = metas[g.root().index()].expanded_len;
+        GrammarIndex {
+            metas,
+            suffix_lens,
+            rule_uses,
+            occurrences,
+            trace_len,
+        }
+    }
+
+    /// Metadata of one rule slot.
+    #[inline]
+    pub fn meta(&self, r: RuleId) -> &RuleMeta {
+        &self.metas[r.index()]
+    }
+
+    /// Expansion count of a rule as `f64`.
+    #[inline]
+    pub fn expansion(&self, r: RuleId) -> f64 {
+        self.metas[r.index()].expansions
+    }
+
+    /// Number of terminals one expansion of `symbol` produces (1 for a
+    /// terminal).
+    #[inline]
+    pub fn sym_len(&self, symbol: Symbol) -> u64 {
+        match symbol {
+            Symbol::Terminal(_) => 1,
+            Symbol::Rule(r) => self.metas[r.index()].expanded_len,
+        }
+    }
+
+    /// Number of terminals a full use (all repetitions) produces.
+    #[inline]
+    pub fn use_len(&self, u: SymbolUse) -> u64 {
+        u.count as u64 * self.sym_len(u.symbol)
+    }
+
+    /// Expanded length of `body[pos..]` of rule `r` (full exponents);
+    /// `pos == body.len()` yields 0.
+    #[inline]
+    pub fn suffix_len(&self, r: RuleId, pos: usize) -> u64 {
+        self.suffix_lens[r.index()][pos]
+    }
+
+    /// First terminal produced when expanding `symbol`, in O(1).
+    #[inline]
+    pub fn first_terminal(&self, symbol: Symbol) -> EventId {
+        match symbol {
+            Symbol::Terminal(e) => e,
+            Symbol::Rule(r) => self.metas[r.index()]
+                .first_terminal
+                .expect("empty rule body"),
+        }
+    }
+
+    /// Use sites of rule `r`.
+    #[inline]
+    pub fn rule_uses(&self, r: RuleId) -> &[Loc] {
+        &self.rule_uses[r.index()]
+    }
+
+    /// All occurrences of `event` with their seed weights, or `None` if the
+    /// event never occurred in the reference execution.
+    #[inline]
+    pub fn occurrences(&self, event: EventId) -> Option<&[(Loc, f64)]> {
+        self.occurrences.get(&event).map(Vec::as_slice)
+    }
+
+    /// Whether `event` occurred in the reference execution. O(1).
+    #[inline]
+    pub fn knows_event(&self, event: EventId) -> bool {
+        self.occurrences.contains_key(&event)
+    }
+
+    /// Number of distinct terminals in the grammar.
+    pub fn distinct_events(&self) -> usize {
+        self.occurrences.len()
+    }
+
+    /// Total trace length (expanded length of the root).
+    #[inline]
+    pub fn trace_len(&self) -> u64 {
+        self.trace_len
+    }
+}
+
+fn symbol_len(metas: &[RuleMeta], symbol: Symbol) -> u64 {
+    match symbol {
+        Symbol::Terminal(_) => 1,
+        Symbol::Rule(r) => metas[r.index()].expanded_len,
+    }
+}
+
+fn edge_terminal(metas: &[RuleMeta], symbol: Symbol, first: bool) -> EventId {
+    match symbol {
+        Symbol::Terminal(e) => e,
+        Symbol::Rule(r) => {
+            let m = &metas[r.index()];
+            if first {
+                m.first_terminal
+            } else {
+                m.last_terminal
+            }
+            .expect("empty rule body")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::builder::GrammarBuilder;
+
+    fn e(n: u32) -> EventId {
+        EventId(n)
+    }
+
+    fn grammar_of(seq: &[u32]) -> Grammar {
+        let mut b = GrammarBuilder::new();
+        for &s in seq {
+            b.push(e(s));
+        }
+        b.into_grammar().compact()
+    }
+
+    #[test]
+    fn lengths_match_expanded_len() {
+        let seq: Vec<u32> = (0..40).flat_map(|i| [0, 1, 1, 2, i % 3]).collect();
+        let g = grammar_of(&seq);
+        let idx = GrammarIndex::build(&g);
+        assert_eq!(idx.trace_len(), g.trace_len());
+        for (id, rule) in g.iter_rules() {
+            assert_eq!(
+                idx.meta(id).expanded_len,
+                g.expanded_len(Symbol::Rule(id)),
+                "rule {id}"
+            );
+            assert_eq!(idx.suffix_len(id, 0), idx.meta(id).expanded_len);
+            assert_eq!(idx.suffix_len(id, rule.body.len()), 0);
+            for (pos, u) in rule.body.iter().enumerate() {
+                assert_eq!(
+                    idx.suffix_len(id, pos),
+                    idx.suffix_len(id, pos + 1) + idx.use_len(*u),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn first_last_terminals() {
+        let seq: Vec<u32> = (0..30).flat_map(|_| [5, 6, 7]).collect();
+        let g = grammar_of(&seq);
+        let idx = GrammarIndex::build(&g);
+        for (id, _) in g.iter_rules() {
+            assert_eq!(
+                idx.first_terminal(Symbol::Rule(id)),
+                g.first_terminal(Symbol::Rule(id)),
+                "rule {id}"
+            );
+        }
+        assert_eq!(idx.meta(g.root()).last_terminal, Some(e(7)));
+    }
+
+    #[test]
+    fn occurrence_index_matches_naive_scan() {
+        let seq: Vec<u32> = (0..50).flat_map(|i| [0, 1, 2, 2, (i % 4) + 3]).collect();
+        let g = grammar_of(&seq);
+        let idx = GrammarIndex::build(&g);
+        let expansions = g.expansion_counts();
+        for ev in 0..8u32 {
+            let naive = g.terminal_uses(e(ev));
+            match idx.occurrences(e(ev)) {
+                None => assert!(naive.is_empty()),
+                Some(occs) => {
+                    assert_eq!(occs.len(), naive.len());
+                    for (&(loc, w), &nloc) in occs.iter().zip(naive.iter()) {
+                        assert_eq!(loc, nloc);
+                        let want = expansions[loc.rule.index()] as f64 * g.at(loc).count as f64;
+                        assert_eq!(w, want);
+                    }
+                }
+            }
+        }
+        assert!(!idx.knows_event(e(99)));
+    }
+
+    #[test]
+    fn empty_grammar() {
+        let g = Grammar::new();
+        let idx = GrammarIndex::build(&g);
+        assert_eq!(idx.trace_len(), 0);
+        assert_eq!(idx.meta(g.root()).first_terminal, None);
+        assert_eq!(idx.distinct_events(), 0);
+    }
+}

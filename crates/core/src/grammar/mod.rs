@@ -22,7 +22,10 @@
 //! lives in [`builder`], and the debug validator in [`invariants`].
 
 pub mod builder;
+pub mod index;
 pub mod invariants;
+
+pub use index::{GrammarIndex, RuleMeta};
 
 use serde::{Deserialize, Serialize};
 

@@ -87,6 +87,33 @@ impl Oracle {
         }
     }
 
+    /// Submits a batch of events in order, through a single mode dispatch.
+    /// Returns the outcome of the **last** event (`None` for an empty batch
+    /// or when not predicting) — the batch is a sequence, so the final
+    /// outcome describes where the oracle stands after all of it.
+    ///
+    /// Runtime integrations that emit several events at one instrumentation
+    /// point (e.g. an injected marker followed by the real event) should
+    /// prefer this over repeated [`Oracle::event`] calls.
+    pub fn events(&mut self, events: &[EventId]) -> Option<ObserveOutcome> {
+        match self {
+            Oracle::Off => None,
+            Oracle::Record(r) => {
+                for &e in events {
+                    r.record(e);
+                }
+                None
+            }
+            Oracle::Predict(p) => {
+                let mut last = None;
+                for &e in events {
+                    last = Some(p.observe(e));
+                }
+                last
+            }
+        }
+    }
+
     /// Submits an event with an explicit timestamp (virtual-time
     /// simulations and tests).
     pub fn event_at(&mut self, event: EventId, ns: u64) -> Option<ObserveOutcome> {
@@ -202,6 +229,33 @@ mod tests {
             d >= Duration::from_nanos(400) && d <= Duration::from_nanos(600),
             "{d:?}"
         );
+    }
+
+    #[test]
+    fn batched_events_match_sequential_submission() {
+        let mut registry = EventRegistry::new();
+        let a = registry.intern("a", None);
+        let b = registry.intern("b", None);
+        let c = registry.intern("c", None);
+        let mut rec = Oracle::record(RecordConfig::default());
+        for _ in 0..20 {
+            rec.events(&[a, b, c]);
+        }
+        assert_eq!(rec.recorded_events(), 60);
+        let trace = TraceData::from_threads(vec![rec.finish().unwrap()], registry);
+
+        let mut one = Oracle::predict(&trace, 0, PredictorConfig::default()).unwrap();
+        let mut batched = Oracle::predict(&trace, 0, PredictorConfig::default()).unwrap();
+        let o1 = one.event(a);
+        let o2 = one.event(b);
+        assert_eq!(batched.events(&[a, b]), o2);
+        assert_ne!(o1, None);
+        assert_eq!(
+            batched.predict_event(1).most_likely(),
+            one.predict_event(1).most_likely()
+        );
+        assert_eq!(batched.events(&[]), None);
+        assert_eq!(Oracle::off().events(&[a, b]), None);
     }
 
     #[test]

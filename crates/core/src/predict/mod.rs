@@ -20,6 +20,25 @@
 //! execution; [`Predictor::predict_delay_ns`] additionally accumulates the
 //! timing model's context-sensitive mean durations along the most probable
 //! chain (§II-C).
+//!
+//! # Hot-path costs
+//!
+//! All read-side queries go through the [`crate::grammar::GrammarIndex`]
+//! built once per thread trace and shared (`Arc`) by every predictor:
+//!
+//! * [`Predictor::observe`] advances candidates with
+//!   [`Walker::expand_matching`], which decides each branch's next terminal
+//!   in O(1) and never materializes non-matching successor paths; re-seeding
+//!   reads the precomputed occurrence index instead of scanning the grammar.
+//!   Scratch buffers (branch vector, merge map) are reused across calls, so
+//!   steady-state observation performs no per-call allocation beyond the
+//!   successor paths themselves.
+//! * [`Predictor::predict`] runs the distance-striding simulation
+//!   ([`Walker::simulate_distance`]), skipping repetition runs and whole
+//!   rule subtrees shorter than the remaining distance in O(1) — roughly
+//!   O(distance + path depth) per candidate instead of O(unfolded events ×
+//!   branching). The stepwise reference implementation is kept as
+//!   [`Predictor::predict_scan`].
 
 pub mod path;
 pub mod walker;
@@ -27,22 +46,22 @@ pub mod walker;
 use std::sync::Arc;
 use std::time::Duration;
 
-use crate::error::Result;
+use crate::error::{Error, Result};
 use crate::event::EventId;
-use crate::grammar::Loc;
+use crate::grammar::GrammarIndex;
 use crate::trace::{ThreadTrace, TraceData};
 use crate::util::FxHashMap;
 use path::Path;
-use walker::{Branch, Outcome, Walker};
+use walker::{Branch, DistanceAccumulator, Outcome, Walker};
 
 /// Tuning knobs of the predictor.
 #[derive(Debug, Clone)]
 pub struct PredictorConfig {
     /// Maximum number of candidate progress sequences tracked after each
-    /// observation (lowest-weight candidates are dropped).
+    /// observation (lowest-weight candidates are dropped). Must be ≥ 1.
     pub max_candidates: usize,
     /// Maximum number of weighted states expanded per step while
-    /// simulating forward in [`Predictor::predict`].
+    /// simulating forward in [`Predictor::predict`]. Must be ≥ 1.
     pub max_states: usize,
 }
 
@@ -52,6 +71,23 @@ impl Default for PredictorConfig {
             max_candidates: 64,
             max_states: 128,
         }
+    }
+}
+
+impl PredictorConfig {
+    /// Checks that the configuration is usable. A zero capacity would
+    /// silently discard every candidate (the oracle could never
+    /// synchronize), so it is rejected up front instead.
+    pub fn validate(&self) -> Result<()> {
+        if self.max_candidates == 0 {
+            return Err(Error::InvalidConfig(
+                "max_candidates must be at least 1".into(),
+            ));
+        }
+        if self.max_states == 0 {
+            return Err(Error::InvalidConfig("max_states must be at least 1".into()));
+        }
+        Ok(())
     }
 }
 
@@ -119,59 +155,62 @@ impl Prediction {
 pub struct Predictor {
     thread: Arc<ThreadTrace>,
     config: PredictorConfig,
-    expansions: Vec<f64>,
-    rule_uses: Vec<Vec<Loc>>,
-    term_uses: FxHashMap<EventId, Vec<Loc>>,
+    /// Precomputed query tables over `thread.grammar`, shared by every
+    /// predictor (and walker) over the same thread trace.
+    index: Arc<GrammarIndex>,
     candidates: Vec<(Path, f64)>,
     stats: PredictStats,
+    // Scratch storage reused across `observe` calls so the steady-state hot
+    // path allocates nothing beyond the successor paths themselves.
+    scratch_branches: Vec<(Path, f64)>,
+    scratch_expand: Vec<Branch>,
+    scratch_merge: FxHashMap<Path, f64>,
 }
 
 impl Predictor {
     /// Creates a predictor over thread 0 of `trace` with default settings.
     pub fn new(trace: &TraceData) -> Self {
-        Self::for_thread(trace, 0, PredictorConfig::default())
-            .expect("trace has no thread 0")
+        Self::for_thread(trace, 0, PredictorConfig::default()).expect("trace has no thread 0")
     }
 
     /// Creates a predictor over a specific thread of a multi-thread trace.
+    /// Fails on a missing thread or an invalid configuration.
     pub fn for_thread(trace: &TraceData, index: usize, config: PredictorConfig) -> Result<Self> {
-        Ok(Self::from_thread_trace(trace.thread(index)?.clone(), config))
+        Self::try_from_thread_trace(trace.thread(index)?.clone(), config)
     }
 
-    /// Creates a predictor directly from a [`ThreadTrace`].
+    /// Creates a predictor directly from a [`ThreadTrace`]. Panics on an
+    /// invalid configuration; use [`Predictor::try_from_thread_trace`] to
+    /// handle that gracefully.
     pub fn from_thread_trace(thread: Arc<ThreadTrace>, config: PredictorConfig) -> Self {
-        let g = &thread.grammar;
-        let n = g.rules_slots();
-        let expansions: Vec<f64> = g.expansion_counts().into_iter().map(|x| x as f64).collect();
-        let mut rule_uses: Vec<Vec<Loc>> = vec![Vec::new(); n];
-        let mut term_uses: FxHashMap<EventId, Vec<Loc>> = FxHashMap::default();
-        for (id, rule) in g.iter_rules() {
-            for (pos, u) in rule.body.iter().enumerate() {
-                let loc = Loc { rule: id, pos };
-                match u.symbol {
-                    crate::grammar::Symbol::Terminal(e) => {
-                        term_uses.entry(e).or_default().push(loc)
-                    }
-                    crate::grammar::Symbol::Rule(r) => rule_uses[r.index()].push(loc),
-                }
-            }
-        }
-        Predictor {
+        Self::try_from_thread_trace(thread, config).expect("invalid predictor configuration")
+    }
+
+    /// Creates a predictor directly from a [`ThreadTrace`], validating the
+    /// configuration. The thread's [`GrammarIndex`] is computed once and
+    /// shared, so constructing many predictors over one trace is cheap.
+    pub fn try_from_thread_trace(
+        thread: Arc<ThreadTrace>,
+        config: PredictorConfig,
+    ) -> Result<Self> {
+        config.validate()?;
+        let index = thread.index();
+        Ok(Predictor {
             thread,
             config,
-            expansions,
-            rule_uses,
-            term_uses,
+            index,
             candidates: Vec::new(),
             stats: PredictStats::default(),
-        }
+            scratch_branches: Vec::new(),
+            scratch_expand: Vec::new(),
+            scratch_merge: FxHashMap::default(),
+        })
     }
 
     fn walker(&self) -> Walker<'_> {
         Walker {
             grammar: &self.thread.grammar,
-            expansions: &self.expansions,
-            rule_uses: &self.rule_uses,
+            index: &self.index,
         }
     }
 
@@ -193,7 +232,7 @@ impl Predictor {
     /// Submits the next event of the current execution.
     pub fn observe(&mut self, event: EventId) -> ObserveOutcome {
         self.stats.observed += 1;
-        if !self.term_uses.contains_key(&event) {
+        if !self.index.knows_event(event) {
             // Never seen in the reference execution: the oracle loses track
             // (paper §II-B2 — the runtime must fall back to heuristics).
             self.candidates.clear();
@@ -201,21 +240,30 @@ impl Predictor {
             return ObserveOutcome::Unknown;
         }
         if !self.candidates.is_empty() {
-            // Advance every candidate and keep the branches that emit the
-            // observed event.
-            let walker = self.walker();
-            let mut branches = Vec::new();
-            for (path, weight) in &self.candidates {
-                let mut out = Vec::new();
-                walker.expand(path, &mut out);
-                for b in out {
-                    if b.outcome == Outcome::Event(event) {
+            // Advance every candidate, materializing only the branches that
+            // emit the observed event. The buffers are taken out of `self`
+            // for the duration of the walk (the walker borrows `self`
+            // immutably) and put back afterwards, keeping their capacity.
+            let mut branches = std::mem::take(&mut self.scratch_branches);
+            let mut out = std::mem::take(&mut self.scratch_expand);
+            branches.clear();
+            {
+                let walker = self.walker();
+                for (path, weight) in &self.candidates {
+                    out.clear();
+                    walker.expand_matching(path, event, &mut out);
+                    for b in out.drain(..) {
                         branches.push((b.path, weight * b.factor));
                     }
                 }
             }
-            if !branches.is_empty() {
-                self.candidates = Self::consolidate(branches, self.config.max_candidates);
+            self.scratch_expand = out;
+            let matched = !branches.is_empty();
+            if matched {
+                self.consolidate_into(&mut branches);
+            }
+            self.scratch_branches = branches;
+            if matched {
                 self.stats.matched += 1;
                 return ObserveOutcome::Matched;
             }
@@ -227,42 +275,90 @@ impl Predictor {
         ObserveOutcome::Reseeded
     }
 
+    /// Rebuilds the candidate set from the occurrence index: one candidate
+    /// per use site of `event`, pre-weighted with `expansions × count`.
     fn seed(&mut self, event: EventId) {
-        let uses = &self.term_uses[&event];
-        let mut cands = Vec::with_capacity(uses.len());
-        for loc in uses {
-            let count = self.thread.grammar.rule(loc.rule).body[loc.pos].count;
-            let weight = self.expansions[loc.rule.index()] * count as f64;
-            if weight > 0.0 {
-                cands.push((Path::seed(loc.rule, loc.pos), weight));
+        let index = Arc::clone(&self.index);
+        let mut cands = std::mem::take(&mut self.scratch_branches);
+        cands.clear();
+        if let Some(occs) = index.occurrences(event) {
+            cands.reserve(occs.len());
+            for &(loc, weight) in occs {
+                if weight > 0.0 {
+                    cands.push((Path::seed(loc.rule, loc.pos), weight));
+                }
             }
         }
-        self.candidates = Self::consolidate(cands, self.config.max_candidates);
+        self.consolidate_into(&mut cands);
+        self.scratch_branches = cands;
     }
 
-    /// Merges identical paths, normalizes weights, and keeps the heaviest
-    /// `cap` candidates.
-    fn consolidate(cands: Vec<(Path, f64)>, cap: usize) -> Vec<(Path, f64)> {
-        let mut merged: FxHashMap<Path, f64> = FxHashMap::default();
-        for (p, w) in cands {
-            *merged.entry(p).or_insert(0.0) += w;
+    /// Merges identical paths, keeps the heaviest `max_candidates`, and
+    /// normalizes weights — draining `cands` into `self.candidates` through
+    /// the reused merge map, so no fresh map or vector is allocated.
+    fn consolidate_into(&mut self, cands: &mut Vec<(Path, f64)>) {
+        self.scratch_merge.clear();
+        for (p, w) in cands.drain(..) {
+            *self.scratch_merge.entry(p).or_insert(0.0) += w;
         }
-        let mut v: Vec<(Path, f64)> = merged.into_iter().collect();
-        v.sort_by(|a, b| b.1.total_cmp(&a.1));
-        v.truncate(cap);
-        let total: f64 = v.iter().map(|&(_, w)| w).sum();
+        self.candidates.clear();
+        self.candidates.extend(self.scratch_merge.drain());
+        self.candidates.sort_by(|a, b| b.1.total_cmp(&a.1));
+        self.candidates.truncate(self.config.max_candidates);
+        let total: f64 = self.candidates.iter().map(|&(_, w)| w).sum();
         if total > 0.0 {
-            for (_, w) in &mut v {
+            for (_, w) in &mut self.candidates {
                 *w /= total;
             }
         }
-        v
     }
 
     /// Predicts the event that will occur `distance` events from now
     /// (`distance = 1` is the next event), simulating the candidate set
     /// forward and aggregating branch weights (paper §II-C).
+    ///
+    /// Uses the distance-striding simulation: repetition runs and whole
+    /// rule subtrees shorter than the remaining distance are skipped in
+    /// O(1), so the cost grows with the distance and the grammar depth, not
+    /// with the number of unfolded events. [`Predictor::predict_scan`] is
+    /// the stepwise reference returning the same distribution.
     pub fn predict(&self, distance: usize) -> Prediction {
+        assert!(distance >= 1, "prediction distance must be >= 1");
+        if self.candidates.is_empty() {
+            return Prediction::default();
+        }
+        let walker = self.walker();
+        // Branch-node budget mirroring `predict_scan`'s per-step state cap;
+        // beyond it residual branches are dropped, as truncation does.
+        let budget = self
+            .config
+            .max_states
+            .saturating_mul(distance.saturating_add(4));
+        let mut acc = DistanceAccumulator::new(budget);
+        for (path, weight) in &self.candidates {
+            walker.simulate_distance(path, distance as u64, *weight, &mut acc);
+        }
+        let mut end_mass = acc.end_mass;
+        let mut distribution: Vec<(EventId, f64)> = acc.per_event.into_iter().collect();
+        let total: f64 = distribution.iter().map(|&(_, w)| w).sum::<f64>() + end_mass;
+        if total > 0.0 {
+            for (_, w) in &mut distribution {
+                *w /= total;
+            }
+            end_mass /= total;
+        }
+        distribution.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        Prediction {
+            distribution,
+            end_probability: end_mass,
+        }
+    }
+
+    /// Stepwise reference implementation of [`Predictor::predict`]: expands
+    /// every state one event at a time. Kept for regression testing and as
+    /// executable documentation of the semantics the striding simulation
+    /// must reproduce; prefer [`Predictor::predict`] everywhere else.
+    pub fn predict_scan(&self, distance: usize) -> Prediction {
         assert!(distance >= 1, "prediction distance must be >= 1");
         if self.candidates.is_empty() {
             return Prediction::default();
@@ -334,6 +430,10 @@ impl Predictor {
     /// following the most probable chain of progress sequences and summing
     /// the timing model's context means (paper §II-C). Returns `None` when
     /// the oracle is out of sync or the trace holds no timing data.
+    ///
+    /// This walk stays step-by-step on purpose: the timing model keys its
+    /// means on the rule context of *each intermediate event*, so every
+    /// step's context frames are needed and subtree skipping cannot apply.
     pub fn predict_delay_ns(&self, distance: usize) -> Option<f64> {
         assert!(distance >= 1, "prediction distance must be >= 1");
         if self.candidates.is_empty() || self.thread.timing.is_empty() {
@@ -423,6 +523,11 @@ impl Predictor {
     /// The grammar being tracked.
     pub fn grammar(&self) -> &crate::grammar::Grammar {
         &self.thread.grammar
+    }
+
+    /// The precomputed index over the tracked grammar.
+    pub fn index(&self) -> &Arc<GrammarIndex> {
+        &self.index
     }
 
     /// Weighted candidate summary: `(depth, weight)` per candidate, for
@@ -653,6 +758,82 @@ mod tests {
         }
         let acc = correct as f64 / total as f64;
         assert!(acc > 0.8, "accuracy {acc}");
+    }
+
+    #[test]
+    fn zero_capacity_config_rejected() {
+        let trace = trace_of(&[0, 1, 0, 1]);
+        for cfg in [
+            PredictorConfig {
+                max_candidates: 0,
+                max_states: 16,
+            },
+            PredictorConfig {
+                max_candidates: 16,
+                max_states: 0,
+            },
+        ] {
+            assert!(cfg.validate().is_err());
+            let err = Predictor::for_thread(&trace, 0, cfg.clone()).unwrap_err();
+            assert!(
+                matches!(err, Error::InvalidConfig(_)),
+                "unexpected error {err}"
+            );
+            let thread = trace.thread(0).unwrap().clone();
+            assert!(Predictor::try_from_thread_trace(thread, cfg).is_err());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid predictor configuration")]
+    fn zero_capacity_config_panics_in_infallible_constructor() {
+        let trace = trace_of(&[0, 1, 0, 1]);
+        let thread = trace.thread(0).unwrap().clone();
+        let _ = Predictor::from_thread_trace(
+            thread,
+            PredictorConfig {
+                max_candidates: 0,
+                max_states: 0,
+            },
+        );
+    }
+
+    #[test]
+    fn predict_matches_predict_scan() {
+        // The striding simulation must reproduce the stepwise reference
+        // distribution on a structured trace, at every phase and distance.
+        let seq: Vec<u32> = (0..40)
+            .flat_map(|i| vec![0, 1, 1, 1, 2, 3 + (i % 2)])
+            .collect();
+        let trace = trace_of(&seq);
+        let mut p = Predictor::new(&trace);
+        for &s in &seq[..25] {
+            p.observe(e(s));
+            for distance in [1usize, 2, 3, 7, 19, 64] {
+                let fast = p.predict(distance);
+                let slow = p.predict_scan(distance);
+                assert!(
+                    (fast.end_probability - slow.end_probability).abs() < 1e-9,
+                    "end probability {} vs {} (d={distance})",
+                    fast.end_probability,
+                    slow.end_probability
+                );
+                let events: std::collections::HashSet<EventId> = fast
+                    .distribution
+                    .iter()
+                    .chain(&slow.distribution)
+                    .map(|&(ev, _)| ev)
+                    .collect();
+                for ev in events {
+                    assert!(
+                        (fast.probability(ev) - slow.probability(ev)).abs() < 1e-9,
+                        "event {ev:?}: {} vs {} (d={distance})",
+                        fast.probability(ev),
+                        slow.probability(ev)
+                    );
+                }
+            }
+        }
     }
 }
 

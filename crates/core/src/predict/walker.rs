@@ -1,12 +1,27 @@
-//! Single-step expansion of progress sequences: given a candidate path,
-//! enumerate every possible next terminal together with the successor path
-//! and its relative weight (paper §II-B1's depth-first traversal, extended
-//! with the branching needed for partial paths and unknown repetition
-//! offsets).
+//! Single-step expansion of progress sequences — and its distance-striding
+//! generalization.
+//!
+//! [`Walker::expand`] enumerates, for a candidate path, every possible next
+//! terminal together with the successor path and its relative weight (paper
+//! §II-B1's depth-first traversal, extended with the branching needed for
+//! partial paths and unknown repetition offsets).
+//!
+//! [`Walker::expand_matching`] is the observe-side variant: it materializes
+//! successor paths *only* for branches emitting one given event, deciding
+//! each branch's first terminal in O(1) through the [`GrammarIndex`] so
+//! non-matching branches cost no allocation.
+//!
+//! [`Walker::simulate_distance`] answers "which event happens `d` steps
+//! from here" without stepping once per event: repetition runs and whole
+//! rule subtrees whose expanded length falls short of the remaining
+//! distance are skipped in O(1) using the index's precomputed lengths, so
+//! one candidate costs O(distance / subtree-size + path depth + rule-body
+//! scans) instead of O(distance × branching).
 
 use crate::event::EventId;
-use crate::grammar::{Grammar, Loc, Symbol};
+use crate::grammar::{Grammar, GrammarIndex, Symbol};
 use crate::predict::path::{Frame, Path, Rep};
+use crate::util::FxHashMap;
 
 /// What a branch leads to.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -37,14 +52,37 @@ fn bump(rep: Rep) -> Rep {
     }
 }
 
+/// Weighted event distribution accumulated by
+/// [`Walker::simulate_distance`] across all candidates of a prediction.
+#[derive(Debug, Default)]
+pub struct DistanceAccumulator {
+    /// Total weight per predicted event (unnormalized).
+    pub per_event: FxHashMap<EventId, f64>,
+    /// Weight on "the reference trace ends before that distance".
+    pub end_mass: f64,
+    /// Remaining exploration budget (see [`DistanceAccumulator::new`]).
+    nodes_left: usize,
+}
+
+impl DistanceAccumulator {
+    /// An accumulator allowed to explore `budget` simulation nodes; beyond
+    /// that, residual branches are dropped (the stepwise simulation's
+    /// `max_states` truncation has the same effect).
+    pub fn new(budget: usize) -> Self {
+        DistanceAccumulator {
+            per_event: FxHashMap::default(),
+            end_mass: 0.0,
+            nodes_left: budget,
+        }
+    }
+}
+
 /// Borrowed read-side state needed to expand paths.
 pub struct Walker<'a> {
     /// The reference grammar.
     pub grammar: &'a Grammar,
-    /// `expansion_counts` of the grammar, as `f64`, indexed by rule slot.
-    pub expansions: &'a [f64],
-    /// Use sites of every rule, indexed by rule slot.
-    pub rule_uses: &'a [Vec<Loc>],
+    /// Precomputed metadata over the same grammar.
+    pub index: &'a GrammarIndex,
 }
 
 impl Walker<'_> {
@@ -54,14 +92,32 @@ impl Walker<'_> {
         debug_assert!(!path.frames.is_empty());
         let mut frames = path.frames.clone();
         let innermost = frames.len() - 1;
-        self.decide(&mut frames, innermost, 1.0, out);
+        self.decide(&mut frames, innermost, 1.0, None, out);
+    }
+
+    /// Like [`Walker::expand`], but only materializes branches whose next
+    /// terminal is `event` — the observe hot path, where every other
+    /// branch is discarded anyway. `End` branches never match.
+    pub fn expand_matching(&self, path: &Path, event: EventId, out: &mut Vec<Branch>) {
+        debug_assert!(!path.frames.is_empty());
+        let mut frames = path.frames.clone();
+        let innermost = frames.len() - 1;
+        self.decide(&mut frames, innermost, 1.0, Some(event), out);
     }
 
     /// A repetition of the use at `frames[idx]` just completed — `rep`
     /// already counts it (frames below `idx` have been truncated). Emit the
     /// possible continuations: begin another repetition of the same use, or
-    /// move past it.
-    fn decide(&self, frames: &mut Vec<Frame>, idx: usize, weight: f64, out: &mut Vec<Branch>) {
+    /// move past it. With a `filter`, only branches emitting that event are
+    /// pushed (their factors still reflect the full expansion).
+    fn decide(
+        &self,
+        frames: &mut Vec<Frame>,
+        idx: usize,
+        weight: f64,
+        filter: Option<EventId>,
+        out: &mut Vec<Branch>,
+    ) {
         if weight <= 0.0 {
             return;
         }
@@ -93,10 +149,10 @@ impl Walker<'_> {
         };
         if stay_w > 0.0 {
             let mut stay_frames = frames.clone();
-            self.stay(&mut stay_frames, idx, stay_w, out);
+            self.stay(&mut stay_frames, idx, stay_w, filter, out);
         }
         if exit_w > 0.0 {
-            self.exit(frames, idx, exit_w, out);
+            self.exit(frames, idx, exit_w, filter, out);
         }
     }
 
@@ -104,10 +160,24 @@ impl Walker<'_> {
     /// the new repetition completes immediately (the event is emitted), so
     /// the completed count advances; for a rule it completes later, when
     /// the child body finishes a pass (see [`Walker::exit`]).
-    fn stay(&self, frames: &mut [Frame], idx: usize, weight: f64, out: &mut Vec<Branch>) {
+    fn stay(
+        &self,
+        frames: &mut [Frame],
+        idx: usize,
+        weight: f64,
+        filter: Option<EventId>,
+        out: &mut Vec<Branch>,
+    ) {
         let use_ = self.grammar.rule(frames[idx].rule).body[frames[idx].pos];
+        // The emitted event is known in O(1) before any successor path is
+        // built, so filtered expansion skips non-matching branches for
+        // free.
+        let e = self.index.first_terminal(use_.symbol);
+        if filter.is_some_and(|want| want != e) {
+            return;
+        }
         match use_.symbol {
-            Symbol::Terminal(e) => {
+            Symbol::Terminal(_) => {
                 frames[idx].rep = bump(frames[idx].rep);
                 out.push(Branch {
                     outcome: Outcome::Event(e),
@@ -123,7 +193,7 @@ impl Walker<'_> {
                 };
                 // Re-enter the sub-rule from its first terminal.
                 path.descend(self.grammar, use_.symbol);
-                let e = path.terminal(self.grammar);
+                debug_assert_eq!(path.terminal(self.grammar), e);
                 out.push(Branch {
                     outcome: Outcome::Event(e),
                     path,
@@ -136,7 +206,14 @@ impl Walker<'_> {
     /// The use at `frames[idx]` is done repeating: move to the next
     /// position of the rule, or complete the rule and continue one level
     /// up, extending partial paths past their top frame when needed.
-    fn exit(&self, frames: &mut Vec<Frame>, idx: usize, weight: f64, out: &mut Vec<Branch>) {
+    fn exit(
+        &self,
+        frames: &mut Vec<Frame>,
+        idx: usize,
+        weight: f64,
+        filter: Option<EventId>,
+        out: &mut Vec<Branch>,
+    ) {
         if weight <= 0.0 {
             return;
         }
@@ -144,6 +221,11 @@ impl Walker<'_> {
         let body_len = self.grammar.rule(f.rule).body.len();
         if f.pos + 1 < body_len {
             // Next use within the same rule.
+            let symbol = self.grammar.rule(f.rule).body[f.pos + 1].symbol;
+            let e = self.index.first_terminal(symbol);
+            if filter.is_some_and(|want| want != e) {
+                return;
+            }
             frames[idx] = Frame {
                 rule: f.rule,
                 pos: f.pos + 1,
@@ -152,9 +234,7 @@ impl Walker<'_> {
             let mut path = Path {
                 frames: frames.clone(),
             };
-            let symbol = self.grammar.rule(f.rule).body[f.pos + 1].symbol;
             path.descend(self.grammar, symbol);
-            let e = path.terminal(self.grammar);
             out.push(Branch {
                 outcome: Outcome::Event(e),
                 path,
@@ -166,33 +246,34 @@ impl Walker<'_> {
         // of the parent use.
         if idx > 0 {
             frames[idx - 1].rep = bump(frames[idx - 1].rep);
-            self.decide(frames, idx - 1, weight, out);
+            self.decide(frames, idx - 1, weight, filter, out);
             return;
         }
         // Popping past the top frame.
         let top_rule = f.rule;
         if top_rule == self.grammar.root() {
-            out.push(Branch {
-                outcome: Outcome::End,
-                path: Path {
-                    frames: frames.clone(),
-                },
-                factor: weight,
-            });
+            if filter.is_none() {
+                out.push(Branch {
+                    outcome: Outcome::End,
+                    path: Path {
+                        frames: frames.clone(),
+                    },
+                    factor: weight,
+                });
+            }
             return;
         }
         // Partial path: extend upward over every use site of the top rule,
         // weighting by how often each site accounts for the rule's
         // expansions (paper §II-C: probabilities are occurrence counts).
-        let total = self.expansions[top_rule.index()];
+        let total = self.index.expansion(top_rule);
         if total <= 0.0 {
             return;
         }
-        let sites = &self.rule_uses[top_rule.index()];
-        for site in sites {
+        for site in self.index.rule_uses(top_rule) {
             let use_ = self.grammar.rule(site.rule).body[site.pos];
             debug_assert_eq!(use_.symbol, Symbol::Rule(top_rule));
-            let site_visits = self.expansions[site.rule.index()] * use_.count as f64;
+            let site_visits = self.index.expansion(site.rule) * use_.count as f64;
             let w = weight * site_visits / total;
             if w <= 0.0 {
                 continue;
@@ -205,7 +286,186 @@ impl Walker<'_> {
                 pos: site.pos,
                 rep: Rep::Unknown(1),
             });
-            self.decide(&mut new_frames, 0, w, out);
+            self.decide(&mut new_frames, 0, w, filter, out);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Distance-striding simulation
+    // ------------------------------------------------------------------
+
+    /// Accumulates into `acc` the distribution of the event emitted
+    /// exactly `distance` steps after `path`'s current position, scaled by
+    /// `weight`. Semantically identical to expanding stepwise `distance`
+    /// times and summing the final branch weights, but repetition runs and
+    /// rule subtrees shorter than the remaining distance are skipped in
+    /// O(1) via the [`GrammarIndex`] lengths — no successor paths are
+    /// materialized at all.
+    pub fn simulate_distance(
+        &self,
+        path: &Path,
+        distance: u64,
+        weight: f64,
+        acc: &mut DistanceAccumulator,
+    ) {
+        debug_assert!(distance >= 1 && !path.frames.is_empty());
+        let mut frames = path.frames.clone();
+        let innermost = frames.len() - 1;
+        self.sim_decide(&mut frames, innermost, distance, weight, acc);
+    }
+
+    /// Striding counterpart of [`Walker::decide`]: a repetition of the use
+    /// at `frames[idx]` just completed and the target event lies `rem ≥ 1`
+    /// events ahead.
+    fn sim_decide(
+        &self,
+        frames: &mut Vec<Frame>,
+        idx: usize,
+        rem: u64,
+        weight: f64,
+        acc: &mut DistanceAccumulator,
+    ) {
+        if weight <= 0.0 {
+            return;
+        }
+        if acc.nodes_left == 0 {
+            return;
+        }
+        acc.nodes_left -= 1;
+        frames.truncate(idx + 1);
+        let f = frames[idx];
+        let use_ = self.grammar.rule(f.rule).body[f.pos];
+        let c = use_.count as u64;
+        // Terminals expand to 1 event; rule bodies are non-empty, so
+        // `unit >= 1` and the strides below always make progress.
+        let unit = self.index.sym_len(use_.symbol);
+        match f.rep {
+            Rep::Known(r) => {
+                let left = c - r as u64;
+                if left * unit >= rem {
+                    // The target falls inside the remaining repetitions:
+                    // skip whole repetitions, then locate it within one.
+                    self.sim_enter(use_.symbol, (rem - 1) % unit + 1, weight, acc);
+                } else {
+                    // All remaining repetitions fall short: skip them all.
+                    self.sim_exit(frames, idx, rem - left * unit, weight, acc);
+                }
+            }
+            Rep::Unknown(k) => {
+                // The unknown start offset makes "j more repetitions, then
+                // exit" uniform over j = 0..=c-k (each stepwise stay/exit
+                // product telescopes to 1/(c-k+1)). Every arm with
+                // j·unit ≥ rem puts the target at the same spot inside a
+                // repetition, so they aggregate into ONE descend branch;
+                // only the arms exiting before the target are enumerated.
+                let arms = c - k as u64 + 1;
+                let jmin = rem.div_ceil(unit);
+                if jmin < arms {
+                    let stay_w = weight * (arms - jmin) as f64 / arms as f64;
+                    self.sim_enter(use_.symbol, (rem - 1) % unit + 1, stay_w, acc);
+                }
+                let arm_w = weight / arms as f64;
+                for j in 0..jmin.min(arms) {
+                    let mut arm_frames = frames.clone();
+                    self.sim_exit(&mut arm_frames, idx, rem - j * unit, arm_w, acc);
+                }
+            }
+        }
+    }
+
+    /// The target is the `rem`-th terminal (1-based) of one expansion of
+    /// `symbol` (`1 ≤ rem ≤ expanded_len(symbol)`): descend to it directly,
+    /// skipping preceding siblings and whole repetition runs by length.
+    fn sim_enter(&self, symbol: Symbol, rem: u64, weight: f64, acc: &mut DistanceAccumulator) {
+        if weight <= 0.0 {
+            return;
+        }
+        let mut sym = symbol;
+        let mut rem = rem;
+        loop {
+            match sym {
+                Symbol::Terminal(e) => {
+                    debug_assert_eq!(rem, 1);
+                    *acc.per_event.entry(e).or_insert(0.0) += weight;
+                    return;
+                }
+                Symbol::Rule(r) => {
+                    for u in &self.grammar.rule(r).body {
+                        let unit = self.index.sym_len(u.symbol);
+                        let full = u.count as u64 * unit;
+                        if rem <= full {
+                            rem = (rem - 1) % unit + 1;
+                            sym = u.symbol;
+                            break;
+                        }
+                        rem -= full;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Striding counterpart of [`Walker::exit`]: the use at `frames[idx]`
+    /// is done repeating and the target lies `rem ≥ 1` events past it.
+    fn sim_exit(
+        &self,
+        frames: &mut Vec<Frame>,
+        idx: usize,
+        rem: u64,
+        weight: f64,
+        acc: &mut DistanceAccumulator,
+    ) {
+        let f = frames[idx];
+        // O(1) check whether the whole tail of this rule body falls short
+        // of the target; if not, locate the target inside the tail with
+        // O(1) per-use lengths.
+        let tail = self.index.suffix_len(f.rule, f.pos + 1);
+        if tail >= rem {
+            let mut rem = rem;
+            let body = &self.grammar.rule(f.rule).body;
+            for u in body.iter().skip(f.pos + 1) {
+                let unit = self.index.sym_len(u.symbol);
+                let full = u.count as u64 * unit;
+                if rem <= full {
+                    self.sim_enter(u.symbol, (rem - 1) % unit + 1, weight, acc);
+                    return;
+                }
+                rem -= full;
+            }
+            unreachable!("suffix length placed the target inside the tail");
+        }
+        let rem = rem - tail;
+        // The rule body completed one pass: one repetition of the parent
+        // use finished.
+        if idx > 0 {
+            frames[idx - 1].rep = bump(frames[idx - 1].rep);
+            self.sim_decide(frames, idx - 1, rem, weight, acc);
+            return;
+        }
+        let top_rule = f.rule;
+        if top_rule == self.grammar.root() {
+            acc.end_mass += weight;
+            return;
+        }
+        // Partial path: extend upward over every use site, mirroring
+        // `Walker::exit`.
+        let total = self.index.expansion(top_rule);
+        if total <= 0.0 {
+            return;
+        }
+        for site in self.index.rule_uses(top_rule) {
+            let use_ = self.grammar.rule(site.rule).body[site.pos];
+            let site_visits = self.index.expansion(site.rule) * use_.count as f64;
+            let w = weight * site_visits / total;
+            if w <= 0.0 {
+                continue;
+            }
+            let mut new_frames = vec![Frame {
+                rule: site.rule,
+                pos: site.pos,
+                rep: Rep::Unknown(1),
+            }];
+            self.sim_decide(&mut new_frames, 0, rem, w, acc);
         }
     }
 }
@@ -214,6 +474,7 @@ impl Walker<'_> {
 mod tests {
     use super::*;
     use crate::grammar::builder::GrammarBuilder;
+    use crate::grammar::Loc;
 
     fn e(n: u32) -> EventId {
         EventId(n)
@@ -221,8 +482,7 @@ mod tests {
 
     struct Fixture {
         grammar: Grammar,
-        expansions: Vec<f64>,
-        rule_uses: Vec<Vec<Loc>>,
+        index: GrammarIndex,
     }
 
     impl Fixture {
@@ -232,27 +492,19 @@ mod tests {
                 b.push(e(s));
             }
             let grammar = b.into_grammar().compact();
-            let expansions: Vec<f64> = grammar
-                .expansion_counts()
-                .into_iter()
-                .map(|x| x as f64)
-                .collect();
-            let rule_uses = (0..grammar.rule_count())
-                .map(|i| grammar.rule_uses(crate::grammar::RuleId(i as u32)))
-                .collect();
-            Fixture {
-                grammar,
-                expansions,
-                rule_uses,
-            }
+            let index = GrammarIndex::build(&grammar);
+            Fixture { grammar, index }
         }
 
         fn walker(&self) -> Walker<'_> {
             Walker {
                 grammar: &self.grammar,
-                expansions: &self.expansions,
-                rule_uses: &self.rule_uses,
+                index: &self.index,
             }
+        }
+
+        fn terminal_uses(&self, ev: EventId) -> Vec<Loc> {
+            self.grammar.terminal_uses(ev)
         }
     }
 
@@ -261,7 +513,7 @@ mod tests {
         let fx = Fixture::new(&[0, 1, 1, 2, 1, 2, 0, 1, 3, 0, 1, 1, 2]);
         let w = fx.walker();
         for ev in [0u32, 1, 2, 3] {
-            for loc in fx.grammar.terminal_uses(e(ev)) {
+            for loc in fx.terminal_uses(e(ev)) {
                 let p = Path::seed(loc.rule, loc.pos);
                 let mut out = Vec::new();
                 w.expand(&p, &mut out);
@@ -280,7 +532,7 @@ mod tests {
         // with probability 1.
         let fx = Fixture::new(&[0, 1, 0, 1, 0, 1, 0, 1]);
         let w = fx.walker();
-        let uses = fx.grammar.terminal_uses(e(0));
+        let uses = fx.terminal_uses(e(0));
         assert_eq!(uses.len(), 1);
         let p = Path::seed(uses[0].rule, uses[0].pos);
         let mut out = Vec::new();
@@ -300,7 +552,7 @@ mod tests {
         }
         let fx = Fixture::new(&seq);
         let w = fx.walker();
-        let uses = fx.grammar.terminal_uses(e(0));
+        let uses = fx.terminal_uses(e(0));
         assert_eq!(uses.len(), 1, "{}", fx.grammar.render(&|x| x.to_string()));
         let p = Path::seed(uses[0].rule, uses[0].pos);
         let mut out = Vec::new();
@@ -347,7 +599,7 @@ mod tests {
         // c or d with equal weight.
         let fx = Fixture::new(&[0, 1, 2, 0, 1, 3, 0, 1, 2, 0, 1, 3]);
         let w = fx.walker();
-        let uses = fx.grammar.terminal_uses(e(1));
+        let uses = fx.terminal_uses(e(1));
         let mut all = Vec::new();
         for u in uses {
             let p = Path::seed(u.rule, u.pos);
@@ -362,5 +614,111 @@ mod tests {
             .collect();
         assert!(evs.contains(&2), "{evs:?}");
         assert!(evs.contains(&3), "{evs:?}");
+    }
+
+    #[test]
+    fn expand_matching_agrees_with_filtering_expand() {
+        let seq: Vec<u32> = (0..20).flat_map(|i| [0, 0, 0, 1, (i % 3) + 2]).collect();
+        let fx = Fixture::new(&seq);
+        let w = fx.walker();
+        for ev in 0..5u32 {
+            for loc in fx.terminal_uses(e(ev)) {
+                let p = Path::seed(loc.rule, loc.pos);
+                let mut all = Vec::new();
+                w.expand(&p, &mut all);
+                for want in 0..5u32 {
+                    let mut filtered = Vec::new();
+                    w.expand_matching(&p, e(want), &mut filtered);
+                    let reference: Vec<&Branch> = all
+                        .iter()
+                        .filter(|b| b.outcome == Outcome::Event(e(want)))
+                        .collect();
+                    assert_eq!(filtered.len(), reference.len());
+                    for (f, r) in filtered.iter().zip(reference) {
+                        assert_eq!(f.path, r.path);
+                        assert!((f.factor - r.factor).abs() < 1e-12);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Stepwise reference: expand `distance` times, summing final weights.
+    fn stepwise_distance(
+        w: &Walker<'_>,
+        path: &Path,
+        distance: usize,
+    ) -> (FxHashMap<EventId, f64>, f64) {
+        let mut states = vec![(path.clone(), 1.0f64)];
+        let mut end_mass = 0.0;
+        let mut dist: FxHashMap<EventId, f64> = FxHashMap::default();
+        for step in 0..distance {
+            let mut next = Vec::new();
+            for (p, wt) in &states {
+                let mut out = Vec::new();
+                w.expand(p, &mut out);
+                for b in out {
+                    let bw = wt * b.factor;
+                    match b.outcome {
+                        Outcome::End => end_mass += bw,
+                        Outcome::Event(ev) => {
+                            if step + 1 == distance {
+                                *dist.entry(ev).or_insert(0.0) += bw;
+                            } else {
+                                next.push((b.path, bw));
+                            }
+                        }
+                    }
+                }
+            }
+            states = next;
+        }
+        (dist, end_mass)
+    }
+
+    #[test]
+    fn simulate_distance_matches_stepwise() {
+        let traces: Vec<Vec<u32>> = vec![
+            (0..12).flat_map(|_| vec![0, 1, 2]).collect(),
+            (0..8).flat_map(|_| vec![0, 0, 0, 0, 1]).collect(),
+            (0..6)
+                .flat_map(|i| vec![0, 1, 2, 0, 1, 3 + (i % 2)])
+                .collect(),
+            vec![0, 1, 2, 3, 4, 5],
+        ];
+        for seq in traces {
+            let fx = Fixture::new(&seq);
+            let w = fx.walker();
+            for ev in 0..6u32 {
+                for loc in fx.terminal_uses(e(ev)) {
+                    let p = Path::seed(loc.rule, loc.pos);
+                    for distance in [1usize, 2, 3, 5, 8, 13] {
+                        let (want, want_end) = stepwise_distance(&w, &p, distance);
+                        let mut acc = DistanceAccumulator::new(usize::MAX);
+                        w.simulate_distance(&p, distance as u64, 1.0, &mut acc);
+                        assert!(
+                            (acc.end_mass - want_end).abs() < 1e-9,
+                            "end mass {} vs {} (d={distance})",
+                            acc.end_mass,
+                            want_end
+                        );
+                        for (ev2, wt) in &want {
+                            let got = acc.per_event.get(ev2).copied().unwrap_or(0.0);
+                            assert!(
+                                (got - wt).abs() < 1e-9,
+                                "event {ev2:?}: {got} vs {wt} (d={distance})"
+                            );
+                        }
+                        for (ev2, wt) in &acc.per_event {
+                            let exp = want.get(ev2).copied().unwrap_or(0.0);
+                            assert!(
+                                (wt - exp).abs() < 1e-9,
+                                "spurious event {ev2:?}: {wt} vs {exp} (d={distance})"
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 }

@@ -110,11 +110,7 @@ impl Recorder {
         let event_count = self.builder.event_count();
         let grammar = self.builder.into_grammar().compact();
         let timing = TimingModel::build(&grammar, &self.timestamps_ns);
-        ThreadTrace {
-            grammar,
-            timing,
-            event_count,
-        }
+        ThreadTrace::new(grammar, timing, event_count)
     }
 
     /// Convenience for single-threaded programs: wraps the single thread

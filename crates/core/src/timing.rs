@@ -258,10 +258,7 @@ impl<'g> Replay<'g> {
             self.advance();
         }
         let &(rule, pos, _) = self.stack.last()?;
-        let event = self
-            .grammar
-            .rule(rule)
-            .body[pos]
+        let event = self.grammar.rule(rule).body[pos]
             .symbol
             .terminal()
             .expect("replay stack must end at a terminal");

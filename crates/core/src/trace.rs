@@ -12,14 +12,14 @@
 //! * a **JSON** format (via `serde`) for debugging and interoperability.
 
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use serde::{Deserialize, Serialize};
 
 use crate::error::{Error, Result};
 use crate::event::EventRegistry;
-use crate::grammar::{Grammar, Rule, RuleId, Symbol, SymbolUse};
+use crate::grammar::{Grammar, GrammarIndex, Rule, RuleId, Symbol, SymbolUse};
 use crate::timing::{TimingEntry, TimingModel};
 
 /// Magic bytes opening every binary trace file.
@@ -37,6 +37,36 @@ pub struct ThreadTrace {
     pub timing: TimingModel,
     /// Number of events the grammar unfolds to.
     pub event_count: u64,
+    /// Precomputed query layer over `grammar`, built lazily and shared by
+    /// every predictor over this trace. Never serialized: it is derived
+    /// data, rebuilt from the grammar after loading.
+    #[serde(skip)]
+    index: OnceLock<Arc<GrammarIndex>>,
+}
+
+impl ThreadTrace {
+    /// Assembles a thread trace. The grammar must be compacted (this is
+    /// what [`crate::record::Recorder::finish_thread`] and the trace
+    /// loaders produce).
+    pub fn new(grammar: Grammar, timing: TimingModel, event_count: u64) -> Self {
+        ThreadTrace {
+            grammar,
+            timing,
+            event_count,
+            index: OnceLock::new(),
+        }
+    }
+
+    /// The precomputed query layer over this thread's grammar, built on
+    /// first use and shared by all predictors (`Arc`). The grammar is
+    /// immutable once inside a `ThreadTrace`, so the index never goes
+    /// stale.
+    pub fn index(&self) -> Arc<GrammarIndex> {
+        Arc::clone(
+            self.index
+                .get_or_init(|| Arc::new(GrammarIndex::build(&self.grammar))),
+        )
+    }
 }
 
 /// A complete reference-execution trace: one [`ThreadTrace`] per thread
@@ -55,12 +85,15 @@ struct TraceDataSerde {
 }
 
 impl TraceData {
-    /// Assembles a trace from per-thread recordings.
+    /// Assembles a trace from per-thread recordings, prebuilding each
+    /// thread's [`GrammarIndex`] so predictors never pay for it on the hot
+    /// path (all load paths — binary, JSON, recorder — go through here).
     pub fn from_threads(threads: Vec<ThreadTrace>, registry: EventRegistry) -> Self {
-        TraceData {
-            threads: threads.into_iter().map(Arc::new).collect(),
-            registry,
+        let threads: Vec<Arc<ThreadTrace>> = threads.into_iter().map(Arc::new).collect();
+        for t in &threads {
+            t.index();
         }
+        TraceData { threads, registry }
     }
 
     /// Number of recorded threads.
@@ -155,20 +188,18 @@ impl TraceData {
         }
         let n_threads = get_u32(buf)? as usize;
         if n_threads > 1 << 20 {
-            return Err(Error::Corrupt(format!("implausible thread count {n_threads}")));
+            return Err(Error::Corrupt(format!(
+                "implausible thread count {n_threads}"
+            )));
         }
         // Cap pre-allocation: a corrupt length field must not trigger a huge
-    // allocation before the data runs out.
-    let mut threads = Vec::with_capacity(n_threads.min(1024));
+        // allocation before the data runs out.
+        let mut threads = Vec::with_capacity(n_threads.min(1024));
         for _ in 0..n_threads {
             let event_count = get_u64(buf)?;
             let grammar = get_grammar(buf)?;
             let timing = get_timing(buf)?;
-            threads.push(ThreadTrace {
-                grammar,
-                timing,
-                event_count,
-            });
+            threads.push(ThreadTrace::new(grammar, timing, event_count));
         }
         if !buf.is_empty() {
             return Err(Error::Corrupt(format!(
@@ -309,7 +340,9 @@ fn get_grammar(buf: &mut &[u8]) -> Result<Grammar> {
     for _ in 0..n_rules {
         let body_len = get_u32(buf)? as usize;
         if body_len > 1 << 26 {
-            return Err(Error::Corrupt(format!("implausible body length {body_len}")));
+            return Err(Error::Corrupt(format!(
+                "implausible body length {body_len}"
+            )));
         }
         let mut body = Vec::with_capacity(body_len.min(4096));
         for _ in 0..body_len {
@@ -415,7 +448,9 @@ fn put_timing(buf: &mut BytesMut, t: &TimingModel) {
 fn get_timing(buf: &mut &[u8]) -> Result<TimingModel> {
     let n = get_u32(buf)? as usize;
     if n > 1 << 26 {
-        return Err(Error::Corrupt(format!("implausible timing entry count {n}")));
+        return Err(Error::Corrupt(format!(
+            "implausible timing entry count {n}"
+        )));
     }
     let mut entries = Vec::with_capacity(n.min(4096));
     for _ in 0..n {

@@ -36,8 +36,8 @@ fn paper_walkthrough_fig1() {
     assert!(after_b >= 2, "b is ambiguous: {after_b} candidates");
 
     assert_eq!(p.observe(e(2)), ObserveOutcome::Matched); // c: narrows to B
-    // Inside a B occurrence, the possible next events are b (second B) or
-    // a (the trailing "ab").
+                                                          // Inside a B occurrence, the possible next events are b (second B) or
+                                                          // a (the trailing "ab").
     let pred = p.predict(1);
     let possible: Vec<u32> = pred.distribution.iter().map(|&(ev, _)| ev.0).collect();
     for ev in &possible {

@@ -66,7 +66,10 @@ fn context_separates_fast_and_slow_transitions() {
         slow > 500.0,
         "expected the slow-context mean (~1000ns), got {slow}"
     );
-    assert!(slow / fast > 10.0, "contexts not separated: {fast} vs {slow}");
+    assert!(
+        slow / fast > 10.0,
+        "contexts not separated: {fast} vs {slow}"
+    );
 }
 
 #[test]

@@ -226,10 +226,7 @@ impl Comm {
     }
 
     /// Completes a batch of requests in order (`MPI_Waitall`).
-    pub fn waitall<T: MpiType>(
-        &self,
-        requests: Vec<Request<T>>,
-    ) -> Vec<Option<(Vec<T>, Status)>> {
+    pub fn waitall<T: MpiType>(&self, requests: Vec<Request<T>>) -> Vec<Option<(Vec<T>, Status)>> {
         requests.into_iter().map(|r| self.wait(r)).collect()
     }
 
@@ -406,10 +403,7 @@ impl Comm {
         let seq = self.split_seq.get();
         self.split_seq.set(seq + 1);
         // Share (color, key) so each rank can compute the same membership.
-        let all: Vec<Vec<i64>> = self
-            .allgather(&[color, key])
-            .into_iter()
-            .collect();
+        let all: Vec<Vec<i64>> = self.allgather(&[color, key]).into_iter().collect();
         let mut members: Vec<(i64, usize)> = all
             .iter()
             .enumerate()
@@ -563,8 +557,14 @@ mod tests {
     fn gather_scatter_roundtrip() {
         let out = World::run(4, |comm| {
             let gathered = comm.gather(&[comm.rank() as u64], 0);
-            let chunks: Option<Vec<Vec<u64>>> = gathered
-                .map(|g| g.into_iter().map(|mut v| { v[0] *= 2; v }).collect());
+            let chunks: Option<Vec<Vec<u64>>> = gathered.map(|g| {
+                g.into_iter()
+                    .map(|mut v| {
+                        v[0] *= 2;
+                        v
+                    })
+                    .collect()
+            });
             comm.scatter(chunks.as_deref(), 0)[0]
         });
         assert_eq!(out, vec![0, 2, 4, 6]);
@@ -670,8 +670,7 @@ mod extended_api_tests {
         let out = World::run(4, |comm| {
             let next = (comm.rank() + 1) % comm.size();
             let prev = (comm.rank() + comm.size() - 1) % comm.size();
-            let (data, status) =
-                comm.sendrecv(&[comm.rank() as u64], next, Some(prev), 9);
+            let (data, status) = comm.sendrecv(&[comm.rank() as u64], next, Some(prev), 9);
             assert_eq!(status.source, prev);
             data[0]
         });

@@ -144,9 +144,7 @@ impl Mailbox {
         tag: Option<Tag>,
     ) -> Option<usize> {
         q.iter().position(|m| {
-            m.comm_id == comm_id
-                && src.is_none_or(|s| m.src == s)
-                && tag.is_none_or(|t| m.tag == t)
+            m.comm_id == comm_id && src.is_none_or(|s| m.src == s) && tag.is_none_or(|t| m.tag == t)
         })
     }
 }

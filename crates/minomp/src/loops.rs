@@ -16,7 +16,9 @@ pub fn static_chunk(n: usize, thread_num: usize, team_size: usize) -> Range<usiz
 
 /// Splits `0..n` into `team_size` static chunks (diagnostics/tests).
 pub fn all_chunks(n: usize, team_size: usize) -> Vec<Range<usize>> {
-    (0..team_size).map(|t| static_chunk(n, t, team_size)).collect()
+    (0..team_size)
+        .map(|t| static_chunk(n, t, team_size))
+        .collect()
 }
 
 #[cfg(test)]

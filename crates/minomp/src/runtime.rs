@@ -186,10 +186,7 @@ impl OmpRuntime {
             }
             partials.lock().push(acc);
         });
-        partials
-            .into_inner()
-            .into_iter()
-            .fold(identity, combine)
+        partials.into_inner().into_iter().fold(identity, combine)
     }
 }
 

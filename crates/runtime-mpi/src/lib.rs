@@ -25,6 +25,8 @@ pub mod probe;
 pub mod session;
 
 pub use events::MpiCall;
-pub use probe::{AccuracyProbe, CostProbe, DistanceAccuracy};
 pub use omp_bridge::DurationPolicy;
-pub use session::{AggregationConfig, AggregationStats, MpiMode, PythiaComm, RankReport, SharedRegistry};
+pub use probe::{AccuracyProbe, CostProbe, DistanceAccuracy};
+pub use session::{
+    AggregationConfig, AggregationStats, MpiMode, PythiaComm, RankReport, SharedRegistry,
+};

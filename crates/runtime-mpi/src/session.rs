@@ -173,6 +173,23 @@ impl RankState {
         }
         outcome
     }
+
+    /// Submits a batch of already-resolved event ids through a single
+    /// oracle dispatch ([`Oracle::events`]); the accuracy probe still sees
+    /// every event. Returns the last event's outcome.
+    pub(crate) fn submit_all(
+        &mut self,
+        ids: &[pythia_core::event::EventId],
+    ) -> Option<pythia_core::predict::ObserveOutcome> {
+        self.events += ids.len() as u64;
+        let outcome = self.oracle.events(ids);
+        if let Some(probe) = self.accuracy.as_mut() {
+            for &id in ids {
+                probe.on_event(id);
+            }
+        }
+        outcome
+    }
 }
 
 /// Assembles the per-rank recordings of a run into a [`TraceData`] (rank
@@ -322,10 +339,7 @@ impl PythiaComm {
             .expect("all split communicators must be dropped before finish")
             .into_inner();
         let events = state.events;
-        let rules = state
-            .oracle
-            .recorder()
-            .map_or(0, |r| r.rule_count());
+        let rules = state.oracle.recorder().map_or(0, |r| r.rule_count());
         let predict_stats = state.oracle.predictor().map(|p| p.stats());
         let aggregation = state
             .aggregation
@@ -462,7 +476,8 @@ impl PythiaComm {
         let more_coming = matches!(
             prediction.most_likely(),
             Some(m) if m == send_id || m == isend_id
-        ) && prediction.probability(send_id) + prediction.probability(isend_id) >= min_p;
+        ) && prediction.probability(send_id) + prediction.probability(isend_id)
+            >= min_p;
         let agg = st.aggregation.as_mut().expect("still enabled");
         let data = pythia_minimpi::datatype::to_bytes(buf);
         match agg.pending.as_mut() {
@@ -502,10 +517,7 @@ impl PythiaComm {
     }
 
     /// `MPI_Waitall` (requests predictions).
-    pub fn waitall<T: MpiType>(
-        &self,
-        requests: Vec<Request<T>>,
-    ) -> Vec<Option<(Vec<T>, Status)>> {
+    pub fn waitall<T: MpiType>(&self, requests: Vec<Request<T>>) -> Vec<Option<(Vec<T>, Status)>> {
         self.flush_pending();
         self.event(MpiCall::Waitall, None);
         self.comm.waitall(requests)
@@ -610,6 +622,28 @@ impl PythiaComm {
     /// hybrid application) into this rank's event stream.
     pub fn custom_event(&self, name: &'static str, payload: Option<i64>) {
         self.event(MpiCall::Custom(name), payload);
+    }
+
+    /// Submits several non-MPI key points at once, under a single state
+    /// lock and a single oracle dispatch. Instrumentation points that emit
+    /// adjacent events (e.g. a phase marker plus a region boundary) should
+    /// prefer this over repeated [`PythiaComm::custom_event`] calls.
+    pub fn custom_events(&self, events: &[(&'static str, Option<i64>)]) {
+        if events.is_empty() {
+            return;
+        }
+        let mut st = self.state.lock();
+        if matches!(st.oracle, Oracle::Off) {
+            return;
+        }
+        let ids: Vec<pythia_core::event::EventId> = events
+            .iter()
+            .map(|&(name, payload)| {
+                st.cache
+                    .resolve(&self.registry, MpiCall::Custom(name), payload)
+            })
+            .collect();
+        st.submit_all(&ids);
     }
 
     /// An [`pythia_minomp::OmpListener`] that feeds an in-rank OpenMP
@@ -737,6 +771,40 @@ mod tests {
             let a16 = r.accuracy[2].1.accuracy();
             assert!(a1 >= a16 - 0.2, "a1={a1} a16={a16}");
         }
+    }
+
+    #[test]
+    fn batched_custom_events_match_sequential() {
+        // Record with the batched submission path…
+        let mode = MpiMode::record();
+        let registry = PythiaComm::registry_for(&mode);
+        let reports = World::run(1, |comm| {
+            let pc = PythiaComm::wrap(comm, &mode, Arc::clone(&registry));
+            for i in 0..20i64 {
+                pc.custom_events(&[("phase", Some(i % 2)), ("step", None)]);
+                pc.barrier();
+            }
+            pc.finish()
+        });
+        assert_eq!(reports[0].events, 60);
+        let trace = Arc::new(assemble_trace(reports, &registry));
+
+        // …then predict over it submitting the same points one by one: the
+        // streams must line up (batching is submission-order-preserving).
+        let mode = MpiMode::predict(Arc::clone(&trace));
+        let registry = PythiaComm::registry_for(&mode);
+        let reports = World::run(1, |comm| {
+            let pc = PythiaComm::wrap(comm, &mode, Arc::clone(&registry));
+            for i in 0..20i64 {
+                pc.custom_event("phase", Some(i % 2));
+                pc.custom_event("step", None);
+                pc.barrier();
+            }
+            pc.finish()
+        });
+        let st = reports[0].predict_stats.unwrap();
+        assert_eq!(st.observed, 60);
+        assert!(st.matched as f64 / st.observed as f64 > 0.9);
     }
 
     #[test]

@@ -70,7 +70,7 @@ fn aggregation_reduces_transfers() {
     let trace = record_trace();
     let base = run(MpiMode::predict(Arc::clone(&trace)), false);
     let base_net = base[1].2; // rank 1's incoming mailbox
-    // With aggregation.
+                              // With aggregation.
     let agg = run(MpiMode::predict(trace), true);
     let agg_net = agg[1].2;
     assert_eq!(base_net.messages, agg_net.messages, "same logical traffic");

@@ -192,16 +192,19 @@ impl OmpListener for OracleListener {
         st.stats.regions += 1;
 
         // §III-E: randomly submit an event that does not exist in the
-        // reference execution.
-        if st.error_rate > 0.0 && st.rng.gen::<f64>() < st.error_rate {
+        // reference execution. The bogus marker and the real region-begin
+        // event are submitted as one batch — a single oracle dispatch, and
+        // the returned outcome is the last (real) event's, as before.
+        let outcome = if st.error_rate > 0.0 && st.rng.gen::<f64>() < st.error_rate {
             let bogus: i64 = st.rng.gen();
-            let id = st.registry.intern(NOISE, Some(bogus));
-            st.oracle.event(id);
+            let noise = st.registry.intern(NOISE, Some(bogus));
             st.stats.injected_errors += 1;
-        }
-
-        let id = st.event_for(region, true);
-        let outcome = st.oracle.event(id);
+            let id = st.event_for(region, true);
+            st.oracle.events(&[noise, id])
+        } else {
+            let id = st.event_for(region, true);
+            st.oracle.event(id)
+        };
 
         let choice = if st.policy.is_some() {
             // Only trust the oracle while it is tracking the reference
@@ -219,11 +222,7 @@ impl OmpListener for OracleListener {
             if d_est.is_none() {
                 st.stats.uninformed += 1;
             }
-            let choice = st
-                .policy
-                .as_ref()
-                .expect("checked above")
-                .choose(d_est);
+            let choice = st.policy.as_ref().expect("checked above").choose(d_est);
             if matches!(choice, ThreadChoice::Exactly(_)) {
                 st.stats.adapted += 1;
             }

@@ -38,7 +38,9 @@ impl ThresholdPolicy {
     /// strictly increase and team sizes must not decrease.
     pub fn new(thresholds: Vec<(Duration, usize)>) -> Self {
         assert!(
-            thresholds.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1),
+            thresholds
+                .windows(2)
+                .all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1),
             "thresholds must increase and team sizes must be monotone"
         );
         assert!(thresholds.iter().all(|&(_, t)| t >= 1));
@@ -83,7 +85,10 @@ mod tests {
     #[test]
     fn long_regions_get_default() {
         let p = ThresholdPolicy::default();
-        assert_eq!(p.choose(Some(Duration::from_secs(1))), ThreadChoice::Default);
+        assert_eq!(
+            p.choose(Some(Duration::from_secs(1))),
+            ThreadChoice::Default
+        );
     }
 
     #[test]

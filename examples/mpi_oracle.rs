@@ -26,7 +26,10 @@ fn main() {
     });
 
     // Reference execution with the small working set.
-    println!("recording {} on {ranks} ranks (small working set)...", app.name());
+    println!(
+        "recording {} on {ranks} ranks (small working set)...",
+        app.name()
+    );
     let trace = record_trace(app.as_ref(), ranks, WorkingSet::Small, WorkScale::ZERO);
     println!(
         "  {} events total, mean {:.0} grammar rules/rank",
@@ -43,7 +46,13 @@ fn main() {
     // Replay on the large working set, predicting at every blocking call.
     println!("\nreplaying with the LARGE working set, predicting at blocking calls...");
     let mode = MpiMode::predict_distances(Arc::clone(&trace), vec![1, 8, 64]);
-    let res = run_app(app.as_ref(), ranks, WorkingSet::Large, mode, WorkScale::ZERO);
+    let res = run_app(
+        app.as_ref(),
+        ranks,
+        WorkingSet::Large,
+        mode,
+        WorkScale::ZERO,
+    );
 
     println!("\nper-distance accuracy (all ranks):");
     let mut totals = [(0u64, 0u64); 3];

@@ -53,7 +53,11 @@ fn main() -> Result<()> {
     // The grammar — not the trace — is what gets saved.
     let path = std::env::temp_dir().join("pythia-quickstart.trace");
     trace.save(&path)?;
-    println!("saved to {} ({} bytes)\n", path.display(), std::fs::metadata(&path)?.len());
+    println!(
+        "saved to {} ({} bytes)\n",
+        path.display(),
+        std::fs::metadata(&path)?.len()
+    );
 
     // ------------------------------------------------------------------
     // A later execution (PYTHIA-PREDICT).

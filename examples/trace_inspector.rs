@@ -21,7 +21,10 @@ fn main() -> Result<()> {
             let trace = record_trace(app.as_ref(), 4, WorkingSet::Small, WorkScale::ZERO);
             let p = std::env::temp_dir().join("pythia-inspector-demo.trace");
             trace.save(&p)?;
-            println!("(no file given; recorded a demo MG trace to {})\n", p.display());
+            println!(
+                "(no file given; recorded a demo MG trace to {})\n",
+                p.display()
+            );
             p
         }
     };

@@ -1,0 +1,235 @@
+//! Offline shim for `criterion`: a minimal wall-clock benchmark harness
+//! with the API surface this workspace's benches use — `criterion_group!`/
+//! `criterion_main!`, benchmark groups, `BenchmarkId`, `Throughput`, and
+//! `Bencher::iter`.
+//!
+//! Each benchmark warms up briefly, then runs timed batches within a small
+//! fixed time budget and reports the best batch's mean time per iteration
+//! (minimum-of-batches is robust against scheduler noise). There are no
+//! statistical reports or HTML output.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Per-benchmark time budget. Small enough that full bench binaries stay
+/// fast in CI; large enough for stable ns-scale medians.
+const TIME_BUDGET: Duration = Duration::from_millis(40);
+const WARMUP_BUDGET: Duration = Duration::from_millis(8);
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_benchmark(name, None, &mut f);
+        self
+    }
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered `name/param`.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), param),
+        }
+    }
+
+    /// An id from just a parameter value.
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark identified by `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().id);
+        run_benchmark(&full, self.throughput, &mut f);
+        self
+    }
+
+    /// Runs a benchmark that receives a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().id);
+        run_benchmark(&full, self.throughput, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Conversions accepted as benchmark ids.
+pub trait IntoBenchmarkId {
+    /// Converts to a [`BenchmarkId`].
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            id: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    /// Best (lowest) observed mean ns/iter across batches.
+    best_ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the best mean time per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also calibrates the per-iteration cost estimate.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP_BUDGET {
+            black_box(routine());
+            warm_iters += 1;
+            // Don't spin forever calibrating very fast routines.
+            if warm_iters >= 1 << 20 {
+                break;
+            }
+        }
+        let est_ns = (WARMUP_BUDGET.as_nanos() as f64 / warm_iters.max(1) as f64).max(1.0);
+        // Aim for ~20 batches within the budget.
+        let batch_iters =
+            ((TIME_BUDGET.as_nanos() as f64 / 20.0 / est_ns) as u64).clamp(1, 1 << 24);
+
+        let mut best = f64::INFINITY;
+        let bench_start = Instant::now();
+        while bench_start.elapsed() < TIME_BUDGET {
+            let t0 = Instant::now();
+            for _ in 0..batch_iters {
+                black_box(routine());
+            }
+            let batch_ns = t0.elapsed().as_nanos() as f64 / batch_iters as f64;
+            best = best.min(batch_ns);
+        }
+        self.best_ns_per_iter = best;
+    }
+}
+
+fn run_benchmark(name: &str, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        best_ns_per_iter: f64::NAN,
+    };
+    f(&mut bencher);
+    let ns = bencher.best_ns_per_iter;
+    match throughput {
+        Some(Throughput::Elements(n)) if ns.is_finite() && ns > 0.0 => {
+            let per_sec = n as f64 * 1e9 / ns;
+            println!("bench: {name:<48} {ns:>12.1} ns/iter ({per_sec:.3e} elem/s)");
+        }
+        Some(Throughput::Bytes(n)) if ns.is_finite() && ns > 0.0 => {
+            let per_sec = n as f64 * 1e9 / ns;
+            println!("bench: {name:<48} {ns:>12.1} ns/iter ({per_sec:.3e} B/s)");
+        }
+        _ => println!("bench: {name:<48} {ns:>12.1} ns/iter"),
+    }
+}
+
+/// Bundles benchmark functions into a group runner, like criterion's.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_selftest");
+        group.throughput(Throughput::Elements(1));
+        group.bench_function(BenchmarkId::new("sum", 64), |b| {
+            b.iter(|| (0..64u64).sum::<u64>())
+        });
+        group.finish();
+    }
+}

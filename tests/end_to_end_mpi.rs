@@ -111,13 +111,7 @@ fn all_apps_self_replay_distance_one() {
 fn recording_lossless_across_working_sets() {
     for app in all_apps() {
         for ws in [WorkingSet::Small, WorkingSet::Medium] {
-            let res = run_app(
-                app.as_ref(),
-                4,
-                ws,
-                MpiMode::record(),
-                WorkScale::ZERO,
-            );
+            let res = run_app(app.as_ref(), 4, ws, MpiMode::record(), WorkScale::ZERO);
             for r in &res.reports {
                 let t = r.thread_trace.as_ref().unwrap();
                 assert_eq!(

@@ -4,7 +4,7 @@
 use std::time::Duration;
 
 use pythia::apps::lulesh_omp::{self, LuleshOmpConfig};
-use pythia::minomp::{OmpRuntime, PoolMode, RegionId};
+use pythia::minomp::{OmpListener, OmpRuntime, PoolMode, RegionId, ThreadChoice};
 use pythia::runtime_omp::{OmpOracle, ThresholdPolicy};
 
 fn cfg() -> LuleshOmpConfig {
@@ -122,11 +122,21 @@ fn pool_ablation_destroy_mode_respawns_threads() {
         lulesh_omp::run(&rt, &c);
         rt.pool_stats()
     };
-    // Destroy mode: the adaptive team-size changes force respawns.
+    // Destroy mode: the adaptive team-size changes force respawns. The
+    // oracle-driven team sizes depend on recorded wall-clock timings, so
+    // after the adaptive run, force one deterministic shrink-then-grow
+    // cycle; in DestroyOnShrink mode the shrink must destroy workers and
+    // the regrow must respawn them.
     let oracle_destroy = OmpOracle::predictor(&trace, ThresholdPolicy::default(), 0.0, 5);
     let destroy_stats = {
         let rt = OmpRuntime::with_listener(8, PoolMode::DestroyOnShrink, oracle_destroy.listener());
         lulesh_omp::run(&rt, &c);
+        rt.set_listener(Box::new(FixedTeam(8)));
+        rt.parallel(RegionId(9000), |_, _| {});
+        rt.set_listener(Box::new(FixedTeam(1)));
+        rt.parallel(RegionId(9001), |_, _| {});
+        rt.set_listener(Box::new(FixedTeam(8)));
+        rt.parallel(RegionId(9002), |_, _| {});
         rt.pool_stats()
     };
     assert_eq!(park_stats.threads_destroyed, 0);
@@ -135,6 +145,17 @@ fn pool_ablation_destroy_mode_respawns_threads() {
         "destroy mode must respawn: {destroy_stats:?} vs {park_stats:?}"
     );
     assert!(destroy_stats.threads_destroyed > 0);
+}
+
+/// Listener pinning every region to a fixed team size.
+struct FixedTeam(usize);
+
+impl OmpListener for FixedTeam {
+    fn region_begin(&mut self, _region: RegionId) -> ThreadChoice {
+        ThreadChoice::Exactly(self.0)
+    }
+
+    fn region_end(&mut self, _region: RegionId, _team: usize) {}
 }
 
 #[test]
