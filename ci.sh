@@ -7,3 +7,11 @@ cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release
 cargo test -q --workspace
+
+# Chaos pass: the fault-injection suite on a clean environment, then the
+# whole suite again with faults injected into every default-config oracle
+# facade (PYTHIA_CHAOS is read by ResilienceConfig::default()). The
+# applications must still complete — degraded, not dead.
+cargo test -q --test chaos
+PYTHIA_CHAOS="panic-predict" cargo test -q --test chaos
+PYTHIA_CHAOS="drop=7,dup=13,slow-predict-us=5" cargo test -q --test chaos

@@ -38,8 +38,9 @@ impl RunResult {
         total as f64 / self.reports.len() as f64
     }
 
-    /// Assembles a [`TraceData`] from a record-mode run.
-    pub fn into_trace(self) -> TraceData {
+    /// Assembles a [`TraceData`] from a record-mode run. Errors if a rank
+    /// produced no recording (not record mode, or a poisoned recorder).
+    pub fn into_trace(self) -> pythia_core::error::Result<TraceData> {
         assemble_trace(self.reports, &self.registry)
     }
 }
@@ -84,6 +85,7 @@ pub fn run_app_in_registry(
         let pc = PythiaComm::wrap(comm, &mode, Arc::clone(&registry));
         app.run(&pc, ws, &work);
         pc.finish()
+            .expect("apps drop split communicators before returning")
     });
     let elapsed = t0.elapsed();
     reports.sort_by_key(|r| r.rank);
@@ -102,7 +104,7 @@ pub fn record_trace(
     work: WorkScale,
 ) -> Arc<TraceData> {
     let result = run_app(app, ranks, ws, MpiMode::record(), work);
-    Arc::new(result.into_trace())
+    Arc::new(result.into_trace().expect("record-mode run has recordings"))
 }
 
 /// Structural smoke check shared by the per-application tests: the app
@@ -130,7 +132,7 @@ pub fn check_app_structure(app: &dyn MpiApp, ranks: usize, min_accuracy: f64) {
         );
         assert!(t.grammar.rule_count() >= 1);
     }
-    let trace = Arc::new(rec.into_trace());
+    let trace = Arc::new(rec.into_trace().expect("record-mode run has recordings"));
 
     // Predict on the identical working set: accuracy must be high.
     let pred = run_app(

@@ -69,7 +69,7 @@ fn main() {
             WorkScale::ZERO,
             std::sync::Arc::clone(&registry),
         );
-        let trace = small_run.into_trace();
+        let trace = small_run.into_trace().expect("record-mode run");
         // Rank 0's event stream of the large run.
         let stream: Vec<EventId> = large_run.reports[0]
             .thread_trace

@@ -37,7 +37,7 @@ fn run_predict(
         }
         app.run(&pc, WorkingSet::Small, &WorkScale::ZERO);
         let net = pc.inner().network_stats();
-        let report = pc.finish();
+        let report = pc.finish().expect("no live split communicators");
         (net, report.aggregation)
     });
     let mut transfers = 0;
@@ -89,7 +89,7 @@ fn main() {
             WorkScale::ZERO,
             Arc::clone(&registry),
         );
-        let trace = Arc::new(rec.into_trace());
+        let trace = Arc::new(rec.into_trace().expect("record-mode run"));
 
         let (plain_t, plain_m, _, _) = run_predict(app.as_ref(), ranks, Arc::clone(&trace), false);
         let (agg_t, agg_m, held, batches) =

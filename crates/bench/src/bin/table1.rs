@@ -74,7 +74,7 @@ fn main() {
             rules = r.mean_rules();
 
             if show_grammar.as_deref() == Some(app.name()) {
-                let trace = r.into_trace();
+                let trace = r.into_trace().expect("record-mode run");
                 let registry = trace.registry().clone();
                 let g = &trace.thread(0).unwrap().grammar;
                 println!(

@@ -6,7 +6,11 @@ use std::fmt;
 pub type Result<T> = std::result::Result<T, Error>;
 
 /// Errors raised while recording, saving, loading, or querying a trace.
+///
+/// Marked `#[non_exhaustive]`: downstream crates must keep a wildcard arm so
+/// future failure modes can be added without a breaking change.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum Error {
     /// An I/O error occurred while reading or writing a trace file.
     Io(std::io::Error),
@@ -25,6 +29,15 @@ pub enum Error {
     Json(String),
     /// A predictor configuration is unusable (e.g. a zero capacity).
     InvalidConfig(String),
+    /// The oracle cannot serve this request at all: it was never built,
+    /// its state is still borrowed elsewhere, or a required piece (a rank's
+    /// recording, a thread trace) is missing. The host runtime should fall
+    /// back to its default decision.
+    OracleUnavailable(String),
+    /// The oracle is alive but operating degraded: a query blew its time
+    /// budget, or the resilience layer has quarantined it. The result that
+    /// would have been returned is withheld; the host default applies.
+    Degraded(String),
 }
 
 impl fmt::Display for Error {
@@ -42,6 +55,8 @@ impl fmt::Display for Error {
             Error::NoSuchThread(t) => write!(f, "trace has no thread {t}"),
             Error::Json(msg) => write!(f, "json error: {msg}"),
             Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::OracleUnavailable(msg) => write!(f, "oracle unavailable: {msg}"),
+            Error::Degraded(msg) => write!(f, "oracle degraded: {msg}"),
         }
     }
 }
@@ -77,6 +92,10 @@ mod tests {
         assert!(e.to_string().contains("oops"));
         let e = Error::InvalidConfig("max_candidates".into());
         assert!(e.to_string().contains("max_candidates"));
+        let e = Error::OracleUnavailable("rank 3 has no recording".into());
+        assert!(e.to_string().contains("rank 3"));
+        let e = Error::Degraded("deadline exceeded".into());
+        assert!(e.to_string().contains("deadline"));
     }
 
     #[test]

@@ -24,7 +24,11 @@
 //!
 //! The [`oracle`] module offers the high-level [`oracle::Oracle`] facade that
 //! runtime-system integrations (MPI, OpenMP) use: one object per thread,
-//! switched between *record*, *predict*, and *off* modes.
+//! switched between *record*, *predict*, and *off* modes. Integrations that
+//! must survive a wrong, slow, or crashing oracle wrap it in
+//! [`resilience::HardenedOracle`], which adds panic isolation, per-query
+//! time budgets, an accuracy watchdog with quarantine, and deterministic
+//! fault injection for chaos testing.
 //!
 //! ## Quick example
 //!
@@ -55,6 +59,7 @@ pub mod grammar;
 pub mod oracle;
 pub mod predict;
 pub mod record;
+pub mod resilience;
 pub mod timing;
 pub mod trace;
 pub mod util;
@@ -67,6 +72,9 @@ pub mod prelude {
     pub use crate::oracle::{Oracle, OracleMode};
     pub use crate::predict::{Prediction, Predictor, PredictorConfig};
     pub use crate::record::{RecordConfig, Recorder};
+    pub use crate::resilience::{
+        FaultPlan, HardenedOracle, OracleHealth, ResilienceConfig, ResilienceStats,
+    };
     pub use crate::timing::TimingModel;
     pub use crate::trace::TraceData;
 }

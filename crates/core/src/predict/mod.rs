@@ -44,7 +44,7 @@ pub mod path;
 pub mod walker;
 
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::error::{Error, Result};
 use crate::event::EventId;
@@ -104,6 +104,19 @@ pub struct PredictStats {
     pub reseeded: u64,
     /// Events absent from the reference execution.
     pub unknown: u64,
+    /// Panics caught (and isolated) by a resilience facade wrapping this
+    /// predictor. Always 0 for a bare [`Predictor`]; filled in by
+    /// [`crate::resilience::HardenedOracle`] when it merges its counters.
+    pub panics_caught: u64,
+    /// Predict queries that blew their time budget and were answered with
+    /// the host default instead (facade counter, 0 on a bare predictor).
+    pub deadline_misses: u64,
+    /// Times the resilience layer quarantined the oracle (facade counter,
+    /// 0 on a bare predictor).
+    pub quarantine_transitions: u64,
+    /// Nanoseconds spent with the oracle degraded — quarantined, probing,
+    /// or poisoned (facade counter, 0 on a bare predictor).
+    pub degraded_ns: u64,
 }
 
 /// How an observation related to the tracked candidates.
@@ -323,9 +336,24 @@ impl Predictor {
     /// with the number of unfolded events. [`Predictor::predict_scan`] is
     /// the stepwise reference returning the same distribution.
     pub fn predict(&self, distance: usize) -> Prediction {
+        self.predict_inner(distance, None)
+            .expect("only a deadline can abort the distance walk")
+    }
+
+    /// [`Predictor::predict`] with a wall-clock deadline enforced inside
+    /// the distance walk: a query that cannot finish in time returns
+    /// [`Error::Degraded`] instead of stalling the host runtime. The
+    /// partial distribution computed before the cutoff is discarded — a
+    /// truncated distribution would be silently biased towards the branches
+    /// visited first.
+    pub fn predict_deadline(&self, distance: usize, deadline: Instant) -> Result<Prediction> {
+        self.predict_inner(distance, Some(deadline))
+    }
+
+    fn predict_inner(&self, distance: usize, deadline: Option<Instant>) -> Result<Prediction> {
         assert!(distance >= 1, "prediction distance must be >= 1");
         if self.candidates.is_empty() {
-            return Prediction::default();
+            return Ok(Prediction::default());
         }
         let walker = self.walker();
         // Branch-node budget mirroring `predict_scan`'s per-step state cap;
@@ -334,9 +362,14 @@ impl Predictor {
             .config
             .max_states
             .saturating_mul(distance.saturating_add(4));
-        let mut acc = DistanceAccumulator::new(budget);
+        let mut acc = DistanceAccumulator::with_deadline(budget, deadline);
         for (path, weight) in &self.candidates {
             walker.simulate_distance(path, distance as u64, *weight, &mut acc);
+            if acc.deadline_hit() {
+                return Err(Error::Degraded(format!(
+                    "predict(distance={distance}) exceeded its time budget"
+                )));
+            }
         }
         let mut end_mass = acc.end_mass;
         let mut distribution: Vec<(EventId, f64)> = acc.per_event.into_iter().collect();
@@ -348,10 +381,10 @@ impl Predictor {
             end_mass /= total;
         }
         distribution.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-        Prediction {
+        Ok(Prediction {
             distribution,
             end_probability: end_mass,
-        }
+        })
     }
 
     /// Stepwise reference implementation of [`Predictor::predict`]: expands
@@ -435,39 +468,75 @@ impl Predictor {
     /// means on the rule context of *each intermediate event*, so every
     /// step's context frames are needed and subtree skipping cannot apply.
     pub fn predict_delay_ns(&self, distance: usize) -> Option<f64> {
+        self.predict_delay_ns_inner(distance, None)
+            .expect("only a deadline can abort the delay walk")
+    }
+
+    /// [`Predictor::predict_delay_ns`] with a wall-clock deadline checked
+    /// at every step of the chain; returns [`Error::Degraded`] on expiry.
+    pub fn predict_delay_deadline_ns(&self, distance: usize, deadline: Instant) -> Result<f64> {
+        match self.predict_delay_ns_inner(distance, Some(deadline))? {
+            Some(ns) => Ok(ns),
+            None => Err(Error::OracleUnavailable(
+                "no delay information at this position".into(),
+            )),
+        }
+    }
+
+    fn predict_delay_ns_inner(
+        &self,
+        distance: usize,
+        deadline: Option<Instant>,
+    ) -> Result<Option<f64>> {
         assert!(distance >= 1, "prediction distance must be >= 1");
         if self.candidates.is_empty() || self.thread.timing.is_empty() {
-            return None;
+            return Ok(None);
         }
         let walker = self.walker();
         // Follow the heaviest candidate.
-        let (mut path, _) = self
+        let Some((mut path, _)) = self
             .candidates
             .iter()
-            .max_by(|a, b| a.1.total_cmp(&b.1))?
-            .clone();
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .cloned()
+        else {
+            return Ok(None);
+        };
         let mut total = 0.0f64;
         let mut out: Vec<Branch> = Vec::new();
         for _ in 0..distance {
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    return Err(Error::Degraded(format!(
+                        "predict_delay(distance={distance}) exceeded its time budget"
+                    )));
+                }
+            }
             out.clear();
             walker.expand(&path, &mut out);
-            let best = out
+            let Some(best) = out
                 .iter()
                 .filter(|b| matches!(b.outcome, Outcome::Event(_)))
-                .max_by(|a, b| a.factor.total_cmp(&b.factor))?;
+                .max_by(|a, b| a.factor.total_cmp(&b.factor))
+            else {
+                return Ok(None);
+            };
             let Outcome::Event(e) = best.outcome else {
-                return None;
+                return Ok(None);
             };
             let frames = best.path.context_frames();
-            let mean = self
+            let Some(mean) = self
                 .thread
                 .timing
                 .mean_ns(e, &frames)
-                .or_else(|| self.thread.timing.mean_ns(e, &[]))?;
+                .or_else(|| self.thread.timing.mean_ns(e, &[]))
+            else {
+                return Ok(None);
+            };
             total += mean;
             path = best.path.clone();
         }
-        Some(total)
+        Ok(Some(total))
     }
 
     /// [`Predictor::predict_delay_ns`] as a [`Duration`].
@@ -796,6 +865,37 @@ mod tests {
                 max_states: 0,
             },
         );
+    }
+
+    #[test]
+    fn generous_deadline_matches_plain_predict() {
+        let seq: Vec<u32> = (0..40).flat_map(|_| [0, 1, 2]).collect();
+        let trace = trace_of(&seq);
+        let mut p = Predictor::new(&trace);
+        p.observe(e(0));
+        let deadline = Instant::now() + Duration::from_secs(60);
+        let timed = p.predict_deadline(3, deadline).unwrap();
+        let plain = p.predict(3);
+        assert_eq!(timed.most_likely(), plain.most_likely());
+        assert!((timed.end_probability - plain.end_probability).abs() < 1e-12);
+        let d_timed = p.predict_delay_deadline_ns(1, deadline).unwrap();
+        let d_plain = p.predict_delay_ns(1).unwrap();
+        assert!((d_timed - d_plain).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expired_deadline_degrades() {
+        let seq: Vec<u32> = (0..40).flat_map(|_| [0, 1, 2]).collect();
+        let trace = trace_of(&seq);
+        let mut p = Predictor::new(&trace);
+        p.observe(e(0));
+        let past = Instant::now() - Duration::from_millis(5);
+        let err = p.predict_deadline(4, past).unwrap_err();
+        assert!(matches!(err, Error::Degraded(_)), "{err}");
+        let err = p.predict_delay_deadline_ns(1, past).unwrap_err();
+        assert!(matches!(err, Error::Degraded(_)), "{err}");
+        // The predictor itself is unharmed: the plain query still answers.
+        assert!(p.predict(1).is_informed());
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //! one candidate costs O(distance / subtree-size + path depth + rule-body
 //! scans) instead of O(distance × branching).
 
+use std::time::Instant;
+
 use crate::event::EventId;
 use crate::grammar::{Grammar, GrammarIndex, Symbol};
 use crate::predict::path::{Frame, Path, Rep};
@@ -62,18 +64,72 @@ pub struct DistanceAccumulator {
     pub end_mass: f64,
     /// Remaining exploration budget (see [`DistanceAccumulator::new`]).
     nodes_left: usize,
+    /// Wall-clock deadline; past it the walk is abandoned (see
+    /// [`DistanceAccumulator::with_deadline`]).
+    deadline: Option<Instant>,
+    /// Nodes until the next clock read (the clock is sampled every
+    /// [`DEADLINE_STRIDE`] nodes, not on each one).
+    deadline_countdown: u32,
+    /// Whether the walk was cut short by the deadline.
+    deadline_hit: bool,
 }
+
+/// Simulation nodes expanded between deadline clock reads. One node costs
+/// tens of nanoseconds, so the deadline overshoot is bounded by a few
+/// microseconds — far below any useful time budget.
+const DEADLINE_STRIDE: u32 = 64;
 
 impl DistanceAccumulator {
     /// An accumulator allowed to explore `budget` simulation nodes; beyond
     /// that, residual branches are dropped (the stepwise simulation's
     /// `max_states` truncation has the same effect).
     pub fn new(budget: usize) -> Self {
+        Self::with_deadline(budget, None)
+    }
+
+    /// Like [`DistanceAccumulator::new`], with an optional wall-clock
+    /// deadline: once it passes, the walk stops expanding and
+    /// [`DistanceAccumulator::deadline_hit`] reports the truncation, so the
+    /// caller can discard the partial distribution instead of stalling its
+    /// host past the budget.
+    pub fn with_deadline(budget: usize, deadline: Option<Instant>) -> Self {
         DistanceAccumulator {
             per_event: FxHashMap::default(),
             end_mass: 0.0,
             nodes_left: budget,
+            deadline,
+            deadline_countdown: 0,
+            deadline_hit: false,
         }
+    }
+
+    /// Whether the walk was abandoned because the deadline passed.
+    pub fn deadline_hit(&self) -> bool {
+        self.deadline_hit
+    }
+
+    /// Periodic deadline probe: reads the clock every `DEADLINE_STRIDE`
+    /// nodes; on expiry, zeroes the node budget so every in-flight
+    /// recursion path bails out at its next check.
+    #[inline]
+    fn over_deadline(&mut self) -> bool {
+        let Some(deadline) = self.deadline else {
+            return false;
+        };
+        if self.deadline_hit {
+            return true;
+        }
+        if self.deadline_countdown > 0 {
+            self.deadline_countdown -= 1;
+            return false;
+        }
+        self.deadline_countdown = DEADLINE_STRIDE;
+        if Instant::now() >= deadline {
+            self.deadline_hit = true;
+            self.nodes_left = 0;
+            return true;
+        }
+        false
     }
 }
 
@@ -328,7 +384,7 @@ impl Walker<'_> {
         if weight <= 0.0 {
             return;
         }
-        if acc.nodes_left == 0 {
+        if acc.nodes_left == 0 || acc.over_deadline() {
             return;
         }
         acc.nodes_left -= 1;

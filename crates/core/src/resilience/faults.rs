@@ -1,0 +1,346 @@
+//! Deterministic fault injection for the resilience layer.
+//!
+//! A [`FaultPlan`] describes which faults to inject; a
+//! [`FaultInjector`] applies the event-channel faults (drop, duplicate,
+//! reorder, corrupt) deterministically — by submission counter, not by
+//! random draw — so a chaos test that fails replays identically. Predict
+//! faults (forced panics, artificial slowness) are applied by
+//! [`super::HardenedOracle`] around each query.
+//!
+//! The free helpers fabricate *hostile inputs*: [`corrupt_bytes`] flips
+//! bytes of a serialized trace, [`poisoned_thread`] builds an in-memory
+//! thread trace whose grammar references a rule that does not exist — the
+//! kind of structural damage the loaders reject, here injected behind the
+//! validation boundary to prove the facade survives a panicking grammar.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::event::EventId;
+use crate::grammar::{Grammar, Rule, RuleId, Symbol, SymbolUse};
+use crate::timing::TimingModel;
+use crate::trace::ThreadTrace;
+
+/// Environment variable consulted by [`FaultPlan::from_env`]; when set,
+/// every [`super::HardenedOracle`] built without an explicit plan injects
+/// these faults (the chaos CI run uses this).
+pub const CHAOS_ENV: &str = "PYTHIA_CHAOS";
+
+/// Which faults to inject. The default plan injects nothing.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Drop every `n`-th submitted event (0 = off).
+    pub drop_every: u64,
+    /// Duplicate every `n`-th submitted event (0 = off).
+    pub duplicate_every: u64,
+    /// Swap every `n`-th submitted event with its successor (0 = off).
+    pub reorder_every: u64,
+    /// Replace every `n`-th submitted event with a bogus id never present
+    /// in any reference trace (0 = off).
+    pub corrupt_every: u64,
+    /// Panic inside every predict query.
+    pub panic_on_predict: bool,
+    /// Panic inside the observe path once `n` events were submitted.
+    pub panic_on_observe_after: Option<u64>,
+    /// Spin this long inside every predict query before answering.
+    pub slow_predict: Option<Duration>,
+}
+
+impl FaultPlan {
+    /// A plan injecting nothing (same as `FaultPlan::default()`, spelled
+    /// out for call sites that want to state it explicitly).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether any fault is enabled.
+    pub fn is_active(&self) -> bool {
+        *self != FaultPlan::none()
+    }
+
+    /// Parses the [`CHAOS_ENV`] variable: a comma-separated list of
+    /// `drop=N`, `dup=N`, `reorder=N`, `corrupt=N`, `panic-predict`,
+    /// `panic-observe-after=N`, `slow-predict-us=N`. Unknown or malformed
+    /// entries are ignored — a typo in a chaos knob must not take down the
+    /// host. Returns `None` when the variable is unset or empty.
+    pub fn from_env() -> Option<Self> {
+        let raw = std::env::var(CHAOS_ENV).ok()?;
+        if raw.trim().is_empty() {
+            return None;
+        }
+        Some(Self::parse(&raw))
+    }
+
+    /// Parses the [`CHAOS_ENV`] syntax from a string (see
+    /// [`FaultPlan::from_env`]).
+    pub fn parse(raw: &str) -> Self {
+        let mut plan = FaultPlan::none();
+        for item in raw.split(',') {
+            let item = item.trim();
+            let (key, value) = match item.split_once('=') {
+                Some((k, v)) => (k.trim(), v.trim().parse::<u64>().ok()),
+                None => (item, None),
+            };
+            match (key, value) {
+                ("drop", Some(n)) => plan.drop_every = n,
+                ("dup", Some(n)) => plan.duplicate_every = n,
+                ("reorder", Some(n)) => plan.reorder_every = n,
+                ("corrupt", Some(n)) => plan.corrupt_every = n,
+                ("panic-predict", _) => plan.panic_on_predict = true,
+                ("panic-observe-after", Some(n)) => plan.panic_on_observe_after = Some(n),
+                ("slow-predict-us", Some(n)) => {
+                    plan.slow_predict = Some(Duration::from_micros(n));
+                }
+                _ => {}
+            }
+        }
+        plan
+    }
+}
+
+/// Event id substituted by the `corrupt_every` fault: drawn from the top
+/// of the id space, where no registry ever interns (interning is dense
+/// from 0).
+pub const CORRUPT_EVENT: EventId = EventId(u32::MAX - 0xBAD);
+
+/// Applies a [`FaultPlan`]'s event-channel faults to a submission stream.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    /// Events submitted so far (drives the deterministic schedules).
+    submitted: u64,
+    /// Event held back by an in-progress reorder swap.
+    held: Option<EventId>,
+}
+
+impl FaultInjector {
+    /// An injector applying `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector {
+            plan,
+            submitted: 0,
+            held: None,
+        }
+    }
+
+    /// The plan being applied.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Whether the observe path must panic now (the
+    /// `panic_on_observe_after` fault).
+    pub fn observe_panics(&self) -> bool {
+        matches!(self.plan.panic_on_observe_after, Some(n) if self.submitted >= n)
+    }
+
+    /// Whether [`FaultInjector::transform`] is the identity right now: no
+    /// event-channel faults configured and nothing held for a reorder.
+    /// Hosts use this to skip the scratch-buffer delivery path.
+    pub fn is_identity(&self) -> bool {
+        self.held.is_none()
+            && self.plan.drop_every == 0
+            && self.plan.corrupt_every == 0
+            && self.plan.reorder_every == 0
+            && self.plan.duplicate_every == 0
+    }
+
+    /// Registers a submitted event without transforming it — the fast path
+    /// paired with [`FaultInjector::is_identity`]; keeps the submit counter
+    /// (and thus `panic_on_observe_after`) in step with the slow path.
+    pub fn submit_identity(&mut self) {
+        self.submitted += 1;
+    }
+
+    /// Maps one submitted event to the events the oracle actually receives
+    /// (appended to `out`): possibly none (dropped or held for a reorder),
+    /// or several (duplicated, or released together with a held event).
+    pub fn transform(&mut self, event: EventId, out: &mut Vec<EventId>) {
+        self.submitted += 1;
+        let n = self.submitted;
+        let hits = |every: u64| every > 0 && n.is_multiple_of(every);
+
+        if let Some(held) = self.held.take() {
+            // Complete the swap started on the previous event: successor
+            // first, then the held event.
+            out.push(event);
+            out.push(held);
+            return;
+        }
+        if hits(self.plan.drop_every) {
+            return;
+        }
+        let event = if hits(self.plan.corrupt_every) {
+            CORRUPT_EVENT
+        } else {
+            event
+        };
+        if hits(self.plan.reorder_every) {
+            self.held = Some(event);
+            return;
+        }
+        out.push(event);
+        if hits(self.plan.duplicate_every) {
+            out.push(event);
+        }
+    }
+}
+
+/// Flips `mutations` bytes of `data` at positions derived from `seed`
+/// (splitmix64 — deterministic, no RNG dependency). Used to fabricate
+/// corrupted trace files.
+pub fn corrupt_bytes(data: &[u8], seed: u64, mutations: usize) -> Vec<u8> {
+    let mut out = data.to_vec();
+    if out.is_empty() {
+        return out;
+    }
+    let mut x = seed;
+    let mut next = move || {
+        x = x.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    };
+    for _ in 0..mutations {
+        let r = next();
+        let pos = (r as usize) % out.len();
+        let bit = ((r >> 48) % 8) as u8;
+        out[pos] ^= 1 << bit;
+    }
+    out
+}
+
+/// A thread trace whose grammar references a rule that does not exist:
+/// structurally invalid in a way every loader rejects, constructed
+/// directly in memory to reach the predictor's index build and make it
+/// panic. Exercises the facade's construction-time panic isolation.
+pub fn poisoned_thread() -> Arc<ThreadTrace> {
+    let grammar = Grammar {
+        rules: vec![Some(Rule {
+            body: vec![
+                SymbolUse::new(Symbol::Terminal(EventId(0)), 2),
+                // Dead reference: there is no rule 5.
+                SymbolUse::new(Symbol::Rule(RuleId(5)), 1),
+            ],
+            refcount: 0,
+        })],
+        root: RuleId(0),
+    };
+    Arc::new(ThreadTrace::new(grammar, TimingModel::new(), 3))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(plan: FaultPlan, n: u64) -> Vec<EventId> {
+        let mut inj = FaultInjector::new(plan);
+        let mut out = Vec::new();
+        for i in 0..n {
+            inj.transform(EventId(i as u32), &mut out);
+        }
+        out
+    }
+
+    #[test]
+    fn inactive_plan_is_identity() {
+        let out = stream(FaultPlan::none(), 10);
+        assert_eq!(out, (0..10).map(EventId).collect::<Vec<_>>());
+        assert!(!FaultPlan::none().is_active());
+    }
+
+    #[test]
+    fn drop_every_drops_deterministically() {
+        let out = stream(
+            FaultPlan {
+                drop_every: 3,
+                ..FaultPlan::none()
+            },
+            9,
+        );
+        // Events 2, 5, 8 (the 3rd, 6th, 9th submissions) are gone.
+        assert_eq!(out, [0u32, 1, 3, 4, 6, 7].map(EventId).to_vec(), "{out:?}");
+    }
+
+    #[test]
+    fn duplicate_and_corrupt() {
+        let out = stream(
+            FaultPlan {
+                duplicate_every: 4,
+                corrupt_every: 3,
+                ..FaultPlan::none()
+            },
+            6,
+        );
+        assert_eq!(
+            out,
+            vec![
+                EventId(0),
+                EventId(1),
+                CORRUPT_EVENT,
+                EventId(3),
+                EventId(3),
+                EventId(4),
+                CORRUPT_EVENT,
+            ]
+        );
+    }
+
+    #[test]
+    fn reorder_swaps_adjacent_events() {
+        let out = stream(
+            FaultPlan {
+                reorder_every: 4,
+                ..FaultPlan::none()
+            },
+            8,
+        );
+        // Submissions 4 and 8 start swaps: 3↔4 and 7↔(nothing — held at
+        // stream end the event is lost, which is itself a fault worth
+        // keeping deterministic).
+        assert_eq!(
+            out,
+            [0u32, 1, 2, 4, 3, 5, 6].map(EventId).to_vec(),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn observe_panic_threshold() {
+        let mut inj = FaultInjector::new(FaultPlan {
+            panic_on_observe_after: Some(2),
+            ..FaultPlan::none()
+        });
+        let mut out = Vec::new();
+        inj.transform(EventId(0), &mut out);
+        assert!(!inj.observe_panics());
+        inj.transform(EventId(1), &mut out);
+        assert!(inj.observe_panics());
+    }
+
+    #[test]
+    fn corrupt_bytes_is_deterministic_and_bounded() {
+        let data: Vec<u8> = (0..=255).collect();
+        let a = corrupt_bytes(&data, 42, 16);
+        let b = corrupt_bytes(&data, 42, 16);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), data.len());
+        let differing = a.iter().zip(&data).filter(|(x, y)| x != y).count();
+        assert!((1..=16).contains(&differing), "{differing}");
+        assert_ne!(corrupt_bytes(&data, 43, 16), a);
+        assert!(corrupt_bytes(&[], 42, 16).is_empty());
+    }
+
+    #[test]
+    fn env_plan_parses_and_ignores_garbage() {
+        // Parse from a string rather than the process env (tests run in
+        // parallel; mutating the real env would race).
+        let plan = FaultPlan::parse("drop=3, panic-predict, slow-predict-us=50, wat, dup=oops");
+        assert_eq!(plan.drop_every, 3);
+        assert!(plan.panic_on_predict);
+        assert_eq!(plan.slow_predict, Some(Duration::from_micros(50)));
+        assert_eq!(plan.duplicate_every, 0);
+        assert!(plan.is_active());
+    }
+}

@@ -173,6 +173,15 @@ impl TraceData {
             return Err(Error::UnsupportedVersion(version));
         }
         let n_events = get_u32(buf)? as usize;
+        // Each registry entry consumes at least 5 bytes (name length +
+        // payload tag), so a count larger than the remaining input can
+        // only come from a corrupt header.
+        if n_events > buf.len() / 5 {
+            return Err(Error::Corrupt(format!(
+                "implausible event count {n_events} for {} remaining bytes",
+                buf.len()
+            )));
+        }
         let mut registry = EventRegistry::new();
         for _ in 0..n_events {
             let name = get_str(buf)?;
@@ -187,9 +196,12 @@ impl TraceData {
             registry.intern(&name, payload);
         }
         let n_threads = get_u32(buf)? as usize;
-        if n_threads > 1 << 20 {
+        // A thread needs at least an event count (8), a one-rule grammar
+        // (4 + 8) and an empty timing table (4): 24 bytes.
+        if n_threads > 1 << 20 || n_threads > buf.len() / 24 {
             return Err(Error::Corrupt(format!(
-                "implausible thread count {n_threads}"
+                "implausible thread count {n_threads} for {} remaining bytes",
+                buf.len()
             )));
         }
         // Cap pre-allocation: a corrupt length field must not trigger a huge
@@ -333,15 +345,21 @@ fn put_grammar(buf: &mut BytesMut, g: &Grammar) {
 
 fn get_grammar(buf: &mut &[u8]) -> Result<Grammar> {
     let n_rules = get_u32(buf)? as usize;
-    if n_rules > 1 << 26 {
-        return Err(Error::Corrupt(format!("implausible rule count {n_rules}")));
+    // Each rule consumes at least a body length and a refcount (8 bytes).
+    if n_rules > 1 << 26 || n_rules > buf.len() / 8 {
+        return Err(Error::Corrupt(format!(
+            "implausible rule count {n_rules} for {} remaining bytes",
+            buf.len()
+        )));
     }
     let mut rules = Vec::with_capacity(n_rules.min(4096));
     for _ in 0..n_rules {
         let body_len = get_u32(buf)? as usize;
-        if body_len > 1 << 26 {
+        // Each symbol use is a tag, an id and a count (9 bytes).
+        if body_len > 1 << 26 || body_len > buf.len() / 9 {
             return Err(Error::Corrupt(format!(
-                "implausible body length {body_len}"
+                "implausible body length {body_len} for {} remaining bytes",
+                buf.len()
             )));
         }
         let mut body = Vec::with_capacity(body_len.min(4096));
@@ -447,9 +465,11 @@ fn put_timing(buf: &mut BytesMut, t: &TimingModel) {
 
 fn get_timing(buf: &mut &[u8]) -> Result<TimingModel> {
     let n = get_u32(buf)? as usize;
-    if n > 1 << 26 {
+    // Each timing entry is three u64s (24 bytes).
+    if n > 1 << 26 || n > buf.len() / 24 {
         return Err(Error::Corrupt(format!(
-            "implausible timing entry count {n}"
+            "implausible timing entry count {n} for {} remaining bytes",
+            buf.len()
         )));
     }
     let mut entries = Vec::with_capacity(n.min(4096));

@@ -15,7 +15,6 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::Mutex;
-use pythia_core::oracle::Oracle;
 use pythia_core::predict::ObserveOutcome;
 use pythia_minomp::{OmpListener, RegionId, ThreadChoice};
 
@@ -37,7 +36,7 @@ pub(crate) struct OmpBridgeListener {
 impl OmpListener for OmpBridgeListener {
     fn region_begin(&mut self, region: RegionId) -> ThreadChoice {
         let mut st = self.state.lock();
-        if matches!(st.oracle, Oracle::Off) {
+        if st.oracle.is_off() {
             return ThreadChoice::Default;
         }
         let id = self.cache.resolve(
@@ -59,7 +58,7 @@ impl OmpListener for OmpBridgeListener {
 
     fn region_end(&mut self, region: RegionId, _team: usize) {
         let mut st = self.state.lock();
-        if matches!(st.oracle, Oracle::Off) {
+        if st.oracle.is_off() {
             return;
         }
         let id = self.cache.resolve(
@@ -115,13 +114,13 @@ mod tests {
             let pc = PythiaComm::wrap(comm, &mode, Arc::clone(&registry));
             let work = hybrid_rank(&pc, false);
             assert_eq!(work, 10 * (63 * 64 / 2));
-            pc.finish()
+            pc.finish().unwrap()
         });
         // 10 iterations × (begin + end + allreduce) + barrier.
         for r in &reports {
             assert_eq!(r.events, 10 * 3 + 1);
         }
-        let trace = assemble_trace(reports, &registry);
+        let trace = assemble_trace(reports, &registry).unwrap();
         assert!(trace
             .registry()
             .lookup("omp_region_begin", Some(1))
@@ -136,16 +135,16 @@ mod tests {
         let reports = World::run(2, |comm| {
             let pc = PythiaComm::wrap(comm, &mode, Arc::clone(&registry));
             hybrid_rank(&pc, false);
-            pc.finish()
+            pc.finish().unwrap()
         });
-        let trace = Arc::new(assemble_trace(reports, &registry));
+        let trace = Arc::new(assemble_trace(reports, &registry).unwrap());
 
         let mode = MpiMode::predict(Arc::clone(&trace));
         let registry = PythiaComm::registry_for(&mode);
         let reports = World::run(2, |comm| {
             let pc = PythiaComm::wrap(comm, &mode, Arc::clone(&registry));
             hybrid_rank(&pc, true);
-            pc.finish()
+            pc.finish().unwrap()
         });
         for r in &reports {
             let st = r.predict_stats.unwrap();

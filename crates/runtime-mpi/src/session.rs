@@ -6,10 +6,12 @@ use std::time::Instant;
 
 use parking_lot::Mutex;
 
+use pythia_core::error::{Error, Result};
 use pythia_core::event::EventRegistry;
 use pythia_core::oracle::Oracle;
 use pythia_core::predict::{PredictStats, PredictorConfig};
 use pythia_core::record::RecordConfig;
+use pythia_core::resilience::{HardenedOracle, ResilienceConfig, ResilienceStats};
 use pythia_core::trace::{ThreadTrace, TraceData};
 use pythia_minimpi::{Comm, MpiReduce, MpiType, ReduceOp, Request, Status, Tag};
 
@@ -43,6 +45,9 @@ pub enum MpiMode {
         /// Symmetric ranks of these kernels behave alike, so the modulo
         /// mapping is a reasonable first approximation.
         map_ranks: bool,
+        /// Hardening knobs for the [`HardenedOracle`] facade every rank's
+        /// oracle is wrapped in (time budget, watchdog, fault injection).
+        resilience: ResilienceConfig,
     },
 }
 
@@ -58,6 +63,7 @@ impl MpiMode {
             trace,
             distances: vec![1],
             map_ranks: false,
+            resilience: ResilienceConfig::default(),
         }
     }
 
@@ -67,6 +73,7 @@ impl MpiMode {
             trace,
             distances,
             map_ranks: false,
+            resilience: ResilienceConfig::default(),
         }
     }
 
@@ -77,6 +84,22 @@ impl MpiMode {
             trace,
             distances,
             map_ranks: true,
+            resilience: ResilienceConfig::default(),
+        }
+    }
+
+    /// Predict mode with explicit hardening knobs (time budget, watchdog
+    /// thresholds, fault injection) for the per-rank oracle facade.
+    pub fn predict_resilient(
+        trace: Arc<TraceData>,
+        distances: Vec<usize>,
+        resilience: ResilienceConfig,
+    ) -> Self {
+        MpiMode::Predict {
+            trace,
+            distances,
+            map_ranks: false,
+            resilience,
         }
     }
 }
@@ -100,6 +123,9 @@ pub struct RankReport {
     pub predict_stats: Option<PredictStats>,
     /// Send-aggregation counters (zero unless aggregation was enabled).
     pub aggregation: AggregationStats,
+    /// Resilience counters of the rank's hardened oracle facade (panics
+    /// caught, deadline misses, quarantine transitions, degraded time).
+    pub resilience: ResilienceStats,
 }
 
 /// Configuration of prediction-driven send aggregation — the optimization
@@ -150,7 +176,7 @@ struct AggState {
 }
 
 pub(crate) struct RankState {
-    pub(crate) oracle: Oracle,
+    pub(crate) oracle: HardenedOracle,
     cache: EventCache,
     accuracy: Option<AccuracyProbe>,
     cost: CostProbe,
@@ -175,8 +201,8 @@ impl RankState {
     }
 
     /// Submits a batch of already-resolved event ids through a single
-    /// oracle dispatch ([`Oracle::events`]); the accuracy probe still sees
-    /// every event. Returns the last event's outcome.
+    /// oracle dispatch ([`HardenedOracle::events`]); the accuracy probe
+    /// still sees every event. Returns the last event's outcome.
     pub(crate) fn submit_all(
         &mut self,
         ids: &[pythia_core::event::EventId],
@@ -196,19 +222,28 @@ impl RankState {
 /// `i` becomes thread `i`), embedding the registry the run interned into —
 /// event ids are only meaningful together with that registry.
 ///
-/// Panics if a report has no recording (i.e. the run was not in record
-/// mode) or ranks are missing.
-pub fn assemble_trace(reports: Vec<RankReport>, registry: &SharedRegistry) -> TraceData {
+/// Errors with [`Error::OracleUnavailable`] if ranks are missing or a
+/// report has no recording (the run was not in record mode, or the rank's
+/// recording oracle panicked and was poisoned).
+pub fn assemble_trace(reports: Vec<RankReport>, registry: &SharedRegistry) -> Result<TraceData> {
     let mut reports = reports;
     reports.sort_by_key(|r| r.rank);
     for (i, r) in reports.iter().enumerate() {
-        assert_eq!(r.rank, i, "missing rank {i} in reports");
+        if r.rank != i {
+            return Err(Error::OracleUnavailable(format!(
+                "missing rank {i} in reports"
+            )));
+        }
     }
     let threads: Vec<ThreadTrace> = reports
         .into_iter()
-        .map(|r| r.thread_trace.expect("report has no recording"))
-        .collect();
-    TraceData::from_threads(threads, registry.lock().clone())
+        .map(|r| {
+            let rank = r.rank;
+            r.thread_trace
+                .ok_or_else(|| Error::OracleUnavailable(format!("rank {rank} has no recording")))
+        })
+        .collect::<Result<_>>()?;
+    Ok(TraceData::from_threads(threads, registry.lock().clone()))
 }
 
 /// A communicator that notifies PYTHIA of every MPI call.
@@ -226,14 +261,27 @@ impl PythiaComm {
     /// Wraps a world communicator. `registry` must be shared by all ranks
     /// of the run; in predict mode it should start from the trace's
     /// registry (see [`PythiaComm::registry_for`]).
+    ///
+    /// Never fails: a trace missing this rank's thread (or whose grammar
+    /// panics the predictor build) yields a *bypassed* oracle — the rank
+    /// runs with default decisions and reports the degradation in its
+    /// [`RankReport::resilience`] stats. Use [`PythiaComm::try_wrap`] to
+    /// surface such setup problems as errors instead.
     pub fn wrap(comm: Comm, mode: &MpiMode, registry: SharedRegistry) -> Self {
         let (oracle, accuracy, distances) = match mode {
-            MpiMode::Vanilla => (Oracle::off(), None, Vec::new()),
+            MpiMode::Vanilla => (
+                HardenedOracle::off(ResilienceConfig::default()),
+                None,
+                Vec::new(),
+            ),
             MpiMode::Record { timestamps } => (
-                Oracle::record(RecordConfig {
-                    timestamps: *timestamps,
-                    validate: false,
-                }),
+                HardenedOracle::new(
+                    Oracle::record(RecordConfig {
+                        timestamps: *timestamps,
+                        validate: false,
+                    }),
+                    ResilienceConfig::default(),
+                ),
                 None,
                 Vec::new(),
             ),
@@ -241,14 +289,15 @@ impl PythiaComm {
                 trace,
                 distances,
                 map_ranks,
+                resilience,
             } => {
-                let thread = if *map_ranks {
-                    comm.rank() % trace.thread_count().max(1)
-                } else {
-                    comm.rank()
-                };
-                let oracle = Oracle::predict(trace, thread, PredictorConfig::default())
-                    .expect("trace is missing this rank's thread");
+                let thread = Self::thread_for(&comm, trace, *map_ranks);
+                let oracle = HardenedOracle::predict_or_bypass(
+                    trace,
+                    thread,
+                    PredictorConfig::default(),
+                    resilience.clone(),
+                );
                 (
                     oracle,
                     Some(AccuracyProbe::new(distances.clone())),
@@ -256,6 +305,51 @@ impl PythiaComm {
                 )
             }
         };
+        Self::from_parts(comm, registry, oracle, accuracy, distances)
+    }
+
+    /// [`PythiaComm::wrap`] that errors instead of degrading when predict
+    /// mode cannot build this rank's predictor (missing thread in the
+    /// trace, or a hostile grammar that panics the index build).
+    pub fn try_wrap(comm: Comm, mode: &MpiMode, registry: SharedRegistry) -> Result<Self> {
+        if let MpiMode::Predict {
+            trace,
+            distances,
+            map_ranks,
+            resilience,
+        } = mode
+        {
+            let thread = Self::thread_for(&comm, trace, *map_ranks);
+            let oracle = HardenedOracle::try_predict(
+                trace,
+                thread,
+                PredictorConfig::default(),
+                resilience.clone(),
+            )?;
+            let accuracy = Some(AccuracyProbe::new(distances.clone()));
+            let distances = distances.clone();
+            return Ok(Self::from_parts(
+                comm, registry, oracle, accuracy, distances,
+            ));
+        }
+        Ok(Self::wrap(comm, mode, registry))
+    }
+
+    fn thread_for(comm: &Comm, trace: &TraceData, map_ranks: bool) -> usize {
+        if map_ranks {
+            comm.rank() % trace.thread_count().max(1)
+        } else {
+            comm.rank()
+        }
+    }
+
+    fn from_parts(
+        comm: Comm,
+        registry: SharedRegistry,
+        oracle: HardenedOracle,
+        accuracy: Option<AccuracyProbe>,
+        distances: Vec<usize>,
+    ) -> Self {
         PythiaComm {
             comm,
             state: Arc::new(Mutex::new(RankState {
@@ -298,7 +392,7 @@ impl PythiaComm {
 
     fn event(&self, call: MpiCall, payload: Option<i64>) {
         let mut st = self.state.lock();
-        if matches!(st.oracle, Oracle::Off) {
+        if st.oracle.is_off() {
             // Vanilla: no oracle work at all (the paper's baseline).
             return;
         }
@@ -323,24 +417,30 @@ impl PythiaComm {
             let elapsed = t0.elapsed().as_nanos();
             st.cost.add(d, elapsed);
             let predicted = prediction.most_likely();
-            st.accuracy
-                .as_mut()
-                .expect("checked above")
-                .on_prediction(slot, predicted);
+            if let Some(probe) = st.accuracy.as_mut() {
+                probe.on_prediction(slot, predicted);
+            }
         }
     }
 
     /// Finishes the rank: consumes the wrapper and returns the report.
-    pub fn finish(self) -> RankReport {
+    ///
+    /// Errors with [`Error::OracleUnavailable`] if split/dup communicators
+    /// sharing this rank's oracle are still alive.
+    pub fn finish(self) -> Result<RankReport> {
         self.flush_pending();
         let rank = self.comm.rank();
         let state = Arc::try_unwrap(self.state)
-            .map_err(|_| ())
-            .expect("all split communicators must be dropped before finish")
+            .map_err(|_| {
+                Error::OracleUnavailable(format!(
+                    "rank {rank} still has live split/dup communicators at finish"
+                ))
+            })?
             .into_inner();
         let events = state.events;
         let rules = state.oracle.recorder().map_or(0, |r| r.rule_count());
-        let predict_stats = state.oracle.predictor().map(|p| p.stats());
+        let predict_stats = state.oracle.predict_stats();
+        let resilience = state.oracle.resilience_stats();
         let aggregation = state
             .aggregation
             .as_ref()
@@ -352,7 +452,7 @@ impl PythiaComm {
             .map(|a| a.results())
             .unwrap_or_default();
         let thread_trace = state.oracle.finish();
-        RankReport {
+        Ok(RankReport {
             rank,
             events,
             rules,
@@ -361,7 +461,8 @@ impl PythiaComm {
             cost: state.cost,
             predict_stats,
             aggregation,
-        }
+            resilience,
+        })
     }
 
     // ------------------------------------------------------------------
@@ -434,7 +535,7 @@ impl PythiaComm {
     /// transfer.
     fn do_send<T: MpiType>(&self, call: MpiCall, buf: &[T], dest: usize, tag: Tag) {
         let mut st = self.state.lock();
-        if matches!(st.oracle, Oracle::Off) {
+        if st.oracle.is_off() {
             drop(st);
             self.comm.send(buf, dest, tag);
             return;
@@ -447,38 +548,44 @@ impl PythiaComm {
             self.comm.send(buf, dest, tag);
             return;
         }
-        // Aggregation decision.
-        let agg = st.aggregation.as_mut().expect("checked above");
-        agg.stats.logical_sends += 1;
-        // A pending batch for a different peer must go out first to
-        // preserve per-destination ordering.
-        let incompatible = agg
-            .pending
-            .as_ref()
-            .is_some_and(|p| p.dest != dest || p.tag != tag);
-        if incompatible {
-            self.flush_pending_locked(&mut st);
-        }
         // "Another send to this peer follows" — blocking or nonblocking.
+        // The prediction is computed before the aggregation state is
+        // borrowed (the hardened facade's watchdog mutates on every query);
+        // a degraded oracle answers uninformed, so the message ships
+        // immediately — aggregation falls back to no-prefetch behavior.
         let send_id = st
             .cache
             .resolve(&self.registry, MpiCall::Send, Some(dest as i64));
         let isend_id = st
             .cache
             .resolve(&self.registry, MpiCall::Isend, Some(dest as i64));
-        let agg = st.aggregation.as_ref().expect("still enabled");
+        let prediction = st.oracle.predict_event(1);
+        // A pending batch for a different peer must go out first to
+        // preserve per-destination ordering.
+        let incompatible = st
+            .aggregation
+            .as_ref()
+            .and_then(|a| a.pending.as_ref())
+            .is_some_and(|p| p.dest != dest || p.tag != tag);
+        if incompatible {
+            self.flush_pending_locked(&mut st);
+        }
+        let Some(agg) = st.aggregation.as_mut() else {
+            drop(st);
+            self.comm.send(buf, dest, tag);
+            return;
+        };
+        agg.stats.logical_sends += 1;
         let room = agg
             .pending
             .as_ref()
             .is_none_or(|p| p.bufs.len() < agg.config.max_batch);
         let min_p = agg.config.min_probability;
-        let prediction = st.oracle.predict_event(1);
         let more_coming = matches!(
             prediction.most_likely(),
             Some(m) if m == send_id || m == isend_id
         ) && prediction.probability(send_id) + prediction.probability(isend_id)
             >= min_p;
-        let agg = st.aggregation.as_mut().expect("still enabled");
         let data = pythia_minimpi::datatype::to_bytes(buf);
         match agg.pending.as_mut() {
             Some(p) => {
@@ -633,7 +740,7 @@ impl PythiaComm {
             return;
         }
         let mut st = self.state.lock();
-        if matches!(st.oracle, Oracle::Off) {
+        if st.oracle.is_off() {
             return;
         }
         let ids: Vec<pythia_core::event::EventId> = events
@@ -713,7 +820,7 @@ mod tests {
                 pc.allreduce(&[1.0f64], ReduceOp::Sum);
             }
             pc.barrier();
-            pc.finish()
+            pc.finish().unwrap()
         })
     }
 
@@ -741,7 +848,7 @@ mod tests {
     #[test]
     fn record_then_predict_is_accurate() {
         let (reports, registry) = run_app_with_registry(2, MpiMode::record(), 20);
-        let trace = Arc::new(assemble_trace(reports, &registry));
+        let trace = Arc::new(assemble_trace(reports, &registry).unwrap());
         let reports = run_app(2, MpiMode::predict(Arc::clone(&trace)), 20);
         for r in reports {
             assert_eq!(r.accuracy.len(), 1);
@@ -758,7 +865,7 @@ mod tests {
     #[test]
     fn predict_longer_distances_also_scored() {
         let (reports, registry) = run_app_with_registry(2, MpiMode::record(), 30);
-        let trace = Arc::new(assemble_trace(reports, &registry));
+        let trace = Arc::new(assemble_trace(reports, &registry).unwrap());
         let mode = MpiMode::predict_distances(trace, vec![1, 4, 16]);
         let reports = run_app(2, mode, 30);
         for r in reports {
@@ -784,10 +891,10 @@ mod tests {
                 pc.custom_events(&[("phase", Some(i % 2)), ("step", None)]);
                 pc.barrier();
             }
-            pc.finish()
+            pc.finish().unwrap()
         });
         assert_eq!(reports[0].events, 60);
-        let trace = Arc::new(assemble_trace(reports, &registry));
+        let trace = Arc::new(assemble_trace(reports, &registry).unwrap());
 
         // …then predict over it submitting the same points one by one: the
         // streams must line up (batching is submission-order-preserving).
@@ -800,7 +907,7 @@ mod tests {
                 pc.custom_event("step", None);
                 pc.barrier();
             }
-            pc.finish()
+            pc.finish().unwrap()
         });
         let st = reports[0].predict_stats.unwrap();
         assert_eq!(st.observed, 60);
@@ -819,11 +926,86 @@ mod tests {
                 row.allreduce(&[1u64], ReduceOp::Sum);
             }
             pc.barrier();
-            pc.finish()
+            pc.finish().unwrap()
         });
         for r in reports {
             // split + barrier + allreduce + barrier = 4 events.
             assert_eq!(r.events, 4);
+        }
+    }
+
+    #[test]
+    fn finish_with_live_split_is_an_error_not_a_panic() {
+        let mode = MpiMode::record();
+        let registry = PythiaComm::registry_for(&mode);
+        let errors = World::run(2, |comm| {
+            let pc = PythiaComm::wrap(comm, &mode, Arc::clone(&registry));
+            let row = pc.split(0, pc.rank() as i64);
+            row.barrier();
+            let err = pc.finish().unwrap_err();
+            matches!(err, pythia_core::error::Error::OracleUnavailable(_))
+        });
+        assert!(errors.into_iter().all(|e| e));
+    }
+
+    #[test]
+    fn panicking_predictor_degrades_rank_to_defaults() {
+        use pythia_core::resilience::FaultPlan;
+
+        let (reports, registry) = run_app_with_registry(2, MpiMode::record(), 10);
+        let trace = Arc::new(assemble_trace(reports, &registry).unwrap());
+        let resilience = ResilienceConfig {
+            faults: Some(FaultPlan {
+                panic_on_predict: true,
+                ..FaultPlan::none()
+            }),
+            ..ResilienceConfig::default()
+        };
+        let mode = MpiMode::predict_resilient(trace, vec![1], resilience);
+        // The session must run to completion — every prediction panics
+        // inside the facade's guard, the rank just loses its advice.
+        let silent_guard = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let reports = run_app(2, mode, 10);
+        std::panic::set_hook(silent_guard);
+        for r in reports {
+            assert!(r.events > 0);
+            assert!(r.resilience.poisoned);
+            assert_eq!(r.resilience.panics_caught, 1);
+            assert!(r.resilience.quarantine_transitions >= 1);
+            assert!(r.resilience.degraded_ns > 0);
+            let st = r.predict_stats.unwrap();
+            assert_eq!(st.panics_caught, 1);
+            // The probe keeps scoring; every answer is the uninformed
+            // default, so nothing is correct — but nothing crashed.
+            assert!(r.accuracy[0].1.total() > 0);
+            assert_eq!(r.accuracy[0].1.accuracy(), 0.0);
+        }
+    }
+
+    #[test]
+    fn missing_thread_degrades_with_wrap_and_errors_with_try_wrap() {
+        // Record with 1 rank, predict with 2: rank 1 has no trace thread.
+        let (reports, registry) = run_app_with_registry(1, MpiMode::record(), 5);
+        let trace = Arc::new(assemble_trace(reports, &registry).unwrap());
+        let mode = MpiMode::predict(trace);
+        let registry = PythiaComm::registry_for(&mode);
+        let reports = World::run(2, |comm| {
+            let rank = comm.rank();
+            let degraded = PythiaComm::try_wrap(comm.dup(), &mode, Arc::clone(&registry)).is_err();
+            assert_eq!(degraded, rank == 1, "only rank 1 lacks a trace thread");
+            let pc = PythiaComm::wrap(comm, &mode, Arc::clone(&registry));
+            pc.barrier();
+            pc.allreduce(&[1.0f64], ReduceOp::Sum);
+            pc.barrier();
+            pc.finish().unwrap()
+        });
+        for r in reports {
+            if r.rank == 1 {
+                assert!(r.resilience.poisoned, "{:?}", r.resilience);
+            } else {
+                assert!(!r.resilience.poisoned);
+            }
         }
     }
 }

@@ -40,7 +40,7 @@ fn run(mode: MpiMode, aggregate: bool) -> Vec<(RankReport, Vec<u64>, NetworkStat
             pc.enable_aggregation(AggregationConfig::default());
         }
         let (recvd, net) = bursty_app(&pc);
-        (pc.finish(), recvd, net)
+        (pc.finish().unwrap(), recvd, net)
     })
 }
 
@@ -50,9 +50,9 @@ fn record_trace() -> Arc<pythia_core::trace::TraceData> {
     let reports = World::run(2, |comm| {
         let pc = PythiaComm::wrap(comm, &mode, Arc::clone(&registry));
         bursty_app(&pc);
-        pc.finish()
+        pc.finish().unwrap()
     });
-    Arc::new(assemble_trace(reports, &registry))
+    Arc::new(assemble_trace(reports, &registry).unwrap())
 }
 
 #[test]
@@ -96,7 +96,7 @@ fn aggregation_inert_without_predictions() {
         let pc = PythiaComm::wrap(comm, &mode, Arc::clone(&registry));
         pc.enable_aggregation(AggregationConfig::default());
         let (recvd, net) = bursty_app(&pc);
-        (pc.finish(), recvd, net)
+        (pc.finish().unwrap(), recvd, net)
     });
     let expect: Vec<u64> = (0..(ITERS * BURST) as u64).collect();
     assert_eq!(out[1].1, expect);
@@ -129,16 +129,16 @@ fn interleaved_destinations_flush_correctly() {
     let reports = World::run(3, |comm| {
         let pc = PythiaComm::wrap(comm, &mode, Arc::clone(&registry));
         app(&pc);
-        pc.finish()
+        pc.finish().unwrap()
     });
-    let trace = Arc::new(assemble_trace(reports, &registry));
+    let trace = Arc::new(assemble_trace(reports, &registry).unwrap());
     let out = World::run(3, |comm| {
         let pc = PythiaComm::wrap(comm, &MpiMode::predict(Arc::clone(&trace)), {
             Arc::new(parking_lot::Mutex::new(trace.registry().clone()))
         });
         pc.enable_aggregation(AggregationConfig::default());
         let got = app(&pc);
-        pc.finish();
+        pc.finish().unwrap();
         got
     });
     let expect: Vec<u64> = (0..30).collect();

@@ -8,10 +8,12 @@ use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use pythia_core::error::{Error, Result};
 use pythia_core::event::{EventId, EventRegistry};
 use pythia_core::oracle::Oracle;
 use pythia_core::predict::{ObserveOutcome, PredictorConfig};
 use pythia_core::record::RecordConfig;
+use pythia_core::resilience::{HardenedOracle, OracleHealth, ResilienceConfig, ResilienceStats};
 use pythia_core::trace::TraceData;
 use pythia_core::util::FxHashMap;
 use pythia_minomp::{OmpListener, RegionId, ThreadChoice};
@@ -54,7 +56,7 @@ impl OmpStats {
 }
 
 struct State {
-    oracle: Oracle,
+    oracle: HardenedOracle,
     registry: EventRegistry,
     cache: FxHashMap<(u32, bool), EventId>,
     policy: Option<ThresholdPolicy>,
@@ -90,10 +92,13 @@ impl OmpOracle {
     /// needs them).
     pub fn recorder() -> Self {
         Self::from_parts(
-            Oracle::record(RecordConfig {
-                timestamps: true,
-                validate: false,
-            }),
+            HardenedOracle::new(
+                Oracle::record(RecordConfig {
+                    timestamps: true,
+                    validate: false,
+                }),
+                ResilienceConfig::default(),
+            ),
             EventRegistry::new(),
             None,
             0.0,
@@ -104,15 +109,33 @@ impl OmpOracle {
     /// Predict mode: adapt team sizes using duration predictions, with an
     /// error-injection rate in `[0, 1]` (0 = §III-D behavior; > 0 =
     /// §III-E resilience experiment) and a deterministic RNG seed.
+    ///
+    /// Never fails: a trace that cannot drive a predictor (missing thread
+    /// 0, hostile grammar) yields a *bypassed* oracle — every region runs
+    /// with the default (maximum) team size and
+    /// [`OmpOracle::resilience_stats`] reports the degradation. Use
+    /// [`OmpOracle::try_predictor`] to surface setup problems as errors.
     pub fn predictor(
         trace: &TraceData,
         policy: ThresholdPolicy,
         error_rate: f64,
         seed: u64,
     ) -> Self {
+        Self::predictor_with(trace, policy, error_rate, seed, ResilienceConfig::default())
+    }
+
+    /// [`OmpOracle::predictor`] with explicit hardening knobs (time
+    /// budget, watchdog thresholds, fault injection).
+    pub fn predictor_with(
+        trace: &TraceData,
+        policy: ThresholdPolicy,
+        error_rate: f64,
+        seed: u64,
+        resilience: ResilienceConfig,
+    ) -> Self {
         assert!((0.0..=1.0).contains(&error_rate));
-        let oracle = Oracle::predict(trace, 0, PredictorConfig::default())
-            .expect("trace must contain thread 0");
+        let oracle =
+            HardenedOracle::predict_or_bypass(trace, 0, PredictorConfig::default(), resilience);
         Self::from_parts(
             oracle,
             trace.registry().clone(),
@@ -122,14 +145,40 @@ impl OmpOracle {
         )
     }
 
+    /// [`OmpOracle::predictor`] that errors instead of degrading when the
+    /// trace cannot drive a predictor.
+    pub fn try_predictor(
+        trace: &TraceData,
+        policy: ThresholdPolicy,
+        error_rate: f64,
+        seed: u64,
+        resilience: ResilienceConfig,
+    ) -> Result<Self> {
+        assert!((0.0..=1.0).contains(&error_rate));
+        let oracle = HardenedOracle::try_predict(trace, 0, PredictorConfig::default(), resilience)?;
+        Ok(Self::from_parts(
+            oracle,
+            trace.registry().clone(),
+            Some(policy),
+            error_rate,
+            seed,
+        ))
+    }
+
     /// Vanilla mode: observe nothing, always default team size (useful to
     /// run the three configurations through identical plumbing).
     pub fn vanilla() -> Self {
-        Self::from_parts(Oracle::off(), EventRegistry::new(), None, 0.0, 0)
+        Self::from_parts(
+            HardenedOracle::off(ResilienceConfig::default()),
+            EventRegistry::new(),
+            None,
+            0.0,
+            0,
+        )
     }
 
     fn from_parts(
-        oracle: Oracle,
+        oracle: HardenedOracle,
         registry: EventRegistry,
         policy: Option<ThresholdPolicy>,
         error_rate: f64,
@@ -166,19 +215,38 @@ impl OmpOracle {
         self.state.lock().last_choice
     }
 
-    /// Finishes a recording run into a trace (`None` in other modes).
-    /// All listener handles must have been dropped (the runtime must be
-    /// gone).
-    pub fn finish_trace(self) -> Option<TraceData> {
+    /// Resilience counters of the underlying hardened oracle facade.
+    pub fn resilience_stats(&self) -> ResilienceStats {
+        self.state.lock().oracle.resilience_stats()
+    }
+
+    /// Current condition of the underlying hardened oracle facade.
+    pub fn health(&self) -> OracleHealth {
+        self.state.lock().oracle.health()
+    }
+
+    /// Finishes a recording run into a trace. All listener handles must
+    /// have been dropped (the runtime must be gone).
+    ///
+    /// Errors with [`Error::OracleUnavailable`] if listeners are still
+    /// alive, the oracle was not recording, or the recording oracle
+    /// panicked (a poisoned recording cannot be trusted).
+    pub fn finish_trace(self) -> Result<TraceData> {
         let state = Arc::try_unwrap(self.state)
-            .map_err(|_| ())
-            .expect("drop the OmpRuntime (and its listener) before finish_trace")
+            .map_err(|_| {
+                Error::OracleUnavailable(
+                    "listeners still alive: drop the OmpRuntime before finish_trace".into(),
+                )
+            })?
             .into_inner();
         let registry = state.registry;
         state
             .oracle
             .finish()
             .map(|t| TraceData::from_threads(vec![t], registry))
+            .ok_or_else(|| {
+                Error::OracleUnavailable("no recording to finish (not a record-mode run)".into())
+            })
     }
 }
 
@@ -206,14 +274,16 @@ impl OmpListener for OracleListener {
             st.oracle.event(id)
         };
 
-        let choice = if st.policy.is_some() {
+        let choice = if let Some(policy) = st.policy.clone() {
             // Only trust the oracle while it is tracking the reference
             // stream: right after an unexpected event (paper §II-B2 /
             // §III-E) the runtime "must again temporarily rely on
             // heuristics" — i.e. the default (maximum) team size.
             let synchronized = matches!(outcome, Some(ObserveOutcome::Matched));
             // The next event in the reference stream is this region's end:
-            // its predicted delay is the region's estimated duration.
+            // its predicted delay is the region's estimated duration. A
+            // degraded facade (quarantined, poisoned, over budget) answers
+            // `None` and the policy falls back to the default team size.
             let d_est: Option<Duration> = if synchronized {
                 st.oracle.predict_delay(1)
             } else {
@@ -222,7 +292,7 @@ impl OmpListener for OracleListener {
             if d_est.is_none() {
                 st.stats.uninformed += 1;
             }
-            let choice = st.policy.as_ref().expect("checked above").choose(d_est);
+            let choice = policy.choose(d_est);
             if matches!(choice, ThreadChoice::Exactly(_)) {
                 st.stats.adapted += 1;
             }
@@ -321,6 +391,46 @@ mod tests {
         assert!(stats.injected_errors < 70, "{stats:?}");
         // With errors, some predictions come back uninformed.
         assert!(stats.uninformed > 0, "{stats:?}");
+    }
+
+    #[test]
+    fn panicking_predictor_falls_back_to_max_threads() {
+        use pythia_core::resilience::FaultPlan;
+
+        let oracle = OmpOracle::recorder();
+        run_two_region_app(&oracle, 3, 10);
+        let trace = oracle.finish_trace().unwrap();
+
+        let resilience = ResilienceConfig {
+            faults: Some(FaultPlan {
+                panic_on_predict: true,
+                ..FaultPlan::none()
+            }),
+            ..ResilienceConfig::default()
+        };
+        let oracle =
+            OmpOracle::predictor_with(&trace, ThresholdPolicy::default(), 0.0, 3, resilience);
+        let silent_guard = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        run_two_region_app(&oracle, 3, 10);
+        std::panic::set_hook(silent_guard);
+        // Every region still ran, all with the default (maximum) team —
+        // graceful degradation to the vanilla OpenMP decision.
+        let stats = oracle.stats();
+        assert_eq!(stats.regions, 20);
+        assert_eq!(stats.adapted, 0, "{stats:?}");
+        assert_eq!(stats.team_histogram, vec![(3, 20)]);
+        assert_eq!(oracle.health(), OracleHealth::Poisoned);
+        let r = oracle.resilience_stats();
+        assert_eq!(r.panics_caught, 1);
+        assert!(r.quarantine_transitions >= 1);
+        assert!(r.degraded_ns > 0);
+    }
+
+    #[test]
+    fn finish_trace_errors_outside_record_mode() {
+        let err = OmpOracle::vanilla().finish_trace().unwrap_err();
+        assert!(matches!(err, Error::OracleUnavailable(_)), "{err}");
     }
 
     #[test]

@@ -57,13 +57,13 @@ fn main() {
     let reports = World::run(ranks, |comm| {
         let pc = PythiaComm::wrap(comm, &mode, Arc::clone(&registry));
         solver(&pc, omp_threads, false);
-        pc.finish()
+        pc.finish().expect("no live split communicators")
     });
     println!(
         "  rank 0 recorded {} events ({} rules)",
         reports[0].events, reports[0].rules
     );
-    let trace = Arc::new(assemble_trace(reports, &registry));
+    let trace = Arc::new(assemble_trace(reports, &registry).expect("record-mode run"));
     println!("\nrank 0 grammar (MPI and OpenMP events in one stream):");
     print!(
         "{}",
@@ -80,7 +80,7 @@ fn main() {
     let reports = World::run(ranks, |comm| {
         let pc = PythiaComm::wrap(comm, &mode, Arc::clone(&registry));
         solver(&pc, omp_threads, true);
-        pc.finish()
+        pc.finish().expect("no live split communicators")
     });
     let r0 = &reports[0];
     let st = r0.predict_stats.unwrap();

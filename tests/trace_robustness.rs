@@ -3,15 +3,37 @@
 //! corrupt or truncated file must produce a clean error, never a panic,
 //! hang, or huge allocation.
 
+use std::sync::OnceLock;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
 use pythia::apps::harness::record_trace;
 use pythia::apps::work::WorkScale;
 use pythia::apps::{find_app, WorkingSet};
+use pythia::core::resilience::faults::corrupt_bytes;
 use pythia::core::trace::TraceData;
 
 fn sample_bytes() -> Vec<u8> {
     let app = find_app("MG").unwrap();
     let trace = record_trace(app.as_ref(), 4, WorkingSet::Small, WorkScale::ZERO);
     trace.to_bytes().to_vec()
+}
+
+/// One recorded trace shared across all fuzz cases (recording is the
+/// expensive part; mutation and parsing are cheap).
+fn shared_bytes() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(sample_bytes)
+}
+
+fn shared_json() -> &'static str {
+    static JSON: OnceLock<String> = OnceLock::new();
+    JSON.get_or_init(|| {
+        TraceData::from_bytes(shared_bytes())
+            .unwrap()
+            .to_json()
+            .unwrap()
+    })
 }
 
 /// Every single-byte corruption either round-trips to a loadable trace
@@ -88,4 +110,83 @@ fn wrong_format_detected() {
     let json = trace.to_json().unwrap();
     let err = TraceData::from_bytes(json.as_bytes()).unwrap_err();
     assert!(matches!(err, pythia::core::error::Error::BadMagic));
+}
+
+// ----------------------------------------------------------------------
+// Property-based fuzzing: the directed tests above pick corruptions by
+// hand; these sample the corruption space at random (deterministically
+// seeded) over the same real application trace.
+// ----------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Clustered multi-byte corruption (the chaos helper used in fault
+    /// injection) never panics the binary parser: every mutated buffer
+    /// either loads or fails with a clean error.
+    #[test]
+    fn fuzz_clustered_mutations_never_panic((seed, n) in (0u64..1 << 48, 1usize..16)) {
+        let mutated = corrupt_bytes(shared_bytes(), seed, n);
+        let outcome = std::panic::catch_unwind(|| TraceData::from_bytes(&mutated).is_ok());
+        prop_assert!(outcome.is_ok(), "panic for corruption seed {seed} ({n} mutations)");
+    }
+
+    /// Scattered independent byte flips at random positions never panic.
+    #[test]
+    fn fuzz_scattered_flips_never_panic(muts in vec((0u64..u64::MAX, 1u32..256), 1..12)) {
+        let mut bytes = shared_bytes().to_vec();
+        let len = bytes.len() as u64;
+        for &(pos, flip) in &muts {
+            bytes[(pos % len) as usize] ^= flip as u8;
+        }
+        let outcome = std::panic::catch_unwind(|| TraceData::from_bytes(&bytes).is_ok());
+        prop_assert!(outcome.is_ok(), "panic for flips {muts:?}");
+    }
+
+    /// Every proper prefix of a valid trace is an error — a partially
+    /// written file (crash mid-save) must never load as a shorter trace.
+    #[test]
+    fn fuzz_truncations_always_err(cut in 0u64..u64::MAX) {
+        let bytes = shared_bytes();
+        let cut = (cut % bytes.len() as u64) as usize;
+        prop_assert!(
+            TraceData::from_bytes(&bytes[..cut]).is_err(),
+            "truncation at {cut}/{} accepted",
+            bytes.len()
+        );
+    }
+
+    /// Random printable-ASCII substitutions in the JSON export (the
+    /// hand-editable format) never panic `from_json` — at worst a parse
+    /// or validation error.
+    #[test]
+    fn fuzz_json_mutations_never_panic(muts in vec((0u64..u64::MAX, 32u8..127), 1..8)) {
+        let mut json = shared_json().to_string().into_bytes();
+        let len = json.len() as u64;
+        for &(pos, byte) in &muts {
+            json[(pos % len) as usize] = byte;
+        }
+        let json = String::from_utf8(json).expect("ASCII substitutions keep UTF-8 valid");
+        let outcome = std::panic::catch_unwind(|| TraceData::from_json(&json).is_ok());
+        prop_assert!(outcome.is_ok(), "panic for JSON mutations {muts:?}");
+    }
+
+    /// A valid header followed by random garbage neither panics nor
+    /// stalls in a giant allocation: every announced count is checked
+    /// against the bytes actually remaining, so parsing random tails
+    /// returns promptly.
+    #[test]
+    fn fuzz_random_tails_bounded(tail in vec(0u32..256, 0..96)) {
+        let mut bytes = shared_bytes()[..12].to_vec(); // magic + version
+        bytes.extend(tail.iter().map(|&b| b as u8));
+        let t0 = std::time::Instant::now();
+        let outcome = std::panic::catch_unwind(|| {
+            let _ = TraceData::from_bytes(&bytes);
+        });
+        prop_assert!(outcome.is_ok(), "panic for random tail {tail:?}");
+        prop_assert!(
+            t0.elapsed() < std::time::Duration::from_secs(2),
+            "random tail parsed too slowly"
+        );
+    }
 }
