@@ -15,3 +15,39 @@ cargo test -q --workspace
 cargo test -q --test chaos
 PYTHIA_CHAOS="panic-predict" cargo test -q --test chaos
 PYTHIA_CHAOS="drop=7,dup=13,slow-predict-us=5" cargo test -q --test chaos
+
+# Optional sanitize pass (PYTHIA_CI_SANITIZE=1): core tests under Miri
+# where the toolchain has it, then `pythia-analyze --deny warnings` over
+# the chaos suite's recorded traces. Clean recordings must analyze clean;
+# a fixture with seeded protocol violations must be flagged (exit 1, and
+# never 2 = crash/usage); recordings taken under an injected-fault
+# environment must analyze without crashing.
+if [ "${PYTHIA_CI_SANITIZE:-0}" = "1" ]; then
+    if cargo miri --version >/dev/null 2>&1; then
+        cargo miri test -p pythia-core --lib
+    else
+        echo "ci: miri not installed, skipping the interpreter pass"
+    fi
+
+    ANALYZE=target/release/pythia-analyze
+    DUMPS=$(mktemp -d)
+
+    PYTHIA_CHAOS_TRACE_DIR="$DUMPS/clean" cargo test -q --test chaos
+    [ -n "$(ls "$DUMPS/clean")" ] || { echo "ci: chaos suite dumped no traces"; exit 1; }
+    "$ANALYZE" --deny warnings "$DUMPS"/clean/*.trace
+
+    "$ANALYZE" --write-seeded-violations "$DUMPS/seeded.trace" >/dev/null
+    if "$ANALYZE" --deny errors "$DUMPS/seeded.trace" >/dev/null; then
+        echo "ci: pythia-analyze missed the seeded violations"; exit 1
+    elif [ $? -ne 1 ]; then
+        echo "ci: pythia-analyze crashed on the seeded fixture"; exit 1
+    fi
+
+    PYTHIA_CHAOS_TRACE_DIR="$DUMPS/chaotic" PYTHIA_CHAOS="drop=7,dup=13" \
+        cargo test -q --test chaos
+    for t in "$DUMPS"/chaotic/*.trace; do
+        "$ANALYZE" "$t" >/dev/null || [ $? -eq 1 ]
+    done
+
+    rm -rf "$DUMPS"
+fi

@@ -1,0 +1,294 @@
+//! Implementation of the `pythia-analyze` binary: static analysis of saved
+//! traces without decompression.
+//!
+//! The binary is a thin `main` over [`run`], so integration tests can drive
+//! the exact production code path (argument parsing, format sniffing, exit
+//! codes) in-process instead of spawning the compiled binary.
+//!
+//! Exit codes: `0` clean (no finding at or above `--deny`), `1` at least
+//! one deny-level finding, `2` usage or I/O error.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use pythia_core::analyze::{analyze_trace, AnalyzeConfig, ClassTable, EventClass, Severity};
+use pythia_core::record::{RecordConfig, Recorder};
+use pythia_core::trace::{TraceData, MAGIC};
+
+/// Exit code for "nothing at or above the deny level".
+pub const EXIT_CLEAN: i32 = 0;
+/// Exit code for "deny-level findings present".
+pub const EXIT_FINDINGS: i32 = 1;
+/// Exit code for usage or I/O errors.
+pub const EXIT_USAGE: i32 = 2;
+
+const USAGE: &str = "\
+pythia-analyze: lint, verify and profile saved PYTHIA traces without expanding them
+
+USAGE:
+    pythia-analyze [FLAGS] TRACE...
+
+ARGS:
+    TRACE...    trace files (binary or JSON; format sniffed from content)
+
+FLAGS:
+    --json                          machine-readable output (one report object per trace)
+    --deny <warnings|errors>        exit 1 when findings reach this severity [default: errors]
+    --no-lint                       skip the grammar linter
+    --no-protocol                   skip the cross-rank MPI protocol verifier
+    --no-predictability             skip the predictability report
+    --top <N>                       least-predictable events to keep per thread [default: 5]
+    --write-seeded-violations <P>   record a reference app, seed an unmatched send and a
+                                    collective divergence into it, save to P, and exit
+    --help                          show this help
+";
+
+/// Parsed command line.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// Input trace paths, in argument order.
+    pub paths: Vec<PathBuf>,
+    /// Emit JSON instead of human text.
+    pub json: bool,
+    /// Severity at which findings turn the exit code non-zero.
+    pub deny: Severity,
+    /// Pass selection and predictability knobs.
+    pub config: AnalyzeConfig,
+    /// When set: write the seeded-violation fixture here and exit.
+    pub seed_out: Option<PathBuf>,
+    /// `--help` was requested.
+    pub help: bool,
+}
+
+/// Parses `argv` (without the program name). Errors are usage messages.
+pub fn parse(argv: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        paths: Vec::new(),
+        json: false,
+        deny: Severity::Error,
+        config: AnalyzeConfig::default(),
+        seed_out: None,
+        help: false,
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => cli.json = true,
+            "--deny" => {
+                let v = it.next().ok_or("--deny needs a value")?;
+                cli.deny = match v.as_str() {
+                    "warnings" | "warning" => Severity::Warning,
+                    "errors" | "error" => Severity::Error,
+                    other => return Err(format!("--deny expects warnings|errors, got {other}")),
+                };
+            }
+            "--no-lint" => cli.config.lint = false,
+            "--no-protocol" => cli.config.protocol = false,
+            "--no-predictability" => cli.config.predictability = false,
+            "--top" => {
+                let v = it.next().ok_or("--top needs a value")?;
+                cli.config.top = v
+                    .parse()
+                    .map_err(|_| format!("--top expects a number, got {v}"))?;
+            }
+            "--write-seeded-violations" => {
+                let v = it.next().ok_or("--write-seeded-violations needs a path")?;
+                cli.seed_out = Some(PathBuf::from(v));
+            }
+            "--help" | "-h" => cli.help = true,
+            other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
+            path => cli.paths.push(PathBuf::from(path)),
+        }
+    }
+    if !cli.help && cli.seed_out.is_none() && cli.paths.is_empty() {
+        return Err("no trace files given".into());
+    }
+    Ok(cli)
+}
+
+/// Loads a trace leniently, sniffing binary vs. JSON from the content.
+///
+/// Lenient on purpose: the analyzer's job is to *diagnose* invariant
+/// violations, so the strict loader (which rejects them as
+/// [`pythia_core::error::Error::Corrupt`]) would hide exactly the inputs
+/// this tool exists for. Structurally unparseable files still error.
+pub fn load_sniffed(path: &std::path::Path) -> Result<TraceData, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let res = if bytes.starts_with(MAGIC) {
+        TraceData::from_bytes_lenient(&bytes)
+    } else {
+        let text = std::str::from_utf8(&bytes)
+            .map_err(|_| format!("{}: neither PYTHIA binary nor UTF-8 JSON", path.display()))?;
+        TraceData::from_json_lenient(text)
+    };
+    res.map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Records a reference application and seeds two protocol violations into
+/// it: an extra `MPI_Send` on rank 0 (unmatched send) and an altered
+/// collective on the last rank (collective-sequence divergence).
+///
+/// The mutation works offline — unfold each rank's grammar, edit the event
+/// stream, re-record through [`Recorder`] — never through a live
+/// communicator, where an intentionally broken protocol would deadlock the
+/// collectives it is meant to corrupt. Re-recording keeps every grammar
+/// invariant intact, so the linter stays green and the verifier findings
+/// are unmistakably *protocol* findings.
+pub fn seeded_violation_trace() -> Arc<TraceData> {
+    let app = pythia_apps::find_app("MG").expect("MG is in the app table");
+    let base = pythia_apps::harness::record_trace(
+        app.as_ref(),
+        4,
+        pythia_apps::WorkingSet::Small,
+        pythia_apps::work::WorkScale::ZERO,
+    );
+    Arc::new(seed_violations(&base))
+}
+
+/// Seeds the two violations into an existing clean multi-rank trace.
+pub fn seed_violations(base: &TraceData) -> TraceData {
+    let mut registry = base.registry().clone();
+    let extra_send = registry.intern("MPI_Send", Some(1));
+    let divergent = registry.intern("MPI_Reduce", Some(0x5EED));
+    let classes = ClassTable::from_registry(&registry);
+    let n = base.threads().len();
+    let threads = base
+        .threads()
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let mut events = t.grammar.unfold();
+            if i == 0 {
+                events.push(extra_send);
+            }
+            if i == n - 1 && n > 1 {
+                let last_collective = events
+                    .iter()
+                    .rposition(|&e| matches!(classes.class(e), EventClass::Collective { .. }));
+                match last_collective {
+                    Some(k) => events[k] = divergent,
+                    None => events.push(divergent),
+                }
+            }
+            let mut rec = Recorder::new(RecordConfig {
+                timestamps: false,
+                validate: false,
+            });
+            for e in events {
+                rec.record(e);
+            }
+            rec.finish_thread()
+        })
+        .collect();
+    TraceData::from_threads(threads, registry)
+}
+
+/// Runs the CLI. Human/JSON output is appended to `out`, errors to `err`;
+/// returns the process exit code.
+pub fn run(argv: &[String], out: &mut String, err: &mut String) -> i32 {
+    let cli = match parse(argv) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            let _ = writeln!(err, "error: {msg}\n\n{USAGE}");
+            return EXIT_USAGE;
+        }
+    };
+    if cli.help {
+        out.push_str(USAGE);
+        return EXIT_CLEAN;
+    }
+    if let Some(path) = &cli.seed_out {
+        let trace = seeded_violation_trace();
+        return match trace.save(path) {
+            Ok(()) => {
+                let _ = writeln!(out, "wrote seeded-violation trace to {}", path.display());
+                EXIT_CLEAN
+            }
+            Err(e) => {
+                let _ = writeln!(err, "error: {}: {e}", path.display());
+                EXIT_USAGE
+            }
+        };
+    }
+
+    let mut json_reports = Vec::new();
+    let mut denied = false;
+    for path in &cli.paths {
+        let trace = match load_sniffed(path) {
+            Ok(t) => t,
+            Err(msg) => {
+                let _ = writeln!(err, "error: {msg}");
+                return EXIT_USAGE;
+            }
+        };
+        let report = analyze_trace(&trace, &cli.config);
+        denied |= report.exceeds(cli.deny);
+        if cli.json {
+            json_reports.push(serde_json::json!({
+                "path": path.display().to_string(),
+                "report": report.to_json()
+            }));
+        } else {
+            let _ = writeln!(out, "== {} ==", path.display());
+            out.push_str(&report.render_text());
+            out.push('\n');
+        }
+    }
+    if cli.json {
+        out.push_str(&serde_json::Value::Array(json_reports).to_string());
+        out.push('\n');
+    }
+    if denied {
+        EXIT_FINDINGS
+    } else {
+        EXIT_CLEAN
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_defaults_and_flags() {
+        let argv: Vec<String> = [
+            "a.trace",
+            "--deny",
+            "warnings",
+            "--no-predictability",
+            "--top",
+            "3",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let cli = parse(&argv).unwrap();
+        assert_eq!(cli.paths.len(), 1);
+        assert_eq!(cli.deny, Severity::Warning);
+        assert!(cli.config.lint && cli.config.protocol);
+        assert!(!cli.config.predictability);
+        assert_eq!(cli.config.top, 3);
+    }
+
+    #[test]
+    fn parse_rejects_unknown_flag_and_empty() {
+        assert!(parse(&["--frobnicate".to_string()]).is_err());
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["--help".to_string()]).unwrap().help);
+    }
+
+    #[test]
+    fn usage_error_exits_2() {
+        let (mut out, mut err) = (String::new(), String::new());
+        assert_eq!(run(&["--deny".to_string()], &mut out, &mut err), EXIT_USAGE);
+        assert!(err.contains("--deny needs a value"));
+    }
+
+    #[test]
+    fn missing_file_exits_2() {
+        let (mut out, mut err) = (String::new(), String::new());
+        let argv = vec!["/nonexistent/definitely-not-here.trace".to_string()];
+        assert_eq!(run(&argv, &mut out, &mut err), EXIT_USAGE);
+    }
+}

@@ -15,12 +15,20 @@
 //! * the hardened facade's happy-path overhead over the bare oracle (panic
 //!   guard + accuracy watchdog; budgeted at < 5 %) and the per-query cost
 //!   of a fully degraded (poisoned) facade.
+//! * static analysis (`pythia-analyze` passes: linter + protocol verifier)
+//!   on a LULESH-shaped multi-rank trace at growing iteration counts,
+//!   against the naive decompress-and-scan baseline — the compressed-domain
+//!   time is O(|grammar|), so it stays flat while the baseline grows with
+//!   the expanded trace length.
 //!
 //! Usage: `bench_json [--iters N] [--json PATH]`
 
 use std::time::Instant;
 
 use pythia_bench::Args;
+use pythia_core::analyze::lint::{lint_grammar, LintOptions};
+use pythia_core::analyze::protocol::{profile_from_events, profile_from_grammar, verify};
+use pythia_core::analyze::ClassTable;
 use pythia_core::event::{EventId, EventRegistry};
 use pythia_core::oracle::Oracle;
 use pythia_core::predict::path::Path;
@@ -139,6 +147,36 @@ impl<'a> BaselineObserver<'a> {
         }
         v
     }
+}
+
+/// A LULESH-shaped multi-rank trace: per iteration, each rank exchanges
+/// nonblocking point-to-point messages with its ring neighbors, waits, and
+/// joins an allreduce — the dominant loop compresses into a handful of
+/// rules with large repetition exponents, so expanded length grows with
+/// `iters` while the grammar stays near-constant.
+fn lulesh_shaped_trace(ranks: i64, iters: u64) -> TraceData {
+    let mut reg = EventRegistry::new();
+    let mut threads = Vec::new();
+    for r in 0..ranks {
+        let mut rec = Recorder::new(RecordConfig {
+            timestamps: false,
+            validate: false,
+        });
+        rec.record(reg.intern("MPI_Bcast", Some(0)));
+        for _ in 0..iters {
+            for n in [r - 1, r + 1] {
+                if (0..ranks).contains(&n) {
+                    rec.record(reg.intern("MPI_Isend", Some(n)));
+                    rec.record(reg.intern("MPI_Irecv", Some(n)));
+                }
+            }
+            rec.record(reg.intern("MPI_Waitall", None));
+            rec.record(reg.intern("MPI_Allreduce", Some(8)));
+        }
+        rec.record(reg.intern("MPI_Barrier", Some(0)));
+        threads.push(rec.finish_thread());
+    }
+    TraceData::from_threads(threads, reg)
 }
 
 /// Runs `f` `iters` times and returns the mean wall-clock nanoseconds of
@@ -301,6 +339,60 @@ fn main() {
         std::hint::black_box(poisoned.predict_event(1).most_likely());
     });
 
+    // Static analysis: linter + protocol verifier in the compressed domain
+    // vs the same verdict computed by decompress-and-scan, at growing
+    // iteration counts. The grammar barely changes as iterations multiply,
+    // so the compressed-domain time should stay flat (O(|grammar|)) while
+    // the naive baseline tracks the expanded length.
+    let mut analyze_rows = Vec::new();
+    for loop_iters in [1_000u64, 10_000, 100_000] {
+        let trace = lulesh_shaped_trace(8, loop_iters);
+        let classes = ClassTable::from_registry(trace.registry());
+        let events: u64 = trace.threads().iter().map(|t| t.event_count).sum();
+        let grammar_size: u64 = trace
+            .threads()
+            .iter()
+            .map(|t| {
+                t.grammar
+                    .iter_rules()
+                    .map(|(_, rule)| rule.body.len() as u64)
+                    .sum::<u64>()
+            })
+            .sum();
+        let reps = iters.clamp(3, 10);
+        let analyze_ns = time_ns(reps, || {
+            let mut profiles = Vec::new();
+            for t in trace.threads() {
+                let diags = lint_grammar(
+                    &t.grammar,
+                    &LintOptions {
+                        expected_events: Some(t.event_count),
+                        annotate_positions: false,
+                    },
+                );
+                assert!(diags.is_empty());
+                profiles.push(profile_from_grammar(&t.grammar, &classes));
+            }
+            std::hint::black_box(verify(&profiles).len());
+        });
+        let naive_ns = time_ns(reps, || {
+            let mut profiles = Vec::new();
+            for t in trace.threads() {
+                let expanded = t.grammar.unfold();
+                profiles.push(profile_from_events(expanded.iter().copied(), &classes));
+            }
+            std::hint::black_box(verify(&profiles).len());
+        });
+        analyze_rows.push(serde_json::json!({
+            "loop_iters": loop_iters,
+            "events": events,
+            "grammar_size": grammar_size,
+            "analyze_ns": analyze_ns,
+            "naive_decompress_scan_ns": naive_ns,
+            "speedup": naive_ns / analyze_ns,
+        }));
+    }
+
     let predict_json: Vec<serde_json::Value> = predict_rows
         .iter()
         .map(|&(d, fast, scan)| {
@@ -328,6 +420,7 @@ fn main() {
         "observe_reseed_heavy_speedup": reseed_baseline_ns / reseed_ns,
         "predict": predict_json,
         "resilience": resilience_json,
+        "analyze": serde_json::Value::Array(analyze_rows),
     });
     let text = serde_json::to_string_pretty(&doc).expect("serialize");
     std::fs::write(&path, &text).expect("write json");

@@ -1,0 +1,13 @@
+//! `pythia-analyze` — static analysis of saved PYTHIA traces: grammar
+//! linter, cross-rank MPI protocol verifier, and predictability report,
+//! all computed on the compressed grammar without expanding the trace.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = String::new();
+    let mut err = String::new();
+    let code = pythia_bench::analyze_cli::run(&argv, &mut out, &mut err);
+    print!("{out}");
+    eprint!("{err}");
+    std::process::exit(code);
+}

@@ -14,11 +14,17 @@
 //! | Figs. 12/13 (LULESH time vs max threads) | `fig12_13_threads` |
 //! | Fig. 14 (LULESH time vs error rate) | `fig14_error_rate` |
 //!
+//! Beyond the paper's artifacts, `pythia-analyze` ([`analyze_cli`]) runs
+//! the static-analysis passes of `pythia_core::analyze` (grammar linter,
+//! cross-rank MPI protocol verifier, predictability report) over saved
+//! trace files without expanding them.
+//!
 //! Every binary accepts `--help`, prints an aligned text table to stdout,
 //! and writes machine-readable JSON next to it with `--json <path>`.
 //! Default scales are reduced so the full suite completes in minutes on a
 //! laptop (see EXPERIMENTS.md for the paper-vs-here scale mapping).
 
+pub mod analyze_cli;
 pub mod lulesh;
 
 use std::fmt::Write as _;

@@ -148,6 +148,40 @@ impl GrammarIndex {
         self.suffix_lens[r.index()][pos]
     }
 
+    /// Expanded length of `body[..pos]` of rule `r` — the offset of
+    /// position `pos` inside one expansion of the rule. O(1).
+    #[inline]
+    pub fn prefix_len(&self, r: RuleId, pos: usize) -> u64 {
+        let s = &self.suffix_lens[r.index()];
+        s[0] - s[pos]
+    }
+
+    /// For every rule slot, the index (into the expanded trace) at which
+    /// the rule's *first* expansion begins: the anchor the static analyzer
+    /// uses to report an approximate event position for a grammar location
+    /// (`first_starts[r] + prefix_len(r, pos)`). `None` for vacant or
+    /// unreachable slots. One parents-first sweep, O(|grammar|).
+    pub fn rule_first_starts(&self, g: &Grammar) -> Vec<Option<u64>> {
+        let mut starts: Vec<Option<u64>> = vec![None; g.rules_slots()];
+        starts[g.root().index()] = Some(0);
+        for &id in &g.topological_order() {
+            let Some(s) = starts[id.index()] else {
+                continue;
+            };
+            let mut offset = 0u64;
+            for u in &g.rule(id).body {
+                if let Symbol::Rule(child) = u.symbol {
+                    let candidate = s + offset;
+                    if starts[child.index()].is_none_or(|cur| candidate < cur) {
+                        starts[child.index()] = Some(candidate);
+                    }
+                }
+                offset += self.use_len(*u);
+            }
+        }
+        starts
+    }
+
     /// First terminal produced when expanding `symbol`, in O(1).
     #[inline]
     pub fn first_terminal(&self, symbol: Symbol) -> EventId {

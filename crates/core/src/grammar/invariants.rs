@@ -1,68 +1,66 @@
-//! Debug validator for the grammar invariants of paper §II-A.
+//! Validation of the grammar invariants of paper §II-A.
 //!
-//! The validator is exercised after every event push by the unit tests and
-//! the property-based tests; it is not used on the hot path. It verifies:
+//! Two surfaces share one engine (the release-mode grammar linter,
+//! [`crate::analyze::lint`]):
 //!
-//! 1. rule utility — every non-root rule is used at least twice (weighted
-//!    by repetition exponents);
-//! 2. digram uniqueness — every ordered pair of distinct adjacent symbols
-//!    appears at most once across all rule bodies, and the digram index
-//!    covers exactly those pairs;
-//! 3. run merging — no symbol appears twice side by side, and every
-//!    repetition exponent is at least 1;
-//! 4. structure — reference counts match a full recount, every live rule is
-//!    reachable from the root, and the rule graph is acyclic.
+//! * [`Grammar::check_invariants`] — public API validating a *loaded*,
+//!   read-only grammar (e.g. one deserialized from a trace file): digram
+//!   uniqueness, rule utility, run merging, exponent sanity, refcount
+//!   recount, reachability, acyclicity. Every message references only
+//!   grammar-visible state, so it is meaningful post-load.
+//! * [`GrammarBuilder::check_invariants`] — the debug validator exercised
+//!   after every event push by the unit and property tests. It layers the
+//!   builder-only checks on top: the digram index must cover exactly the
+//!   pairs present in rule bodies, and the grammar must expand to exactly
+//!   the number of events pushed.
 
+use crate::analyze::lint::{lint_grammar, LintOptions};
+use crate::analyze::Severity;
 use crate::grammar::builder::GrammarBuilder;
-use crate::grammar::{Loc, RuleId, Symbol};
-use crate::util::{FxHashMap, FxHashSet};
+use crate::grammar::{Grammar, Loc, Symbol};
+use crate::util::FxHashMap;
+
+impl Grammar {
+    /// Validates all grammar invariants on this (possibly loaded) grammar,
+    /// returning a description of the first violation found.
+    ///
+    /// This is the strict variant: warnings of the underlying linter (rule
+    /// utility, aliases, unreachable rules) are violations too, because a
+    /// grammar the reduction produced can never contain them. Use
+    /// [`crate::analyze::lint_grammar`] directly for the full diagnostic
+    /// list with severities and positions.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let diags = lint_grammar(
+            self,
+            &LintOptions {
+                expected_events: None,
+                annotate_positions: false,
+            },
+        );
+        match diags.into_iter().find(|d| d.severity >= Severity::Warning) {
+            Some(d) => Err(d.message),
+            None => Ok(()),
+        }
+    }
+}
 
 impl GrammarBuilder {
-    /// Validates all grammar invariants, returning a description of the
-    /// first violation found.
+    /// Validates all grammar invariants plus the builder's bookkeeping,
+    /// returning a description of the first violation found.
     pub fn check_invariants(&self) -> Result<(), String> {
         let g = self.grammar();
-        let root = g.root();
+        g.check_invariants()?;
 
-        // -- per-rule body checks + collect pairs and refcounts ----------
+        // -- digram index covers exactly the existing pairs (builder-only
+        //    state; the grammar-level linter cannot see the index) ---------
         let mut pairs: FxHashMap<(Symbol, Symbol), Loc> = FxHashMap::default();
-        let mut refcounts: FxHashMap<RuleId, u32> = FxHashMap::default();
         for (id, rule) in g.iter_rules() {
-            if id != root && rule.body.is_empty() {
-                return Err(format!("non-root rule {id} has an empty body"));
-            }
-            if id != root && rule.body.len() == 1 && rule.body[0].count == 1 {
-                return Err(format!("rule {id} is an alias (single unit use)"));
-            }
             for (pos, u) in rule.body.iter().enumerate() {
-                if u.count == 0 {
-                    return Err(format!("zero repetition count at {id}[{pos}]"));
-                }
-                if let Symbol::Rule(r) = u.symbol {
-                    if !g.is_live(r) {
-                        return Err(format!("{id}[{pos}] references dead rule {r}"));
-                    }
-                    *refcounts.entry(r).or_insert(0) += u.count;
-                }
                 if pos + 1 < rule.body.len() {
-                    let next = rule.body[pos + 1];
-                    if next.symbol == u.symbol {
-                        return Err(format!(
-                            "adjacent equal symbols (unmerged run) at {id}[{pos}]"
-                        ));
-                    }
-                    let key = (u.symbol, next.symbol);
-                    if let Some(prev) = pairs.insert(key, Loc { rule: id, pos }) {
-                        return Err(format!(
-                            "digram duplicated at {id}[{pos}] and {}[{}]",
-                            prev.rule, prev.pos
-                        ));
-                    }
+                    pairs.insert((u.symbol, rule.body[pos + 1].symbol), Loc { rule: id, pos });
                 }
             }
         }
-
-        // -- digram index covers exactly the existing pairs --------------
         for (key, loc) in &pairs {
             match self.digram_entry(*key) {
                 None => {
@@ -82,52 +80,7 @@ impl GrammarBuilder {
             }
         }
 
-        // -- refcounts + utility ------------------------------------------
-        for (id, rule) in g.iter_rules() {
-            let expected = refcounts.get(&id).copied().unwrap_or(0);
-            if rule.refcount != expected {
-                return Err(format!(
-                    "rule {id} refcount {} != recount {expected}",
-                    rule.refcount
-                ));
-            }
-            if id != root && expected < 2 {
-                return Err(format!(
-                    "rule utility violated: {id} used {expected} time(s)"
-                ));
-            }
-            if id == root && expected != 0 {
-                return Err(format!("root is referenced {expected} time(s)"));
-            }
-        }
-
-        // -- reachability (acyclicity is asserted by topological_order) ---
-        let order = g.topological_order();
-        let reachable: FxHashSet<RuleId> = {
-            let mut seen: FxHashSet<RuleId> = FxHashSet::default();
-            let mut stack = vec![root];
-            while let Some(r) = stack.pop() {
-                if !seen.insert(r) {
-                    continue;
-                }
-                for u in &g.rule(r).body {
-                    if let Symbol::Rule(child) = u.symbol {
-                        stack.push(child);
-                    }
-                }
-            }
-            seen
-        };
-        for (id, _) in g.iter_rules() {
-            if !reachable.contains(&id) {
-                return Err(format!("rule {id} unreachable from root"));
-            }
-        }
-        if order.len() != g.rule_count() {
-            return Err("topological order misses live rules".to_owned());
-        }
-
-        // -- losslessness of length ---------------------------------------
+        // -- losslessness of length (needs the builder's event counter) ----
         if g.trace_len() != self.event_count() {
             return Err(format!(
                 "trace length {} != events pushed {}",
@@ -144,6 +97,7 @@ impl GrammarBuilder {
 mod tests {
     use super::*;
     use crate::event::EventId;
+    use crate::grammar::{Rule, RuleId, SymbolUse};
 
     #[test]
     fn fresh_builder_is_valid() {
@@ -158,5 +112,47 @@ mod tests {
             b.push(EventId(ev));
             b.check_invariants().unwrap();
         }
+    }
+
+    #[test]
+    fn loaded_grammar_validates_standalone() {
+        let mut b = GrammarBuilder::new();
+        for ev in [0u32, 1, 2, 0, 1, 2, 0, 1, 2] {
+            b.push(EventId(ev));
+        }
+        let g = b.into_grammar().compact();
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn corrupted_grammar_fails_standalone_check() {
+        let mut b = GrammarBuilder::new();
+        for ev in [0u32, 1, 0, 1, 0, 1, 2] {
+            b.push(EventId(ev));
+        }
+        let mut g = b.into_grammar().compact();
+        let victim = g
+            .iter_rules()
+            .map(|(id, _)| id)
+            .find(|&id| id != g.root())
+            .unwrap();
+        g.rules[victim.index()].as_mut().unwrap().refcount += 1;
+        let err = g.check_invariants().unwrap_err();
+        assert!(err.contains("refcount"), "{err}");
+    }
+
+    #[test]
+    fn message_references_no_builder_state() {
+        // A hand-built grammar (no builder in sight) with a duplicated
+        // digram still gets a precise message.
+        let mut g = Grammar::new();
+        let t = |n: u32| SymbolUse::new(Symbol::Terminal(EventId(n)), 1);
+        g.rules[0] = Some(Rule {
+            body: vec![t(0), t(1), t(2), t(0), t(1)],
+            refcount: 0,
+        });
+        assert_eq!(g.root(), RuleId(0));
+        let err = g.check_invariants().unwrap_err();
+        assert!(err.contains("digram duplicated"), "{err}");
     }
 }

@@ -53,6 +53,7 @@
 //! assert_eq!(next.most_likely(), Some(b));
 //! ```
 
+pub mod analyze;
 pub mod error;
 pub mod event;
 pub mod grammar;
@@ -66,6 +67,7 @@ pub mod util;
 
 /// Convenient re-exports of the most commonly used types.
 pub mod prelude {
+    pub use crate::analyze::{analyze_trace, AnalysisReport, AnalyzeConfig, Diagnostic, Severity};
     pub use crate::error::{Error, Result};
     pub use crate::event::{EventDesc, EventId, EventRegistry};
     pub use crate::grammar::{Grammar, RuleId, Symbol, SymbolUse};

@@ -162,7 +162,24 @@ impl TraceData {
     }
 
     /// Deserializes from the binary format.
-    pub fn from_bytes(mut data: &[u8]) -> Result<Self> {
+    ///
+    /// Strict: beyond the structural validation every load performs (bounds,
+    /// acyclicity), the grammar linter must find no error-level violation —
+    /// digram duplicates, unmerged runs, refcount mismatches, or a grammar
+    /// whose expansion disagrees with the declared event count are rejected
+    /// as [`Error::Corrupt`] instead of being silently fed to the
+    /// predictor. Use [`TraceData::from_bytes_lenient`] to load such a file
+    /// anyway (e.g. to analyze *why* it is corrupt).
+    pub fn from_bytes(data: &[u8]) -> Result<Self> {
+        let trace = Self::from_bytes_lenient(data)?;
+        trace.lint_strict()?;
+        Ok(trace)
+    }
+
+    /// Deserializes from the binary format with structural validation only
+    /// (no invariant lint): accepts corrupt-but-parseable grammars so tools
+    /// like `pythia-analyze` can diagnose them.
+    pub fn from_bytes_lenient(mut data: &[u8]) -> Result<Self> {
         let buf = &mut data;
         let magic = take(buf, MAGIC.len())?;
         if magic != MAGIC {
@@ -234,6 +251,37 @@ impl TraceData {
         Self::from_bytes(&data)
     }
 
+    /// Loads the binary format from `path` without the invariant lint (see
+    /// [`TraceData::from_bytes_lenient`]).
+    pub fn load_lenient(path: impl AsRef<Path>) -> Result<Self> {
+        let data = std::fs::read(path)?;
+        Self::from_bytes_lenient(&data)
+    }
+
+    /// Runs the grammar linter over every thread and rejects the trace on
+    /// the first error-level violation.
+    fn lint_strict(&self) -> Result<()> {
+        use crate::analyze::{lint_grammar, LintOptions, Severity};
+        for (i, t) in self.threads.iter().enumerate() {
+            let diags = lint_grammar(
+                &t.grammar,
+                &LintOptions {
+                    expected_events: Some(t.event_count),
+                    // Cheap mode on the load path: no event-position
+                    // annotation, no extra index build.
+                    annotate_positions: false,
+                },
+            );
+            if let Some(d) = diags.iter().find(|d| d.severity == Severity::Error) {
+                return Err(Error::Corrupt(format!(
+                    "thread {i} grammar violates invariants: {}",
+                    d.message
+                )));
+            }
+        }
+        Ok(())
+    }
+
     // ------------------------------------------------------------------
     // JSON format
     // ------------------------------------------------------------------
@@ -247,8 +295,17 @@ impl TraceData {
         serde_json::to_string_pretty(&mirror).map_err(|e| Error::Json(e.to_string()))
     }
 
-    /// Deserializes from JSON.
+    /// Deserializes from JSON. Strict, like [`TraceData::from_bytes`]: the
+    /// grammar linter must find no error-level invariant violation.
     pub fn from_json(json: &str) -> Result<Self> {
+        let trace = Self::from_json_lenient(json)?;
+        trace.lint_strict()?;
+        Ok(trace)
+    }
+
+    /// Deserializes from JSON with structural validation only (see
+    /// [`TraceData::from_bytes_lenient`]).
+    pub fn from_json_lenient(json: &str) -> Result<Self> {
         let mut mirror: TraceDataSerde =
             serde_json::from_str(json).map_err(|e| Error::Json(e.to_string()))?;
         mirror.registry.rebuild_index();
@@ -269,6 +326,13 @@ impl TraceData {
     pub fn load_json(path: impl AsRef<Path>) -> Result<Self> {
         let json = std::fs::read_to_string(path)?;
         Self::from_json(&json)
+    }
+
+    /// Loads the JSON format from `path` without the invariant lint (see
+    /// [`TraceData::from_json_lenient`]).
+    pub fn load_json_lenient(path: impl AsRef<Path>) -> Result<Self> {
+        let json = std::fs::read_to_string(path)?;
+        Self::from_json_lenient(&json)
     }
 }
 
@@ -597,6 +661,45 @@ mod tests {
         body[0]["symbol"] = serde_json::json!({ "Rule": 1 });
         let res = TraceData::from_json(&json.to_string());
         assert!(res.is_err());
+    }
+
+    #[test]
+    fn strict_load_rejects_what_lenient_accepts() {
+        // Duplicate a digram in the root body: the file still parses and is
+        // structurally sound (no cycles, live references), but violates the
+        // reduction invariants — exactly the shape a fault-injected
+        // serialization can produce.
+        let trace = sample_trace();
+        let mut v: serde_json::Value = serde_json::from_str(&trace.to_json().unwrap()).unwrap();
+        let rules = v["threads"][0]["grammar"]["rules"].as_array_mut().unwrap();
+        let body = rules
+            .iter_mut()
+            .map(|r| r["body"].as_array_mut().unwrap())
+            .find(|b| b.len() >= 2)
+            .expect("some rule has at least two body entries");
+        let (a, b) = (body[0].clone(), body[1].clone());
+        body.push(a);
+        body.push(b);
+        let json = v.to_string();
+        assert!(matches!(
+            TraceData::from_json(&json),
+            Err(Error::Corrupt(_))
+        ));
+        let lenient = TraceData::from_json_lenient(&json).unwrap();
+        assert_eq!(lenient.thread_count(), 1);
+    }
+
+    #[test]
+    fn strict_load_rejects_event_count_mismatch() {
+        let trace = sample_trace();
+        let mut v: serde_json::Value = serde_json::from_str(&trace.to_json().unwrap()).unwrap();
+        v["threads"][0]["event_count"] = serde_json::json!(123456);
+        let json = v.to_string();
+        assert!(matches!(
+            TraceData::from_json(&json),
+            Err(Error::Corrupt(_))
+        ));
+        assert!(TraceData::from_json_lenient(&json).is_ok());
     }
 
     #[test]

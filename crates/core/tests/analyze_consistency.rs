@@ -1,0 +1,193 @@
+//! The soundness property behind `pythia-analyze`: protocol verdicts
+//! computed on the **compressed grammar** equal verdicts computed on the
+//! **expanded event stream**, for arbitrary multi-rank sessions.
+//!
+//! `verify()` is pure over [`RankProfile`]s, so the property decomposes:
+//! if `profile_from_grammar == profile_from_events` for every rank, the
+//! diagnostic lists are identical. The tests check both layers anyway —
+//! profile equality (the load-bearing lemma) and end-to-end verdict
+//! equality (what the CLI actually reports).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use pythia_core::analyze::protocol::{profile_from_events, profile_from_grammar, verify};
+use pythia_core::analyze::ClassTable;
+use pythia_core::event::{EventId, EventRegistry};
+use pythia_core::record::{RecordConfig, Recorder};
+
+/// A synthetic MPI vocabulary over `ranks` peers: point-to-point calls to
+/// every peer (blocking and not), a wildcard receive, waits, and a few
+/// collectives. Returns the registry plus the flat event-id list the
+/// generated streams index into.
+fn vocabulary(ranks: i64) -> (EventRegistry, Vec<EventId>) {
+    let mut reg = EventRegistry::new();
+    let mut ids = Vec::new();
+    for peer in 0..ranks {
+        ids.push(reg.intern("MPI_Send", Some(peer)));
+        ids.push(reg.intern("MPI_Isend", Some(peer)));
+        ids.push(reg.intern("MPI_Recv", Some(peer)));
+        ids.push(reg.intern("MPI_Irecv", Some(peer)));
+    }
+    ids.push(reg.intern("MPI_Recv", Some(-1))); // MPI_ANY_SOURCE
+    ids.push(reg.intern("MPI_Wait", None));
+    ids.push(reg.intern("MPI_Waitall", None));
+    ids.push(reg.intern("MPI_Barrier", Some(0)));
+    ids.push(reg.intern("MPI_Allreduce", Some(8)));
+    ids.push(reg.intern("MPI_Allreduce", Some(64)));
+    ids.push(reg.intern("MPI_Bcast", Some(0)));
+    ids.push(reg.intern("MPI_Comm_split", Some(1)));
+    ids.push(reg.intern("compute_region", None));
+    (reg, ids)
+}
+
+/// Records `events` into a grammar the way the runtime does.
+fn grammar_of(events: &[EventId]) -> pythia_core::trace::ThreadTrace {
+    let mut rec = Recorder::new(RecordConfig {
+        timestamps: false,
+        validate: false,
+    });
+    for &e in events {
+        rec.record(e);
+    }
+    rec.finish_thread()
+}
+
+/// One rank's stream: a loop body repeated many times (so the reduction
+/// emits rules with repetition exponents), plus a random prologue and
+/// epilogue that land partial loop iterations on rule borders.
+fn rank_stream() -> impl Strategy<Value = Vec<usize>> {
+    (
+        vec(0usize..22, 0..8),  // prologue
+        vec(0usize..22, 1..10), // loop body
+        1usize..24,             // iterations
+        vec(0usize..22, 0..8),  // epilogue
+    )
+        .prop_map(|(pro, body, reps, epi)| {
+            let mut seq = pro;
+            for _ in 0..reps {
+                seq.extend(&body);
+            }
+            seq.extend(&epi);
+            seq
+        })
+}
+
+proptest! {
+    // 256 random sessions of 3 ranks each (ISSUE acceptance floor).
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn compressed_verdicts_equal_expanded_verdicts(
+        s0 in rank_stream(),
+        s1 in rank_stream(),
+        s2 in rank_stream(),
+    ) {
+        let (reg, ids) = vocabulary(3);
+        let classes = ClassTable::from_registry(&reg);
+        let streams: Vec<Vec<EventId>> = [s0, s1, s2]
+            .iter()
+            .map(|s| s.iter().map(|&i| ids[i % ids.len()]).collect())
+            .collect();
+
+        let mut from_grammar = Vec::new();
+        let mut from_events = Vec::new();
+        for events in &streams {
+            let t = grammar_of(events);
+            // The lemma: the bottom-up grammar sweep produces the exact
+            // profile of the expanded stream.
+            let pg = profile_from_grammar(&t.grammar, &classes);
+            let pe = profile_from_events(events.iter().copied(), &classes);
+            prop_assert_eq!(&pg, &pe);
+            from_grammar.push(pg);
+            from_events.push(pe);
+        }
+        // End-to-end: identical diagnostics, byte for byte.
+        prop_assert_eq!(verify(&from_grammar), verify(&from_events));
+    }
+}
+
+/// Regression: a wildcard `MPI_Recv(-1)` absorbs a directed send in both
+/// domains, and two competing senders surface the same ambiguity warning.
+#[test]
+fn any_source_wildcard_consistent() {
+    let (reg, _) = vocabulary(3);
+    let mut reg = reg;
+    let send1 = reg.intern("MPI_Send", Some(1)); // used by ranks 0 and 2
+    let any = reg.intern("MPI_Recv", Some(-1));
+    let classes = ClassTable::from_registry(&reg);
+
+    // Rank 1 posts two wildcard receives; ranks 0 and 2 each send once.
+    let streams: Vec<Vec<EventId>> = vec![vec![send1], vec![any, any], vec![send1]];
+    let pg: Vec<_> = streams
+        .iter()
+        .map(|s| profile_from_grammar(&grammar_of(s).grammar, &classes))
+        .collect();
+    let pe: Vec<_> = streams
+        .iter()
+        .map(|s| profile_from_events(s.iter().copied(), &classes))
+        .collect();
+    assert_eq!(pg, pe);
+
+    let diags = verify(&pg);
+    assert_eq!(diags, verify(&pe));
+    // Both sends absorbed, but by a shared wildcard pool: ambiguous.
+    assert!(
+        diags.iter().any(|d| d.code == "any-source-ambiguity"),
+        "{diags:?}"
+    );
+    assert!(
+        !diags.iter().any(|d| d.code == "unmatched-send"),
+        "{diags:?}"
+    );
+}
+
+/// Regression: repetition exponents crossing a rule border. `k` repeats of
+/// a send compress into `SymbolUse { count: k }` (and, for composite
+/// bodies, into rules referenced with exponents); the profile must weight
+/// by the full expansion count, and one missing receive on the peer must
+/// tip the verdict in both domains identically.
+#[test]
+fn repetition_exponent_boundary_consistent() {
+    let mut reg = EventRegistry::new();
+    let send = reg.intern("MPI_Send", Some(1));
+    let wait = reg.intern("MPI_Wait", None);
+    let recv = reg.intern("MPI_Recv", Some(0));
+
+    for k in [2usize, 3, 17, 64] {
+        let classes = ClassTable::from_registry(&reg);
+        // (send wait)^k send — the trailing send breaks the final
+        // repetition across the rule border.
+        let mut s0 = Vec::new();
+        for _ in 0..k {
+            s0.push(send);
+            s0.push(wait);
+        }
+        s0.push(send);
+        // Peer receives only k of the k+1 sends.
+        let s1 = vec![recv; k];
+
+        let pg: Vec<_> = [&s0, &s1]
+            .iter()
+            .map(|s| profile_from_grammar(&grammar_of(s).grammar, &classes))
+            .collect();
+        let pe: Vec<_> = [&s0, &s1]
+            .iter()
+            .map(|s| profile_from_events(s.iter().copied(), &classes))
+            .collect();
+        assert_eq!(pg, pe, "k={k}");
+        assert_eq!(pg[0].sends.get(&1), Some(&(k as u64 + 1)), "k={k}");
+
+        let diags = verify(&pg);
+        assert_eq!(diags, verify(&pe), "k={k}");
+        let unmatched = diags
+            .iter()
+            .find(|d| d.code == "unmatched-send")
+            .unwrap_or_else(|| panic!("k={k}: missing unmatched-send in {diags:?}"));
+        assert!(
+            unmatched.message.contains("1 send(s)"),
+            "k={k}: {}",
+            unmatched.message
+        );
+    }
+}

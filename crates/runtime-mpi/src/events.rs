@@ -81,6 +81,40 @@ impl MpiCall {
         }
     }
 
+    /// Protocol role of the call — the event-kind metadata the static
+    /// analyzer's cross-rank verifier keys on. Kept next to [`MpiCall`] so
+    /// adding a variant forces a decision here; a consistency test pins
+    /// this to the name-based classifier in `pythia_core::analyze`.
+    pub fn kind(self) -> MpiCallKind {
+        match self {
+            MpiCall::Send => MpiCallKind::Send { blocking: true },
+            MpiCall::Isend => MpiCallKind::Send { blocking: false },
+            MpiCall::Recv => MpiCallKind::Recv { blocking: true },
+            MpiCall::Irecv => MpiCallKind::Recv { blocking: false },
+            MpiCall::Sendrecv => MpiCallKind::SendRecv,
+            MpiCall::Wait | MpiCall::Waitall => MpiCallKind::Completion,
+            MpiCall::Barrier
+            | MpiCall::Bcast
+            | MpiCall::Reduce
+            | MpiCall::Allreduce
+            | MpiCall::Alltoall
+            | MpiCall::Gather
+            | MpiCall::Allgather
+            | MpiCall::Scatter
+            | MpiCall::Scan
+            | MpiCall::ReduceScatter => MpiCallKind::Collective {
+                payload_significant: true,
+            },
+            // The payload of communicator management (the split color, the
+            // dup ordinal) legitimately differs across ranks: it must not
+            // count as collective divergence.
+            MpiCall::CommDup | MpiCall::CommSplit => MpiCallKind::Collective {
+                payload_significant: false,
+            },
+            MpiCall::Custom(_) => MpiCallKind::Other,
+        }
+    }
+
     /// Whether the runtime requests predictions when entering this call
     /// (blocking synchronization points, paper §III-B).
     pub fn is_blocking_sync(self) -> bool {
@@ -100,6 +134,37 @@ impl MpiCall {
                 | MpiCall::ReduceScatter
         )
     }
+}
+
+/// Protocol role of an [`MpiCall`]: what its payload means to a cross-rank
+/// matching analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MpiCallKind {
+    /// Point-to-point send; payload is the destination rank.
+    Send {
+        /// Whether the call blocks until the message is handed off.
+        blocking: bool,
+    },
+    /// Point-to-point receive; payload is the source rank (`-1` for
+    /// `MPI_ANY_SOURCE`).
+    Recv {
+        /// Whether the call blocks until a message arrives.
+        blocking: bool,
+    },
+    /// Combined send + receive; payload is the destination rank of the
+    /// send half.
+    SendRecv,
+    /// Collective call all ranks of the communicator must make.
+    Collective {
+        /// Whether the payload (root, reduction operation) must agree
+        /// across ranks. `false` for communicator management, whose
+        /// payload (e.g. the split color) legitimately differs.
+        payload_significant: bool,
+    },
+    /// Request completion (`MPI_Wait`, `MPI_Waitall`).
+    Completion,
+    /// No protocol meaning (custom key points).
+    Other,
 }
 
 /// Registry shared by all ranks of a run (the trace file stores one
@@ -174,6 +239,113 @@ mod tests {
     fn names_are_mpi_spelled() {
         assert_eq!(MpiCall::Allreduce.name(), "MPI_Allreduce");
         assert_eq!(MpiCall::CommSplit.name(), "MPI_Comm_split");
+    }
+}
+
+#[cfg(test)]
+mod kind_tests {
+    use super::*;
+    use pythia_core::analyze::{classify, EventClass};
+
+    const ALL: [MpiCall; 20] = [
+        MpiCall::Send,
+        MpiCall::Recv,
+        MpiCall::Isend,
+        MpiCall::Irecv,
+        MpiCall::Wait,
+        MpiCall::Waitall,
+        MpiCall::Barrier,
+        MpiCall::Bcast,
+        MpiCall::Reduce,
+        MpiCall::Allreduce,
+        MpiCall::Alltoall,
+        MpiCall::Gather,
+        MpiCall::Allgather,
+        MpiCall::Scatter,
+        MpiCall::Sendrecv,
+        MpiCall::Scan,
+        MpiCall::ReduceScatter,
+        MpiCall::CommDup,
+        MpiCall::CommSplit,
+        MpiCall::Custom("omp_region"),
+    ];
+
+    /// The declarative metadata here and the name-based classifier in
+    /// `pythia_core::analyze::protocol` must agree on every variant: the
+    /// analyzer sees only interned names, so a drift between the two would
+    /// silently blind the verifier to a call.
+    #[test]
+    fn kind_agrees_with_core_classifier() {
+        for call in ALL {
+            let payload = Some(3);
+            let class = classify(call.name(), payload);
+            match call.kind() {
+                MpiCallKind::Send { blocking } => {
+                    assert_eq!(class, EventClass::Send { dest: 3, blocking }, "{call:?}")
+                }
+                MpiCallKind::Recv { blocking } => assert_eq!(
+                    class,
+                    EventClass::Recv {
+                        source: 3,
+                        blocking
+                    },
+                    "{call:?}"
+                ),
+                MpiCallKind::SendRecv => {
+                    assert_eq!(class, EventClass::SendRecv { dest: 3 }, "{call:?}")
+                }
+                MpiCallKind::Collective {
+                    payload_significant,
+                } => {
+                    let EventClass::Collective { token } = class else {
+                        panic!("{call:?} classified as {class:?}");
+                    };
+                    let EventClass::Collective { token: other } = classify(call.name(), Some(4))
+                    else {
+                        panic!("{call:?} with different payload left Collective");
+                    };
+                    assert_eq!(
+                        token != other,
+                        payload_significant,
+                        "{call:?}: payload significance drifted"
+                    );
+                }
+                MpiCallKind::Completion => {
+                    assert_eq!(class, EventClass::Completion, "{call:?}")
+                }
+                MpiCallKind::Other => assert_eq!(class, EventClass::Other, "{call:?}"),
+            }
+        }
+    }
+
+    /// `MPI_ANY_SOURCE` spelling: a `-1` receive payload classifies as a
+    /// wildcard, for blocking and nonblocking receives alike.
+    #[test]
+    fn any_source_payload_is_wildcard() {
+        for call in [MpiCall::Recv, MpiCall::Irecv] {
+            match classify(call.name(), Some(-1)) {
+                EventClass::Recv { source, .. } => assert_eq!(source, -1),
+                c => panic!("{call:?} classified as {c:?}"),
+            }
+        }
+    }
+
+    /// Every blocking synchronization point the runtime queries the oracle
+    /// at is either a collective or a completion — the kinds the verifier
+    /// can match across ranks without a payload.
+    #[test]
+    fn blocking_sync_points_are_matchable() {
+        for call in ALL {
+            if call.is_blocking_sync() {
+                assert!(
+                    matches!(
+                        call.kind(),
+                        MpiCallKind::Collective { .. } | MpiCallKind::Completion
+                    ),
+                    "{call:?}"
+                );
+            }
+        }
     }
 }
 

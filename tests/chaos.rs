@@ -36,6 +36,19 @@ fn silencing_panics<T>(f: impl FnOnce() -> T) -> T {
     out
 }
 
+/// When `PYTHIA_CHAOS_TRACE_DIR` is set (the `ci.sh` sanitize pass), save
+/// each recorded reference trace there so `pythia-analyze` can be run over
+/// the suite's real traces offline.
+fn dump_trace(name: &str, trace: &TraceData) {
+    if let Ok(dir) = std::env::var("PYTHIA_CHAOS_TRACE_DIR") {
+        let dir = std::path::Path::new(&dir);
+        std::fs::create_dir_all(dir).expect("create PYTHIA_CHAOS_TRACE_DIR");
+        trace
+            .save(dir.join(format!("{name}.trace")))
+            .expect("dump chaos trace");
+    }
+}
+
 fn panic_faults() -> ResilienceConfig {
     ResilienceConfig {
         faults: Some(FaultPlan {
@@ -85,6 +98,7 @@ fn lulesh_omp_completes_under_forced_predict_panics() {
 fn mpi_app_completes_under_forced_predict_panics() {
     let app = find_app("MG").unwrap();
     let trace = record_trace(app.as_ref(), 4, WorkingSet::Small, WorkScale::ZERO);
+    dump_trace("mg_4ranks", &trace);
     let mode = MpiMode::predict_resilient(trace, vec![1], panic_faults());
     let res =
         silencing_panics(|| run_app(app.as_ref(), 4, WorkingSet::Small, mode, WorkScale::ZERO));
@@ -112,6 +126,7 @@ fn mpi_app_completes_under_forced_predict_panics() {
 fn lossy_event_channel_quarantines_instead_of_lying() {
     let app = find_app("CG").unwrap();
     let trace = record_trace(app.as_ref(), 2, WorkingSet::Small, WorkScale::ZERO);
+    dump_trace("cg_2ranks", &trace);
     let resilience = ResilienceConfig {
         breaker: BreakerConfig {
             window: 8,
@@ -154,6 +169,7 @@ fn lossy_event_channel_quarantines_instead_of_lying() {
 fn slow_predictor_trips_deadline_and_quarantines() {
     let app = find_app("EP").unwrap();
     let trace = record_trace(app.as_ref(), 2, WorkingSet::Small, WorkScale::ZERO);
+    dump_trace("ep_2ranks", &trace);
     let resilience = ResilienceConfig {
         time_budget: Some(Duration::from_micros(20)),
         breaker: BreakerConfig {
@@ -188,6 +204,7 @@ fn slow_predictor_trips_deadline_and_quarantines() {
 fn corrupted_trace_bytes_never_panic() {
     let app = find_app("FT").unwrap();
     let trace = record_trace(app.as_ref(), 2, WorkingSet::Small, WorkScale::ZERO);
+    dump_trace("ft_2ranks", &trace);
     let bytes = trace.to_bytes().to_vec();
     for seed in 0..64u64 {
         let mutated = corrupt_bytes(&bytes, seed, 8);
@@ -213,6 +230,7 @@ fn corrupted_trace_bytes_never_panic() {
 fn default_config_follows_env_chaos() {
     let app = find_app("MG").unwrap();
     let trace = record_trace(app.as_ref(), 2, WorkingSet::Small, WorkScale::ZERO);
+    dump_trace("mg_2ranks", &trace);
     let res = silencing_panics(|| {
         run_app(
             app.as_ref(),
