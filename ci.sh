@@ -16,6 +16,27 @@ cargo test -q --test chaos
 PYTHIA_CHAOS="panic-predict" cargo test -q --test chaos
 PYTHIA_CHAOS="drop=7,dup=13,slow-predict-us=5" cargo test -q --test chaos
 
+# Crash-recovery pass: a durable multi-rank recording (crash_record) is
+# kill -9'ed at a random point mid-run; `pythia-analyze recover` must
+# rebuild the run from the surviving journal/checkpoint sidecars, and the
+# recovered trace must load strictly and analyze without errors.
+CRASH=$(mktemp -d)
+target/release/crash_record "$CRASH/run.pythia" 2 50000000 >"$CRASH/record.log" 2>&1 &
+CRASH_PID=$!
+n=0
+while [ ! -f "$CRASH/run.pythia.r0.journal" ]; do
+    n=$((n + 1))
+    [ "$n" -lt 200 ] || { echo "ci: crash_record never started journaling"; exit 1; }
+    sleep 0.05
+done
+sleep "$(awk 'BEGIN{srand(); printf "%.2f", 0.2 + rand() * 0.8}')"
+kill -9 "$CRASH_PID" 2>/dev/null || true
+wait "$CRASH_PID" 2>/dev/null || true
+[ ! -f "$CRASH/run.pythia" ] || { echo "ci: crash_record finished before the kill"; exit 1; }
+target/release/pythia-analyze recover --out "$CRASH/recovered.pythia" "$CRASH/run.pythia"
+target/release/pythia-analyze --deny errors "$CRASH/recovered.pythia" >/dev/null
+rm -rf "$CRASH"
+
 # Optional sanitize pass (PYTHIA_CI_SANITIZE=1): core tests under Miri
 # where the toolchain has it, then `pythia-analyze --deny warnings` over
 # the chaos suite's recorded traces. Clean recordings must analyze clean;

@@ -28,7 +28,7 @@ fn regular_trace() -> TraceData {
         rec.record(EventId(3));
     }
     rec.record(EventId(11));
-    rec.finish(&EventRegistry::new())
+    rec.finish(&EventRegistry::new()).unwrap()
 }
 
 /// A Quicksilver-like irregular trace: pseudo-random event stream.
@@ -44,7 +44,7 @@ fn irregular_trace() -> TraceData {
         state ^= state << 17;
         rec.record(EventId((state % 24) as u32));
     }
-    rec.finish(&EventRegistry::new())
+    rec.finish(&EventRegistry::new()).unwrap()
 }
 
 fn synced_predictor(trace: &TraceData, warmup: &[u32]) -> Predictor {

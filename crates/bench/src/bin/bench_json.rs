@@ -31,6 +31,7 @@ use pythia_core::analyze::protocol::{profile_from_events, profile_from_grammar, 
 use pythia_core::analyze::ClassTable;
 use pythia_core::event::{EventId, EventRegistry};
 use pythia_core::oracle::Oracle;
+use pythia_core::persist::PersistConfig;
 use pythia_core::predict::path::Path;
 use pythia_core::predict::walker::{Outcome, Walker};
 use pythia_core::predict::{Predictor, PredictorConfig};
@@ -58,7 +59,7 @@ fn regular_trace() -> TraceData {
         rec.record(EventId(3));
     }
     rec.record(EventId(11));
-    rec.finish(&EventRegistry::new())
+    rec.finish(&EventRegistry::new()).unwrap()
 }
 
 /// A Quicksilver-like irregular trace: pseudo-random event stream.
@@ -74,7 +75,7 @@ fn irregular_trace() -> TraceData {
         state ^= state << 17;
         rec.record(EventId((state % 24) as u32));
     }
-    rec.finish(&EventRegistry::new())
+    rec.finish(&EventRegistry::new()).unwrap()
 }
 
 /// The pre-cache observe algorithm, replicated on the public walker API as
@@ -174,7 +175,7 @@ fn lulesh_shaped_trace(ranks: i64, iters: u64) -> TraceData {
             rec.record(reg.intern("MPI_Allreduce", Some(8)));
         }
         rec.record(reg.intern("MPI_Barrier", Some(0)));
-        threads.push(rec.finish_thread());
+        threads.push(rec.finish_thread().unwrap());
     }
     TraceData::from_threads(threads, reg)
 }
@@ -339,6 +340,70 @@ fn main() {
         std::hint::black_box(poisoned.predict_event(1).most_likely());
     });
 
+    // Durability: journaling cost of a durable recorder over the plain
+    // in-memory record path, on a LULESH-shaped rank-0 event stream at the
+    // default flush budget (journal frames land in the page cache; no
+    // per-flush fsync by default, snapshots don't fire at this length).
+    // Budgeted at < 10 % per-event overhead. Plain and durable reps are
+    // interleaved and summarized by the median, so filesystem jitter or a
+    // scheduling hiccup lands on both sides instead of skewing the ratio.
+    let lulesh = lulesh_shaped_trace(8, 8_000);
+    let record_stream: Vec<EventId> = lulesh.thread(0).unwrap().grammar.unfold();
+    let record_reps = iters.clamp(5, 15);
+    let tmp = std::env::temp_dir().join(format!("pythia-bench-journal-{}", std::process::id()));
+    std::fs::create_dir_all(&tmp).expect("bench tmp dir");
+    let trace_path = tmp.join("bench.pythia");
+    let run_plain = |stream: &[EventId]| {
+        let mut rec = Recorder::new(RecordConfig {
+            timestamps: true,
+            validate: false,
+        });
+        let mut t = 0u64;
+        for &e in stream {
+            t += 100;
+            rec.record_at(e, t);
+        }
+        std::hint::black_box(rec.finish_thread().unwrap().event_count);
+    };
+    let run_durable = |stream: &[EventId], path: &std::path::Path| {
+        let mut rec = Recorder::durable(
+            RecordConfig {
+                timestamps: true,
+                validate: false,
+            },
+            path,
+            0,
+            PersistConfig::default(),
+        )
+        .expect("durable recorder");
+        let mut t = 0u64;
+        for &e in stream {
+            t += 100;
+            rec.record_at(e, t);
+        }
+        std::hint::black_box(rec.finish_thread().unwrap().event_count);
+    };
+    run_plain(&record_stream);
+    run_durable(&record_stream, &trace_path);
+    let mut plain_samples = Vec::with_capacity(record_reps);
+    let mut durable_samples = Vec::with_capacity(record_reps);
+    for _ in 0..record_reps {
+        let t0 = Instant::now();
+        run_plain(&record_stream);
+        plain_samples.push(t0.elapsed().as_nanos() as f64);
+        let t0 = Instant::now();
+        run_durable(&record_stream, &trace_path);
+        durable_samples.push(t0.elapsed().as_nanos() as f64);
+    }
+    let median = |samples: &mut Vec<f64>| {
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        samples[samples.len() / 2]
+    };
+    let plain_record_ns = median(&mut plain_samples) / record_stream.len() as f64;
+    let durable_record_ns = median(&mut durable_samples) / record_stream.len() as f64;
+    pythia_core::persist::remove_sidecars(&trace_path);
+    std::fs::remove_dir_all(&tmp).ok();
+
     // Static analysis: linter + protocol verifier in the compressed domain
     // vs the same verdict computed by decompress-and-scan, at growing
     // iteration counts. The grammar barely changes as iterations multiply,
@@ -410,6 +475,12 @@ fn main() {
         "hardened_overhead_pct": overhead_pct,
         "degraded_predict_ns": degraded_ns,
     });
+    let persist_json = serde_json::json!({
+        "record_events": record_stream.len(),
+        "plain_record_ns_per_event": plain_record_ns,
+        "durable_record_ns_per_event": durable_record_ns,
+        "journal_overhead_pct": (durable_record_ns / plain_record_ns - 1.0) * 100.0,
+    });
     let doc = serde_json::json!({
         "bench": "oracle_hot_path",
         "iters": iters,
@@ -420,6 +491,7 @@ fn main() {
         "observe_reseed_heavy_speedup": reseed_baseline_ns / reseed_ns,
         "predict": predict_json,
         "resilience": resilience_json,
+        "persist": persist_json,
         "analyze": serde_json::Value::Array(analyze_rows),
     });
     let text = serde_json::to_string_pretty(&doc).expect("serialize");

@@ -97,13 +97,13 @@ fn pass_selection_flags_suppress_findings() {
         validate: false,
     });
     rec.record(send);
-    let t0 = rec.finish_thread();
+    let t0 = rec.finish_thread().unwrap();
     let mut rec = pythia_core::record::Recorder::new(pythia_core::record::RecordConfig {
         timestamps: false,
         validate: false,
     });
     rec.record(reg.intern("compute", None));
-    let t1 = rec.finish_thread();
+    let t1 = rec.finish_thread().unwrap();
     let trace = pythia_core::trace::TraceData::from_threads(vec![t0, t1], reg);
 
     let dir = std::env::temp_dir().join(format!("pythia-analyze-flags-{}", std::process::id()));

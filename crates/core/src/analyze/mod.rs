@@ -408,7 +408,7 @@ mod tests {
             rec.record(a);
             rec.record(b);
         }
-        rec.finish(&registry)
+        rec.finish(&registry).unwrap()
     }
 
     #[test]

@@ -317,7 +317,7 @@ mod tests {
                 rec.record(id);
             }
         }
-        rec.finish(&registry)
+        rec.finish(&registry).unwrap()
     }
 
     #[test]
@@ -346,7 +346,7 @@ mod tests {
             rec.record(a);
             rec.record(branches[i % 4]);
         }
-        let trace = rec.finish(&registry);
+        let trace = rec.finish(&registry).unwrap();
         let (rep, diags) = report(&trace, &AnalyzeConfig::default());
         assert!(
             diags.iter().any(|d| d.code == "low-predictability"),

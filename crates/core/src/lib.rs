@@ -44,7 +44,7 @@
 //!     rec.record(a);
 //!     rec.record(b);
 //! }
-//! let trace = rec.finish(&registry);
+//! let trace = rec.finish(&registry).unwrap();
 //!
 //! // Later execution: reload and predict.
 //! let mut pred = Predictor::new(&trace);
@@ -58,12 +58,14 @@ pub mod error;
 pub mod event;
 pub mod grammar;
 pub mod oracle;
+pub mod persist;
 pub mod predict;
 pub mod record;
 pub mod resilience;
 pub mod timing;
 pub mod trace;
 pub mod util;
+pub(crate) mod wire;
 
 /// Convenient re-exports of the most commonly used types.
 pub mod prelude {
@@ -72,6 +74,7 @@ pub mod prelude {
     pub use crate::event::{EventDesc, EventId, EventRegistry};
     pub use crate::grammar::{Grammar, RuleId, Symbol, SymbolUse};
     pub use crate::oracle::{Oracle, OracleMode};
+    pub use crate::persist::{PersistConfig, RecoverReport};
     pub use crate::predict::{Prediction, Predictor, PredictorConfig};
     pub use crate::record::{RecordConfig, Recorder};
     pub use crate::resilience::{

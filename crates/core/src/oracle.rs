@@ -168,12 +168,13 @@ impl Oracle {
         }
     }
 
-    /// Finishes a recording oracle into its thread trace (`None` for other
-    /// modes).
-    pub fn finish(self) -> Option<ThreadTrace> {
+    /// Finishes a recording oracle into its thread trace (`Ok(None)` for
+    /// other modes). Errors when a durable recorder could not persist its
+    /// journal (see [`Recorder::finish_thread`]).
+    pub fn finish(self) -> Result<Option<ThreadTrace>> {
         match self {
-            Oracle::Record(r) => Some(r.finish_thread()),
-            _ => None,
+            Oracle::Record(r) => r.finish_thread().map(Some),
+            _ => Ok(None),
         }
     }
 }
@@ -195,7 +196,7 @@ mod tests {
         assert!(!o.predict_event(1).is_informed());
         assert_eq!(o.predict_delay(1), None);
         assert_eq!(o.recorded_events(), 0);
-        assert!(o.finish().is_none());
+        assert!(o.finish().unwrap().is_none());
     }
 
     #[test]
@@ -214,7 +215,7 @@ mod tests {
             o.event_at(b, t);
         }
         assert_eq!(o.recorded_events(), 60);
-        let thread = o.finish().unwrap();
+        let thread = o.finish().unwrap().unwrap();
         let trace = TraceData::from_threads(vec![thread], registry);
 
         // Subsequent execution.
@@ -242,7 +243,7 @@ mod tests {
             rec.events(&[a, b, c]);
         }
         assert_eq!(rec.recorded_events(), 60);
-        let trace = TraceData::from_threads(vec![rec.finish().unwrap()], registry);
+        let trace = TraceData::from_threads(vec![rec.finish().unwrap().unwrap()], registry);
 
         let mut one = Oracle::predict(&trace, 0, PredictorConfig::default()).unwrap();
         let mut batched = Oracle::predict(&trace, 0, PredictorConfig::default()).unwrap();

@@ -1,0 +1,215 @@
+//! Incremental grammar snapshots: every N events the recorder serializes
+//! its current grammar (compacted), the covered timestamp prefix, and a
+//! snapshot of the event registry to `<ckpt>.tmp`, then atomically
+//! renames over the previous checkpoint. Sequitur's strictly incremental
+//! construction makes the grammar checkpointable at *any* event boundary:
+//! replaying the checkpoint's unfolded prefix through a fresh recorder
+//! reproduces the builder state exactly.
+//!
+//! Layout (whole-file CRC32 in the last 4 bytes, over everything before
+//! it):
+//!
+//! ```text
+//! magic[8] version:u32 flags:u32 event_count:u64
+//! registry grammar [ts_count:u64 ts:u64*]  crc:u32
+//! ```
+
+use std::path::Path;
+
+use bytes::{BufMut, BytesMut};
+
+use crate::error::{Error, Result};
+use crate::event::EventRegistry;
+use crate::grammar::Grammar;
+use crate::persist::crc::crc32;
+use crate::persist::io::{atomic_write_with, IoFaultInjector};
+use crate::wire;
+
+pub(crate) const CKPT_MAGIC: &[u8; 8] = b"PYCKPT\x00\x01";
+pub(crate) const CKPT_VERSION: u32 = 1;
+const FLAG_TIMESTAMPS: u32 = 1;
+
+/// A deserialized checkpoint: everything needed to rebuild the recorder
+/// state that covered the first `event_count` events.
+#[derive(Debug)]
+pub(crate) struct Checkpoint {
+    pub event_count: u64,
+    pub grammar: Grammar,
+    /// One timestamp per covered event, empty when the recording does not
+    /// log timestamps.
+    pub timestamps_ns: Vec<u64>,
+    /// Registry snapshot at checkpoint time (a prefix of the append-only
+    /// shared registry); empty when the recorder has no registry handle.
+    pub registry: EventRegistry,
+}
+
+/// Serializes and atomically writes a checkpoint over `path`.
+pub(crate) fn write_checkpoint(
+    path: &Path,
+    event_count: u64,
+    grammar: &Grammar,
+    timestamps_ns: Option<&[u64]>,
+    registry: &EventRegistry,
+    inj: &mut IoFaultInjector,
+) -> Result<()> {
+    let mut buf = BytesMut::new();
+    buf.put_slice(CKPT_MAGIC);
+    buf.put_u32_le(CKPT_VERSION);
+    buf.put_u32_le(if timestamps_ns.is_some() {
+        FLAG_TIMESTAMPS
+    } else {
+        0
+    });
+    buf.put_u64_le(event_count);
+    wire::put_registry(&mut buf, registry);
+    wire::put_grammar(&mut buf, grammar);
+    if let Some(ts) = timestamps_ns {
+        debug_assert_eq!(ts.len() as u64, event_count);
+        buf.put_u64_le(ts.len() as u64);
+        for &t in ts {
+            buf.put_u64_le(t);
+        }
+    }
+    let crc = crc32(&buf);
+    buf.put_u32_le(crc);
+    atomic_write_with(path, &buf, inj)
+}
+
+/// Loads and CRC-verifies the checkpoint at `path`. Any damage — torn
+/// write, bit rot, foreign file — is an error; the caller falls back to
+/// replaying the journal from its earliest frame.
+pub(crate) fn read_checkpoint(path: &Path) -> Result<Checkpoint> {
+    let data = std::fs::read(path)?;
+    let mut buf: &[u8] = &data;
+    let magic = wire::take(&mut buf, CKPT_MAGIC.len()).map_err(|_| Error::BadMagic)?;
+    if magic != CKPT_MAGIC {
+        return Err(Error::BadMagic);
+    }
+    let version = wire::get_u32(&mut buf)?;
+    if version != CKPT_VERSION {
+        return Err(Error::UnsupportedVersion(version));
+    }
+    if buf.len() < 4 {
+        return Err(Error::Corrupt("checkpoint too short for crc".into()));
+    }
+    let body_len = data.len() - 4;
+    let mut crc_bytes: &[u8] = &data[body_len..];
+    let stored = wire::get_u32(&mut crc_bytes)?;
+    if crc32(&data[..body_len]) != stored {
+        return Err(Error::Corrupt("checkpoint crc mismatch".into()));
+    }
+    // Re-anchor the cursor on the CRC-covered body, past magic + version
+    // (12 bytes) — flags onwards is still unread.
+    let mut buf: &[u8] = &data[12..body_len];
+    let flags = wire::get_u32(&mut buf)?;
+    let event_count = wire::get_u64(&mut buf)?;
+    let registry = wire::get_registry(&mut buf)?;
+    let grammar = wire::get_grammar(&mut buf)?;
+    let timestamps_ns = if flags & FLAG_TIMESTAMPS != 0 {
+        let n = wire::get_u64(&mut buf)? as usize;
+        if n != buf.len() / 8 || !buf.len().is_multiple_of(8) {
+            return Err(Error::Corrupt(format!(
+                "timestamp count {n} disagrees with {} remaining bytes",
+                buf.len()
+            )));
+        }
+        let mut ts = Vec::with_capacity(n);
+        for _ in 0..n {
+            ts.push(wire::get_u64(&mut buf)?);
+        }
+        ts
+    } else {
+        Vec::new()
+    };
+    if !buf.is_empty() {
+        return Err(Error::Corrupt(format!(
+            "{} trailing bytes in checkpoint",
+            buf.len()
+        )));
+    }
+    Ok(Checkpoint {
+        event_count,
+        grammar,
+        timestamps_ns,
+        registry,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{RecordConfig, Recorder};
+    use crate::resilience::FaultPlan;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("pythia-ckpt-{name}-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d.join("c.ckpt")
+    }
+
+    fn sample() -> (Grammar, Vec<u64>, EventRegistry) {
+        let mut registry = EventRegistry::new();
+        let a = registry.intern("a", None);
+        let b = registry.intern("b", Some(3));
+        let mut rec = Recorder::new(RecordConfig {
+            timestamps: true,
+            validate: false,
+        });
+        let mut ts = Vec::new();
+        for i in 0..40u64 {
+            let e = if i % 2 == 0 { a } else { b };
+            rec.record_at(e, i * 10);
+            ts.push(i * 10);
+        }
+        (rec.grammar().compact(), ts, registry)
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore)]
+    fn roundtrip() {
+        let (g, ts, reg) = sample();
+        let p = tmp("roundtrip");
+        let mut inj = IoFaultInjector::new(FaultPlan::none());
+        write_checkpoint(&p, 40, &g, Some(&ts), &reg, &mut inj).unwrap();
+        let c = read_checkpoint(&p).unwrap();
+        assert_eq!(c.event_count, 40);
+        assert_eq!(c.grammar.unfold(), g.unfold());
+        assert_eq!(c.timestamps_ns, ts);
+        assert_eq!(c.registry.len(), 2);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore)]
+    fn every_truncation_and_bitflip_rejected() {
+        let (g, ts, reg) = sample();
+        let p = tmp("fuzz");
+        let mut inj = IoFaultInjector::new(FaultPlan::none());
+        write_checkpoint(&p, 40, &g, Some(&ts), &reg, &mut inj).unwrap();
+        let data = std::fs::read(&p).unwrap();
+        for cut in 0..data.len() {
+            assert!(
+                read_ckpt_bytes(&data[..cut]).is_err(),
+                "truncation at {cut} accepted"
+            );
+        }
+        for seed in 0..64u64 {
+            let m = crate::resilience::faults::corrupt_bytes(&data, seed, 1);
+            if m != data {
+                assert!(
+                    read_ckpt_bytes(&m).is_err(),
+                    "bit flip (seed {seed}) accepted"
+                );
+            }
+        }
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[cfg(not(miri))]
+    fn read_ckpt_bytes(bytes: &[u8]) -> Result<Checkpoint> {
+        let p = tmp("scratch");
+        std::fs::write(&p, bytes).unwrap();
+        read_checkpoint(&p)
+    }
+}

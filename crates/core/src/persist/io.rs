@@ -1,0 +1,227 @@
+//! Crash-safe file primitives: atomic replace-by-rename writes with
+//! fsync of both the file and its parent directory, and deterministic
+//! IO fault injection (torn writes, silently short writes, failed
+//! renames) driven by the same [`FaultPlan`] as PR 3's event-channel
+//! chaos.
+
+use std::fs::{self, File};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::error::{Error, Result};
+use crate::resilience::FaultPlan;
+
+/// Appends `suffix` to the *full* file name of `path` (extension
+/// included): `t.pythia` + `.tmp` → `t.pythia.tmp`.
+pub(crate) fn sibling(path: &Path, suffix: &str) -> PathBuf {
+    let mut s = path.as_os_str().to_os_string();
+    s.push(suffix);
+    PathBuf::from(s)
+}
+
+/// What the injector decided for one file write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WriteFault {
+    /// Write everything.
+    Full,
+    /// Write a prefix, then fail — the crash-mid-write shape.
+    Torn,
+    /// Write a prefix and report success — the lying-disk shape, caught
+    /// only by checksums.
+    Short,
+}
+
+/// Applies the IO faults of a [`FaultPlan`] deterministically — by write
+/// and rename counters, not random draws — so a failing chaos test
+/// replays identically (same discipline as
+/// [`crate::resilience::FaultInjector`] for the event channel).
+#[derive(Debug)]
+pub struct IoFaultInjector {
+    plan: FaultPlan,
+    writes: u64,
+    renames: u64,
+}
+
+impl IoFaultInjector {
+    /// An injector applying `plan`'s IO faults.
+    pub fn new(plan: FaultPlan) -> Self {
+        IoFaultInjector {
+            plan,
+            writes: 0,
+            renames: 0,
+        }
+    }
+
+    /// An injector from the `PYTHIA_CHAOS` environment variable (inactive
+    /// when unset).
+    pub fn from_env() -> Self {
+        Self::new(FaultPlan::from_env().unwrap_or_default())
+    }
+
+    /// Whether any IO fault is configured.
+    pub fn is_active(&self) -> bool {
+        self.plan.torn_write_every > 0
+            || self.plan.short_write_every > 0
+            || self.plan.rename_fail_every > 0
+    }
+
+    pub(crate) fn next_write(&mut self) -> WriteFault {
+        self.writes += 1;
+        let hits = |every: u64| every > 0 && self.writes.is_multiple_of(every);
+        if hits(self.plan.torn_write_every) {
+            WriteFault::Torn
+        } else if hits(self.plan.short_write_every) {
+            WriteFault::Short
+        } else {
+            WriteFault::Full
+        }
+    }
+
+    pub(crate) fn next_rename_fails(&mut self) -> bool {
+        self.renames += 1;
+        self.plan.rename_fail_every > 0 && self.renames.is_multiple_of(self.plan.rename_fail_every)
+    }
+}
+
+fn injected(kind: &str) -> Error {
+    Error::Io(std::io::Error::other(format!("injected {kind} fault")))
+}
+
+/// Writes `bytes` to `file`, applying the injector's write faults. A torn
+/// write persists a prefix and errors; a short write persists a prefix
+/// and *succeeds* silently.
+pub(crate) fn write_all_injected(
+    file: &mut File,
+    bytes: &[u8],
+    inj: &mut IoFaultInjector,
+) -> Result<()> {
+    match inj.next_write() {
+        WriteFault::Full => {
+            file.write_all(bytes)?;
+            Ok(())
+        }
+        WriteFault::Torn => {
+            file.write_all(&bytes[..bytes.len() / 2])?;
+            let _ = file.sync_data();
+            Err(injected("torn-write"))
+        }
+        WriteFault::Short => {
+            file.write_all(&bytes[..bytes.len() / 2])?;
+            Ok(())
+        }
+    }
+}
+
+/// Best-effort fsync of the directory containing `path`, so a completed
+/// rename survives power loss. Directory handles cannot be opened on
+/// every platform; failure to *open* is ignored, failure to *sync* an
+/// opened handle is not.
+fn sync_parent_dir(path: &Path) -> Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Ok(d) = File::open(dir) {
+                d.sync_all()?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Atomically replaces `path` with `bytes`: write `<path>.tmp`, fsync it,
+/// rename over `path`, fsync the parent directory. A crash at any point
+/// leaves either the old file or the new file — never a torn mix. IO
+/// faults come from the `PYTHIA_CHAOS` environment.
+pub fn atomic_write(path: impl AsRef<Path>, bytes: &[u8]) -> Result<()> {
+    atomic_write_with(path.as_ref(), bytes, &mut IoFaultInjector::from_env())
+}
+
+/// [`atomic_write`] with an explicit fault injector (tests pin plans
+/// instead of mutating the process environment).
+pub fn atomic_write_with(path: &Path, bytes: &[u8], inj: &mut IoFaultInjector) -> Result<()> {
+    let tmp = sibling(path, ".tmp");
+    let mut file = File::create(&tmp)?;
+    write_all_injected(&mut file, bytes, inj)?;
+    file.sync_all()?;
+    drop(file);
+    if inj.next_rename_fails() {
+        return Err(injected("rename-fail"));
+    }
+    fs::rename(&tmp, path)?;
+    sync_parent_dir(path)?;
+    Ok(())
+}
+
+#[cfg(test)]
+#[cfg_attr(miri, allow(unused))]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("pythia-persist-io-{name}-{}", std::process::id()));
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore)]
+    fn atomic_write_replaces_contents() {
+        let dir = tmp_dir("replace");
+        let p = dir.join("f.bin");
+        atomic_write(&p, b"old").unwrap();
+        atomic_write(&p, b"new contents").unwrap();
+        assert_eq!(fs::read(&p).unwrap(), b"new contents");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore)]
+    fn torn_write_leaves_old_file_intact() {
+        let dir = tmp_dir("torn");
+        let p = dir.join("f.bin");
+        atomic_write(&p, b"the original payload").unwrap();
+        let mut inj = IoFaultInjector::new(FaultPlan {
+            torn_write_every: 1,
+            ..FaultPlan::none()
+        });
+        let err = atomic_write_with(&p, b"replacement that tears", &mut inj).unwrap_err();
+        assert!(err.to_string().contains("torn-write"), "{err}");
+        assert_eq!(fs::read(&p).unwrap(), b"the original payload");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore)]
+    fn rename_fail_leaves_old_file_and_tmp() {
+        let dir = tmp_dir("rename");
+        let p = dir.join("f.bin");
+        atomic_write(&p, b"old").unwrap();
+        let mut inj = IoFaultInjector::new(FaultPlan {
+            rename_fail_every: 1,
+            ..FaultPlan::none()
+        });
+        let err = atomic_write_with(&p, b"new", &mut inj).unwrap_err();
+        assert!(err.to_string().contains("rename-fail"), "{err}");
+        assert_eq!(fs::read(&p).unwrap(), b"old");
+        assert_eq!(fs::read(sibling(&p, ".tmp")).unwrap(), b"new");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injector_schedules_are_deterministic() {
+        let plan = FaultPlan {
+            torn_write_every: 3,
+            short_write_every: 2,
+            ..FaultPlan::none()
+        };
+        let run = || {
+            let mut inj = IoFaultInjector::new(plan.clone());
+            (0..8).map(|_| inj.next_write()).collect::<Vec<_>>()
+        };
+        let a = run();
+        assert_eq!(a, run());
+        // Write 2 short, 3 torn, 4 short, 6 torn (torn checked first), 8 short.
+        use WriteFault::*;
+        assert_eq!(a, vec![Full, Short, Torn, Short, Full, Torn, Full, Short]);
+    }
+}

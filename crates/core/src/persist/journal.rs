@@ -1,0 +1,434 @@
+//! The per-thread write-ahead journal: raw events (and registry deltas)
+//! in CRC32-framed, monotonically-sequenced chunks.
+//!
+//! File layout:
+//!
+//! ```text
+//! header   := magic[8] version:u32 flags:u32          (flags bit0: timestamps)
+//! frame    := kind:u8 len:u32 first:u64 crc:u32 payload[len]
+//! events   := (kind 0) count:u32 { event:uvarint [ts_delta:uvarint] }*
+//!             first = absolute index of event 0; ts_delta is relative to
+//!             the previous event *in the frame* (the first event's delta
+//!             is its absolute timestamp), so a typical event costs 2-3
+//!             bytes instead of 12
+//! registry := (kind 1) count:u32 { desc }*                 first = absolute
+//!                                                          index of desc 0
+//! ```
+//!
+//! `first` is the frame's monotonic sequence number *in event (resp.
+//! descriptor) space*: recovery uses it to skip frames already covered by
+//! a checkpoint — which also makes the crash window between checkpoint
+//! rename and journal truncation safe (duplicate frames are simply
+//! skipped). The CRC covers the payload only; a frame whose header or
+//! payload is incomplete, or whose CRC mismatches, is a *torn tail*:
+//! everything from that offset on is discarded and reported, never
+//! parsed.
+
+use std::fs::File;
+use std::io::{Seek, SeekFrom};
+use std::path::Path;
+
+use bytes::{BufMut, BytesMut};
+
+use crate::error::{Error, Result};
+use crate::event::EventId;
+use crate::persist::crc::crc32;
+use crate::persist::io::{write_all_injected, IoFaultInjector};
+use crate::wire;
+
+pub(crate) const JOURNAL_MAGIC: &[u8; 8] = b"PYJRNL\x00\x01";
+pub(crate) const JOURNAL_VERSION: u32 = 1;
+const HEADER_LEN: u64 = 16;
+/// kind + len + first + crc.
+const FRAME_HEADER_LEN: usize = 1 + 4 + 8 + 4;
+const KIND_EVENTS: u8 = 0;
+const KIND_REGISTRY: u8 = 1;
+const FLAG_TIMESTAMPS: u32 = 1;
+
+/// Appends CRC-framed chunks to a journal file.
+///
+/// The caller (the recorder) stages the serialized event payload itself;
+/// [`append_payload`](Self::append_payload) wraps it into a frame in a
+/// reusable buffer and issues one `write(2)` — zero per-flush allocation
+/// on the record hot path.
+#[derive(Debug)]
+pub(crate) struct JournalWriter {
+    file: File,
+    /// Whether event frames carry timestamp deltas. The production
+    /// encoder lives in the recorder (which stages ready-made payloads);
+    /// only the test-side `append_events` helper consults this.
+    #[cfg_attr(not(test), allow(dead_code))]
+    timestamps: bool,
+    /// Reused frame buffer: header + count + payload, one `write(2)` per
+    /// frame.
+    frame: BytesMut,
+}
+
+impl JournalWriter {
+    /// Creates (truncating) the journal at `path` and writes its header.
+    pub fn create(path: &Path, timestamps: bool, inj: &mut IoFaultInjector) -> Result<Self> {
+        let mut file = File::create(path)?;
+        let mut header = BytesMut::with_capacity(HEADER_LEN as usize);
+        header.put_slice(JOURNAL_MAGIC);
+        header.put_u32_le(JOURNAL_VERSION);
+        header.put_u32_le(if timestamps { FLAG_TIMESTAMPS } else { 0 });
+        write_all_injected(&mut file, &header, inj)?;
+        Ok(JournalWriter {
+            file,
+            timestamps,
+            frame: BytesMut::new(),
+        })
+    }
+
+    /// Stamps the header of the frame built up in `buf` (whose first
+    /// `FRAME_HEADER_LEN` bytes are a placeholder) and writes it out.
+    fn write_frame(
+        file: &mut File,
+        buf: &mut BytesMut,
+        kind: u8,
+        first: u64,
+        inj: &mut IoFaultInjector,
+    ) -> Result<()> {
+        let payload_len = buf.len() - FRAME_HEADER_LEN;
+        let crc = crc32(&buf[FRAME_HEADER_LEN..]);
+        let mut header = BytesMut::with_capacity(FRAME_HEADER_LEN);
+        header.put_u8(kind);
+        header.put_u32_le(payload_len as u32);
+        header.put_u64_le(first);
+        header.put_u32_le(crc);
+        buf[..FRAME_HEADER_LEN].copy_from_slice(&header);
+        write_all_injected(file, buf, inj)
+    }
+
+    /// Appends one events frame whose payload (`count` serialized events,
+    /// in this journal's wire format) the caller staged; `first` is the
+    /// absolute index of the first payload event in the thread's stream.
+    pub fn append_payload(
+        &mut self,
+        first: u64,
+        count: usize,
+        payload: &[u8],
+        inj: &mut IoFaultInjector,
+    ) -> Result<()> {
+        self.frame.clear();
+        self.frame.reserve(FRAME_HEADER_LEN + 4 + payload.len());
+        self.frame.put_bytes(0, FRAME_HEADER_LEN);
+        self.frame.put_u32_le(count as u32);
+        self.frame.put_slice(payload);
+        Self::write_frame(&mut self.file, &mut self.frame, KIND_EVENTS, first, inj)
+    }
+
+    /// Appends one events frame; `first` is the absolute index of
+    /// `events[0]` in the thread's stream.
+    #[cfg(test)]
+    pub fn append_events(
+        &mut self,
+        first: u64,
+        events: &[(EventId, u64)],
+        inj: &mut IoFaultInjector,
+    ) -> Result<()> {
+        let mut payload = Vec::new();
+        let mut prev_ts = 0u64;
+        for &(e, ts) in events {
+            wire::put_varint(&mut payload, e.0 as u64);
+            if self.timestamps {
+                wire::put_varint(&mut payload, ts.wrapping_sub(prev_ts));
+                prev_ts = ts;
+            }
+        }
+        self.append_payload(first, events.len(), &payload, inj)
+    }
+
+    /// Appends one registry-delta frame; `first` is the absolute index of
+    /// `descs[0]` in the (append-only) registry. Uses its own buffer so
+    /// it can be written *before* the staged events frame (an event frame
+    /// must never name a descriptor the journal has not yet defined).
+    pub fn append_registry(
+        &mut self,
+        first: usize,
+        descs: &[(String, Option<i64>)],
+        inj: &mut IoFaultInjector,
+    ) -> Result<()> {
+        let mut buf = BytesMut::new();
+        buf.put_bytes(0, FRAME_HEADER_LEN);
+        buf.put_u32_le(descs.len() as u32);
+        for (name, p) in descs {
+            wire::put_desc(&mut buf, name, *p);
+        }
+        Self::write_frame(&mut self.file, &mut buf, KIND_REGISTRY, first as u64, inj)
+    }
+
+    /// Discards every frame (the covered prefix is now in a checkpoint):
+    /// the file shrinks back to its header.
+    pub fn truncate_frames(&mut self) -> Result<()> {
+        self.file.set_len(HEADER_LEN)?;
+        self.file.seek(SeekFrom::Start(HEADER_LEN))?;
+        Ok(())
+    }
+
+    /// Flushes the journal to stable storage.
+    pub fn sync(&self) -> Result<()> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+}
+
+/// One CRC-valid events frame.
+#[derive(Debug)]
+pub(crate) struct EventFrame {
+    /// Absolute index of the first event in this frame.
+    pub first: u64,
+    /// `(event, timestamp_ns)`; the timestamp is 0 when the journal does
+    /// not record timestamps.
+    pub events: Vec<(EventId, u64)>,
+}
+
+/// One CRC-valid registry-delta frame.
+#[derive(Debug)]
+pub(crate) struct RegistryFrame {
+    /// Absolute index of the first descriptor in this frame.
+    pub first: usize,
+    pub descs: Vec<(String, Option<i64>)>,
+}
+
+/// Everything salvageable from a journal file.
+#[derive(Debug, Default)]
+pub(crate) struct JournalContents {
+    pub timestamps: bool,
+    pub event_frames: Vec<EventFrame>,
+    pub registry_frames: Vec<RegistryFrame>,
+    /// Bytes discarded at the tail (torn frame, CRC mismatch, or
+    /// unparseable payload). 0 for a clean journal.
+    pub torn_tail_bytes: u64,
+}
+
+impl JournalContents {
+    /// Total events across all frames (before any checkpoint skipping).
+    pub fn event_count(&self) -> u64 {
+        self.event_frames
+            .iter()
+            .map(|f| f.events.len() as u64)
+            .sum()
+    }
+}
+
+fn parse_frame(buf: &mut &[u8]) -> Result<(u8, u64, Vec<u8>)> {
+    let kind = wire::get_u8(buf)?;
+    if kind != KIND_EVENTS && kind != KIND_REGISTRY {
+        return Err(Error::Corrupt(format!("bad journal frame kind {kind}")));
+    }
+    let len = wire::get_u32(buf)? as usize;
+    let first = wire::get_u64(buf)?;
+    let crc = wire::get_u32(buf)?;
+    let payload = wire::take(buf, len)?;
+    if crc32(payload) != crc {
+        return Err(Error::Corrupt("journal frame crc mismatch".into()));
+    }
+    Ok((kind, first, payload.to_vec()))
+}
+
+/// Reads a journal, salvaging every CRC-valid frame and truncating (in
+/// the returned view — the file is not modified) the torn tail.
+///
+/// Only the *file header* is load-bearing: a missing or foreign header is
+/// an error, while any damage after it degrades to a shorter journal.
+pub(crate) fn read_journal(path: &Path) -> Result<JournalContents> {
+    let data = std::fs::read(path)?;
+    let mut buf: &[u8] = &data;
+    let magic = wire::take(&mut buf, JOURNAL_MAGIC.len()).map_err(|_| Error::BadMagic)?;
+    if magic != JOURNAL_MAGIC {
+        return Err(Error::BadMagic);
+    }
+    let version = wire::get_u32(&mut buf)?;
+    if version != JOURNAL_VERSION {
+        return Err(Error::UnsupportedVersion(version));
+    }
+    let flags = wire::get_u32(&mut buf)?;
+    let timestamps = flags & FLAG_TIMESTAMPS != 0;
+
+    let mut out = JournalContents {
+        timestamps,
+        ..JournalContents::default()
+    };
+    while !buf.is_empty() {
+        let mut attempt = buf;
+        match parse_frame(&mut attempt) {
+            Ok((kind, first, payload)) => {
+                let mut p: &[u8] = &payload;
+                let parsed: Result<()> = (|| {
+                    let count = wire::get_u32(&mut p)? as usize;
+                    match kind {
+                        KIND_EVENTS => {
+                            // Every event costs at least one byte, so a
+                            // count beyond the payload size is corrupt.
+                            if count > p.len() {
+                                return Err(Error::Corrupt(format!(
+                                    "events frame count {count} exceeds payload size {}",
+                                    p.len()
+                                )));
+                            }
+                            let mut events = Vec::with_capacity(count);
+                            let mut prev_ts = 0u64;
+                            for _ in 0..count {
+                                let raw = wire::get_varint(&mut p)?;
+                                let e = EventId(u32::try_from(raw).map_err(|_| {
+                                    Error::Corrupt(format!("event id {raw} overflows u32"))
+                                })?);
+                                let ts = if timestamps {
+                                    prev_ts = prev_ts.wrapping_add(wire::get_varint(&mut p)?);
+                                    prev_ts
+                                } else {
+                                    0
+                                };
+                                events.push((e, ts));
+                            }
+                            if !p.is_empty() {
+                                return Err(Error::Corrupt(
+                                    "trailing bytes in events frame".into(),
+                                ));
+                            }
+                            out.event_frames.push(EventFrame { first, events });
+                        }
+                        _ => {
+                            if count > p.len() / 5 {
+                                return Err(Error::Corrupt(format!(
+                                    "implausible registry frame count {count}"
+                                )));
+                            }
+                            let mut descs = Vec::with_capacity(count);
+                            for _ in 0..count {
+                                descs.push(wire::get_desc(&mut p)?);
+                            }
+                            if !p.is_empty() {
+                                return Err(Error::Corrupt(
+                                    "trailing bytes in registry frame".into(),
+                                ));
+                            }
+                            out.registry_frames.push(RegistryFrame {
+                                first: first as usize,
+                                descs,
+                            });
+                        }
+                    }
+                    Ok(())
+                })();
+                if parsed.is_err() {
+                    // CRC-valid but semantically unparseable: treat as torn
+                    // from here (bounded loss beats a refused recovery).
+                    out.torn_tail_bytes = buf.len() as u64;
+                    break;
+                }
+                buf = attempt;
+            }
+            Err(_) => {
+                out.torn_tail_bytes = buf.len() as u64;
+                break;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resilience::FaultPlan;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("pythia-journal-{name}-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d.join("j.journal")
+    }
+
+    fn quiet() -> IoFaultInjector {
+        IoFaultInjector::new(FaultPlan::none())
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore)]
+    fn roundtrip_events_and_registry() {
+        let p = tmp("roundtrip");
+        let mut inj = quiet();
+        let mut w = JournalWriter::create(&p, true, &mut inj).unwrap();
+        w.append_registry(0, &[("a".into(), None), ("b".into(), Some(7))], &mut inj)
+            .unwrap();
+        w.append_events(0, &[(EventId(0), 10), (EventId(1), 20)], &mut inj)
+            .unwrap();
+        w.append_events(2, &[(EventId(0), 30)], &mut inj).unwrap();
+        w.sync().unwrap();
+
+        let j = read_journal(&p).unwrap();
+        assert!(j.timestamps);
+        assert_eq!(j.torn_tail_bytes, 0);
+        assert_eq!(j.event_count(), 3);
+        assert_eq!(j.event_frames[1].first, 2);
+        assert_eq!(j.registry_frames[0].descs[1], ("b".into(), Some(7)));
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore)]
+    fn torn_tail_is_detected_and_bounded() {
+        let p = tmp("torn");
+        let mut inj = quiet();
+        let mut w = JournalWriter::create(&p, false, &mut inj).unwrap();
+        w.append_events(0, &[(EventId(0), 0), (EventId(1), 0)], &mut inj)
+            .unwrap();
+        w.append_events(2, &[(EventId(2), 0)], &mut inj).unwrap();
+        drop(w);
+        // Tear the file mid-way through the second frame.
+        let data = std::fs::read(&p).unwrap();
+        std::fs::write(&p, &data[..data.len() - 3]).unwrap();
+        let j = read_journal(&p).unwrap();
+        assert_eq!(j.event_count(), 2, "only the intact frame survives");
+        assert!(j.torn_tail_bytes > 0);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore)]
+    fn corrupt_frame_truncates_from_there() {
+        let p = tmp("corrupt");
+        let mut inj = quiet();
+        let mut w = JournalWriter::create(&p, false, &mut inj).unwrap();
+        w.append_events(0, &[(EventId(0), 0)], &mut inj).unwrap();
+        w.append_events(1, &[(EventId(1), 0)], &mut inj).unwrap();
+        drop(w);
+        let mut data = std::fs::read(&p).unwrap();
+        // Flip a payload byte of the *first* frame: both frames are after
+        // it in the file, so everything from frame 1 on is discarded.
+        let off = 16 + 17; // header + first frame header
+        data[off] ^= 0x40;
+        std::fs::write(&p, &data).unwrap();
+        let j = read_journal(&p).unwrap();
+        assert_eq!(j.event_count(), 0);
+        assert!(j.torn_tail_bytes > 0);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore)]
+    fn truncate_frames_resets_to_header() {
+        let p = tmp("trunc");
+        let mut inj = quiet();
+        let mut w = JournalWriter::create(&p, true, &mut inj).unwrap();
+        w.append_events(0, &[(EventId(9), 5)], &mut inj).unwrap();
+        w.truncate_frames().unwrap();
+        w.append_events(1, &[(EventId(8), 6)], &mut inj).unwrap();
+        drop(w);
+        let j = read_journal(&p).unwrap();
+        assert_eq!(j.event_count(), 1);
+        assert_eq!(j.event_frames[0].first, 1);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore)]
+    fn foreign_file_rejected() {
+        let p = tmp("foreign");
+        std::fs::write(&p, b"definitely not a journal").unwrap();
+        assert!(matches!(read_journal(&p), Err(Error::BadMagic)));
+        std::fs::remove_file(&p).ok();
+    }
+}

@@ -1,0 +1,306 @@
+//! Recovery of interrupted recordings: checkpoint + journal-suffix
+//! replay.
+//!
+//! The recovery state machine per rank:
+//!
+//! 1. load the newest valid checkpoint (CRC-verified; a torn `.ckpt.tmp`
+//!    never shadows the previous good one because checkpoints are
+//!    replaced by atomic rename);
+//! 2. unfold the checkpoint grammar into its event prefix and replay it
+//!    — with the checkpointed timestamps — through a fresh
+//!    [`Recorder`]: Sequitur is deterministic, so this reproduces the
+//!    exact builder state at the checkpoint boundary;
+//! 3. replay the journal suffix, skipping frames the checkpoint already
+//!    covers (this makes the crash window between checkpoint rename and
+//!    journal truncation safe) and cleanly truncating a torn tail;
+//! 4. finish the recorder: the result is byte-identical to re-recording
+//!    the whole journaled prefix of the original run.
+//!
+//! The loss bound is the journal's flush budget: only events submitted
+//! after the last flush (plus a torn tail frame) are gone.
+
+use std::fmt;
+use std::path::Path;
+
+use crate::error::{Error, Result};
+use crate::event::EventRegistry;
+use crate::persist::{checkpoint, journal, journal_path};
+use crate::record::{RecordConfig, Recorder};
+use crate::trace::{ThreadTrace, TraceData};
+
+/// What recovery did for one rank/thread.
+#[derive(Debug, Clone)]
+pub struct RankRecovery {
+    /// The rank (sidecar index) this entry describes.
+    pub rank: usize,
+    /// Events restored from the checkpoint (0 if none existed).
+    pub checkpoint_events: u64,
+    /// Events replayed from the journal beyond the checkpoint.
+    pub replayed_events: u64,
+    /// Total events in the recovered thread trace.
+    pub recovered_events: u64,
+    /// Journal bytes discarded as a torn/corrupt tail.
+    pub torn_tail_bytes: u64,
+    /// Human-readable anomalies (corrupt checkpoint, journal gap, …).
+    pub warnings: Vec<String>,
+}
+
+/// The outcome of [`TraceData::recover`].
+#[derive(Debug, Clone, Default)]
+pub struct RecoverReport {
+    /// The finalized trace file was intact — no replay was needed.
+    pub used_final_file: bool,
+    /// Descriptors invented for events whose registry entries were lost
+    /// (0 when the registry was journaled).
+    pub placeholder_descs: u64,
+    /// Per-rank recovery detail (empty when the final file was used).
+    pub ranks: Vec<RankRecovery>,
+}
+
+impl RecoverReport {
+    /// Total recovered events across ranks.
+    pub fn total_events(&self) -> u64 {
+        self.ranks.iter().map(|r| r.recovered_events).sum()
+    }
+
+    /// Whether any rank reported an anomaly.
+    pub fn has_warnings(&self) -> bool {
+        self.placeholder_descs > 0 || self.ranks.iter().any(|r| !r.warnings.is_empty())
+    }
+}
+
+impl fmt::Display for RecoverReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.used_final_file {
+            return writeln!(f, "final trace file intact; nothing to replay");
+        }
+        for r in &self.ranks {
+            writeln!(
+                f,
+                "rank {}: {} events recovered ({} from checkpoint, {} replayed from journal{})",
+                r.rank,
+                r.recovered_events,
+                r.checkpoint_events,
+                r.replayed_events,
+                if r.torn_tail_bytes > 0 {
+                    format!(", {} torn tail bytes discarded", r.torn_tail_bytes)
+                } else {
+                    String::new()
+                }
+            )?;
+            for w in &r.warnings {
+                writeln!(f, "rank {}: warning: {w}", r.rank)?;
+            }
+        }
+        if self.placeholder_descs > 0 {
+            writeln!(
+                f,
+                "{} event descriptors lost; placeholders substituted",
+                self.placeholder_descs
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// A registry fragment salvaged from a checkpoint snapshot or a journal
+/// delta frame: descriptors `first..first + descs.len()` of the
+/// append-only shared registry.
+struct RegistryRange {
+    first: usize,
+    descs: Vec<(String, Option<i64>)>,
+}
+
+/// Recovers the trace at `path` from its durability sidecars (see
+/// [`TraceData::recover`] for the public contract).
+pub(crate) fn recover_trace(path: &Path) -> Result<(TraceData, RecoverReport)> {
+    // An intact finalized trace wins: recovery after a crash *between*
+    // save and sidecar cleanup must not regress to the journaled prefix.
+    if path.exists() {
+        if let Ok(trace) = TraceData::load(path) {
+            return Ok((
+                trace,
+                RecoverReport {
+                    used_final_file: true,
+                    ..RecoverReport::default()
+                },
+            ));
+        }
+    }
+
+    let mut ranks = Vec::new();
+    for rank in 0.. {
+        let has_journal = journal_path(path, rank).exists();
+        let has_ckpt = super::checkpoint_path(path, rank).exists();
+        if !has_journal && !has_ckpt {
+            break;
+        }
+        ranks.push(rank);
+    }
+    if ranks.is_empty() {
+        return Err(Error::Corrupt(format!(
+            "nothing to recover at {}: no intact trace and no journal/checkpoint sidecars",
+            path.display()
+        )));
+    }
+
+    let mut report = RecoverReport::default();
+    let mut registry_ranges: Vec<RegistryRange> = Vec::new();
+    let mut per_rank: Vec<(
+        RankRecovery,
+        Option<checkpoint::Checkpoint>,
+        journal::JournalContents,
+    )> = Vec::new();
+
+    for &rank in &ranks {
+        let mut entry = RankRecovery {
+            rank,
+            checkpoint_events: 0,
+            replayed_events: 0,
+            recovered_events: 0,
+            torn_tail_bytes: 0,
+            warnings: Vec::new(),
+        };
+        let ckpt_path = super::checkpoint_path(path, rank);
+        let ckpt = if ckpt_path.exists() {
+            match checkpoint::read_checkpoint(&ckpt_path) {
+                Ok(c) => Some(c),
+                Err(e) => {
+                    entry.warnings.push(format!(
+                        "checkpoint unreadable ({e}); replaying journal only"
+                    ));
+                    None
+                }
+            }
+        } else {
+            None
+        };
+        let jpath = journal_path(path, rank);
+        let contents = if jpath.exists() {
+            match journal::read_journal(&jpath) {
+                Ok(j) => j,
+                Err(e) => {
+                    entry
+                        .warnings
+                        .push(format!("journal unreadable ({e}); using checkpoint only"));
+                    journal::JournalContents::default()
+                }
+            }
+        } else {
+            journal::JournalContents::default()
+        };
+        entry.torn_tail_bytes = contents.torn_tail_bytes;
+        if ckpt.is_none() && contents.event_count() == 0 {
+            entry
+                .warnings
+                .push("no recoverable data (empty journal, no checkpoint)".into());
+        }
+        if let Some(c) = &ckpt {
+            entry.checkpoint_events = c.event_count;
+            registry_ranges.push(RegistryRange {
+                first: 0,
+                descs: c
+                    .registry
+                    .iter()
+                    .map(|(_, d)| (d.name.clone(), d.payload))
+                    .collect(),
+            });
+        }
+        for f in &contents.registry_frames {
+            registry_ranges.push(RegistryRange {
+                first: f.first,
+                descs: f.descs.clone(),
+            });
+        }
+        per_rank.push((entry, ckpt, contents));
+    }
+
+    // Rebuild the shared registry from all salvaged prefix-consistent
+    // ranges (the registry is append-only, so every snapshot and delta is
+    // a range of the same global descriptor sequence).
+    registry_ranges.sort_by_key(|r| r.first);
+    let mut registry = EventRegistry::new();
+    for range in &registry_ranges {
+        if range.first > registry.len() {
+            // A delta survived whose predecessor did not: stop here, the
+            // remaining descriptors cannot be placed at their ids.
+            report.placeholder_descs += 1;
+            continue;
+        }
+        for (i, (name, payload)) in range.descs.iter().enumerate() {
+            if range.first + i >= registry.len() {
+                registry.intern(name, *payload);
+            }
+        }
+    }
+
+    // Replay each rank.
+    let mut threads: Vec<ThreadTrace> = Vec::new();
+    let mut max_event_id: Option<u32> = None;
+    for (mut entry, ckpt, contents) in per_rank {
+        let timestamps =
+            contents.timestamps || ckpt.as_ref().is_some_and(|c| !c.timestamps_ns.is_empty());
+        let mut rec = Recorder::new(RecordConfig {
+            timestamps,
+            validate: false,
+        });
+        let mut count: u64 = 0;
+        if let Some(c) = &ckpt {
+            let prefix = c.grammar.unfold();
+            if prefix.len() as u64 != c.event_count {
+                entry.warnings.push(format!(
+                    "checkpoint grammar unfolds to {} events, header says {}",
+                    prefix.len(),
+                    c.event_count
+                ));
+            }
+            for (i, &e) in prefix.iter().enumerate() {
+                let ts = c.timestamps_ns.get(i).copied().unwrap_or(0);
+                rec.record_at(e, ts);
+                max_event_id = max_event_id.max(Some(e.0));
+            }
+            count = prefix.len() as u64;
+        }
+        for frame in &contents.event_frames {
+            let frame_end = frame.first + frame.events.len() as u64;
+            if frame_end <= count {
+                continue; // fully covered by the checkpoint
+            }
+            if frame.first > count {
+                entry.warnings.push(format!(
+                    "journal gap: frame starts at event {} but only {} events known; \
+                     {} journaled events unrecoverable",
+                    frame.first,
+                    count,
+                    frame_end - frame.first
+                ));
+                break;
+            }
+            let skip = (count - frame.first) as usize;
+            for &(e, ts) in &frame.events[skip..] {
+                rec.record_at(e, ts);
+                max_event_id = max_event_id.max(Some(e.0));
+                count += 1;
+                entry.replayed_events += 1;
+            }
+        }
+        entry.recovered_events = count;
+        // A plain (non-durable) recorder cannot fail to finish.
+        threads.push(rec.finish_thread()?);
+        report.ranks.push(entry);
+    }
+
+    // Placeholder descriptors for events whose registry entries were
+    // lost (or never journaled): ids are dense, so fill to the max.
+    if let Some(max_id) = max_event_id {
+        let missing_from = registry.len() as u32;
+        if max_id >= missing_from {
+            for id in missing_from..=max_id {
+                registry.intern("__recovered", Some(id as i64));
+                report.placeholder_descs += 1;
+            }
+        }
+    }
+
+    Ok((TraceData::from_threads(threads, registry), report))
+}

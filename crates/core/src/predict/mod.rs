@@ -637,7 +637,7 @@ mod tests {
             t += 100;
             rec.record_at(e(s), t);
         }
-        rec.finish(&EventRegistry::new())
+        rec.finish(&EventRegistry::new()).unwrap()
     }
 
     #[test]
@@ -768,7 +768,7 @@ mod tests {
             rec.record(e(0));
             rec.record(e(1));
         }
-        let trace = rec.finish(&EventRegistry::new());
+        let trace = rec.finish(&EventRegistry::new()).unwrap();
         let mut p = Predictor::new(&trace);
         p.observe(e(0));
         assert_eq!(p.predict_delay_ns(1), None);
@@ -958,7 +958,7 @@ mod sequence_tests {
                 rec.record_at(e(ev), 0);
             }
         }
-        let trace = rec.finish(&EventRegistry::new());
+        let trace = rec.finish(&EventRegistry::new()).unwrap();
         let mut p = Predictor::new(&trace);
         for ev in [0u32, 1, 2, 3, 0] {
             p.observe(e(ev));
@@ -977,7 +977,7 @@ mod sequence_tests {
         for ev in [0u32, 1, 2] {
             rec.record_at(e(ev), 0);
         }
-        let trace = rec.finish(&EventRegistry::new());
+        let trace = rec.finish(&EventRegistry::new()).unwrap();
         let mut p = Predictor::new(&trace);
         p.observe(e(0));
         let seq = p.predict_sequence(10);
@@ -992,7 +992,7 @@ mod sequence_tests {
         });
         rec.record_at(e(0), 0);
         rec.record_at(e(1), 0);
-        let trace = rec.finish(&EventRegistry::new());
+        let trace = rec.finish(&EventRegistry::new()).unwrap();
         let p = Predictor::new(&trace);
         assert!(p.predict_sequence(5).is_empty());
     }

@@ -8,12 +8,23 @@
 //! recording finishes. Multi-threaded applications create one `Recorder`
 //! per thread (the paper maintains one grammar per thread) and assemble the
 //! results into a single [`crate::trace::TraceData`].
+//!
+//! A recorder built with [`Recorder::durable`] additionally journals every
+//! event to a crash-safe sidecar and checkpoints its grammar on a
+//! configurable cadence (see [`crate::persist`]), so an interrupted
+//! reference run recovers via [`crate::trace::TraceData::recover`] with
+//! bounded loss. IO errors on that path are *sticky* — recording continues
+//! in memory — and surface from [`Recorder::finish_thread`] /
+//! [`Recorder::finish`], which therefore return `Result`.
 
+use std::path::Path;
 use std::time::Instant;
 
+use crate::error::Result;
 use crate::event::{EventId, EventRegistry};
 use crate::grammar::builder::GrammarBuilder;
 use crate::grammar::Grammar;
+use crate::persist::{PersistConfig, PersistState};
 use crate::timing::TimingModel;
 use crate::trace::{ThreadTrace, TraceData};
 
@@ -45,6 +56,25 @@ pub struct Recorder {
     config: RecordConfig,
     epoch: Instant,
     timestamps_ns: Vec<u64>,
+    persist: Option<Box<PersistState>>,
+    /// Journal payload staged since the last flush (events already in
+    /// wire format: varint event id + varint timestamp delta). Kept
+    /// inline in the recorder — not behind the `PersistState` box — so
+    /// the per-event durable path is one buffer append and two compares;
+    /// `PersistState` is only entered at flush boundaries.
+    stage: Vec<u8>,
+    /// Events currently in `stage`.
+    stage_count: usize,
+    /// Timestamp of the last staged event; deltas in `stage` chain from
+    /// it. Reset to 0 at each frame boundary (frames decode standalone).
+    stage_prev_ts: u64,
+    /// Staged-event count that triggers a flush
+    /// ([`PersistConfig::flush_events`]; `usize::MAX` for in-memory
+    /// recorders).
+    stage_threshold: usize,
+    /// Staged payload size that triggers a flush
+    /// ([`PersistConfig::flush_bytes`]).
+    stage_byte_threshold: usize,
 }
 
 impl Default for Recorder {
@@ -54,14 +84,55 @@ impl Default for Recorder {
 }
 
 impl Recorder {
-    /// Creates a recorder; the timestamp epoch is the creation instant.
+    /// Creates an in-memory recorder; the timestamp epoch is the creation
+    /// instant.
     pub fn new(config: RecordConfig) -> Self {
         Recorder {
             builder: GrammarBuilder::new(),
             config,
             epoch: Instant::now(),
             timestamps_ns: Vec::new(),
+            persist: None,
+            stage: Vec::new(),
+            stage_count: 0,
+            stage_prev_ts: 0,
+            stage_threshold: usize::MAX,
+            stage_byte_threshold: usize::MAX,
         }
+    }
+
+    /// Creates a durable recorder for rank/thread `rank` of the trace
+    /// that will be finalized at `trace_path`: events are journaled to
+    /// `<trace_path>.r<rank>.journal` and the grammar checkpointed to
+    /// `<trace_path>.r<rank>.ckpt` per `persist`'s budgets. Errors if the
+    /// journal cannot be created.
+    pub fn durable(
+        config: RecordConfig,
+        trace_path: impl AsRef<Path>,
+        rank: usize,
+        persist: PersistConfig,
+    ) -> Result<Self> {
+        let events = persist.flush_events.max(1);
+        let bytes = persist.flush_bytes.max(1);
+        let state = PersistState::create(trace_path.as_ref(), rank, persist, config.timestamps)?;
+        Ok(Recorder {
+            builder: GrammarBuilder::new(),
+            config,
+            epoch: Instant::now(),
+            timestamps_ns: Vec::new(),
+            persist: Some(state),
+            stage: Vec::new(),
+            stage_count: 0,
+            stage_prev_ts: 0,
+            stage_threshold: events,
+            stage_byte_threshold: bytes,
+        })
+    }
+
+    /// Whether this recorder journals its events (built with
+    /// [`Recorder::durable`]).
+    pub fn is_durable(&self) -> bool {
+        self.persist.is_some()
     }
 
     /// Records one event, stamped with the current time.
@@ -82,10 +153,42 @@ impl Recorder {
             self.timestamps_ns.push(ns);
         }
         self.builder.push(event);
+        if self.persist.is_some() {
+            // Varint event id + varint timestamp delta, packed into a
+            // stack buffer first so the stage Vec sees one append (and one
+            // capacity check) per event.
+            let mut b = [0u8; 15];
+            let mut n = encode_varint(&mut b, 0, event.0 as u64);
+            if self.config.timestamps {
+                n = encode_varint(&mut b, n, ns.wrapping_sub(self.stage_prev_ts));
+                self.stage_prev_ts = ns;
+            }
+            self.stage.extend_from_slice(&b[..n]);
+            self.stage_count += 1;
+            if self.stage_count >= self.stage_threshold
+                || self.stage.len() >= self.stage_byte_threshold
+            {
+                self.persist_tick();
+            }
+        }
         if self.config.validate {
             if let Err(msg) = self.builder.check_invariants() {
                 panic!("grammar invariant violated after event {event}: {msg}");
             }
+        }
+    }
+
+    /// Flushes the staged journal payload and, when the checkpoint
+    /// cadence is due, snapshots the grammar. Out of the per-event path on
+    /// purpose: it runs once per flush budget.
+    fn persist_tick(&mut self) {
+        let p = self.persist.as_mut().expect("persist_tick without persist");
+        p.commit_stage(&mut self.stage, &mut self.stage_count);
+        self.stage_prev_ts = 0;
+        let count = self.builder.event_count();
+        if p.wants_snapshot(count) {
+            let grammar = self.builder.grammar().compact();
+            p.snapshot(&grammar, count, &self.timestamps_ns);
         }
     }
 
@@ -106,17 +209,57 @@ impl Recorder {
 
     /// Finishes this thread's recording: compacts the grammar and replays
     /// the timestamps into a [`TimingModel`] (paper §II-C).
-    pub fn finish_thread(self) -> ThreadTrace {
+    ///
+    /// For a durable recorder, flushes and fsyncs the journal tail first;
+    /// a journal/checkpoint IO error — including one that happened
+    /// mid-recording (they are sticky, persistence stops but the
+    /// in-memory recording continues) — surfaces here. In-memory
+    /// recorders cannot fail.
+    pub fn finish_thread(mut self) -> Result<ThreadTrace> {
+        if let Some(mut p) = self.persist.take() {
+            p.commit_stage(&mut self.stage, &mut self.stage_count);
+            p.finalize()?;
+        }
         let event_count = self.builder.event_count();
-        let grammar = self.builder.into_grammar().compact();
+        let grammar = std::mem::take(&mut self.builder).into_grammar().compact();
         let timing = TimingModel::build(&grammar, &self.timestamps_ns);
-        ThreadTrace::new(grammar, timing, event_count)
+        Ok(ThreadTrace::new(grammar, timing, event_count))
     }
 
     /// Convenience for single-threaded programs: wraps the single thread
-    /// trace into a complete [`TraceData`].
-    pub fn finish(self, registry: &EventRegistry) -> TraceData {
-        TraceData::from_threads(vec![self.finish_thread()], registry.clone())
+    /// trace into a complete [`TraceData`]. Fails like
+    /// [`Recorder::finish_thread`].
+    pub fn finish(self, registry: &EventRegistry) -> Result<TraceData> {
+        Ok(TraceData::from_threads(
+            vec![self.finish_thread()?],
+            registry.clone(),
+        ))
+    }
+}
+
+/// Appends the LEB128 varint of `v` to `b` at offset `n`; returns the new
+/// offset. `b` must have 10 bytes of room (the longest u64 varint).
+#[inline]
+fn encode_varint(b: &mut [u8; 15], mut n: usize, mut v: u64) -> usize {
+    while v >= 0x80 {
+        b[n] = (v as u8) | 0x80;
+        n += 1;
+        v >>= 7;
+    }
+    b[n] = v as u8;
+    n + 1
+}
+
+impl Drop for Recorder {
+    /// Best-effort drop guard: a recorder dropped without `finish_thread`
+    /// (a panicking rank, an aborted session) still journals its staged
+    /// tail, so recovery loses nothing that was submitted.
+    fn drop(&mut self) {
+        if self.stage_count > 0 {
+            if let Some(p) = self.persist.as_mut() {
+                p.commit_stage(&mut self.stage, &mut self.stage_count);
+            }
+        }
     }
 }
 
@@ -141,7 +284,7 @@ mod tests {
             rec.record_at(e(s), t);
         }
         assert_eq!(rec.event_count(), 9);
-        let thread = rec.finish_thread();
+        let thread = rec.finish_thread().unwrap();
         assert_eq!(thread.event_count, 9);
         let got: Vec<u32> = thread.grammar.unfold().into_iter().map(|x| x.0).collect();
         assert_eq!(got, seq);
@@ -158,7 +301,7 @@ mod tests {
             rec.record(e(0));
             rec.record(e(1));
         }
-        let thread = rec.finish_thread();
+        let thread = rec.finish_thread().unwrap();
         assert!(thread.timing.is_empty());
         assert_eq!(thread.event_count, 20);
     }
@@ -179,8 +322,78 @@ mod tests {
         let a = registry.intern("a", None);
         let mut rec = Recorder::default();
         rec.record(a);
-        let trace = rec.finish(&registry);
+        let trace = rec.finish(&registry).unwrap();
         assert_eq!(trace.registry().lookup("a", None), Some(a));
         assert_eq!(trace.thread_count(), 1);
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore)]
+    fn durable_recorder_matches_in_memory_result() {
+        let dir = std::env::temp_dir().join(format!("pythia-rec-durable-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.pythia");
+        let persist = PersistConfig {
+            flush_events: 8,
+            snapshot_events: 64,
+            ..PersistConfig::default()
+        };
+        let mut durable = Recorder::durable(
+            RecordConfig {
+                timestamps: true,
+                validate: false,
+            },
+            &path,
+            0,
+            persist,
+        )
+        .unwrap();
+        let mut plain = Recorder::new(RecordConfig {
+            timestamps: true,
+            validate: false,
+        });
+        assert!(durable.is_durable() && !plain.is_durable());
+        let mut t = 0;
+        for i in 0..500u32 {
+            t += 5;
+            durable.record_at(e(i % 7), t);
+            plain.record_at(e(i % 7), t);
+        }
+        let a = durable.finish_thread().unwrap();
+        let b = plain.finish_thread().unwrap();
+        // Journaling must not perturb the recording itself.
+        assert_eq!(a.grammar.unfold(), b.grammar.unfold());
+        assert_eq!(a.event_count, b.event_count);
+        crate::persist::remove_sidecars(&path);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore)]
+    fn sticky_journal_error_surfaces_at_finish() {
+        use crate::resilience::FaultPlan;
+        let dir = std::env::temp_dir().join(format!("pythia-rec-sticky-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.pythia");
+        let persist = PersistConfig {
+            flush_events: 4,
+            snapshot_events: 0,
+            faults: Some(FaultPlan {
+                // Write 1 is the journal header; write 2 (the first
+                // frame) tears.
+                torn_write_every: 2,
+                ..FaultPlan::none()
+            }),
+            ..PersistConfig::default()
+        };
+        let mut rec = Recorder::durable(RecordConfig::default(), &path, 0, persist).unwrap();
+        for i in 0..32u32 {
+            rec.record(e(i % 3));
+        }
+        // Recording itself kept working; the error surfaces at finish.
+        assert_eq!(rec.event_count(), 32);
+        assert!(rec.finish_thread().is_err());
+        crate::persist::remove_sidecars(&path);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -44,6 +44,17 @@ pub struct FaultPlan {
     pub panic_on_observe_after: Option<u64>,
     /// Spin this long inside every predict query before answering.
     pub slow_predict: Option<Duration>,
+    /// Tear every `n`-th file write: persist a prefix, then fail — the
+    /// crash-mid-write shape (0 = off). Applied by
+    /// [`crate::persist::IoFaultInjector`].
+    pub torn_write_every: u64,
+    /// Silently shorten every `n`-th file write: persist a prefix and
+    /// report success — the lying-disk shape, caught only by checksums
+    /// (0 = off).
+    pub short_write_every: u64,
+    /// Fail every `n`-th atomic rename, leaving the temp file behind
+    /// (0 = off).
+    pub rename_fail_every: u64,
 }
 
 impl FaultPlan {
@@ -60,7 +71,8 @@ impl FaultPlan {
 
     /// Parses the [`CHAOS_ENV`] variable: a comma-separated list of
     /// `drop=N`, `dup=N`, `reorder=N`, `corrupt=N`, `panic-predict`,
-    /// `panic-observe-after=N`, `slow-predict-us=N`. Unknown or malformed
+    /// `panic-observe-after=N`, `slow-predict-us=N`, `torn-write=N`,
+    /// `short-write=N`, `rename-fail=N`. Unknown or malformed
     /// entries are ignored — a typo in a chaos knob must not take down the
     /// host. Returns `None` when the variable is unset or empty.
     pub fn from_env() -> Option<Self> {
@@ -91,6 +103,9 @@ impl FaultPlan {
                 ("slow-predict-us", Some(n)) => {
                     plan.slow_predict = Some(Duration::from_micros(n));
                 }
+                ("torn-write", Some(n)) => plan.torn_write_every = n,
+                ("short-write", Some(n)) => plan.short_write_every = n,
+                ("rename-fail", Some(n)) => plan.rename_fail_every = n,
                 _ => {}
             }
         }
@@ -342,5 +357,17 @@ mod tests {
         assert_eq!(plan.slow_predict, Some(Duration::from_micros(50)));
         assert_eq!(plan.duplicate_every, 0);
         assert!(plan.is_active());
+    }
+
+    #[test]
+    fn io_faults_parse_and_stay_off_the_event_channel() {
+        let plan = FaultPlan::parse("torn-write=5, short-write=7, rename-fail=2");
+        assert_eq!(plan.torn_write_every, 5);
+        assert_eq!(plan.short_write_every, 7);
+        assert_eq!(plan.rename_fail_every, 2);
+        assert!(plan.is_active());
+        // IO faults must not perturb the event channel.
+        let inj = FaultInjector::new(plan);
+        assert!(inj.is_identity());
     }
 }

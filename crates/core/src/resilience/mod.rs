@@ -521,15 +521,18 @@ impl HardenedOracle {
         self.observed
     }
 
-    /// Finishes a recording facade into its thread trace. `None` for other
-    /// modes — and for a poisoned facade, whose recording cannot be
-    /// trusted past the panic point.
-    pub fn finish(self) -> Option<ThreadTrace> {
+    /// Finishes a recording facade into its thread trace. `Ok(None)` for
+    /// other modes — and for a poisoned facade, whose recording cannot be
+    /// trusted past the panic point. A panic while finishing is likewise
+    /// absorbed into `Ok(None)`; a durable recorder's journal/fsync error
+    /// ([`crate::record::Recorder::finish_thread`]) propagates as `Err` so
+    /// hosts know the sidecar is incomplete.
+    pub fn finish(self) -> Result<Option<ThreadTrace>> {
         if self.poisoned {
-            return None;
+            return Ok(None);
         }
         let inner = self.inner;
-        catch_unwind(AssertUnwindSafe(move || inner.finish())).unwrap_or(None)
+        catch_unwind(AssertUnwindSafe(move || inner.finish())).unwrap_or(Ok(None))
     }
 
     fn poison(&mut self) {
@@ -634,7 +637,7 @@ mod tests {
             t += 100;
             rec.record_at(e(s), t);
         }
-        rec.finish(&EventRegistry::new())
+        rec.finish(&EventRegistry::new()).unwrap()
     }
 
     fn hermetic() -> ResilienceConfig {
@@ -890,13 +893,13 @@ mod tests {
         }
         assert_eq!(rec.recorded_events(), 10);
         assert!(!rec.predict_event(1).is_informed());
-        let thread = rec.finish().unwrap();
+        let thread = rec.finish().unwrap().unwrap();
         assert_eq!(thread.event_count, 10);
 
         let mut off = HardenedOracle::off(hermetic());
         assert!(off.is_off());
         assert_eq!(off.event(e(0)), None);
-        assert!(off.finish().is_none());
+        assert!(off.finish().unwrap().is_none());
     }
 
     #[test]

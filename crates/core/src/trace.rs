@@ -8,24 +8,41 @@
 //!
 //! * a compact, versioned **binary** format (default; hand-rolled on
 //!   [`bytes`] with explicit bounds checks so truncated or corrupt files
-//!   fail with a clean [`Error::Corrupt`] instead of a panic);
+//!   fail with a clean [`Error::Corrupt`] instead of a panic). Version 2
+//!   appends a whole-payload CRC32, so silent corruption — a short write
+//!   a lying disk reported as complete, bit rot — is detected before
+//!   parsing; version-1 files (no checksum) are still readable;
 //! * a **JSON** format (via `serde`) for debugging and interoperability.
+//!
+//! Writes are crash-safe: [`TraceData::save`] and [`TraceData::save_json`]
+//! go through [`crate::persist::atomic_write`] (tmp file + fsync + rename +
+//! parent-dir fsync), so a crash mid-save leaves the previous file intact,
+//! never a torn mix. Interrupted recordings are rebuilt with
+//! [`TraceData::recover`] from the [`crate::persist`] journal/checkpoint
+//! sidecars.
 
 use std::path::Path;
 use std::sync::{Arc, OnceLock};
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{BufMut, Bytes, BytesMut};
 use serde::{Deserialize, Serialize};
 
 use crate::error::{Error, Result};
 use crate::event::EventRegistry;
-use crate::grammar::{Grammar, GrammarIndex, Rule, RuleId, Symbol, SymbolUse};
-use crate::timing::{TimingEntry, TimingModel};
+use crate::grammar::{Grammar, GrammarIndex};
+use crate::persist::crc::crc32;
+use crate::persist::RecoverReport;
+use crate::timing::TimingModel;
+use crate::wire;
 
 /// Magic bytes opening every binary trace file.
 pub const MAGIC: &[u8; 8] = b"PYTHIA\x00\x01";
-/// Current binary format version.
-pub const FORMAT_VERSION: u32 = 1;
+/// Current binary format version: version 2 appends a CRC32 over the
+/// whole preceding file as the last 4 bytes.
+pub const FORMAT_VERSION: u32 = 2;
+/// Oldest binary format version still readable (version 1 lacks the
+/// trailing checksum).
+pub const MIN_FORMAT_VERSION: u32 = 1;
 
 /// The recorded behavior of one thread: its grammar (compacted), timing
 /// model, and total event count.
@@ -134,42 +151,35 @@ impl TraceData {
     // Binary format
     // ------------------------------------------------------------------
 
-    /// Serializes to the binary format.
+    /// Serializes to the binary format (version [`FORMAT_VERSION`]): the
+    /// last 4 bytes are a CRC32 over everything before them.
     pub fn to_bytes(&self) -> Bytes {
         let mut buf = BytesMut::new();
         buf.put_slice(MAGIC);
         buf.put_u32_le(FORMAT_VERSION);
-        // Registry.
-        buf.put_u32_le(self.registry.len() as u32);
-        for (_, desc) in self.registry.iter() {
-            put_str(&mut buf, &desc.name);
-            match desc.payload {
-                Some(p) => {
-                    buf.put_u8(1);
-                    buf.put_i64_le(p);
-                }
-                None => buf.put_u8(0),
-            }
-        }
+        wire::put_registry(&mut buf, &self.registry);
         // Threads.
         buf.put_u32_le(self.threads.len() as u32);
         for t in &self.threads {
             buf.put_u64_le(t.event_count);
-            put_grammar(&mut buf, &t.grammar);
-            put_timing(&mut buf, &t.timing);
+            wire::put_grammar(&mut buf, &t.grammar);
+            wire::put_timing(&mut buf, &t.timing);
         }
+        let crc = crc32(&buf);
+        buf.put_u32_le(crc);
         buf.freeze()
     }
 
     /// Deserializes from the binary format.
     ///
     /// Strict: beyond the structural validation every load performs (bounds,
-    /// acyclicity), the grammar linter must find no error-level violation —
-    /// digram duplicates, unmerged runs, refcount mismatches, or a grammar
-    /// whose expansion disagrees with the declared event count are rejected
-    /// as [`Error::Corrupt`] instead of being silently fed to the
-    /// predictor. Use [`TraceData::from_bytes_lenient`] to load such a file
-    /// anyway (e.g. to analyze *why* it is corrupt).
+    /// acyclicity, the version-2 whole-payload checksum), the grammar
+    /// linter must find no error-level violation — digram duplicates,
+    /// unmerged runs, refcount mismatches, or a grammar whose expansion
+    /// disagrees with the declared event count are rejected as
+    /// [`Error::Corrupt`] instead of being silently fed to the predictor.
+    /// Use [`TraceData::from_bytes_lenient`] to load such a file anyway
+    /// (e.g. to analyze *why* it is corrupt).
     pub fn from_bytes(data: &[u8]) -> Result<Self> {
         let trace = Self::from_bytes_lenient(data)?;
         trace.lint_strict()?;
@@ -178,41 +188,42 @@ impl TraceData {
 
     /// Deserializes from the binary format with structural validation only
     /// (no invariant lint): accepts corrupt-but-parseable grammars so tools
-    /// like `pythia-analyze` can diagnose them.
-    pub fn from_bytes_lenient(mut data: &[u8]) -> Result<Self> {
-        let buf = &mut data;
-        let magic = take(buf, MAGIC.len())?;
+    /// like `pythia-analyze` can diagnose them. The version-2 checksum is
+    /// still enforced — a file that fails it is damaged, not diagnosable.
+    pub fn from_bytes_lenient(data: &[u8]) -> Result<Self> {
+        let mut header: &[u8] = data;
+        let buf = &mut header;
+        let magic = wire::take(buf, MAGIC.len())?;
         if magic != MAGIC {
             return Err(Error::BadMagic);
         }
-        let version = get_u32(buf)?;
-        if version != FORMAT_VERSION {
+        let version = wire::get_u32(buf)?;
+        if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
             return Err(Error::UnsupportedVersion(version));
         }
-        let n_events = get_u32(buf)? as usize;
-        // Each registry entry consumes at least 5 bytes (name length +
-        // payload tag), so a count larger than the remaining input can
-        // only come from a corrupt header.
-        if n_events > buf.len() / 5 {
-            return Err(Error::Corrupt(format!(
-                "implausible event count {n_events} for {} remaining bytes",
-                buf.len()
-            )));
+        let mut body: &[u8] = buf;
+        if version >= 2 {
+            // The trailing CRC32 covers the whole file before it.
+            if body.len() < 4 {
+                return Err(Error::Corrupt("file too short for checksum".into()));
+            }
+            let crc_offset = data.len() - 4;
+            let mut crc_bytes: &[u8] = &data[crc_offset..];
+            let stored = wire::get_u32(&mut crc_bytes)?;
+            if crc32(&data[..crc_offset]) != stored {
+                return Err(Error::Corrupt(
+                    "checksum mismatch: file is truncated or corrupt".into(),
+                ));
+            }
+            body = &body[..body.len() - 4];
         }
-        let mut registry = EventRegistry::new();
-        for _ in 0..n_events {
-            let name = get_str(buf)?;
-            let has_payload = get_u8(buf)?;
-            let payload = match has_payload {
-                0 => None,
-                1 => Some(get_i64(buf)?),
-                x => {
-                    return Err(Error::Corrupt(format!("bad payload tag {x}")));
-                }
-            };
-            registry.intern(&name, payload);
-        }
-        let n_threads = get_u32(buf)? as usize;
+        Self::parse_body(&mut body)
+    }
+
+    /// Parses the version-independent body: registry, then threads.
+    fn parse_body(buf: &mut &[u8]) -> Result<Self> {
+        let registry = wire::get_registry(buf)?;
+        let n_threads = wire::get_u32(buf)? as usize;
         // A thread needs at least an event count (8), a one-rule grammar
         // (4 + 8) and an empty timing table (4): 24 bytes.
         if n_threads > 1 << 20 || n_threads > buf.len() / 24 {
@@ -225,9 +236,9 @@ impl TraceData {
         // allocation before the data runs out.
         let mut threads = Vec::with_capacity(n_threads.min(1024));
         for _ in 0..n_threads {
-            let event_count = get_u64(buf)?;
-            let grammar = get_grammar(buf)?;
-            let timing = get_timing(buf)?;
+            let event_count = wire::get_u64(buf)?;
+            let grammar = wire::get_grammar(buf)?;
+            let timing = wire::get_timing(buf)?;
             threads.push(ThreadTrace::new(grammar, timing, event_count));
         }
         if !buf.is_empty() {
@@ -239,10 +250,10 @@ impl TraceData {
         Ok(TraceData::from_threads(threads, registry))
     }
 
-    /// Saves the binary format to `path`.
+    /// Saves the binary format to `path` atomically: a crash mid-save
+    /// leaves the previous file (if any) intact.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
-        std::fs::write(path, self.to_bytes())?;
-        Ok(())
+        crate::persist::atomic_write(path.as_ref(), &self.to_bytes())
     }
 
     /// Loads the binary format from `path`.
@@ -256,6 +267,21 @@ impl TraceData {
     pub fn load_lenient(path: impl AsRef<Path>) -> Result<Self> {
         let data = std::fs::read(path)?;
         Self::from_bytes_lenient(&data)
+    }
+
+    /// Recovers an interrupted recording from the durability sidecars of
+    /// the trace at `path` (`<path>.r<k>.journal` / `<path>.r<k>.ckpt`,
+    /// written by a [`crate::record::Recorder`] in durable mode).
+    ///
+    /// If the finalized trace file itself is intact it is simply loaded
+    /// (recovery after a crash *between* save and sidecar cleanup).
+    /// Otherwise each rank is rebuilt by replaying its newest valid
+    /// checkpoint plus the journal suffix through a fresh recorder —
+    /// producing a grammar byte-identical to re-recording the journaled
+    /// prefix — with torn tails truncated and reported in the
+    /// [`RecoverReport`].
+    pub fn recover(path: impl AsRef<Path>) -> Result<(Self, RecoverReport)> {
+        crate::persist::recover_trace(path.as_ref())
     }
 
     /// Runs the grammar linter over every thread and rejects the trace on
@@ -311,15 +337,15 @@ impl TraceData {
         mirror.registry.rebuild_index();
         for t in &mut mirror.threads {
             t.timing.rebuild_index();
-            validate_grammar(&t.grammar)?;
+            wire::validate_grammar(&t.grammar)?;
         }
         Ok(TraceData::from_threads(mirror.threads, mirror.registry))
     }
 
-    /// Saves the JSON format to `path`.
+    /// Saves the JSON format to `path` atomically (see
+    /// [`TraceData::save`]).
     pub fn save_json(&self, path: impl AsRef<Path>) -> Result<()> {
-        std::fs::write(path, self.to_json()?)?;
-        Ok(())
+        crate::persist::atomic_write(path.as_ref(), self.to_json()?.as_bytes())
     }
 
     /// Loads the JSON format from `path`.
@@ -334,219 +360,6 @@ impl TraceData {
         let json = std::fs::read_to_string(path)?;
         Self::from_json_lenient(&json)
     }
-}
-
-// ----------------------------------------------------------------------
-// Binary helpers (explicit bounds checks; `bytes::Buf` panics on underflow
-// so every read goes through `take`).
-// ----------------------------------------------------------------------
-
-fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8]> {
-    if buf.len() < n {
-        return Err(Error::Corrupt(format!(
-            "unexpected end of file (wanted {n} bytes, {} left)",
-            buf.len()
-        )));
-    }
-    let (head, tail) = buf.split_at(n);
-    *buf = tail;
-    Ok(head)
-}
-
-fn get_u8(buf: &mut &[u8]) -> Result<u8> {
-    Ok(take(buf, 1)?[0])
-}
-
-fn get_u32(buf: &mut &[u8]) -> Result<u32> {
-    Ok(take(buf, 4)?.get_u32_le())
-}
-
-fn get_u64(buf: &mut &[u8]) -> Result<u64> {
-    Ok(take(buf, 8)?.get_u64_le())
-}
-
-fn get_i64(buf: &mut &[u8]) -> Result<i64> {
-    Ok(take(buf, 8)?.get_i64_le())
-}
-
-fn put_str(buf: &mut BytesMut, s: &str) {
-    buf.put_u32_le(s.len() as u32);
-    buf.put_slice(s.as_bytes());
-}
-
-fn get_str(buf: &mut &[u8]) -> Result<String> {
-    let len = get_u32(buf)? as usize;
-    if len > 1 << 20 {
-        return Err(Error::Corrupt(format!("implausible string length {len}")));
-    }
-    let bytes = take(buf, len)?;
-    String::from_utf8(bytes.to_vec()).map_err(|_| Error::Corrupt("invalid utf-8".into()))
-}
-
-fn put_grammar(buf: &mut BytesMut, g: &Grammar) {
-    // The grammar must be compacted (dense ids, root 0).
-    debug_assert_eq!(g.root(), RuleId(0));
-    let rules: Vec<_> = g.iter_rules().collect();
-    buf.put_u32_le(rules.len() as u32);
-    for (_, rule) in rules {
-        buf.put_u32_le(rule.body.len() as u32);
-        for u in &rule.body {
-            match u.symbol {
-                Symbol::Terminal(e) => {
-                    buf.put_u8(0);
-                    buf.put_u32_le(e.0);
-                }
-                Symbol::Rule(r) => {
-                    buf.put_u8(1);
-                    buf.put_u32_le(r.0);
-                }
-            }
-            buf.put_u32_le(u.count);
-        }
-        buf.put_u32_le(rule.refcount);
-    }
-}
-
-fn get_grammar(buf: &mut &[u8]) -> Result<Grammar> {
-    let n_rules = get_u32(buf)? as usize;
-    // Each rule consumes at least a body length and a refcount (8 bytes).
-    if n_rules > 1 << 26 || n_rules > buf.len() / 8 {
-        return Err(Error::Corrupt(format!(
-            "implausible rule count {n_rules} for {} remaining bytes",
-            buf.len()
-        )));
-    }
-    let mut rules = Vec::with_capacity(n_rules.min(4096));
-    for _ in 0..n_rules {
-        let body_len = get_u32(buf)? as usize;
-        // Each symbol use is a tag, an id and a count (9 bytes).
-        if body_len > 1 << 26 || body_len > buf.len() / 9 {
-            return Err(Error::Corrupt(format!(
-                "implausible body length {body_len} for {} remaining bytes",
-                buf.len()
-            )));
-        }
-        let mut body = Vec::with_capacity(body_len.min(4096));
-        for _ in 0..body_len {
-            let tag = get_u8(buf)?;
-            let id = get_u32(buf)?;
-            let symbol = match tag {
-                0 => Symbol::Terminal(crate::event::EventId(id)),
-                1 => Symbol::Rule(RuleId(id)),
-                x => return Err(Error::Corrupt(format!("bad symbol tag {x}"))),
-            };
-            let count = get_u32(buf)?;
-            if count == 0 {
-                return Err(Error::Corrupt("zero repetition count".into()));
-            }
-            body.push(SymbolUse { symbol, count });
-        }
-        let refcount = get_u32(buf)?;
-        rules.push(Some(Rule { body, refcount }));
-    }
-    if rules.is_empty() {
-        return Err(Error::Corrupt("grammar with no rules".into()));
-    }
-    let g = Grammar {
-        rules,
-        root: RuleId(0),
-    };
-    validate_grammar(&g)?;
-    Ok(g)
-}
-
-/// Structural validation of a deserialized grammar: all rule references in
-/// bounds, rule graph acyclic (so loading a hostile file cannot make the
-/// predictor loop forever or index out of bounds).
-fn validate_grammar(g: &Grammar) -> Result<()> {
-    let n = g.rule_count();
-    for (id, rule) in g.iter_rules() {
-        if id != g.root() && rule.body.is_empty() {
-            return Err(Error::Corrupt(format!("empty body for rule {id}")));
-        }
-        for u in &rule.body {
-            if u.count == 0 {
-                return Err(Error::Corrupt("zero repetition count".into()));
-            }
-            if let Symbol::Rule(r) = u.symbol {
-                if r.index() >= n || !g.is_live(r) {
-                    return Err(Error::Corrupt(format!(
-                        "rule {id} references out-of-range rule {r}"
-                    )));
-                }
-            }
-        }
-    }
-    // Cycle detection (iterative three-color DFS, mirrors
-    // `Grammar::topological_order` but returns an error instead of
-    // panicking).
-    let mut color = vec![0u8; n]; // 0 white, 1 grey, 2 black
-    for start in 0..n {
-        if color[start] != 0 {
-            continue;
-        }
-        let mut stack = vec![(RuleId(start as u32), 0usize)];
-        color[start] = 1;
-        'outer: while let Some(&(r, next)) = stack.last() {
-            let body = &g.rule(r).body;
-            let mut i = next;
-            while i < body.len() {
-                let sym = body[i].symbol;
-                i += 1;
-                if let Symbol::Rule(child) = sym {
-                    match color[child.index()] {
-                        0 => {
-                            color[child.index()] = 1;
-                            stack.last_mut().unwrap().1 = i;
-                            stack.push((child, 0));
-                            continue 'outer;
-                        }
-                        1 => {
-                            return Err(Error::Corrupt(format!(
-                                "rule graph cycle through {child}"
-                            )));
-                        }
-                        _ => {}
-                    }
-                }
-            }
-            color[r.index()] = 2;
-            stack.pop();
-        }
-    }
-    Ok(())
-}
-
-fn put_timing(buf: &mut BytesMut, t: &TimingModel) {
-    let entries = t.entries();
-    buf.put_u32_le(entries.len() as u32);
-    for e in entries {
-        buf.put_u64_le(e.key);
-        buf.put_u64_le(e.sum_ns);
-        buf.put_u64_le(e.count);
-    }
-}
-
-fn get_timing(buf: &mut &[u8]) -> Result<TimingModel> {
-    let n = get_u32(buf)? as usize;
-    // Each timing entry is three u64s (24 bytes).
-    if n > 1 << 26 || n > buf.len() / 24 {
-        return Err(Error::Corrupt(format!(
-            "implausible timing entry count {n} for {} remaining bytes",
-            buf.len()
-        )));
-    }
-    let mut entries = Vec::with_capacity(n.min(4096));
-    for _ in 0..n {
-        let key = get_u64(buf)?;
-        let sum_ns = get_u64(buf)?;
-        let count = get_u64(buf)?;
-        if count == 0 {
-            return Err(Error::Corrupt("timing entry with zero count".into()));
-        }
-        entries.push(TimingEntry { key, sum_ns, count });
-    }
-    Ok(TimingModel::from_entries(entries))
 }
 
 #[cfg(test)]
@@ -567,7 +380,7 @@ mod tests {
                 rec.record_at(ev, t);
             }
         }
-        rec.finish(&registry)
+        rec.finish(&registry).unwrap()
     }
 
     #[test]
@@ -599,6 +412,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)]
     fn file_roundtrip() {
         let trace = sample_trace();
         let dir = std::env::temp_dir().join("pythia-core-trace-test");
@@ -647,6 +461,37 @@ mod tests {
             TraceData::from_bytes(&bytes),
             Err(Error::UnsupportedVersion(_))
         ));
+    }
+
+    #[test]
+    fn v1_files_without_checksum_still_load() {
+        // A version-1 file is exactly a version-2 file minus the trailing
+        // CRC, with the version field set to 1.
+        let trace = sample_trace();
+        let mut bytes = trace.to_bytes().to_vec();
+        bytes.truncate(bytes.len() - 4);
+        bytes[8] = 1;
+        let loaded = TraceData::from_bytes(&bytes).unwrap();
+        assert_eq!(loaded.total_events(), trace.total_events());
+        assert_eq!(
+            loaded.thread(0).unwrap().grammar.unfold(),
+            trace.thread(0).unwrap().grammar.unfold()
+        );
+    }
+
+    #[test]
+    fn single_byte_corruption_fails_checksum() {
+        let trace = sample_trace();
+        let bytes = trace.to_bytes().to_vec();
+        // Flip one bit in every byte of the body in turn: the trailing
+        // CRC32 must catch each one (magic/version corruption is caught
+        // by their own checks first).
+        for pos in 12..bytes.len() - 4 {
+            let mut m = bytes.clone();
+            m[pos] ^= 0x10;
+            let err = TraceData::from_bytes_lenient(&m).unwrap_err();
+            assert!(matches!(err, Error::Corrupt(_)), "flip at {pos}: {err}");
+        }
     }
 
     #[test]
@@ -720,7 +565,7 @@ mod tests {
             for _ in 0..n {
                 rec.record(a);
             }
-            rec.finish_thread()
+            rec.finish_thread().unwrap()
         };
         let trace = TraceData::from_threads(vec![mk(10), mk(20)], registry);
         assert_eq!(trace.thread_count(), 2);

@@ -50,7 +50,7 @@ fn grammar_of(events: &[EventId]) -> pythia_core::trace::ThreadTrace {
     for &e in events {
         rec.record(e);
     }
-    rec.finish_thread()
+    rec.finish_thread().unwrap()
 }
 
 /// One rank's stream: a loop body repeated many times (so the reduction

@@ -27,7 +27,7 @@ fn trace_of(seq: &[u32]) -> TraceData {
         t += 100;
         rec.record_at(EventId(s), t);
     }
-    rec.finish(&EventRegistry::new())
+    rec.finish(&EventRegistry::new()).unwrap()
 }
 
 /// Structured sequences: repeated blocks with a tail, mimicking the loop

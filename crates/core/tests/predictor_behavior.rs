@@ -19,7 +19,7 @@ fn trace_of(seq: &[u32]) -> TraceData {
     for &s in seq {
         rec.record_at(e(s), 0);
     }
-    rec.finish(&EventRegistry::new())
+    rec.finish(&EventRegistry::new()).unwrap()
 }
 
 /// The paper's §II-B1 walkthrough on the Fig. 1 trace "abbcbcab": start

@@ -95,7 +95,7 @@ proptest! {
             t += 1 + (s as u64 * 13) % 97;
             rec.record_at(EventId(s), t);
         }
-        let trace = rec.finish(&EventRegistry::new());
+        let trace = rec.finish(&EventRegistry::new()).unwrap();
         let bytes = trace.to_bytes();
         let loaded = TraceData::from_bytes(&bytes).unwrap();
         prop_assert_eq!(
@@ -113,7 +113,7 @@ proptest! {
             t += 10;
             rec.record_at(EventId(s), t);
         }
-        let trace = rec.finish(&EventRegistry::new());
+        let trace = rec.finish(&EventRegistry::new()).unwrap();
         let json = trace.to_json().unwrap();
         let loaded = TraceData::from_json(&json).unwrap();
         prop_assert_eq!(
@@ -132,7 +132,7 @@ proptest! {
         for &s in &seq {
             rec.record_at(EventId(s), 0);
         }
-        let trace = rec.finish(&EventRegistry::new());
+        let trace = rec.finish(&EventRegistry::new()).unwrap();
         let mut p = Predictor::for_thread(&trace, 0, PredictorConfig::default()).unwrap();
         for i in 0..seq.len() - 1 {
             p.observe(EventId(seq[i]));
@@ -160,7 +160,7 @@ proptest! {
         for &s in &seq {
             rec.record_at(EventId(s), 0);
         }
-        let trace = rec.finish(&EventRegistry::new());
+        let trace = rec.finish(&EventRegistry::new()).unwrap();
         let mut p = Predictor::for_thread(&trace, 0, PredictorConfig::default()).unwrap();
         p.observe(EventId(seq[0]));
         let pred = p.predict(distance);

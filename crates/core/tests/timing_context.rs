@@ -37,7 +37,7 @@ fn record_two_context_trace(
             rec.record_at(ev, t);
         }
     }
-    rec.finish(&EventRegistry::new())
+    rec.finish(&EventRegistry::new()).unwrap()
 }
 
 #[test]
@@ -100,7 +100,7 @@ fn uniform_trace_has_uniform_delay_everywhere() {
             rec.record_at(ev, t);
         }
     }
-    let trace = rec.finish(&EventRegistry::new());
+    let trace = rec.finish(&EventRegistry::new()).unwrap();
     let mut p = Predictor::for_thread(&trace, 0, PredictorConfig::default()).unwrap();
     for ev in [A, B, C, A, B] {
         p.observe(ev);

@@ -22,11 +22,13 @@
 pub mod events;
 pub mod omp_bridge;
 pub mod probe;
+pub mod recording;
 pub mod session;
 
 pub use events::MpiCall;
 pub use omp_bridge::DurationPolicy;
 pub use probe::{AccuracyProbe, CostProbe, DistanceAccuracy};
+pub use recording::RecordingSession;
 pub use session::{
     AggregationConfig, AggregationStats, MpiMode, PythiaComm, RankReport, SharedRegistry,
 };

@@ -335,6 +335,18 @@ impl PythiaComm {
         Ok(Self::wrap(comm, mode, registry))
     }
 
+    /// Wraps a communicator around a prebuilt recording oracle — the hook
+    /// [`crate::recording::RecordingSession`] uses to hand each rank a
+    /// *durable* (journaling) recorder instead of the in-memory one
+    /// [`PythiaComm::wrap`] builds.
+    pub(crate) fn wrap_recording(
+        comm: Comm,
+        registry: SharedRegistry,
+        oracle: HardenedOracle,
+    ) -> Self {
+        Self::from_parts(comm, registry, oracle, None, Vec::new())
+    }
+
     fn thread_for(comm: &Comm, trace: &TraceData, map_ranks: bool) -> usize {
         if map_ranks {
             comm.rank() % trace.thread_count().max(1)
@@ -451,7 +463,7 @@ impl PythiaComm {
             .as_ref()
             .map(|a| a.results())
             .unwrap_or_default();
-        let thread_trace = state.oracle.finish();
+        let thread_trace = state.oracle.finish()?;
         Ok(RankReport {
             rank,
             events,

@@ -242,7 +242,7 @@ impl OmpOracle {
         let registry = state.registry;
         state
             .oracle
-            .finish()
+            .finish()?
             .map(|t| TraceData::from_threads(vec![t], registry))
             .ok_or_else(|| {
                 Error::OracleUnavailable("no recording to finish (not a record-mode run)".into())

@@ -36,7 +36,9 @@ fn main() -> Result<()> {
     }
     tick(&mut recorder, finalize, 10_000);
 
-    let trace = recorder.finish(&registry);
+    let trace = recorder
+        .finish(&registry)
+        .expect("in-memory recorder cannot fail");
     println!(
         "recorded {} events, grammar has {} rules:",
         trace.total_events(),

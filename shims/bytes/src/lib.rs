@@ -81,6 +81,7 @@ impl BytesMut {
     }
 
     /// Number of bytes written.
+    #[inline]
     pub fn len(&self) -> usize {
         self.data.len()
     }
@@ -94,12 +95,30 @@ impl BytesMut {
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.data)
     }
+
+    /// Clears the buffer, keeping its allocation.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Reserves capacity for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
 }
 
 impl Deref for BytesMut {
     type Target = [u8];
+    #[inline]
     fn deref(&self) -> &[u8] {
         &self.data
+    }
+}
+
+impl std::ops::DerefMut for BytesMut {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
     }
 }
 
@@ -127,15 +146,24 @@ pub trait BufMut {
     fn put_i64_le(&mut self, n: i64) {
         self.put_slice(&n.to_le_bytes());
     }
+
+    /// Appends `cnt` copies of `val`.
+    fn put_bytes(&mut self, val: u8, cnt: usize) {
+        for _ in 0..cnt {
+            self.put_u8(val);
+        }
+    }
 }
 
 impl BufMut for BytesMut {
+    #[inline]
     fn put_slice(&mut self, src: &[u8]) {
         self.data.extend_from_slice(src);
     }
 }
 
 impl BufMut for Vec<u8> {
+    #[inline]
     fn put_slice(&mut self, src: &[u8]) {
         self.extend_from_slice(src);
     }
@@ -171,6 +199,7 @@ pub trait Buf {
 }
 
 impl Buf for &[u8] {
+    #[inline]
     fn take_bytes(&mut self, n: usize) -> &[u8] {
         let (head, tail) = self.split_at(n);
         *self = tail;

@@ -3,6 +3,7 @@
 //! corrupt or truncated file must produce a clean error, never a panic,
 //! hang, or huge allocation.
 
+use std::path::PathBuf;
 use std::sync::OnceLock;
 
 use proptest::collection::vec;
@@ -10,7 +11,11 @@ use proptest::prelude::*;
 use pythia::apps::harness::record_trace;
 use pythia::apps::work::WorkScale;
 use pythia::apps::{find_app, WorkingSet};
+use pythia::core::event::EventId;
+use pythia::core::persist::{checkpoint_path, journal_path, PersistConfig};
+use pythia::core::record::{RecordConfig, Recorder};
 use pythia::core::resilience::faults::corrupt_bytes;
+use pythia::core::resilience::FaultPlan;
 use pythia::core::trace::TraceData;
 
 fn sample_bytes() -> Vec<u8> {
@@ -118,6 +123,101 @@ fn wrong_format_detected() {
 // seeded) over the same real application trace.
 // ----------------------------------------------------------------------
 
+// ----------------------------------------------------------------------
+// Recovery-path fuzzing: `TraceData::recover` reads whatever a crash left
+// behind — a torn final file, damaged journal/checkpoint sidecars — so it
+// gets the same treatment as the strict loaders: every truncation offset
+// and random corruption, never a panic.
+// ----------------------------------------------------------------------
+
+/// Fresh recovery sidecars (journal + checkpoint, no final file) from a
+/// durable recording with tight budgets, in a directory private to the
+/// calling test.
+fn make_sidecars(name: &str) -> (PathBuf, u64) {
+    let dir = std::env::temp_dir().join(format!("pythia-robust-{name}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("run.pythia");
+    let persist = PersistConfig {
+        flush_events: 8,
+        snapshot_events: 64,
+        registry: None,
+        faults: Some(FaultPlan::none()),
+        ..PersistConfig::default()
+    };
+    let mut rec = Recorder::durable(RecordConfig::default(), &path, 0, persist).unwrap();
+    for i in 0..400u64 {
+        rec.record_at(EventId(1 + (i % 6) as u32), (i + 1) * 50);
+    }
+    rec.finish_thread().unwrap();
+    (path, 400)
+}
+
+/// Truncating the *final* trace file at any offset (a crash during a
+/// non-atomic copy of it, say) never panics recovery: with no sidecars it
+/// is a clean error, and never a silently shorter trace.
+#[test]
+#[cfg_attr(miri, ignore)]
+fn recover_of_truncated_final_file_never_panics() {
+    let bytes = shared_bytes();
+    let dir = std::env::temp_dir().join(format!("pythia-robust-final-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("mg.pythia");
+    for cut in (0..bytes.len()).step_by(101) {
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        let outcome = std::panic::catch_unwind(|| TraceData::recover(&path).is_ok());
+        assert!(outcome.is_ok(), "panic recovering truncation at {cut}");
+        assert!(!outcome.unwrap(), "truncation at {cut} recovered");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Every truncation offset of the journal sidecar recovers cleanly (torn
+/// tails are expected crash debris) or errors — and never yields more
+/// events than were recorded.
+#[test]
+#[cfg_attr(miri, ignore)]
+fn recover_survives_journal_truncation_at_every_offset() {
+    let (path, total) = make_sidecars("journal-trunc");
+    let journal = journal_path(&path, 0);
+    let full = std::fs::read(&journal).unwrap();
+    for cut in 0..full.len() {
+        std::fs::write(&journal, &full[..cut]).unwrap();
+        let outcome = std::panic::catch_unwind(|| {
+            if let Ok((trace, _)) = TraceData::recover(&path) {
+                assert!(
+                    trace.total_events() <= total,
+                    "truncation at {cut} invented events"
+                );
+            }
+        });
+        assert!(
+            outcome.is_ok(),
+            "panic recovering journal truncation at {cut}"
+        );
+    }
+    std::fs::remove_dir_all(path.parent().unwrap()).ok();
+}
+
+/// Every truncation offset of the checkpoint sidecar either falls back
+/// (journal-only replay, an older state) or errors — never a panic.
+#[test]
+#[cfg_attr(miri, ignore)]
+fn recover_survives_checkpoint_truncation_at_every_offset() {
+    let (path, total) = make_sidecars("ckpt-trunc");
+    let ckpt = checkpoint_path(&path, 0);
+    let full = std::fs::read(&ckpt).unwrap();
+    for cut in (0..full.len()).step_by(7) {
+        std::fs::write(&ckpt, &full[..cut]).unwrap();
+        let outcome = std::panic::catch_unwind(|| {
+            if let Ok((trace, _)) = TraceData::recover(&path) {
+                assert!(trace.total_events() <= total);
+            }
+        });
+        assert!(outcome.is_ok(), "panic recovering ckpt truncation at {cut}");
+    }
+    std::fs::remove_dir_all(path.parent().unwrap()).ok();
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -169,6 +269,42 @@ proptest! {
         let json = String::from_utf8(json).expect("ASCII substitutions keep UTF-8 valid");
         let outcome = std::panic::catch_unwind(|| TraceData::from_json(&json).is_ok());
         prop_assert!(outcome.is_ok(), "panic for JSON mutations {muts:?}");
+    }
+
+    /// Random single-byte corruption anywhere in the recovery sidecars —
+    /// journal or checkpoint — never panics `TraceData::recover`: CRC
+    /// framing downgrades journal damage to a truncated tail, checkpoint
+    /// damage to a journal-only replay, and anything else to a clean
+    /// error. Never more events than were recorded.
+    #[test]
+    #[cfg_attr(miri, ignore)]
+    fn fuzz_sidecar_corruption_never_panics(
+        (which, pos, flip) in (0u8..2, 0u64..u64::MAX, 1u32..256),
+    ) {
+        let in_journal = which == 0;
+        static SIDECARS: OnceLock<(PathBuf, Vec<u8>, Vec<u8>)> = OnceLock::new();
+        let (path, journal, ckpt) = SIDECARS.get_or_init(|| {
+            let (path, _) = make_sidecars("sidecar-fuzz");
+            let j = std::fs::read(journal_path(&path, 0)).unwrap();
+            let c = std::fs::read(checkpoint_path(&path, 0)).unwrap();
+            (path, j, c)
+        });
+        let (mut j, mut c) = (journal.clone(), ckpt.clone());
+        let target = if in_journal { &mut j } else { &mut c };
+        let idx = (pos % target.len() as u64) as usize;
+        target[idx] ^= flip as u8;
+        std::fs::write(journal_path(path, 0), &j).unwrap();
+        std::fs::write(checkpoint_path(path, 0), &c).unwrap();
+        let outcome = std::panic::catch_unwind(|| match TraceData::recover(path) {
+            Ok((trace, _)) => trace.total_events() <= 400,
+            Err(_) => true,
+        });
+        prop_assert!(
+            outcome.is_ok(),
+            "panic for flip {flip:#x} at {idx} in {}",
+            if in_journal { "journal" } else { "checkpoint" }
+        );
+        prop_assert!(outcome.unwrap(), "corruption invented events");
     }
 
     /// A valid header followed by random garbage neither panics nor
