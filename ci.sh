@@ -8,6 +8,15 @@ cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release
 cargo test -q --workspace
 
+# Bench smoke: the contention benchmark at 1 and 8 threads, gated against
+# the committed baseline — observe and durable-record ns/event must stay
+# within 25% of BENCH_predict.json (bench_json exits 1 on regression).
+ROOT=$(pwd)
+BENCH=$(mktemp -d)
+(cd "$BENCH" && "$ROOT"/target/release/bench_json --threads 1,8 \
+    --check-baseline "$ROOT"/BENCH_predict.json --max-regress 25 >/dev/null)
+rm -rf "$BENCH"
+
 # Chaos pass: the fault-injection suite on a clean environment, then the
 # whole suite again with faults injected into every default-config oracle
 # facade (PYTHIA_CHAOS is read by ResilienceConfig::default()). The

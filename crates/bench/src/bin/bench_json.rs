@@ -20,16 +20,30 @@
 //!   against the naive decompress-and-scan baseline — the compressed-domain
 //!   time is O(|grammar|), so it stays flat while the baseline grows with
 //!   the expanded trace length.
+//! * multi-thread contention scaling: N independent threads (default
+//!   1/8/64) each observing its own replay and each durably recording
+//!   through one shared [`ConcurrentRegistry`] — the contention-free
+//!   recording model promises per-thread cost tracks core availability,
+//!   not thread count (no lock is taken per event). The machine's core
+//!   count is reported alongside, since scaling is bounded by it.
 //!
-//! Usage: `bench_json [--iters N] [--json PATH]`
+//! With `--check-baseline PATH`, the run additionally compares its fresh
+//! observe/durable-record numbers against a committed baseline JSON and
+//! exits nonzero if either regressed more than `--max-regress` percent
+//! (default 25) — the CI perf smoke gate.
+//!
+//! Usage: `bench_json [--iters N] [--json PATH] [--threads 1,8,64]
+//!         [--check-baseline PATH [--max-regress PCT]]`
 
 use std::time::Instant;
+
+use std::sync::Arc;
 
 use pythia_bench::Args;
 use pythia_core::analyze::lint::{lint_grammar, LintOptions};
 use pythia_core::analyze::protocol::{profile_from_events, profile_from_grammar, verify};
 use pythia_core::analyze::ClassTable;
-use pythia_core::event::{EventId, EventRegistry};
+use pythia_core::event::{ConcurrentRegistry, EventId, EventRegistry};
 use pythia_core::oracle::Oracle;
 use pythia_core::persist::PersistConfig;
 use pythia_core::predict::path::Path;
@@ -196,8 +210,11 @@ fn main() {
     if args.flag("help") {
         eprintln!(
             "bench_json: measure oracle hot-path costs, write JSON\n\
-             --iters N   measurement repetitions (default 20)\n\
-             --json PATH output path (default BENCH_predict.json)"
+             --iters N              measurement repetitions (default 20)\n\
+             --json PATH            output path (default BENCH_predict.json)\n\
+             --threads A,B,C        contention thread counts (default 1,8,64)\n\
+             --check-baseline PATH  compare against a committed baseline JSON\n\
+             --max-regress PCT      fail threshold for the check (default 25)"
         );
         return;
     }
@@ -404,6 +421,110 @@ fn main() {
     pythia_core::persist::remove_sidecars(&trace_path);
     std::fs::remove_dir_all(&tmp).ok();
 
+    // Multi-thread contention: the scaling curve of the contention-free
+    // hot path. Each thread owns its complete per-thread state (a
+    // Predictor replaying the reference on the observe side; a durable
+    // Recorder with its own journal on the record side) and all recording
+    // threads share one ConcurrentRegistry, interning an already-known
+    // name per event to exercise the lock-free registry read path. With
+    // no per-event lock anywhere, per-thread ns/event should track core
+    // availability rather than thread count; aggregate throughput scaling
+    // (relative to the 1-thread row) is bounded by `cores`, which is
+    // reported alongside so the curve is interpretable on any machine.
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let thread_counts: Vec<usize> = args.parse_list("threads", &[1usize, 8, 64]);
+    let contend_dir =
+        std::env::temp_dir().join(format!("pythia-bench-contend-{}", std::process::id()));
+    std::fs::create_dir_all(&contend_dir).expect("bench tmp dir");
+    let replays = (20_000 / stream.len()).max(1);
+    let contend_observe_events = replays * stream.len();
+    let contend_record_events = 20_000usize;
+    let observe_pass = |threads: usize| -> f64 {
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| {
+                    let mut p =
+                        Predictor::for_thread(&regular, 0, PredictorConfig::default()).unwrap();
+                    for _ in 0..replays {
+                        for &e in &stream {
+                            p.observe(e);
+                        }
+                    }
+                    std::hint::black_box(p.stats().matched);
+                });
+            }
+        });
+        t0.elapsed().as_nanos() as f64
+    };
+    let record_pass = |threads: usize| -> f64 {
+        let registry = Arc::new(ConcurrentRegistry::new());
+        for d in 0..8 {
+            registry.intern("contend", Some(d));
+        }
+        let path = contend_dir.join("contend.pythia");
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for rank in 0..threads {
+                let registry = Arc::clone(&registry);
+                let path = &path;
+                s.spawn(move || {
+                    let persist = PersistConfig {
+                        registry: Some(Arc::clone(&registry)),
+                        ..PersistConfig::default()
+                    };
+                    let mut rec = Recorder::durable(
+                        RecordConfig {
+                            timestamps: true,
+                            validate: false,
+                        },
+                        path,
+                        rank,
+                        persist,
+                    )
+                    .expect("durable recorder");
+                    rec.reserve(contend_record_events);
+                    let mut t = 0u64;
+                    for i in 0..contend_record_events {
+                        // Hot-path intern: the name is known, so this is a
+                        // lock-free read of the shared registry.
+                        let id = registry.intern("contend", Some((i % 8) as i64));
+                        t += 100;
+                        rec.record_at(id, t);
+                    }
+                    std::hint::black_box(rec.finish_thread().unwrap().event_count);
+                });
+            }
+        });
+        t0.elapsed().as_nanos() as f64
+    };
+    let mut contention_rows = Vec::new();
+    let mut base_throughput: Option<(f64, f64)> = None;
+    for &threads in &thread_counts {
+        let wall_obs = (0..2)
+            .map(|_| observe_pass(threads))
+            .fold(f64::INFINITY, f64::min);
+        let wall_rec = (0..2)
+            .map(|_| record_pass(threads))
+            .fold(f64::INFINITY, f64::min);
+        let obs_ns = wall_obs / contend_observe_events as f64;
+        let rec_ns = wall_rec / contend_record_events as f64;
+        // Aggregate events per nanosecond across all threads.
+        let obs_tp = (threads * contend_observe_events) as f64 / wall_obs;
+        let rec_tp = (threads * contend_record_events) as f64 / wall_rec;
+        let (obs_base, rec_base) = *base_throughput.get_or_insert((obs_tp, rec_tp));
+        contention_rows.push(serde_json::json!({
+            "threads": threads,
+            "observe_ns_per_event_per_thread": obs_ns,
+            "durable_record_ns_per_event_per_thread": rec_ns,
+            "observe_throughput_scaling": obs_tp / obs_base,
+            "record_throughput_scaling": rec_tp / rec_base,
+        }));
+    }
+    std::fs::remove_dir_all(&contend_dir).ok();
+
     // Static analysis: linter + protocol verifier in the compressed domain
     // vs the same verdict computed by decompress-and-scan, at growing
     // iteration counts. The grammar barely changes as iterations multiply,
@@ -492,6 +613,12 @@ fn main() {
         "predict": predict_json,
         "resilience": resilience_json,
         "persist": persist_json,
+        "contention": serde_json::json!({
+            "cores": cores,
+            "events_per_thread_observe": contend_observe_events,
+            "events_per_thread_record": contend_record_events,
+            "rows": contention_rows,
+        }),
         "analyze": serde_json::Value::Array(analyze_rows),
     });
     let text = serde_json::to_string_pretty(&doc).expect("serialize");
@@ -499,4 +626,49 @@ fn main() {
 
     println!("{text}");
     eprintln!("wrote {path}");
+
+    // CI perf gate: compare this run's hot-path numbers against a
+    // committed baseline and fail loudly on a regression beyond the
+    // threshold. Only the two headline per-event costs are gated — the
+    // other metrics are trend-tracked but too noisy (ratios of
+    // sub-microsecond quantities) to block CI on.
+    if let Some(base_path) = args.value("check-baseline") {
+        let max_regress: f64 = args.parse_or("max-regress", 25.0);
+        let base: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(base_path).expect("read baseline json"))
+                .expect("parse baseline json");
+        let mut failures = Vec::new();
+        let mut gate = |name: &str, now: f64, was: Option<f64>| match was {
+            Some(was) if was > 0.0 => {
+                let pct = (now / was - 1.0) * 100.0;
+                eprintln!("baseline {name}: {was:.2} -> {now:.2} ns/event ({pct:+.1}%)");
+                if pct > max_regress {
+                    failures.push(format!(
+                        "{name} regressed {pct:+.1}% (budget {max_regress}%)"
+                    ));
+                }
+            }
+            _ => eprintln!("baseline {name}: absent, skipped"),
+        };
+        gate(
+            "observe_ns_per_event",
+            observe_ns,
+            base.get("observe_ns_per_event").and_then(|v| v.as_f64()),
+        );
+        gate(
+            "persist.durable_record_ns_per_event",
+            durable_record_ns,
+            base.get("persist")
+                .and_then(|p| p.get("durable_record_ns_per_event"))
+                .and_then(|v| v.as_f64()),
+        );
+        if !failures.is_empty() {
+            eprintln!("perf regression vs {base_path}:");
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!("baseline check passed (budget {max_regress}%)");
+    }
 }

@@ -15,18 +15,207 @@
 //! Rule bodies are flat `Vec<SymbolUse>`s rather than the linked lists of
 //! classic Sequitur; bodies stay short once the trace compresses, and the
 //! root is only mutated near its tail in the common case. The digram index
-//! maps a symbol pair to one location and is repaired lazily: positions may
-//! go stale after a splice, so lookups re-validate and rescan the recorded
-//! rule when needed. Structural repairs (digram collisions → factoring,
-//! boundary merges, rule-utility inlining) are driven by a work queue of
-//! *dirty windows* so that no recursive mutation happens while a rule body
-//! is being scanned.
+//! is a [`DigramTable`] — open addressing over a flat slot array keyed by
+//! the exact packed symbol pair, probed linearly from a multiplicative
+//! hash, so the per-event lookup is a handful of arithmetic ops and one
+//! cache line in the common hit case (no tuple hashing, no bucket
+//! indirection). It maps a symbol pair to one location and is repaired
+//! lazily: positions may go stale after a splice, so lookups re-validate
+//! and rescan the recorded rule when needed. Structural repairs (digram
+//! collisions → factoring, boundary merges, rule-utility inlining) are
+//! driven by a work queue of *dirty windows* so that no recursive mutation
+//! happens while a rule body is being scanned.
+//!
+//! ### Loop acceleration
+//!
+//! Steady-state loops are the dominant workload (the paper's traces are
+//! overwhelmingly `motif^n`), and the generic machinery pays a full
+//! factor→substitute→inline churn cycle per motif repetition just to end
+//! up bumping one repetition exponent. The builder therefore runs a *loop
+//! cursor*: when the root ends in a rule use `A^k` and the next event
+//! matches the first terminal of `A`'s expansion, incoming terminals are
+//! appended to the root **raw** (unindexed, no digram work) while the
+//! cursor walks `A`'s expansion in lockstep. If the whole expansion
+//! matches, the raw tail is truncated and the use becomes `A^{k+1}` — a
+//! handful of writes per motif instead of the churn cycle. On a mismatch
+//! the raw tail is re-scanned through the normal digram machinery
+//! ([`GrammarBuilder::flush_accel`]), reproducing exactly what immediate
+//! processing would have produced. The grammar is **lossless at every
+//! instant** (the raw tail unfolds as part of the root); only the digram
+//! index invariants are deferred while a cursor is in flight, so
+//! compaction/publication boundaries and the invariant validator flush
+//! first.
 
 use std::collections::VecDeque;
 
 use crate::event::EventId;
 use crate::grammar::{Grammar, Loc, Rule, RuleId, Symbol, SymbolUse};
-use crate::util::FxHashMap;
+
+/// Packs a symbol into a collision-free 64-bit code: terminals keep their
+/// event id, rules set bit 32 above their id. Both ids are `u32`, so codes
+/// never collide and never reach `u64::MAX`.
+#[inline]
+fn sym_code(s: Symbol) -> u64 {
+    match s {
+        Symbol::Terminal(e) => e.0 as u64,
+        Symbol::Rule(r) => (1u64 << 32) | r.0 as u64,
+    }
+}
+
+/// Packs an ordered symbol pair into its exact 128-bit key.
+#[inline]
+fn digram_key(key: (Symbol, Symbol)) -> u128 {
+    ((sym_code(key.0) as u128) << 64) | sym_code(key.1) as u128
+}
+
+/// Slot sentinel: unreachable as a real key because each packed half is
+/// at most `2^33 - 1`.
+const EMPTY: u128 = u128::MAX;
+
+/// Open-addressing digram index: exact `u128` keys in one flat slot
+/// array, linear probing, back-shift deletion (no tombstones). The hot
+/// probe is branch-predictable arithmetic — multiply-mix, mask, compare —
+/// instead of `FxHashMap`'s tuple hashing and bucket logic.
+#[derive(Debug)]
+struct DigramTable {
+    /// Packed pair per slot, `EMPTY` when vacant. Power-of-two length.
+    keys: Vec<u128>,
+    /// Value per slot (garbage when the slot is vacant).
+    vals: Vec<Loc>,
+    /// Occupied slots.
+    len: usize,
+}
+
+impl DigramTable {
+    const MIN_SLOTS: usize = 64;
+
+    fn new() -> Self {
+        DigramTable {
+            keys: vec![EMPTY; Self::MIN_SLOTS],
+            vals: vec![
+                Loc {
+                    rule: RuleId(0),
+                    pos: 0
+                };
+                Self::MIN_SLOTS
+            ],
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn mask(&self) -> usize {
+        self.keys.len() - 1
+    }
+
+    /// Probe start: both key halves multiplied by odd constants and
+    /// folded, so adjacent ids spread across the table.
+    #[inline]
+    fn probe_start(&self, key: u128) -> usize {
+        let lo = key as u64;
+        let hi = (key >> 64) as u64;
+        let mut h = lo.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= hi.wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+        h ^= h >> 32;
+        h as usize & self.mask()
+    }
+
+    #[inline]
+    fn get(&self, key: u128) -> Option<Loc> {
+        let mask = self.mask();
+        let mut i = self.probe_start(key);
+        loop {
+            let k = self.keys[i];
+            if k == key {
+                return Some(self.vals[i]);
+            }
+            if k == EMPTY {
+                return None;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Inserts or overwrites.
+    fn insert(&mut self, key: u128, val: Loc) {
+        // Grow at 3/4 load to keep probe runs short.
+        if (self.len + 1) * 4 > self.keys.len() * 3 {
+            self.grow();
+        }
+        let mask = self.mask();
+        let mut i = self.probe_start(key);
+        loop {
+            let k = self.keys[i];
+            if k == key {
+                self.vals[i] = val;
+                return;
+            }
+            if k == EMPTY {
+                self.keys[i] = key;
+                self.vals[i] = val;
+                self.len += 1;
+                return;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Removes `key` if present, back-shifting the following probe run so
+    /// no tombstones accumulate (lookups stay probe-run bounded forever).
+    fn remove(&mut self, key: u128) {
+        let mask = self.mask();
+        let mut i = self.probe_start(key);
+        loop {
+            let k = self.keys[i];
+            if k == EMPTY {
+                return;
+            }
+            if k == key {
+                break;
+            }
+            i = (i + 1) & mask;
+        }
+        self.len -= 1;
+        // Back-shift: any later element of the run whose home slot lies
+        // cyclically at or before the vacated slot moves into it.
+        let mut j = i;
+        loop {
+            j = (j + 1) & mask;
+            let kj = self.keys[j];
+            if kj == EMPTY {
+                break;
+            }
+            let home = self.probe_start(kj);
+            if (j.wrapping_sub(home) & mask) >= (j.wrapping_sub(i) & mask) {
+                self.keys[i] = kj;
+                self.vals[i] = self.vals[j];
+                i = j;
+            }
+        }
+        self.keys[i] = EMPTY;
+    }
+
+    fn grow(&mut self) {
+        let new_slots = self.keys.len() * 2;
+        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY; new_slots]);
+        let old_vals = std::mem::replace(
+            &mut self.vals,
+            vec![
+                Loc {
+                    rule: RuleId(0),
+                    pos: 0
+                };
+                new_slots
+            ],
+        );
+        self.len = 0;
+        for (k, v) in old_keys.into_iter().zip(old_vals) {
+            if k != EMPTY {
+                self.insert(k, v);
+            }
+        }
+    }
+}
 
 /// Range of pair-start indices (inclusive) of a rule body that must be
 /// re-checked for merges / unregistered digrams / digram collisions.
@@ -54,11 +243,39 @@ struct Window {
 #[derive(Debug)]
 pub struct GrammarBuilder {
     g: Grammar,
-    digrams: FxHashMap<(Symbol, Symbol), Loc>,
+    digrams: DigramTable,
     free: Vec<RuleId>,
     windows: VecDeque<Window>,
     utility: Vec<RuleId>,
     event_count: u64,
+    /// Recycled rule-body buffers: factoring constantly creates short-lived
+    /// rules (created on a digram repeat, often inlined away a few events
+    /// later), and round-tripping their `Vec`s through the allocator
+    /// dominated the record hot path. Bounded so a pathological burst
+    /// cannot pin memory.
+    body_pool: Vec<Vec<SymbolUse>>,
+    /// Scratch buffer for rule-use collection (same motivation).
+    sites: Vec<Loc>,
+    /// Loop-acceleration cursor (see the module docs).
+    accel: AccelCursor,
+}
+
+/// Cursor state for loop acceleration: a descent stack walking the
+/// engaged rule's expansion terminal by terminal, plus the root-body
+/// index where the raw (unindexed) tail starts.
+#[derive(Debug, Default)]
+struct AccelCursor {
+    /// Whether a raw tail is in flight.
+    active: bool,
+    /// Root-body index of the first raw use; the raw tail is
+    /// `root.body[raw_start..]`.
+    raw_start: usize,
+    /// Descent stack: `(rule, pos, remaining)` — `remaining` full
+    /// repetitions of `rule.body[pos]` not yet consumed. The expansion is
+    /// complete when the stack empties. Only valid while `active` (and
+    /// during engagement); the grammar is never mutated structurally while
+    /// a cursor is in flight, so positions cannot go stale.
+    frames: Vec<(RuleId, usize, u32)>,
 }
 
 impl Default for GrammarBuilder {
@@ -72,18 +289,57 @@ impl GrammarBuilder {
     pub fn new() -> Self {
         GrammarBuilder {
             g: Grammar::new(),
-            digrams: FxHashMap::default(),
+            digrams: DigramTable::new(),
             free: Vec::new(),
             windows: VecDeque::new(),
             utility: Vec::new(),
             event_count: 0,
+            body_pool: Vec::new(),
+            sites: Vec::new(),
+            accel: AccelCursor::default(),
         }
     }
 
-    /// Appends one terminal event to the trace, updating the grammar so all
-    /// invariants hold when this returns.
+    /// Takes a recycled body buffer (empty, capacity retained) or a fresh
+    /// one.
+    fn pooled_body(&mut self) -> Vec<SymbolUse> {
+        self.body_pool.pop().unwrap_or_default()
+    }
+
+    /// Returns a dead rule's body buffer to the pool.
+    fn recycle_body(&mut self, mut body: Vec<SymbolUse>) {
+        if self.body_pool.len() < 32 {
+            body.clear();
+            self.body_pool.push(body);
+        }
+    }
+
+    /// Appends one terminal event to the trace. The grammar is lossless
+    /// when this returns; digram/index invariants may be deferred while a
+    /// loop-acceleration cursor is in flight (see the module docs and
+    /// [`GrammarBuilder::flush_accel`]).
     pub fn push(&mut self, event: EventId) {
         self.event_count += 1;
+        if self.accel.active {
+            if self.accel_next_terminal() == Some(event) {
+                self.append_raw(event);
+                if !self.accel_advance() {
+                    self.fold_cycle();
+                }
+                return;
+            }
+            // Mismatch: settle the raw tail through the normal machinery,
+            // then take the legacy path for this event.
+            self.deaccelerate();
+        } else if self.try_engage(event) {
+            return;
+        }
+        self.push_legacy(event);
+    }
+
+    /// The classic per-event path: merge into a trailing terminal run or
+    /// append a fresh use and run the digram machinery.
+    fn push_legacy(&mut self, event: EventId) {
         let root = self.g.root;
         let sym = Symbol::Terminal(event);
         let body = &mut self.g.rule_mut(root).body;
@@ -99,6 +355,181 @@ impl GrammarBuilder {
             self.push_window(root, len - 2, len - 2);
             self.drain();
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Loop acceleration
+    // ------------------------------------------------------------------
+
+    /// Tries to engage the loop cursor: the root must end in a rule use
+    /// whose expansion starts with `event`. On success the event is
+    /// appended raw and the cursor is live.
+    fn try_engage(&mut self, event: EventId) -> bool {
+        let root = self.g.root;
+        let body = &self.g.rule(root).body;
+        let Some(&last) = body.last() else {
+            return false;
+        };
+        let Symbol::Rule(r) = last.symbol else {
+            return false;
+        };
+        self.accel.frames.clear();
+        let first_count = self.g.rule(r).body[0].count;
+        self.accel.frames.push((r, 0, first_count));
+        if self.accel_descend() != event {
+            return false;
+        }
+        self.accel.raw_start = self.g.rule(root).body.len();
+        self.accel.active = true;
+        self.append_raw(event);
+        if !self.accel_advance() {
+            self.fold_cycle();
+        }
+        true
+    }
+
+    /// Descends from the cursor's top frame to the next terminal of the
+    /// expansion and returns it. Precondition: the stack is non-empty and
+    /// every frame position is in bounds.
+    fn accel_descend(&mut self) -> EventId {
+        loop {
+            let &(r, pos, _) = self.accel.frames.last().expect("descend on empty cursor");
+            match self.g.rule(r).body[pos].symbol {
+                Symbol::Terminal(t) => return t,
+                Symbol::Rule(rr) => {
+                    let c0 = self.g.rule(rr).body[0].count;
+                    self.accel.frames.push((rr, 0, c0));
+                }
+            }
+        }
+    }
+
+    /// The next terminal the engaged expansion expects, or `None` if the
+    /// cursor is exhausted.
+    fn accel_next_terminal(&mut self) -> Option<EventId> {
+        self.accel.frames.last()?;
+        Some(self.accel_descend())
+    }
+
+    /// Consumes one occurrence of the cursor's current terminal. Returns
+    /// `false` when the engaged unit's expansion is complete.
+    fn accel_advance(&mut self) -> bool {
+        loop {
+            let Some(top) = self.accel.frames.last_mut() else {
+                return false; // one full unit consumed
+            };
+            let (r, pos) = (top.0, top.1);
+            top.2 -= 1;
+            if top.2 > 0 {
+                return true; // more repetitions of the current use
+            }
+            let body = &self.g.rule(r).body;
+            if pos + 1 < body.len() {
+                let count = body[pos + 1].count;
+                let top = self.accel.frames.last_mut().expect("checked above");
+                top.1 = pos + 1;
+                top.2 = count;
+                return true;
+            }
+            // This body is complete: that closes one repetition of the
+            // parent's current (rule) use — loop to decrement it.
+            self.accel.frames.pop();
+            if self.accel.frames.is_empty() {
+                return false;
+            }
+        }
+    }
+
+    /// Appends a raw (unindexed) terminal to the root tail, merging
+    /// trailing runs.
+    fn append_raw(&mut self, event: EventId) {
+        let root = self.g.root;
+        let raw_start = self.accel.raw_start;
+        let sym = Symbol::Terminal(event);
+        let body = &mut self.g.rule_mut(root).body;
+        if body.len() > raw_start {
+            if let Some(last) = body.last_mut() {
+                if last.symbol == sym {
+                    last.count += 1;
+                    return;
+                }
+            }
+        }
+        body.push(SymbolUse::new(sym, 1));
+    }
+
+    /// The engaged expansion matched completely: drop the raw tail and
+    /// bump the rule use's repetition exponent instead.
+    fn fold_cycle(&mut self) {
+        let root = self.g.root;
+        let raw_start = self.accel.raw_start;
+        let r = {
+            let body = &mut self.g.rule_mut(root).body;
+            debug_assert!(raw_start >= 1 && body.len() > raw_start);
+            body.truncate(raw_start);
+            let unit = &mut body[raw_start - 1];
+            let Symbol::Rule(r) = unit.symbol else {
+                unreachable!("engaged use must be a rule");
+            };
+            unit.count = unit
+                .count
+                .checked_add(1)
+                .expect("repetition exponent overflow");
+            r
+        };
+        // The bumped exponent is one more weighted reference to `r`.
+        self.inc_ref(r, 1);
+        self.accel.active = false;
+    }
+
+    /// Runs the deferred digram work over the raw tail, restoring every
+    /// builder invariant. The tail is detached and replayed one use at a
+    /// time — the exact per-event discipline of [`Self::push_legacy`] —
+    /// because the index maintenance (notably `unregister`'s
+    /// rule-granular matching) relies on at most one un-deduplicated
+    /// digram existing at a time.
+    fn deaccelerate(&mut self) {
+        self.accel.active = false;
+        let root = self.g.root;
+        let raw_start = self.accel.raw_start;
+        debug_assert!(self.g.rule(root).body.len() > raw_start);
+        let mut tail = self.pooled_body();
+        tail.extend(self.g.rule_mut(root).body.drain(raw_start..));
+        for &u in &tail {
+            let body = &mut self.g.rule_mut(root).body;
+            if let Some(last) = body.last_mut() {
+                if last.symbol == u.symbol {
+                    // A run merge is what `push_legacy` would have done for
+                    // each of the `u.count` repetitions.
+                    last.count += u.count;
+                    continue;
+                }
+            }
+            body.push(u);
+            let len = self.g.rule(root).body.len();
+            if len >= 2 {
+                self.push_window(root, len - 2, len - 2);
+                self.drain();
+            }
+        }
+        self.recycle_body(tail);
+    }
+
+    /// Settles any in-flight loop acceleration so all grammar/index
+    /// invariants hold (the grammar is lossless either way — the raw tail
+    /// is simply not yet folded). Called automatically by
+    /// [`GrammarBuilder::into_grammar`]; compaction or validation of a
+    /// *live* builder should call it first.
+    pub fn flush_accel(&mut self) {
+        if self.accel.active {
+            self.deaccelerate();
+        }
+    }
+
+    /// Whether a loop-acceleration cursor is currently in flight (digram
+    /// index invariants deferred; the grammar itself is still lossless).
+    pub fn accel_active(&self) -> bool {
+        self.accel.active
     }
 
     /// Appends a whole sequence of events.
@@ -119,7 +550,8 @@ impl GrammarBuilder {
     }
 
     /// Finishes the reduction and returns the (non-compacted) grammar.
-    pub fn into_grammar(self) -> Grammar {
+    pub fn into_grammar(mut self) -> Grammar {
+        self.flush_accel();
         debug_assert!(self.windows.is_empty() && self.utility.is_empty());
         self.g
     }
@@ -127,7 +559,7 @@ impl GrammarBuilder {
     /// Read-only digram-index lookup (no lazy revalidation); used by the
     /// invariant validator.
     pub(crate) fn digram_entry(&self, key: (Symbol, Symbol)) -> Option<Loc> {
-        self.digrams.get(&key).copied()
+        self.digrams.get(digram_key(key))
     }
 
     // ------------------------------------------------------------------
@@ -205,7 +637,7 @@ impl GrammarBuilder {
             let key = (a.symbol, b.symbol);
             match self.find_digram(key) {
                 None => {
-                    self.digrams.insert(key, here);
+                    self.digrams.insert(digram_key(key), here);
                     pos += 1;
                 }
                 Some(loc) if loc == here => {
@@ -240,7 +672,8 @@ impl GrammarBuilder {
     /// index may have shifted within their rule after splices; rescan the
     /// rule to fix them, and drop entries whose digram no longer exists.
     fn find_digram(&mut self, key: (Symbol, Symbol)) -> Option<Loc> {
-        let loc = *self.digrams.get(&key)?;
+        let packed = digram_key(key);
+        let loc = self.digrams.get(packed)?;
         if self.digram_at(loc) == Some(key) {
             return Some(loc);
         }
@@ -252,12 +685,12 @@ impl GrammarBuilder {
                         rule: loc.rule,
                         pos,
                     };
-                    self.digrams.insert(key, fixed);
+                    self.digrams.insert(packed, fixed);
                     return Some(fixed);
                 }
             }
         }
-        self.digrams.remove(&key);
+        self.digrams.remove(packed);
         None
     }
 
@@ -265,9 +698,10 @@ impl GrammarBuilder {
     /// (positions may be stale, so matching on the rule is the reliable
     /// part; a live occurrence elsewhere would have its own entry).
     fn unregister(&mut self, key: (Symbol, Symbol), loc: Loc) {
-        if let Some(entry) = self.digrams.get(&key) {
+        let packed = digram_key(key);
+        if let Some(entry) = self.digrams.get(packed) {
             if entry.rule == loc.rule {
-                self.digrams.remove(&key);
+                self.digrams.remove(packed);
             }
         }
     }
@@ -356,14 +790,19 @@ impl GrammarBuilder {
             // an existing [non-terminal]", Fig. 3e).
             let n = s1.rule;
             self.substitute(s2, ka, kb, n);
-            self.digrams.insert(key, Loc { rule: n, pos: 0 });
+            self.digrams
+                .insert(digram_key(key), Loc { rule: n, pos: 0 });
         } else if whole(s2, p2, q2) {
             let n = s2.rule;
             self.substitute(s1, ka, kb, n);
-            self.digrams.insert(key, Loc { rule: n, pos: 0 });
+            self.digrams
+                .insert(digram_key(key), Loc { rule: n, pos: 0 });
         } else {
             // Create a new rule N -> a^ka b^kb and rewrite both sites.
-            let n = self.alloc_rule(vec![SymbolUse::new(a, ka), SymbolUse::new(b, kb)]);
+            let mut nbody = self.pooled_body();
+            nbody.push(SymbolUse::new(a, ka));
+            nbody.push(SymbolUse::new(b, kb));
+            let n = self.alloc_rule(nbody);
             // Same-rule sites: rewrite the later one first so the earlier
             // site's position stays valid.
             if s1.rule == s2.rule && s2.pos > s1.pos {
@@ -373,7 +812,8 @@ impl GrammarBuilder {
                 self.substitute(s1, ka, kb, n);
                 self.substitute(s2, ka, kb, n);
             }
-            self.digrams.insert(key, Loc { rule: n, pos: 0 });
+            self.digrams
+                .insert(digram_key(key), Loc { rule: n, pos: 0 });
         }
     }
 
@@ -421,19 +861,23 @@ impl GrammarBuilder {
         }
         self.inc_ref(n, 1);
 
-        // Splice the replacement segment in.
-        let mut seg: Vec<SymbolUse> = Vec::with_capacity(3);
+        // Splice the replacement segment in (stack buffer: at most 3 uses,
+        // no heap allocation on this path).
+        let mut seg = [SymbolUse::new(Symbol::Rule(n), 1); 3];
+        let mut seg_len = 0;
         if a_use.count > ka {
-            seg.push(SymbolUse::new(a_use.symbol, a_use.count - ka));
+            seg[seg_len] = SymbolUse::new(a_use.symbol, a_use.count - ka);
+            seg_len += 1;
         }
-        seg.push(SymbolUse::new(Symbol::Rule(n), 1));
+        seg[seg_len] = SymbolUse::new(Symbol::Rule(n), 1);
+        seg_len += 1;
         if b_use.count > kb {
-            seg.push(SymbolUse::new(b_use.symbol, b_use.count - kb));
+            seg[seg_len] = SymbolUse::new(b_use.symbol, b_use.count - kb);
+            seg_len += 1;
         }
-        let seg_len = seg.len();
         {
             let body = &mut self.g.rule_mut(r).body;
-            body.splice(pos..=pos + 1, seg);
+            body.splice(pos..=pos + 1, seg[..seg_len].iter().copied());
         }
         self.shift_windows(r, pos + 2, seg_len as isize - 2);
         // Re-check boundaries and the spliced interior (merges with equal
@@ -450,14 +894,14 @@ impl GrammarBuilder {
     /// Replaces every use of alias rule `y` (whose body is a single
     /// `SymbolUse`) by that use, then deletes `y`.
     fn eliminate_alias(&mut self, y: RuleId) {
-        let inner = {
-            let body = &self.g.rule(y).body;
-            debug_assert_eq!(body.len(), 1);
-            body[0]
-        };
+        let ybody = std::mem::take(&mut self.g.rule_mut(y).body);
+        debug_assert_eq!(ybody.len(), 1);
+        let inner = ybody[0];
+        self.recycle_body(ybody);
         // Uses of y elsewhere in the grammar.
-        let sites = self.g.rule_uses(y);
-        for site in sites {
+        let mut sites = std::mem::take(&mut self.sites);
+        self.g.collect_rule_uses(y, &mut sites);
+        for site in sites.drain(..) {
             let use_count = {
                 let body = &mut self.g.rule_mut(site.rule).body;
                 let u = &mut body[site.pos];
@@ -478,6 +922,7 @@ impl GrammarBuilder {
             // cleans them. New adjacencies need a re-check.
             self.push_window(site.rule, site.pos.saturating_sub(1), site.pos + 1);
         }
+        self.sites = sites;
         // Delete y: its body held `inner.count` references to inner.
         if let Symbol::Rule(ir) = inner.symbol {
             self.dec_ref(ir, inner.count);
@@ -496,9 +941,12 @@ impl GrammarBuilder {
         match self.g.rule(x).refcount {
             0 => self.delete_rule(x),
             1 => {
-                let sites = self.g.rule_uses(x);
+                let mut sites = std::mem::take(&mut self.sites);
+                self.g.collect_rule_uses(x, &mut sites);
                 debug_assert_eq!(sites.len(), 1, "refcount 1 rule with != 1 site");
-                if let Some(&site) = sites.first() {
+                let site = sites.first().copied();
+                self.sites = sites;
+                if let Some(site) = site {
                     self.inline_at(x, site);
                 }
             }
@@ -517,13 +965,14 @@ impl GrammarBuilder {
                 self.dec_ref(r, u.count);
             }
         }
+        self.recycle_body(body);
         self.g.rules[x.index()] = None;
         self.free.push(x);
     }
 
     /// Inlines rule `x` (single use, count 1) into its use site.
     fn inline_at(&mut self, x: RuleId, site: Loc) {
-        let xbody = std::mem::take(&mut self.g.rule_mut(x).body);
+        let mut xbody = std::mem::take(&mut self.g.rule_mut(x).body);
         debug_assert!(!xbody.is_empty());
         let r = site.rule;
         let pos = site.pos;
@@ -550,7 +999,7 @@ impl GrammarBuilder {
         for i in 0..xlen.saturating_sub(1) {
             let key = (xbody[i].symbol, xbody[i + 1].symbol);
             self.digrams.insert(
-                key,
+                digram_key(key),
                 Loc {
                     rule: r,
                     pos: pos + i,
@@ -559,8 +1008,9 @@ impl GrammarBuilder {
         }
         {
             let body = &mut self.g.rule_mut(r).body;
-            body.splice(pos..=pos, xbody);
+            body.splice(pos..=pos, xbody.drain(..));
         }
+        self.recycle_body(xbody);
         self.shift_windows(r, pos + 1, xlen as isize - 1);
         // Boundary pairs are new; the scan also performs boundary merges.
         self.push_window(r, pos.saturating_sub(1), pos + xlen);
@@ -583,6 +1033,7 @@ mod tests {
         let mut b = GrammarBuilder::new();
         for &s in seq {
             b.push(e(s));
+            b.flush_accel();
             b.check_invariants().unwrap();
         }
         b
@@ -787,5 +1238,203 @@ mod tests {
         let b = build(&[0, 1, 0, 1, 0, 1]);
         assert_eq!(b.event_count(), 6);
         assert_eq!(b.grammar().trace_len(), 6);
+    }
+
+    #[test]
+    fn digram_table_matches_hashmap_model() {
+        // Random insert/overwrite/remove/get churn checked against a
+        // HashMap model — exercises growth and back-shift deletion runs.
+        use crate::util::FxHashMap;
+        let mut table = DigramTable::new();
+        let mut model: FxHashMap<u128, Loc> = FxHashMap::default();
+        let mut state = 0xfeed_f00du64;
+        let mut keys: Vec<u128> = Vec::new();
+        for step in 0..20_000u64 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let r = (state >> 33) as u32;
+            // Small id space forces overwrites; clustered ids force probe
+            // collisions after the multiplicative mix.
+            let key = digram_key((
+                Symbol::Terminal(EventId(r % 97)),
+                Symbol::Rule(RuleId((r / 97) % 53)),
+            ));
+            let val = Loc {
+                rule: RuleId(r % 7),
+                pos: step as usize,
+            };
+            match r % 4 {
+                0 | 1 => {
+                    table.insert(key, val);
+                    model.insert(key, val);
+                    keys.push(key);
+                }
+                2 => {
+                    table.remove(key);
+                    model.remove(&key);
+                }
+                _ => {
+                    assert_eq!(table.get(key), model.get(&key).copied(), "step {step}");
+                }
+            }
+        }
+        for key in keys {
+            assert_eq!(table.get(key), model.get(&key).copied());
+        }
+        assert_eq!(table.len, model.len());
+    }
+
+    #[test]
+    fn digram_keys_are_injective() {
+        // Terminal n vs rule n must produce distinct codes, and order
+        // matters.
+        let t = Symbol::Terminal(EventId(5));
+        let r = Symbol::Rule(RuleId(5));
+        assert_ne!(sym_code(t), sym_code(r));
+        assert_ne!(digram_key((t, r)), digram_key((r, t)));
+        assert_ne!(digram_key((t, t)), EMPTY);
+    }
+
+    // ------------------------------------------------------------------
+    // Loop acceleration
+    // ------------------------------------------------------------------
+
+    /// Streams `seq` through an accelerating builder and asserts the
+    /// settled result is lossless and invariant-clean.
+    fn accel_run(seq: &[u32]) -> GrammarBuilder {
+        let mut b = GrammarBuilder::new();
+        for &s in seq {
+            b.push(e(s));
+        }
+        b.flush_accel();
+        b.check_invariants().unwrap();
+        assert_eq!(unfolded(&b), seq, "acceleration broke losslessness");
+        b
+    }
+
+    #[test]
+    fn accel_steady_loop_bumps_exponent_without_rule_growth() {
+        // (a b c d)^500: after the motif is factored once, every further
+        // iteration must ride the cursor — constant rule count, and the
+        // repetition must live in an exponent, not a long root.
+        let mut seq = Vec::new();
+        for _ in 0..500 {
+            seq.extend([0u32, 1, 2, 3]);
+        }
+        let b = accel_run(&seq);
+        assert!(
+            b.grammar().rule_count() <= 4,
+            "steady loop grew {} rules",
+            b.grammar().rule_count()
+        );
+        let root = b.grammar().root;
+        assert!(
+            b.grammar().rule(root).body.len() <= 4,
+            "steady loop left a long root"
+        );
+        let max_exp = b
+            .grammar()
+            .iter_rules()
+            .flat_map(|(_, r)| r.body.iter())
+            .map(|u| u.count)
+            .max()
+            .unwrap();
+        assert!(max_exp >= 400, "exponent {max_exp} — cursor never folded");
+    }
+
+    #[test]
+    fn accel_engages_on_steady_loops() {
+        // White-box: after a few repetitions of a motif the cursor must be
+        // the thing carrying the stream (mid-motif the builder reports an
+        // in-flight acceleration).
+        let mut b = GrammarBuilder::new();
+        for _ in 0..8 {
+            for s in [0u32, 1, 2, 3] {
+                b.push(e(s));
+            }
+        }
+        let mut engaged = false;
+        for s in [0u32, 1, 2] {
+            b.push(e(s));
+            engaged |= b.accel_active();
+        }
+        assert!(engaged, "cursor never engaged on a steady loop");
+    }
+
+    #[test]
+    fn accel_mid_cycle_mismatch_stays_lossless() {
+        // Break a steady loop mid-motif: the cursor must deaccelerate and
+        // hand the partial cycle to the legacy machinery.
+        let mut seq = Vec::new();
+        for _ in 0..50 {
+            seq.extend([0u32, 1, 2, 3]);
+        }
+        seq.extend([0u32, 1, 9]); // partial cycle, then a surprise
+        for _ in 0..30 {
+            seq.extend([4u32, 5]);
+        }
+        accel_run(&seq);
+    }
+
+    #[test]
+    fn accel_grammar_is_lossless_at_every_event() {
+        // The raw tail is part of the root: unfold and trace_len must be
+        // exact at *every* instant, cursor in flight or not.
+        let mut seq = Vec::new();
+        for i in 0..40u32 {
+            seq.extend([0u32, 1, 2, 3]);
+            if i % 7 == 0 {
+                seq.push(10 + (i % 3));
+            }
+        }
+        let mut b = GrammarBuilder::new();
+        for (i, &s) in seq.iter().enumerate() {
+            b.push(e(s));
+            assert_eq!(
+                b.grammar().trace_len(),
+                (i + 1) as u64,
+                "trace_len drifted at event {i}"
+            );
+            assert_eq!(
+                unfolded(&b),
+                &seq[..=i],
+                "unfold drifted at event {i} (accel={})",
+                b.accel_active()
+            );
+        }
+    }
+
+    #[test]
+    fn accel_noise_matches_reference_compression() {
+        // On noise, both the accelerating build and a flush-per-event
+        // reference build must be lossless, invariant-clean, and compress
+        // comparably. (Bit identity is not promised: a completed cycle
+        // folds into an exponent bump where the reference re-factors the
+        // motif — different but equally valid grammars.)
+        let mut seq = Vec::new();
+        let mut x = 7u64;
+        for _ in 0..600 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            seq.push(((x >> 33) % 5) as u32);
+        }
+        let accel = accel_run(&seq);
+        let mut reference = GrammarBuilder::new();
+        for &s in &seq {
+            reference.push(e(s));
+            reference.flush_accel();
+        }
+        reference.check_invariants().unwrap();
+        assert_eq!(unfolded(&reference), seq);
+        let (a, r) = (
+            accel.grammar().rule_count(),
+            reference.grammar().rule_count(),
+        );
+        assert!(
+            a <= r * 2 && r <= a * 2,
+            "compression diverged: accel {a} rules vs reference {r}"
+        );
     }
 }

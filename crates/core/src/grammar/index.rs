@@ -15,7 +15,13 @@
 //! * the **occurrence index**: `EventId -> [(Loc, weight)]` with
 //!   `weight = expansions(rule) × count`, exactly the quantity
 //!   `Predictor::seed` needs, in the same deterministic (rule, pos) order
-//!   as [`Grammar::terminal_uses`].
+//!   as [`Grammar::terminal_uses`];
+//! * the **body arena**: every live rule body copied into one contiguous
+//!   `Vec<SymbolUse>` slab (slot order), addressed by per-rule spans.
+//!   [`GrammarIndex::body`] serves the same slices as
+//!   `Grammar::rule(r).body` but without chasing a per-rule heap `Vec`,
+//!   so the observe/predict walkers and the analyzer passes stream
+//!   cache-linear memory instead of pointer-hopping.
 //!
 //! The index is valid only for the exact grammar it was built from; it is
 //! attached to the immutable post-compaction grammar inside a
@@ -53,6 +59,11 @@ pub struct GrammarIndex {
     /// Every terminal occurrence with its seed weight
     /// (`expansions(rule) × count`), in deterministic (rule, pos) order.
     occurrences: FxHashMap<EventId, Vec<(Loc, f64)>>,
+    /// All live rule bodies packed back to back, in rule-slot order.
+    arena: Vec<SymbolUse>,
+    /// Per-slot `(offset, len)` spans into [`GrammarIndex::arena`]
+    /// (vacant slots hold `(0, 0)`).
+    spans: Vec<(u32, u32)>,
     /// Total trace length (expanded length of the root).
     trace_len: u64,
 }
@@ -82,11 +93,17 @@ impl GrammarIndex {
                 .last()
                 .map(|u| edge_terminal(&metas, u.symbol, /*first=*/ false));
         }
-        // Suffix lengths, use sites, and the occurrence index in one scan.
+        // Suffix lengths, use sites, the occurrence index, and the body
+        // arena in one scan.
         let mut suffix_lens = vec![Vec::new(); n];
         let mut rule_uses: Vec<Vec<Loc>> = vec![Vec::new(); n];
         let mut occurrences: FxHashMap<EventId, Vec<(Loc, f64)>> = FxHashMap::default();
+        let total_uses: usize = g.iter_rules().map(|(_, r)| r.body.len()).sum();
+        let mut arena: Vec<SymbolUse> = Vec::with_capacity(total_uses);
+        let mut spans: Vec<(u32, u32)> = vec![(0, 0); n];
         for (id, rule) in g.iter_rules() {
+            spans[id.index()] = (arena.len() as u32, rule.body.len() as u32);
+            arena.extend_from_slice(&rule.body);
             let mut suffix = vec![0u64; rule.body.len() + 1];
             for (pos, u) in rule.body.iter().enumerate().rev() {
                 suffix[pos] = suffix[pos + 1] + u.count as u64 * symbol_len(&metas, u.symbol);
@@ -109,8 +126,25 @@ impl GrammarIndex {
             suffix_lens,
             rule_uses,
             occurrences,
+            arena,
+            spans,
             trace_len,
         }
+    }
+
+    /// The body of rule `r` as a slice of the contiguous arena — same
+    /// content as `Grammar::rule(r).body`, cache-linear storage. Vacant
+    /// slots yield an empty slice.
+    #[inline]
+    pub fn body(&self, r: RuleId) -> &[SymbolUse] {
+        let (off, len) = self.spans[r.index()];
+        &self.arena[off as usize..off as usize + len as usize]
+    }
+
+    /// The symbol use at `loc`, served from the arena. O(1).
+    #[inline]
+    pub fn use_at(&self, loc: Loc) -> SymbolUse {
+        self.body(loc.rule)[loc.pos]
     }
 
     /// Metadata of one rule slot.
@@ -331,5 +365,22 @@ mod tests {
         assert_eq!(idx.trace_len(), 0);
         assert_eq!(idx.meta(g.root()).first_terminal, None);
         assert_eq!(idx.distinct_events(), 0);
+        assert!(idx.body(g.root()).is_empty());
+    }
+
+    #[test]
+    fn arena_bodies_match_grammar() {
+        let seq: Vec<u32> = (0..60).flat_map(|i| [0, 1, 1, 2, (i % 5) + 3]).collect();
+        let g = grammar_of(&seq);
+        let idx = GrammarIndex::build(&g);
+        for (id, rule) in g.iter_rules() {
+            assert_eq!(idx.body(id), rule.body.as_slice(), "rule {id}");
+            for (pos, &u) in rule.body.iter().enumerate() {
+                assert_eq!(idx.use_at(Loc { rule: id, pos }), u);
+            }
+        }
+        // The arena packs exactly the live bodies, nothing more.
+        let total: usize = g.iter_rules().map(|(_, r)| r.body.len()).sum();
+        assert_eq!(idx.arena.len(), total);
     }
 }

@@ -110,6 +110,7 @@ mod tests {
         let mut b = GrammarBuilder::new();
         for ev in [0u32, 1, 2, 0, 1, 2, 0, 1, 2, 3, 3, 3] {
             b.push(EventId(ev));
+            b.flush_accel();
             b.check_invariants().unwrap();
         }
     }

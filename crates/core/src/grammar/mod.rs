@@ -363,6 +363,14 @@ impl Grammar {
     /// Every location where rule `target` is used.
     pub fn rule_uses(&self, target: RuleId) -> Vec<Loc> {
         let mut out = Vec::new();
+        self.collect_rule_uses(target, &mut out);
+        out
+    }
+
+    /// [`Grammar::rule_uses`] into a caller-provided buffer (cleared
+    /// first), so hot callers can recycle the allocation.
+    pub fn collect_rule_uses(&self, target: RuleId, out: &mut Vec<Loc>) {
+        out.clear();
         for (id, rule) in self.iter_rules() {
             for (pos, u) in rule.body.iter().enumerate() {
                 if u.symbol == Symbol::Rule(target) {
@@ -370,7 +378,6 @@ impl Grammar {
                 }
             }
         }
-        out
     }
 
     /// Renumbers live rules densely (root becomes rule 0) and drops vacant

@@ -62,6 +62,7 @@ pub mod persist;
 pub mod predict;
 pub mod record;
 pub mod resilience;
+pub mod sync;
 pub mod timing;
 pub mod trace;
 pub mod util;
@@ -71,15 +72,16 @@ pub(crate) mod wire;
 pub mod prelude {
     pub use crate::analyze::{analyze_trace, AnalysisReport, AnalyzeConfig, Diagnostic, Severity};
     pub use crate::error::{Error, Result};
-    pub use crate::event::{EventDesc, EventId, EventRegistry};
+    pub use crate::event::{ConcurrentRegistry, EventDesc, EventId, EventRegistry};
     pub use crate::grammar::{Grammar, RuleId, Symbol, SymbolUse};
     pub use crate::oracle::{Oracle, OracleMode};
     pub use crate::persist::{PersistConfig, RecoverReport};
     pub use crate::predict::{Prediction, Predictor, PredictorConfig};
-    pub use crate::record::{RecordConfig, Recorder};
+    pub use crate::record::{RecordConfig, RecordSnapshot, Recorder};
     pub use crate::resilience::{
         FaultPlan, HardenedOracle, OracleHealth, ResilienceConfig, ResilienceStats,
     };
+    pub use crate::sync::Published;
     pub use crate::timing::TimingModel;
     pub use crate::trace::TraceData;
 }

@@ -33,6 +33,10 @@ pub enum OracleMode {
 
 /// Per-thread oracle: a mode-polymorphic wrapper around [`Recorder`] and
 /// [`Predictor`].
+// One oracle exists per thread for the lifetime of a run and lives where
+// its owner put it; boxing the recorder to even out variant sizes would
+// only add an indirection to every hot-path event submission.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub enum Oracle {
     /// No-op oracle.

@@ -34,10 +34,8 @@ mod recover;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-
 use crate::error::{Error, Result};
-use crate::event::EventRegistry;
+use crate::event::ConcurrentRegistry;
 use crate::grammar::Grammar;
 use crate::resilience::FaultPlan;
 
@@ -47,9 +45,12 @@ pub use recover::{RankRecovery, RecoverReport};
 pub(crate) use recover::recover_trace;
 
 /// A registry shared by all recording threads of a process, journaled
-/// alongside the events so recovery can name them. Matches the shape the
-/// MPI runtime integration uses.
-pub type SharedRegistry = Arc<Mutex<EventRegistry>>;
+/// alongside the events so recovery can name them. Interning serializes
+/// writers; every read the persistence layer performs (snapshots,
+/// journal deltas) is lock-free, so no recording thread is ever blocked
+/// behind another rank's flush. Matches the shape the MPI runtime
+/// integration uses.
+pub type SharedRegistry = Arc<ConcurrentRegistry>;
 
 /// Durability knobs for a [`crate::record::Recorder`].
 #[derive(Debug, Clone)]
@@ -212,7 +213,7 @@ impl PersistState {
         let reg_snapshot = self
             .registry
             .as_ref()
-            .map(|r| r.lock().clone())
+            .map(|r| r.snapshot())
             .unwrap_or_default();
         let ts = if self.timestamps {
             Some(&timestamps_ns[..event_count as usize])
@@ -257,15 +258,10 @@ impl PersistState {
 
     fn try_commit(&mut self, payload: &[u8], count: usize) -> Result<()> {
         // Registry deltas first: an event frame must never name a
-        // descriptor the journal has not yet defined.
+        // descriptor the journal has not yet defined. `descs_from` reads
+        // the published prefix lock-free.
         if let Some(reg) = self.registry.clone() {
-            let descs: Vec<(String, Option<i64>)> = {
-                let r = reg.lock();
-                r.iter()
-                    .skip(self.registry_written)
-                    .map(|(_, d)| (d.name.clone(), d.payload))
-                    .collect()
-            };
+            let descs = reg.descs_from(self.registry_written);
             if !descs.is_empty() {
                 self.journal
                     .append_registry(self.registry_written, &descs, &mut self.injector)?;

@@ -52,7 +52,7 @@ use crate::grammar::GrammarIndex;
 use crate::trace::{ThreadTrace, TraceData};
 use crate::util::FxHashMap;
 use path::Path;
-use walker::{Branch, DistanceAccumulator, Outcome, Walker};
+use walker::{Advance, Branch, DistanceAccumulator, Outcome, Walker};
 
 /// Tuning knobs of the predictor.
 #[derive(Debug, Clone)]
@@ -251,6 +251,31 @@ impl Predictor {
             self.candidates.clear();
             self.stats.unknown += 1;
             return ObserveOutcome::Unknown;
+        }
+        if self.candidates.len() == 1 {
+            // Steady-state fast path: a synchronized stream tracks one
+            // candidate, and the in-place advance mutates its frames
+            // without cloning, allocating, or touching the merge map. On
+            // ambiguity it falls through to the general expansion, which
+            // produces the identical result.
+            let walker = Walker {
+                grammar: &self.thread.grammar,
+                index: &self.index,
+            };
+            let (path, weight) = &mut self.candidates[0];
+            match walker.advance_in_place(&mut path.frames, event) {
+                Advance::Advanced => {
+                    *weight = 1.0; // a lone candidate always normalizes to 1
+                    self.stats.matched += 1;
+                    return ObserveOutcome::Matched;
+                }
+                Advance::NoMatch => {
+                    self.seed(event);
+                    self.stats.reseeded += 1;
+                    return ObserveOutcome::Reseeded;
+                }
+                Advance::Ambiguous => {}
+            }
         }
         if !self.candidates.is_empty() {
             // Advance every candidate, materializing only the branches that

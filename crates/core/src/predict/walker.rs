@@ -133,6 +133,19 @@ impl DistanceAccumulator {
     }
 }
 
+/// Result of [`Walker::advance_in_place`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Advance {
+    /// Exactly one branch matched; the frames were advanced in place.
+    Advanced,
+    /// No branch emits the event from here (reseed).
+    NoMatch,
+    /// More than one branch could match, or the walk would extend the
+    /// path upward — the caller must take the general
+    /// [`Walker::expand_matching`] route.
+    Ambiguous,
+}
+
 /// Borrowed read-side state needed to expand paths.
 pub struct Walker<'a> {
     /// The reference grammar.
@@ -149,6 +162,109 @@ impl Walker<'_> {
         let mut frames = path.frames.clone();
         let innermost = frames.len() - 1;
         self.decide(&mut frames, innermost, 1.0, None, out);
+    }
+
+    /// Allocation-free single-candidate advance: when the observed event
+    /// continues the path along exactly one branch, mutate `frames` to
+    /// the successor in place — no clone, no `Branch` materialization.
+    ///
+    /// The scan mirrors [`Walker::decide`]/[`Walker::exit`] without
+    /// building anything: walking outward from the innermost frame, each
+    /// level can *stay* (begin another repetition — matches iff the use's
+    /// first terminal is `event`) and/or *exit* (move to the next use —
+    /// matches iff that use's first terminal is `event`; a finished body
+    /// ascends instead). Two potential matches, or an ascent past a
+    /// non-root top frame (upward extension branches over use sites),
+    /// bail out as [`Advance::Ambiguous`] — the caller falls back to
+    /// [`Walker::expand_matching`], whose result this advance reproduces
+    /// byte-for-byte whenever it returns [`Advance::Advanced`].
+    pub fn advance_in_place(&self, frames: &mut Vec<Frame>, event: EventId) -> Advance {
+        debug_assert!(!frames.is_empty());
+        #[derive(Clone, Copy)]
+        enum Hit {
+            Stay { level: usize, rep: Rep },
+            ExitNext { level: usize },
+        }
+        let mut hit: Option<Hit> = None;
+        let mut level = frames.len() - 1;
+        // Effective completed-repetition state at the current level: the
+        // stored value at the innermost frame, bumped once per ascent
+        // (mirroring `exit`'s mutation before it recurses).
+        let mut rep = frames[level].rep;
+        loop {
+            let f = frames[level];
+            let body = self.index.body(f.rule);
+            let use_ = body[f.pos];
+            let c = use_.count;
+            let (stay_possible, exit_possible) = match rep {
+                Rep::Known(r) => (r < c, r >= c),
+                Rep::Unknown(k) => (k < c, true),
+            };
+            if stay_possible && self.index.first_terminal(use_.symbol) == event {
+                if hit.is_some() {
+                    return Advance::Ambiguous;
+                }
+                hit = Some(Hit::Stay { level, rep });
+            }
+            if !exit_possible {
+                break;
+            }
+            if f.pos + 1 < body.len() {
+                if self.index.first_terminal(body[f.pos + 1].symbol) == event {
+                    if hit.is_some() {
+                        return Advance::Ambiguous;
+                    }
+                    hit = Some(Hit::ExitNext { level });
+                }
+                break;
+            }
+            if level == 0 {
+                if f.rule == self.grammar.root() {
+                    break; // end of trace: never matches an event
+                }
+                return Advance::Ambiguous; // upward extension branches
+            }
+            level -= 1;
+            rep = bump(frames[level].rep);
+        }
+        match hit {
+            None => Advance::NoMatch,
+            Some(Hit::Stay { level, rep }) => {
+                frames.truncate(level + 1);
+                frames[level].rep = rep;
+                let symbol = self.index.body(frames[level].rule)[frames[level].pos].symbol;
+                self.descend_frames(frames, symbol);
+                Advance::Advanced
+            }
+            Some(Hit::ExitNext { level }) => {
+                frames.truncate(level + 1);
+                let f = frames[level];
+                frames[level] = Frame {
+                    rule: f.rule,
+                    pos: f.pos + 1,
+                    rep: Rep::Known(0),
+                };
+                let symbol = self.index.body(f.rule)[f.pos + 1].symbol;
+                self.descend_frames(frames, symbol);
+                Advance::Advanced
+            }
+        }
+    }
+
+    /// Arena-backed equivalent of `Path::descend`: appends the frames
+    /// from `symbol` down to its first terminal (offsets known), then
+    /// counts the terminal's emitted repetition on the innermost frame.
+    fn descend_frames(&self, frames: &mut Vec<Frame>, mut symbol: Symbol) {
+        while let Symbol::Rule(r) = symbol {
+            frames.push(Frame {
+                rule: r,
+                pos: 0,
+                rep: Rep::Known(0),
+            });
+            symbol = self.index.body(r)[0].symbol;
+        }
+        let f = frames.last_mut().expect("descend on empty frames");
+        f.rep = bump(f.rep);
     }
 
     /// Like [`Walker::expand`], but only materializes branches whose next
@@ -179,7 +295,7 @@ impl Walker<'_> {
         }
         frames.truncate(idx + 1);
         let f = frames[idx];
-        let use_ = self.grammar.rule(f.rule).body[f.pos];
+        let use_ = self.index.body(f.rule)[f.pos];
         let c = use_.count;
         let (stay_w, exit_w) = match f.rep {
             Rep::Known(r) => {
@@ -224,7 +340,7 @@ impl Walker<'_> {
         filter: Option<EventId>,
         out: &mut Vec<Branch>,
     ) {
-        let use_ = self.grammar.rule(frames[idx].rule).body[frames[idx].pos];
+        let use_ = self.index.body(frames[idx].rule)[frames[idx].pos];
         // The emitted event is known in O(1) before any successor path is
         // built, so filtered expansion skips non-matching branches for
         // free.
@@ -274,10 +390,10 @@ impl Walker<'_> {
             return;
         }
         let f = frames[idx];
-        let body_len = self.grammar.rule(f.rule).body.len();
+        let body_len = self.index.body(f.rule).len();
         if f.pos + 1 < body_len {
             // Next use within the same rule.
-            let symbol = self.grammar.rule(f.rule).body[f.pos + 1].symbol;
+            let symbol = self.index.body(f.rule)[f.pos + 1].symbol;
             let e = self.index.first_terminal(symbol);
             if filter.is_some_and(|want| want != e) {
                 return;
@@ -327,7 +443,7 @@ impl Walker<'_> {
             return;
         }
         for site in self.index.rule_uses(top_rule) {
-            let use_ = self.grammar.rule(site.rule).body[site.pos];
+            let use_ = self.index.body(site.rule)[site.pos];
             debug_assert_eq!(use_.symbol, Symbol::Rule(top_rule));
             let site_visits = self.index.expansion(site.rule) * use_.count as f64;
             let w = weight * site_visits / total;
@@ -390,7 +506,7 @@ impl Walker<'_> {
         acc.nodes_left -= 1;
         frames.truncate(idx + 1);
         let f = frames[idx];
-        let use_ = self.grammar.rule(f.rule).body[f.pos];
+        let use_ = self.index.body(f.rule)[f.pos];
         let c = use_.count as u64;
         // Terminals expand to 1 event; rule bodies are non-empty, so
         // `unit >= 1` and the strides below always make progress.
@@ -446,7 +562,7 @@ impl Walker<'_> {
                     return;
                 }
                 Symbol::Rule(r) => {
-                    for u in &self.grammar.rule(r).body {
+                    for u in self.index.body(r) {
                         let unit = self.index.sym_len(u.symbol);
                         let full = u.count as u64 * unit;
                         if rem <= full {
@@ -478,7 +594,7 @@ impl Walker<'_> {
         let tail = self.index.suffix_len(f.rule, f.pos + 1);
         if tail >= rem {
             let mut rem = rem;
-            let body = &self.grammar.rule(f.rule).body;
+            let body = self.index.body(f.rule);
             for u in body.iter().skip(f.pos + 1) {
                 let unit = self.index.sym_len(u.symbol);
                 let full = u.count as u64 * unit;
@@ -510,7 +626,7 @@ impl Walker<'_> {
             return;
         }
         for site in self.index.rule_uses(top_rule) {
-            let use_ = self.grammar.rule(site.rule).body[site.pos];
+            let use_ = self.index.body(site.rule)[site.pos];
             let site_visits = self.index.expansion(site.rule) * use_.count as f64;
             let w = weight * site_visits / total;
             if w <= 0.0 {
@@ -693,6 +809,73 @@ mod tests {
                     for (f, r) in filtered.iter().zip(reference) {
                         assert_eq!(f.path, r.path);
                         assert!((f.factor - r.factor).abs() < 1e-12);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn advance_in_place_agrees_with_expand_matching() {
+        // Over a soup of reachable paths × alphabet: a fast advance must
+        // reproduce the unique matching branch exactly; NoMatch must mean
+        // the filtered expansion is empty; Ambiguous is always allowed to
+        // defer to the slow path (which the predictor then takes).
+        let traces: Vec<Vec<u32>> = vec![
+            (0..12).flat_map(|_| vec![0, 1, 2]).collect(),
+            (0..8).flat_map(|_| vec![0, 0, 0, 0, 1]).collect(),
+            (0..6)
+                .flat_map(|i| vec![0, 1, 2, 0, 1, 3 + (i % 2)])
+                .collect(),
+            (0..20)
+                .flat_map(|i| vec![0, 0, 0, 1, (i % 3) + 2])
+                .collect(),
+            vec![0, 1, 2, 3, 4, 5],
+        ];
+        for seq in traces {
+            let fx = Fixture::new(&seq);
+            let w = fx.walker();
+            // Collect paths: every seed plus a few expansion generations.
+            let mut paths: Vec<Path> = Vec::new();
+            for ev in 0..6u32 {
+                for loc in fx.terminal_uses(e(ev)) {
+                    paths.push(Path::seed(loc.rule, loc.pos));
+                }
+            }
+            let mut frontier = paths.clone();
+            for _ in 0..3 {
+                let mut next = Vec::new();
+                for p in &frontier {
+                    let mut out = Vec::new();
+                    w.expand(p, &mut out);
+                    for b in out {
+                        if let Outcome::Event(_) = b.outcome {
+                            next.push(b.path);
+                        }
+                    }
+                }
+                paths.extend(next.iter().cloned());
+                frontier = next;
+                if paths.len() > 400 {
+                    break;
+                }
+            }
+            for p in &paths {
+                for ev in 0..6u32 {
+                    let mut out = Vec::new();
+                    w.expand_matching(p, e(ev), &mut out);
+                    let mut frames = p.frames.clone();
+                    match w.advance_in_place(&mut frames, e(ev)) {
+                        Advance::Advanced => {
+                            assert_eq!(out.len(), 1, "path {p:?} event {ev}");
+                            assert_eq!(frames, out[0].path.frames, "path {p:?} event {ev}");
+                        }
+                        Advance::NoMatch => {
+                            assert!(out.is_empty(), "path {p:?} event {ev}: {out:?}");
+                        }
+                        Advance::Ambiguous => {
+                            // Deferred to the slow path; nothing to pin.
+                        }
                     }
                 }
             }

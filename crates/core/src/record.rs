@@ -18,6 +18,7 @@
 //! [`Recorder::finish`], which therefore return `Result`.
 
 use std::path::Path;
+use std::sync::Arc;
 use std::time::Instant;
 
 use crate::error::Result;
@@ -25,8 +26,22 @@ use crate::event::{EventId, EventRegistry};
 use crate::grammar::builder::GrammarBuilder;
 use crate::grammar::Grammar;
 use crate::persist::{PersistConfig, PersistState};
+use crate::sync::Published;
 use crate::timing::TimingModel;
 use crate::trace::{ThreadTrace, TraceData};
+
+/// Immutable view of a recording in progress, published through a
+/// [`Published`] slot at flush/checkpoint boundaries so cross-thread
+/// observers (progress watchdogs, diagnostics) can inspect a live
+/// recording without taking any lock and without ever seeing a
+/// half-built grammar. Obtain the slot with [`Recorder::share_snapshot`].
+#[derive(Debug, Clone, Default)]
+pub struct RecordSnapshot {
+    /// Compacted grammar as of the publication point.
+    pub grammar: Grammar,
+    /// Events recorded as of the publication point.
+    pub event_count: u64,
+}
 
 /// Configuration of a [`Recorder`].
 #[derive(Debug, Clone)]
@@ -57,17 +72,27 @@ pub struct Recorder {
     epoch: Instant,
     timestamps_ns: Vec<u64>,
     persist: Option<Box<PersistState>>,
-    /// Journal payload staged since the last flush (events already in
-    /// wire format: varint event id + varint timestamp delta). Kept
-    /// inline in the recorder — not behind the `PersistState` box — so
-    /// the per-event durable path is one buffer append and two compares;
-    /// `PersistState` is only entered at flush boundaries.
+    /// Encoded journal payload for the frame being committed. Filled by
+    /// [`Recorder::encode_stage`] at flush boundaries only: the per-event
+    /// durable path just appends the raw id/timestamp to the staging
+    /// arrays below; the varint wire format (identical to what a
+    /// per-event encoder would produce) is batch-encoded with the SWAR
+    /// spread of [`encode_varint_swar`] once per frame.
     stage: Vec<u8>,
-    /// Events currently in `stage`.
+    /// Raw event ids staged since the last flush.
+    stage_ids: Vec<u32>,
+    /// Raw timestamps staged since the last flush (empty when timestamps
+    /// are disabled). Deltas are taken at encode time.
+    stage_ts: Vec<u64>,
+    /// Events currently staged.
     stage_count: usize,
-    /// Timestamp of the last staged event; deltas in `stage` chain from
-    /// it. Reset to 0 at each frame boundary (frames decode standalone).
+    /// Timestamp of the last staged event — only used to account the
+    /// exact encoded size of each event's timestamp delta as it is
+    /// staged. Reset to 0 at each frame boundary (frames decode
+    /// standalone).
     stage_prev_ts: u64,
+    /// Exact number of bytes the staged events will encode to.
+    stage_bytes: usize,
     /// Staged-event count that triggers a flush
     /// ([`PersistConfig::flush_events`]; `usize::MAX` for in-memory
     /// recorders).
@@ -75,6 +100,12 @@ pub struct Recorder {
     /// Staged payload size that triggers a flush
     /// ([`PersistConfig::flush_bytes`]).
     stage_byte_threshold: usize,
+    /// Epoch-publication slot for cross-thread readers; created lazily by
+    /// [`Recorder::share_snapshot`]. `None` costs nothing on the hot
+    /// path; when present, a fresh [`RecordSnapshot`] is published at
+    /// checkpoint boundaries (durable recorders) and on
+    /// [`Recorder::publish_snapshot`].
+    published: Option<Arc<Published<RecordSnapshot>>>,
 }
 
 impl Default for Recorder {
@@ -94,10 +125,14 @@ impl Recorder {
             timestamps_ns: Vec::new(),
             persist: None,
             stage: Vec::new(),
+            stage_ids: Vec::new(),
+            stage_ts: Vec::new(),
             stage_count: 0,
             stage_prev_ts: 0,
+            stage_bytes: 0,
             stage_threshold: usize::MAX,
             stage_byte_threshold: usize::MAX,
+            published: None,
         }
     }
 
@@ -122,11 +157,74 @@ impl Recorder {
             timestamps_ns: Vec::new(),
             persist: Some(state),
             stage: Vec::new(),
+            stage_ids: Vec::new(),
+            stage_ts: Vec::new(),
             stage_count: 0,
             stage_prev_ts: 0,
+            stage_bytes: 0,
             stage_threshold: events,
             stage_byte_threshold: bytes,
+            published: None,
         })
+    }
+
+    /// Returns (creating on first use) this recorder's publication slot.
+    ///
+    /// The slot always holds a complete, immutable [`RecordSnapshot`];
+    /// readers on other threads consult it with [`Published::read`] /
+    /// [`Published::get`] — entirely lock-free against this recorder. The
+    /// snapshot is refreshed at every checkpoint boundary of a durable
+    /// recorder, at [`Recorder::finish_thread`], and whenever
+    /// [`Recorder::publish_snapshot`] is called explicitly (the only
+    /// option for in-memory recorders, which have no flush cadence).
+    pub fn share_snapshot(&mut self) -> Arc<Published<RecordSnapshot>> {
+        if self.published.is_none() {
+            self.published = Some(Arc::new(Published::new(self.snapshot_now())));
+        }
+        Arc::clone(self.published.as_ref().expect("just created"))
+    }
+
+    /// Publishes the current recording state to the slot returned by
+    /// [`Recorder::share_snapshot`] (no-op if that was never called).
+    /// Costs a grammar compaction — call at natural boundaries, not per
+    /// event.
+    pub fn publish_snapshot(&mut self) {
+        if self.published.is_some() {
+            let snap = self.snapshot_now();
+            let slot = self.published.as_ref().expect("checked above");
+            slot.publish(snap);
+        }
+    }
+
+    fn snapshot_now(&mut self) -> RecordSnapshot {
+        // Settle loop acceleration so published grammars satisfy the full
+        // invariant set (they are already lossless either way).
+        self.builder.flush_accel();
+        RecordSnapshot {
+            grammar: self.builder.grammar().compact(),
+            event_count: self.builder.event_count(),
+        }
+    }
+
+    /// Pre-reserves capacity for `n` further events in every per-event
+    /// buffer (timestamps and journal staging), so a steady-state
+    /// recording loop performs **zero heap allocations per event** until
+    /// the reservation is consumed (flush-boundary encoding may still
+    /// grow the encode buffer once).
+    pub fn reserve(&mut self, n: usize) {
+        if self.config.timestamps {
+            self.timestamps_ns.reserve(n);
+        }
+        if self.persist.is_some() {
+            let frame = n.min(self.stage_threshold);
+            self.stage_ids.reserve(frame);
+            if self.config.timestamps {
+                self.stage_ts.reserve(frame);
+            }
+            // Worst case per event: 5-byte id varint + 10-byte delta
+            // varint, plus the 8-byte SWAR slack.
+            self.stage.reserve(frame.saturating_mul(15) + 8);
+        }
     }
 
     /// Whether this recorder journals its events (built with
@@ -154,41 +252,90 @@ impl Recorder {
         }
         self.builder.push(event);
         if self.persist.is_some() {
-            // Varint event id + varint timestamp delta, packed into a
-            // stack buffer first so the stage Vec sees one append (and one
-            // capacity check) per event.
-            let mut b = [0u8; 15];
-            let mut n = encode_varint(&mut b, 0, event.0 as u64);
+            // Stage the raw id/timestamp — two array appends and exact
+            // byte accounting; the varint encoding happens per frame in
+            // `encode_stage`, not per event.
+            self.stage_ids.push(event.0);
+            let mut n = varint_len(event.0 as u64);
             if self.config.timestamps {
-                n = encode_varint(&mut b, n, ns.wrapping_sub(self.stage_prev_ts));
+                self.stage_ts.push(ns);
+                n += varint_len(ns.wrapping_sub(self.stage_prev_ts));
                 self.stage_prev_ts = ns;
             }
-            self.stage.extend_from_slice(&b[..n]);
+            self.stage_bytes += n;
             self.stage_count += 1;
             if self.stage_count >= self.stage_threshold
-                || self.stage.len() >= self.stage_byte_threshold
+                || self.stage_bytes >= self.stage_byte_threshold
             {
                 self.persist_tick();
             }
         }
         if self.config.validate {
+            // Validation needs the full digram/index invariants, which loop
+            // acceleration defers; settle first (disables acceleration for
+            // validating recorders, which trade speed for checking anyway).
+            self.builder.flush_accel();
             if let Err(msg) = self.builder.check_invariants() {
                 panic!("grammar invariant violated after event {event}: {msg}");
             }
         }
     }
 
+    /// Batch-encodes the staged raw events into the journal wire format
+    /// (varint event id + varint frame-local timestamp delta — byte
+    /// identical to a per-event encoder). One SWAR spread per varint, no
+    /// per-byte loop for the ubiquitous short values.
+    fn encode_stage(&mut self) {
+        debug_assert!(self.stage.is_empty());
+        self.stage.reserve(self.stage_bytes + 8);
+        if self.config.timestamps {
+            let mut prev = 0u64; // frames decode standalone
+            for (&id, &ts) in self.stage_ids.iter().zip(&self.stage_ts) {
+                encode_varint_swar(&mut self.stage, id as u64);
+                encode_varint_swar(&mut self.stage, ts.wrapping_sub(prev));
+                prev = ts;
+            }
+        } else {
+            for &id in &self.stage_ids {
+                encode_varint_swar(&mut self.stage, id as u64);
+            }
+        }
+        debug_assert_eq!(self.stage.len(), self.stage_bytes);
+        self.stage_ids.clear();
+        self.stage_ts.clear();
+        self.stage_bytes = 0;
+        self.stage_prev_ts = 0;
+    }
+
     /// Flushes the staged journal payload and, when the checkpoint
     /// cadence is due, snapshots the grammar. Out of the per-event path on
     /// purpose: it runs once per flush budget.
     fn persist_tick(&mut self) {
+        self.encode_stage();
         let p = self.persist.as_mut().expect("persist_tick without persist");
         p.commit_stage(&mut self.stage, &mut self.stage_count);
-        self.stage_prev_ts = 0;
         let count = self.builder.event_count();
-        if p.wants_snapshot(count) {
+        if self
+            .persist
+            .as_ref()
+            .expect("checked")
+            .wants_snapshot(count)
+        {
+            // Checkpointed grammars satisfy the full invariant set (the
+            // load-path linter rejects deferred-index shapes).
+            self.builder.flush_accel();
             let grammar = self.builder.grammar().compact();
+            let p = self.persist.as_mut().expect("checked");
             p.snapshot(&grammar, count, &self.timestamps_ns);
+            // Reuse the compacted grammar for the epoch publication: the
+            // checkpoint cadence is exactly the "flush boundary" at which
+            // cross-thread readers are promised a fresh immutable view.
+            if let Some(slot) = &self.published {
+                slot.publish(RecordSnapshot {
+                    grammar,
+                    event_count: count,
+                });
+            }
         }
     }
 
@@ -217,11 +364,18 @@ impl Recorder {
     /// recorders cannot fail.
     pub fn finish_thread(mut self) -> Result<ThreadTrace> {
         if let Some(mut p) = self.persist.take() {
+            self.encode_stage();
             p.commit_stage(&mut self.stage, &mut self.stage_count);
             p.finalize()?;
         }
         let event_count = self.builder.event_count();
         let grammar = std::mem::take(&mut self.builder).into_grammar().compact();
+        if let Some(slot) = &self.published {
+            slot.publish(RecordSnapshot {
+                grammar: grammar.clone(),
+                event_count,
+            });
+        }
         let timing = TimingModel::build(&grammar, &self.timestamps_ns);
         Ok(ThreadTrace::new(grammar, timing, event_count))
     }
@@ -237,17 +391,46 @@ impl Recorder {
     }
 }
 
-/// Appends the LEB128 varint of `v` to `b` at offset `n`; returns the new
-/// offset. `b` must have 10 bytes of room (the longest u64 varint).
+/// Exact LEB128 length of `v` in bytes (1–10).
 #[inline]
-fn encode_varint(b: &mut [u8; 15], mut n: usize, mut v: u64) -> usize {
-    while v >= 0x80 {
-        b[n] = (v as u8) | 0x80;
-        n += 1;
-        v >>= 7;
+fn varint_len(v: u64) -> usize {
+    let bits = 64 - (v | 1).leading_zeros() as usize;
+    bits.div_ceil(7)
+}
+
+/// Appends the LEB128 varint of `v` to `out`.
+///
+/// For values up to 8 encoded bytes (`v < 2^56` — every event id and any
+/// realistic timestamp delta), the encode is a branchless SWAR spread:
+/// each 7-bit group is shifted into its own byte lane of one `u64`, the
+/// continuation bits are OR-ed in with a single mask, and the whole
+/// 8-byte little-endian word is written at once (the buffer keeps 8 bytes
+/// of slack; only the exact length is kept). Larger values take the
+/// classic per-byte loop.
+#[inline]
+fn encode_varint_swar(out: &mut Vec<u8>, v: u64) {
+    let n = varint_len(v);
+    if n <= 8 {
+        let x = (v & 0x7f)
+            | ((v & (0x7f << 7)) << 1)
+            | ((v & (0x7f << 14)) << 2)
+            | ((v & (0x7f << 21)) << 3)
+            | ((v & (0x7f << 28)) << 4)
+            | ((v & (0x7f << 35)) << 5)
+            | ((v & (0x7f << 42)) << 6)
+            | ((v & (0x7f << 49)) << 7);
+        let cont = 0x8080_8080_8080_8080u64 & ((1u64 << (8 * (n - 1))) - 1);
+        let len = out.len();
+        out.extend_from_slice(&(x | cont).to_le_bytes());
+        out.truncate(len + n);
+    } else {
+        let mut v = v;
+        while v >= 0x80 {
+            out.push(v as u8 | 0x80);
+            v >>= 7;
+        }
+        out.push(v as u8);
     }
-    b[n] = v as u8;
-    n + 1
 }
 
 impl Drop for Recorder {
@@ -255,10 +438,10 @@ impl Drop for Recorder {
     /// (a panicking rank, an aborted session) still journals its staged
     /// tail, so recovery loses nothing that was submitted.
     fn drop(&mut self) {
-        if self.stage_count > 0 {
-            if let Some(p) = self.persist.as_mut() {
-                p.commit_stage(&mut self.stage, &mut self.stage_count);
-            }
+        if self.stage_count > 0 && self.persist.is_some() {
+            self.encode_stage();
+            let p = self.persist.as_mut().expect("checked above");
+            p.commit_stage(&mut self.stage, &mut self.stage_count);
         }
     }
 }
@@ -364,6 +547,118 @@ mod tests {
         // Journaling must not perturb the recording itself.
         assert_eq!(a.grammar.unfold(), b.grammar.unfold());
         assert_eq!(a.event_count, b.event_count);
+        crate::persist::remove_sidecars(&path);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Reference LEB128 encoder (the classic per-byte loop).
+    fn encode_varint_loop(out: &mut Vec<u8>, mut v: u64) {
+        while v >= 0x80 {
+            out.push(v as u8 | 0x80);
+            v >>= 7;
+        }
+        out.push(v as u8);
+    }
+
+    #[test]
+    fn swar_varint_matches_loop_encoder() {
+        let mut cases: Vec<u64> = vec![0, 1, 0x7f, 0x80, 0x3fff, 0x4000, u64::MAX];
+        for k in 1..64 {
+            cases.push((1u64 << k) - 1);
+            cases.push(1u64 << k);
+            cases.push((1u64 << k) + 1);
+        }
+        let mut state = 0x5ca1ab1eu64;
+        for _ in 0..2000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            cases.push(state >> (state % 60));
+        }
+        for v in cases {
+            let mut want = Vec::new();
+            encode_varint_loop(&mut want, v);
+            let mut got = Vec::new();
+            encode_varint_swar(&mut got, v);
+            assert_eq!(got, want, "value {v:#x}");
+            assert_eq!(want.len(), varint_len(v), "length of {v:#x}");
+        }
+    }
+
+    #[test]
+    fn swar_varint_appends_after_existing_bytes() {
+        // The 8-byte word write must not clobber bytes already in the
+        // buffer, and consecutive encodes must pack back to back.
+        let mut buf = vec![0xAA, 0xBB];
+        encode_varint_swar(&mut buf, 300);
+        encode_varint_swar(&mut buf, 5);
+        let mut want = vec![0xAA, 0xBB];
+        encode_varint_loop(&mut want, 300);
+        encode_varint_loop(&mut want, 5);
+        assert_eq!(buf, want);
+    }
+
+    #[test]
+    fn share_snapshot_publishes_on_demand_and_at_finish() {
+        let mut rec = Recorder::new(RecordConfig {
+            timestamps: false,
+            validate: false,
+        });
+        let slot = rec.share_snapshot();
+        assert_eq!(slot.read(|s| s.event_count), 0);
+        for _ in 0..6 {
+            rec.record_at(e(1), 0);
+            rec.record_at(e(2), 0);
+        }
+        // Nothing republished yet: the slot still holds the initial view.
+        assert_eq!(slot.read(|s| s.event_count), 0);
+        rec.publish_snapshot();
+        let snap = slot.get();
+        assert_eq!(snap.event_count, 12);
+        assert_eq!(snap.grammar.unfold().len(), 12);
+        rec.record_at(e(3), 0);
+        rec.finish_thread().unwrap();
+        // finish_thread publishes the final state.
+        assert_eq!(slot.read(|s| s.event_count), 13);
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore)]
+    fn durable_recorder_publishes_at_checkpoint_boundaries() {
+        let dir = std::env::temp_dir().join(format!("pythia-rec-pub-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.pythia");
+        let persist = PersistConfig {
+            flush_events: 8,
+            snapshot_events: 32,
+            ..PersistConfig::default()
+        };
+        let mut rec = Recorder::durable(RecordConfig::default(), &path, 0, persist).unwrap();
+        let slot = rec.share_snapshot();
+        // A concurrent reader polls the slot while the recorder runs:
+        // every view it observes must be internally consistent (the
+        // grammar unfolds to exactly `event_count` events) — the epoch
+        // protocol never exposes a half-published snapshot.
+        std::thread::scope(|s| {
+            let reader_slot = Arc::clone(&slot);
+            let reader = s.spawn(move || {
+                let mut seen_nonzero = false;
+                for _ in 0..10_000 {
+                    reader_slot.read(|snap| {
+                        assert_eq!(snap.grammar.unfold().len() as u64, snap.event_count);
+                        seen_nonzero |= snap.event_count > 0;
+                    });
+                }
+                seen_nonzero
+            });
+            for i in 0..400u32 {
+                rec.record(e(i % 5));
+            }
+            rec.finish_thread().unwrap();
+            reader.join().unwrap();
+        });
+        // After finish, the slot holds the complete recording.
+        assert_eq!(slot.read(|s| s.event_count), 400);
         crate::persist::remove_sidecars(&path);
         std::fs::remove_dir_all(&dir).ok();
     }

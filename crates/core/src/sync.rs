@@ -1,0 +1,175 @@
+//! Epoch-style publication of immutable snapshots.
+//!
+//! The contention-free recording model gives each recording thread sole
+//! ownership of its mutable state (grammar builder, journal stage
+//! buffer). Cross-thread observers — a progress watchdog, finalization
+//! diagnostics — must still be able to look at a rank's recording
+//! without stopping it, so the recorder *publishes* an immutable
+//! snapshot at flush/checkpoint boundaries through a [`Published<T>`]:
+//!
+//! * the writer hands over a fully-built value; publication is a single
+//!   pointer swap, so a reader can never observe a half-written
+//!   snapshot;
+//! * readers run lock-free against the writer (they only pin a reader
+//!   count); the writer never waits for readers — superseded snapshots
+//!   are retired and reclaimed once the reader count returns to zero.
+//!
+//! All atomics are `SeqCst`: publication happens at most once per flush
+//! budget (thousands of events), so the few nanoseconds this costs buy
+//! a reclamation argument simple enough to check by hand (and by Miri —
+//! see the `epoch` tests, run under `PYTHIA_CI_SANITIZE=1`).
+//!
+//! Reclamation safety: a reader increments `readers` *before* loading
+//! the current pointer and decrements it only after its borrow ends. A
+//! writer retires the old pointer after the swap and frees retired
+//! pointers only when it observes `readers == 0` while holding the
+//! retire lock. In the `SeqCst` total order, any reader still borrowing
+//! a retired snapshot performed its increment before the writer's load
+//! of `readers`, so the writer sees a non-zero count and keeps the
+//! snapshot; once the count is zero, no live borrow can reach a retired
+//! pointer (fresh loads only ever return the current one).
+
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+/// A single-writer, multi-reader slot holding the latest published
+/// snapshot of type `T`.
+#[derive(Debug)]
+pub struct Published<T> {
+    current: AtomicPtr<T>,
+    readers: AtomicUsize,
+    /// Superseded snapshots awaiting a readers==0 window. Also
+    /// serializes publishers (publication is rare; contention here is
+    /// not a concern).
+    retired: Mutex<Vec<*mut T>>,
+}
+
+// SAFETY: the raw pointers are only ever created from `Box<T>` and
+// freed exactly once (retire list or Drop); `T: Send + Sync` makes the
+// shared borrows handed to readers sound.
+unsafe impl<T: Send + Sync> Send for Published<T> {}
+unsafe impl<T: Send + Sync> Sync for Published<T> {}
+
+impl<T> Published<T> {
+    /// A slot initially holding `value`.
+    pub fn new(value: T) -> Self {
+        Published {
+            current: AtomicPtr::new(Box::into_raw(Box::new(value))),
+            readers: AtomicUsize::new(0),
+            retired: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Publishes a new snapshot. Readers switch to it atomically; the
+    /// superseded snapshot is reclaimed once no reader pins the slot.
+    pub fn publish(&self, value: T) {
+        let fresh = Box::into_raw(Box::new(value));
+        let old = self.current.swap(fresh, Ordering::SeqCst);
+        let mut retired = self.retired.lock();
+        retired.push(old);
+        if self.readers.load(Ordering::SeqCst) == 0 {
+            for p in retired.drain(..) {
+                // SAFETY: `p` came from Box::into_raw, was removed from
+                // `current` (no new borrow can load it), and no borrow
+                // predating the swap is live (readers == 0).
+                drop(unsafe { Box::from_raw(p) });
+            }
+        }
+    }
+
+    /// Reads the latest published snapshot. The borrow is confined to
+    /// the closure; the writer is never blocked.
+    pub fn read<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        self.readers.fetch_add(1, Ordering::SeqCst);
+        let p = self.current.load(Ordering::SeqCst);
+        // SAFETY: `p` is the current snapshot or a retired one that the
+        // writer cannot free while our reader count is pinned (see the
+        // module-level reclamation argument).
+        let r = f(unsafe { &*p });
+        self.readers.fetch_sub(1, Ordering::SeqCst);
+        r
+    }
+
+    /// Clones the latest published snapshot out of the slot.
+    pub fn get(&self) -> T
+    where
+        T: Clone,
+    {
+        self.read(T::clone)
+    }
+}
+
+impl<T> Drop for Published<T> {
+    fn drop(&mut self) {
+        // Exclusive access: no readers or writers remain.
+        drop(unsafe { Box::from_raw(*self.current.get_mut()) });
+        for p in self.retired.get_mut().drain(..) {
+            drop(unsafe { Box::from_raw(p) });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn publish_and_read_roundtrip() {
+        let p = Published::new(vec![0u64; 4]);
+        assert_eq!(p.get(), vec![0u64; 4]);
+        p.publish(vec![7u64; 4]);
+        assert_eq!(p.read(|v| v.iter().sum::<u64>()), 28);
+        p.publish(vec![9u64; 2]);
+        assert_eq!(p.get(), vec![9u64; 2]);
+    }
+
+    /// The epoch-publication protocol under concurrency: a writer
+    /// republishes self-consistent snapshots (all elements equal) while
+    /// readers continuously validate that no snapshot is ever observed
+    /// half-published or after reclamation. Run under Miri by the
+    /// `PYTHIA_CI_SANITIZE=1` stage of ci.sh, which verifies the
+    /// publication handshake and the retire/reclaim path are data-race
+    /// free and use-after-free free.
+    #[test]
+    fn readers_never_observe_torn_snapshots() {
+        let slot = Arc::new(Published::new(vec![0u64; 32]));
+        let rounds: u64 = if cfg!(miri) { 25 } else { 2000 };
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let slot = Arc::clone(&slot);
+                s.spawn(move || {
+                    for _ in 0..rounds {
+                        slot.read(|v| {
+                            let first = v[0];
+                            assert!(
+                                v.iter().all(|&x| x == first),
+                                "torn snapshot observed: {v:?}"
+                            );
+                        });
+                    }
+                });
+            }
+            let slot = Arc::clone(&slot);
+            s.spawn(move || {
+                for n in 1..=rounds {
+                    slot.publish(vec![n; 32]);
+                }
+            });
+        });
+        // After the writer finished, the last snapshot is intact.
+        slot.read(|v| assert!(v.iter().all(|&x| x == v[0])));
+    }
+
+    #[test]
+    fn retired_snapshots_are_reclaimed_when_idle() {
+        // With no reader pinning the slot, every publish frees the
+        // previous snapshot immediately (the retire list stays empty).
+        let p = Published::new(String::from("a"));
+        for i in 0..100 {
+            p.publish(format!("snap{i}"));
+            assert!(p.retired.lock().is_empty());
+        }
+    }
+}

@@ -12,9 +12,13 @@ fn soak(seq: &[u32], max_rules: usize) {
     for (i, &s) in seq.iter().enumerate() {
         b.push(EventId(s));
         if i % checkpoint == 0 {
+            // Validation needs the full invariant set; settle any
+            // in-flight loop acceleration first.
+            b.flush_accel();
             b.check_invariants().unwrap();
         }
     }
+    b.flush_accel();
     b.check_invariants().unwrap();
     let got: Vec<u32> = b.grammar().unfold().into_iter().map(|x| x.0).collect();
     assert_eq!(got, seq, "lossless reduction violated");
@@ -105,6 +109,7 @@ fn soak_monotone_run() {
     for &s in &seq {
         b.push(EventId(s));
     }
+    b.flush_accel();
     b.check_invariants().unwrap();
     assert_eq!(b.grammar().rule_count(), 1);
     assert_eq!(b.grammar().trace_len(), 100_000);

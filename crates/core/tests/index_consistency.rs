@@ -98,6 +98,46 @@ proptest! {
         }
     }
 
+    /// The arena-backed body view is use-for-use identical to the
+    /// `Vec`-backed rule bodies it was packed from — the walkers resolve
+    /// every symbol through `GrammarIndex::body`/`use_at`, so this is the
+    /// layer the predict/predict_scan agreement below rests on.
+    #[test]
+    fn arena_bodies_agree_with_vec_backed_grammar(seq in structured()) {
+        let trace = trace_of(&seq);
+        let thread = trace.thread(0).unwrap();
+        let g = &thread.grammar;
+        let idx = thread.index();
+        for (id, rule) in g.iter_rules() {
+            prop_assert_eq!(idx.body(id), rule.body.as_slice());
+            for pos in 0..rule.body.len() {
+                let loc = pythia_core::grammar::Loc { rule: id, pos };
+                prop_assert_eq!(idx.use_at(loc), rule.body[pos]);
+            }
+        }
+    }
+
+    /// Byte-identical round-trip: serializing a trace, reloading it, and
+    /// rebuilding the arena index changes nothing — the reloaded grammar
+    /// re-serializes to the same bytes, and its arena view matches the
+    /// original's use for use.
+    #[test]
+    fn serialized_roundtrip_is_byte_identical(seq in vec(0u32..8, 1..250)) {
+        let trace = trace_of(&seq);
+        let bytes = trace.to_bytes();
+        let reloaded = TraceData::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(
+            &*reloaded.to_bytes(), &*bytes,
+            "serialize→load→serialize is not a fixed point"
+        );
+        let (orig, back) = (trace.thread(0).unwrap(), reloaded.thread(0).unwrap());
+        prop_assert_eq!(orig.grammar.unfold(), back.grammar.unfold());
+        let (oi, bi) = (orig.index(), back.index());
+        for (id, _) in orig.grammar.iter_rules() {
+            prop_assert_eq!(oi.body(id), bi.body(id));
+        }
+    }
+
     /// Regression: the subtree-skipping `predict` reproduces the stepwise
     /// pre-cache implementation (`predict_scan`) on recorded traces —
     /// distributions, end probability, and most-likely event — while

@@ -51,6 +51,7 @@ proptest! {
         for &s in &seq {
             b.push(EventId(s));
         }
+        b.flush_accel();
         b.check_invariants().unwrap();
         prop_assert_eq!(b.grammar().unfold(), ids(&seq));
     }
@@ -61,6 +62,7 @@ proptest! {
         for &s in &seq {
             b.push(EventId(s));
         }
+        b.flush_accel();
         b.check_invariants().unwrap();
         prop_assert_eq!(b.grammar().unfold(), ids(&seq));
     }
@@ -70,6 +72,7 @@ proptest! {
         let mut b = GrammarBuilder::new();
         for &s in &seq {
             b.push(EventId(s));
+            b.flush_accel();
             b.check_invariants().unwrap();
         }
         prop_assert_eq!(b.grammar().unfold(), ids(&seq));

@@ -1,0 +1,167 @@
+//! Steady-state allocation accounting for the hot paths.
+//!
+//! The contention-free hot-path contract says the record and observe
+//! paths perform **zero heap allocations per event at steady state**:
+//! every per-event buffer either has reserved capacity
+//! ([`Recorder::reserve`]) or is reused in place (the single-candidate
+//! observe fast path mutates the tracked path's frames without
+//! reallocating). This harness pins that with a counting global
+//! allocator: warm the path up, snapshot the allocation counter, run a
+//! measurement window, and require the counter unchanged.
+//!
+//! The allocation counter is process-global, so the three measurements
+//! run sequentially inside a single `#[test]` — a second libtest thread
+//! warming up its own scenario (or the harness spawning one) would
+//! bump the counter mid-window and fail the accounting spuriously.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use pythia_core::event::{EventId, EventRegistry};
+use pythia_core::persist::PersistConfig;
+use pythia_core::predict::{Predictor, PredictorConfig};
+use pythia_core::record::{RecordConfig, Recorder};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Runs `f` and returns how many heap allocations it performed.
+fn allocations_in(f: impl FnOnce()) -> usize {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    f();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+const WINDOW_EVENTS: usize = 4_096;
+
+#[test]
+fn hot_paths_are_allocation_free_at_steady_state() {
+    in_memory_record();
+    durable_record();
+    observe();
+}
+
+fn in_memory_record() {
+    let mut rec = Recorder::new(RecordConfig {
+        timestamps: true,
+        validate: false,
+    });
+    // Warm up into steady state: a pure repetition stream folds into one
+    // symbol use, so the builder's fast path touches no container.
+    let mut t = 0u64;
+    for _ in 0..64 {
+        t += 10;
+        rec.record_at(EventId(3), t);
+    }
+    rec.reserve(WINDOW_EVENTS);
+    let n = allocations_in(|| {
+        for _ in 0..WINDOW_EVENTS {
+            t += 10;
+            rec.record_at(EventId(3), t);
+        }
+    });
+    assert_eq!(n, 0, "in-memory record path allocated {n} times");
+    assert_eq!(rec.event_count(), 64 + WINDOW_EVENTS as u64);
+}
+
+fn durable_record() {
+    let dir = std::env::temp_dir().join(format!("pythia-zero-alloc-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("t.pythia");
+    // Flush thresholds above the window: the per-event path stages raw
+    // ids/timestamps into reserved buffers; the batch SWAR encode and the
+    // journal write happen at the flush boundary, outside the window.
+    let persist = PersistConfig {
+        flush_events: WINDOW_EVENTS * 4,
+        flush_bytes: usize::MAX,
+        snapshot_events: 0,
+        ..PersistConfig::default()
+    };
+    let mut rec = Recorder::durable(
+        RecordConfig {
+            timestamps: true,
+            validate: false,
+        },
+        &path,
+        0,
+        persist,
+    )
+    .unwrap();
+    let mut t = 0u64;
+    for _ in 0..64 {
+        t += 10;
+        rec.record_at(EventId(3), t);
+    }
+    rec.reserve(WINDOW_EVENTS);
+    let n = allocations_in(|| {
+        for _ in 0..WINDOW_EVENTS {
+            t += 10;
+            rec.record_at(EventId(3), t);
+        }
+    });
+    assert_eq!(n, 0, "durable record path allocated {n} times");
+    // The recording is intact and journals on finish.
+    assert_eq!(rec.event_count(), 64 + WINDOW_EVENTS as u64);
+    rec.finish_thread().unwrap();
+    pythia_core::persist::remove_sidecars(&path);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn observe() {
+    // A cyclic trace: after the initial seed the predictor tracks a
+    // single candidate, and the in-place advance fast path reuses the
+    // path's frame stack without reallocating.
+    let mut rec = Recorder::new(RecordConfig {
+        timestamps: false,
+        validate: false,
+    });
+    for _ in 0..4_000 {
+        for e in [0u32, 1, 2, 3] {
+            rec.record(EventId(e));
+        }
+    }
+    let trace = rec.finish(&EventRegistry::new()).unwrap();
+    let mut p = Predictor::for_thread(&trace, 0, PredictorConfig::default()).unwrap();
+    // Warm up: seed + settle into single-candidate tracking, long enough
+    // to grow the frame stack to its maximum depth.
+    for _ in 0..64 {
+        for e in [0u32, 1, 2, 3] {
+            p.observe(EventId(e));
+        }
+    }
+    assert_eq!(p.candidate_count(), 1, "warm-up should settle tracking");
+    let n = allocations_in(|| {
+        for _ in 0..WINDOW_EVENTS / 4 {
+            for e in [0u32, 1, 2, 3] {
+                p.observe(EventId(e));
+            }
+        }
+    });
+    assert_eq!(n, 0, "observe fast path allocated {n} times");
+    assert_eq!(p.candidate_count(), 1);
+}

@@ -2,8 +2,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-use pythia_core::event::{EventId, EventRegistry};
+use pythia_core::event::{ConcurrentRegistry, EventId};
 use pythia_core::util::FxHashMap;
 
 /// The MPI primitives the runtime system instruments (paper §III-B).
@@ -168,10 +167,16 @@ pub enum MpiCallKind {
 }
 
 /// Registry shared by all ranks of a run (the trace file stores one
-/// registry; interning must be globally consistent).
-pub type SharedRegistry = Arc<Mutex<EventRegistry>>;
+/// registry; interning must be globally consistent). Appends serialize
+/// on a writer lock inside the registry, but every read is lock-free —
+/// and the per-rank [`EventCache`] makes even the append path cold:
+/// each rank interns a distinct descriptor at most once per run. Same
+/// type as [`pythia_core::persist::SharedRegistry`], so a recording
+/// session hands the identical handle to the journal layer.
+pub type SharedRegistry = Arc<ConcurrentRegistry>;
 
-/// Per-rank cache avoiding the registry lock on every event.
+/// Per-rank cache resolving repeated descriptors without touching the
+/// shared registry at all (not even its lock-free read path).
 #[derive(Debug, Default)]
 pub struct EventCache {
     map: FxHashMap<(MpiCall, Option<i64>), EventId>,
@@ -194,7 +199,7 @@ impl EventCache {
         if let Some(&id) = self.map.get(&(call, payload)) {
             return id;
         }
-        let id = registry.lock().intern(call.name(), payload);
+        let id = registry.intern(call.name(), payload);
         self.map.insert((call, payload), id);
         id
     }
@@ -206,19 +211,19 @@ mod tests {
 
     #[test]
     fn cache_interns_once() {
-        let registry: SharedRegistry = Arc::new(Mutex::new(EventRegistry::new()));
+        let registry: SharedRegistry = Arc::new(ConcurrentRegistry::new());
         let mut cache = EventCache::new();
         let a = cache.resolve(&registry, MpiCall::Send, Some(3));
         let b = cache.resolve(&registry, MpiCall::Send, Some(3));
         let c = cache.resolve(&registry, MpiCall::Send, Some(4));
         assert_eq!(a, b);
         assert_ne!(a, c);
-        assert_eq!(registry.lock().len(), 2);
+        assert_eq!(registry.len(), 2);
     }
 
     #[test]
     fn cache_consistent_across_ranks() {
-        let registry: SharedRegistry = Arc::new(Mutex::new(EventRegistry::new()));
+        let registry: SharedRegistry = Arc::new(ConcurrentRegistry::new());
         let mut c1 = EventCache::new();
         let mut c2 = EventCache::new();
         let a = c1.resolve(&registry, MpiCall::Barrier, None);

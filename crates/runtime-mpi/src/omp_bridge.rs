@@ -14,12 +14,11 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
 use pythia_core::predict::ObserveOutcome;
 use pythia_minomp::{OmpListener, RegionId, ThreadChoice};
 
 use crate::events::{EventCache, MpiCall, SharedRegistry};
-use crate::session::RankState;
+use crate::session::RankCell;
 
 /// Decision function mapping a predicted region duration (`None` = oracle
 /// uninformed) to a team size. `pythia_runtime_omp::ThresholdPolicy::choose`
@@ -27,7 +26,10 @@ use crate::session::RankState;
 pub type DurationPolicy = Box<dyn Fn(Option<Duration>) -> ThreadChoice + Send>;
 
 pub(crate) struct OmpBridgeListener {
-    pub(crate) state: Arc<Mutex<RankState>>,
+    /// The rank's single-owner state cell: minomp invokes the listener
+    /// on the caller (rank) thread, so entering the cell here honors the
+    /// same ownership contract as the MPI façade — no lock per event.
+    pub(crate) state: Arc<RankCell>,
     pub(crate) registry: SharedRegistry,
     pub(crate) cache: EventCache,
     pub(crate) policy: Option<DurationPolicy>,
@@ -35,38 +37,52 @@ pub(crate) struct OmpBridgeListener {
 
 impl OmpListener for OmpBridgeListener {
     fn region_begin(&mut self, region: RegionId) -> ThreadChoice {
-        let mut st = self.state.lock();
-        if st.oracle.is_off() {
-            return ThreadChoice::Default;
-        }
-        let id = self.cache.resolve(
-            &self.registry,
-            MpiCall::Custom("omp_region_begin"),
-            Some(region.0 as i64),
-        );
-        let outcome = st.submit(id);
-        match (&self.policy, outcome) {
-            (Some(policy), Some(ObserveOutcome::Matched)) => {
-                // The next event in the reference stream is this region's
-                // end: its delay is the estimated region duration.
-                policy(st.oracle.predict_delay(1))
+        let Self {
+            state,
+            registry,
+            cache,
+            policy,
+        } = self;
+        state.with(|st| {
+            if st.oracle.is_off() {
+                return ThreadChoice::Default;
             }
-            (Some(policy), _) => policy(None),
-            (None, _) => ThreadChoice::Default,
-        }
+            let id = cache.resolve(
+                registry,
+                MpiCall::Custom("omp_region_begin"),
+                Some(region.0 as i64),
+            );
+            let outcome = st.submit(id);
+            match (&policy, outcome) {
+                (Some(policy), Some(ObserveOutcome::Matched)) => {
+                    // The next event in the reference stream is this region's
+                    // end: its delay is the estimated region duration.
+                    policy(st.oracle.predict_delay(1))
+                }
+                (Some(policy), _) => policy(None),
+                (None, _) => ThreadChoice::Default,
+            }
+        })
     }
 
     fn region_end(&mut self, region: RegionId, _team: usize) {
-        let mut st = self.state.lock();
-        if st.oracle.is_off() {
-            return;
-        }
-        let id = self.cache.resolve(
-            &self.registry,
-            MpiCall::Custom("omp_region_end"),
-            Some(region.0 as i64),
-        );
-        st.submit(id);
+        let Self {
+            state,
+            registry,
+            cache,
+            ..
+        } = self;
+        state.with(|st| {
+            if st.oracle.is_off() {
+                return;
+            }
+            let id = cache.resolve(
+                registry,
+                MpiCall::Custom("omp_region_end"),
+                Some(region.0 as i64),
+            );
+            st.submit(id);
+        });
     }
 }
 

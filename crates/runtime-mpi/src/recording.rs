@@ -25,13 +25,13 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-
 use pythia_core::error::{Error, Result};
-use pythia_core::event::EventRegistry;
+use pythia_core::event::ConcurrentRegistry;
 use pythia_core::oracle::Oracle;
 use pythia_core::persist::{remove_sidecars, PersistConfig, RecoverReport};
-use pythia_core::record::{RecordConfig, Recorder};
+use pythia_core::record::{RecordConfig, RecordSnapshot, Recorder};
 use pythia_core::resilience::{HardenedOracle, ResilienceConfig};
+use pythia_core::sync::Published;
 use pythia_core::trace::TraceData;
 use pythia_minimpi::Comm;
 
@@ -50,6 +50,11 @@ pub struct RecordingSession {
     /// (a silently truncated trace would defeat the whole durability
     /// story — the missing rank's data is still in its sidecars).
     wrapped: AtomicUsize,
+    /// Per-rank epoch-publication slots ([`Recorder::share_snapshot`]),
+    /// registered once at [`RecordingSession::wrap`] time. The mutex
+    /// guards only this registration vector — reading a rank's live
+    /// progress through a slot is lock-free against the recording rank.
+    progress: Mutex<Vec<Option<Arc<Published<RecordSnapshot>>>>>,
 }
 
 impl RecordingSession {
@@ -69,10 +74,11 @@ impl RecordingSession {
     ) -> Self {
         RecordingSession {
             trace_path: trace_path.into(),
-            registry: Arc::new(Mutex::new(EventRegistry::new())),
+            registry: Arc::new(ConcurrentRegistry::new()),
             timestamps,
             persist,
             wrapped: AtomicUsize::new(0),
+            progress: Mutex::new(Vec::new()),
         }
     }
 
@@ -86,6 +92,16 @@ impl RecordingSession {
         &self.registry
     }
 
+    /// Live progress of rank `rank`'s recording: the immutable snapshot
+    /// it published at its most recent checkpoint boundary (epoch
+    /// publication — see [`pythia_core::sync::Published`]). Reading never
+    /// blocks the recording rank and never observes a half-built grammar.
+    /// `None` if the rank was never wrapped.
+    pub fn progress(&self, rank: usize) -> Option<RecordSnapshot> {
+        let slot = self.progress.lock().get(rank).cloned().flatten()?;
+        Some(slot.get())
+    }
+
     /// Wraps rank `comm.rank()`'s communicator around a durable recorder:
     /// the rank's events are journaled to
     /// `<trace>.r<rank>.journal` as it runs. Errors if the journal cannot
@@ -95,7 +111,7 @@ impl RecordingSession {
         self.wrapped.fetch_max(rank + 1, Ordering::SeqCst);
         let mut persist = self.persist.clone();
         persist.registry = Some(Arc::clone(&self.registry));
-        let recorder = Recorder::durable(
+        let mut recorder = Recorder::durable(
             RecordConfig {
                 timestamps: self.timestamps,
                 validate: false,
@@ -104,6 +120,14 @@ impl RecordingSession {
             rank,
             persist,
         )?;
+        let slot = recorder.share_snapshot();
+        {
+            let mut progress = self.progress.lock();
+            if progress.len() <= rank {
+                progress.resize(rank + 1, None);
+            }
+            progress[rank] = Some(slot);
+        }
         let oracle = HardenedOracle::new(Oracle::Record(recorder), ResilienceConfig::default());
         Ok(PythiaComm::wrap_recording(
             comm,
@@ -187,6 +211,44 @@ mod tests {
         let loaded = TraceData::load(&path).unwrap();
         assert_eq!(loaded.thread(0).unwrap().event_count, 31);
         assert!(loaded.registry().lookup("step", Some(2)).is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn progress_exposes_live_recording_state() {
+        let dir = session_dir("progress");
+        let path = dir.join("run.pythia");
+        let session = RecordingSession::with_persist(
+            &path,
+            false,
+            PersistConfig {
+                flush_events: 4,
+                snapshot_events: 16,
+                ..PersistConfig::default()
+            },
+        );
+        assert!(session.progress(0).is_none());
+        let reports = World::run(2, |comm| {
+            let rank = comm.rank();
+            let pc = session.wrap(comm).unwrap();
+            for i in 0..200i64 {
+                pc.custom_event("step", Some(i % 3));
+                // Poll the *other* rank's published progress while it is
+                // still recording: lock-free for the recording rank, and
+                // every observed snapshot is self-consistent.
+                if let Some(snap) = session.progress(1 - rank) {
+                    assert_eq!(snap.grammar.unfold().len() as u64, snap.event_count);
+                }
+            }
+            pc.finish().unwrap()
+        });
+        // finish published each rank's final state.
+        for rank in 0..2 {
+            let snap = session.progress(rank).unwrap();
+            assert_eq!(snap.event_count, 200);
+        }
+        let trace = session.finalize(reports).unwrap();
+        assert_eq!(trace.thread(0).unwrap().event_count, 200);
         std::fs::remove_dir_all(&dir).ok();
     }
 

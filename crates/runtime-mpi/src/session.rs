@@ -1,13 +1,13 @@
 //! The instrumented communicator: every MPI call submits a PYTHIA event;
 //! blocking calls request predictions (paper §III-B).
 
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use parking_lot::Mutex;
-
 use pythia_core::error::{Error, Result};
-use pythia_core::event::EventRegistry;
+use pythia_core::event::ConcurrentRegistry;
 use pythia_core::oracle::Oracle;
 use pythia_core::predict::{PredictStats, PredictorConfig};
 use pythia_core::record::RecordConfig;
@@ -185,6 +185,69 @@ pub(crate) struct RankState {
     aggregation: Option<AggState>,
 }
 
+/// Single-owner cell carrying a rank's mutable oracle state.
+///
+/// The contention-free recording model (DESIGN.md §8) gives each rank
+/// thread *exclusive ownership* of its recorder: the rank's MPI façade,
+/// its split/dup sub-communicators, and its OpenMP bridge listener all
+/// run on the rank's own thread, so no lock is needed on the per-event
+/// path — this cell replaces the former `Mutex<RankState>` with a plain
+/// `UnsafeCell` plus a misuse detector. The `busy` flag is not a lock:
+/// it never spins or blocks. It turns any violation of the ownership
+/// contract (re-entrant entry, or a second thread entering the cell
+/// concurrently) into an immediate panic instead of a data race, for a
+/// cost of two uncontended atomic flag operations per entry.
+///
+/// Cross-thread observers never touch this cell: they read the
+/// immutable snapshots the recorder publishes at flush boundaries
+/// (`pythia_core::sync::Published`) and the lock-free shared registry.
+pub(crate) struct RankCell {
+    state: UnsafeCell<RankState>,
+    busy: AtomicBool,
+}
+
+// SAFETY: the cell is shared across threads only in the ownership sense
+// (Arc clones held by sub-communicators and the OMP bridge of the same
+// rank); every entry is dynamically checked to be exclusive by `busy`,
+// so two threads can never alias the inner state mutably.
+unsafe impl Send for RankCell {}
+unsafe impl Sync for RankCell {}
+
+impl RankCell {
+    fn new(state: RankState) -> Self {
+        RankCell {
+            state: UnsafeCell::new(state),
+            busy: AtomicBool::new(false),
+        }
+    }
+
+    /// Enters the rank's state exclusively. Panics if the state is
+    /// already entered — which only a contract violation (access from a
+    /// foreign thread, or re-entrancy) can cause.
+    #[inline]
+    pub(crate) fn with<R>(&self, f: impl FnOnce(&mut RankState) -> R) -> R {
+        struct Reset<'a>(&'a AtomicBool);
+        impl Drop for Reset<'_> {
+            fn drop(&mut self) {
+                self.0.store(false, Ordering::Release);
+            }
+        }
+        assert!(
+            !self.busy.swap(true, Ordering::Acquire),
+            "rank state entered concurrently: per-rank oracle state is \
+             single-owner (one rank thread) by contract"
+        );
+        let _reset = Reset(&self.busy);
+        // SAFETY: the swap above guarantees exclusive entry; the guard
+        // releases the flag even if `f` unwinds.
+        f(unsafe { &mut *self.state.get() })
+    }
+
+    fn into_inner(self) -> RankState {
+        self.state.into_inner()
+    }
+}
+
 impl RankState {
     /// Submits an already-resolved event id into this rank's stream
     /// (shared by the MPI façade and the OpenMP bridge listener).
@@ -243,7 +306,7 @@ pub fn assemble_trace(reports: Vec<RankReport>, registry: &SharedRegistry) -> Re
                 .ok_or_else(|| Error::OracleUnavailable(format!("rank {rank} has no recording")))
         })
         .collect::<Result<_>>()?;
-    Ok(TraceData::from_threads(threads, registry.lock().clone()))
+    Ok(TraceData::from_threads(threads, registry.snapshot()))
 }
 
 /// A communicator that notifies PYTHIA of every MPI call.
@@ -253,7 +316,7 @@ pub fn assemble_trace(reports: Vec<RankReport>, registry: &SharedRegistry) -> Re
 /// process/thread, across all communicators).
 pub struct PythiaComm {
     comm: Comm,
-    state: Arc<Mutex<RankState>>,
+    state: Arc<RankCell>,
     registry: SharedRegistry,
 }
 
@@ -364,7 +427,7 @@ impl PythiaComm {
     ) -> Self {
         PythiaComm {
             comm,
-            state: Arc::new(Mutex::new(RankState {
+            state: Arc::new(RankCell::new(RankState {
                 oracle,
                 cache: EventCache::new(),
                 accuracy,
@@ -377,12 +440,16 @@ impl PythiaComm {
         }
     }
 
-    /// The registry a run in `mode` should share across ranks: the trace's
-    /// registry in predict mode, a fresh one otherwise.
+    /// The registry a run in `mode` should share across ranks: one
+    /// seeded from the trace's registry in predict mode (every rank
+    /// shares this published snapshot — the registry is never cloned
+    /// per rank), a fresh one otherwise.
     pub fn registry_for(mode: &MpiMode) -> SharedRegistry {
         match mode {
-            MpiMode::Predict { trace, .. } => Arc::new(Mutex::new(trace.registry().clone())),
-            _ => Arc::new(Mutex::new(EventRegistry::new())),
+            MpiMode::Predict { trace, .. } => {
+                Arc::new(ConcurrentRegistry::from_registry(trace.registry()))
+            }
+            _ => Arc::new(ConcurrentRegistry::new()),
         }
     }
 
@@ -403,16 +470,19 @@ impl PythiaComm {
     }
 
     fn event(&self, call: MpiCall, payload: Option<i64>) {
-        let mut st = self.state.lock();
-        if st.oracle.is_off() {
-            // Vanilla: no oracle work at all (the paper's baseline).
-            return;
-        }
-        let id = st.cache.resolve(&self.registry, call, payload);
-        st.submit(id);
-        if call.is_blocking_sync() {
-            self.request_predictions(&mut st);
-        }
+        // No lock on the per-event path: the rank's state is entered
+        // through its single-owner cell.
+        self.state.with(|st| {
+            if st.oracle.is_off() {
+                // Vanilla: no oracle work at all (the paper's baseline).
+                return;
+            }
+            let id = st.cache.resolve(&self.registry, call, payload);
+            st.submit(id);
+            if call.is_blocking_sync() {
+                self.request_predictions(st);
+            }
+        });
     }
 
     /// At a blocking call, mimic a runtime that uses the synchronization
@@ -497,20 +567,19 @@ impl PythiaComm {
     /// Enables prediction-driven send aggregation (only effective in
     /// predict mode; see [`AggregationConfig`]).
     pub fn enable_aggregation(&self, config: AggregationConfig) {
-        self.state.lock().aggregation = Some(AggState {
-            config,
-            stats: AggregationStats::default(),
-            pending: None,
+        self.state.with(|st| {
+            st.aggregation = Some(AggState {
+                config,
+                stats: AggregationStats::default(),
+                pending: None,
+            });
         });
     }
 
     /// Aggregation counters (zero if aggregation was never enabled).
     pub fn aggregation_stats(&self) -> AggregationStats {
         self.state
-            .lock()
-            .aggregation
-            .as_ref()
-            .map(|a| a.stats)
+            .with(|st| st.aggregation.as_ref().map(|a| a.stats))
             .unwrap_or_default()
     }
 
@@ -529,8 +598,7 @@ impl PythiaComm {
     /// Flush entry point used before every operation whose semantics
     /// require buffered sends to be visible (ordering and progress).
     fn flush_pending(&self) {
-        let mut st = self.state.lock();
-        self.flush_pending_locked(&mut st);
+        self.state.with(|st| self.flush_pending_locked(st));
     }
 
     /// `MPI_Isend`. With aggregation enabled and the oracle predicting
@@ -546,79 +614,79 @@ impl PythiaComm {
     /// another send to the same peer — buffer it for an aggregated
     /// transfer.
     fn do_send<T: MpiType>(&self, call: MpiCall, buf: &[T], dest: usize, tag: Tag) {
-        let mut st = self.state.lock();
-        if st.oracle.is_off() {
-            drop(st);
-            self.comm.send(buf, dest, tag);
-            return;
-        }
-        // Submit the event (identical to the un-aggregated path).
-        let id = st.cache.resolve(&self.registry, call, Some(dest as i64));
-        st.submit(id);
-        if st.aggregation.is_none() || st.oracle.predictor().is_none() {
-            drop(st);
-            self.comm.send(buf, dest, tag);
-            return;
-        }
-        // "Another send to this peer follows" — blocking or nonblocking.
-        // The prediction is computed before the aggregation state is
-        // borrowed (the hardened facade's watchdog mutates on every query);
-        // a degraded oracle answers uninformed, so the message ships
-        // immediately — aggregation falls back to no-prefetch behavior.
-        let send_id = st
-            .cache
-            .resolve(&self.registry, MpiCall::Send, Some(dest as i64));
-        let isend_id = st
-            .cache
-            .resolve(&self.registry, MpiCall::Isend, Some(dest as i64));
-        let prediction = st.oracle.predict_event(1);
-        // A pending batch for a different peer must go out first to
-        // preserve per-destination ordering.
-        let incompatible = st
-            .aggregation
-            .as_ref()
-            .and_then(|a| a.pending.as_ref())
-            .is_some_and(|p| p.dest != dest || p.tag != tag);
-        if incompatible {
-            self.flush_pending_locked(&mut st);
-        }
-        let Some(agg) = st.aggregation.as_mut() else {
-            drop(st);
-            self.comm.send(buf, dest, tag);
-            return;
-        };
-        agg.stats.logical_sends += 1;
-        let room = agg
-            .pending
-            .as_ref()
-            .is_none_or(|p| p.bufs.len() < agg.config.max_batch);
-        let min_p = agg.config.min_probability;
-        let more_coming = matches!(
-            prediction.most_likely(),
-            Some(m) if m == send_id || m == isend_id
-        ) && prediction.probability(send_id) + prediction.probability(isend_id)
-            >= min_p;
-        let data = pythia_minimpi::datatype::to_bytes(buf);
-        match agg.pending.as_mut() {
-            Some(p) => {
-                p.bufs.push(data);
-                agg.stats.held_back += 1;
-                if !(more_coming && room) {
-                    self.flush_pending_locked(&mut st);
+        // The whole decision runs inside the rank's single-owner cell;
+        // the send itself is issued after leaving it (the cell is not a
+        // lock, but keeping blocking transport calls outside preserves
+        // the old lock-discipline shape and keeps entries short).
+        let ship = self.state.with(|st| {
+            if st.oracle.is_off() {
+                return true;
+            }
+            // Submit the event (identical to the un-aggregated path).
+            let id = st.cache.resolve(&self.registry, call, Some(dest as i64));
+            st.submit(id);
+            if st.aggregation.is_none() || st.oracle.predictor().is_none() {
+                return true;
+            }
+            // "Another send to this peer follows" — blocking or nonblocking.
+            // The prediction is computed before the aggregation state is
+            // borrowed (the hardened facade's watchdog mutates on every query);
+            // a degraded oracle answers uninformed, so the message ships
+            // immediately — aggregation falls back to no-prefetch behavior.
+            let send_id = st
+                .cache
+                .resolve(&self.registry, MpiCall::Send, Some(dest as i64));
+            let isend_id = st
+                .cache
+                .resolve(&self.registry, MpiCall::Isend, Some(dest as i64));
+            let prediction = st.oracle.predict_event(1);
+            // A pending batch for a different peer must go out first to
+            // preserve per-destination ordering.
+            let incompatible = st
+                .aggregation
+                .as_ref()
+                .and_then(|a| a.pending.as_ref())
+                .is_some_and(|p| p.dest != dest || p.tag != tag);
+            if incompatible {
+                self.flush_pending_locked(st);
+            }
+            let Some(agg) = st.aggregation.as_mut() else {
+                return true;
+            };
+            agg.stats.logical_sends += 1;
+            let room = agg
+                .pending
+                .as_ref()
+                .is_none_or(|p| p.bufs.len() < agg.config.max_batch);
+            let min_p = agg.config.min_probability;
+            let more_coming =
+                matches!(
+                    prediction.most_likely(),
+                    Some(m) if m == send_id || m == isend_id
+                ) && prediction.probability(send_id) + prediction.probability(isend_id) >= min_p;
+            match agg.pending.as_mut() {
+                Some(p) => {
+                    p.bufs.push(pythia_minimpi::datatype::to_bytes(buf));
+                    agg.stats.held_back += 1;
+                    if !(more_coming && room) {
+                        self.flush_pending_locked(st);
+                    }
+                    false
                 }
+                None if more_coming => {
+                    agg.pending = Some(PendingBatch {
+                        dest,
+                        tag,
+                        bufs: vec![pythia_minimpi::datatype::to_bytes(buf)],
+                    });
+                    agg.stats.held_back += 1;
+                    false
+                }
+                None => true,
             }
-            None if more_coming => {
-                agg.pending = Some(PendingBatch {
-                    dest,
-                    tag,
-                    bufs: vec![data],
-                });
-                agg.stats.held_back += 1;
-            }
-            None => {
-                drop(st);
-                self.comm.send(buf, dest, tag);
-            }
+        });
+        if ship {
+            self.comm.send(buf, dest, tag);
         }
     }
 
@@ -743,26 +811,27 @@ impl PythiaComm {
         self.event(MpiCall::Custom(name), payload);
     }
 
-    /// Submits several non-MPI key points at once, under a single state
-    /// lock and a single oracle dispatch. Instrumentation points that emit
+    /// Submits several non-MPI key points at once, through a single state
+    /// entry and a single oracle dispatch. Instrumentation points that emit
     /// adjacent events (e.g. a phase marker plus a region boundary) should
     /// prefer this over repeated [`PythiaComm::custom_event`] calls.
     pub fn custom_events(&self, events: &[(&'static str, Option<i64>)]) {
         if events.is_empty() {
             return;
         }
-        let mut st = self.state.lock();
-        if st.oracle.is_off() {
-            return;
-        }
-        let ids: Vec<pythia_core::event::EventId> = events
-            .iter()
-            .map(|&(name, payload)| {
-                st.cache
-                    .resolve(&self.registry, MpiCall::Custom(name), payload)
-            })
-            .collect();
-        st.submit_all(&ids);
+        self.state.with(|st| {
+            if st.oracle.is_off() {
+                return;
+            }
+            let ids: Vec<pythia_core::event::EventId> = events
+                .iter()
+                .map(|&(name, payload)| {
+                    st.cache
+                        .resolve(&self.registry, MpiCall::Custom(name), payload)
+                })
+                .collect();
+            st.submit_all(&ids);
+        });
     }
 
     /// An [`pythia_minomp::OmpListener`] that feeds an in-rank OpenMP

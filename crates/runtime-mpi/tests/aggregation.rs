@@ -132,10 +132,13 @@ fn interleaved_destinations_flush_correctly() {
         pc.finish().unwrap()
     });
     let trace = Arc::new(assemble_trace(reports, &registry).unwrap());
+    // One registry shared by every rank of the predicting run — the
+    // published snapshot is seeded once from the trace, never cloned
+    // per rank.
+    let mode = MpiMode::predict(Arc::clone(&trace));
+    let predict_registry = PythiaComm::registry_for(&mode);
     let out = World::run(3, |comm| {
-        let pc = PythiaComm::wrap(comm, &MpiMode::predict(Arc::clone(&trace)), {
-            Arc::new(parking_lot::Mutex::new(trace.registry().clone()))
-        });
+        let pc = PythiaComm::wrap(comm, &mode, Arc::clone(&predict_registry));
         pc.enable_aggregation(AggregationConfig::default());
         let got = app(&pc);
         pc.finish().unwrap();
