@@ -17,6 +17,14 @@ BENCH=$(mktemp -d)
     --check-baseline "$ROOT"/BENCH_predict.json --max-regress 25 >/dev/null)
 rm -rf "$BENCH"
 
+# Serve smoke: the sharded prediction server over a Unix socket — two
+# tenants x 100 sessions must match the single-process oracle bit for
+# bit, and a circuit-broken tenant must degrade to no-advice without
+# perturbing the other tenant (serve_smoke asserts all three).
+SERVE=$(mktemp -d)
+target/release/serve_smoke --socket "$SERVE/serve.sock" >/dev/null
+rm -rf "$SERVE"
+
 # Chaos pass: the fault-injection suite on a clean environment, then the
 # whole suite again with faults injected into every default-config oracle
 # facade (PYTHIA_CHAOS is read by ResilienceConfig::default()). The

@@ -26,13 +26,19 @@
 //!   recording model promises per-thread cost tracks core availability,
 //!   not thread count (no lock is taken per event). The machine's core
 //!   count is reported alongside, since scaling is bounded by it.
+//! * serving throughput: a sharded `pythia-serve` server with two
+//!   tenants and many concurrent sessions (default 10k), driven through
+//!   the in-process client with batched observe requests; aggregate
+//!   events/sec is reported at each worker count (default 1 and 8)
+//!   alongside the core count, since scaling is again bounded by it.
 //!
 //! With `--check-baseline PATH`, the run additionally compares its fresh
-//! observe/durable-record numbers against a committed baseline JSON and
-//! exits nonzero if either regressed more than `--max-regress` percent
+//! observe/durable-record/serve numbers against a committed baseline JSON
+//! and exits nonzero if any regressed more than `--max-regress` percent
 //! (default 25) — the CI perf smoke gate.
 //!
 //! Usage: `bench_json [--iters N] [--json PATH] [--threads 1,8,64]
+//!         [--serve-workers 1,8] [--serve-sessions N]
 //!         [--check-baseline PATH [--max-regress PCT]]`
 
 use std::time::Instant;
@@ -53,6 +59,7 @@ use pythia_core::record::{RecordConfig, Recorder};
 use pythia_core::resilience::{FaultPlan, HardenedOracle, ResilienceConfig};
 use pythia_core::trace::TraceData;
 use pythia_core::util::FxHashMap;
+use pythia_serve::{Request, Response, ServeConfig, Server, SessionId, Tenants};
 
 /// A BT-like regular trace: setup, a long nested loop, teardown (same shape
 /// as `benches/predict.rs` so numbers are comparable).
@@ -213,6 +220,8 @@ fn main() {
              --iters N              measurement repetitions (default 20)\n\
              --json PATH            output path (default BENCH_predict.json)\n\
              --threads A,B,C        contention thread counts (default 1,8,64)\n\
+             --serve-workers A,B    serve shard counts (default 1,8)\n\
+             --serve-sessions N     concurrent serve sessions (default 10000)\n\
              --check-baseline PATH  compare against a committed baseline JSON\n\
              --max-regress PCT      fail threshold for the check (default 25)"
         );
@@ -525,6 +534,91 @@ fn main() {
     }
     std::fs::remove_dir_all(&contend_dir).ok();
 
+    // Serving: a sharded two-tenant server under many concurrent sessions,
+    // driven through the in-process client (full wire encode/decode both
+    // ways, minus only the kernel). Each driver thread owns a slice of the
+    // sessions and ships the reference stream in 64-event observe batches,
+    // so a session stays synchronized across rounds and the per-request
+    // cost is dominated by the batched walker, not re-seeding. Aggregate
+    // events/sec per worker count is the headline number; scaling relative
+    // to the 1-worker row is bounded by `cores`, reported alongside.
+    let serve_workers: Vec<usize> = args.parse_list("serve-workers", &[1usize, 8]);
+    let serve_sessions: usize = args.parse_or("serve-sessions", 10_000);
+    let serve_batch = 64usize;
+    let serve_rounds = 4usize;
+    let serve_streams = [&stream, &reference];
+    let mut serve_rows = Vec::new();
+    let mut serve_base_eps: Option<f64> = None;
+    let mut serve_gate_ns: Option<f64> = None;
+    for &workers in &serve_workers {
+        let tenants = Tenants::from_traces([
+            ("regular".to_string(), regular_trace()),
+            ("irregular".to_string(), irregular_trace()),
+        ])
+        .expect("serve tenants");
+        let server = Server::start(
+            tenants,
+            ServeConfig {
+                workers,
+                max_sessions_per_shard: serve_sessions + 1,
+                ..ServeConfig::default()
+            },
+        )
+        .expect("serve server");
+        let client = server.client();
+        let sessions: Vec<SessionId> = (0..serve_sessions)
+            .map(|i| {
+                let tenant = if i % 2 == 0 { "regular" } else { "irregular" };
+                match client.call(&Request::Open {
+                    tenant: tenant.into(),
+                }) {
+                    Ok(Response::Session { id }) => id,
+                    other => panic!("serve bench open failed: {other:?}"),
+                }
+            })
+            .collect();
+        let drivers = workers;
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for d in 0..drivers {
+                let client = server.client();
+                let sessions = &sessions;
+                let serve_streams = &serve_streams;
+                s.spawn(move || {
+                    for round in 0..serve_rounds {
+                        for (i, &id) in sessions.iter().enumerate().skip(d).step_by(drivers) {
+                            let tenant_stream = serve_streams[i % 2];
+                            let start = (round * serve_batch) % (tenant_stream.len() - serve_batch);
+                            let events = tenant_stream[start..start + serve_batch].to_vec();
+                            match client.call(&Request::Observe {
+                                session: id,
+                                events,
+                            }) {
+                                Ok(Response::Advice { .. }) => {}
+                                other => panic!("serve bench observe failed: {other:?}"),
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let wall_ns = t0.elapsed().as_nanos() as f64;
+        drop(client);
+        drop(server);
+        let total_events = (serve_sessions * serve_rounds * serve_batch) as f64;
+        let eps = total_events * 1e9 / wall_ns;
+        let base = *serve_base_eps.get_or_insert(eps);
+        serve_gate_ns.get_or_insert(wall_ns / total_events);
+        serve_rows.push(serde_json::json!({
+            "workers": workers,
+            "sessions": serve_sessions,
+            "events": total_events as u64,
+            "events_per_sec": eps,
+            "ns_per_event": wall_ns / total_events,
+            "throughput_scaling": eps / base,
+        }));
+    }
+
     // Static analysis: linter + protocol verifier in the compressed domain
     // vs the same verdict computed by decompress-and-scan, at growing
     // iteration counts. The grammar barely changes as iterations multiply,
@@ -619,6 +713,12 @@ fn main() {
             "events_per_thread_record": contend_record_events,
             "rows": contention_rows,
         }),
+        "serve": serde_json::json!({
+            "cores": cores,
+            "tenants": 2,
+            "batch": serve_batch,
+            "rows": serve_rows,
+        }),
         "analyze": serde_json::Value::Array(analyze_rows),
     });
     let text = serde_json::to_string_pretty(&doc).expect("serialize");
@@ -662,6 +762,20 @@ fn main() {
                 .and_then(|p| p.get("durable_record_ns_per_event"))
                 .and_then(|v| v.as_f64()),
         );
+        // The serve gate compares the first worker-count row (the least
+        // scheduler-sensitive one) by its amortized per-event cost.
+        if let Some(now) = serve_gate_ns {
+            gate(
+                "serve.rows[0].ns_per_event",
+                now,
+                base.get("serve")
+                    .and_then(|s| s.get("rows"))
+                    .and_then(|r| r.as_array())
+                    .and_then(|a| a.first())
+                    .and_then(|r| r.get("ns_per_event"))
+                    .and_then(|v| v.as_f64()),
+            );
+        }
         if !failures.is_empty() {
             eprintln!("perf regression vs {base_path}:");
             for f in &failures {

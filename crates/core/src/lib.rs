@@ -66,7 +66,7 @@ pub mod sync;
 pub mod timing;
 pub mod trace;
 pub mod util;
-pub(crate) mod wire;
+pub mod wire;
 
 /// Convenient re-exports of the most commonly used types.
 pub mod prelude {

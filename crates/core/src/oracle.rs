@@ -98,7 +98,10 @@ impl Oracle {
     ///
     /// Runtime integrations that emit several events at one instrumentation
     /// point (e.g. an injected marker followed by the real event) should
-    /// prefer this over repeated [`Oracle::event`] calls.
+    /// prefer this over repeated [`Oracle::event`] calls: besides the
+    /// single mode dispatch, the predicting side runs
+    /// [`Predictor::observe_batch`], which amortizes one grammar/index
+    /// walker across every synchronized event of the batch.
     pub fn events(&mut self, events: &[EventId]) -> Option<ObserveOutcome> {
         match self {
             Oracle::Off => None,
@@ -108,13 +111,7 @@ impl Oracle {
                 }
                 None
             }
-            Oracle::Predict(p) => {
-                let mut last = None;
-                for &e in events {
-                    last = Some(p.observe(e));
-                }
-                last
-            }
+            Oracle::Predict(p) => p.observe_batch(events),
         }
     }
 

@@ -143,6 +143,11 @@ pub(crate) struct PersistState {
     registry_written: usize,
     /// First IO error; stops persistence, reported by `finalize`.
     error: Option<Error>,
+    /// Events whose journal frames were discarded because of the sticky
+    /// error (the in-memory recording kept them, but recovery would not).
+    /// Surfaced as [`crate::record::Recorder::dropped_events`] so the
+    /// loss is observable instead of silent.
+    dropped: u64,
 }
 
 impl PersistState {
@@ -182,6 +187,7 @@ impl PersistState {
             pending_first: 0,
             registry_written: 0,
             error: None,
+            dropped: 0,
         }))
     }
 
@@ -244,16 +250,30 @@ impl PersistState {
     /// Journals the recorder's staged payload (`count` events, already in
     /// wire format) as one frame, preceded by any registry deltas. The
     /// stage is consumed either way: after a sticky error the data is
-    /// dropped (persistence is dead, the in-memory recording continues).
-    /// Never panics — safe to call from a drop guard during unwind.
+    /// dropped (persistence is dead, the in-memory recording continues)
+    /// — but never *silently*: every event discarded this way is counted
+    /// in [`PersistState::dropped_events`]. The frame whose commit
+    /// failed is counted too (it may be torn on disk, so recovery cannot
+    /// rely on it). Never panics — safe to call from a drop guard during
+    /// unwind.
     pub fn commit_stage(&mut self, stage: &mut Vec<u8>, count: &mut usize) {
-        if self.error.is_none() {
-            if let Err(e) = self.try_commit(stage, *count) {
-                self.error = Some(e);
+        match self.error {
+            None => {
+                if let Err(e) = self.try_commit(stage, *count) {
+                    self.error = Some(e);
+                    self.dropped += *count as u64;
+                }
             }
+            Some(_) => self.dropped += *count as u64,
         }
         stage.clear();
         *count = 0;
+    }
+
+    /// Events discarded by [`PersistState::commit_stage`] after the
+    /// sticky IO error stopped persistence.
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped
     }
 
     fn try_commit(&mut self, payload: &[u8], count: usize) -> Result<()> {

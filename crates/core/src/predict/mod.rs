@@ -133,7 +133,7 @@ pub enum ObserveOutcome {
 }
 
 /// A probability distribution over the next event at some distance.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Prediction {
     /// `(event, probability)` sorted by decreasing probability. Empty when
     /// the oracle has no information.
@@ -311,6 +311,67 @@ impl Predictor {
         self.seed(event);
         self.stats.reseeded += 1;
         ObserveOutcome::Reseeded
+    }
+
+    /// Submits a batch of events in order and returns the outcome of the
+    /// **last** one (`None` for an empty batch) — exactly equivalent to
+    /// calling [`Predictor::observe`] once per event, but the
+    /// steady-state single-candidate fast path is hoisted *across the
+    /// batch*: one walker (grammar + occurrence-index borrow) advances
+    /// the lone candidate in place through as many consecutive events as
+    /// it can absorb, so the per-event cost is one `advance_in_place`
+    /// call instead of a full dispatch through the observe entry point.
+    /// Any event the run cannot absorb (unknown, mismatch, ambiguity,
+    /// multi-candidate tracking) falls back to the general per-event
+    /// path and the run restarts after it.
+    ///
+    /// Serving layers that transport several events per request (the
+    /// `pythia-serve` observe frames) use this to amortize the index
+    /// lookup across the batch.
+    pub fn observe_batch(&mut self, events: &[EventId]) -> Option<ObserveOutcome> {
+        let mut last = None;
+        let mut i = 0;
+        while i < events.len() {
+            if self.candidates.len() == 1 {
+                // Disjoint field borrows: the walker holds `thread` and
+                // `index`, the advance mutates `candidates`, the tallies
+                // touch `stats`.
+                let walker = Walker {
+                    grammar: &self.thread.grammar,
+                    index: &self.index,
+                };
+                let (path, weight) = &mut self.candidates[0];
+                let mut advanced = 0u64;
+                while i < events.len() {
+                    let event = events[i];
+                    if !walker.index.knows_event(event) {
+                        break;
+                    }
+                    match walker.advance_in_place(&mut path.frames, event) {
+                        Advance::Advanced => {
+                            i += 1;
+                            advanced += 1;
+                        }
+                        Advance::NoMatch | Advance::Ambiguous => break,
+                    }
+                }
+                if advanced > 0 {
+                    *weight = 1.0; // a lone candidate always normalizes to 1
+                    self.stats.observed += advanced;
+                    self.stats.matched += advanced;
+                    last = Some(ObserveOutcome::Matched);
+                }
+                if i >= events.len() {
+                    break;
+                }
+            }
+            // The odd event out (or a non-steady candidate set): the
+            // general path handles it and may collapse the candidates
+            // back to one, re-arming the fast run for what remains.
+            last = Some(self.observe(events[i]));
+            i += 1;
+        }
+        last
     }
 
     /// Rebuilds the candidate set from the occurrence index: one candidate
@@ -1020,5 +1081,52 @@ mod sequence_tests {
         let trace = rec.finish(&EventRegistry::new()).unwrap();
         let p = Predictor::new(&trace);
         assert!(p.predict_sequence(5).is_empty());
+    }
+
+    /// `observe_batch` must be observationally identical to per-event
+    /// `observe` — same outcomes, same statistics, same subsequent
+    /// predictions — across streams that exercise the batched fast run,
+    /// its restart after mismatches, unknown events, and every batch
+    /// split of the same stream.
+    #[test]
+    fn observe_batch_matches_sequential_observe() {
+        let seq: Vec<u32> = (0..60).flat_map(|_| [0, 1, 2, 2, 3, 0, 1, 4]).collect();
+        let mut rec = Recorder::new(RecordConfig::default());
+        let mut t = 0u64;
+        for &s in &seq {
+            t += 100;
+            rec.record_at(e(s), t);
+        }
+        let trace = rec.finish(&EventRegistry::new()).unwrap();
+        // A replay with disturbances: unknown events (99), mismatching
+        // detours, and long clean runs.
+        let mut stream: Vec<EventId> = Vec::new();
+        for (i, &s) in seq.iter().take(300).enumerate() {
+            stream.push(e(s));
+            if i % 37 == 0 {
+                stream.push(e(99)); // never recorded: Unknown
+            }
+            if i % 23 == 0 {
+                stream.push(e(seq[(i + 5) % seq.len()])); // out-of-place
+            }
+        }
+        for batch in [1usize, 2, 3, 7, 16, 300, stream.len()] {
+            let mut a = Predictor::new(&trace);
+            let mut b = Predictor::new(&trace);
+            for chunk in stream.chunks(batch) {
+                let mut last = None;
+                for &ev in chunk {
+                    last = Some(a.observe(ev));
+                }
+                assert_eq!(b.observe_batch(chunk), last, "batch size {batch}");
+            }
+            assert_eq!(a.stats(), b.stats(), "batch size {batch}");
+            assert_eq!(a.candidate_count(), b.candidate_count());
+            for d in [1usize, 4, 32] {
+                let (pa, pb) = (a.predict(d), b.predict(d));
+                assert_eq!(pa.distribution, pb.distribution, "distance {d}");
+                assert_eq!(pa.end_probability.to_bits(), pb.end_probability.to_bits());
+            }
+        }
     }
 }

@@ -344,6 +344,17 @@ impl Recorder {
         self.builder.event_count()
     }
 
+    /// Number of events whose journal frames were discarded after a
+    /// sticky persistence error (always 0 for in-memory recorders and for
+    /// durable recorders that never hit an IO error). The in-memory
+    /// recording still holds these events, but a crash before
+    /// [`Recorder::finish_thread`] would lose them — runtime integrations
+    /// surface this counter (e.g. `RankReport::dropped_events`) so the
+    /// reduced durability is visible instead of silent.
+    pub fn dropped_events(&self) -> u64 {
+        self.persist.as_ref().map_or(0, |p| p.dropped_events())
+    }
+
     /// The grammar built so far (not compacted).
     pub fn grammar(&self) -> &Grammar {
         self.builder.grammar()
@@ -663,6 +674,140 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
     }
 
+    /// Stages `ids`/`ts` exactly as `record_at` would (including the
+    /// exact-byte accounting) and runs the batch SWAR encoder over them,
+    /// returning the encoded frame payload.
+    fn encode_frame_swar(ids: &[u32], ts: Option<&[u64]>) -> Vec<u8> {
+        let mut rec = Recorder::new(RecordConfig {
+            timestamps: ts.is_some(),
+            validate: false,
+        });
+        rec.stage_ids = ids.to_vec();
+        let mut prev = 0u64;
+        let mut bytes = 0usize;
+        for (i, &id) in ids.iter().enumerate() {
+            bytes += varint_len(id as u64);
+            if let Some(ts) = ts {
+                bytes += varint_len(ts[i].wrapping_sub(prev));
+                prev = ts[i];
+            }
+        }
+        if let Some(ts) = ts {
+            rec.stage_ts = ts.to_vec();
+        }
+        rec.stage_bytes = bytes;
+        rec.stage_prev_ts = prev;
+        rec.encode_stage();
+        std::mem::take(&mut rec.stage)
+    }
+
+    /// Scalar reference encoder for one journal frame: per event, the
+    /// LEB128 id followed by the LEB128 frame-local timestamp delta
+    /// (`wrapping_sub`, previous timestamp starting at 0 — frames decode
+    /// standalone). This is the format contract `encode_stage` must hit
+    /// byte for byte.
+    fn encode_frame_scalar(ids: &[u32], ts: Option<&[u64]>) -> Vec<u8> {
+        let mut out = Vec::new();
+        let mut prev = 0u64;
+        for (i, &id) in ids.iter().enumerate() {
+            encode_varint_loop(&mut out, id as u64);
+            if let Some(ts) = ts {
+                encode_varint_loop(&mut out, ts[i].wrapping_sub(prev));
+                prev = ts[i];
+            }
+        }
+        out
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::collection::vec;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            /// Differential test of the SWAR batch journal encode against
+            /// the scalar reference across extreme delta widths: ids and
+            /// timestamps derived by shifting full-range u64s (so frames
+            /// mix 1-byte and 10-byte varints), timestamps deliberately
+            /// **non-monotonic** (wrapping deltas near `u64::MAX` take
+            /// the encoder's loop fallback), and 1-event frames included
+            /// via the vector's lower bound.
+            #[test]
+            fn swar_batch_encode_matches_scalar_reference(
+                raw in vec((0u64..u64::MAX, 0u32..64, 0u32..33), 1..120),
+            ) {
+                let mut ids: Vec<u32> = raw
+                    .iter()
+                    .map(|&(v, _, s)| ((v >> 31) as u32).wrapping_shr(s))
+                    .collect();
+                let mut ts: Vec<u64> = raw.iter().map(|&(v, s, _)| v >> s).collect();
+                // Pin the extremes regardless of what the generator drew.
+                ids.extend([0, 1, u32::MAX]);
+                ts.extend([u64::MAX, 0, u64::MAX - 1]);
+
+                // Timestamped frames (id + delta interleave)…
+                prop_assert_eq!(
+                    encode_frame_swar(&ids, Some(&ts)),
+                    encode_frame_scalar(&ids, Some(&ts))
+                );
+                // …and id-only frames (timestamps disabled).
+                prop_assert_eq!(
+                    encode_frame_swar(&ids, None),
+                    encode_frame_scalar(&ids, None)
+                );
+                // 1-event frames: each event encoded alone must also
+                // match (the frame-local delta resets to the raw value).
+                for (i, &id) in ids.iter().enumerate() {
+                    prop_assert_eq!(
+                        encode_frame_swar(&[id], Some(&ts[i..i + 1])),
+                        encode_frame_scalar(&[id], Some(&ts[i..i + 1]))
+                    );
+                }
+            }
+
+            /// Settling loop acceleration at `publish_snapshot`
+            /// boundaries must not perturb the recording: a recorder
+            /// whose `flush_accel` fires at arbitrary mid-stream
+            /// publication points finishes into a trace byte-identical
+            /// to one recorded without any snapshot boundary.
+            #[test]
+            fn snapshot_boundaries_keep_traces_byte_identical(
+                seq in vec(0u32..6, 1..250),
+                cuts in vec(0usize..250, 0..8),
+            ) {
+                let config = RecordConfig {
+                    timestamps: true,
+                    validate: false,
+                };
+                let mut with = Recorder::new(config.clone());
+                let slot = with.share_snapshot();
+                let mut without = Recorder::new(config);
+                let mut t = 0u64;
+                for (i, &s) in seq.iter().enumerate() {
+                    t += 50;
+                    with.record_at(e(s), t);
+                    without.record_at(e(s), t);
+                    if cuts.contains(&i) {
+                        with.publish_snapshot();
+                        // Every published view is internally consistent.
+                        slot.read(|snap| {
+                            assert_eq!(
+                                snap.grammar.unfold().len() as u64,
+                                snap.event_count
+                            );
+                        });
+                    }
+                }
+                let reg = EventRegistry::new();
+                let a = with.finish(&reg).unwrap().to_bytes();
+                let b = without.finish(&reg).unwrap().to_bytes();
+                prop_assert_eq!(a, b);
+            }
+        }
+    }
+
     #[test]
     #[cfg_attr(miri, ignore)]
     fn sticky_journal_error_surfaces_at_finish() {
@@ -682,12 +827,38 @@ mod tests {
             ..PersistConfig::default()
         };
         let mut rec = Recorder::durable(RecordConfig::default(), &path, 0, persist).unwrap();
+        assert_eq!(rec.dropped_events(), 0);
         for i in 0..32u32 {
             rec.record(e(i % 3));
         }
-        // Recording itself kept working; the error surfaces at finish.
+        // Recording itself kept working; the error surfaces at finish,
+        // and every event whose frame was discarded after the sticky
+        // error is accounted — the torn first frame included (it cannot
+        // be trusted on disk).
         assert_eq!(rec.event_count(), 32);
+        assert_eq!(rec.dropped_events(), 32);
         assert!(rec.finish_thread().is_err());
+        crate::persist::remove_sidecars(&path);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore)]
+    fn healthy_durable_recorder_drops_nothing() {
+        let dir = std::env::temp_dir().join(format!("pythia-rec-drop0-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.pythia");
+        let persist = PersistConfig {
+            flush_events: 4,
+            snapshot_events: 0,
+            ..PersistConfig::default()
+        };
+        let mut rec = Recorder::durable(RecordConfig::default(), &path, 0, persist).unwrap();
+        for i in 0..32u32 {
+            rec.record(e(i % 3));
+        }
+        assert_eq!(rec.dropped_events(), 0);
+        rec.finish_thread().unwrap();
         crate::persist::remove_sidecars(&path);
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -20,14 +20,16 @@
 //! see the `epoch` tests, run under `PYTHIA_CI_SANITIZE=1`).
 //!
 //! Reclamation safety: a reader increments `readers` *before* loading
-//! the current pointer and decrements it only after its borrow ends. A
-//! writer retires the old pointer after the swap and frees retired
-//! pointers only when it observes `readers == 0` while holding the
-//! retire lock. In the `SeqCst` total order, any reader still borrowing
-//! a retired snapshot performed its increment before the writer's load
-//! of `readers`, so the writer sees a non-zero count and keeps the
-//! snapshot; once the count is zero, no live borrow can reach a retired
-//! pointer (fresh loads only ever return the current one).
+//! the current pointer and decrements it (via a drop guard, so a
+//! panicking closure cannot leak the pin) only after its borrow ends.
+//! Whoever frees retired pointers — the writer inside `publish`, or a
+//! reader draining opportunistically on its way out — does so only when
+//! it observes `readers == 0` while holding the retire lock. In the
+//! `SeqCst` total order, any reader still borrowing a retired snapshot
+//! performed its increment before the reclaimer's load of `readers`, so
+//! the reclaimer sees a non-zero count and keeps the snapshot; once the
+//! count is zero, no live borrow can reach a retired pointer (fresh
+//! loads only ever return the current one).
 
 use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
 
@@ -43,6 +45,20 @@ pub struct Published<T> {
     /// serializes publishers (publication is rare; contention here is
     /// not a concern).
     retired: Mutex<Vec<*mut T>>,
+    /// Mirror of `retired.len()`, maintained under the retire lock, so
+    /// the read path can check "anything to reclaim?" with one atomic
+    /// load instead of taking the lock.
+    retired_count: AtomicUsize,
+}
+
+/// Reader-count pin released on drop, so a panicking read closure cannot
+/// leak its pin and permanently block reclamation.
+struct ReaderPin<'a>(&'a AtomicUsize);
+
+impl Drop for ReaderPin<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 // SAFETY: the raw pointers are only ever created from `Box<T>` and
@@ -58,6 +74,7 @@ impl<T> Published<T> {
             current: AtomicPtr::new(Box::into_raw(Box::new(value))),
             readers: AtomicUsize::new(0),
             retired: Mutex::new(Vec::new()),
+            retired_count: AtomicUsize::new(0),
         }
     }
 
@@ -76,19 +93,64 @@ impl<T> Published<T> {
                 drop(unsafe { Box::from_raw(p) });
             }
         }
+        self.retired_count.store(retired.len(), Ordering::SeqCst);
     }
 
     /// Reads the latest published snapshot. The borrow is confined to
     /// the closure; the writer is never blocked.
+    ///
+    /// The reader pin is released by a drop guard, so a panicking
+    /// closure unwinds without leaking the pin (which would permanently
+    /// block reclamation). On the way out the reader also drains the
+    /// retire list opportunistically: a snapshot retired during the last
+    /// publish before a quiet period is reclaimed by the next read, not
+    /// held until `Drop`.
     pub fn read<R>(&self, f: impl FnOnce(&T) -> R) -> R {
         self.readers.fetch_add(1, Ordering::SeqCst);
+        let pin = ReaderPin(&self.readers);
         let p = self.current.load(Ordering::SeqCst);
         // SAFETY: `p` is the current snapshot or a retired one that the
         // writer cannot free while our reader count is pinned (see the
         // module-level reclamation argument).
         let r = f(unsafe { &*p });
-        self.readers.fetch_sub(1, Ordering::SeqCst);
+        drop(pin);
+        if self.retired_count.load(Ordering::SeqCst) != 0 {
+            self.try_reclaim();
+        }
         r
+    }
+
+    /// Opportunistically frees retired snapshots if no reader currently
+    /// pins the slot and the retire lock is immediately available.
+    /// Returns the number of snapshots reclaimed. Safe to call from any
+    /// thread at natural boundaries (the read path calls it after every
+    /// unpin that sees a non-empty retire list; checkpoint code may call
+    /// it explicitly).
+    pub fn try_reclaim(&self) -> usize {
+        let Some(mut retired) = self.retired.try_lock() else {
+            // A publisher (or another reclaimer) holds the lock; it will
+            // drain or the next boundary will.
+            return 0;
+        };
+        if retired.is_empty() || self.readers.load(Ordering::SeqCst) != 0 {
+            return 0;
+        }
+        let n = retired.len();
+        for p in retired.drain(..) {
+            // SAFETY: same argument as in `publish` — `p` was removed
+            // from `current` before being retired, and observing
+            // `readers == 0` while holding the retire lock means no
+            // borrow predating its retirement is still live.
+            drop(unsafe { Box::from_raw(p) });
+        }
+        self.retired_count.store(0, Ordering::SeqCst);
+        n
+    }
+
+    /// Number of superseded snapshots currently awaiting reclamation
+    /// (diagnostics/tests; a single atomic load).
+    pub fn retired_len(&self) -> usize {
+        self.retired_count.load(Ordering::SeqCst)
     }
 
     /// Clones the latest published snapshot out of the slot.
@@ -158,8 +220,17 @@ mod tests {
                 }
             });
         });
-        // After the writer finished, the last snapshot is intact.
+        // After the writer finished, the last snapshot is intact, and the
+        // first quiet-period read bounds the retire list: its exit drain
+        // runs with no reader pinned, so everything the final publishes
+        // retired while readers were still active is reclaimed *now*, not
+        // held until `Drop`.
         slot.read(|v| assert!(v.iter().all(|&x| x == v[0])));
+        assert_eq!(
+            slot.retired_len(),
+            0,
+            "retire list not drained at a quiet boundary"
+        );
     }
 
     #[test]
@@ -169,7 +240,65 @@ mod tests {
         let p = Published::new(String::from("a"));
         for i in 0..100 {
             p.publish(format!("snap{i}"));
-            assert!(p.retired.lock().is_empty());
+            assert_eq!(p.retired_len(), 0);
         }
+    }
+
+    #[test]
+    fn panicking_reader_releases_its_pin() {
+        // Regression: `read` used to decrement the reader count after the
+        // closure with no drop guard, so one panicking reader permanently
+        // blocked reclamation and every retired snapshot leaked.
+        let p = Published::new(0u64);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            p.read(|_| panic!("reader panicked"));
+        }));
+        assert!(caught.is_err());
+        // The pin was released during unwind: publishes reclaim eagerly
+        // again, exactly as if the panic never happened.
+        p.publish(1);
+        p.publish(2);
+        assert_eq!(p.retired_len(), 0);
+        assert_eq!(p.get(), 2);
+    }
+
+    #[test]
+    fn pinned_reader_defers_reclaim_to_the_next_boundary() {
+        // Regression: snapshots retired by the *last* publish before a
+        // quiet period used to persist until `Drop`. The read path (and
+        // `try_reclaim` at explicit boundaries) now drains them as soon
+        // as no reader pins the slot.
+        let p = Published::new(0u32);
+        p.read(|&v| {
+            assert_eq!(v, 0);
+            // Publishes racing an active reader cannot reclaim: the
+            // reader may still be borrowing a superseded snapshot.
+            p.publish(1);
+            p.publish(2);
+            assert_eq!(p.retired_len(), 2);
+            // Neither can a reclaim attempt while the pin is held.
+            assert_eq!(p.try_reclaim(), 0);
+        });
+        // The unpin drained opportunistically — no writer involved.
+        assert_eq!(p.retired_len(), 0);
+        assert_eq!(p.get(), 2);
+    }
+
+    #[test]
+    fn try_reclaim_drains_at_explicit_boundaries() {
+        // Exercise `try_reclaim` directly (checkpoint-boundary callers):
+        // seed the retire list by hand, as if the opportunistic drain had
+        // been skipped because the retire lock was briefly contended.
+        let p = Published::new(String::from("s0"));
+        {
+            let mut retired = p.retired.lock();
+            retired.push(Box::into_raw(Box::new(String::from("stale"))));
+            p.retired_count.store(retired.len(), Ordering::SeqCst);
+        }
+        assert_eq!(p.retired_len(), 1);
+        assert_eq!(p.try_reclaim(), 1);
+        assert_eq!(p.retired_len(), 0);
+        assert_eq!(p.try_reclaim(), 0);
+        assert_eq!(p.get(), "s0");
     }
 }

@@ -1,5 +1,8 @@
-//! Crate-internal binary wire helpers shared by the trace format
-//! ([`crate::trace`]) and the durability layer ([`crate::persist`]).
+//! Binary wire helpers shared by the trace format ([`crate::trace`]),
+//! the durability layer ([`crate::persist`]), and external
+//! length-prefixed protocols (the `pythia-serve` request/response
+//! framing reuses the cursor, varint, and string primitives below; the
+//! grammar/registry/timing serializers stay crate-internal).
 //!
 //! All readers take `&mut &[u8]` cursors with explicit bounds checks
 //! (`bytes::Buf` panics on underflow, so every read goes through
@@ -14,7 +17,8 @@ use crate::event::EventRegistry;
 use crate::grammar::{Grammar, Rule, RuleId, Symbol, SymbolUse};
 use crate::timing::{TimingEntry, TimingModel};
 
-pub(crate) fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8]> {
+/// Splits the first `n` bytes off the cursor, or errors if fewer remain.
+pub fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8]> {
     if buf.len() < n {
         return Err(Error::Corrupt(format!(
             "unexpected end of file (wanted {n} bytes, {} left)",
@@ -26,19 +30,23 @@ pub(crate) fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8]> {
     Ok(head)
 }
 
-pub(crate) fn get_u8(buf: &mut &[u8]) -> Result<u8> {
+/// Reads one byte.
+pub fn get_u8(buf: &mut &[u8]) -> Result<u8> {
     Ok(take(buf, 1)?[0])
 }
 
-pub(crate) fn get_u32(buf: &mut &[u8]) -> Result<u32> {
+/// Reads a little-endian u32.
+pub fn get_u32(buf: &mut &[u8]) -> Result<u32> {
     Ok(take(buf, 4)?.get_u32_le())
 }
 
-pub(crate) fn get_u64(buf: &mut &[u8]) -> Result<u64> {
+/// Reads a little-endian u64.
+pub fn get_u64(buf: &mut &[u8]) -> Result<u64> {
     Ok(take(buf, 8)?.get_u64_le())
 }
 
-pub(crate) fn get_i64(buf: &mut &[u8]) -> Result<i64> {
+/// Reads a little-endian i64.
+pub fn get_i64(buf: &mut &[u8]) -> Result<i64> {
     Ok(take(buf, 8)?.get_i64_le())
 }
 
@@ -50,8 +58,7 @@ pub(crate) fn get_i64(buf: &mut &[u8]) -> Result<i64> {
 /// writers; the record hot path uses a stack-buffer variant in
 /// `crate::record` to batch its stage appends.
 #[inline]
-#[cfg_attr(not(test), allow(dead_code))]
-pub(crate) fn put_varint(buf: &mut impl BufMut, mut v: u64) {
+pub fn put_varint(buf: &mut impl BufMut, mut v: u64) {
     loop {
         let b = (v & 0x7F) as u8;
         v >>= 7;
@@ -64,7 +71,9 @@ pub(crate) fn put_varint(buf: &mut impl BufMut, mut v: u64) {
 }
 
 #[inline]
-pub(crate) fn get_varint(buf: &mut &[u8]) -> Result<u64> {
+/// Decoder counterpart of [`put_varint`]; rejects encodings longer
+/// than 10 bytes or overflowing a u64.
+pub fn get_varint(buf: &mut &[u8]) -> Result<u64> {
     let mut v = 0u64;
     let mut shift = 0u32;
     loop {
@@ -83,12 +92,14 @@ pub(crate) fn get_varint(buf: &mut &[u8]) -> Result<u64> {
     }
 }
 
-pub(crate) fn put_str(buf: &mut BytesMut, s: &str) {
+/// Writes a u32-length-prefixed UTF-8 string.
+pub fn put_str(buf: &mut BytesMut, s: &str) {
     buf.put_u32_le(s.len() as u32);
     buf.put_slice(s.as_bytes());
 }
 
-pub(crate) fn get_str(buf: &mut &[u8]) -> Result<String> {
+/// Reads a u32-length-prefixed UTF-8 string (capped at 1 MiB).
+pub fn get_str(buf: &mut &[u8]) -> Result<String> {
     let len = get_u32(buf)? as usize;
     if len > 1 << 20 {
         return Err(Error::Corrupt(format!("implausible string length {len}")));

@@ -126,6 +126,10 @@ pub struct RankReport {
     /// Resilience counters of the rank's hardened oracle facade (panics
     /// caught, deadline misses, quarantine transitions, degraded time).
     pub resilience: ResilienceStats,
+    /// Events a durable recorder failed to journal after a sticky IO
+    /// error (0 for in-memory recording and predict mode). Non-zero means
+    /// the run completed but its crash-recovery sidecars are incomplete.
+    pub dropped_events: u64,
 }
 
 /// Configuration of prediction-driven send aggregation — the optimization
@@ -521,6 +525,7 @@ impl PythiaComm {
             .into_inner();
         let events = state.events;
         let rules = state.oracle.recorder().map_or(0, |r| r.rule_count());
+        let dropped_events = state.oracle.recorder().map_or(0, |r| r.dropped_events());
         let predict_stats = state.oracle.predict_stats();
         let resilience = state.oracle.resilience_stats();
         let aggregation = state
@@ -544,6 +549,7 @@ impl PythiaComm {
             predict_stats,
             aggregation,
             resilience,
+            dropped_events,
         })
     }
 

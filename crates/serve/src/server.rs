@@ -1,0 +1,421 @@
+//! The server shell: shard router, in-process client, and the TCP /
+//! Unix-socket transports.
+//!
+//! A [`Server`] owns N shard workers. The router is the only piece the
+//! transports touch: it sends `Open` requests round-robin across
+//! shards, routes session requests by the shard byte packed into the
+//! [`SessionId`], and answers `Stats` entirely from each shard's
+//! [`Published`] snapshot — a stats poll never enters a worker's queue.
+//!
+//! The [`Client`] is in-process but honest: every call round-trips
+//! through the same encode → decode → dispatch → encode → decode byte
+//! path a socket client exercises, so the protocol tests and the bench
+//! measure the real wire cost minus only the kernel.
+//!
+//! [`Published`]: pythia_core::sync::Published
+//! [`SessionId`]: crate::session::SessionId
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use pythia_core::error::{Error, Result};
+use pythia_core::predict::PredictorConfig;
+use pythia_core::resilience::BreakerConfig;
+
+use crate::proto::{
+    decode_request, decode_response, encode_request, encode_response, split_frame, Request,
+    Response,
+};
+use crate::session::SessionId;
+use crate::shard::{spawn_shard, ShardConfig, ShardHandle, ShardMsg, ShardStats};
+use crate::tenant::Tenants;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker shards (each one thread owning its session slab).
+    pub workers: usize,
+    /// Session-slab admission limit per shard.
+    pub max_sessions_per_shard: usize,
+    /// Predictor settings applied to every session.
+    pub predictor: PredictorConfig,
+    /// Per-(shard, tenant) admission breaker settings.
+    pub breaker: BreakerConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            max_sessions_per_shard: 1 << 16,
+            predictor: PredictorConfig::default(),
+            breaker: BreakerConfig::default(),
+        }
+    }
+}
+
+/// Routes requests to shard workers. Shared by every transport.
+pub struct Router {
+    shards: Vec<ShardHandle>,
+    tenants: Arc<Tenants>,
+    next_shard: AtomicUsize,
+}
+
+impl Router {
+    /// Dispatches one request and waits for its response.
+    pub fn dispatch(&self, req: Request) -> Response {
+        match req {
+            // Stats never enters a worker queue: every shard's latest
+            // snapshot is read lock-free from its epoch-published slot.
+            Request::Stats => Response::Stats {
+                shards: self.shards.iter().map(|s| s.stats.get()).collect(),
+            },
+            Request::Open { .. } => {
+                let shard = self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+                self.call_shard(shard, req)
+            }
+            Request::Observe { session, .. }
+            | Request::Predict { session, .. }
+            | Request::ObservePredict { session, .. }
+            | Request::Close { session } => {
+                let shard = session.shard();
+                if shard >= self.shards.len() {
+                    return Response::Error {
+                        message: format!("session routes to nonexistent shard {shard}"),
+                    };
+                }
+                self.call_shard(shard, req)
+            }
+        }
+    }
+
+    /// The tenant directory this server was built with.
+    pub fn tenants(&self) -> &Tenants {
+        &self.tenants
+    }
+
+    /// Aggregate stats across all shards.
+    pub fn stats(&self) -> ShardStats {
+        self.shards
+            .iter()
+            .fold(ShardStats::default(), |acc, s| acc.merge(&s.stats.get()))
+    }
+
+    fn call_shard(&self, shard: usize, req: Request) -> Response {
+        let (tx, rx) = mpsc::channel();
+        if self.shards[shard].tx.send(ShardMsg::Call(req, tx)).is_err() {
+            return Response::Error {
+                message: format!("shard {shard} is down"),
+            };
+        }
+        match rx.recv() {
+            Ok(resp) => resp,
+            Err(_) => Response::Error {
+                message: format!("shard {shard} dropped the request"),
+            },
+        }
+    }
+}
+
+/// A running prediction server.
+pub struct Server {
+    router: Arc<Router>,
+    running: Arc<AtomicBool>,
+    listeners: Vec<JoinHandle<()>>,
+    unix_paths: Vec<PathBuf>,
+}
+
+impl Server {
+    /// Starts `config.workers` shard workers over the given tenants.
+    pub fn start(tenants: Tenants, config: ServeConfig) -> Result<Server> {
+        if config.workers == 0 || config.workers > SessionId::MAX_SHARDS {
+            return Err(Error::InvalidConfig(format!(
+                "workers must be in 1..={}, got {}",
+                SessionId::MAX_SHARDS,
+                config.workers
+            )));
+        }
+        if tenants.is_empty() {
+            return Err(Error::InvalidConfig("no tenants registered".into()));
+        }
+        let tenants = Arc::new(tenants);
+        let mut shards = Vec::with_capacity(config.workers);
+        for shard_index in 0..config.workers {
+            let shard_config = ShardConfig {
+                shard_index,
+                max_sessions: config.max_sessions_per_shard.max(1),
+                predictor: config.predictor.clone(),
+                breaker: config.breaker.clone(),
+            };
+            shards.push(spawn_shard(shard_config, Arc::clone(&tenants)).map_err(Error::Io)?);
+        }
+        Ok(Server {
+            router: Arc::new(Router {
+                shards,
+                tenants,
+                next_shard: AtomicUsize::new(0),
+            }),
+            running: Arc::new(AtomicBool::new(true)),
+            listeners: Vec::new(),
+            unix_paths: Vec::new(),
+        })
+    }
+
+    /// The router, for in-process clients.
+    pub fn router(&self) -> Arc<Router> {
+        Arc::clone(&self.router)
+    }
+
+    /// An in-process client bound to this server.
+    pub fn client(&self) -> Client {
+        Client {
+            router: self.router(),
+        }
+    }
+
+    /// Binds a TCP listener and serves connections until shutdown.
+    /// Returns the bound address (bind to port 0 to let the OS pick).
+    pub fn listen_tcp(&mut self, addr: &str) -> Result<SocketAddr> {
+        let listener = TcpListener::bind(addr).map_err(Error::Io)?;
+        let local = listener.local_addr().map_err(Error::Io)?;
+        listener.set_nonblocking(true).map_err(Error::Io)?;
+        let router = self.router();
+        let running = Arc::clone(&self.running);
+        let join = std::thread::Builder::new()
+            .name("pythia-serve-tcp".into())
+            .spawn(move || accept_loop(running, router, AcceptSource::Tcp(listener)))
+            .map_err(Error::Io)?;
+        self.listeners.push(join);
+        Ok(local)
+    }
+
+    /// Binds a Unix-domain listener at `path` and serves until shutdown.
+    /// An existing socket file at `path` is replaced.
+    pub fn listen_unix(&mut self, path: &Path) -> Result<()> {
+        let _ = std::fs::remove_file(path);
+        let listener = UnixListener::bind(path).map_err(Error::Io)?;
+        listener.set_nonblocking(true).map_err(Error::Io)?;
+        let router = self.router();
+        let running = Arc::clone(&self.running);
+        let join = std::thread::Builder::new()
+            .name("pythia-serve-unix".into())
+            .spawn(move || accept_loop(running, router, AcceptSource::Unix(listener)))
+            .map_err(Error::Io)?;
+        self.listeners.push(join);
+        self.unix_paths.push(path.to_path_buf());
+        Ok(())
+    }
+
+    /// Stops accepting, drains the shard workers, and joins every thread.
+    pub fn shutdown(&mut self) {
+        self.running.store(false, Ordering::SeqCst);
+        for listener in self.listeners.drain(..) {
+            let _ = listener.join();
+        }
+        for shard in &self.router.shards {
+            let _ = shard.tx.send(ShardMsg::Shutdown);
+        }
+        // `join` is behind an Option precisely so shutdown can take it
+        // through the shared router.
+        for shard in &self.router.shards {
+            if let Some(join) = shard.join.lock().take() {
+                let _ = join.join();
+            }
+        }
+        for path in self.unix_paths.drain(..) {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// In-process client: full byte-path parity with a socket client.
+#[derive(Clone)]
+pub struct Client {
+    router: Arc<Router>,
+}
+
+impl Client {
+    /// Issues one request, round-tripping it through the framed wire
+    /// encoding both ways.
+    pub fn call(&self, req: &Request) -> Result<Response> {
+        let decoded = decode_request(&unframe(&encode_request(req))?)?;
+        let resp = self.router.dispatch(decoded);
+        decode_response(&unframe(&encode_response(&resp))?)
+    }
+}
+
+/// A socket client speaking the framed protocol over TCP or Unix
+/// streams — also the reference implementation for external clients.
+pub struct SocketClient<S: Read + Write> {
+    stream: S,
+    buf: Vec<u8>,
+}
+
+impl SocketClient<TcpStream> {
+    /// Connects over TCP.
+    pub fn connect_tcp(addr: SocketAddr) -> Result<Self> {
+        let stream = TcpStream::connect(addr).map_err(Error::Io)?;
+        stream.set_nodelay(true).map_err(Error::Io)?;
+        Ok(SocketClient {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+}
+
+impl SocketClient<UnixStream> {
+    /// Connects over a Unix-domain socket.
+    pub fn connect_unix(path: &Path) -> Result<Self> {
+        Ok(SocketClient {
+            stream: UnixStream::connect(path).map_err(Error::Io)?,
+            buf: Vec::new(),
+        })
+    }
+}
+
+impl<S: Read + Write> SocketClient<S> {
+    /// Issues one request and blocks for its response frame.
+    pub fn call(&mut self, req: &Request) -> Result<Response> {
+        // `encode_request` already emits the length-prefixed frame.
+        self.stream
+            .write_all(&encode_request(req))
+            .map_err(Error::Io)?;
+        let mut chunk = [0u8; 4096];
+        loop {
+            {
+                let mut view = &self.buf[..];
+                if let Some(body) = split_frame(&mut view)? {
+                    let consumed = self.buf.len() - view.len();
+                    self.buf.drain(..consumed);
+                    return decode_response(&body);
+                }
+            }
+            let n = self.stream.read(&mut chunk).map_err(Error::Io)?;
+            if n == 0 {
+                return Err(Error::Corrupt("server closed mid-response".into()));
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+    }
+}
+
+/// Strips the length prefix off a single complete frame.
+fn unframe(mut bytes: &[u8]) -> Result<Vec<u8>> {
+    split_frame(&mut bytes)?.ok_or_else(|| Error::Corrupt("incomplete frame".into()))
+}
+
+enum AcceptSource {
+    Tcp(TcpListener),
+    Unix(UnixListener),
+}
+
+fn accept_loop(running: Arc<AtomicBool>, router: Arc<Router>, source: AcceptSource) {
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    while running.load(Ordering::SeqCst) {
+        let accepted: Option<Box<dyn StreamLike>> = match &source {
+            AcceptSource::Tcp(l) => match l.accept() {
+                Ok((s, _)) => Some(Box::new(s)),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => None,
+                Err(_) => None,
+            },
+            AcceptSource::Unix(l) => match l.accept() {
+                Ok((s, _)) => Some(Box::new(s)),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => None,
+                Err(_) => None,
+            },
+        };
+        match accepted {
+            Some(stream) => {
+                let router = Arc::clone(&router);
+                let running = Arc::clone(&running);
+                if let Ok(join) = std::thread::Builder::new()
+                    .name("pythia-serve-conn".into())
+                    .spawn(move || connection_loop(running, router, stream))
+                {
+                    connections.push(join);
+                }
+            }
+            None => std::thread::sleep(Duration::from_millis(2)),
+        }
+        connections.retain(|j| !j.is_finished());
+    }
+    for join in connections {
+        let _ = join.join();
+    }
+}
+
+/// The subset of stream behavior the connection loop needs, so TCP and
+/// Unix connections share one handler.
+trait StreamLike: Read + Write + Send {
+    fn set_read_timeout_ms(&self, ms: u64) -> std::io::Result<()>;
+}
+
+impl StreamLike for TcpStream {
+    fn set_read_timeout_ms(&self, ms: u64) -> std::io::Result<()> {
+        self.set_read_timeout(Some(Duration::from_millis(ms)))
+    }
+}
+
+impl StreamLike for UnixStream {
+    fn set_read_timeout_ms(&self, ms: u64) -> std::io::Result<()> {
+        self.set_read_timeout(Some(Duration::from_millis(ms)))
+    }
+}
+
+fn connection_loop(running: Arc<AtomicBool>, router: Arc<Router>, mut stream: Box<dyn StreamLike>) {
+    // A short read timeout keeps the thread responsive to shutdown
+    // without busy-waiting on idle connections.
+    if stream.set_read_timeout_ms(50).is_err() {
+        return;
+    }
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 16 * 1024];
+    while running.load(Ordering::SeqCst) {
+        loop {
+            let body = {
+                let mut view = &buf[..];
+                match split_frame(&mut view) {
+                    Ok(Some(body)) => {
+                        let consumed = buf.len() - view.len();
+                        buf.drain(..consumed);
+                        Some(body)
+                    }
+                    Ok(None) => None,
+                    // Oversized or mangled length prefix: the stream can
+                    // never resynchronize, so drop the connection.
+                    Err(_) => return,
+                }
+            };
+            let Some(body) = body else { break };
+            let resp = match decode_request(&body) {
+                Ok(req) => router.dispatch(req),
+                Err(e) => Response::Error {
+                    message: format!("bad request: {e}"),
+                },
+            };
+            if stream.write_all(&encode_response(&resp)).is_err() {
+                return;
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // peer closed
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}

@@ -1,0 +1,379 @@
+//! Worker shard: single-owner session slab, per-tenant admission
+//! control, lock-free stats publication.
+//!
+//! Each shard is one OS thread that owns its [`SessionSlab`] outright —
+//! requests reach it over an mpsc channel, so session state needs no
+//! lock at all (the PR 6 "one writer, shared-nothing hot path" model).
+//! What *is* shared crosses the thread boundary through the two
+//! epoch-friendly shapes the core already provides:
+//!
+//! - tenant grammars: `Arc<ThreadTrace>` with a prewarmed
+//!   `Arc<GrammarIndex>`, immutable and shared by every shard;
+//! - shard statistics: an [`Published<ShardStats>`] snapshot the router
+//!   reads without ever blocking the worker.
+//!
+//! Admission control is per-(shard, tenant): every tenant has its own
+//! [`CircuitBreaker`] scored by observe outcomes (a `Matched` event
+//! counts as a correct prediction, `Reseeded`/`Unknown` as wrong). A
+//! tenant whose stream has diverged from its reference trace trips its
+//! breaker and is served `Degraded` no-advice responses — its sessions
+//! stop consuming grammar walks entirely while the breaker is open, so
+//! a hot or degraded tenant cannot starve the other tenants sharing the
+//! shard. Healthy tenants are untouched: their breakers are separate
+//! objects and their predictions remain exactly what a single-process
+//! [`Predictor`] would produce.
+
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use pythia_core::predict::{ObserveOutcome, Prediction, Predictor, PredictorConfig};
+use pythia_core::resilience::{BreakerConfig, CircuitBreaker};
+use pythia_core::sync::Published;
+
+use crate::proto::{Admission, Request, Response};
+use crate::session::{Session, SessionId, SessionSlab};
+use crate::tenant::Tenants;
+
+/// Point-in-time counters for one shard, published through
+/// [`Published`] so `Stats` requests never touch the worker thread.
+///
+/// All fields are monotonic counters except `sessions_open`, which is
+/// the live session count at publication time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Sessions opened on this shard.
+    pub opens: u64,
+    /// Opens refused by slab admission (`max_sessions` reached).
+    pub rejected_opens: u64,
+    /// Sessions open right now.
+    pub sessions_open: u64,
+    /// Events observed (including events absorbed while degraded).
+    pub events: u64,
+    /// Events acknowledged without oracle work because the tenant's
+    /// breaker was open.
+    pub degraded_events: u64,
+    /// Predictions computed and served.
+    pub predictions: u64,
+    /// Predictions answered with the empty no-advice distribution
+    /// because the tenant's breaker was not closed.
+    pub degraded_predictions: u64,
+    /// Total breaker trips summed over this shard's tenant gates.
+    pub breaker_trips: u64,
+}
+
+impl ShardStats {
+    /// Number of wire fields; must match [`ShardStats::fields`] and
+    /// [`ShardStats::from_fields`].
+    pub const FIELDS: usize = 8;
+
+    /// The counters in fixed wire order.
+    pub fn fields(&self) -> [u64; Self::FIELDS] {
+        [
+            self.opens,
+            self.rejected_opens,
+            self.sessions_open,
+            self.events,
+            self.degraded_events,
+            self.predictions,
+            self.degraded_predictions,
+            self.breaker_trips,
+        ]
+    }
+
+    /// Rebuilds stats from the wire order of [`ShardStats::fields`].
+    pub fn from_fields(f: [u64; Self::FIELDS]) -> Self {
+        ShardStats {
+            opens: f[0],
+            rejected_opens: f[1],
+            sessions_open: f[2],
+            events: f[3],
+            degraded_events: f[4],
+            predictions: f[5],
+            degraded_predictions: f[6],
+            breaker_trips: f[7],
+        }
+    }
+
+    /// Element-wise sum, for aggregating across shards.
+    pub fn merge(&self, other: &ShardStats) -> ShardStats {
+        let a = self.fields();
+        let b = other.fields();
+        let mut out = [0u64; Self::FIELDS];
+        for i in 0..Self::FIELDS {
+            out[i] = a[i].wrapping_add(b[i]);
+        }
+        ShardStats::from_fields(out)
+    }
+}
+
+/// Per-shard, per-tenant admission gate: the breaker plus its logical
+/// clock (time = events this gate has seen, the same convention the
+/// resilience facade uses).
+struct TenantGate {
+    breaker: CircuitBreaker,
+    clock: u64,
+}
+
+/// Shard worker configuration (a slice of the server config).
+#[derive(Debug, Clone)]
+pub(crate) struct ShardConfig {
+    pub shard_index: usize,
+    pub max_sessions: usize,
+    pub predictor: PredictorConfig,
+    pub breaker: BreakerConfig,
+}
+
+/// A request paired with the channel its response goes back on.
+pub(crate) enum ShardMsg {
+    Call(Request, Sender<Response>),
+    Shutdown,
+}
+
+/// Router-side handle to a running shard worker. The join handle sits
+/// behind a mutex because shutdown reaches it through the shared
+/// router (`Arc<Router>`), never mutably.
+pub(crate) struct ShardHandle {
+    pub tx: Sender<ShardMsg>,
+    pub stats: Arc<Published<ShardStats>>,
+    pub join: parking_lot::Mutex<Option<JoinHandle<()>>>,
+}
+
+/// The worker-thread state behind one shard.
+struct ShardWorker {
+    config: ShardConfig,
+    tenants: Arc<Tenants>,
+    slab: SessionSlab,
+    gates: Vec<TenantGate>,
+    stats: ShardStats,
+    published: Arc<Published<ShardStats>>,
+    dirty: bool,
+}
+
+pub(crate) fn spawn_shard(
+    config: ShardConfig,
+    tenants: Arc<Tenants>,
+) -> std::io::Result<ShardHandle> {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let published = Arc::new(Published::new(ShardStats::default()));
+    let stats = Arc::clone(&published);
+    let index = config.shard_index;
+    let join = std::thread::Builder::new()
+        .name(format!("pythia-shard-{index}"))
+        .spawn(move || {
+            let gates = (0..tenants.len())
+                .map(|_| TenantGate {
+                    breaker: CircuitBreaker::new(config.breaker.clone()),
+                    clock: 0,
+                })
+                .collect();
+            ShardWorker {
+                config,
+                tenants,
+                slab: SessionSlab::default(),
+                gates,
+                stats: ShardStats::default(),
+                published: stats,
+                dirty: false,
+            }
+            .run(rx);
+        })?;
+    Ok(ShardHandle {
+        tx,
+        stats: published,
+        join: parking_lot::Mutex::new(Some(join)),
+    })
+}
+
+impl ShardWorker {
+    fn run(mut self, rx: Receiver<ShardMsg>) {
+        while let Ok(msg) = rx.recv() {
+            match msg {
+                ShardMsg::Call(req, reply) => {
+                    let resp = self.handle(req);
+                    // Publish *before* replying: once a caller has seen the
+                    // response, a router-level Stats read reflects it.
+                    if self.dirty {
+                        self.stats.sessions_open = self.slab.len() as u64;
+                        self.published.publish(self.stats);
+                        self.dirty = false;
+                    }
+                    // A disconnected caller is not the shard's problem.
+                    let _ = reply.send(resp);
+                }
+                ShardMsg::Shutdown => break,
+            }
+        }
+    }
+
+    fn handle(&mut self, req: Request) -> Response {
+        self.dirty = true;
+        match req {
+            Request::Open { tenant } => self.open(&tenant),
+            Request::Observe { session, events } => match self.advance(session, &events) {
+                Ok((outcome, admission)) => Response::Advice {
+                    outcome,
+                    prediction: None,
+                    admission,
+                },
+                Err(resp) => resp,
+            },
+            Request::Predict { session, distance } => {
+                match self.predict(session, distance as usize) {
+                    Ok((prediction, admission)) => Response::Advice {
+                        outcome: None,
+                        prediction: Some(prediction),
+                        admission,
+                    },
+                    Err(resp) => resp,
+                }
+            }
+            Request::ObservePredict {
+                session,
+                distance,
+                events,
+            } => {
+                let (outcome, observe_admission) = match self.advance(session, &events) {
+                    Ok(r) => r,
+                    Err(resp) => return resp,
+                };
+                match self.predict(session, distance as usize) {
+                    Ok((prediction, admission)) => Response::Advice {
+                        outcome,
+                        prediction: Some(prediction),
+                        admission: if observe_admission == Admission::Degraded {
+                            Admission::Degraded
+                        } else {
+                            admission
+                        },
+                    },
+                    Err(resp) => resp,
+                }
+            }
+            Request::Close { session } => {
+                match self.slab.remove(session.slot(), session.generation()) {
+                    Some(_) => Response::Closed,
+                    None => stale_session(session),
+                }
+            }
+            // Answered by the router from published snapshots; reaching a
+            // worker directly (in-process tests) is still well-defined.
+            Request::Stats => Response::Stats {
+                shards: vec![self.snapshot()],
+            },
+        }
+    }
+
+    fn snapshot(&self) -> ShardStats {
+        let mut s = self.stats;
+        s.sessions_open = self.slab.len() as u64;
+        s
+    }
+
+    fn open(&mut self, tenant: &str) -> Response {
+        let Some(tenant_index) = self.tenants.resolve(tenant) else {
+            return Response::Error {
+                message: format!("unknown tenant {tenant:?}"),
+            };
+        };
+        if self.slab.len() >= self.config.max_sessions {
+            self.stats.rejected_opens += 1;
+            return Response::Error {
+                message: format!(
+                    "shard {} is full ({} sessions)",
+                    self.config.shard_index, self.config.max_sessions
+                ),
+            };
+        }
+        let spec = self.tenants.spec(tenant_index);
+        let predictor =
+            Predictor::from_thread_trace(Arc::clone(&spec.thread), self.config.predictor.clone());
+        let (slot, generation) = self.slab.insert(Session {
+            tenant: tenant_index,
+            predictor,
+            events: 0,
+        });
+        self.stats.opens += 1;
+        Response::Session {
+            id: SessionId::pack(self.config.shard_index, generation, slot),
+        }
+    }
+
+    /// Observe path: advances the breaker clock per event, then either
+    /// feeds the whole batch to the predictor (one amortized walker run)
+    /// or — with the breaker open — acknowledges the events without any
+    /// oracle work so the tenant cannot monopolize the shard.
+    fn advance(
+        &mut self,
+        id: SessionId,
+        events: &[pythia_core::event::EventId],
+    ) -> std::result::Result<(Option<ObserveOutcome>, Admission), Response> {
+        let Some(session) = self.slab.get_mut(id.slot(), id.generation()) else {
+            return Err(stale_session(id));
+        };
+        let gate = &mut self.gates[session.tenant];
+        session.events += events.len() as u64;
+        self.stats.events += events.len() as u64;
+        for _ in events {
+            gate.clock += 1;
+            gate.breaker.on_event(gate.clock);
+        }
+        if !gate.breaker.computes() {
+            // Open: the events are acknowledged but not replayed into the
+            // grammar. The session's cursor desynchronizes; once the
+            // breaker half-opens the next batch re-seeds it (that reseed
+            // is scored, so a still-bad stream re-trips immediately).
+            self.stats.degraded_events += events.len() as u64;
+            return Ok((None, Admission::Degraded));
+        }
+        let before = session.predictor.stats();
+        let outcome = session.predictor.observe_batch(events);
+        let after = session.predictor.stats();
+        // Score the breaker from the outcome mix of this batch: matched
+        // events vouch for the oracle, reseeds and unknowns vote against.
+        let trips_before = gate.breaker.transitions();
+        let correct = after.matched - before.matched;
+        let wrong = (after.reseeded - before.reseeded) + (after.unknown - before.unknown);
+        for _ in 0..correct {
+            gate.breaker.on_scored(true, gate.clock);
+        }
+        for _ in 0..wrong {
+            gate.breaker.on_scored(false, gate.clock);
+        }
+        self.stats.breaker_trips += gate.breaker.transitions() - trips_before;
+        let admission = if gate.breaker.advice_allowed() {
+            Admission::Served
+        } else {
+            Admission::Degraded
+        };
+        Ok((outcome, admission))
+    }
+
+    fn predict(
+        &mut self,
+        id: SessionId,
+        distance: usize,
+    ) -> std::result::Result<(Prediction, Admission), Response> {
+        let Some(session) = self.slab.get_mut(id.slot(), id.generation()) else {
+            return Err(stale_session(id));
+        };
+        let gate = &mut self.gates[session.tenant];
+        if !gate.breaker.advice_allowed() {
+            // No-advice fallback: an empty distribution is exactly what the
+            // single-process oracle returns when it has lost track, so
+            // hosts need no serve-specific handling.
+            self.stats.degraded_predictions += 1;
+            return Ok((Prediction::default(), Admission::Degraded));
+        }
+        let prediction = session.predictor.predict(distance);
+        gate.breaker.on_query_ok();
+        self.stats.predictions += 1;
+        Ok((prediction, Admission::Served))
+    }
+}
+
+fn stale_session(id: SessionId) -> Response {
+    Response::Error {
+        message: format!("no such session {:#018x} (stale or closed id)", id.0),
+    }
+}

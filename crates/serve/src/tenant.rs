@@ -1,0 +1,86 @@
+//! Tenant directory: named reference traces with prewarmed grammar
+//! indexes.
+//!
+//! Registering a tenant forces its [`GrammarIndex`] once, up front, so
+//! the first session opened against it never pays the index build on
+//! the serving path. The resulting `Arc<ThreadTrace>` (grammar +
+//! cached index) is shared read-only by every session on every shard —
+//! per-session state is just the progress cursor.
+//!
+//! [`GrammarIndex`]: pythia_core::grammar::GrammarIndex
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use pythia_core::error::{Error, Result};
+use pythia_core::trace::{ThreadTrace, TraceData};
+
+/// One registered tenant: a name and its shared reference trace.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Tenant name clients pass in [`crate::proto::Request::Open`].
+    pub name: String,
+    /// The reference thread trace; its grammar index is prewarmed at
+    /// registration.
+    pub thread: Arc<ThreadTrace>,
+}
+
+/// Immutable tenant directory, shared by the router and every shard.
+#[derive(Debug, Default)]
+pub struct Tenants {
+    specs: Vec<TenantSpec>,
+    by_name: HashMap<String, usize>,
+}
+
+impl Tenants {
+    /// Builds the directory, prewarming each tenant's grammar index.
+    /// Fails on duplicate names.
+    pub fn new(specs: Vec<TenantSpec>) -> Result<Self> {
+        let mut by_name = HashMap::with_capacity(specs.len());
+        for (i, spec) in specs.iter().enumerate() {
+            if by_name.insert(spec.name.clone(), i).is_some() {
+                return Err(Error::InvalidConfig(format!(
+                    "duplicate tenant name {:?}",
+                    spec.name
+                )));
+            }
+            // Force the index now so session opens never race to build it.
+            let _ = spec.thread.index();
+        }
+        Ok(Tenants { specs, by_name })
+    }
+
+    /// Convenience: one tenant per `(name, trace)` pair, serving thread 0
+    /// of each trace.
+    pub fn from_traces<I>(traces: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = (String, TraceData)>,
+    {
+        let mut specs = Vec::new();
+        for (name, trace) in traces {
+            let thread = Arc::clone(trace.thread(0)?);
+            specs.push(TenantSpec { name, thread });
+        }
+        Self::new(specs)
+    }
+
+    /// Number of registered tenants.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Whether the directory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Resolves a tenant name to its directory index.
+    pub fn resolve(&self, name: &str) -> Option<usize> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The spec at directory index `i`.
+    pub fn spec(&self, i: usize) -> &TenantSpec {
+        &self.specs[i]
+    }
+}

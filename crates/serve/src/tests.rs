@@ -1,0 +1,405 @@
+//! End-to-end tests for the serving stack: in-process byte-path
+//! parity with a single-process predictor, per-tenant admission
+//! control, and the socket transports.
+
+use std::sync::Arc;
+
+use pythia_core::event::{EventId, EventRegistry};
+use pythia_core::predict::{Prediction, Predictor, PredictorConfig};
+use pythia_core::record::{RecordConfig, Recorder};
+use pythia_core::resilience::BreakerConfig;
+use pythia_core::trace::TraceData;
+
+use crate::proto::{Admission, Request, Response};
+use crate::server::{Client, ServeConfig, Server, SocketClient};
+use crate::session::SessionId;
+use crate::tenant::{TenantSpec, Tenants};
+
+fn trace_of(seq: &[u32], repeat: usize) -> TraceData {
+    let mut rec = Recorder::new(RecordConfig {
+        timestamps: false,
+        validate: false,
+    });
+    for _ in 0..repeat {
+        for &e in seq {
+            rec.record_at(EventId(e), 0);
+        }
+    }
+    rec.finish(&EventRegistry::new()).unwrap()
+}
+
+fn start_two_tenant_server(workers: usize, breaker: BreakerConfig) -> Server {
+    let tenants = Tenants::from_traces([
+        ("alpha".to_string(), trace_of(&[1, 2, 3, 4], 16)),
+        ("beta".to_string(), trace_of(&[7, 8, 9], 16)),
+    ])
+    .unwrap();
+    Server::start(
+        tenants,
+        ServeConfig {
+            workers,
+            breaker,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+fn open(client: &Client, tenant: &str) -> SessionId {
+    match client
+        .call(&Request::Open {
+            tenant: tenant.to_string(),
+        })
+        .unwrap()
+    {
+        Response::Session { id } => id,
+        other => panic!("open returned {other:?}"),
+    }
+}
+
+fn predict(client: &Client, session: SessionId, distance: u32) -> (Prediction, Admission) {
+    match client
+        .call(&Request::Predict { session, distance })
+        .unwrap()
+    {
+        Response::Advice {
+            prediction: Some(p),
+            admission,
+            ..
+        } => (p, admission),
+        other => panic!("predict returned {other:?}"),
+    }
+}
+
+fn assert_bit_identical(served: &Prediction, local: &Prediction) {
+    assert_eq!(served.distribution.len(), local.distribution.len());
+    for (&(es, ps), &(el, pl)) in served.distribution.iter().zip(&local.distribution) {
+        assert_eq!(es, el);
+        assert_eq!(ps.to_bits(), pl.to_bits(), "probability drifted for {es:?}");
+    }
+    assert_eq!(
+        served.end_probability.to_bits(),
+        local.end_probability.to_bits()
+    );
+}
+
+/// Served predictions are byte-identical to a single-process predictor
+/// fed the same events — across many sessions, on every shard.
+#[test]
+fn served_predictions_match_single_process_oracle() {
+    let server = start_two_tenant_server(3, BreakerConfig::default());
+    let client = server.client();
+    let tenants = [
+        ("alpha", trace_of(&[1, 2, 3, 4], 16), vec![1u32, 2, 3]),
+        ("beta", trace_of(&[7, 8, 9], 16), vec![7u32, 8]),
+    ];
+    for (name, trace, prefix) in &tenants {
+        for _ in 0..8 {
+            let id = open(&client, name);
+            let events: Vec<EventId> = prefix.iter().map(|&e| EventId(e)).collect();
+            match client
+                .call(&Request::Observe {
+                    session: id,
+                    events: events.clone(),
+                })
+                .unwrap()
+            {
+                Response::Advice { admission, .. } => assert_eq!(admission, Admission::Served),
+                other => panic!("observe returned {other:?}"),
+            }
+            let mut local = Predictor::from_thread_trace(
+                Arc::clone(trace.thread(0).unwrap()),
+                PredictorConfig::default(),
+            );
+            for &e in &events {
+                local.observe(e);
+            }
+            for distance in [1, 2, 5] {
+                let (served, admission) = predict(&client, id, distance);
+                assert_eq!(admission, Admission::Served);
+                assert_bit_identical(&served, &local.predict(distance as usize));
+            }
+            assert!(matches!(
+                client.call(&Request::Close { session: id }).unwrap(),
+                Response::Closed
+            ));
+        }
+    }
+}
+
+/// Sessions round-robin across shards and the aggregated stats see
+/// every open and event.
+#[test]
+fn sessions_spread_across_shards() {
+    let server = start_two_tenant_server(4, BreakerConfig::default());
+    let client = server.client();
+    let mut shards_used = std::collections::HashSet::new();
+    for _ in 0..8 {
+        let id = open(&client, "alpha");
+        shards_used.insert(id.shard());
+        client
+            .call(&Request::Observe {
+                session: id,
+                events: vec![EventId(1), EventId(2)],
+            })
+            .unwrap();
+    }
+    assert_eq!(shards_used.len(), 4, "round-robin should hit every shard");
+    let stats = server.router().stats();
+    assert_eq!(stats.opens, 8);
+    assert_eq!(stats.sessions_open, 8);
+    assert_eq!(stats.events, 16);
+    assert_eq!(stats.degraded_events, 0);
+    match client.call(&Request::Stats).unwrap() {
+        Response::Stats { shards } => assert_eq!(shards.len(), 4),
+        other => panic!("stats returned {other:?}"),
+    }
+}
+
+/// A tenant whose stream diverges trips its breaker and degrades to
+/// no-advice, while the other tenant on the *same shard* keeps getting
+/// predictions byte-identical to the single-process oracle.
+#[test]
+fn circuit_broken_tenant_degrades_without_touching_others() {
+    // One worker: both tenants share a shard, the worst case for
+    // interference.
+    let breaker = BreakerConfig {
+        window: 16,
+        backoff_initial: 1 << 20, // stay open for the whole test
+        ..BreakerConfig::default()
+    };
+    let server = start_two_tenant_server(1, breaker);
+    let client = server.client();
+    let good = open(&client, "alpha");
+    let bad = open(&client, "beta");
+
+    // Drive the bad tenant with events its reference trace never saw.
+    let junk: Vec<EventId> = (0..64).map(|_| EventId(999)).collect();
+    let resp = client
+        .call(&Request::Observe {
+            session: bad,
+            events: junk,
+        })
+        .unwrap();
+    match resp {
+        Response::Advice { admission, .. } => assert_eq!(admission, Admission::Degraded),
+        other => panic!("observe returned {other:?}"),
+    }
+    // Its predictions are the no-advice fallback.
+    let (p, admission) = predict(&client, bad, 3);
+    assert_eq!(admission, Admission::Degraded);
+    assert!(p.distribution.is_empty());
+    assert_eq!(p.end_probability.to_bits(), 0.0f64.to_bits());
+    // Further observes are acknowledged without oracle work.
+    client
+        .call(&Request::Observe {
+            session: bad,
+            events: vec![EventId(999); 32],
+        })
+        .unwrap();
+    let stats = server.router().stats();
+    assert!(stats.breaker_trips >= 1, "breaker never tripped");
+    assert!(
+        stats.degraded_events >= 32,
+        "open breaker should skip oracle work, got {stats:?}"
+    );
+
+    // The good tenant, same shard, is entirely unaffected.
+    let events = vec![EventId(1), EventId(2), EventId(3)];
+    match client
+        .call(&Request::Observe {
+            session: good,
+            events: events.clone(),
+        })
+        .unwrap()
+    {
+        Response::Advice { admission, .. } => assert_eq!(admission, Admission::Served),
+        other => panic!("observe returned {other:?}"),
+    }
+    let mut local = Predictor::from_thread_trace(
+        Arc::clone(trace_of(&[1, 2, 3, 4], 16).thread(0).unwrap()),
+        PredictorConfig::default(),
+    );
+    for &e in &events {
+        local.observe(e);
+    }
+    let (served, admission) = predict(&client, good, 2);
+    assert_eq!(admission, Admission::Served);
+    assert_bit_identical(&served, &local.predict(2));
+}
+
+/// Stale, closed, malformed, and cross-shard session ids are rejected
+/// with an error, never a panic or another session's state.
+#[test]
+fn session_lifecycle_is_guarded() {
+    let server = start_two_tenant_server(2, BreakerConfig::default());
+    let client = server.client();
+    let id = open(&client, "alpha");
+    assert!(matches!(
+        client.call(&Request::Close { session: id }).unwrap(),
+        Response::Closed
+    ));
+    // Closed id: every op errors.
+    for req in [
+        Request::Observe {
+            session: id,
+            events: vec![EventId(1)],
+        },
+        Request::Predict {
+            session: id,
+            distance: 1,
+        },
+        Request::Close { session: id },
+    ] {
+        assert!(matches!(client.call(&req).unwrap(), Response::Error { .. }));
+    }
+    // The slot is reused under a new generation; the old id stays dead.
+    let reused = open(&client, "beta");
+    assert!(matches!(
+        client.call(&Request::Close { session: id }).unwrap(),
+        Response::Error { .. }
+    ));
+    assert!(matches!(
+        client.call(&Request::Close { session: reused }).unwrap(),
+        Response::Closed
+    ));
+    // Unknown tenant and out-of-range shard.
+    assert!(matches!(
+        client
+            .call(&Request::Open {
+                tenant: "nope".into()
+            })
+            .unwrap(),
+        Response::Error { .. }
+    ));
+    assert!(matches!(
+        client
+            .call(&Request::Predict {
+                session: SessionId(u64::MAX),
+                distance: 1
+            })
+            .unwrap(),
+        Response::Error { .. }
+    ));
+}
+
+/// Slab admission: a full shard refuses opens instead of growing
+/// without bound.
+#[test]
+fn full_shards_refuse_opens() {
+    let tenants = Tenants::from_traces([("t".to_string(), trace_of(&[1, 2], 8))]).unwrap();
+    let server = Server::start(
+        tenants,
+        ServeConfig {
+            workers: 1,
+            max_sessions_per_shard: 3,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let client = server.client();
+    let ids: Vec<SessionId> = (0..3).map(|_| open(&client, "t")).collect();
+    assert!(matches!(
+        client.call(&Request::Open { tenant: "t".into() }).unwrap(),
+        Response::Error { .. }
+    ));
+    assert_eq!(server.router().stats().rejected_opens, 1);
+    // Closing one frees capacity.
+    client.call(&Request::Close { session: ids[0] }).unwrap();
+    open(&client, "t");
+}
+
+/// The framed protocol over real sockets (TCP and Unix) produces the
+/// same responses as the in-process path.
+#[test]
+fn socket_transports_roundtrip() {
+    let mut server = start_two_tenant_server(2, BreakerConfig::default());
+    let addr = server.listen_tcp("127.0.0.1:0").unwrap();
+    let sock_path =
+        std::env::temp_dir().join(format!("pythia-serve-test-{}.sock", std::process::id()));
+    server.listen_unix(&sock_path).unwrap();
+
+    let mut tcp = SocketClient::connect_tcp(addr).unwrap();
+    let mut unix = SocketClient::connect_unix(&sock_path).unwrap();
+    let inproc = server.client();
+
+    for client_call in [
+        &mut tcp as &mut dyn FnMutCall,
+        &mut unix as &mut dyn FnMutCall,
+    ] {
+        let id = match client_call.call_req(&Request::Open {
+            tenant: "alpha".into(),
+        }) {
+            Response::Session { id } => id,
+            other => panic!("open over socket returned {other:?}"),
+        };
+        let events = vec![EventId(1), EventId(2), EventId(3)];
+        client_call.call_req(&Request::Observe {
+            session: id,
+            events: events.clone(),
+        });
+        let over_socket = match client_call.call_req(&Request::Predict {
+            session: id,
+            distance: 2,
+        }) {
+            Response::Advice {
+                prediction: Some(p),
+                ..
+            } => p,
+            other => panic!("predict over socket returned {other:?}"),
+        };
+        // Same state driven in-process yields the identical bytes.
+        let local_id = open(&inproc, "alpha");
+        inproc
+            .call(&Request::Observe {
+                session: local_id,
+                events,
+            })
+            .unwrap();
+        let (local, _) = predict(&inproc, local_id, 2);
+        assert_bit_identical(&over_socket, &local);
+    }
+
+    server.shutdown();
+    let _ = std::fs::remove_file(&sock_path);
+}
+
+/// Object-safe adapter so the TCP and Unix socket clients share one
+/// test body.
+trait FnMutCall {
+    fn call_req(&mut self, req: &Request) -> Response;
+}
+
+impl<S: std::io::Read + std::io::Write> FnMutCall for SocketClient<S> {
+    fn call_req(&mut self, req: &Request) -> Response {
+        self.call(req).unwrap()
+    }
+}
+
+/// Tenant registration rejects duplicates and empty directories.
+#[test]
+fn tenant_directory_is_validated() {
+    let t = trace_of(&[1], 4);
+    let thread = Arc::clone(t.thread(0).unwrap());
+    assert!(Tenants::new(vec![
+        TenantSpec {
+            name: "x".into(),
+            thread: Arc::clone(&thread)
+        },
+        TenantSpec {
+            name: "x".into(),
+            thread
+        },
+    ])
+    .is_err());
+    assert!(Server::start(Tenants::default(), ServeConfig::default()).is_err());
+    let tenants = Tenants::from_traces([("t".to_string(), trace_of(&[1, 2], 8))]).unwrap();
+    assert!(Server::start(
+        tenants,
+        ServeConfig {
+            workers: 0,
+            ..ServeConfig::default()
+        }
+    )
+    .is_err());
+}

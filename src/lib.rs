@@ -10,5 +10,6 @@ pub use pythia_minimpi as minimpi;
 pub use pythia_minomp as minomp;
 pub use pythia_runtime_mpi as runtime_mpi;
 pub use pythia_runtime_omp as runtime_omp;
+pub use pythia_serve as serve;
 
 pub use pythia_core::prelude::*;
