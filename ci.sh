@@ -25,6 +25,48 @@ SERVE=$(mktemp -d)
 target/release/serve_smoke --socket "$SERVE/serve.sock" >/dev/null
 rm -rf "$SERVE"
 
+# Serve chaos pass: the same smoke asserts must hold while the wire-fault
+# injector truncates frames, corrupts length prefixes, disconnects
+# mid-frame, and delays writes on every accepted connection (serve_smoke
+# retries each session block on a fresh connection, so every
+# byte-identity assert stays exact).
+SERVE=$(mktemp -d)
+PYTHIA_CHAOS="wire-corrupt-len=13,wire-truncate=17,wire-disconnect=29,wire-delay=11,wire-delay-us=200" \
+    target/release/serve_smoke --sessions 50 --socket "$SERVE/serve.sock" >/dev/null
+rm -rf "$SERVE"
+
+# Serve crash-recovery pass: durable sessions are recorded through a real
+# server process, the server is kill -9'ed with no drain or flush, and a
+# `--recover` restart must resurrect every session from its journal with
+# byte-identical predictions (serve_crash verify exits nonzero otherwise).
+SCRASH=$(mktemp -d)
+target/release/serve_crash serve --dir "$SCRASH/journals" --socket "$SCRASH/serve.sock" \
+    >"$SCRASH/serve.log" 2>&1 &
+SCRASH_PID=$!
+n=0
+while [ ! -S "$SCRASH/serve.sock" ]; do
+    n=$((n + 1))
+    [ "$n" -lt 200 ] || { echo "ci: serve_crash server never bound its socket"; exit 1; }
+    sleep 0.05
+done
+target/release/serve_crash drive --socket "$SCRASH/serve.sock" --out "$SCRASH/sessions.txt" >/dev/null
+kill -9 "$SCRASH_PID" 2>/dev/null || true
+wait "$SCRASH_PID" 2>/dev/null || true
+rm -f "$SCRASH/serve.sock"
+target/release/serve_crash serve --recover --dir "$SCRASH/journals" --socket "$SCRASH/serve.sock" \
+    >"$SCRASH/recover.log" 2>&1 &
+SCRASH_PID=$!
+n=0
+while [ ! -S "$SCRASH/serve.sock" ]; do
+    n=$((n + 1))
+    [ "$n" -lt 200 ] || { echo "ci: recovered server never bound its socket"; exit 1; }
+    sleep 0.05
+done
+target/release/serve_crash verify --socket "$SCRASH/serve.sock" --in "$SCRASH/sessions.txt"
+kill -9 "$SCRASH_PID" 2>/dev/null || true
+wait "$SCRASH_PID" 2>/dev/null || true
+rm -rf "$SCRASH"
+
 # Chaos pass: the fault-injection suite on a clean environment, then the
 # whole suite again with faults injected into every default-config oracle
 # facade (PYTHIA_CHAOS is read by ResilienceConfig::default()). The

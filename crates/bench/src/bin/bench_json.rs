@@ -571,6 +571,7 @@ fn main() {
                 let tenant = if i % 2 == 0 { "regular" } else { "irregular" };
                 match client.call(&Request::Open {
                     tenant: tenant.into(),
+                    durable: false,
                 }) {
                     Ok(Response::Session { id }) => id,
                     other => panic!("serve bench open failed: {other:?}"),
@@ -603,6 +604,7 @@ fn main() {
             }
         });
         let wall_ns = t0.elapsed().as_nanos() as f64;
+        let stats = server.router().stats();
         drop(client);
         drop(server);
         let total_events = (serve_sessions * serve_rounds * serve_batch) as f64;
@@ -616,6 +618,16 @@ fn main() {
             "events_per_sec": eps,
             "ns_per_event": wall_ns / total_events,
             "throughput_scaling": eps / base,
+            // Robustness counters (PR 8): overload shedding and durable-
+            // journal health. All must be zero in this fault-free bench;
+            // nonzero values flag a server that shed load or lost journal
+            // writes while being measured.
+            "busy_rejects": stats.busy_rejects,
+            "rejected_opens": stats.rejected_opens,
+            "evicted_sessions": stats.evicted_sessions,
+            "resumed_sessions": stats.resumed_sessions,
+            "journal_errors": stats.journal_errors,
+            "journal_dropped_events": stats.journal_dropped_events,
         }));
     }
 

@@ -10,15 +10,24 @@
 //! 3. the degraded tenant does not perturb the other tenant: its
 //!    predictions stay byte-identical to the single-process oracle.
 //!
+//! Chaos-tolerant by construction: under `PYTHIA_CHAOS` wire faults
+//! (the ci.sh serve-chaos stage) any call can fail mid-frame, so each
+//! checked session is driven as an atomic block — on a wire error the
+//! whole block retries on a fresh connection with a *fresh session*,
+//! which keeps the byte-identity asserts exact (a session that lost a
+//! response is abandoned, never double-observed).
+//!
 //! Usage: `serve_smoke [--sessions N] [--workers N] [--socket PATH]`
 
+use std::os::unix::net::UnixStream;
+use std::path::Path;
 use std::sync::Arc;
 
 use pythia_bench::Args;
 use pythia_core::event::{EventId, EventRegistry};
 use pythia_core::predict::{Prediction, Predictor, PredictorConfig};
 use pythia_core::record::{RecordConfig, Recorder};
-use pythia_core::resilience::BreakerConfig;
+use pythia_core::resilience::{BreakerConfig, FaultPlan};
 use pythia_core::trace::TraceData;
 use pythia_serve::{
     Admission, Request, Response, ServeConfig, Server, SessionId, SocketClient, Tenants,
@@ -39,6 +48,7 @@ fn trace_of(seq: &[u32], repeat: usize) -> TraceData {
 
 const ALPHA_SEQ: &[u32] = &[1, 2, 3, 4, 2, 1];
 const BETA_SEQ: &[u32] = &[7, 8, 9];
+const ATTEMPTS: usize = 50;
 
 fn assert_bit_identical(served: &Prediction, local: &Prediction, what: &str) {
     assert_eq!(
@@ -61,13 +71,129 @@ fn assert_bit_identical(served: &Prediction, local: &Prediction, what: &str) {
     );
 }
 
-fn open(client: &mut SocketClient<std::os::unix::net::UnixStream>, tenant: &str) -> SessionId {
-    match client.call(&Request::Open {
-        tenant: tenant.to_string(),
-    }) {
-        Ok(Response::Session { id }) => id,
-        other => panic!("open {tenant} failed: {other:?}"),
+fn connect(socket: &Path) -> SocketClient<UnixStream> {
+    for _ in 0..ATTEMPTS {
+        match SocketClient::connect_unix(socket) {
+            Ok(c) => return c,
+            Err(_) => std::thread::sleep(std::time::Duration::from_millis(5)),
+        }
     }
+    panic!("could not connect to {}", socket.display());
+}
+
+/// Drives one fully-checked session as an atomic block: open, observe
+/// the given prefix, and assert byte-identical predictions at two
+/// distances. A wire error or Busy abandons the session and retries the
+/// whole block on a fresh connection, so a completed block has observed
+/// its prefix exactly once.
+fn drive_checked_session(
+    socket: &Path,
+    name: &str,
+    trace: &TraceData,
+    events: &[EventId],
+    what: &str,
+) -> SessionId {
+    'attempt: for _ in 0..ATTEMPTS {
+        let mut client = connect(socket);
+        let id = match client.call(&Request::Open {
+            tenant: name.to_string(),
+            durable: false,
+        }) {
+            Ok(Response::Session { id }) => id,
+            Ok(Response::Busy { .. }) | Err(_) => continue 'attempt,
+            other => panic!("{what}: open failed: {other:?}"),
+        };
+        match client.call(&Request::Observe {
+            session: id,
+            events: events.to_vec(),
+        }) {
+            Ok(Response::Advice { admission, .. }) => {
+                assert_eq!(
+                    admission,
+                    Admission::Served,
+                    "{what}: healthy tenant degraded"
+                )
+            }
+            Ok(Response::Busy { .. }) | Err(_) => continue 'attempt,
+            other => panic!("{what}: observe failed: {other:?}"),
+        }
+        let mut local = Predictor::from_thread_trace(
+            Arc::clone(trace.thread(0).unwrap()),
+            PredictorConfig::default(),
+        );
+        for &e in events {
+            local.observe(e);
+        }
+        for distance in [1u32, 3] {
+            let served = match client.call(&Request::Predict {
+                session: id,
+                distance,
+            }) {
+                Ok(Response::Advice {
+                    prediction: Some(p),
+                    admission: Admission::Served,
+                    ..
+                }) => p,
+                Ok(Response::Busy { .. }) | Err(_) => continue 'attempt,
+                other => panic!("{what}: predict failed: {other:?}"),
+            };
+            assert_bit_identical(
+                &served,
+                &local.predict(distance as usize),
+                &format!("{what} distance {distance}"),
+            );
+        }
+        return id;
+    }
+    panic!("{what}: session block never completed in {ATTEMPTS} attempts");
+}
+
+/// Drives one breaker-tripping block: open a beta session, stream junk,
+/// and assert the tenant degrades to no-advice. Retried whole on wire
+/// errors, like the checked blocks.
+fn drive_junk_session(socket: &Path) {
+    'attempt: for _ in 0..ATTEMPTS {
+        let mut client = connect(socket);
+        let bad = match client.call(&Request::Open {
+            tenant: "beta".to_string(),
+            durable: false,
+        }) {
+            Ok(Response::Session { id }) => id,
+            Ok(Response::Busy { .. }) | Err(_) => continue 'attempt,
+            other => panic!("junk open failed: {other:?}"),
+        };
+        let junk: Vec<EventId> = (0..64).map(|_| EventId(4242)).collect();
+        match client.call(&Request::Observe {
+            session: bad,
+            events: junk,
+        }) {
+            Ok(Response::Advice { admission, .. }) => {
+                assert_eq!(admission, Admission::Degraded, "breaker did not trip")
+            }
+            Ok(Response::Busy { .. }) | Err(_) => continue 'attempt,
+            other => panic!("junk observe failed: {other:?}"),
+        }
+        match client.call(&Request::Predict {
+            session: bad,
+            distance: 1,
+        }) {
+            Ok(Response::Advice {
+                prediction: Some(p),
+                admission,
+                ..
+            }) => {
+                assert_eq!(admission, Admission::Degraded);
+                assert!(
+                    p.distribution.is_empty() && p.end_probability == 0.0,
+                    "degraded tenant still received advice: {p:?}"
+                );
+            }
+            Ok(Response::Busy { .. }) | Err(_) => continue 'attempt,
+            other => panic!("degraded predict failed: {other:?}"),
+        }
+        return;
+    }
+    panic!("junk block never completed in {ATTEMPTS} attempts");
 }
 
 fn main() {
@@ -80,6 +206,10 @@ fn main() {
         .unwrap_or_else(|| {
             std::env::temp_dir().join(format!("pythia-serve-smoke-{}.sock", std::process::id()))
         });
+    // The serve-chaos CI stage runs this binary under PYTHIA_CHAOS wire
+    // faults; the retried blocks keep every assert exact, but shard
+    // round-robin order (and so trips-per-shard) becomes nondeterministic.
+    let chaotic = FaultPlan::from_env().is_some_and(|p| p.has_wire_faults());
 
     let alpha = trace_of(ALPHA_SEQ, 32);
     let beta = trace_of(BETA_SEQ, 32);
@@ -104,7 +234,6 @@ fn main() {
     )
     .expect("server start");
     server.listen_unix(&socket).expect("bind unix socket");
-    let mut client = SocketClient::connect_unix(&socket).expect("connect");
 
     // Phase 1: 2 tenants x N sessions, every prediction byte-identical to
     // the single-process oracle. Session i observes a prefix of its
@@ -112,52 +241,24 @@ fn main() {
     // states differ across sessions.
     let tenant_specs: [(&str, &TraceData, &[u32]); 2] =
         [("alpha", &alpha, ALPHA_SEQ), ("beta", &beta, BETA_SEQ)];
-    let mut alpha_sessions: Vec<SessionId> = Vec::new();
+    let mut alpha_sessions: Vec<(usize, SessionId)> = Vec::new();
     for (name, trace, seq) in tenant_specs {
         for i in 0..sessions_per_tenant {
-            let id = open(&mut client, name);
-            if name == "alpha" {
-                alpha_sessions.push(id);
-            }
             let events: Vec<EventId> = seq
                 .iter()
                 .cycle()
                 .take(1 + i % (3 * seq.len()))
                 .map(|&e| EventId(e))
                 .collect();
-            match client.call(&Request::Observe {
-                session: id,
-                events: events.clone(),
-            }) {
-                Ok(Response::Advice { admission, .. }) => {
-                    assert_eq!(admission, Admission::Served, "healthy tenant degraded")
-                }
-                other => panic!("observe failed: {other:?}"),
-            }
-            let mut local = Predictor::from_thread_trace(
-                Arc::clone(trace.thread(0).unwrap()),
-                PredictorConfig::default(),
+            let id = drive_checked_session(
+                &socket,
+                name,
+                trace,
+                &events,
+                &format!("{name} session {i}"),
             );
-            for &e in &events {
-                local.observe(e);
-            }
-            for distance in [1u32, 3] {
-                let served = match client.call(&Request::Predict {
-                    session: id,
-                    distance,
-                }) {
-                    Ok(Response::Advice {
-                        prediction: Some(p),
-                        admission: Admission::Served,
-                        ..
-                    }) => p,
-                    other => panic!("predict failed: {other:?}"),
-                };
-                assert_bit_identical(
-                    &served,
-                    &local.predict(distance as usize),
-                    &format!("{name} session {i} distance {distance}"),
-                );
+            if name == "alpha" {
+                alpha_sessions.push((i, id));
             }
         }
     }
@@ -165,46 +266,21 @@ fn main() {
     // Phase 2: circuit-break tenant beta by streaming events its reference
     // never saw, through a fresh session on every shard.
     for _ in 0..workers {
-        let bad = open(&mut client, "beta");
-        let junk: Vec<EventId> = (0..64).map(|_| EventId(4242)).collect();
-        let resp = client
-            .call(&Request::Observe {
-                session: bad,
-                events: junk,
-            })
-            .expect("observe junk");
-        match resp {
-            Response::Advice { admission, .. } => {
-                assert_eq!(admission, Admission::Degraded, "breaker did not trip")
-            }
-            other => panic!("junk observe failed: {other:?}"),
-        }
-        match client.call(&Request::Predict {
-            session: bad,
-            distance: 1,
-        }) {
-            Ok(Response::Advice {
-                prediction: Some(p),
-                admission,
-                ..
-            }) => {
-                assert_eq!(admission, Admission::Degraded);
-                assert!(
-                    p.distribution.is_empty() && p.end_probability == 0.0,
-                    "degraded tenant still received advice: {p:?}"
-                );
-            }
-            other => panic!("degraded predict failed: {other:?}"),
-        }
+        drive_junk_session(&socket);
     }
     let stats = server.router().stats();
-    assert!(stats.breaker_trips >= workers as u64, "no breaker trips");
+    let min_trips = if chaotic { 1 } else { workers as u64 };
+    assert!(
+        stats.breaker_trips >= min_trips,
+        "expected >= {min_trips} breaker trips, saw {}",
+        stats.breaker_trips
+    );
 
     // Phase 3: alpha is untouched — its existing sessions keep producing
     // byte-identical predictions after beta went dark. Checked through the
-    // in-process client for transport parity.
+    // in-process client (which bypasses wire faults) for transport parity.
     let inproc = server.client();
-    for (i, &id) in alpha_sessions.iter().enumerate() {
+    for &(i, id) in &alpha_sessions {
         let prefix_len = 1 + i % (3 * ALPHA_SEQ.len());
         let more: Vec<EventId> = ALPHA_SEQ
             .iter()
@@ -248,10 +324,11 @@ fn main() {
     server.shutdown();
     let _ = std::fs::remove_file(&socket);
     println!(
-        "serve smoke ok: {} sessions x 2 tenants over {} workers, {} events served, {} breaker trips contained",
+        "serve smoke ok: {} sessions x 2 tenants over {} workers, {} events served, {} breaker trips contained{}",
         sessions_per_tenant * 2,
         workers,
         stats.events,
         stats.breaker_trips,
+        if chaotic { " (under wire chaos)" } else { "" },
     );
 }

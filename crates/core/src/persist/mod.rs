@@ -30,6 +30,7 @@ pub mod crc;
 mod io;
 mod journal;
 mod recover;
+mod session_log;
 
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -41,6 +42,7 @@ use crate::resilience::FaultPlan;
 
 pub use io::{atomic_write, atomic_write_with, IoFaultInjector};
 pub use recover::{RankRecovery, RecoverReport};
+pub use session_log::{read_event_journal, EventJournal, EventJournalContents};
 
 pub(crate) use recover::recover_trace;
 

@@ -1,0 +1,214 @@
+//! Per-session event journals for the serve layer.
+//!
+//! A serve session's predictor state is a pure function of the observe
+//! stream it has consumed (Sequitur is deterministic), so durability for
+//! a session is just durability for that stream. [`EventJournal`] reuses
+//! the PR-5 journal file format — CRC32-framed chunks behind the
+//! `PYJRNL` header — with two conventions on top:
+//!
+//! * frame 0 is a registry frame whose single descriptor carries the
+//!   session's *label* (the tenant name), so recovery can route the
+//!   journal back to the right grammar without a side table;
+//! * event frames carry no timestamps and are appended one per observe
+//!   batch, `first` numbering events monotonically from 0.
+//!
+//! [`read_event_journal`] salvages every CRC-valid frame, stops at the
+//! first sequence gap (a frame whose `first` does not continue the
+//! stream), and reports torn tail bytes — replaying the returned prefix
+//! through a fresh predictor reproduces the pre-crash state byte for
+//! byte. IO fault injection (`torn-write` etc. via `PYTHIA_CHAOS`) rides
+//! on the same [`IoFaultInjector`] as the recorder journals.
+
+use std::path::Path;
+
+use crate::error::{Error, Result};
+use crate::event::EventId;
+use crate::persist::io::IoFaultInjector;
+use crate::persist::journal::{read_journal, JournalWriter};
+use crate::resilience::FaultPlan;
+use crate::wire;
+
+/// An append-only journal of one session's observe stream.
+#[derive(Debug)]
+pub struct EventJournal {
+    writer: JournalWriter,
+    injector: IoFaultInjector,
+    /// Events appended so far (the `first` index of the next frame).
+    written: u64,
+    /// Reused payload buffer (varint-encoded event ids).
+    payload: Vec<u8>,
+}
+
+impl EventJournal {
+    /// Creates (truncating) the journal at `path`, stamping `label` into
+    /// its first frame. `faults`: `None` consults `PYTHIA_CHAOS`.
+    pub fn create(path: &Path, label: &str, faults: Option<FaultPlan>) -> Result<Self> {
+        let mut injector = match faults {
+            Some(plan) => IoFaultInjector::new(plan),
+            None => IoFaultInjector::from_env(),
+        };
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let mut writer = JournalWriter::create(path, false, &mut injector)?;
+        writer.append_registry(0, &[(label.to_string(), None)], &mut injector)?;
+        Ok(EventJournal {
+            writer,
+            injector,
+            written: 0,
+            payload: Vec::new(),
+        })
+    }
+
+    /// Appends one frame holding `events`, in order. A no-op for an empty
+    /// batch (frames must hold at least one event).
+    pub fn append(&mut self, events: &[EventId]) -> Result<()> {
+        if events.is_empty() {
+            return Ok(());
+        }
+        self.payload.clear();
+        for e in events {
+            wire::put_varint(&mut self.payload, e.0 as u64);
+        }
+        self.writer.append_payload(
+            self.written,
+            events.len(),
+            &self.payload,
+            &mut self.injector,
+        )?;
+        self.written += events.len() as u64;
+        Ok(())
+    }
+
+    /// Events appended so far.
+    pub fn event_count(&self) -> u64 {
+        self.written
+    }
+
+    /// Flushes the journal to stable storage.
+    pub fn sync(&self) -> Result<()> {
+        self.writer.sync()
+    }
+}
+
+/// Everything salvaged from a session journal.
+#[derive(Debug)]
+pub struct EventJournalContents {
+    /// The label stamped at creation (the serve layer stores the tenant
+    /// name here).
+    pub label: String,
+    /// The salvaged observe-stream prefix, in submission order.
+    pub events: Vec<EventId>,
+    /// Bytes discarded at the file tail (torn frame or CRC mismatch);
+    /// 0 for a clean journal.
+    pub torn_tail_bytes: u64,
+}
+
+/// Reads a session journal, salvaging the longest intact event prefix.
+///
+/// A missing/foreign header or an absent label frame is an error — there
+/// is nothing to resurrect from such a file. Damage after the label
+/// degrades to a shorter (possibly empty) event prefix, never a failure.
+pub fn read_event_journal(path: &Path) -> Result<EventJournalContents> {
+    let contents = read_journal(path)?;
+    let label = contents
+        .registry_frames
+        .first()
+        .and_then(|f| f.descs.first())
+        .map(|(name, _)| name.clone())
+        .ok_or_else(|| {
+            Error::Corrupt(format!(
+                "session journal {} has no label frame",
+                path.display()
+            ))
+        })?;
+    let mut events = Vec::new();
+    let mut torn_tail_bytes = contents.torn_tail_bytes;
+    for frame in &contents.event_frames {
+        if frame.first != events.len() as u64 {
+            // Sequence gap: a frame was lost mid-file (should be
+            // impossible for an append-only writer, but a hostile file
+            // could fabricate it). Everything from here on is unusable.
+            torn_tail_bytes = torn_tail_bytes.max(1);
+            break;
+        }
+        events.extend(frame.events.iter().map(|&(e, _)| e));
+    }
+    Ok(EventJournalContents {
+        label,
+        events,
+        torn_tail_bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("pythia-session-log-{name}-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d.join("s.sj")
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore)]
+    fn roundtrip_label_and_events() {
+        let p = tmp("roundtrip");
+        let mut j = EventJournal::create(&p, "tenant-a", Some(FaultPlan::none())).unwrap();
+        j.append(&[EventId(3), EventId(1)]).unwrap();
+        j.append(&[]).unwrap();
+        j.append(&[EventId(4)]).unwrap();
+        assert_eq!(j.event_count(), 3);
+        j.sync().unwrap();
+        drop(j);
+
+        let c = read_event_journal(&p).unwrap();
+        assert_eq!(c.label, "tenant-a");
+        assert_eq!(c.events, vec![EventId(3), EventId(1), EventId(4)]);
+        assert_eq!(c.torn_tail_bytes, 0);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore)]
+    fn torn_tail_salvages_prefix() {
+        let p = tmp("torn");
+        let mut j = EventJournal::create(&p, "t", Some(FaultPlan::none())).unwrap();
+        j.append(&[EventId(0), EventId(1)]).unwrap();
+        j.append(&[EventId(2)]).unwrap();
+        drop(j);
+        let data = std::fs::read(&p).unwrap();
+        std::fs::write(&p, &data[..data.len() - 2]).unwrap();
+
+        let c = read_event_journal(&p).unwrap();
+        assert_eq!(c.label, "t");
+        assert_eq!(c.events, vec![EventId(0), EventId(1)]);
+        assert!(c.torn_tail_bytes > 0);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore)]
+    fn label_frame_is_mandatory() {
+        let p = tmp("nolabel");
+        // A truncation that eats the label frame leaves nothing to
+        // resurrect: the reader must refuse rather than guess a tenant.
+        let mut j = EventJournal::create(&p, "t", Some(FaultPlan::none())).unwrap();
+        j.append(&[EventId(0)]).unwrap();
+        drop(j);
+        let data = std::fs::read(&p).unwrap();
+        std::fs::write(&p, &data[..16]).unwrap(); // header only
+        assert!(read_event_journal(&p).is_err());
+        std::fs::remove_file(&p).ok();
+
+        let q = tmp("foreign");
+        std::fs::write(&q, b"not a journal at all").unwrap();
+        assert!(matches!(read_event_journal(&q), Err(Error::BadMagic)));
+        std::fs::remove_file(&q).ok();
+    }
+}

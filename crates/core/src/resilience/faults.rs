@@ -55,6 +55,23 @@ pub struct FaultPlan {
     /// Fail every `n`-th atomic rename, leaving the temp file behind
     /// (0 = off).
     pub rename_fail_every: u64,
+    /// Wire fault: truncate every `n`-th frame written to a connection —
+    /// a prefix of the frame goes out, then the connection dies mid-frame
+    /// (0 = off). Applied by transport wrappers via [`WireFaultInjector`].
+    pub wire_truncate_every: u64,
+    /// Wire fault: flip bits in the 4-byte length prefix of every `n`-th
+    /// frame written, so the peer sees a hostile length (0 = off).
+    pub wire_corrupt_len_every: u64,
+    /// Wire fault: drop the connection *before* every `n`-th frame write —
+    /// a clean mid-stream disconnect (0 = off).
+    pub wire_disconnect_every: u64,
+    /// Wire fault: delay every `n`-th frame write by [`FaultPlan::wire_delay`]
+    /// (0 = off) — the slow-peer shape that exercises write deadlines.
+    pub wire_delay_every: u64,
+    /// Duration of each scheduled wire delay (only meaningful with
+    /// `wire_delay_every` > 0; defaults to 1 ms when parsed from the
+    /// environment without an explicit `wire-delay-us`).
+    pub wire_delay: Duration,
 }
 
 impl FaultPlan {
@@ -72,7 +89,9 @@ impl FaultPlan {
     /// Parses the [`CHAOS_ENV`] variable: a comma-separated list of
     /// `drop=N`, `dup=N`, `reorder=N`, `corrupt=N`, `panic-predict`,
     /// `panic-observe-after=N`, `slow-predict-us=N`, `torn-write=N`,
-    /// `short-write=N`, `rename-fail=N`. Unknown or malformed
+    /// `short-write=N`, `rename-fail=N`, `wire-truncate=N`,
+    /// `wire-corrupt-len=N`, `wire-disconnect=N`, `wire-delay=N`,
+    /// `wire-delay-us=N`. Unknown or malformed
     /// entries are ignored — a typo in a chaos knob must not take down the
     /// host. Returns `None` when the variable is unset or empty.
     pub fn from_env() -> Option<Self> {
@@ -106,10 +125,87 @@ impl FaultPlan {
                 ("torn-write", Some(n)) => plan.torn_write_every = n,
                 ("short-write", Some(n)) => plan.short_write_every = n,
                 ("rename-fail", Some(n)) => plan.rename_fail_every = n,
+                ("wire-truncate", Some(n)) => plan.wire_truncate_every = n,
+                ("wire-corrupt-len", Some(n)) => plan.wire_corrupt_len_every = n,
+                ("wire-disconnect", Some(n)) => plan.wire_disconnect_every = n,
+                ("wire-delay", Some(n)) => plan.wire_delay_every = n,
+                ("wire-delay-us", Some(n)) => plan.wire_delay = Duration::from_micros(n),
                 _ => {}
             }
         }
+        if plan.wire_delay_every > 0 && plan.wire_delay.is_zero() {
+            plan.wire_delay = Duration::from_millis(1);
+        }
         plan
+    }
+
+    /// Whether any wire-level fault is configured (transports consult this
+    /// to decide whether to wrap accepted connections).
+    pub fn has_wire_faults(&self) -> bool {
+        self.wire_truncate_every > 0
+            || self.wire_corrupt_len_every > 0
+            || self.wire_disconnect_every > 0
+            || self.wire_delay_every > 0
+    }
+}
+
+/// What the wire injector decided for one frame write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireFault {
+    /// Write the frame untouched.
+    None,
+    /// Sleep this long, then write the frame normally.
+    Delay(Duration),
+    /// Write only a prefix of the frame, then drop the connection.
+    Truncate,
+    /// Flip bits in the frame's 4-byte length prefix, then write it.
+    CorruptLenPrefix,
+    /// Drop the connection without writing anything.
+    Disconnect,
+}
+
+/// Applies a [`FaultPlan`]'s wire faults deterministically — by frame
+/// counter, not random draw — so a failing network chaos test replays
+/// identically. Pure decision logic: the transport wrapper owning the
+/// stream performs the actual truncation/corruption/disconnect.
+#[derive(Debug)]
+pub struct WireFaultInjector {
+    plan: FaultPlan,
+    /// Frames written so far on this connection.
+    frames: u64,
+}
+
+impl WireFaultInjector {
+    /// An injector applying `plan`. Each connection gets its own injector
+    /// so fault schedules are deterministic per connection, independent of
+    /// accept interleaving.
+    pub fn new(plan: FaultPlan) -> Self {
+        WireFaultInjector { plan, frames: 0 }
+    }
+
+    /// Whether any wire fault is configured.
+    pub fn is_active(&self) -> bool {
+        self.plan.has_wire_faults()
+    }
+
+    /// Decides the fault for the next frame write. Disconnect wins over
+    /// truncate wins over corrupt-len wins over delay when schedules
+    /// collide on the same frame.
+    pub fn next_frame(&mut self) -> WireFault {
+        self.frames += 1;
+        let n = self.frames;
+        let hits = |every: u64| every > 0 && n.is_multiple_of(every);
+        if hits(self.plan.wire_disconnect_every) {
+            WireFault::Disconnect
+        } else if hits(self.plan.wire_truncate_every) {
+            WireFault::Truncate
+        } else if hits(self.plan.wire_corrupt_len_every) {
+            WireFault::CorruptLenPrefix
+        } else if hits(self.plan.wire_delay_every) {
+            WireFault::Delay(self.plan.wire_delay)
+        } else {
+            WireFault::None
+        }
     }
 }
 
@@ -357,6 +453,56 @@ mod tests {
         assert_eq!(plan.slow_predict, Some(Duration::from_micros(50)));
         assert_eq!(plan.duplicate_every, 0);
         assert!(plan.is_active());
+    }
+
+    #[test]
+    fn wire_faults_parse_and_schedule_deterministically() {
+        let plan = FaultPlan::parse("wire-truncate=3, wire-disconnect=5, wire-delay=2");
+        assert!(plan.has_wire_faults());
+        assert!(plan.is_active());
+        // wire-delay without wire-delay-us gets the 1 ms default.
+        assert_eq!(plan.wire_delay, Duration::from_millis(1));
+        // Wire faults must not perturb the event channel.
+        assert!(FaultInjector::new(plan.clone()).is_identity());
+
+        let mut inj = WireFaultInjector::new(plan);
+        assert!(inj.is_active());
+        let schedule: Vec<WireFault> = (0..15).map(|_| inj.next_frame()).collect();
+        let expect = |n: u64| match n {
+            // Disconnect (5) beats truncate (3) beats delay (2) on collisions.
+            n if n % 5 == 0 => WireFault::Disconnect,
+            n if n % 3 == 0 => WireFault::Truncate,
+            n if n % 2 == 0 => WireFault::Delay(Duration::from_millis(1)),
+            _ => WireFault::None,
+        };
+        let expected: Vec<WireFault> = (1..=15).map(expect).collect();
+        assert_eq!(schedule, expected, "{schedule:?}");
+
+        // A fresh injector replays the identical schedule.
+        let plan = FaultPlan::parse("wire-truncate=3, wire-disconnect=5, wire-delay=2");
+        let mut again = WireFaultInjector::new(plan);
+        let replay: Vec<WireFault> = (0..15).map(|_| again.next_frame()).collect();
+        assert_eq!(replay, schedule);
+    }
+
+    #[test]
+    fn wire_corrupt_len_and_explicit_delay() {
+        let plan = FaultPlan::parse("wire-corrupt-len=4, wire-delay=3, wire-delay-us=250");
+        assert_eq!(plan.wire_corrupt_len_every, 4);
+        assert_eq!(plan.wire_delay, Duration::from_micros(250));
+        let mut inj = WireFaultInjector::new(plan);
+        let schedule: Vec<WireFault> = (0..12).map(|_| inj.next_frame()).collect();
+        for (i, fault) in schedule.iter().enumerate() {
+            let n = (i + 1) as u64;
+            if n.is_multiple_of(4) {
+                assert_eq!(*fault, WireFault::CorruptLenPrefix);
+            } else if n.is_multiple_of(3) {
+                assert_eq!(*fault, WireFault::Delay(Duration::from_micros(250)));
+            } else {
+                assert_eq!(*fault, WireFault::None);
+            }
+        }
+        assert!(!WireFaultInjector::new(FaultPlan::none()).is_active());
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub mod breaker;
 pub mod faults;
 
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
-pub use faults::{FaultInjector, FaultPlan};
+pub use faults::{FaultInjector, FaultPlan, WireFault, WireFaultInjector};
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};

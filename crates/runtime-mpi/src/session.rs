@@ -21,6 +21,11 @@ use crate::probe::{AccuracyProbe, CostProbe, DistanceAccuracy};
 pub use crate::events::SharedRegistry;
 
 /// How the runtime system uses PYTHIA for this execution.
+///
+/// Constructed once per execution, so the size skew from `Predict`'s
+/// inline [`ResilienceConfig`] (which carries the full fault plan) is
+/// irrelevant — boxing it would only tax every construction site.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone)]
 pub enum MpiMode {
     /// No oracle (baseline "Vanilla" of the paper's tables).

@@ -43,7 +43,9 @@
 //! )
 //! .unwrap();
 //! let client = server.client();
-//! let Response::Session { id } = client.call(&Request::Open { tenant: "app".into() }).unwrap()
+//! let Response::Session { id } = client
+//!     .call(&Request::Open { tenant: "app".into(), durable: false })
+//!     .unwrap()
 //! else { panic!("open failed") };
 //! client
 //!     .call(&Request::Observe { session: id, events: vec![EventId(1), EventId(2), EventId(1)] })
@@ -64,7 +66,7 @@ pub mod shard;
 pub mod tenant;
 
 pub use proto::{Admission, Request, Response};
-pub use server::{Client, Router, ServeConfig, Server, SocketClient};
+pub use server::{Client, RecoverReport, RetryPolicy, Router, ServeConfig, Server, SocketClient};
 pub use session::SessionId;
 pub use shard::ShardStats;
 pub use tenant::{TenantSpec, Tenants};

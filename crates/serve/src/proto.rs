@@ -32,11 +32,14 @@ const T_PREDICT: u8 = 0x03;
 const T_OBSERVE_PREDICT: u8 = 0x04;
 const T_CLOSE: u8 = 0x05;
 const T_STATS: u8 = 0x06;
+const T_RESUME: u8 = 0x07;
 // Response tags.
 const T_SESSION: u8 = 0x81;
 const T_ADVICE: u8 = 0x82;
 const T_STATS_REPLY: u8 = 0x83;
 const T_CLOSED: u8 = 0x84;
+const T_BUSY: u8 = 0x85;
+const T_DRAINING: u8 = 0x86;
 const T_ERROR: u8 = 0xFF;
 
 /// A client request.
@@ -46,6 +49,18 @@ pub enum Request {
     Open {
         /// Registered tenant name.
         tenant: String,
+        /// Journal the session's observe stream so a crashed or drained
+        /// server can resurrect it ([`Request::Resume`]). Requires the
+        /// server to be configured with a journal directory.
+        durable: bool,
+    },
+    /// Resurrects a durable session that a previous server incarnation
+    /// journaled. The reply is a fresh [`Response::Session`] id — the old
+    /// one stays dead — whose predictor state is byte-identical to the
+    /// journaled observe prefix.
+    Resume {
+        /// The session id the *previous* incarnation handed out.
+        session: SessionId,
     },
     /// Submits a batch of observed events for a session.
     Observe {
@@ -115,6 +130,16 @@ pub enum Response {
     },
     /// Session closed.
     Closed,
+    /// The shard's queue is full: transient overload, not failure. The
+    /// request was *not* applied; retry after the hinted delay.
+    Busy {
+        /// Server-suggested backoff before retrying, in milliseconds.
+        retry_after_ms: u32,
+    },
+    /// The server is draining toward shutdown: in-flight sessions finish,
+    /// new opens and resumes are refused. Clients should reconnect
+    /// elsewhere (or resume after the restart).
+    Draining,
     /// The request could not be served (unknown tenant, stale session
     /// id, malformed frame, admission rejection).
     Error {
@@ -207,9 +232,14 @@ fn outcome_from(code: u8) -> Result<Option<ObserveOutcome>> {
 pub fn encode_request(req: &Request) -> BytesMut {
     let mut body = BytesMut::new();
     match req {
-        Request::Open { tenant } => {
+        Request::Open { tenant, durable } => {
             body.put_u8(T_OPEN);
             put_str(&mut body, tenant);
+            body.put_u8(*durable as u8);
+        }
+        Request::Resume { session } => {
+            body.put_u8(T_RESUME);
+            body.put_u64_le(session.0);
         }
         Request::Observe { session, events } => {
             body.put_u8(T_OBSERVE);
@@ -246,6 +276,14 @@ pub fn decode_request(mut buf: &[u8]) -> Result<Request> {
     let req = match get_u8(buf)? {
         T_OPEN => Request::Open {
             tenant: get_str(buf)?,
+            durable: match get_u8(buf)? {
+                0 => false,
+                1 => true,
+                x => return Err(Error::Corrupt(format!("bad durable flag {x}"))),
+            },
+        },
+        T_RESUME => Request::Resume {
+            session: SessionId(get_u64(buf)?),
         },
         T_OBSERVE => Request::Observe {
             session: SessionId(get_u64(buf)?),
@@ -304,6 +342,11 @@ pub fn encode_response(resp: &Response) -> BytesMut {
             }
         }
         Response::Closed => body.put_u8(T_CLOSED),
+        Response::Busy { retry_after_ms } => {
+            body.put_u8(T_BUSY);
+            put_varint(&mut body, *retry_after_ms as u64);
+        }
+        Response::Draining => body.put_u8(T_DRAINING),
         Response::Error { message } => {
             body.put_u8(T_ERROR);
             put_str(&mut body, message);
@@ -353,6 +396,16 @@ pub fn decode_response(mut buf: &[u8]) -> Result<Response> {
             Response::Stats { shards }
         }
         T_CLOSED => Response::Closed,
+        T_BUSY => {
+            let v = get_varint(buf)?;
+            if v > u32::MAX as u64 {
+                return Err(Error::Corrupt(format!("bad retry-after hint {v}")));
+            }
+            Response::Busy {
+                retry_after_ms: v as u32,
+            }
+        }
+        T_DRAINING => Response::Draining,
         T_ERROR => Response::Error {
             message: get_str(buf)?,
         },
@@ -429,6 +482,14 @@ mod tests {
     fn requests_roundtrip() {
         roundtrip_request(Request::Open {
             tenant: "lulesh".into(),
+            durable: false,
+        });
+        roundtrip_request(Request::Open {
+            tenant: "lulesh".into(),
+            durable: true,
+        });
+        roundtrip_request(Request::Resume {
+            session: SessionId(0xDEAD_BEEF_0000_0001),
         });
         roundtrip_request(Request::Observe {
             session: SessionId(0x0102_0304_0506_0708),
@@ -472,6 +533,8 @@ mod tests {
             shards: vec![ShardStats::default(), ShardStats::default()],
         });
         roundtrip_response(Response::Closed);
+        roundtrip_response(Response::Busy { retry_after_ms: 25 });
+        roundtrip_response(Response::Draining);
         roundtrip_response(Response::Error {
             message: "unknown tenant".into(),
         });

@@ -23,16 +23,20 @@
 //! objects and their predictions remain exactly what a single-process
 //! [`Predictor`] would produce.
 
-use std::sync::mpsc::{Receiver, Sender};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
+use pythia_core::persist::{read_event_journal, EventJournal};
 use pythia_core::predict::{ObserveOutcome, Prediction, Predictor, PredictorConfig};
-use pythia_core::resilience::{BreakerConfig, CircuitBreaker};
+use pythia_core::resilience::{BreakerConfig, CircuitBreaker, FaultPlan};
 use pythia_core::sync::Published;
 
 use crate::proto::{Admission, Request, Response};
-use crate::session::{Session, SessionId, SessionSlab};
+use crate::session::{Session, SessionId, SessionJournal, SessionSlab};
 use crate::tenant::Tenants;
 
 /// Point-in-time counters for one shard, published through
@@ -60,12 +64,27 @@ pub struct ShardStats {
     pub degraded_predictions: u64,
     /// Total breaker trips summed over this shard's tenant gates.
     pub breaker_trips: u64,
+    /// Sessions resurrected from a previous incarnation's journals.
+    pub resumed_sessions: u64,
+    /// Sessions evicted by the idle-TTL sweeper.
+    pub evicted_sessions: u64,
+    /// Requests refused with [`Response::Busy`] because this shard's
+    /// queue was full. Counted router-side (the whole point is that the
+    /// worker never saw the request) and overlaid into snapshots.
+    pub busy_rejects: u64,
+    /// Session-journal IO failures (each one kills that session's
+    /// journal; the session keeps serving).
+    pub journal_errors: u64,
+    /// Served events whose journal append was lost to a dead journal —
+    /// the serve-side analogue of `Recorder::dropped_events`: the loss
+    /// is observable, never silent.
+    pub journal_dropped_events: u64,
 }
 
 impl ShardStats {
     /// Number of wire fields; must match [`ShardStats::fields`] and
     /// [`ShardStats::from_fields`].
-    pub const FIELDS: usize = 8;
+    pub const FIELDS: usize = 13;
 
     /// The counters in fixed wire order.
     pub fn fields(&self) -> [u64; Self::FIELDS] {
@@ -78,6 +97,11 @@ impl ShardStats {
             self.predictions,
             self.degraded_predictions,
             self.breaker_trips,
+            self.resumed_sessions,
+            self.evicted_sessions,
+            self.busy_rejects,
+            self.journal_errors,
+            self.journal_dropped_events,
         ]
     }
 
@@ -92,6 +116,11 @@ impl ShardStats {
             predictions: f[5],
             degraded_predictions: f[6],
             breaker_trips: f[7],
+            resumed_sessions: f[8],
+            evicted_sessions: f[9],
+            busy_rejects: f[10],
+            journal_errors: f[11],
+            journal_dropped_events: f[12],
         }
     }
 
@@ -120,13 +149,41 @@ struct TenantGate {
 pub(crate) struct ShardConfig {
     pub shard_index: usize,
     pub max_sessions: usize,
+    /// Bound on the shard's request queue; a full queue answers Busy.
+    pub queue_depth: usize,
     pub predictor: PredictorConfig,
     pub breaker: BreakerConfig,
+    /// Directory durable-session journals live in (`None`: durable opens
+    /// are refused).
+    pub journal_dir: Option<PathBuf>,
+    /// fsync session journals on every append. Off by default for the
+    /// same reason the recorder's journal is: flushed frames in the OS
+    /// page cache survive process death, which is the failure the serve
+    /// layer recovers from.
+    pub fsync_journals: bool,
+    /// Evict sessions idle this long (`None`: never).
+    pub session_ttl: Option<Duration>,
+    /// Live-session cap per tenant, enforced across shards through
+    /// `tenant_live`. `usize::MAX` disables the cap.
+    pub max_sessions_per_tenant: usize,
+    /// Live session count per tenant, shared by every shard. Checked at
+    /// open/resume and decremented on close/evict; the check-then-add is
+    /// not atomic across shards, so a burst can overshoot the cap by at
+    /// most one session per shard — an accepted, bounded slack.
+    pub tenant_live: Arc<Vec<AtomicU64>>,
+    /// IO fault injection for session journals; `None` consults
+    /// `PYTHIA_CHAOS`.
+    pub faults: Option<FaultPlan>,
 }
 
 /// A request paired with the channel its response goes back on.
 pub(crate) enum ShardMsg {
     Call(Request, Sender<Response>),
+    /// Evict idle sessions (sent by the sweeper thread; no reply).
+    Sweep,
+    /// Flush every live session journal to disk, then ack: the graceful
+    /// path out — journaled state survives the shutdown that follows.
+    Drain(Sender<()>),
     Shutdown,
 }
 
@@ -134,9 +191,24 @@ pub(crate) enum ShardMsg {
 /// behind a mutex because shutdown reaches it through the shared
 /// router (`Arc<Router>`), never mutably.
 pub(crate) struct ShardHandle {
-    pub tx: Sender<ShardMsg>,
+    /// Bounded queue: the router uses `try_send` and converts a full
+    /// queue into [`Response::Busy`] instead of blocking the caller.
+    pub tx: SyncSender<ShardMsg>,
     pub stats: Arc<Published<ShardStats>>,
+    /// Router-side count of Busy rejections (see
+    /// [`ShardStats::busy_rejects`]).
+    pub busy: AtomicU64,
     pub join: parking_lot::Mutex<Option<JoinHandle<()>>>,
+}
+
+impl ShardHandle {
+    /// The shard's latest snapshot with the router-side busy counter
+    /// overlaid.
+    pub fn snapshot(&self) -> ShardStats {
+        let mut s = self.stats.get();
+        s.busy_rejects = self.busy.load(Ordering::Relaxed);
+        s
+    }
 }
 
 /// The worker-thread state behind one shard.
@@ -154,7 +226,7 @@ pub(crate) fn spawn_shard(
     config: ShardConfig,
     tenants: Arc<Tenants>,
 ) -> std::io::Result<ShardHandle> {
-    let (tx, rx) = std::sync::mpsc::channel();
+    let (tx, rx) = std::sync::mpsc::sync_channel(config.queue_depth.max(1));
     let published = Arc::new(Published::new(ShardStats::default()));
     let stats = Arc::clone(&published);
     let index = config.shard_index;
@@ -181,8 +253,26 @@ pub(crate) fn spawn_shard(
     Ok(ShardHandle {
         tx,
         stats: published,
+        busy: AtomicU64::new(0),
         join: parking_lot::Mutex::new(Some(join)),
     })
+}
+
+/// Path of the journal for session `id` under `dir`: the id is the
+/// filename, so recovery can enumerate sessions with a directory scan
+/// and no side index.
+pub(crate) fn journal_file(dir: &Path, id: SessionId) -> PathBuf {
+    dir.join(format!("s{:016x}.sj", id.0))
+}
+
+/// Parses a session id back out of a [`journal_file`] name.
+pub(crate) fn parse_journal_file(path: &Path) -> Option<SessionId> {
+    let name = path.file_name()?.to_str()?;
+    let hex = name.strip_prefix('s')?.strip_suffix(".sj")?;
+    if hex.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok().map(SessionId)
 }
 
 impl ShardWorker {
@@ -193,23 +283,86 @@ impl ShardWorker {
                     let resp = self.handle(req);
                     // Publish *before* replying: once a caller has seen the
                     // response, a router-level Stats read reflects it.
-                    if self.dirty {
-                        self.stats.sessions_open = self.slab.len() as u64;
-                        self.published.publish(self.stats);
-                        self.dirty = false;
-                    }
+                    self.maybe_publish();
                     // A disconnected caller is not the shard's problem.
                     let _ = reply.send(resp);
+                }
+                ShardMsg::Sweep => {
+                    self.sweep(Instant::now());
+                    self.maybe_publish();
+                }
+                ShardMsg::Drain(ack) => {
+                    self.flush_journals();
+                    let _ = ack.send(());
                 }
                 ShardMsg::Shutdown => break,
             }
         }
     }
 
+    fn maybe_publish(&mut self) {
+        if self.dirty {
+            self.stats.sessions_open = self.slab.len() as u64;
+            self.published.publish(self.stats);
+            self.dirty = false;
+        }
+    }
+
+    /// Evicts sessions idle past the TTL. Their journals are synced and
+    /// *kept*: an evicted durable session is resumable, exactly like one
+    /// interrupted by a crash.
+    fn sweep(&mut self, now: Instant) {
+        let Some(ttl) = self.config.session_ttl else {
+            return;
+        };
+        for (slot, generation) in self.slab.expired(ttl, now) {
+            let Some(session) = self.slab.remove(slot, generation) else {
+                continue;
+            };
+            if let SessionJournal::Active(journal, _) = &session.journal {
+                let _ = journal.sync();
+            }
+            self.tenant_release(session.tenant);
+            self.stats.evicted_sessions += 1;
+            self.dirty = true;
+        }
+    }
+
+    /// Syncs every live durable session's journal (the drain barrier).
+    fn flush_journals(&mut self) {
+        let mut errors = 0;
+        self.slab.for_each_live(|session| {
+            if let SessionJournal::Active(journal, _) = &session.journal {
+                if journal.sync().is_err() {
+                    errors += 1;
+                }
+            }
+        });
+        if errors > 0 {
+            self.stats.journal_errors += errors;
+            self.dirty = true;
+            self.maybe_publish();
+        }
+    }
+
+    fn tenant_admit(&self, tenant: usize) -> bool {
+        let live = &self.config.tenant_live[tenant];
+        if live.load(Ordering::Relaxed) >= self.config.max_sessions_per_tenant as u64 {
+            return false;
+        }
+        live.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    fn tenant_release(&self, tenant: usize) {
+        self.config.tenant_live[tenant].fetch_sub(1, Ordering::Relaxed);
+    }
+
     fn handle(&mut self, req: Request) -> Response {
         self.dirty = true;
         match req {
-            Request::Open { tenant } => self.open(&tenant),
+            Request::Open { tenant, durable } => self.open(&tenant, durable),
+            Request::Resume { session } => self.resume(session),
             Request::Observe { session, events } => match self.advance(session, &events) {
                 Ok((outcome, admission)) => Response::Advice {
                     outcome,
@@ -252,7 +405,16 @@ impl ShardWorker {
             }
             Request::Close { session } => {
                 match self.slab.remove(session.slot(), session.generation()) {
-                    Some(_) => Response::Closed,
+                    Some(closed) => {
+                        // An explicit close is the end of the session's
+                        // story: its journal has nothing left to
+                        // resurrect, so the file goes too.
+                        if let Some(path) = closed.journal.path() {
+                            let _ = std::fs::remove_file(path);
+                        }
+                        self.tenant_release(closed.tenant);
+                        Response::Closed
+                    }
                     None => stale_session(session),
                 }
             }
@@ -270,33 +432,165 @@ impl ShardWorker {
         s
     }
 
-    fn open(&mut self, tenant: &str) -> Response {
+    /// Common admission for open/resume: slab capacity, then tenant cap.
+    /// On success the tenant's live count is already incremented.
+    fn admit(&mut self, tenant_index: usize) -> Option<Response> {
+        if self.slab.len() >= self.config.max_sessions {
+            self.stats.rejected_opens += 1;
+            return Some(Response::Error {
+                message: format!(
+                    "shard {} is full ({} sessions)",
+                    self.config.shard_index, self.config.max_sessions
+                ),
+            });
+        }
+        if !self.tenant_admit(tenant_index) {
+            self.stats.rejected_opens += 1;
+            return Some(Response::Error {
+                message: format!(
+                    "tenant {:?} is at its session cap ({})",
+                    self.tenants.spec(tenant_index).name,
+                    self.config.max_sessions_per_tenant
+                ),
+            });
+        }
+        None
+    }
+
+    fn fresh_predictor(&self, tenant_index: usize) -> Predictor {
+        let spec = self.tenants.spec(tenant_index);
+        Predictor::from_thread_trace(Arc::clone(&spec.thread), self.config.predictor.clone())
+    }
+
+    fn open(&mut self, tenant: &str, durable: bool) -> Response {
         let Some(tenant_index) = self.tenants.resolve(tenant) else {
             return Response::Error {
                 message: format!("unknown tenant {tenant:?}"),
             };
         };
-        if self.slab.len() >= self.config.max_sessions {
-            self.stats.rejected_opens += 1;
-            return Response::Error {
-                message: format!(
-                    "shard {} is full ({} sessions)",
-                    self.config.shard_index, self.config.max_sessions
-                ),
-            };
+        let journal_dir = match (durable, &self.config.journal_dir) {
+            (false, _) => None,
+            (true, Some(dir)) => Some(dir.clone()),
+            (true, None) => {
+                return Response::Error {
+                    message: "durable sessions need a server journal directory".into(),
+                }
+            }
+        };
+        if let Some(refusal) = self.admit(tenant_index) {
+            return refusal;
         }
-        let spec = self.tenants.spec(tenant_index);
-        let predictor =
-            Predictor::from_thread_trace(Arc::clone(&spec.thread), self.config.predictor.clone());
         let (slot, generation) = self.slab.insert(Session {
             tenant: tenant_index,
-            predictor,
+            predictor: self.fresh_predictor(tenant_index),
             events: 0,
+            last_used: Instant::now(),
+            journal: SessionJournal::None,
         });
-        self.stats.opens += 1;
-        Response::Session {
-            id: SessionId::pack(self.config.shard_index, generation, slot),
+        let id = SessionId::pack(self.config.shard_index, generation, slot);
+        if let Some(dir) = journal_dir {
+            let path = journal_file(&dir, id);
+            let label = &self.tenants.spec(tenant_index).name;
+            match EventJournal::create(&path, label, self.config.faults.clone()) {
+                Ok(journal) => {
+                    let session = self.slab.get_mut(slot, generation).expect("just inserted");
+                    session.journal = SessionJournal::Active(Box::new(journal), path);
+                }
+                Err(e) => {
+                    // A durable open that cannot journal must fail loudly:
+                    // the client asked for crash survival it would not get.
+                    self.slab.remove(slot, generation);
+                    self.tenant_release(tenant_index);
+                    self.stats.journal_errors += 1;
+                    return Response::Error {
+                        message: format!("cannot create session journal: {e}"),
+                    };
+                }
+            }
         }
+        self.stats.opens += 1;
+        Response::Session { id }
+    }
+
+    /// Resurrects a session journaled by a previous server incarnation:
+    /// replays the salvaged observe prefix through a fresh predictor
+    /// (Sequitur determinism makes the rebuilt state byte-identical to
+    /// the pre-crash one), re-journals it under a fresh id, and deletes
+    /// the old file. The tenant's breaker gate is *not* replayed —
+    /// admission state is process-local and starts healthy; a stream
+    /// that is still diverging re-trips it within one scored batch.
+    fn resume(&mut self, old: SessionId) -> Response {
+        let Some(dir) = self.config.journal_dir.clone() else {
+            return Response::Error {
+                message: "server has no journal directory to resume from".into(),
+            };
+        };
+        let old_path = journal_file(&dir, old);
+        let contents = match read_event_journal(&old_path) {
+            Ok(c) => c,
+            Err(e) => {
+                return Response::Error {
+                    message: format!("cannot read session journal {:?}: {e}", old_path),
+                }
+            }
+        };
+        let Some(tenant_index) = self.tenants.resolve(&contents.label) else {
+            return Response::Error {
+                message: format!(
+                    "journaled session belongs to unregistered tenant {:?}",
+                    contents.label
+                ),
+            };
+        };
+        if let Some(refusal) = self.admit(tenant_index) {
+            return refusal;
+        }
+        let mut predictor = self.fresh_predictor(tenant_index);
+        predictor.observe_batch(&contents.events);
+        // Land strictly above the old generation so the dead id can
+        // never alias the resurrected session, even on the same slot.
+        let min_gen = (old.generation() + 1) & 0x00FF_FFFF;
+        let (slot, generation) = self.slab.insert_with_min_generation(
+            Session {
+                tenant: tenant_index,
+                predictor,
+                events: contents.events.len() as u64,
+                last_used: Instant::now(),
+                journal: SessionJournal::None,
+            },
+            min_gen,
+        );
+        let id = SessionId::pack(self.config.shard_index, generation, slot);
+        debug_assert_ne!(id, old, "resumed session must get a fresh id");
+        let new_path = journal_file(&dir, id);
+        let journal = EventJournal::create(&new_path, &contents.label, self.config.faults.clone())
+            .and_then(|mut j| {
+                j.append(&contents.events)?;
+                if self.config.fsync_journals {
+                    j.sync()?;
+                }
+                Ok(j)
+            });
+        match journal {
+            Ok(journal) => {
+                let session = self.slab.get_mut(slot, generation).expect("just inserted");
+                session.journal = SessionJournal::Active(Box::new(journal), new_path);
+            }
+            Err(e) => {
+                // Refuse rather than resume without durability: the old
+                // journal stays on disk, so the caller can retry.
+                self.slab.remove(slot, generation);
+                self.tenant_release(tenant_index);
+                self.stats.journal_errors += 1;
+                let _ = std::fs::remove_file(&new_path);
+                return Response::Error {
+                    message: format!("cannot re-journal resumed session: {e}"),
+                };
+            }
+        }
+        let _ = std::fs::remove_file(&old_path);
+        self.stats.resumed_sessions += 1;
+        Response::Session { id }
     }
 
     /// Observe path: advances the breaker clock per event, then either
@@ -311,6 +605,7 @@ impl ShardWorker {
         let Some(session) = self.slab.get_mut(id.slot(), id.generation()) else {
             return Err(stale_session(id));
         };
+        session.last_used = Instant::now();
         let gate = &mut self.gates[session.tenant];
         session.events += events.len() as u64;
         self.stats.events += events.len() as u64;
@@ -323,12 +618,39 @@ impl ShardWorker {
             // grammar. The session's cursor desynchronizes; once the
             // breaker half-opens the next batch re-seeds it (that reseed
             // is scored, so a still-bad stream re-trips immediately).
+            // Degraded events are *not* journaled either — the journal
+            // mirrors what the predictor consumed, so replay rebuilds the
+            // exact predictor state.
             self.stats.degraded_events += events.len() as u64;
             return Ok((None, Admission::Degraded));
         }
         let before = session.predictor.stats();
         let outcome = session.predictor.observe_batch(events);
         let after = session.predictor.stats();
+        // Journal before replying: once the client has the ack, the
+        // events are recoverable (modulo the page cache, same contract
+        // as the recorder's journal).
+        if let SessionJournal::Active(journal, _) = &mut session.journal {
+            let appended = journal
+                .append(events)
+                .and_then(|()| {
+                    if self.config.fsync_journals {
+                        journal.sync()?;
+                    }
+                    Ok(())
+                })
+                .is_ok();
+            if !appended {
+                // Sticky: first failure kills this session's journal; the
+                // session keeps serving, the loss is counted.
+                let path = session.journal.path().cloned().expect("active has a path");
+                session.journal = SessionJournal::Failed(path);
+                self.stats.journal_errors += 1;
+            }
+        }
+        if matches!(session.journal, SessionJournal::Failed(_)) {
+            self.stats.journal_dropped_events += events.len() as u64;
+        }
         // Score the breaker from the outcome mix of this batch: matched
         // events vouch for the oracle, reseeds and unknowns vote against.
         let trips_before = gate.breaker.transitions();
@@ -357,6 +679,7 @@ impl ShardWorker {
         let Some(session) = self.slab.get_mut(id.slot(), id.generation()) else {
             return Err(stale_session(id));
         };
+        session.last_used = Instant::now();
         let gate = &mut self.gates[session.tenant];
         if !gate.breaker.advice_allowed() {
             // No-advice fallback: an empty distribution is exactly what the

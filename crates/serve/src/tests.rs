@@ -49,6 +49,7 @@ fn open(client: &Client, tenant: &str) -> SessionId {
     match client
         .call(&Request::Open {
             tenant: tenant.to_string(),
+            durable: false,
         })
         .unwrap()
     {
@@ -267,7 +268,8 @@ fn session_lifecycle_is_guarded() {
     assert!(matches!(
         client
             .call(&Request::Open {
-                tenant: "nope".into()
+                tenant: "nope".into(),
+                durable: false
             })
             .unwrap(),
         Response::Error { .. }
@@ -300,7 +302,12 @@ fn full_shards_refuse_opens() {
     let client = server.client();
     let ids: Vec<SessionId> = (0..3).map(|_| open(&client, "t")).collect();
     assert!(matches!(
-        client.call(&Request::Open { tenant: "t".into() }).unwrap(),
+        client
+            .call(&Request::Open {
+                tenant: "t".into(),
+                durable: false
+            })
+            .unwrap(),
         Response::Error { .. }
     ));
     assert_eq!(server.router().stats().rejected_opens, 1);
@@ -329,6 +336,7 @@ fn socket_transports_roundtrip() {
     ] {
         let id = match client_call.call_req(&Request::Open {
             tenant: "alpha".into(),
+            durable: false,
         }) {
             Response::Session { id } => id,
             other => panic!("open over socket returned {other:?}"),
@@ -362,6 +370,386 @@ fn socket_transports_roundtrip() {
 
     server.shutdown();
     let _ = std::fs::remove_file(&sock_path);
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "pythia-serve-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn open_durable(client: &Client, tenant: &str) -> SessionId {
+    match client
+        .call(&Request::Open {
+            tenant: tenant.to_string(),
+            durable: true,
+        })
+        .unwrap()
+    {
+        Response::Session { id } => id,
+        other => panic!("durable open returned {other:?}"),
+    }
+}
+
+/// The resurrection contract: a durable session journaled by one server
+/// incarnation is resumed by the next with *byte-identical* predictor
+/// state — same distribution, same f64 bits — and under a fresh id the
+/// old handle can never alias.
+#[test]
+fn durable_sessions_resurrect_byte_identical() {
+    let dir = temp_dir("resurrect");
+    let config = || ServeConfig {
+        workers: 2,
+        journal_dir: Some(dir.clone()),
+        faults: Some(pythia_core::resilience::FaultPlan::default()),
+        ..ServeConfig::default()
+    };
+    let tenants = || {
+        Tenants::from_traces([
+            ("alpha".to_string(), trace_of(&[1, 2, 3, 4], 16)),
+            ("beta".to_string(), trace_of(&[7, 8, 9], 16)),
+        ])
+        .unwrap()
+    };
+
+    // First incarnation: durable sessions at distinct stream positions.
+    let mut server = Server::start(tenants(), config()).unwrap();
+    let client = server.client();
+    let specs: [(&str, &[u32], usize); 3] = [
+        ("alpha", &[1, 2, 3, 4], 5),
+        ("beta", &[7, 8, 9], 4),
+        ("alpha", &[1, 2, 3, 4], 9),
+    ];
+    let mut old_ids = Vec::new();
+    for (tenant, seq, n) in specs {
+        let id = open_durable(&client, tenant);
+        let events: Vec<EventId> = seq.iter().cycle().take(n).map(|&e| EventId(e)).collect();
+        client
+            .call(&Request::Observe {
+                session: id,
+                events,
+            })
+            .unwrap();
+        old_ids.push(id);
+    }
+    // An ephemeral session must leave nothing behind.
+    let ephemeral = open(&client, "alpha");
+    client
+        .call(&Request::Observe {
+            session: ephemeral,
+            events: vec![EventId(1)],
+        })
+        .unwrap();
+    server.shutdown(); // graceful drain flushes the journals
+    drop(server);
+
+    // Second incarnation over the same directory.
+    let (server, report) = Server::recover(tenants(), config()).unwrap();
+    assert!(
+        report.failed.is_empty(),
+        "recover failed: {:?}",
+        report.failed
+    );
+    assert_eq!(report.resumed.len(), 3, "ephemeral session resurrected");
+    let client = server.client();
+    for (_, seq, n) in specs {
+        let old = old_ids.remove(0);
+        let (_, new) = *report
+            .resumed
+            .iter()
+            .find(|(o, _)| *o == old)
+            .expect("session not resurrected");
+        assert_ne!(new, old, "resumed session must get a fresh id");
+        // The old id is dead on the new server.
+        assert!(matches!(
+            client
+                .call(&Request::Predict {
+                    session: old,
+                    distance: 1
+                })
+                .unwrap(),
+            Response::Error { .. }
+        ));
+        // Resume on the old id is idempotent and maps to the same new id.
+        match client.call(&Request::Resume { session: old }).unwrap() {
+            Response::Session { id } => assert_eq!(id, new),
+            other => panic!("re-resume returned {other:?}"),
+        }
+        // Predictions from the resurrected session are byte-identical to
+        // a single-process predictor fed the same stream.
+        let mut local = Predictor::from_thread_trace(
+            Arc::clone(trace_of(seq, 16).thread(0).unwrap()),
+            PredictorConfig::default(),
+        );
+        for e in seq.iter().cycle().take(n) {
+            local.observe(EventId(*e));
+        }
+        for distance in [1, 3] {
+            let (served, admission) = predict(&client, new, distance);
+            assert_eq!(admission, Admission::Served);
+            assert_bit_identical(&served, &local.predict(distance as usize));
+        }
+        // And the session keeps journaling: observe more, then close
+        // removes the journal file.
+        client
+            .call(&Request::Observe {
+                session: new,
+                events: vec![EventId(seq[n % seq.len()])],
+            })
+            .unwrap();
+    }
+    let stats = server.router().stats();
+    assert_eq!(stats.resumed_sessions, 3);
+    assert_eq!(stats.journal_errors, 0);
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Idle sessions are evicted by the sweeper; a durable evicted session
+/// stays resumable from its journal, an ephemeral one is simply gone.
+#[test]
+fn ttl_eviction_keeps_durable_sessions_resumable() {
+    let dir = temp_dir("ttl");
+    let tenants = Tenants::from_traces([("t".to_string(), trace_of(&[1, 2, 3], 16))]).unwrap();
+    let server = Server::start(
+        tenants,
+        ServeConfig {
+            workers: 1,
+            journal_dir: Some(dir.clone()),
+            session_ttl: Some(std::time::Duration::from_millis(50)),
+            sweep_interval: std::time::Duration::from_millis(10),
+            faults: Some(pythia_core::resilience::FaultPlan::default()),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let client = server.client();
+    let durable = open_durable(&client, "t");
+    let ephemeral = open(&client, "t");
+    let events = vec![EventId(1), EventId(2), EventId(3), EventId(1)];
+    client
+        .call(&Request::Observe {
+            session: durable,
+            events: events.clone(),
+        })
+        .unwrap();
+    // Wait out the TTL plus a few sweep intervals.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        let stats = server.router().stats();
+        if stats.evicted_sessions >= 2 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "sweeper never evicted: {stats:?}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    // Both handles are dead...
+    for id in [durable, ephemeral] {
+        assert!(matches!(
+            client
+                .call(&Request::Predict {
+                    session: id,
+                    distance: 1
+                })
+                .unwrap(),
+            Response::Error { .. }
+        ));
+    }
+    // ...but the durable one resumes from its journal, byte-identical.
+    let new = match client.call(&Request::Resume { session: durable }).unwrap() {
+        Response::Session { id } => id,
+        other => panic!("resume after eviction returned {other:?}"),
+    };
+    let mut local = Predictor::from_thread_trace(
+        Arc::clone(trace_of(&[1, 2, 3], 16).thread(0).unwrap()),
+        PredictorConfig::default(),
+    );
+    for &e in &events {
+        local.observe(e);
+    }
+    let (served, _) = predict(&client, new, 2);
+    assert_bit_identical(&served, &local.predict(2));
+    // The ephemeral session left no journal to resume.
+    assert!(matches!(
+        client
+            .call(&Request::Resume { session: ephemeral })
+            .unwrap(),
+        Response::Error { .. }
+    ));
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Drain: new opens and resumes answer `Draining`, in-flight sessions
+/// keep serving, close still works, and shutdown stays idempotent.
+#[test]
+fn drain_rejects_new_sessions_but_serves_inflight() {
+    let server = start_two_tenant_server(2, BreakerConfig::default());
+    let client = server.client();
+    let id = open(&client, "alpha");
+    server.drain();
+    assert!(matches!(
+        client
+            .call(&Request::Open {
+                tenant: "alpha".into(),
+                durable: false
+            })
+            .unwrap(),
+        Response::Draining
+    ));
+    assert!(matches!(
+        client
+            .call(&Request::Resume {
+                session: SessionId(42)
+            })
+            .unwrap(),
+        Response::Draining
+    ));
+    // The in-flight session still observes and predicts.
+    client
+        .call(&Request::Observe {
+            session: id,
+            events: vec![EventId(1), EventId(2)],
+        })
+        .unwrap();
+    let (_, admission) = predict(&client, id, 1);
+    assert_eq!(admission, Admission::Served);
+    assert!(matches!(
+        client.call(&Request::Close { session: id }).unwrap(),
+        Response::Closed
+    ));
+    server.drain(); // idempotent
+}
+
+/// One greedy tenant hits its cross-shard session cap and is refused
+/// while the other tenant still opens freely; closing frees capacity.
+#[test]
+fn tenant_session_cap_contains_greedy_tenants() {
+    let tenants = Tenants::from_traces([
+        ("greedy".to_string(), trace_of(&[1, 2], 8)),
+        ("modest".to_string(), trace_of(&[7, 8], 8)),
+    ])
+    .unwrap();
+    let server = Server::start(
+        tenants,
+        ServeConfig {
+            workers: 2,
+            max_sessions_per_tenant: 3,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let client = server.client();
+    let ids: Vec<SessionId> = (0..3).map(|_| open(&client, "greedy")).collect();
+    assert!(matches!(
+        client
+            .call(&Request::Open {
+                tenant: "greedy".into(),
+                durable: false
+            })
+            .unwrap(),
+        Response::Error { .. }
+    ));
+    // The other tenant is untouched by greedy's cap.
+    open(&client, "modest");
+    // Closing a greedy session frees a seat.
+    client.call(&Request::Close { session: ids[0] }).unwrap();
+    open(&client, "greedy");
+}
+
+/// A durable open on a server with no journal directory must fail
+/// loudly: the client asked for crash survival it would not get.
+#[test]
+fn durable_open_without_journal_dir_is_refused() {
+    let server = start_two_tenant_server(1, BreakerConfig::default());
+    let client = server.client();
+    match client
+        .call(&Request::Open {
+            tenant: "alpha".into(),
+            durable: true,
+        })
+        .unwrap()
+    {
+        Response::Error { message } => assert!(message.contains("journal"), "{message}"),
+        other => panic!("durable open returned {other:?}"),
+    }
+}
+
+/// The breaker's half-open path end to end: a tripped tenant whose
+/// stream comes back in agreement with its reference re-closes the
+/// breaker and is served real predictions again.
+#[test]
+fn tripped_tenant_recloses_after_agreeing_again() {
+    let breaker = BreakerConfig {
+        window: 8,
+        max_error_rate: 0.5,
+        backoff_initial: 8,
+        backoff_max: 8,
+        probe_window: 4,
+        recovery_error_rate: 0.5,
+        ..BreakerConfig::default()
+    };
+    let server = start_two_tenant_server(1, breaker);
+    let client = server.client();
+    let id = open(&client, "beta");
+
+    // Trip: a window of events the reference trace never saw.
+    match client
+        .call(&Request::Observe {
+            session: id,
+            events: vec![EventId(999); 32],
+        })
+        .unwrap()
+    {
+        Response::Advice { admission, .. } => assert_eq!(admission, Admission::Degraded),
+        other => panic!("junk observe returned {other:?}"),
+    }
+    assert!(server.router().stats().breaker_trips >= 1);
+    let (p, admission) = predict(&client, id, 1);
+    assert_eq!(admission, Admission::Degraded);
+    assert!(p.distribution.is_empty());
+
+    // Serve the backoff: event time advances even while degraded, so
+    // after backoff_initial events the breaker half-opens.
+    client
+        .call(&Request::Observe {
+            session: id,
+            events: vec![EventId(999); 8],
+        })
+        .unwrap();
+
+    // Agreement: reference-stream events reseed the cursor (one scored
+    // miss) and then match; within one probe window the breaker
+    // re-closes and predictions are real again.
+    let good: Vec<EventId> = [7u32, 8, 9]
+        .iter()
+        .cycle()
+        .take(12)
+        .map(|&e| EventId(e))
+        .collect();
+    client
+        .call(&Request::Observe {
+            session: id,
+            events: good,
+        })
+        .unwrap();
+    let (p, admission) = predict(&client, id, 1);
+    assert_eq!(admission, Admission::Served, "breaker did not re-close");
+    assert!(
+        !p.distribution.is_empty(),
+        "re-closed tenant still gets no advice"
+    );
+    // Last observed event was 9, the reference cycles [7, 8, 9]: a real
+    // prediction, not a fallback, names the next event.
+    assert_eq!(p.most_likely(), Some(EventId(7)));
 }
 
 /// Object-safe adapter so the TCP and Unix socket clients share one

@@ -1,0 +1,114 @@
+//! Decode-side fuzz for `serve::proto`: the server parses frames off
+//! the network, so the decoders must treat every byte string as
+//! hostile. Under arbitrary input, truncation, and point mutation they
+//! may only return `Err` — never panic, and never allocate past the
+//! frame cap on the say-so of a length prefix.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use pythia_core::event::EventId;
+use pythia_serve::proto::{
+    decode_request, decode_response, encode_request, encode_response, split_frame, MAX_FRAME,
+};
+use pythia_serve::{Request, Response, SessionId};
+
+fn byte() -> impl Strategy<Value = u8> {
+    (0u16..256).prop_map(|b| b as u8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary bytes: both decoders and the framer return, with
+    /// whatever verdict, instead of panicking.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in vec(byte(), 0..256)) {
+        let _ = decode_request(&bytes);
+        let _ = decode_response(&bytes);
+        let mut view = &bytes[..];
+        let _ = split_frame(&mut view);
+    }
+
+    /// A length prefix past the frame cap is rejected up front — the
+    /// framer must not size a buffer from an unvalidated length.
+    #[test]
+    fn oversized_length_prefix_is_rejected(
+        excess in 1u64..(u32::MAX as u64 - MAX_FRAME as u64),
+        tail in vec(byte(), 0..16),
+    ) {
+        let len = (MAX_FRAME as u64 + excess) as u32;
+        let mut frame = len.to_le_bytes().to_vec();
+        frame.extend_from_slice(&tail);
+        let mut view = &frame[..];
+        prop_assert!(split_frame(&mut view).is_err(), "length {len} accepted");
+    }
+
+    /// Every truncation of a valid frame is "incomplete, wait for more"
+    /// or a decode error — never a panic, never a phantom frame.
+    #[test]
+    fn truncations_never_panic(
+        session in 0u64..u64::MAX,
+        distance in 0u32..1024,
+        events in vec(0u32..10_000, 0..64),
+    ) {
+        let frame = encode_request(&Request::ObservePredict {
+            session: SessionId(session),
+            distance,
+            events: events.iter().map(|&e| EventId(e)).collect(),
+        });
+        for cut in 0..frame.len() {
+            let mut view = &frame[..cut];
+            // A truncated frame must never parse as complete (the length
+            // prefix covers the whole body) — `Ok(None)` ("wait for more
+            // bytes") and `Err` are the only acceptable verdicts.
+            if let Ok(Some(_)) = split_frame(&mut view) {
+                prop_assert!(false, "cut {cut} yielded a full frame");
+            }
+            // Feeding the cut directly to the body decoder (as if the
+            // framing lied) must also fail cleanly.
+            if cut > 4 {
+                prop_assert!(decode_request(&frame[4..cut]).is_err());
+            }
+        }
+    }
+
+    /// Point mutations of a valid response frame decode to an error or
+    /// to some other well-formed response — never a panic.
+    #[test]
+    fn mutated_responses_never_panic(
+        retry in 0u32..u32::MAX,
+        pos in 0usize..64,
+        xor in 1u16..256,
+    ) {
+        let frame = encode_response(&Response::Busy { retry_after_ms: retry });
+        let mut mutated = frame.to_vec();
+        let i = pos % mutated.len();
+        mutated[i] ^= xor as u8;
+        let mut view = &mutated[..];
+        if let Ok(Some(body)) = split_frame(&mut view) {
+            let _ = decode_response(&body);
+        }
+    }
+
+    /// Structured roundtrip: numeric fields and event batches survive
+    /// the wire bit for bit.
+    #[test]
+    fn request_roundtrip(
+        session in 0u64..u64::MAX,
+        distance in 0u32..u32::MAX,
+        events in vec(0u32..u32::MAX, 0..128),
+    ) {
+        let req = Request::ObservePredict {
+            session: SessionId(session),
+            distance,
+            events: events.iter().map(|&e| EventId(e)).collect(),
+        };
+        let frame = encode_request(&req);
+        let mut view = &frame[..];
+        let body = split_frame(&mut view).unwrap().expect("complete frame");
+        prop_assert!(view.is_empty(), "trailing bytes after the frame");
+        let decoded = decode_request(&body).unwrap();
+        prop_assert_eq!(req, decoded);
+    }
+}
