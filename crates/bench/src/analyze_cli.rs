@@ -12,7 +12,9 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use pythia_core::analyze::{analyze_trace, AnalyzeConfig, ClassTable, EventClass, Severity};
+use pythia_core::analyze::{
+    analyze_trace, AnalyzeConfig, ClassTable, EventClass, PatternQuery, Severity,
+};
 use pythia_core::record::{RecordConfig, Recorder};
 use pythia_core::trace::{TraceData, MAGIC};
 
@@ -28,12 +30,21 @@ pythia-analyze: lint, verify and profile saved PYTHIA traces without expanding t
 
 USAGE:
     pythia-analyze [FLAGS] TRACE...
+    pythia-analyze race [FLAGS] TRACE...
+    pythia-analyze match [FLAGS] <PATTERN> TRACE...
     pythia-analyze recover [--out <P>] [--json] TRACE
 
 ARGS:
     TRACE...    trace files (binary or JSON; format sniffed from content)
+    PATTERN     pattern query, e.g. 'MPI_Isend (!MPI_Wait){8}' or 'isend ~16 wait'
+                (sequence, '|' alternation, '{n,m}' repeats, '!atom' negation,
+                 'a ~N b' = b within N events of a, '.' any event; names are
+                 case-insensitive and the MPI_ prefix may be omitted)
 
 SUBCOMMANDS:
+    race        happens-before race detection only: conflicting same-epoch
+                accesses on different ranks (collectives delimit epochs)
+    match       run one pattern query per rank on the compressed trace
     recover     rebuild an interrupted recording from its journal/checkpoint
                 sidecars (`<TRACE>.r<rank>.journal` / `.ckpt`) and save the
                 recovered trace to --out (default: TRACE itself)
@@ -43,10 +54,15 @@ FLAGS:
     --deny <warnings|errors>        exit 1 when findings reach this severity [default: errors]
     --no-lint                       skip the grammar linter
     --no-protocol                   skip the cross-rank MPI protocol verifier
+    --no-race                       skip the happens-before race detector
     --no-predictability             skip the predictability report
     --top <N>                       least-predictable events to keep per thread [default: 5]
-    --write-seeded-violations <P>   record a reference app, seed an unmatched send and a
-                                    collective divergence into it, save to P, and exit
+    --severity <info|warning|error> severity of a pattern hit (match) [default: warning]
+    --absent                        match: flag ranks where the pattern NEVER matches
+    --write-seeded-violations <P>   record a reference app, seed an unmatched send, a
+                                    collective divergence, a same-epoch racy store pair
+                                    and an Isend-without-Wait window into it, save to P,
+                                    and exit
     --help                          show this help
 ";
 
@@ -63,6 +79,10 @@ pub struct Cli {
     pub config: AnalyzeConfig,
     /// When set: write the seeded-violation fixture here and exit.
     pub seed_out: Option<PathBuf>,
+    /// Severity of a pattern hit (`match` subcommand).
+    pub severity: Severity,
+    /// Invert the pattern verdict (`match --absent`).
+    pub absent: bool,
     /// `--help` was requested.
     pub help: bool,
 }
@@ -75,6 +95,8 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
         deny: Severity::Error,
         config: AnalyzeConfig::default(),
         seed_out: None,
+        severity: Severity::Warning,
+        absent: false,
         help: false,
     };
     let mut it = argv.iter();
@@ -91,7 +113,22 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
             }
             "--no-lint" => cli.config.lint = false,
             "--no-protocol" => cli.config.protocol = false,
+            "--no-race" => cli.config.race = false,
             "--no-predictability" => cli.config.predictability = false,
+            "--absent" => cli.absent = true,
+            "--severity" => {
+                let v = it.next().ok_or("--severity needs a value")?;
+                cli.severity = match v.as_str() {
+                    "info" => Severity::Info,
+                    "warning" | "warnings" => Severity::Warning,
+                    "error" | "errors" => Severity::Error,
+                    other => {
+                        return Err(format!(
+                            "--severity expects info|warning|error, got {other}"
+                        ))
+                    }
+                };
+            }
             "--top" => {
                 let v = it.next().ok_or("--top needs a value")?;
                 cli.config.top = v
@@ -131,16 +168,19 @@ pub fn load_sniffed(path: &std::path::Path) -> Result<TraceData, String> {
     res.map_err(|e| format!("{}: {e}", path.display()))
 }
 
-/// Records a reference application and seeds two protocol violations into
-/// it: an extra `MPI_Send` on rank 0 (unmatched send) and an altered
-/// collective on the last rank (collective-sequence divergence).
+/// Records a reference application and seeds four violations into it: an
+/// extra `MPI_Send` on rank 0 (unmatched send), an altered collective on
+/// the last rank (collective-sequence divergence), a `store` to the same
+/// object on ranks 0 and 1 in the same barrier epoch (data race), and an
+/// `MPI_Isend` on rank 0 followed by 16 events none of which is a wait
+/// (the Isend-without-Wait pattern window).
 ///
 /// The mutation works offline — unfold each rank's grammar, edit the event
 /// stream, re-record through [`Recorder`] — never through a live
 /// communicator, where an intentionally broken protocol would deadlock the
 /// collectives it is meant to corrupt. Re-recording keeps every grammar
-/// invariant intact, so the linter stays green and the verifier findings
-/// are unmistakably *protocol* findings.
+/// invariant intact, so the linter stays green and the analyzer findings
+/// are unmistakably *semantic* findings.
 pub fn seeded_violation_trace() -> Arc<TraceData> {
     let app = pythia_apps::find_app("MG").expect("MG is in the app table");
     let base = pythia_apps::harness::record_trace(
@@ -152,11 +192,14 @@ pub fn seeded_violation_trace() -> Arc<TraceData> {
     Arc::new(seed_violations(&base))
 }
 
-/// Seeds the two violations into an existing clean multi-rank trace.
+/// Seeds the four violations into an existing clean multi-rank trace.
 pub fn seed_violations(base: &TraceData) -> TraceData {
     let mut registry = base.registry().clone();
     let extra_send = registry.intern("MPI_Send", Some(1));
     let divergent = registry.intern("MPI_Reduce", Some(0x5EED));
+    let racy_store = registry.intern("store", Some(0x7ACE));
+    let window_isend = registry.intern("MPI_Isend", Some(1));
+    let window_pad = registry.intern("compute_pad", None);
     let classes = ClassTable::from_registry(&registry);
     let n = base.threads().len();
     let threads = base
@@ -167,6 +210,27 @@ pub fn seed_violations(base: &TraceData) -> TraceData {
             let mut events = t.grammar.unfold();
             if i == 0 {
                 events.push(extra_send);
+            }
+            // Racy pair: ranks 0 and 1 both store to the same object right
+            // after their first collective — same barrier epoch on both
+            // sides, so nothing orders the two writes.
+            if i < 2 && n > 1 {
+                let after_first_collective = events
+                    .iter()
+                    .position(|&e| matches!(classes.class(e), EventClass::Collective { .. }))
+                    .map(|k| k + 1)
+                    .unwrap_or(events.len());
+                events.insert(after_first_collective, racy_store);
+                if i == 0 {
+                    // Isend-without-Wait window: an Isend followed by 16
+                    // events none of which completes it.
+                    let mut window = vec![window_isend];
+                    window.extend(vec![window_pad; 16]);
+                    events.splice(
+                        after_first_collective + 1..after_first_collective + 1,
+                        window,
+                    );
+                }
             }
             if i == n - 1 && n > 1 {
                 let last_collective = events
@@ -284,37 +348,10 @@ pub fn run_recover(argv: &[String], out: &mut String, err: &mut String) -> i32 {
     EXIT_CLEAN
 }
 
-/// Runs the CLI. Human/JSON output is appended to `out`, errors to `err`;
-/// returns the process exit code.
-pub fn run(argv: &[String], out: &mut String, err: &mut String) -> i32 {
-    if argv.first().map(String::as_str) == Some("recover") {
-        return run_recover(&argv[1..], out, err);
-    }
-    let cli = match parse(argv) {
-        Ok(cli) => cli,
-        Err(msg) => {
-            let _ = writeln!(err, "error: {msg}\n\n{USAGE}");
-            return EXIT_USAGE;
-        }
-    };
-    if cli.help {
-        out.push_str(USAGE);
-        return EXIT_CLEAN;
-    }
-    if let Some(path) = &cli.seed_out {
-        let trace = seeded_violation_trace();
-        return match trace.save(path) {
-            Ok(()) => {
-                let _ = writeln!(out, "wrote seeded-violation trace to {}", path.display());
-                EXIT_CLEAN
-            }
-            Err(e) => {
-                let _ = writeln!(err, "error: {}: {e}", path.display());
-                EXIT_USAGE
-            }
-        };
-    }
-
+/// Analyzes every path in `cli` with its config and renders the reports;
+/// the exit code is the `--deny` verdict. Shared by the default mode and
+/// the `race` / `match` subcommands.
+fn analyze_paths(cli: &Cli, out: &mut String, err: &mut String) -> i32 {
     let mut json_reports = Vec::new();
     let mut denied = false;
     for path in &cli.paths {
@@ -347,6 +384,102 @@ pub fn run(argv: &[String], out: &mut String, err: &mut String) -> i32 {
     } else {
         EXIT_CLEAN
     }
+}
+
+/// Runs the `race` subcommand: the happens-before race detector alone
+/// (plus the linter, whose soundness proof the summary algebra needs).
+pub fn run_race(argv: &[String], out: &mut String, err: &mut String) -> i32 {
+    let mut cli = match parse(argv) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            let _ = writeln!(err, "error: {msg}\n\n{USAGE}");
+            return EXIT_USAGE;
+        }
+    };
+    if cli.help {
+        out.push_str(USAGE);
+        return EXIT_CLEAN;
+    }
+    cli.config.protocol = false;
+    cli.config.predictability = false;
+    cli.config.race = true;
+    analyze_paths(&cli, out, err)
+}
+
+/// Runs the `match <pattern>` subcommand: one pattern query per rank on
+/// the compressed trace. `--severity` sets the weight of a hit,
+/// `--absent` inverts the verdict (flag ranks where the pattern never
+/// matches).
+pub fn run_match(argv: &[String], out: &mut String, err: &mut String) -> i32 {
+    let mut cli = match parse(argv) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            let _ = writeln!(err, "error: {msg}\n\n{USAGE}");
+            return EXIT_USAGE;
+        }
+    };
+    if cli.help {
+        out.push_str(USAGE);
+        return EXIT_CLEAN;
+    }
+    if cli.paths.len() < 2 {
+        let _ = writeln!(
+            err,
+            "error: match needs a pattern and at least one trace\n\n{USAGE}"
+        );
+        return EXIT_USAGE;
+    }
+    let pattern = cli.paths.remove(0).display().to_string();
+    let query = match PatternQuery::new(&pattern, cli.severity, cli.absent) {
+        Ok(q) => q,
+        Err(msg) => {
+            let _ = writeln!(err, "error: {msg}\n\n{USAGE}");
+            return EXIT_USAGE;
+        }
+    };
+    cli.config.protocol = false;
+    cli.config.predictability = false;
+    cli.config.race = false;
+    cli.config.patterns = vec![query];
+    // A query hit should decide the exit code at its own severity.
+    cli.deny = cli.deny.min(cli.severity);
+    analyze_paths(&cli, out, err)
+}
+
+/// Runs the CLI. Human/JSON output is appended to `out`, errors to `err`;
+/// returns the process exit code.
+pub fn run(argv: &[String], out: &mut String, err: &mut String) -> i32 {
+    match argv.first().map(String::as_str) {
+        Some("recover") => return run_recover(&argv[1..], out, err),
+        Some("race") => return run_race(&argv[1..], out, err),
+        Some("match") => return run_match(&argv[1..], out, err),
+        _ => {}
+    }
+    let cli = match parse(argv) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            let _ = writeln!(err, "error: {msg}\n\n{USAGE}");
+            return EXIT_USAGE;
+        }
+    };
+    if cli.help {
+        out.push_str(USAGE);
+        return EXIT_CLEAN;
+    }
+    if let Some(path) = &cli.seed_out {
+        let trace = seeded_violation_trace();
+        return match trace.save(path) {
+            Ok(()) => {
+                let _ = writeln!(out, "wrote seeded-violation trace to {}", path.display());
+                EXIT_CLEAN
+            }
+            Err(e) => {
+                let _ = writeln!(err, "error: {}: {e}", path.display());
+                EXIT_USAGE
+            }
+        };
+    }
+    analyze_paths(&cli, out, err)
 }
 
 #[cfg(test)]

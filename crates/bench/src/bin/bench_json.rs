@@ -20,6 +20,9 @@
 //!   against the naive decompress-and-scan baseline — the compressed-domain
 //!   time is O(|grammar|), so it stays flat while the baseline grows with
 //!   the expanded trace length.
+//! * race detection and pattern matching on a racy LULESH variant, same
+//!   compressed-vs-naive protocol: the happens-before summary sweep and
+//!   the DFA transfer-function sweep against decompress-and-scan.
 //! * multi-thread contention scaling: N independent threads (default
 //!   1/8/64) each observing its own replay and each durably recording
 //!   through one shared [`ConcurrentRegistry`] — the contention-free
@@ -47,7 +50,9 @@ use std::sync::Arc;
 
 use pythia_bench::Args;
 use pythia_core::analyze::lint::{lint_grammar, LintOptions};
+use pythia_core::analyze::pattern::{match_grammar, parse, Dfa};
 use pythia_core::analyze::protocol::{profile_from_events, profile_from_grammar, verify};
+use pythia_core::analyze::race;
 use pythia_core::analyze::ClassTable;
 use pythia_core::event::{ConcurrentRegistry, EventId, EventRegistry};
 use pythia_core::oracle::Oracle;
@@ -201,6 +206,37 @@ fn lulesh_shaped_trace(ranks: i64, iters: u64) -> TraceData {
     TraceData::from_threads(threads, reg)
 }
 
+/// The LULESH shape with a shared-memory halo exchange per iteration:
+/// every rank stores its own halo slab and loads its neighbor's inside the
+/// same barrier epoch. Kept separate from [`lulesh_shaped_trace`] so the
+/// protocol-analysis numbers (baseline-gated) are untouched.
+fn racy_lulesh_trace(ranks: i64, iters: u64) -> TraceData {
+    let mut reg = EventRegistry::new();
+    let mut threads = Vec::new();
+    for r in 0..ranks {
+        let mut rec = Recorder::new(RecordConfig {
+            timestamps: false,
+            validate: false,
+        });
+        rec.record(reg.intern("MPI_Bcast", Some(0)));
+        for _ in 0..iters {
+            rec.record(reg.intern("store", Some(r)));
+            rec.record(reg.intern("load", Some((r + 1) % ranks)));
+            for n in [r - 1, r + 1] {
+                if (0..ranks).contains(&n) {
+                    rec.record(reg.intern("MPI_Isend", Some(n)));
+                    rec.record(reg.intern("MPI_Irecv", Some(n)));
+                }
+            }
+            rec.record(reg.intern("MPI_Waitall", None));
+            rec.record(reg.intern("MPI_Allreduce", Some(8)));
+        }
+        rec.record(reg.intern("MPI_Barrier", Some(0)));
+        threads.push(rec.finish_thread().unwrap());
+    }
+    TraceData::from_threads(threads, reg)
+}
+
 /// Runs `f` `iters` times and returns the mean wall-clock nanoseconds of
 /// one run, after one untimed warm-up run.
 fn time_ns(iters: usize, mut f: impl FnMut()) -> f64 {
@@ -210,6 +246,22 @@ fn time_ns(iters: usize, mut f: impl FnMut()) -> f64 {
         f();
     }
     t0.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// Runs `f` `iters` times and returns the *minimum* wall-clock nanoseconds
+/// of one run, after one untimed warm-up. Used for the baseline-gated
+/// microsecond-scale grammar sweeps, whose mean is polluted by whatever
+/// allocator and cache state earlier bench stages left behind — the
+/// minimum is the reproducible statistic at that scale.
+fn time_ns_min(iters: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_nanos() as f64);
+    }
+    best
 }
 
 fn main() {
@@ -685,6 +737,82 @@ fn main() {
         }));
     }
 
+    // Race detection and pattern matching (PR 9), same protocol: the
+    // summary/transfer-function sweeps are O(|grammar|), so their time
+    // stays flat while the decompress-and-scan baseline grows with the
+    // expanded length. Measured on a racy LULESH variant (per-iteration
+    // same-epoch halo store/load pairs).
+    let mut race_rows = Vec::new();
+    let mut pattern_rows = Vec::new();
+    for loop_iters in [1_000u64, 10_000, 100_000] {
+        let trace = racy_lulesh_trace(8, loop_iters);
+        let classes = ClassTable::from_registry(trace.registry());
+        let events: u64 = trace.threads().iter().map(|t| t.event_count).sum();
+        // The compressed sweeps are grammar-sized (microseconds), so they
+        // afford two orders of magnitude more repetitions than the naive
+        // scans; the gated numbers take the minimum over those runs.
+        let reps = iters.clamp(3, 10);
+        let race_ns = time_ns_min(reps * 100, || {
+            let summaries: Vec<_> = trace
+                .threads()
+                .iter()
+                .map(|t| race::summary_from_grammar(&t.grammar, &classes))
+                .collect();
+            std::hint::black_box(race::detect(&summaries).len());
+        });
+        let race_naive_ns = time_ns(reps, || {
+            let summaries: Vec<_> = trace
+                .threads()
+                .iter()
+                .map(|t| race::summary_from_events(t.grammar.unfold(), &classes))
+                .collect();
+            std::hint::black_box(race::detect(&summaries).len());
+        });
+        race_rows.push(serde_json::json!({
+            "loop_iters": loop_iters,
+            "events": events,
+            "race_ns": race_ns,
+            "naive_decompress_scan_ns": race_naive_ns,
+            "speedup": race_naive_ns / race_ns,
+        }));
+
+        let query = "MPI_Isend ~8 MPI_Waitall";
+        let dfa = Dfa::compile(&parse(query).unwrap(), trace.registry()).unwrap();
+        let match_ns = time_ns_min(reps * 100, || {
+            let total: u64 = trace
+                .threads()
+                .iter()
+                .map(|t| match_grammar(&t.grammar, &dfa).count)
+                .sum();
+            std::hint::black_box(total);
+        });
+        let match_naive_ns = time_ns(reps, || {
+            let total: u64 = trace
+                .threads()
+                .iter()
+                .map(|t| dfa.match_events(t.grammar.unfold()).count)
+                .sum();
+            std::hint::black_box(total);
+        });
+        pattern_rows.push(serde_json::json!({
+            "loop_iters": loop_iters,
+            "events": events,
+            "query": query,
+            "match_ns": match_ns,
+            "naive_decompress_scan_ns": match_naive_ns,
+            "speedup": match_naive_ns / match_ns,
+        }));
+    }
+
+    let last_speedup = |rows: &[serde_json::Value]| {
+        rows.last()
+            .and_then(|r| r.get("speedup"))
+            .and_then(|v| v.as_f64())
+            .unwrap_or(0.0)
+    };
+    let race_speedup = last_speedup(&race_rows);
+    let pattern_speedup = last_speedup(&pattern_rows);
+
     let predict_json: Vec<serde_json::Value> = predict_rows
         .iter()
         .map(|&(d, fast, scan)| {
@@ -732,6 +860,8 @@ fn main() {
             "rows": serve_rows,
         }),
         "analyze": serde_json::Value::Array(analyze_rows),
+        "race": serde_json::Value::Array(race_rows),
+        "pattern": serde_json::Value::Array(pattern_rows),
     });
     let text = serde_json::to_string_pretty(&doc).expect("serialize");
     std::fs::write(&path, &text).expect("write json");
@@ -787,6 +917,27 @@ fn main() {
                     .and_then(|r| r.get("ns_per_event"))
                     .and_then(|v| v.as_f64()),
             );
+        }
+        // The compressed race/pattern sweeps must keep their asymptotic
+        // edge over decompress-and-scan at the largest trace size. Gated
+        // as an absolute speedup floor rather than ns-vs-baseline: the
+        // ratio is taken within one run, so it survives the bimodal
+        // machine speeds of shared single-core CI boxes, and it only
+        // collapses (towards 1×) if a sweep loses its O(|grammar|)
+        // asymptotics. The floors sit far below the committed rows
+        // (race ~5000×, pattern ~180× at 6M events) but far above any
+        // accidentally-expanding implementation.
+        for (name, speedup, floor) in [
+            ("race", race_speedup, 1000.0),
+            ("pattern", pattern_speedup, 64.0),
+        ] {
+            eprintln!("baseline {name}.rows[2].speedup: {speedup:.0}x (floor {floor:.0}x)");
+            if speedup < floor {
+                failures.push(format!(
+                    "{name} compressed sweep fell to {speedup:.0}x over naive scan \
+                     (floor {floor:.0}x) — O(|grammar|) asymptotics lost?"
+                ));
+            }
         }
         if !failures.is_empty() {
             eprintln!("perf regression vs {base_path}:");

@@ -57,6 +57,47 @@ fn seeded_violations_detected_clean_trace_passes() {
     assert_eq!(code, EXIT_FINDINGS, "{out}{err}");
     assert!(out.contains("unmatched-send"), "{out}");
     assert!(out.contains("collective-divergence"), "{out}");
+    assert!(out.contains("data-race"), "{out}");
+
+    // The race subcommand alone flags the seeded racy store pair…
+    let (mut out, mut err) = (String::new(), String::new());
+    let code = run(
+        &args(&["race", seeded_path.to_str().unwrap(), "--deny", "errors"]),
+        &mut out,
+        &mut err,
+    );
+    assert_eq!(code, EXIT_FINDINGS, "{out}{err}");
+    assert!(out.contains("data-race"), "{out}");
+    // …and the clean recording stays clean under it.
+    let (mut out, mut err) = (String::new(), String::new());
+    let code = run(
+        &args(&["race", clean_path.to_str().unwrap(), "--deny", "warnings"]),
+        &mut out,
+        &mut err,
+    );
+    assert_eq!(code, EXIT_CLEAN, "{out}{err}");
+
+    // The match subcommand finds the seeded Isend-without-Wait window.
+    let (mut out, mut err) = (String::new(), String::new());
+    let code = run(
+        &args(&[
+            "match",
+            "MPI_Isend (!MPI_Wait){8}",
+            seeded_path.to_str().unwrap(),
+        ]),
+        &mut out,
+        &mut err,
+    );
+    assert_eq!(code, EXIT_FINDINGS, "{out}{err}");
+    assert!(out.contains("pattern-match"), "{out}");
+    // A malformed pattern is a usage error, not a finding.
+    let (mut out, mut err) = (String::new(), String::new());
+    let code = run(
+        &args(&["match", "isend (", seeded_path.to_str().unwrap()]),
+        &mut out,
+        &mut err,
+    );
+    assert_eq!(code, pythia_bench::analyze_cli::EXIT_USAGE, "{out}{err}");
 
     // JSON mode agrees and carries the same codes.
     let (mut out, mut err) = (String::new(), String::new());
@@ -81,7 +122,7 @@ fn seeded_violations_detected_clean_trace_passes() {
     // Structured report mirrors the library verdict exactly.
     let reloaded = pythia_core::trace::TraceData::load(&seeded_path).unwrap();
     let report = pythia_core::analyze::analyze_trace(&reloaded, &Default::default());
-    assert_eq!(report.count(Severity::Error), 2);
+    assert_eq!(report.count(Severity::Error), 3);
 
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -4,7 +4,7 @@
 //! trace, so correctness checks run on the grammar too — the way race
 //! detection has been run directly on compressed traces (Kini, Mathur,
 //! Viswanathan, *Data Race Detection on Compressed Traces*). This module
-//! implements three passes, each O(|grammar| · ranks), never O(|trace|):
+//! implements five passes, each O(|grammar| · ranks), never O(|trace|):
 //!
 //! * [`lint`] — a release-mode **grammar linter**: the invariants of the
 //!   reduction (digram uniqueness, rule utility, repetition-exponent
@@ -18,6 +18,15 @@
 //!   O(1) after an O(|grammar|) sweep) flagging unmatched point-to-point
 //!   traffic, collective-sequence divergence, `MPI_ANY_SOURCE` ambiguity
 //!   and wait-for cycles in the recorded run;
+//! * [`race`] — a **happens-before race detector**: per-rule sets of
+//!   barrier epochs at which each rank touches each object, folded into
+//!   arithmetic progressions that repetition exponents scale in closed
+//!   form, intersected across ranks with the extended Euclidean algorithm
+//!   to find the earliest conflicting unordered access pair;
+//! * [`pattern`] — a **pattern-query matcher**: a small regular pattern
+//!   language compiled to a scanning DFA whose transition function is
+//!   summarized per rule as `state → (state, match count, earliest hit)`
+//!   and composed bottom-up, with exponentiation-by-squaring for loops;
 //! * [`predictability`] — a **predictability report**: per-rule expansion
 //!   lengths, compression ratio, and per-event distance-1 branching
 //!   entropy computed from the grammar's weighted bigram distribution,
@@ -34,12 +43,16 @@
 //! findings to a non-zero exit code for CI use.
 
 pub mod lint;
+pub mod pattern;
 pub mod predictability;
 pub mod protocol;
+pub mod race;
 
 pub use lint::{lint_grammar, LintOptions};
+pub use pattern::{MatchResult, PatternQuery};
 pub use predictability::{EventPredictability, PredictabilityReport};
 pub use protocol::{classify, ClassTable, EventClass, RankProfile};
+pub use race::RaceSummary;
 
 use crate::trace::TraceData;
 
@@ -81,6 +94,10 @@ pub enum Pass {
     Lint,
     /// The cross-rank MPI protocol verifier.
     Protocol,
+    /// The happens-before race detector.
+    Race,
+    /// The pattern-query matcher.
+    Pattern,
     /// The predictability report.
     Predictability,
 }
@@ -91,6 +108,8 @@ impl Pass {
         match self {
             Pass::Lint => "lint",
             Pass::Protocol => "protocol",
+            Pass::Race => "race",
+            Pass::Pattern => "pattern",
             Pass::Predictability => "predictability",
         }
     }
@@ -194,6 +213,10 @@ pub struct AnalyzeConfig {
     pub lint: bool,
     /// Run the cross-rank MPI protocol verifier.
     pub protocol: bool,
+    /// Run the happens-before race detector.
+    pub race: bool,
+    /// Pattern queries to evaluate (each produces its own diagnostics).
+    pub patterns: Vec<PatternQuery>,
     /// Run the predictability report.
     pub predictability: bool,
     /// Predictability: flag events whose best-successor probability falls
@@ -209,6 +232,8 @@ impl Default for AnalyzeConfig {
         AnalyzeConfig {
             lint: true,
             protocol: true,
+            race: true,
+            patterns: Vec::new(),
             predictability: true,
             min_successor_probability: 1.0
                 - crate::resilience::BreakerConfig::default().max_error_rate,
@@ -328,9 +353,11 @@ impl AnalysisReport {
 ///
 /// The linter runs per thread on the raw grammar (and is safe on corrupt,
 /// even cyclic, grammars — it never builds an index before proving the
-/// rule graph is a DAG). The protocol verifier and predictability report
-/// only run over threads whose grammar carries no lint *error*: their
-/// summary algebra assumes an acyclic grammar.
+/// rule graph is a DAG). The protocol verifier, race detector and
+/// predictability report only run when every thread's grammar carries no
+/// lint *error* (their summary algebra assumes an acyclic grammar, and
+/// their verdicts compare ranks against each other); pattern queries run
+/// per thread, skipping unsound ones.
 pub fn analyze_trace(trace: &TraceData, cfg: &AnalyzeConfig) -> AnalysisReport {
     let mut report = AnalysisReport::default();
     let mut sound = Vec::with_capacity(trace.thread_count());
@@ -370,19 +397,38 @@ pub fn analyze_trace(trace: &TraceData, cfg: &AnalyzeConfig) -> AnalysisReport {
         }
     }
 
-    if cfg.protocol && sound.iter().all(|&ok| ok) {
-        let classes = ClassTable::from_registry(trace.registry());
+    let all_sound = sound.iter().all(|&ok| ok);
+    let classes = (cfg.protocol || cfg.race).then(|| ClassTable::from_registry(trace.registry()));
+
+    if cfg.protocol && all_sound {
+        let classes = classes.as_ref().expect("built when protocol is on");
         let profiles: Vec<RankProfile> = trace
             .threads()
             .iter()
-            .map(|t| protocol::profile_from_grammar(&t.grammar, &classes))
+            .map(|t| protocol::profile_from_grammar(&t.grammar, classes))
             .collect();
         let mut diags = protocol::verify(&profiles);
-        protocol::localize_collective_divergence(trace, &classes, &mut diags);
+        protocol::localize_collective_divergence(trace, classes, &mut diags);
         report.diagnostics.extend(diags);
     }
 
-    if cfg.predictability && sound.iter().all(|&ok| ok) {
+    if cfg.race && all_sound {
+        let classes = classes.as_ref().expect("built when race is on");
+        let summaries: Vec<RaceSummary> = trace
+            .threads()
+            .iter()
+            .map(|t| race::summary_from_grammar(&t.grammar, classes))
+            .collect();
+        report.diagnostics.extend(race::detect(&summaries));
+    }
+
+    for query in &cfg.patterns {
+        report
+            .diagnostics
+            .extend(pattern::run_query(query, trace, &sound));
+    }
+
+    if cfg.predictability && all_sound {
         let (pred, diags) = predictability::report(trace, cfg);
         report.diagnostics.extend(diags);
         report.predictability = Some(pred);

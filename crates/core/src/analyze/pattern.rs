@@ -1,0 +1,929 @@
+//! Pattern-query matching on compressed traces.
+//!
+//! A small regular pattern language over event names is compiled to a
+//! scanning DFA and evaluated **on the grammar**, never on the expanded
+//! stream: each rule is summarized as a total transfer function
+//! `state → (state, match count, earliest hit offset)` ([`Xfer`]), rule
+//! bodies compose transfer functions left to right, and a repetition
+//! exponent `k` raises a transfer function to the `k`-th power by
+//! exponentiation-by-squaring — O(|Q| log k) instead of O(k). The same
+//! machinery runs the query over an expanded stream
+//! ([`Dfa::match_events`]); `tests/analyze_consistency.rs` proves both
+//! agree (count, first-hit index, end state) on random sessions.
+//!
+//! ## Pattern grammar
+//!
+//! ```text
+//! pattern  := seq ('|' seq)*               alternation
+//! seq      := term+                        concatenation
+//! term     := factor ('{' N (',' M)? '}')* bounded repetition
+//! factor   := atom | atom '~' N atom       "right within N events of left"
+//! atom     := NAME                         event name (case-insensitive,
+//!                                          the MPI_ prefix may be omitted)
+//!           | NAME '(' INT ')'             name with an exact payload
+//!           | '.'                          any single event
+//!           | '!' atom                     any single event NOT matching
+//!           | '(' pattern ')'              grouping
+//! ```
+//!
+//! `a ~N b` desugars to `a (!b){0,N-1} b` (`b` must be a single-event
+//! atom); `MPI_Isend (!MPI_Wait){8}` flags an `Isend` followed by 8
+//! events none of which is a `Wait` — the "Isend not matched by Wait
+//! within k events" query. Matching is unanchored (the scan restarts at
+//! every position) and counts every position at which a match ends.
+//! Counting windows are exponential under determinization (overlapping
+//! match threads), so window widths much past ~10 hit the DFA state cap.
+
+use crate::event::{EventId, EventRegistry};
+use crate::grammar::{Grammar, Symbol};
+
+use super::{Diagnostic, Pass, Severity};
+
+/// Hard ceiling on bounded-repetition exponents (`{n,m}`), NFA states and
+/// DFA states: queries are small by construction, and the cap turns an
+/// adversarial pattern into a parse/compile error instead of a blowup.
+const MAX_REPEAT: u32 = 4096;
+const MAX_NFA_STATES: usize = 1 << 16;
+const MAX_DFA_STATES: usize = 4096;
+
+/// Single-event predicate: what one atom accepts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Pred {
+    /// `.` — any event.
+    Any,
+    /// `NAME` / `NAME(P)`.
+    Name { name: String, payload: Option<i64> },
+    /// `!atom`.
+    Not(Box<Pred>),
+}
+
+impl Pred {
+    fn matches(&self, desc: Option<(&str, Option<i64>)>) -> bool {
+        match self {
+            Pred::Any => true,
+            Pred::Name { name, payload } => {
+                let Some((n, p)) = desc else { return false };
+                name_matches(name, n)
+                    && match payload {
+                        Some(want) => p == Some(*want),
+                        None => true,
+                    }
+            }
+            Pred::Not(inner) => !inner.matches(desc),
+        }
+    }
+}
+
+/// Case-insensitive, `MPI_`-prefix-eliding event name comparison:
+/// `wait` == `MPI_Wait` == `mpi_wait`.
+fn name_matches(query: &str, event: &str) -> bool {
+    let strip = |s: &str| {
+        let lower = s.to_ascii_lowercase();
+        lower
+            .strip_prefix("mpi_")
+            .map(str::to_owned)
+            .unwrap_or(lower)
+    };
+    strip(query) == strip(event)
+}
+
+/// Parsed pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Ast {
+    /// A single-event predicate leaf.
+    One(#[doc(hidden)] PredNode),
+    /// Concatenation.
+    Seq(Vec<Ast>),
+    /// Alternation.
+    Alt(Vec<Ast>),
+    /// `{min, max}` bounded repetition.
+    Repeat {
+        /// Repeated pattern.
+        node: Box<Ast>,
+        /// Minimum repetitions.
+        min: u32,
+        /// Maximum repetitions.
+        max: u32,
+    },
+}
+
+/// Opaque leaf payload (keeps [`Pred`] out of the public API).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredNode(Pred);
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'s> {
+    src: &'s str,
+    bytes: &'s [u8],
+    pos: usize,
+}
+
+impl<'s> Parser<'s> {
+    fn new(src: &'s str) -> Self {
+        Parser {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        match self.bump() {
+            Some(got) if got == c => Ok(()),
+            got => Err(format!(
+                "expected '{}' at byte {} of pattern, got {:?}",
+                c as char,
+                self.pos,
+                got.map(|b| b as char)
+            )),
+        }
+    }
+
+    fn number(&mut self) -> Result<i64, String> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        self.src[start..self.pos]
+            .parse()
+            .map_err(|_| format!("expected a number at byte {start} of pattern"))
+    }
+
+    fn ident(&mut self) -> Result<String, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|&b| b.is_ascii_alphanumeric() || b == b'_')
+        {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(format!("expected an event name at byte {start} of pattern"));
+        }
+        Ok(self.src[start..self.pos].to_owned())
+    }
+
+    fn alt(&mut self) -> Result<Ast, String> {
+        let mut arms = vec![self.seq()?];
+        while self.peek() == Some(b'|') {
+            self.bump();
+            arms.push(self.seq()?);
+        }
+        Ok(if arms.len() == 1 {
+            arms.pop().unwrap()
+        } else {
+            Ast::Alt(arms)
+        })
+    }
+
+    fn seq(&mut self) -> Result<Ast, String> {
+        let mut items = Vec::new();
+        loop {
+            match self.peek() {
+                None | Some(b'|') | Some(b')') => break,
+                _ => items.push(self.term()?),
+            }
+        }
+        match items.len() {
+            0 => Err("empty pattern".into()),
+            1 => Ok(items.pop().unwrap()),
+            _ => Ok(Ast::Seq(items)),
+        }
+    }
+
+    fn term(&mut self) -> Result<Ast, String> {
+        let mut node = self.factor()?;
+        while self.peek() == Some(b'{') {
+            self.bump();
+            let min = self.repeat_bound()?;
+            let max = if self.peek() == Some(b',') {
+                self.bump();
+                self.repeat_bound()?
+            } else {
+                min
+            };
+            self.expect(b'}')?;
+            if max < min {
+                return Err(format!("repetition {{{min},{max}}} has max < min"));
+            }
+            node = Ast::Repeat {
+                node: Box::new(node),
+                min,
+                max,
+            };
+        }
+        Ok(node)
+    }
+
+    fn repeat_bound(&mut self) -> Result<u32, String> {
+        let n = self.number()?;
+        if !(0..=MAX_REPEAT as i64).contains(&n) {
+            return Err(format!("repetition bound {n} outside 0..={MAX_REPEAT}"));
+        }
+        Ok(n as u32)
+    }
+
+    fn factor(&mut self) -> Result<Ast, String> {
+        let left = self.atom()?;
+        if self.peek() == Some(b'~') {
+            self.bump();
+            let n = self.repeat_bound()?;
+            if n == 0 {
+                return Err("'~0' window is empty; use '~1' or more".into());
+            }
+            let right = self.atom()?;
+            let Ast::One(pred) = &right else {
+                return Err("the right side of '~N' must be a single-event atom".into());
+            };
+            // a ~N b  ==  a (!b){0,N-1} b
+            return Ok(Ast::Seq(vec![
+                left,
+                Ast::Repeat {
+                    node: Box::new(Ast::One(PredNode(Pred::Not(Box::new(pred.0.clone()))))),
+                    min: 0,
+                    max: n - 1,
+                },
+                right,
+            ]));
+        }
+        Ok(left)
+    }
+
+    fn atom(&mut self) -> Result<Ast, String> {
+        match self.peek() {
+            Some(b'(') => {
+                self.bump();
+                let inner = self.alt()?;
+                self.expect(b')')?;
+                Ok(inner)
+            }
+            Some(b'!') => {
+                self.bump();
+                match self.atom()? {
+                    Ast::One(p) => Ok(Ast::One(PredNode(Pred::Not(Box::new(p.0))))),
+                    _ => Err("'!' applies to a single-event atom, not a group".into()),
+                }
+            }
+            Some(b'.') => {
+                self.bump();
+                Ok(Ast::One(PredNode(Pred::Any)))
+            }
+            _ => {
+                let name = self.ident()?;
+                // Payload parens bind tightly: `send(2)` is a payload,
+                // `send (x | y)` is a group.
+                let payload = if self.bytes.get(self.pos) == Some(&b'(') {
+                    self.bump();
+                    let p = self.number()?;
+                    self.expect(b')')?;
+                    Some(p)
+                } else {
+                    None
+                };
+                Ok(Ast::One(PredNode(Pred::Name { name, payload })))
+            }
+        }
+    }
+}
+
+/// Parses a pattern. Registry-independent: compilation against a concrete
+/// event vocabulary happens in [`Dfa::compile`].
+pub fn parse(src: &str) -> Result<Ast, String> {
+    let mut p = Parser::new(src);
+    let ast = p.alt()?;
+    if p.peek().is_some() {
+        return Err(format!(
+            "unexpected '{}' at byte {} of pattern",
+            p.bytes[p.pos] as char, p.pos
+        ));
+    }
+    Ok(ast)
+}
+
+// ---------------------------------------------------------------------------
+// NFA (Thompson construction)
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct Nfa {
+    /// Per state: predicate edges and epsilon edges.
+    steps: Vec<Vec<(Pred, usize)>>,
+    eps: Vec<Vec<usize>>,
+}
+
+impl Nfa {
+    fn state(&mut self) -> Result<usize, String> {
+        if self.steps.len() >= MAX_NFA_STATES {
+            return Err(format!("pattern too large (> {MAX_NFA_STATES} NFA states)"));
+        }
+        self.steps.push(Vec::new());
+        self.eps.push(Vec::new());
+        Ok(self.steps.len() - 1)
+    }
+
+    /// Builds the fragment for `ast`; returns `(start, accept)`.
+    fn build(&mut self, ast: &Ast) -> Result<(usize, usize), String> {
+        match ast {
+            Ast::One(p) => {
+                let s = self.state()?;
+                let a = self.state()?;
+                self.steps[s].push((p.0.clone(), a));
+                Ok((s, a))
+            }
+            Ast::Seq(items) => {
+                let mut frag: Option<(usize, usize)> = None;
+                for item in items {
+                    let (s, a) = self.build(item)?;
+                    frag = Some(match frag {
+                        None => (s, a),
+                        Some((fs, fa)) => {
+                            self.eps[fa].push(s);
+                            (fs, a)
+                        }
+                    });
+                }
+                frag.ok_or_else(|| "empty sequence".into())
+            }
+            Ast::Alt(arms) => {
+                let s = self.state()?;
+                let a = self.state()?;
+                for arm in arms {
+                    let (as_, aa) = self.build(arm)?;
+                    self.eps[s].push(as_);
+                    self.eps[aa].push(a);
+                }
+                Ok((s, a))
+            }
+            Ast::Repeat { node, min, max } => {
+                let s = self.state()?;
+                let mut tail = s;
+                let a = self.state()?;
+                for i in 0..*max {
+                    let (ns, na) = self.build(node)?;
+                    self.eps[tail].push(ns);
+                    if i >= *min {
+                        self.eps[tail].push(a);
+                    }
+                    tail = na;
+                }
+                self.eps[tail].push(a);
+                Ok((s, a))
+            }
+        }
+    }
+
+    fn closure(&self, set: &mut [bool], work: &mut Vec<usize>) {
+        while let Some(s) = work.pop() {
+            for &t in &self.eps[s] {
+                if !set[t] {
+                    set[t] = true;
+                    work.push(t);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scanning DFA over a concrete event registry
+// ---------------------------------------------------------------------------
+
+/// A pattern compiled against one trace's event vocabulary: a dense
+/// scanning DFA. State sets always include the NFA start (unanchored
+/// matching), transitions are total over `registry.len() + 1` symbols (the
+/// extra column absorbs ids outside the registry), and a state is
+/// accepting when it contains the NFA accept — entering an accepting
+/// state counts one match.
+#[derive(Debug, Clone)]
+pub struct Dfa {
+    /// `delta[state * alphabet + symbol] -> state`.
+    delta: Vec<u32>,
+    /// Per-state accepting flag.
+    accept: Vec<bool>,
+    /// Symbols per state row (`registry.len() + 1`).
+    alphabet: usize,
+    /// Start state.
+    start: u32,
+}
+
+impl Dfa {
+    /// Number of DFA states (the `|Q|` in the O(|Q| log k) composition).
+    pub fn states(&self) -> usize {
+        self.accept.len()
+    }
+
+    /// Start state.
+    pub fn start(&self) -> u32 {
+        self.start
+    }
+
+    /// Whether `state` is accepting.
+    pub fn accepting(&self, state: u32) -> bool {
+        self.accept[state as usize]
+    }
+
+    /// Compiles `ast` against `registry`'s event vocabulary.
+    pub fn compile(ast: &Ast, registry: &EventRegistry) -> Result<Dfa, String> {
+        let mut nfa = Nfa::default();
+        let (nstart, naccept) = nfa.build(ast)?;
+        let nn = nfa.steps.len();
+        let alphabet = registry.len() + 1;
+        // Event id -> (name, payload) lookup for predicate evaluation; the
+        // final column is "unknown id" (no descriptor).
+        let descs: Vec<Option<(&str, Option<i64>)>> = (0..registry.len())
+            .map(|i| {
+                registry
+                    .describe(EventId(i as u32))
+                    .map(|d| (d.name.as_str(), d.payload))
+            })
+            .chain(std::iter::once(None))
+            .collect();
+
+        let closure_of = |nfa: &Nfa, seed: &[usize]| -> Vec<bool> {
+            let mut set = vec![false; nn];
+            let mut work = Vec::new();
+            for &s in seed {
+                if !set[s] {
+                    set[s] = true;
+                    work.push(s);
+                }
+            }
+            nfa.closure(&mut set, &mut work);
+            set
+        };
+
+        let start_set = closure_of(&nfa, &[nstart]);
+        let mut states: Vec<Vec<bool>> = vec![start_set.clone()];
+        let mut ids: std::collections::HashMap<Vec<bool>, u32> = std::collections::HashMap::new();
+        ids.insert(start_set, 0);
+        let mut delta: Vec<u32> = Vec::new();
+        let mut accept: Vec<bool> = Vec::new();
+
+        let mut i = 0;
+        while i < states.len() {
+            let cur = states[i].clone();
+            accept.push(cur[naccept]);
+            for &desc in &descs {
+                let mut seed: Vec<usize> = vec![nstart]; // unanchored scan
+                for (s, active) in cur.iter().enumerate() {
+                    if !active {
+                        continue;
+                    }
+                    for (pred, t) in &nfa.steps[s] {
+                        if pred.matches(desc) {
+                            seed.push(*t);
+                        }
+                    }
+                }
+                let next = closure_of(&nfa, &seed);
+                let id = match ids.get(&next) {
+                    Some(&id) => id,
+                    None => {
+                        if states.len() >= MAX_DFA_STATES {
+                            return Err(format!(
+                                "pattern too large (> {MAX_DFA_STATES} DFA states)"
+                            ));
+                        }
+                        let id = states.len() as u32;
+                        ids.insert(next.clone(), id);
+                        states.push(next);
+                        id
+                    }
+                };
+                delta.push(id);
+            }
+            i += 1;
+        }
+        Ok(Dfa {
+            delta,
+            accept,
+            alphabet,
+            start: 0,
+        })
+    }
+
+    #[inline]
+    fn step(&self, state: u32, event: EventId) -> u32 {
+        let sym = (event.index()).min(self.alphabet - 1);
+        self.delta[state as usize * self.alphabet + sym]
+    }
+
+    /// Runs the query over an expanded stream — the ground truth the
+    /// compressed sweep must agree with (consistency tests and the bench
+    /// baseline).
+    pub fn match_events(&self, events: impl IntoIterator<Item = EventId>) -> MatchResult {
+        let mut state = self.start;
+        let mut count: u64 = 0;
+        let mut first: Option<u64> = None;
+        for (i, e) in (0u64..).zip(events) {
+            state = self.step(state, e);
+            if self.accept[state as usize] {
+                count += 1;
+                first.get_or_insert(i);
+            }
+        }
+        MatchResult {
+            count,
+            first,
+            end_state: state,
+        }
+    }
+}
+
+/// Outcome of running one query over one rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatchResult {
+    /// Number of positions at which a match ends.
+    pub count: u64,
+    /// Index of the event at which the first match ends.
+    pub first: Option<u64>,
+    /// DFA state after the last event.
+    pub end_state: u32,
+}
+
+/// The transfer function of one trace segment: for every DFA start state,
+/// the end state, the number of matches inside the segment, and the offset
+/// of the earliest match. Segments compose associatively ([`Xfer::then`]),
+/// and a segment repeated `k` times is `Xfer::power(k)` — exponentiation
+/// by squaring, O(|Q|² log k) worst case but O(|Q| log k) in the common
+/// single-path case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xfer {
+    next: Vec<u32>,
+    hits: Vec<u64>,
+    first: Vec<Option<u64>>,
+    len: u64,
+}
+
+impl Xfer {
+    /// The empty segment (identity of [`Xfer::then`]).
+    pub fn identity(states: usize) -> Xfer {
+        Xfer {
+            next: (0..states as u32).collect(),
+            hits: vec![0; states],
+            first: vec![None; states],
+            len: 0,
+        }
+    }
+
+    /// The one-event segment.
+    pub fn single(dfa: &Dfa, event: EventId) -> Xfer {
+        let states = dfa.states();
+        let mut x = Xfer {
+            next: Vec::with_capacity(states),
+            hits: Vec::with_capacity(states),
+            first: Vec::with_capacity(states),
+            len: 1,
+        };
+        for s in 0..states as u32 {
+            let t = dfa.step(s, event);
+            let hit = dfa.accepting(t);
+            x.next.push(t);
+            x.hits.push(hit as u64);
+            x.first.push(hit.then_some(0));
+        }
+        x
+    }
+
+    /// The segment `self` followed by `other`.
+    pub fn then(&self, other: &Xfer) -> Xfer {
+        let states = self.next.len();
+        let mut x = Xfer {
+            next: Vec::with_capacity(states),
+            hits: Vec::with_capacity(states),
+            first: Vec::with_capacity(states),
+            len: self.len.saturating_add(other.len),
+        };
+        for s in 0..states {
+            let mid = self.next[s] as usize;
+            x.next.push(other.next[mid]);
+            x.hits.push(self.hits[s].saturating_add(other.hits[mid]));
+            x.first.push(
+                self.first[s].or_else(|| other.first[mid].map(|f| f.saturating_add(self.len))),
+            );
+        }
+        x
+    }
+
+    /// The segment `self` repeated `k` times (exponentiation by squaring).
+    pub fn power(&self, mut k: u64) -> Xfer {
+        let mut acc = Xfer::identity(self.next.len());
+        let mut base = self.clone();
+        while k > 0 {
+            if k & 1 == 1 {
+                acc = acc.then(&base);
+            }
+            k >>= 1;
+            if k > 0 {
+                base = base.then(&base);
+            }
+        }
+        acc
+    }
+
+    /// Applies the segment from `state`.
+    pub fn apply(&self, state: u32) -> MatchResult {
+        MatchResult {
+            count: self.hits[state as usize],
+            first: self.first[state as usize],
+            end_state: self.next[state as usize],
+        }
+    }
+}
+
+/// Runs the query over a grammar, bottom-up in O(|grammar| · |Q|) without
+/// expanding the trace. The grammar must be a structurally sound DAG (run
+/// the linter first).
+pub fn match_grammar(g: &Grammar, dfa: &Dfa) -> MatchResult {
+    let mut xfers: Vec<Option<Xfer>> = vec![None; g.rules_slots()];
+    let order = g.topological_order(); // parents first
+    for &id in order.iter().rev() {
+        // children first
+        let mut x = Xfer::identity(dfa.states());
+        for u in &g.rule(id).body {
+            let step = match u.symbol {
+                Symbol::Terminal(e) => Xfer::single(dfa, e).power(u.count as u64),
+                Symbol::Rule(r) => xfers[r.index()]
+                    .clone()
+                    .expect("topological order visits children first")
+                    .power(u.count as u64),
+            };
+            x = x.then(&step);
+        }
+        xfers[id.index()] = Some(x);
+    }
+    xfers[g.root().index()]
+        .take()
+        .map(|x| x.apply(dfa.start()))
+        .unwrap_or(MatchResult {
+            count: 0,
+            first: None,
+            end_state: 0,
+        })
+}
+
+/// One user query as carried by [`super::AnalyzeConfig`]: the parsed
+/// pattern plus reporting policy.
+#[derive(Debug, Clone)]
+pub struct PatternQuery {
+    /// Original pattern text (for messages).
+    pub source: String,
+    /// Parsed pattern.
+    pub ast: Ast,
+    /// Severity of a hit (or of absence, with `absent`).
+    pub severity: Severity,
+    /// Invert the verdict: report ranks where the pattern never matches.
+    pub absent: bool,
+}
+
+impl PatternQuery {
+    /// Parses `src` into a query with the given reporting policy.
+    pub fn new(src: &str, severity: Severity, absent: bool) -> Result<Self, String> {
+        Ok(PatternQuery {
+            source: src.to_owned(),
+            ast: parse(src)?,
+            severity,
+            absent,
+        })
+    }
+}
+
+/// Evaluates one query over every sound thread of a trace, returning
+/// diagnostics. `sound[i]` gates thread `i` (the summary algebra assumes a
+/// DAG, proven by the linter).
+pub fn run_query(
+    query: &PatternQuery,
+    trace: &crate::trace::TraceData,
+    sound: &[bool],
+) -> Vec<Diagnostic> {
+    let dfa = match Dfa::compile(&query.ast, trace.registry()) {
+        Ok(dfa) => dfa,
+        Err(e) => {
+            return vec![Diagnostic::new(
+                Severity::Error,
+                Pass::Pattern,
+                "pattern-invalid",
+                format!("pattern '{}' does not compile: {e}", query.source),
+            )];
+        }
+    };
+    let mut diags = Vec::new();
+    for (i, t) in trace.threads().iter().enumerate() {
+        if !sound.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        let m = match_grammar(&t.grammar, &dfa);
+        if query.absent {
+            if m.count == 0 {
+                diags.push(
+                    Diagnostic::new(
+                        query.severity,
+                        Pass::Pattern,
+                        "pattern-absent",
+                        format!(
+                            "pattern '{}' never matches on rank {i} ({} events)",
+                            query.source, t.event_count
+                        ),
+                    )
+                    .on_thread(i),
+                );
+            }
+        } else if m.count > 0 {
+            let first = m.first.unwrap_or(0);
+            diags.push(
+                Diagnostic::new(
+                    query.severity,
+                    Pass::Pattern,
+                    "pattern-match",
+                    format!(
+                        "pattern '{}' matches {} time(s) on rank {i}, first ending at \
+                         event {first}",
+                        query.source, m.count
+                    ),
+                )
+                .on_thread(i)
+                .near_event(first),
+            );
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventRegistry;
+    use crate::grammar::builder::GrammarBuilder;
+
+    fn grammar_of(events: &[EventId]) -> Grammar {
+        let mut b = GrammarBuilder::new();
+        for &e in events {
+            b.push(e);
+        }
+        b.into_grammar().compact()
+    }
+
+    fn reg3() -> (EventRegistry, EventId, EventId, EventId) {
+        let mut reg = EventRegistry::new();
+        let isend = reg.intern("MPI_Isend", Some(1));
+        let wait = reg.intern("MPI_Wait", None);
+        let pad = reg.intern("pad", None);
+        (reg, isend, wait, pad)
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse("").is_err());
+        assert!(parse("a {2,1}").is_err());
+        assert!(parse("(a").is_err());
+        assert!(parse("a ~0 b").is_err());
+        assert!(parse("a ~3 (b c)").is_err());
+        assert!(parse("!(a b)").is_err());
+        assert!(parse("a )").is_err());
+        assert!(parse("a {999999}").is_err());
+    }
+
+    #[test]
+    fn name_matching_elides_prefix_and_case() {
+        assert!(name_matches("wait", "MPI_Wait"));
+        assert!(name_matches("MPI_WAIT", "mpi_wait"));
+        assert!(name_matches("Isend", "MPI_Isend"));
+        assert!(!name_matches("wait", "MPI_Waitall"));
+    }
+
+    #[test]
+    fn sequence_and_counting() {
+        let (reg, isend, wait, pad) = reg3();
+        let dfa = Dfa::compile(&parse("isend wait").unwrap(), &reg).unwrap();
+        let m = dfa.match_events([isend, wait, pad, isend, wait]);
+        assert_eq!(m.count, 2);
+        assert_eq!(m.first, Some(1));
+    }
+
+    #[test]
+    fn alternation_and_payload() {
+        let mut reg = EventRegistry::new();
+        let s1 = reg.intern("MPI_Send", Some(1));
+        let s2 = reg.intern("MPI_Send", Some(2));
+        let dfa = Dfa::compile(&parse("send(2) | recv").unwrap(), &reg).unwrap();
+        let m = dfa.match_events([s1, s2, s1, s2]);
+        assert_eq!(m.count, 2);
+        assert_eq!(m.first, Some(1));
+    }
+
+    #[test]
+    fn unmatched_isend_window() {
+        let (reg, isend, wait, pad) = reg3();
+        let dfa = Dfa::compile(&parse("isend (!wait){3}").unwrap(), &reg).unwrap();
+        // Wait arrives inside the window: no match.
+        assert_eq!(dfa.match_events([isend, pad, wait, pad, pad]).count, 0);
+        // No wait within 3: match ends after the 3rd non-wait.
+        let m = dfa.match_events([isend, pad, pad, pad, wait]);
+        assert_eq!(m.count, 1);
+        assert_eq!(m.first, Some(3));
+    }
+
+    #[test]
+    fn within_sugar_matches_wait_in_window() {
+        let (reg, isend, wait, pad) = reg3();
+        let dfa = Dfa::compile(&parse("isend ~3 wait").unwrap(), &reg).unwrap();
+        assert_eq!(dfa.match_events([isend, pad, pad, wait]).count, 1);
+        assert_eq!(dfa.match_events([isend, pad, pad, pad, wait]).count, 0);
+    }
+
+    #[test]
+    fn grammar_match_equals_event_match() {
+        let (reg, isend, wait, pad) = reg3();
+        let mut events = Vec::new();
+        for _ in 0..41 {
+            events.extend([isend, pad, pad, wait]);
+        }
+        events.extend([isend, pad, pad, pad]);
+        let g = grammar_of(&events);
+        assert!(g.rule_count() > 1);
+        for src in ["isend (!wait){3}", "isend ~4 wait", "pad{2}", ". wait"] {
+            let dfa = Dfa::compile(&parse(src).unwrap(), &reg).unwrap();
+            let cm = match_grammar(&g, &dfa);
+            let em = dfa.match_events(events.iter().copied());
+            assert_eq!(cm, em, "pattern {src}");
+        }
+    }
+
+    #[test]
+    fn first_hit_spans_exponent_boundary() {
+        // Body [isend pad pad pad] repeated: 'isend (!wait){5}' needs five
+        // non-waits after an isend, which only completes inside iteration
+        // 1 — the summary must report index 5, not an iteration-0 offset.
+        let (reg, isend, _wait, pad) = reg3();
+        let mut events = Vec::new();
+        for _ in 0..32 {
+            events.extend([isend, pad, pad, pad]);
+        }
+        let g = grammar_of(&events);
+        let dfa = Dfa::compile(&parse("isend (!wait){5}").unwrap(), &reg).unwrap();
+        let cm = match_grammar(&g, &dfa);
+        let em = dfa.match_events(events.iter().copied());
+        assert_eq!(cm, em);
+        assert_eq!(cm.first, Some(5));
+    }
+
+    #[test]
+    fn power_matches_naive_composition() {
+        let (reg, isend, wait, pad) = reg3();
+        let dfa = Dfa::compile(&parse("isend ~3 wait").unwrap(), &reg).unwrap();
+        let seg = Xfer::single(&dfa, isend)
+            .then(&Xfer::single(&dfa, pad))
+            .then(&Xfer::single(&dfa, wait));
+        for k in 0..9u64 {
+            let mut naive = Xfer::identity(dfa.states());
+            for _ in 0..k {
+                naive = naive.then(&seg);
+            }
+            assert_eq!(seg.power(k), naive, "k={k}");
+        }
+    }
+
+    #[test]
+    fn absent_query_flags_missing_pattern() {
+        let (reg, isend, wait, pad) = reg3();
+        let mut rec = crate::record::Recorder::new(crate::record::RecordConfig::default());
+        for _ in 0..8 {
+            rec.record(isend);
+            rec.record(pad);
+            rec.record(wait);
+        }
+        let trace = rec.finish(&reg).unwrap();
+        let q = PatternQuery::new("barrier", Severity::Warning, true).unwrap();
+        let diags = run_query(&q, &trace, &[true]);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, "pattern-absent");
+        let q = PatternQuery::new("isend ~2 wait", Severity::Warning, true).unwrap();
+        assert!(run_query(&q, &trace, &[true]).is_empty());
+    }
+}

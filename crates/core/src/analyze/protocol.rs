@@ -30,8 +30,10 @@
 //! `verify` is pure over profiles — it looks at nothing else — so verdicts
 //! computed in the compressed domain and in the expanded domain coincide
 //! iff the profiles do. Divergence *localization* (finding the first
-//! differing collective) is the only operation that walks events, runs only
-//! on the error path, and is capped.
+//! differing collective) runs only on the error path and stays in the
+//! compressed domain too: a binary search over exponent-aware prefix
+//! hashes ([`collective_divergence_point`]), O(|grammar| log n), exact at
+//! any repetition depth.
 
 use std::collections::BTreeMap;
 
@@ -84,6 +86,15 @@ pub enum EventClass {
     },
     /// Request completion (`MPI_Wait`/`MPI_Waitall`).
     Completion,
+    /// A memory access to `object` (payload of a `load`/`read`/`store`/
+    /// `write`/`update` event) — the race detector's input; the protocol
+    /// verifier ignores it.
+    Access {
+        /// Object identity (the event payload).
+        object: i64,
+        /// Whether the access writes.
+        write: bool,
+    },
     /// Anything the verifier has no opinion about.
     Other,
 }
@@ -139,6 +150,20 @@ pub fn classify(name: &str, payload: Option<i64>) -> EventClass {
         }
         "MPI_Comm_dup" | "MPI_Comm_split" => EventClass::Collective {
             token: fnv1a(FNV_OFFSET, name.as_bytes()),
+        },
+        "load" | "read" => match payload {
+            Some(object) => EventClass::Access {
+                object,
+                write: false,
+            },
+            None => EventClass::Other,
+        },
+        "store" | "write" | "update" => match payload {
+            Some(object) => EventClass::Access {
+                object,
+                write: true,
+            },
+            None => EventClass::Other,
         },
         _ => EventClass::Other,
     }
@@ -295,7 +320,7 @@ impl RankProfile {
             EventClass::Collective { token } => {
                 self.collectives = self.collectives.concat(SeqSummary::token(token).repeat(k));
             }
-            EventClass::Completion | EventClass::Other => {}
+            EventClass::Completion | EventClass::Access { .. } | EventClass::Other => {}
         }
     }
 
@@ -629,14 +654,176 @@ fn find_wait_cycle(edges: &[Vec<usize>]) -> Option<Vec<usize>> {
     None
 }
 
-/// Upper bound on events walked per rank while localizing a collective
-/// divergence (the only event-domain operation in this module; error path
-/// only).
-const LOCALIZE_CAP: usize = 1 << 20;
+/// Per-rule collective structure, memoized children-first: how many
+/// collectives one expansion of the rule contains, its expanded length,
+/// and the [`SeqSummary`] of its collective-token sequence.
+struct CollectiveMemo {
+    counts: Vec<u64>,
+    lens: Vec<u64>,
+    sums: Vec<SeqSummary>,
+}
 
-/// Annotates `collective-divergence` diagnostics with the index of the
-/// first divergent collective, found by walking capped lazy unfold cursors
-/// of rank 0 and the divergent rank.
+impl CollectiveMemo {
+    fn build(g: &Grammar, classes: &ClassTable) -> CollectiveMemo {
+        let slots = g.rules_slots();
+        let mut memo = CollectiveMemo {
+            counts: vec![0; slots],
+            lens: vec![0; slots],
+            sums: vec![SeqSummary::EMPTY; slots],
+        };
+        let order = g.topological_order(); // parents first
+        for &id in order.iter().rev() {
+            let (mut count, mut len, mut sum) = (0u64, 0u64, SeqSummary::EMPTY);
+            for u in &g.rule(id).body {
+                let k = u.count as u64;
+                let (c, l, s) = memo.of(u.symbol, classes);
+                count = count.saturating_add(c.saturating_mul(k));
+                len = len.saturating_add(l.saturating_mul(k));
+                sum = sum.concat(s.repeat(k));
+            }
+            memo.counts[id.index()] = count;
+            memo.lens[id.index()] = len;
+            memo.sums[id.index()] = sum;
+        }
+        memo
+    }
+
+    /// `(collectives, expanded length, collective summary)` of a single
+    /// expansion of `symbol`.
+    fn of(&self, symbol: Symbol, classes: &ClassTable) -> (u64, u64, SeqSummary) {
+        match symbol {
+            Symbol::Terminal(e) => match classes.class(e) {
+                EventClass::Collective { token } => (1, 1, SeqSummary::token(token)),
+                _ => (0, 1, SeqSummary::EMPTY),
+            },
+            Symbol::Rule(r) => (
+                self.counts[r.index()],
+                self.lens[r.index()],
+                self.sums[r.index()],
+            ),
+        }
+    }
+
+    /// Summary of the first `n` collectives of the grammar, by
+    /// exponent-aware descent: whole repetitions contribute via
+    /// [`SeqSummary::repeat`], the partial iteration recurses. O(depth ·
+    /// body width), never O(n).
+    fn prefix(&self, g: &Grammar, classes: &ClassTable, mut n: u64) -> SeqSummary {
+        let mut acc = SeqSummary::EMPTY;
+        let mut rule = g.root();
+        'descend: loop {
+            for u in &g.rule(rule).body {
+                if n == 0 {
+                    return acc;
+                }
+                let k = u.count as u64;
+                let (c, _, s) = self.of(u.symbol, classes);
+                if c == 0 {
+                    continue;
+                }
+                let total = c.saturating_mul(k);
+                if total <= n {
+                    acc = acc.concat(s.repeat(k));
+                    n -= total;
+                    continue;
+                }
+                match u.symbol {
+                    // A terminal contributes one collective per repetition.
+                    Symbol::Terminal(_) => return acc.concat(s.repeat(n)),
+                    Symbol::Rule(r) => {
+                        let full = n / c;
+                        acc = acc.concat(s.repeat(full));
+                        n -= full * c;
+                        rule = r;
+                        continue 'descend;
+                    }
+                }
+            }
+            return acc;
+        }
+    }
+
+    /// Expanded-stream index of collective ordinal `k` (0-based), by the
+    /// same descent. `None` when the grammar has `<= k` collectives.
+    fn nth_index(&self, g: &Grammar, classes: &ClassTable, mut k: u64) -> Option<u64> {
+        let mut idx = 0u64;
+        let mut rule = g.root();
+        'descend: loop {
+            for u in &g.rule(rule).body {
+                let reps = u.count as u64;
+                let (c, l, _) = self.of(u.symbol, classes);
+                let total = c.saturating_mul(reps);
+                if total <= k {
+                    k -= total;
+                    idx = idx.saturating_add(l.saturating_mul(reps));
+                    continue;
+                }
+                match u.symbol {
+                    Symbol::Terminal(_) => return Some(idx + k),
+                    Symbol::Rule(r) => {
+                        let full = k / c;
+                        k -= full * c;
+                        idx = idx.saturating_add(l.saturating_mul(full));
+                        rule = r;
+                        continue 'descend;
+                    }
+                }
+            }
+            return None;
+        }
+    }
+}
+
+/// Finds the first collective ordinal at which two ranks' collective
+/// sequences diverge, plus the expanded-stream index of that collective on
+/// the *second* rank (its last collective when the second rank is the
+/// shorter side). Exact at any depth of repetition exponents — the search
+/// binary-searches prefix hashes, O(|grammar| log n) — so the reported
+/// index lands on the first offending iteration of an exponentiated rule,
+/// not on a capped approximation.
+pub fn collective_divergence_point(
+    g0: &Grammar,
+    gr: &Grammar,
+    classes: &ClassTable,
+) -> Option<(u64, Option<u64>)> {
+    let m0 = CollectiveMemo::build(g0, classes);
+    let mr = CollectiveMemo::build(gr, classes);
+    let len0 = m0.counts[g0.root().index()];
+    let lenr = mr.counts[gr.root().index()];
+    let minlen = len0.min(lenr);
+    let eq = |n: u64| m0.prefix(g0, classes, n) == mr.prefix(gr, classes, n);
+    let k = if eq(minlen) {
+        if len0 == lenr {
+            return None;
+        }
+        minlen
+    } else {
+        // Largest prefix length with equal hashes; the collective at that
+        // ordinal is the first difference.
+        let (mut lo, mut hi) = (0u64, minlen);
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if eq(mid) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    };
+    let index = if k < lenr {
+        mr.nth_index(gr, classes, k)
+    } else if lenr > 0 {
+        mr.nth_index(gr, classes, lenr - 1)
+    } else {
+        None
+    };
+    Some((k, index))
+}
+
+/// Annotates `collective-divergence` diagnostics with the ordinal and
+/// event index of the first divergent collective
+/// ([`collective_divergence_point`]).
 pub fn localize_collective_divergence(
     trace: &TraceData,
     classes: &ClassTable,
@@ -650,27 +837,8 @@ pub fn localize_collective_divergence(
         let (Ok(t0), Ok(tr)) = (trace.thread(0), trace.thread(rank)) else {
             continue;
         };
-        let collectives = |g: &'_ Grammar| {
-            g.unfold_iter()
-                .enumerate()
-                .take(LOCALIZE_CAP)
-                .filter_map(|(i, e)| match classes.class(e) {
-                    EventClass::Collective { token } => Some((i, token)),
-                    _ => None,
-                })
-                .collect::<Vec<_>>()
-        };
-        let c0 = collectives(&t0.grammar);
-        let cr = collectives(&tr.grammar);
-        let split = c0
-            .iter()
-            .zip(cr.iter())
-            .position(|((_, a), (_, b))| a != b)
-            .or_else(|| (c0.len() != cr.len()).then(|| c0.len().min(cr.len())));
-        if let Some(k) = split {
-            if let Some(&(event_index, _)) = cr.get(k).or_else(|| cr.last()) {
-                d.event_index = Some(event_index as u64);
-            }
+        if let Some((k, index)) = collective_divergence_point(&t0.grammar, &tr.grammar, classes) {
+            d.event_index = index;
             d.message
                 .push_str(&format!(" (first divergence at collective #{k})"));
         }
@@ -865,6 +1033,56 @@ mod tests {
             !diags.iter().any(|d| d.severity > Severity::Info),
             "{diags:?}"
         );
+    }
+
+    #[test]
+    fn divergence_point_is_exact_inside_exponentiated_rules() {
+        // Both ranks run [bar red] x 1000, but rank 1's iteration 700
+        // calls a divergent reduce. The localization must point at the
+        // exact expanded index of that collective — iteration 700, not
+        // iteration 0 and not a capped guess.
+        let mut reg = EventRegistry::new();
+        let bar = reg.intern("MPI_Barrier", None);
+        let red = reg.intern("MPI_Allreduce", Some(0));
+        let bad = reg.intern("MPI_Allreduce", Some(9));
+        let classes = ClassTable::from_registry(&reg);
+        let e0: Vec<_> = (0..1000).flat_map(|_| [bar, red]).collect();
+        let mut e1 = e0.clone();
+        e1[2 * 700 + 1] = bad;
+        let g0 = grammar_of(&e0);
+        let g1 = grammar_of(&e1);
+        assert!(g0.rule_count() > 1, "must exercise exponents");
+        let (k, index) =
+            collective_divergence_point(&g0, &g1, &classes).expect("sequences diverge");
+        assert_eq!(k, 2 * 700 + 1);
+        assert_eq!(index, Some(2 * 700 + 1));
+        // Naive ground truth: position of collective #k in the stream.
+        let naive = e1
+            .iter()
+            .enumerate()
+            .filter(|(_, &e)| matches!(classes.class(e), EventClass::Collective { .. }))
+            .nth(k as usize)
+            .map(|(i, _)| i as u64);
+        assert_eq!(index, naive);
+    }
+
+    #[test]
+    fn divergence_point_handles_length_mismatch() {
+        let mut reg = EventRegistry::new();
+        let bar = reg.intern("MPI_Barrier", None);
+        let classes = ClassTable::from_registry(&reg);
+        let e0: Vec<_> = vec![bar; 64];
+        let e1: Vec<_> = vec![bar; 48];
+        let g0 = grammar_of(&e0);
+        let g1 = grammar_of(&e1);
+        let (k, index) = collective_divergence_point(&g0, &g1, &classes).expect("lengths differ");
+        assert_eq!(k, 48);
+        assert_eq!(
+            index,
+            Some(47),
+            "shorter side anchors at its last collective"
+        );
+        assert!(collective_divergence_point(&g0, &g0.clone(), &classes).is_none());
     }
 
     #[test]

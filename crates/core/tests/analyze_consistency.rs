@@ -11,7 +11,11 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 
-use pythia_core::analyze::protocol::{profile_from_events, profile_from_grammar, verify};
+use pythia_core::analyze::pattern::{match_grammar, parse, Dfa};
+use pythia_core::analyze::protocol::{
+    collective_divergence_point, profile_from_events, profile_from_grammar, verify, EventClass,
+};
+use pythia_core::analyze::race::{detect, summary_from_events, summary_from_grammar};
 use pythia_core::analyze::ClassTable;
 use pythia_core::event::{EventId, EventRegistry};
 use pythia_core::record::{RecordConfig, Recorder};
@@ -104,6 +108,156 @@ proptest! {
         }
         // End-to-end: identical diagnostics, byte for byte.
         prop_assert_eq!(verify(&from_grammar), verify(&from_events));
+    }
+}
+
+/// A vocabulary for the race detector: shared-object accesses interleaved
+/// with collectives (epoch boundaries) and non-synchronizing noise.
+fn race_vocabulary() -> (EventRegistry, Vec<EventId>) {
+    let mut reg = EventRegistry::new();
+    let mut ids = Vec::new();
+    for obj in [0x10i64, 0x20] {
+        ids.push(reg.intern("store", Some(obj)));
+        ids.push(reg.intern("load", Some(obj)));
+    }
+    ids.push(reg.intern("MPI_Barrier", Some(0)));
+    ids.push(reg.intern("MPI_Allreduce", Some(8)));
+    ids.push(reg.intern("MPI_Send", Some(1)));
+    ids.push(reg.intern("MPI_Wait", None));
+    ids.push(reg.intern("compute_region", None));
+    (reg, ids)
+}
+
+/// Strips grammar anchors from a diagnostic (event-stream summaries carry
+/// none); everything else — severity, message, thread, event index — must
+/// survive the comparison untouched.
+fn unanchored(mut d: pythia_core::analyze::Diagnostic) -> pythia_core::analyze::Diagnostic {
+    d.rule = None;
+    d.pos = None;
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // ISSUE 9 proof obligation: race summaries (and the verdicts derived
+    // from them) computed on the compressed grammar equal those computed
+    // on the expanded stream, including under repetition exponents.
+    #[test]
+    fn compressed_race_verdicts_equal_expanded(
+        s0 in rank_stream(),
+        s1 in rank_stream(),
+        s2 in rank_stream(),
+    ) {
+        let (reg, ids) = race_vocabulary();
+        let classes = ClassTable::from_registry(&reg);
+        let streams: Vec<Vec<EventId>> = [s0, s1, s2]
+            .iter()
+            .map(|s| s.iter().map(|&i| ids[i % ids.len()]).collect())
+            .collect();
+
+        let mut from_grammar = Vec::new();
+        let mut from_events = Vec::new();
+        for events in &streams {
+            let t = grammar_of(events);
+            let sg = summary_from_grammar(&t.grammar, &classes);
+            let se = summary_from_events(events.iter().copied(), &classes);
+            // The lemma: both domains denote the same epoch sets —
+            // identical totals and identical (epoch, min index) members
+            // per object and access kind.
+            prop_assert_eq!(sg.collectives, se.collectives);
+            prop_assert_eq!(sg.events, se.events);
+            for (a, b) in [(&sg.reads, &se.reads), (&sg.writes, &se.writes)] {
+                let ka: Vec<_> = a.keys().collect();
+                let kb: Vec<_> = b.keys().collect();
+                prop_assert_eq!(ka, kb);
+                for (obj, set) in a {
+                    prop_assert_eq!(set.materialize(), b[obj].materialize(), "object {:#x}", obj);
+                }
+            }
+            from_grammar.push(sg);
+            from_events.push(se);
+        }
+        // End-to-end: identical diagnostics once grammar anchors (which
+        // the event domain cannot carry) are stripped.
+        let dg: Vec<_> = detect(&from_grammar).into_iter().map(unanchored).collect();
+        let de: Vec<_> = detect(&from_events).into_iter().map(unanchored).collect();
+        prop_assert_eq!(dg, de);
+    }
+
+    // ISSUE 9 proof obligation for the pattern engine: the per-rule
+    // transfer-function sweep reports exactly what a linear DFA scan of
+    // the expanded stream reports — count, first hit, and end state.
+    #[test]
+    fn compressed_match_results_equal_expanded(s in rank_stream()) {
+        const QUERIES: &[&str] = &[
+            "isend ~4 wait",
+            "send (!wait){3}",
+            "send | recv",
+            "barrier . allreduce",
+            "isend(1) (!waitall){2} waitall",
+            "(send | isend){2,4} barrier",
+        ];
+        let (reg, ids) = vocabulary(3);
+        let events: Vec<EventId> = s.iter().map(|&i| ids[i % ids.len()]).collect();
+        let t = grammar_of(&events);
+        for q in QUERIES {
+            let dfa = Dfa::compile(&parse(q).unwrap(), &reg).unwrap();
+            let compressed = match_grammar(&t.grammar, &dfa);
+            let expanded = dfa.match_events(events.iter().copied());
+            prop_assert_eq!(compressed, expanded, "query {:?}", q);
+        }
+    }
+
+    // Exact divergence localization: the binary search over prefix hashes
+    // agrees with a naive first-difference scan of the expanded collective
+    // sequences, and the reported event index is the real position of
+    // that collective on the reference rank.
+    #[test]
+    fn divergence_point_equals_naive_scan(s0 in rank_stream(), s1 in rank_stream()) {
+        let (reg, ids) = vocabulary(2);
+        let classes = ClassTable::from_registry(&reg);
+        let streams: Vec<Vec<EventId>> = [s0, s1]
+            .iter()
+            .map(|s| s.iter().map(|&i| ids[i % ids.len()]).collect())
+            .collect();
+        // (token, event index) of every collective, per rank.
+        let cols: Vec<Vec<(u64, u64)>> = streams
+            .iter()
+            .map(|events| {
+                events
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, &e)| match classes.class(e) {
+                        EventClass::Collective { token } => Some((token, i as u64)),
+                        _ => None,
+                    })
+                    .collect()
+            })
+            .collect();
+        let minlen = cols[0].len().min(cols[1].len());
+        let first_diff = (0..minlen).find(|&i| cols[0][i].0 != cols[1][i].0);
+        let expect = match first_diff {
+            Some(k) => Some(k as u64),
+            None if cols[0].len() != cols[1].len() => Some(minlen as u64),
+            None => None,
+        };
+
+        let g0 = grammar_of(&streams[0]).grammar;
+        let g1 = grammar_of(&streams[1]).grammar;
+        let got = collective_divergence_point(&g0, &g1, &classes);
+        prop_assert_eq!(got.map(|(k, _)| k), expect);
+        if let Some((k, index)) = got {
+            // The index anchors the divergent ordinal on rank 0 (the
+            // reference side passed second), clamped to its last
+            // collective when rank 0 is the shorter sequence.
+            let want = if (k as usize) < cols[1].len() {
+                Some(cols[1][k as usize].1)
+            } else {
+                cols[1].last().map(|&(_, i)| i)
+            };
+            prop_assert_eq!(index, want);
+        }
     }
 }
 
