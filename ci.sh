@@ -120,6 +120,101 @@ target/release/pythia-analyze recover --out "$CRASH/recovered.pythia" "$CRASH/ru
 target/release/pythia-analyze --deny errors "$CRASH/recovered.pythia" >/dev/null
 rm -rf "$CRASH"
 
+# Elastic stage: the Communicator backends and rank-level fault
+# tolerance. The bench gate above already checks the communicator rows
+# (threads vs socket ns/event) and the fault-free elastic counters
+# against the committed baseline; this stage drives the failure paths.
+EREC=target/release/elastic_record
+ELASTIC=$(mktemp -d)
+
+# (1) Socket smoke: an 8-rank world as 2 worker processes x 4 ranks
+# each over the hub; a clean run must detect no failures and assemble
+# a trace carrying every rank.
+"$EREC" hub "$ELASTIC/smoke.sock" 8 >"$ELASTIC/smoke-hub.log" 2>&1 &
+EHUB_PID=$!
+n=0
+while [ ! -S "$ELASTIC/smoke.sock" ]; do
+    n=$((n + 1))
+    [ "$n" -lt 200 ] || { echo "ci: elastic hub never bound its socket"; exit 1; }
+    sleep 0.05
+done
+"$EREC" worker "$ELASTIC/smoke.sock" "$ELASTIC/smoke.pythia" 0 8 5000 0 4 >/dev/null &
+EW0_PID=$!
+"$EREC" worker "$ELASTIC/smoke.sock" "$ELASTIC/smoke.pythia" 4 8 5000 0 4 >/dev/null &
+EW1_PID=$!
+wait "$EW0_PID"
+wait "$EW1_PID"
+wait "$EHUB_PID"
+grep -q "failures=0 replaced=0" "$ELASTIC/smoke-hub.log" \
+    || { echo "ci: socket smoke reported rank failures on a clean run"; exit 1; }
+"$EREC" assemble "$ELASTIC/smoke.pythia" | grep -q "assembled ranks=8 events=40008" \
+    || { echo "ci: socket smoke assembled a short trace"; exit 1; }
+
+# (2) Rank-chaos sweep on the elastic threads backend: each injected
+# fault kind must end with no hung survivors (the timeout catches a
+# wedged world), exactly one replacement rank resumed from its journal,
+# and a finalized trace byte-identical to the fault-free run.
+"$EREC" threads "$ELASTIC/free.pythia" 3 20000 >/dev/null 2>&1
+for kind in rank-panic rank-hang rank-disconnect; do
+    PYTHIA_CHAOS="$kind=40,rank-fault-rank=1" PYTHIA_RANK_TIMEOUT_MS=500 \
+        timeout 120 "$EREC" threads "$ELASTIC/$kind.pythia" 3 20000 \
+        >"$ELASTIC/$kind.log" 2>/dev/null \
+        || { echo "ci: elastic world wedged or died under $kind"; exit 1; }
+    grep -q "replaced=1" "$ELASTIC/$kind.log" \
+        || { echo "ci: no replacement rank admitted under $kind"; exit 1; }
+    cmp -s "$ELASTIC/free.pythia" "$ELASTIC/$kind.pythia" \
+        || { echo "ci: trace recovered under $kind differs from the fault-free run"; exit 1; }
+done
+
+# (3) Kill -9 rank-crash recovery over the socket backend: SIGKILL one
+# rank's worker process mid-record, admit a replacement incarnation
+# that salvages the dead rank's journal, and require the assembled
+# trace byte-identical to a fault-free multi-process run.
+"$EREC" hub "$ELASTIC/clean.sock" 3 >"$ELASTIC/clean-hub.log" 2>&1 &
+EHUB_PID=$!
+n=0
+while [ ! -S "$ELASTIC/clean.sock" ]; do
+    n=$((n + 1))
+    [ "$n" -lt 200 ] || { echo "ci: elastic hub never bound its socket"; exit 1; }
+    sleep 0.05
+done
+for r in 0 1 2; do
+    "$EREC" worker "$ELASTIC/clean.sock" "$ELASTIC/clean.pythia" "$r" 3 20000 >/dev/null &
+done
+wait "$EHUB_PID"
+"$EREC" assemble "$ELASTIC/clean.pythia" >/dev/null
+"$EREC" hub "$ELASTIC/crash.sock" 3 >"$ELASTIC/crash-hub.log" 2>&1 &
+EHUB_PID=$!
+n=0
+while [ ! -S "$ELASTIC/crash.sock" ]; do
+    n=$((n + 1))
+    [ "$n" -lt 200 ] || { echo "ci: elastic hub never bound its socket"; exit 1; }
+    sleep 0.05
+done
+"$EREC" worker "$ELASTIC/crash.sock" "$ELASTIC/crash.pythia" 0 3 20000 >/dev/null &
+"$EREC" worker "$ELASTIC/crash.sock" "$ELASTIC/crash.pythia" 2 3 20000 >/dev/null &
+"$EREC" worker "$ELASTIC/crash.sock" "$ELASTIC/crash.pythia" 1 3 20000 >"$ELASTIC/victim.log" &
+VICTIM_PID=$!
+n=0
+until grep -q "events=512" "$ELASTIC/victim.log"; do
+    n=$((n + 1))
+    [ "$n" -lt 400 ] || { echo "ci: victim rank never reached the kill point"; exit 1; }
+    sleep 0.02
+done
+kill -9 "$VICTIM_PID" 2>/dev/null || true
+wait "$VICTIM_PID" 2>/dev/null || true
+"$EREC" worker "$ELASTIC/crash.sock" "$ELASTIC/crash.pythia" 1 3 20000 1 \
+    >"$ELASTIC/replacement.log"
+grep -q "replaced=1" "$ELASTIC/replacement.log" \
+    || { echo "ci: replacement rank did not resume from the journal"; exit 1; }
+wait "$EHUB_PID"
+grep -q "failures=1 replaced=1" "$ELASTIC/crash-hub.log" \
+    || { echo "ci: hub missed the killed rank or its replacement"; exit 1; }
+"$EREC" assemble "$ELASTIC/crash.pythia" >/dev/null
+cmp -s "$ELASTIC/clean.pythia" "$ELASTIC/crash.pythia" \
+    || { echo "ci: trace recovered after kill -9 differs from the fault-free run"; exit 1; }
+rm -rf "$ELASTIC"
+
 # Optional sanitize pass (PYTHIA_CI_SANITIZE=1): core tests under Miri
 # where the toolchain has it, then `pythia-analyze --deny warnings` (all
 # passes, plus the race and match subcommands) over the chaos suite's

@@ -64,6 +64,8 @@ use pythia_core::record::{RecordConfig, Recorder};
 use pythia_core::resilience::{FaultPlan, HardenedOracle, ResilienceConfig};
 use pythia_core::trace::TraceData;
 use pythia_core::util::FxHashMap;
+use pythia_minimpi::{Hub, ReduceOp, SocketComm, World};
+use pythia_runtime_mpi::{ElasticStats, MpiMode, PythiaComm};
 use pythia_serve::{Request, Response, ServeConfig, Server, SessionId, Tenants};
 
 /// A BT-like regular trace: setup, a long nested loop, teardown (same shape
@@ -482,6 +484,84 @@ fn main() {
     pythia_core::persist::remove_sidecars(&trace_path);
     std::fs::remove_dir_all(&tmp).ok();
 
+    // Communicator backends (elastic worlds): the recording facade's
+    // per-event cost over the in-process threads backend vs the socket
+    // backend (the transport that hosts real multi-process rank-crash
+    // recovery) — the same `PythiaComm` world shape on both, so the row
+    // pair prices exactly what the transport choice costs. Each rank of
+    // a 4-rank world records `comm_ops` allreduces in record mode;
+    // ns/event is wall clock over one rank's event count (ranks run
+    // concurrently). The runs double as the fault-free elastic audit:
+    // every rank's `ElasticStats` and the hub's failure counters must
+    // come back zero — nonzero means the failure detector fired or a
+    // replacement rank was admitted while being measured.
+    let comm_ranks = 4usize;
+    let comm_ops = 2_000u64;
+    let comm_mode = MpiMode::Record { timestamps: false };
+    let threads_registry = PythiaComm::registry_for(&comm_mode);
+    let t0 = Instant::now();
+    let comm_reports = {
+        let mode = &comm_mode;
+        let registry = &threads_registry;
+        World::run(comm_ranks, move |comm| {
+            let pc = PythiaComm::wrap(comm, mode, Arc::clone(registry));
+            for _ in 0..comm_ops {
+                std::hint::black_box(pc.allreduce(&[1i64], ReduceOp::Sum));
+            }
+            pc.finish().expect("threads rank report")
+        })
+    };
+    let threads_comm_ns = t0.elapsed().as_nanos() as f64 / comm_ops as f64;
+
+    let comm_dir = std::env::temp_dir().join(format!("pythia-bench-comm-{}", std::process::id()));
+    std::fs::create_dir_all(&comm_dir).expect("bench tmp dir");
+    let sock_path = comm_dir.join("world.sock");
+    let hub = {
+        let path = sock_path.clone();
+        std::thread::spawn(move || Hub::serve(&path, comm_ranks, false).expect("bench hub"))
+    };
+    while !sock_path.exists() {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    let socket_registry = PythiaComm::registry_for(&comm_mode);
+    let t0 = Instant::now();
+    let socket_reports: Vec<_> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..comm_ranks)
+            .map(|rank| {
+                let path = &sock_path;
+                let mode = &comm_mode;
+                let registry = &socket_registry;
+                s.spawn(move || {
+                    let comm =
+                        SocketComm::connect(path, rank, comm_ranks, 0).expect("connect to hub");
+                    let pc = PythiaComm::wrap(comm, mode, Arc::clone(registry));
+                    for _ in 0..comm_ops {
+                        std::hint::black_box(pc.allreduce(&[1i64], ReduceOp::Sum));
+                    }
+                    let (report, comm) = pc.finish_into().expect("socket rank report");
+                    comm.bye().expect("clean goodbye");
+                    report
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("socket rank"))
+            .collect()
+    });
+    let socket_comm_ns = t0.elapsed().as_nanos() as f64 / comm_ops as f64;
+    let hub_stats = hub.join().expect("bench hub thread");
+    std::fs::remove_dir_all(&comm_dir).ok();
+    let mut elastic_totals = ElasticStats::default();
+    for r in comm_reports.iter().chain(&socket_reports) {
+        elastic_totals.rank_failures_detected += r.elastic.rank_failures_detected;
+        elastic_totals.ranks_replaced += r.elastic.ranks_replaced;
+        elastic_totals.remap_validations += r.elastic.remap_validations;
+    }
+    let elastic_clean = elastic_totals == ElasticStats::default()
+        && hub_stats.failures_detected == 0
+        && hub_stats.ranks_replaced == 0;
+
     // Multi-thread contention: the scaling curve of the contention-free
     // hot path. Each thread owns its complete per-thread state (a
     // Predictor replaying the reference on the observe side; a durable
@@ -836,6 +916,25 @@ fn main() {
         "durable_record_ns_per_event": durable_record_ns,
         "journal_overhead_pct": (durable_record_ns / plain_record_ns - 1.0) * 100.0,
     });
+    let communicator_rows = vec![
+        serde_json::json!({ "backend": "threads", "allreduce_ns_per_event": threads_comm_ns }),
+        serde_json::json!({ "backend": "socket", "allreduce_ns_per_event": socket_comm_ns }),
+    ];
+    // Fault-free elastic audit: all five must be zero (gated under
+    // --check-baseline).
+    let elastic_counters = serde_json::json!({
+        "rank_failures_detected": elastic_totals.rank_failures_detected,
+        "ranks_replaced": elastic_totals.ranks_replaced,
+        "remap_validations": elastic_totals.remap_validations,
+        "hub_failures_detected": hub_stats.failures_detected,
+        "hub_ranks_replaced": hub_stats.ranks_replaced,
+    });
+    let communicator_json = serde_json::json!({
+        "ranks": comm_ranks,
+        "ops_per_rank": comm_ops,
+        "rows": communicator_rows,
+        "elastic_counters": elastic_counters,
+    });
     let doc = serde_json::json!({
         "bench": "oracle_hot_path",
         "iters": iters,
@@ -847,6 +946,7 @@ fn main() {
         "predict": predict_json,
         "resilience": resilience_json,
         "persist": persist_json,
+        "communicator": communicator_json,
         "contention": serde_json::json!({
             "cores": cores,
             "events_per_thread_observe": contend_observe_events,
@@ -904,6 +1004,26 @@ fn main() {
                 .and_then(|p| p.get("durable_record_ns_per_event"))
                 .and_then(|v| v.as_f64()),
         );
+        // Communicator rows: the facade's per-allreduce cost on each
+        // backend, against the committed baseline.
+        let comm_base = |i: usize| {
+            base.get("communicator")
+                .and_then(|c| c.get("rows"))
+                .and_then(|r| r.as_array())
+                .and_then(|a| a.get(i))
+                .and_then(|r| r.get("allreduce_ns_per_event"))
+                .and_then(|v| v.as_f64())
+        };
+        gate(
+            "communicator.rows[0].allreduce_ns_per_event (threads)",
+            threads_comm_ns,
+            comm_base(0),
+        );
+        gate(
+            "communicator.rows[1].allreduce_ns_per_event (socket)",
+            socket_comm_ns,
+            comm_base(1),
+        );
         // The serve gate compares the first worker-count row (the least
         // scheduler-sensitive one) by its amortized per-event cost.
         if let Some(now) = serve_gate_ns {
@@ -938,6 +1058,20 @@ fn main() {
                      (floor {floor:.0}x) — O(|grammar|) asymptotics lost?"
                 ));
             }
+        }
+        // Elastic counters must be zero in a fault-free bench run: a
+        // nonzero value means the rank-failure detector fired (or a
+        // replacement rank was admitted) while being measured.
+        eprintln!(
+            "baseline communicator.elastic_counters: {}",
+            if elastic_clean { "all zero" } else { "NONZERO" }
+        );
+        if !elastic_clean {
+            failures.push(format!(
+                "fault-free run reported nonzero elastic counters: {elastic_totals:?}, \
+                 hub failures={} replaced={}",
+                hub_stats.failures_detected, hub_stats.ranks_replaced
+            ));
         }
         if !failures.is_empty() {
             eprintln!("perf regression vs {base_path}:");

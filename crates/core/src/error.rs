@@ -38,6 +38,13 @@ pub enum Error {
     /// budget, or the resilience layer has quarantined it. The result that
     /// would have been returned is withheld; the host default applies.
     Degraded(String),
+    /// A rank of the communication world died (panic, hang past the
+    /// heartbeat timeout, or disconnect) and was not replaced. Survivors
+    /// abort their blocked operations with this instead of deadlocking.
+    RankFailed {
+        /// World rank of the first failed peer.
+        rank: usize,
+    },
 }
 
 impl fmt::Display for Error {
@@ -57,6 +64,7 @@ impl fmt::Display for Error {
             Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             Error::OracleUnavailable(msg) => write!(f, "oracle unavailable: {msg}"),
             Error::Degraded(msg) => write!(f, "oracle degraded: {msg}"),
+            Error::RankFailed { rank } => write!(f, "rank {rank} failed"),
         }
     }
 }
@@ -96,6 +104,8 @@ mod tests {
         assert!(e.to_string().contains("rank 3"));
         let e = Error::Degraded("deadline exceeded".into());
         assert!(e.to_string().contains("deadline"));
+        let e = Error::RankFailed { rank: 5 };
+        assert!(e.to_string().contains("rank 5"));
     }
 
     #[test]

@@ -132,7 +132,7 @@ pub struct Loc {
 /// Rule slots may be vacant (`None`) while a [`builder::GrammarBuilder`] is
 /// mutating the grammar; [`Grammar::compact`] renumbers rules densely for
 /// serialization.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Grammar {
     pub(crate) rules: Vec<Option<Rule>>,
     pub(crate) root: RuleId,

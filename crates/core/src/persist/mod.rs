@@ -41,7 +41,7 @@ use crate::grammar::Grammar;
 use crate::resilience::FaultPlan;
 
 pub use io::{atomic_write, atomic_write_with, IoFaultInjector};
-pub use recover::{RankRecovery, RecoverReport};
+pub use recover::{salvage_rank_events, RankRecovery, RankSalvage, RecoverReport};
 pub use session_log::{read_event_journal, EventJournal, EventJournalContents};
 
 pub(crate) use recover::recover_trace;

@@ -106,9 +106,147 @@ impl fmt::Display for RecoverReport {
 /// A registry fragment salvaged from a checkpoint snapshot or a journal
 /// delta frame: descriptors `first..first + descs.len()` of the
 /// append-only shared registry.
-struct RegistryRange {
-    first: usize,
-    descs: Vec<(String, Option<i64>)>,
+pub(crate) struct RegistryRange {
+    pub(crate) first: usize,
+    pub(crate) descs: Vec<(String, Option<i64>)>,
+}
+
+/// Everything salvageable for one rank: the recovered `(event,
+/// timestamp)` stream plus bookkeeping. Returned by
+/// [`salvage_rank_events`] — the building block a *replacement* rank
+/// uses to rebuild its predictor state after the original rank died
+/// (elastic worlds), and the building block [`recover_trace`] composes
+/// across all ranks after a whole-process crash.
+pub struct RankSalvage {
+    /// The recovered event stream in submission order (timestamp 0 when
+    /// the recording carried no timestamps).
+    pub events: Vec<(crate::event::EventId, u64)>,
+    /// Whether the recording carried timestamps.
+    pub timestamps: bool,
+    /// Recovery bookkeeping (checkpoint/journal split, warnings).
+    pub detail: RankRecovery,
+    /// Registry fragments found in this rank's sidecars.
+    pub(crate) registry_ranges: Vec<RegistryRange>,
+}
+
+/// Salvages one rank's event stream from its durability sidecars
+/// (checkpoint + journal) without touching any other rank's files.
+///
+/// Errors only when *neither* sidecar exists for `rank`; a corrupt
+/// checkpoint or torn journal degrades to the salvageable prefix, with
+/// the anomaly described in `detail.warnings`.
+pub fn salvage_rank_events(path: &Path, rank: usize) -> Result<RankSalvage> {
+    let ckpt_path = super::checkpoint_path(path, rank);
+    let jpath = journal_path(path, rank);
+    if !ckpt_path.exists() && !jpath.exists() {
+        return Err(Error::Corrupt(format!(
+            "nothing to salvage for rank {rank} at {}: no journal or checkpoint sidecar",
+            path.display()
+        )));
+    }
+    let mut detail = RankRecovery {
+        rank,
+        checkpoint_events: 0,
+        replayed_events: 0,
+        recovered_events: 0,
+        torn_tail_bytes: 0,
+        warnings: Vec::new(),
+    };
+    let ckpt = if ckpt_path.exists() {
+        match checkpoint::read_checkpoint(&ckpt_path) {
+            Ok(c) => Some(c),
+            Err(e) => {
+                detail.warnings.push(format!(
+                    "checkpoint unreadable ({e}); replaying journal only"
+                ));
+                None
+            }
+        }
+    } else {
+        None
+    };
+    let contents = if jpath.exists() {
+        match journal::read_journal(&jpath) {
+            Ok(j) => j,
+            Err(e) => {
+                detail
+                    .warnings
+                    .push(format!("journal unreadable ({e}); using checkpoint only"));
+                journal::JournalContents::default()
+            }
+        }
+    } else {
+        journal::JournalContents::default()
+    };
+    detail.torn_tail_bytes = contents.torn_tail_bytes;
+    if ckpt.is_none() && contents.event_count() == 0 {
+        detail
+            .warnings
+            .push("no recoverable data (empty journal, no checkpoint)".into());
+    }
+
+    let mut registry_ranges = Vec::new();
+    let mut events: Vec<(crate::event::EventId, u64)> = Vec::new();
+    if let Some(c) = &ckpt {
+        detail.checkpoint_events = c.event_count;
+        registry_ranges.push(RegistryRange {
+            first: 0,
+            descs: c
+                .registry
+                .iter()
+                .map(|(_, d)| (d.name.clone(), d.payload))
+                .collect(),
+        });
+        let prefix = c.grammar.unfold();
+        if prefix.len() as u64 != c.event_count {
+            detail.warnings.push(format!(
+                "checkpoint grammar unfolds to {} events, header says {}",
+                prefix.len(),
+                c.event_count
+            ));
+        }
+        events.extend(
+            prefix
+                .iter()
+                .enumerate()
+                .map(|(i, &e)| (e, c.timestamps_ns.get(i).copied().unwrap_or(0))),
+        );
+    }
+    for f in &contents.registry_frames {
+        registry_ranges.push(RegistryRange {
+            first: f.first,
+            descs: f.descs.clone(),
+        });
+    }
+    for frame in &contents.event_frames {
+        let count = events.len() as u64;
+        let frame_end = frame.first + frame.events.len() as u64;
+        if frame_end <= count {
+            continue; // fully covered by the checkpoint
+        }
+        if frame.first > count {
+            detail.warnings.push(format!(
+                "journal gap: frame starts at event {} but only {} events known; \
+                 {} journaled events unrecoverable",
+                frame.first,
+                count,
+                frame_end - frame.first
+            ));
+            break;
+        }
+        let skip = (count - frame.first) as usize;
+        events.extend_from_slice(&frame.events[skip..]);
+        detail.replayed_events += (frame.events.len() - skip) as u64;
+    }
+    detail.recovered_events = events.len() as u64;
+    let timestamps =
+        contents.timestamps || ckpt.as_ref().is_some_and(|c| !c.timestamps_ns.is_empty());
+    Ok(RankSalvage {
+        events,
+        timestamps,
+        detail,
+        registry_ranges,
+    })
 }
 
 /// Recovers the trace at `path` from its durability sidecars (see
@@ -146,73 +284,13 @@ pub(crate) fn recover_trace(path: &Path) -> Result<(TraceData, RecoverReport)> {
 
     let mut report = RecoverReport::default();
     let mut registry_ranges: Vec<RegistryRange> = Vec::new();
-    let mut per_rank: Vec<(
-        RankRecovery,
-        Option<checkpoint::Checkpoint>,
-        journal::JournalContents,
-    )> = Vec::new();
+    let mut per_rank: Vec<RankSalvage> = Vec::new();
 
     for &rank in &ranks {
-        let mut entry = RankRecovery {
-            rank,
-            checkpoint_events: 0,
-            replayed_events: 0,
-            recovered_events: 0,
-            torn_tail_bytes: 0,
-            warnings: Vec::new(),
-        };
-        let ckpt_path = super::checkpoint_path(path, rank);
-        let ckpt = if ckpt_path.exists() {
-            match checkpoint::read_checkpoint(&ckpt_path) {
-                Ok(c) => Some(c),
-                Err(e) => {
-                    entry.warnings.push(format!(
-                        "checkpoint unreadable ({e}); replaying journal only"
-                    ));
-                    None
-                }
-            }
-        } else {
-            None
-        };
-        let jpath = journal_path(path, rank);
-        let contents = if jpath.exists() {
-            match journal::read_journal(&jpath) {
-                Ok(j) => j,
-                Err(e) => {
-                    entry
-                        .warnings
-                        .push(format!("journal unreadable ({e}); using checkpoint only"));
-                    journal::JournalContents::default()
-                }
-            }
-        } else {
-            journal::JournalContents::default()
-        };
-        entry.torn_tail_bytes = contents.torn_tail_bytes;
-        if ckpt.is_none() && contents.event_count() == 0 {
-            entry
-                .warnings
-                .push("no recoverable data (empty journal, no checkpoint)".into());
-        }
-        if let Some(c) = &ckpt {
-            entry.checkpoint_events = c.event_count;
-            registry_ranges.push(RegistryRange {
-                first: 0,
-                descs: c
-                    .registry
-                    .iter()
-                    .map(|(_, d)| (d.name.clone(), d.payload))
-                    .collect(),
-            });
-        }
-        for f in &contents.registry_frames {
-            registry_ranges.push(RegistryRange {
-                first: f.first,
-                descs: f.descs.clone(),
-            });
-        }
-        per_rank.push((entry, ckpt, contents));
+        // Discovery guarantees at least one sidecar exists per rank.
+        let mut salvage = salvage_rank_events(path, rank)?;
+        registry_ranges.append(&mut salvage.registry_ranges);
+        per_rank.push(salvage);
     }
 
     // Rebuild the shared registry from all salvaged prefix-consistent
@@ -234,60 +312,23 @@ pub(crate) fn recover_trace(path: &Path) -> Result<(TraceData, RecoverReport)> {
         }
     }
 
-    // Replay each rank.
+    // Replay each rank: Sequitur is deterministic, so feeding the
+    // salvaged stream through a fresh recorder reproduces the exact
+    // grammar of the journaled prefix.
     let mut threads: Vec<ThreadTrace> = Vec::new();
     let mut max_event_id: Option<u32> = None;
-    for (mut entry, ckpt, contents) in per_rank {
-        let timestamps =
-            contents.timestamps || ckpt.as_ref().is_some_and(|c| !c.timestamps_ns.is_empty());
+    for salvage in per_rank {
         let mut rec = Recorder::new(RecordConfig {
-            timestamps,
+            timestamps: salvage.timestamps,
             validate: false,
         });
-        let mut count: u64 = 0;
-        if let Some(c) = &ckpt {
-            let prefix = c.grammar.unfold();
-            if prefix.len() as u64 != c.event_count {
-                entry.warnings.push(format!(
-                    "checkpoint grammar unfolds to {} events, header says {}",
-                    prefix.len(),
-                    c.event_count
-                ));
-            }
-            for (i, &e) in prefix.iter().enumerate() {
-                let ts = c.timestamps_ns.get(i).copied().unwrap_or(0);
-                rec.record_at(e, ts);
-                max_event_id = max_event_id.max(Some(e.0));
-            }
-            count = prefix.len() as u64;
+        for &(e, ts) in &salvage.events {
+            rec.record_at(e, ts);
+            max_event_id = max_event_id.max(Some(e.0));
         }
-        for frame in &contents.event_frames {
-            let frame_end = frame.first + frame.events.len() as u64;
-            if frame_end <= count {
-                continue; // fully covered by the checkpoint
-            }
-            if frame.first > count {
-                entry.warnings.push(format!(
-                    "journal gap: frame starts at event {} but only {} events known; \
-                     {} journaled events unrecoverable",
-                    frame.first,
-                    count,
-                    frame_end - frame.first
-                ));
-                break;
-            }
-            let skip = (count - frame.first) as usize;
-            for &(e, ts) in &frame.events[skip..] {
-                rec.record_at(e, ts);
-                max_event_id = max_event_id.max(Some(e.0));
-                count += 1;
-                entry.replayed_events += 1;
-            }
-        }
-        entry.recovered_events = count;
         // A plain (non-durable) recorder cannot fail to finish.
         threads.push(rec.finish_thread()?);
-        report.ranks.push(entry);
+        report.ranks.push(salvage.detail);
     }
 
     // Placeholder descriptors for events whose registry entries were

@@ -72,6 +72,19 @@ pub struct FaultPlan {
     /// `wire_delay_every` > 0; defaults to 1 ms when parsed from the
     /// environment without an explicit `wire-delay-us`).
     pub wire_delay: Duration,
+    /// Rank fault: panic the target rank once it submitted `n` events
+    /// (`None` = off). Applied by the recording facade at event-submit
+    /// time, so the fault lands at a deterministic point in the stream.
+    pub rank_panic_at: Option<u64>,
+    /// Rank fault: hang the target rank (park without heartbeats) once it
+    /// submitted `n` events (`None` = off).
+    pub rank_hang_at: Option<u64>,
+    /// Rank fault: disconnect the target rank from the world once it
+    /// submitted `n` events (`None` = off).
+    pub rank_disconnect_at: Option<u64>,
+    /// Which world rank the rank faults target (default 1, so a
+    /// single-key plan hits a non-root rank).
+    pub rank_fault_rank: usize,
 }
 
 impl FaultPlan {
@@ -91,7 +104,8 @@ impl FaultPlan {
     /// `panic-observe-after=N`, `slow-predict-us=N`, `torn-write=N`,
     /// `short-write=N`, `rename-fail=N`, `wire-truncate=N`,
     /// `wire-corrupt-len=N`, `wire-disconnect=N`, `wire-delay=N`,
-    /// `wire-delay-us=N`. Unknown or malformed
+    /// `wire-delay-us=N`, `rank-panic=N`, `rank-hang=N`,
+    /// `rank-disconnect=N`, `rank-fault-rank=R`. Unknown or malformed
     /// entries are ignored — a typo in a chaos knob must not take down the
     /// host. Returns `None` when the variable is unset or empty.
     pub fn from_env() -> Option<Self> {
@@ -106,6 +120,7 @@ impl FaultPlan {
     /// [`FaultPlan::from_env`]).
     pub fn parse(raw: &str) -> Self {
         let mut plan = FaultPlan::none();
+        let mut explicit_rank_target = false;
         for item in raw.split(',') {
             let item = item.trim();
             let (key, value) = match item.split_once('=') {
@@ -130,13 +145,33 @@ impl FaultPlan {
                 ("wire-disconnect", Some(n)) => plan.wire_disconnect_every = n,
                 ("wire-delay", Some(n)) => plan.wire_delay_every = n,
                 ("wire-delay-us", Some(n)) => plan.wire_delay = Duration::from_micros(n),
+                ("rank-panic", Some(n)) => plan.rank_panic_at = Some(n),
+                ("rank-hang", Some(n)) => plan.rank_hang_at = Some(n),
+                ("rank-disconnect", Some(n)) => plan.rank_disconnect_at = Some(n),
+                ("rank-fault-rank", Some(n)) => {
+                    plan.rank_fault_rank = n as usize;
+                    explicit_rank_target = true;
+                }
                 _ => {}
             }
         }
         if plan.wire_delay_every > 0 && plan.wire_delay.is_zero() {
             plan.wire_delay = Duration::from_millis(1);
         }
+        // A bare rank-fault key targets rank 1 so the default victim is a
+        // non-root rank (rank 0 usually assembles the final trace).
+        if plan.has_rank_faults() && !explicit_rank_target {
+            plan.rank_fault_rank = 1;
+        }
         plan
+    }
+
+    /// Whether any rank-level fault is configured (the recording facade
+    /// consults this to decide whether to arm by-event injection).
+    pub fn has_rank_faults(&self) -> bool {
+        self.rank_panic_at.is_some()
+            || self.rank_hang_at.is_some()
+            || self.rank_disconnect_at.is_some()
     }
 
     /// Whether any wire-level fault is configured (transports consult this
@@ -453,6 +488,28 @@ mod tests {
         assert_eq!(plan.slow_predict, Some(Duration::from_micros(50)));
         assert_eq!(plan.duplicate_every, 0);
         assert!(plan.is_active());
+    }
+
+    #[test]
+    fn rank_faults_parse_with_default_target() {
+        let plan = FaultPlan::parse("rank-panic=40");
+        assert!(plan.has_rank_faults());
+        assert!(plan.is_active());
+        assert_eq!(plan.rank_panic_at, Some(40));
+        // Bare rank faults target rank 1, not the assembling rank 0.
+        assert_eq!(plan.rank_fault_rank, 1);
+        // Rank faults must not perturb the event channel.
+        assert!(FaultInjector::new(plan).is_identity());
+
+        let plan = FaultPlan::parse("rank-hang=7, rank-fault-rank=0");
+        assert_eq!(plan.rank_hang_at, Some(7));
+        assert_eq!(plan.rank_fault_rank, 0);
+
+        let plan = FaultPlan::parse("rank-disconnect=12, rank-fault-rank=3");
+        assert_eq!(plan.rank_disconnect_at, Some(12));
+        assert_eq!(plan.rank_fault_rank, 3);
+
+        assert!(!FaultPlan::parse("drop=3").has_rank_faults());
     }
 
     #[test]

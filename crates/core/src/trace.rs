@@ -284,6 +284,98 @@ impl TraceData {
         crate::persist::recover_trace(path.as_ref())
     }
 
+    // ------------------------------------------------------------------
+    // World resize
+    // ------------------------------------------------------------------
+
+    /// Remaps this trace's per-rank grammars onto a world of `new_size`
+    /// ranks (elastic resize: reuse a recorded reference execution after
+    /// the job was grown or shrunk).
+    ///
+    /// The sizes must divide (`new_size % R == 0` or `R % new_size == 0`
+    /// where `R` is the recorded world size). New rank `j` takes recorded
+    /// rank `j % R` as its source, and point-to-point peers are rewritten
+    /// *blockwise*:
+    ///
+    /// * **growing** (`new_size = m·R`): the new world is `m` independent
+    ///   copies of the recorded one — rank `j` lives in block `j / R`
+    ///   and its peers move to the same block, `peer' = (j/R)·R + peer`.
+    ///   Every matched send/recv pair of the original stays matched
+    ///   inside its block (a naive rank-offset lift would not survive
+    ///   this: a sender's `+d` and its receiver's `R−d` lift to
+    ///   inconsistent offsets in the larger ring);
+    /// * **shrinking** (`R = m·new_size`): ranks `0..new_size` keep
+    ///   their recorded streams and peers fold onto the survivors,
+    ///   `peer' = peer % new_size` — exact for rank-symmetric patterns
+    ///   (rings, stencils), and anything else is caught by the verifier.
+    ///
+    /// Wildcard receives (`MPI_ANY_SOURCE`, payload −1) and collective
+    /// payloads (roots, reduction ops — their token must stay identical
+    /// across ranks) are left untouched.
+    ///
+    /// The remapped trace is checked by the protocol verifier before
+    /// being returned: any error-level diagnostic (unmatched sends,
+    /// peer out of range, collective divergence) rejects the remap as
+    /// [`Error::InvariantViolation`]. Timing models are dropped — the
+    /// new world has no measured timings.
+    ///
+    /// A round trip `R → R' → R` reproduces the original per-rank
+    /// grammars exactly: the surviving ranks are block 0 of the grown
+    /// world, whose peers were never moved, and re-recording the
+    /// identical event stream through the deterministic reducer yields
+    /// the identical grammar.
+    pub fn remap_ranks(&self, new_size: usize) -> Result<TraceData> {
+        use crate::analyze::protocol::{profile_from_grammar, verify, ClassTable};
+        use crate::analyze::Severity;
+        use crate::record::{RecordConfig, Recorder};
+
+        let old_size = self.threads.len();
+        if old_size == 0 {
+            return Err(Error::InvalidConfig("cannot remap an empty trace".into()));
+        }
+        if new_size == 0
+            || (!new_size.is_multiple_of(old_size) && !old_size.is_multiple_of(new_size))
+        {
+            return Err(Error::InvalidConfig(format!(
+                "cannot remap {old_size} ranks onto {new_size}: sizes must divide"
+            )));
+        }
+        // EventIds stay stable: the registry is extended, never reordered,
+        // so an identity or round-trip remap reuses the original ids and
+        // reproduces byte-identical grammars.
+        let mut registry = self.registry.clone();
+        let mut threads = Vec::with_capacity(new_size);
+        for j in 0..new_size {
+            let r = j % old_size;
+            let events = self.threads[r].grammar.unfold();
+            let mut rec = Recorder::new(RecordConfig {
+                timestamps: false,
+                validate: false,
+            });
+            for &e in &events {
+                rec.record(remap_event(&mut registry, e, j, old_size, new_size));
+            }
+            threads.push(rec.finish_thread()?);
+        }
+        let out = TraceData::from_threads(threads, registry);
+        let classes = ClassTable::from_registry(out.registry());
+        let profiles: Vec<_> = out
+            .threads
+            .iter()
+            .map(|t| profile_from_grammar(&t.grammar, &classes))
+            .collect();
+        if let Some(d) = verify(&profiles)
+            .iter()
+            .find(|d| d.severity == Severity::Error)
+        {
+            return Err(Error::InvariantViolation(format!(
+                "remap {old_size} -> {new_size} fails protocol verification: {}",
+                d.message
+            )));
+        }
+        Ok(out)
+    }
+
     /// Runs the grammar linter over every thread and rejects the trace on
     /// the first error-level violation.
     fn lint_strict(&self) -> Result<()> {
@@ -359,6 +451,44 @@ impl TraceData {
     pub fn load_json_lenient(path: impl AsRef<Path>) -> Result<Self> {
         let json = std::fs::read_to_string(path)?;
         Self::from_json_lenient(&json)
+    }
+}
+
+/// Rewrites one event for [`TraceData::remap_ranks`]: point-to-point
+/// peers move by rank-relative offset; everything else keeps its id.
+fn remap_event(
+    registry: &mut EventRegistry,
+    e: crate::event::EventId,
+    j: usize,
+    old_size: usize,
+    new_size: usize,
+) -> crate::event::EventId {
+    use crate::analyze::protocol::{classify, EventClass};
+    let Some(desc) = registry.describe(e) else {
+        return e; // id outside the registry: nothing to rewrite
+    };
+    let (name, payload) = (desc.name.clone(), desc.payload);
+    let peer = match classify(&name, payload) {
+        EventClass::Send { dest, .. } | EventClass::SendRecv { dest } => dest,
+        EventClass::Recv { source, .. } => source,
+        _ => return e,
+    };
+    // Wildcards (−1) and out-of-range peers (the verifier's business,
+    // not ours) pass through unchanged.
+    if peer < 0 || peer >= old_size as i64 {
+        return e;
+    }
+    let mapped = if new_size >= old_size {
+        // Grow: the peer moves into this rank's block.
+        ((j / old_size) * old_size + peer as usize) as i64
+    } else {
+        // Shrink: the peer folds onto the surviving ranks.
+        (peer as usize % new_size) as i64
+    };
+    if Some(mapped) == payload {
+        e
+    } else {
+        registry.intern(&name, Some(mapped))
     }
 }
 
@@ -551,6 +681,97 @@ mod tests {
     fn missing_thread_lookup_fails() {
         let trace = sample_trace();
         assert!(matches!(trace.thread(5), Err(Error::NoSuchThread(5))));
+    }
+
+    /// A ring world: each rank sends to its successor, receives from its
+    /// predecessor, then synchronizes — the canonical remappable topology.
+    fn ring_trace(size: usize) -> TraceData {
+        let mut registry = EventRegistry::new();
+        let mut threads = Vec::new();
+        for r in 0..size {
+            let next = ((r + 1) % size) as i64;
+            let prev = ((r + size - 1) % size) as i64;
+            let send = registry.intern("MPI_Send", Some(next));
+            let recv = registry.intern("MPI_Recv", Some(prev));
+            let barrier = registry.intern("MPI_Barrier", None);
+            let mut rec = Recorder::new(RecordConfig {
+                timestamps: false,
+                validate: false,
+            });
+            for _ in 0..10 {
+                rec.record(send);
+                rec.record(recv);
+                rec.record(barrier);
+            }
+            threads.push(rec.finish_thread().unwrap());
+        }
+        TraceData::from_threads(threads, registry)
+    }
+
+    #[test]
+    fn remap_grow_replicates_ring_blockwise() {
+        let t = ring_trace(4);
+        let m = t.remap_ranks(8).unwrap();
+        assert_eq!(m.thread_count(), 8);
+        for j in 0..8usize {
+            let (block, r) = (j / 4, j % 4);
+            let events = m.thread(j).unwrap().grammar.unfold();
+            assert_eq!(events.len() as u64, m.thread(j).unwrap().event_count);
+            let desc = m.registry().describe(events[0]).unwrap();
+            assert_eq!(desc.name, "MPI_Send");
+            // The successor within this rank's block.
+            assert_eq!(desc.payload, Some((block * 4 + (r + 1) % 4) as i64));
+            let desc = m.registry().describe(events[1]).unwrap();
+            assert_eq!(desc.name, "MPI_Recv");
+            assert_eq!(desc.payload, Some((block * 4 + (r + 3) % 4) as i64));
+        }
+    }
+
+    #[test]
+    fn remap_identity_is_exact() {
+        let t = ring_trace(3);
+        let m = t.remap_ranks(3).unwrap();
+        assert_eq!(m.registry().len(), t.registry().len());
+        for r in 0..3 {
+            assert_eq!(m.thread(r).unwrap().grammar, t.thread(r).unwrap().grammar);
+        }
+    }
+
+    #[test]
+    fn remap_round_trip_is_exact() {
+        let t = ring_trace(2);
+        let back = t.remap_ranks(4).unwrap().remap_ranks(2).unwrap();
+        assert_eq!(back.thread_count(), 2);
+        for r in 0..2 {
+            assert_eq!(
+                back.thread(r).unwrap().grammar,
+                t.thread(r).unwrap().grammar,
+                "rank {r} grammar must survive the round trip"
+            );
+            assert_eq!(
+                back.thread(r).unwrap().event_count,
+                t.thread(r).unwrap().event_count
+            );
+        }
+    }
+
+    #[test]
+    fn remap_shrink_passes_verifier() {
+        let t = ring_trace(4);
+        let m = t.remap_ranks(2).unwrap();
+        assert_eq!(m.thread_count(), 2);
+        // 4→2 folds the ring onto two ranks: each sends to the other.
+        let events = m.thread(0).unwrap().grammar.unfold();
+        let desc = m.registry().describe(events[0]).unwrap();
+        assert_eq!((desc.name.as_str(), desc.payload), ("MPI_Send", Some(1)));
+    }
+
+    #[test]
+    fn remap_rejects_indivisible_and_empty() {
+        let t = ring_trace(3);
+        assert!(matches!(t.remap_ranks(2), Err(Error::InvalidConfig(_))));
+        assert!(matches!(t.remap_ranks(0), Err(Error::InvalidConfig(_))));
+        assert!(t.remap_ranks(6).is_ok());
     }
 
     #[test]

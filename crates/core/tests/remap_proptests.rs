@@ -1,0 +1,170 @@
+//! Property-based tests of [`TraceData::remap_ranks`] (elastic world
+//! resize): for arbitrary *protocol-consistent* multi-rank sessions,
+//!
+//! * any divisible grow/shrink remap passes the protocol verifier (the
+//!   remap is rejected otherwise — that rejection path is exercised by
+//!   unit tests; here every generated world is valid by construction);
+//! * the round trip `R -> m*R -> R` reproduces every rank's grammar
+//!   **exactly** — remapping is lossless on the compressed
+//!   representation, not merely on the expanded streams.
+//!
+//! Worlds are generated from symmetric op sequences (pairwise
+//! exchanges at a random ring offset, collectives, local compute), the
+//! communication shapes for which blockwise resize is defined.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use pythia_core::analyze::protocol::{profile_from_grammar, verify};
+use pythia_core::analyze::{ClassTable, Severity};
+use pythia_core::event::{EventId, EventRegistry};
+use pythia_core::record::{RecordConfig, Recorder};
+use pythia_core::trace::TraceData;
+
+/// One symmetric step every rank of the world performs.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Each rank sends to `(rank + offset) % size` and receives from
+    /// `(rank - offset) % size` — matched by symmetry for any offset
+    /// (offset 0 is a matched self-exchange).
+    Pairwise(usize),
+    Barrier,
+    Allreduce,
+    Compute,
+}
+
+/// Op codes `0..size` are pairwise exchanges at that offset; the three
+/// codes above are the collective / compute steps.
+fn op(size: usize) -> impl Strategy<Value = Op> {
+    (0..size + 3).prop_map(move |code| {
+        if code < size {
+            Op::Pairwise(code)
+        } else {
+            match code - size {
+                0 => Op::Barrier,
+                1 => Op::Allreduce,
+                _ => Op::Compute,
+            }
+        }
+    })
+}
+
+/// A session: a prologue, a loop body repeated `reps` times (so grammars
+/// develop rules with repetition exponents), and an epilogue.
+fn session(size: usize) -> impl Strategy<Value = Vec<Op>> {
+    (
+        vec(op(size), 0..4),
+        vec(op(size), 1..6),
+        1usize..16,
+        vec(op(size), 0..4),
+    )
+        .prop_map(|(pro, body, reps, epi)| {
+            let mut ops = pro;
+            for _ in 0..reps {
+                ops.extend(&body);
+            }
+            ops.extend(&epi);
+            ops
+        })
+}
+
+/// Records the symmetric session into a `size`-rank trace.
+fn build_world(size: usize, ops: &[Op]) -> TraceData {
+    let mut reg = EventRegistry::new();
+    let send: Vec<EventId> = (0..size as i64)
+        .map(|p| reg.intern("MPI_Send", Some(p)))
+        .collect();
+    let recv: Vec<EventId> = (0..size as i64)
+        .map(|p| reg.intern("MPI_Recv", Some(p)))
+        .collect();
+    let barrier = reg.intern("MPI_Barrier", Some(0));
+    let allreduce = reg.intern("MPI_Allreduce", Some(8));
+    let compute = reg.intern("compute_region", None);
+
+    let mut recs: Vec<Recorder> = (0..size)
+        .map(|_| {
+            Recorder::new(RecordConfig {
+                timestamps: false,
+                validate: false,
+            })
+        })
+        .collect();
+    for &o in ops {
+        for (j, rec) in recs.iter_mut().enumerate() {
+            match o {
+                Op::Pairwise(d) => {
+                    rec.record(send[(j + d) % size]);
+                    rec.record(recv[(j + size - d) % size]);
+                }
+                Op::Barrier => rec.record(barrier),
+                Op::Allreduce => rec.record(allreduce),
+                Op::Compute => rec.record(compute),
+            }
+        }
+    }
+    let threads = recs
+        .into_iter()
+        .map(|r| r.finish_thread().unwrap())
+        .collect();
+    TraceData::from_threads(threads, reg)
+}
+
+/// No Error-severity protocol diagnostics anywhere in the trace.
+fn verifier_clean(trace: &TraceData) -> bool {
+    let classes = ClassTable::from_registry(trace.registry());
+    let profiles: Vec<_> = (0..trace.thread_count())
+        .map(|t| profile_from_grammar(&trace.thread(t).unwrap().grammar, &classes))
+        .collect();
+    verify(&profiles)
+        .iter()
+        .all(|d| d.severity != Severity::Error)
+}
+
+proptest! {
+    // 256 random sessions per property (ISSUE acceptance floor).
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn valid_remaps_pass_the_verifier(
+        ops in session(3),
+        factor in 2usize..4,
+    ) {
+        let trace = build_world(3, &ops);
+        prop_assert!(verifier_clean(&trace), "generator produced an invalid world");
+        // Grow: remap_ranks itself gates on the verifier, so Ok implies
+        // a clean protocol — assert both anyway.
+        let grown = trace.remap_ranks(3 * factor).unwrap();
+        prop_assert_eq!(grown.thread_count(), 3 * factor);
+        prop_assert!(verifier_clean(&grown));
+    }
+
+    #[test]
+    fn shrink_of_divisible_world_passes_the_verifier(
+        ops in session(4),
+    ) {
+        let trace = build_world(4, &ops);
+        let shrunk = trace.remap_ranks(2).unwrap();
+        prop_assert_eq!(shrunk.thread_count(), 2);
+        prop_assert!(verifier_clean(&shrunk));
+    }
+
+    #[test]
+    fn round_trip_preserves_grammars_exactly(
+        ops in session(2),
+        factor in 2usize..4,
+    ) {
+        let trace = build_world(2, &ops);
+        let back = trace
+            .remap_ranks(2 * factor)
+            .unwrap()
+            .remap_ranks(2)
+            .unwrap();
+        prop_assert_eq!(back.thread_count(), trace.thread_count());
+        for t in 0..trace.thread_count() {
+            let a = trace.thread(t).unwrap();
+            let b = back.thread(t).unwrap();
+            prop_assert_eq!(a.event_count, b.event_count);
+            prop_assert_eq!(&a.grammar, &b.grammar, "rank {} grammar changed", t);
+        }
+    }
+}

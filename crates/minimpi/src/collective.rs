@@ -11,12 +11,19 @@ use std::sync::Arc;
 use bytes::Bytes;
 use parking_lot::{Condvar, Mutex};
 
+use crate::failure::FailureState;
+
 /// Shared rendezvous state for one communicator.
 #[derive(Debug)]
 pub struct Board {
     size: usize,
     state: Mutex<State>,
     cv: Condvar,
+    /// The owning world's failure state (detached when standalone).
+    failure: Arc<FailureState>,
+    /// Participant-local rank → world rank (empty = identity), so the
+    /// failure bookkeeping always speaks world ranks.
+    members: Vec<usize>,
 }
 
 #[derive(Debug)]
@@ -29,8 +36,21 @@ struct State {
 }
 
 impl Board {
-    /// Creates a board for `size` participants.
+    /// Creates a standalone board for `size` participants (no failure
+    /// detection).
     pub fn new(size: usize) -> Self {
+        Self::with_failure(size, Arc::new(FailureState::detached()))
+    }
+
+    /// Creates a board wired to a world's failure state so blocked
+    /// participants abort (instead of hanging) once the world poisons.
+    pub fn with_failure(size: usize, failure: Arc<FailureState>) -> Self {
+        Self::with_members(size, Vec::new(), failure)
+    }
+
+    /// [`Board::with_failure`] for a sub-communicator whose local ranks
+    /// map to world ranks through `members`.
+    pub fn with_members(size: usize, members: Vec<usize>, failure: Arc<FailureState>) -> Self {
         assert!(size >= 1, "a communicator needs at least one member");
         Board {
             size,
@@ -42,12 +62,40 @@ impl Board {
                 snapshot: None,
             }),
             cv: Condvar::new(),
+            failure,
+            members,
         }
     }
 
     /// Number of participants.
     pub fn size(&self) -> usize {
         self.size
+    }
+
+    /// Wakes every blocked participant so it can re-check the world's
+    /// poison flag (called by the world supervisor after a rank failure).
+    pub fn wake_all(&self) {
+        self.cv.notify_all();
+    }
+
+    /// One iteration of a poison-aware blocking wait: aborts on poison,
+    /// waits (timed when heartbeat detection is armed), and runs the
+    /// stall scan on expiry. `rank` is participant-local; the failure
+    /// bookkeeping uses its world rank.
+    fn wait_step(&self, rank: usize, st: &mut parking_lot::MutexGuard<'_, State>) {
+        self.failure.abort_if_poisoned();
+        let world = self.members.get(rank).copied().unwrap_or(rank);
+        match self.failure.wait_budget() {
+            None => self.cv.wait(st),
+            Some(budget) => {
+                self.failure.begin_wait(world);
+                let timed_out = self.cv.wait_for(st, budget).timed_out();
+                self.failure.end_wait(world);
+                if timed_out {
+                    self.failure.suspect_stall(world);
+                }
+            }
+        }
     }
 
     /// Deposits `mine` as participant `rank`, blocks until every
@@ -58,6 +106,7 @@ impl Board {
     /// the same order — the standard MPI requirement for collectives.
     pub fn exchange(&self, rank: usize, mine: Vec<Bytes>) -> Arc<Vec<Vec<Bytes>>> {
         assert!(rank < self.size, "rank {rank} out of range");
+        self.failure.abort_if_poisoned();
         let mut st = self.state.lock();
         let my_gen = st.generation;
         st.slots[rank] = mine;
@@ -68,7 +117,7 @@ impl Board {
             self.cv.notify_all();
         } else {
             while !(st.generation == my_gen && st.snapshot.is_some()) {
-                self.cv.wait(&mut st);
+                self.wait_step(rank, &mut st);
             }
         }
         let snap = st.snapshot.clone().expect("snapshot published");
@@ -83,7 +132,7 @@ impl Board {
             self.cv.notify_all();
         } else {
             while st.generation == my_gen {
-                self.cv.wait(&mut st);
+                self.wait_step(rank, &mut st);
             }
         }
         snap

@@ -2,12 +2,15 @@
 
 use std::cell::Cell;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use crate::collective::Board;
-use crate::datatype::{from_bytes, reduce_vecs, to_bytes, MpiReduce, MpiType, ReduceOp};
+use crate::communicator::Communicator;
+use crate::datatype::{MpiReduce, MpiType, ReduceOp};
+use crate::failure::{CommError, FailureState, PoisonedWorld, RankFault};
 use crate::p2p::{Mailbox, Message, Status, Tag};
 use crate::request::Request;
 
@@ -21,6 +24,54 @@ type CommKey = (u64, u64, i64);
 struct WorldShared {
     mailboxes: Vec<Mailbox>,
     registry: Mutex<CommRegistry>,
+    failure: Arc<FailureState>,
+    /// The world communicator's shared state (board + identity mapping),
+    /// kept here so failure paths can wake its board too.
+    world_comm: Arc<CommShared>,
+}
+
+impl WorldShared {
+    fn new(size: usize) -> Arc<Self> {
+        let failure = Arc::new(FailureState::new(size));
+        let world_comm = Arc::new(CommShared {
+            id: 0,
+            board: Board::with_failure(size, Arc::clone(&failure)),
+            members: (0..size).collect(),
+        });
+        Arc::new(WorldShared {
+            mailboxes: (0..size)
+                .map(|r| Mailbox::for_rank(r, Arc::clone(&failure)))
+                .collect(),
+            registry: Mutex::new(CommRegistry {
+                next_id: 1,
+                comms: HashMap::new(),
+            }),
+            failure,
+            world_comm,
+        })
+    }
+
+    /// Wakes every blocking primitive in the world so it re-checks the
+    /// poison flag.
+    fn wake_world(&self) {
+        for mb in &self.mailboxes {
+            mb.wake_all();
+        }
+        self.world_comm.board.wake_all();
+        for c in self.registry.lock().comms.values() {
+            c.board.wake_all();
+        }
+    }
+
+    /// Marks `rank` failed and, unless the world is elastic, poisons it
+    /// and wakes all blocked survivors.
+    fn fail_rank(&self, rank: usize) {
+        self.failure.mark_failed(rank);
+        if !self.failure.is_elastic() {
+            self.failure.poison(rank);
+            self.wake_world();
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -38,60 +89,189 @@ struct CommShared {
     members: Vec<usize>,
 }
 
+/// Counters returned by [`World::run_elastic`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ElasticWorldStats {
+    /// Rank failures the supervisor (or a heartbeat scan) detected.
+    pub failures_detected: u64,
+    /// Replacement ranks admitted after a failure.
+    pub ranks_replaced: u64,
+}
+
 /// Entry point: launches `n` ranks as threads.
 pub struct World;
 
 impl World {
     /// Runs `f` on `size` ranks (one OS thread each) and returns the
-    /// per-rank results in rank order. Panics in any rank propagate.
+    /// per-rank results in rank order. Panics in any rank propagate —
+    /// and, since the world poisons on the first failure, blocked
+    /// survivors abort instead of hanging forever.
     pub fn run<R, F>(size: usize, f: F) -> Vec<R>
     where
         R: Send,
         F: Fn(Comm) -> R + Send + Sync,
     {
-        assert!(size >= 1, "world size must be at least 1");
-        let shared = Arc::new(WorldShared {
-            mailboxes: (0..size).map(|_| Mailbox::new()).collect(),
-            registry: Mutex::new(CommRegistry {
-                next_id: 1,
-                comms: HashMap::new(),
-            }),
-        });
-        let world_comm = Arc::new(CommShared {
-            id: 0,
-            board: Board::new(size),
-            members: (0..size).collect(),
-        });
-        std::thread::scope(|s| {
-            let handles: Vec<_> = (0..size)
-                .map(|rank| {
-                    let comm = Comm {
-                        world: Arc::clone(&shared),
-                        shared: Arc::clone(&world_comm),
-                        local_rank: rank,
-                        split_seq: Cell::new(0),
-                    };
-                    let f = &f;
-                    s.spawn(move || f(comm))
-                })
-                .collect();
-            handles
+        let (results, primary, _, _) = Self::run_supervised(size, false, 0, f);
+        if let Some((_, payload)) = primary {
+            resume_unwind(payload);
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("rank finished without result or failure"))
+            .collect()
+    }
+
+    /// Fault-aware variant of [`World::run`]: a rank failure yields
+    /// `Err(CommError::RankFailed)` (naming the first failed rank)
+    /// instead of propagating the panic. No survivor is left hanging.
+    pub fn run_result<R, F>(size: usize, f: F) -> Result<Vec<R>, CommError>
+    where
+        R: Send,
+        F: Fn(Comm) -> R + Send + Sync,
+    {
+        let (results, primary, failure, _) = Self::run_supervised(size, false, 0, f);
+        match primary {
+            None => Ok(results
                 .into_iter()
-                .map(|h| h.join().expect("rank thread panicked"))
-                .collect()
-        })
+                .map(|r| r.expect("rank finished without result or failure"))
+                .collect()),
+            Some((rank, _)) => Err(CommError::RankFailed {
+                rank: failure.first_failed().unwrap_or(rank),
+            }),
+        }
+    }
+
+    /// Elastic variant: a failed rank is *replaced* — the supervisor
+    /// respawns it with the next incarnation number (up to `size * 4`
+    /// respawns) while survivors keep blocking at the rendezvous until
+    /// the replacement catches up. The closure observes replacement via
+    /// [`Comm::incarnation`] (0 = first spawn) and is expected to resume
+    /// from its durable journal rather than re-issuing completed
+    /// communication. Exceeding the respawn budget fails the world.
+    pub fn run_elastic<R, F>(size: usize, f: F) -> Result<(Vec<R>, ElasticWorldStats), CommError>
+    where
+        R: Send,
+        F: Fn(Comm) -> R + Send + Sync,
+    {
+        let budget = size * 4;
+        let (results, primary, failure, respawned) = Self::run_supervised(size, true, budget, f);
+        let stats = ElasticWorldStats {
+            failures_detected: failure.detected(),
+            ranks_replaced: respawned as u64,
+        };
+        match primary {
+            None => Ok((
+                results
+                    .into_iter()
+                    .map(|r| r.expect("rank finished without result or failure"))
+                    .collect(),
+                stats,
+            )),
+            Some((rank, _)) => Err(CommError::RankFailed { rank }),
+        }
+    }
+
+    /// Shared supervisor: spawns one thread per rank, each reporting
+    /// `(rank, result)` over a channel. On a failure it either poisons
+    /// the world and wakes survivors (non-elastic) or respawns the rank
+    /// with a bumped incarnation (elastic, within `respawn_budget`).
+    #[allow(clippy::type_complexity)]
+    fn run_supervised<R, F>(
+        size: usize,
+        elastic: bool,
+        respawn_budget: usize,
+        f: F,
+    ) -> (
+        Vec<Option<R>>,
+        Option<(usize, Box<dyn std::any::Any + Send>)>,
+        Arc<FailureState>,
+        usize,
+    )
+    where
+        R: Send,
+        F: Fn(Comm) -> R + Send + Sync,
+    {
+        assert!(size >= 1, "world size must be at least 1");
+        let shared = WorldShared::new(size);
+        shared.failure.set_elastic(elastic);
+        let failure = Arc::clone(&shared.failure);
+        let mut results: Vec<Option<R>> = (0..size).map(|_| None).collect();
+        let mut primary: Option<(usize, Box<dyn std::any::Any + Send>)> = None;
+        let mut respawned = 0usize;
+
+        std::thread::scope(|s| {
+            let (tx, rx) = std::sync::mpsc::channel::<(usize, std::thread::Result<R>)>();
+            let spawn_rank = |rank: usize, incarnation: u64| {
+                let comm = Comm {
+                    world: Arc::clone(&shared),
+                    shared: Arc::clone(&shared.world_comm),
+                    local_rank: rank,
+                    split_seq: Cell::new(0),
+                    incarnation,
+                };
+                let tx = tx.clone();
+                let f = &f;
+                s.spawn(move || {
+                    let result = catch_unwind(AssertUnwindSafe(|| f(comm)));
+                    let _ = tx.send((rank, result));
+                });
+            };
+            for rank in 0..size {
+                spawn_rank(rank, 0);
+            }
+            let mut incarnations = vec![0u64; size];
+            let mut done = 0usize;
+            while done < size {
+                let (rank, result) = rx.recv().expect("rank thread vanished");
+                match result {
+                    Ok(r) => {
+                        results[rank] = Some(r);
+                        done += 1;
+                    }
+                    Err(payload) => {
+                        let induced_abort = payload
+                            .downcast_ref::<PoisonedWorld>()
+                            .is_some_and(|p| p.rank != rank);
+                        if elastic && !induced_abort {
+                            failure.mark_failed(rank);
+                            if respawned < respawn_budget {
+                                respawned += 1;
+                                failure.clear_failed(rank);
+                                incarnations[rank] += 1;
+                                spawn_rank(rank, incarnations[rank]);
+                                continue;
+                            }
+                        }
+                        if !induced_abort {
+                            shared.fail_rank(rank);
+                            if primary.is_none() {
+                                primary = Some((rank, payload));
+                            }
+                        }
+                        done += 1;
+                    }
+                }
+            }
+        });
+        (results, primary, failure, respawned)
     }
 }
 
 /// A communicator handle held by one rank (the `MPI_Comm` equivalent plus
 /// the calling rank's identity). Cloneable only through [`Comm::split`];
 /// each rank drives its own handle.
+///
+/// The full call surface (p2p, collectives, splitting) is provided by the
+/// backend-independent [`Communicator`] trait; the inherent methods below
+/// are thin delegators kept so existing call sites need no trait import.
 #[derive(Debug)]
 pub struct Comm {
     world: Arc<WorldShared>,
     shared: Arc<CommShared>,
     local_rank: usize,
     split_seq: Cell<u64>,
+    /// 0 on first spawn; bumped per elastic replacement of this rank.
+    incarnation: u64,
 }
 
 impl Comm {
@@ -115,35 +295,36 @@ impl Comm {
         self.shared.members[local]
     }
 
+    /// How many times this rank has been replaced (0 = first spawn); see
+    /// [`World::run_elastic`].
+    pub fn incarnation(&self) -> u64 {
+        self.incarnation
+    }
+
     fn mailbox(&self) -> &Mailbox {
         &self.world.mailboxes[self.shared.members[self.local_rank]]
     }
 
+    /// Stamps this rank's heartbeat (no-op unless detection is armed).
+    fn beat(&self) {
+        self.world
+            .failure
+            .beat(self.shared.members[self.local_rank]);
+    }
+
     // ------------------------------------------------------------------
-    // Point-to-point
+    // Point-to-point (delegators into the Communicator trait)
     // ------------------------------------------------------------------
 
     /// Blocking standard send (eager: buffers and returns immediately, as
     /// small-message MPI sends do).
     pub fn send<T: MpiType>(&self, buf: &[T], dest: usize, tag: Tag) {
-        let world_dest = self.shared.members[dest];
-        self.world.mailboxes[world_dest].deposit(Message {
-            src: self.local_rank,
-            tag,
-            comm_id: self.shared.id,
-            data: to_bytes(buf),
-        });
+        Communicator::send(self, buf, dest, tag)
     }
 
     /// Blocking receive matching `(src, tag)` (`None` = wildcard).
     pub fn recv<T: MpiType>(&self, src: Option<usize>, tag: Option<Tag>) -> (Vec<T>, Status) {
-        let msg = self.mailbox().take_matching(self.shared.id, src, tag);
-        let status = Status {
-            source: msg.src,
-            tag: msg.tag,
-            len: msg.data.len(),
-        };
-        (from_bytes(&msg.data), status)
+        Communicator::recv(self, src, tag)
     }
 
     /// Nonblocking receive if a matching message is already queued.
@@ -152,187 +333,100 @@ impl Comm {
         src: Option<usize>,
         tag: Option<Tag>,
     ) -> Option<(Vec<T>, Status)> {
-        let msg = self.mailbox().try_take_matching(self.shared.id, src, tag)?;
-        let status = Status {
-            source: msg.src,
-            tag: msg.tag,
-            len: msg.data.len(),
-        };
-        Some((from_bytes(&msg.data), status))
+        Communicator::try_recv(self, src, tag)
     }
 
     /// Whether a matching message is queued (`MPI_Iprobe`).
     pub fn probe(&self, src: Option<usize>, tag: Option<Tag>) -> bool {
-        self.mailbox().probe(self.shared.id, src, tag)
+        Communicator::probe(self, src, tag)
     }
 
     /// Sends several messages to `dest` as one modeled wire transfer (an
     /// aggregated send). The messages still match receives individually,
     /// in order.
     pub fn send_batch<T: MpiType>(&self, bufs: &[Vec<T>], dest: usize, tag: Tag) {
-        let world_dest = self.shared.members[dest];
-        let msgs: Vec<Message> = bufs
-            .iter()
-            .map(|b| Message {
-                src: self.local_rank,
-                tag,
-                comm_id: self.shared.id,
-                data: to_bytes(b),
-            })
-            .collect();
-        self.world.mailboxes[world_dest].deposit_batch(msgs);
+        Communicator::send_batch(self, bufs, dest, tag)
     }
 
     /// [`Comm::send_batch`] for already-encoded payloads (used by the
     /// prediction-driven aggregation layer in `pythia-runtime-mpi`).
     pub fn send_batch_raw(&self, bufs: Vec<bytes::Bytes>, dest: usize, tag: Tag) {
-        let world_dest = self.shared.members[dest];
-        let msgs: Vec<Message> = bufs
-            .into_iter()
-            .map(|data| Message {
-                src: self.local_rank,
-                tag,
-                comm_id: self.shared.id,
-                data,
-            })
-            .collect();
-        self.world.mailboxes[world_dest].deposit_batch(msgs);
+        Communicator::send_batch_raw(self, bufs, dest, tag)
     }
 
     /// Network counters of this rank's incoming mailbox (transfers vs
     /// logical messages; see [`crate::p2p::NetworkStats`]).
     pub fn network_stats(&self) -> crate::p2p::NetworkStats {
-        self.mailbox().network_stats()
+        Communicator::network_stats(self)
     }
 
     /// Nonblocking send; completes immediately (eager buffering).
     pub fn isend<T: MpiType>(&self, buf: &[T], dest: usize, tag: Tag) -> Request<T> {
-        self.send(buf, dest, tag);
-        Request::send(dest, tag)
+        Communicator::isend(self, buf, dest, tag)
     }
 
     /// Nonblocking receive; the matching happens at wait time.
     pub fn irecv<T: MpiType>(&self, src: Option<usize>, tag: Option<Tag>) -> Request<T> {
-        Request::recv(src, tag)
+        Communicator::irecv(self, src, tag)
     }
 
     /// Completes a request. Send requests yield `None`; receive requests
     /// block until their message arrives and yield the payload.
     pub fn wait<T: MpiType>(&self, request: Request<T>) -> Option<(Vec<T>, Status)> {
-        match request {
-            Request::Send { .. } => None,
-            Request::Recv { src, tag } => Some(self.recv(src, tag)),
-        }
+        Communicator::wait(self, request)
     }
 
     /// Completes a batch of requests in order (`MPI_Waitall`).
     pub fn waitall<T: MpiType>(&self, requests: Vec<Request<T>>) -> Vec<Option<(Vec<T>, Status)>> {
-        requests.into_iter().map(|r| self.wait(r)).collect()
+        Communicator::waitall(self, requests)
     }
 
     // ------------------------------------------------------------------
-    // Collectives
+    // Collectives (delegators into the Communicator trait)
     // ------------------------------------------------------------------
 
     /// Synchronizes all ranks of the communicator (`MPI_Barrier`).
     pub fn barrier(&self) {
-        self.shared.board.barrier(self.local_rank);
+        Communicator::barrier(self)
     }
 
     /// Broadcast from `root`: every rank passes its local `data` (only the
     /// root's matters) and receives the root's (`MPI_Bcast`).
     pub fn bcast<T: MpiType>(&self, data: &[T], root: usize) -> Vec<T> {
-        let mine = if self.local_rank == root {
-            vec![to_bytes(data)]
-        } else {
-            Vec::new()
-        };
-        let snap = self.shared.board.exchange(self.local_rank, mine);
-        from_bytes(&snap[root][0])
+        Communicator::bcast(self, data, root)
     }
 
     /// Reduction to `root` (`MPI_Reduce`): returns `Some` on the root.
     pub fn reduce<T: MpiReduce>(&self, contrib: &[T], op: ReduceOp, root: usize) -> Option<Vec<T>> {
-        let snap = self
-            .shared
-            .board
-            .exchange(self.local_rank, vec![to_bytes(contrib)]);
-        if self.local_rank != root {
-            return None;
-        }
-        Some(Self::fold(&snap, op))
+        Communicator::reduce(self, contrib, op, root)
     }
 
     /// Reduction to all ranks (`MPI_Allreduce`).
     pub fn allreduce<T: MpiReduce>(&self, contrib: &[T], op: ReduceOp) -> Vec<T> {
-        let snap = self
-            .shared
-            .board
-            .exchange(self.local_rank, vec![to_bytes(contrib)]);
-        Self::fold(&snap, op)
-    }
-
-    fn fold<T: MpiReduce>(snap: &[Vec<bytes::Bytes>], op: ReduceOp) -> Vec<T> {
-        let mut acc: Option<Vec<T>> = None;
-        for slot in snap {
-            let vals: Vec<T> = from_bytes(&slot[0]);
-            acc = Some(match acc {
-                None => vals,
-                Some(a) => reduce_vecs(op, a, &vals),
-            });
-        }
-        acc.expect("non-empty communicator")
+        Communicator::allreduce(self, contrib, op)
     }
 
     /// Personalized all-to-all exchange (`MPI_Alltoall(v)`): `sends[i]`
     /// goes to rank `i`; returns what every rank sent to this one.
     pub fn alltoall<T: MpiType>(&self, sends: &[Vec<T>]) -> Vec<Vec<T>> {
-        assert_eq!(
-            sends.len(),
-            self.size(),
-            "alltoall needs one send buffer per rank"
-        );
-        let mine: Vec<bytes::Bytes> = sends.iter().map(|s| to_bytes(s)).collect();
-        let snap = self.shared.board.exchange(self.local_rank, mine);
-        (0..self.size())
-            .map(|src| from_bytes(&snap[src][self.local_rank]))
-            .collect()
+        Communicator::alltoall(self, sends)
     }
 
     /// Gather to `root` (`MPI_Gather`): returns `Some(per-rank data)` on
     /// the root.
     pub fn gather<T: MpiType>(&self, contrib: &[T], root: usize) -> Option<Vec<Vec<T>>> {
-        let snap = self
-            .shared
-            .board
-            .exchange(self.local_rank, vec![to_bytes(contrib)]);
-        if self.local_rank != root {
-            return None;
-        }
-        Some(snap.iter().map(|slot| from_bytes(&slot[0])).collect())
+        Communicator::gather(self, contrib, root)
     }
 
     /// Gather to all ranks (`MPI_Allgather`).
     pub fn allgather<T: MpiType>(&self, contrib: &[T]) -> Vec<Vec<T>> {
-        let snap = self
-            .shared
-            .board
-            .exchange(self.local_rank, vec![to_bytes(contrib)]);
-        snap.iter().map(|slot| from_bytes(&slot[0])).collect()
+        Communicator::allgather(self, contrib)
     }
 
     /// Scatter from `root` (`MPI_Scatter`): the root provides one chunk per
     /// rank; every rank receives its chunk.
     pub fn scatter<T: MpiType>(&self, chunks: Option<&[Vec<T>]>, root: usize) -> Vec<T> {
-        let mine = if self.local_rank == root {
-            let chunks = chunks.expect("root must provide chunks");
-            assert_eq!(chunks.len(), self.size(), "one chunk per rank");
-            chunks.iter().map(|c| to_bytes(c)).collect()
-        } else {
-            Vec::new()
-        };
-        let snap = self.shared.board.exchange(self.local_rank, mine);
-        from_bytes(&snap[root][self.local_rank])
+        Communicator::scatter(self, chunks, root)
     }
 
     /// Combined send+receive (`MPI_Sendrecv`): ships `buf` to `dest` and
@@ -345,80 +439,101 @@ impl Comm {
         src: Option<usize>,
         tag: Tag,
     ) -> (Vec<T>, Status) {
-        self.send(buf, dest, tag);
-        self.recv(src, Some(tag))
+        Communicator::sendrecv(self, buf, dest, src, tag)
     }
 
     /// Inclusive prefix reduction (`MPI_Scan`): rank `r` receives the
     /// reduction of the contributions of ranks `0..=r`.
     pub fn scan<T: MpiReduce>(&self, contrib: &[T], op: ReduceOp) -> Vec<T> {
-        let snap = self
-            .shared
-            .board
-            .exchange(self.local_rank, vec![to_bytes(contrib)]);
-        let mut acc: Option<Vec<T>> = None;
-        for slot in snap.iter().take(self.local_rank + 1) {
-            let vals: Vec<T> = from_bytes(&slot[0]);
-            acc = Some(match acc {
-                None => vals,
-                Some(a) => reduce_vecs(op, a, &vals),
-            });
-        }
-        acc.expect("at least own contribution")
+        Communicator::scan(self, contrib, op)
     }
 
     /// Reduce-scatter (`MPI_Reduce_scatter_block`-style): every rank
     /// contributes one chunk per rank; rank `r` receives the element-wise
     /// reduction of everyone's `r`-th chunk.
     pub fn reduce_scatter<T: MpiReduce>(&self, chunks: &[Vec<T>], op: ReduceOp) -> Vec<T> {
-        assert_eq!(chunks.len(), self.size(), "one chunk per rank");
-        let mine: Vec<bytes::Bytes> = chunks.iter().map(|c| to_bytes(c)).collect();
-        let snap = self.shared.board.exchange(self.local_rank, mine);
-        let mut acc: Option<Vec<T>> = None;
-        for slot in snap.iter() {
-            let vals: Vec<T> = from_bytes(&slot[self.local_rank]);
-            acc = Some(match acc {
-                None => vals,
-                Some(a) => reduce_vecs(op, a, &vals),
-            });
-        }
-        acc.expect("non-empty communicator")
+        Communicator::reduce_scatter(self, chunks, op)
     }
 
     /// Duplicates the communicator (`MPI_Comm_dup`): same members and
     /// ranks, separate message-matching space.
     pub fn dup(&self) -> Comm {
-        self.split(0, self.local_rank as i64)
+        Communicator::dup(self)
     }
-
-    // ------------------------------------------------------------------
-    // Communicator management
-    // ------------------------------------------------------------------
 
     /// Splits the communicator by `color` (`MPI_Comm_split`): ranks with
     /// the same color form a new communicator, ordered by `(key, rank)`.
     /// Every member must call `split` the same number of times in the same
     /// order.
     pub fn split(&self, color: i64, key: i64) -> Comm {
+        Communicator::split(self, color, key)
+    }
+
+    /// The rank whose failure poisoned the world, if any.
+    pub fn poisoned(&self) -> Option<usize> {
+        Communicator::poisoned(self)
+    }
+
+    /// Rank failures detected in this world so far.
+    pub fn failures_detected(&self) -> u64 {
+        Communicator::failures_detected(self)
+    }
+}
+
+impl Communicator for Comm {
+    fn rank(&self) -> usize {
+        self.local_rank
+    }
+
+    fn size(&self) -> usize {
+        self.shared.members.len()
+    }
+
+    fn id(&self) -> u64 {
+        self.shared.id
+    }
+
+    fn world_rank(&self, local: usize) -> usize {
+        self.shared.members[local]
+    }
+
+    fn incarnation(&self) -> u64 {
+        self.incarnation
+    }
+
+    fn deposit(&self, dest: usize, msgs: Vec<Message>) {
+        self.beat();
+        let world_dest = self.shared.members[dest];
+        self.world.mailboxes[world_dest].deposit_batch(msgs);
+    }
+
+    fn take(&self, src: Option<usize>, tag: Option<Tag>) -> Message {
+        self.beat();
+        self.mailbox().take_matching(self.shared.id, src, tag)
+    }
+
+    fn try_take(&self, src: Option<usize>, tag: Option<Tag>) -> Option<Message> {
+        self.beat();
+        self.mailbox().try_take_matching(self.shared.id, src, tag)
+    }
+
+    fn probe(&self, src: Option<usize>, tag: Option<Tag>) -> bool {
+        self.beat();
+        self.mailbox().probe(self.shared.id, src, tag)
+    }
+
+    fn exchange(&self, mine: Vec<bytes::Bytes>) -> Arc<Vec<Vec<bytes::Bytes>>> {
+        self.beat();
+        self.shared.board.exchange(self.local_rank, mine)
+    }
+
+    fn next_split_seq(&self) -> u64 {
         let seq = self.split_seq.get();
         self.split_seq.set(seq + 1);
-        // Share (color, key) so each rank can compute the same membership.
-        let all: Vec<Vec<i64>> = self.allgather(&[color, key]).into_iter().collect();
-        let mut members: Vec<(i64, usize)> = all
-            .iter()
-            .enumerate()
-            .filter(|(_, ck)| ck[0] == color)
-            .map(|(r, ck)| (ck[1], r))
-            .collect();
-        members.sort();
-        let local_members: Vec<usize> = members
-            .iter()
-            .map(|&(_, r)| self.shared.members[r])
-            .collect();
-        let my_new_rank = members
-            .iter()
-            .position(|&(_, r)| r == self.local_rank)
-            .expect("caller must be a member of its own color group");
+        seq
+    }
+
+    fn register_split(&self, seq: u64, color: i64, members: Vec<usize>, my_rank: usize) -> Comm {
         let comm_key: CommKey = (self.shared.id, seq, color);
         let shared = {
             let mut reg = self.world.registry.lock();
@@ -429,19 +544,52 @@ impl Comm {
                 reg.next_id += 1;
                 let created = Arc::new(CommShared {
                     id,
-                    board: Board::new(local_members.len()),
-                    members: local_members.clone(),
+                    board: Board::with_members(
+                        members.len(),
+                        members.clone(),
+                        Arc::clone(&self.world.failure),
+                    ),
+                    members: members.clone(),
                 });
                 reg.comms.insert(comm_key, Arc::clone(&created));
                 created
             }
         };
-        debug_assert_eq!(shared.members, local_members);
+        debug_assert_eq!(shared.members, members);
         Comm {
             world: Arc::clone(&self.world),
             shared,
-            local_rank: my_new_rank,
+            local_rank: my_rank,
             split_seq: Cell::new(0),
+            incarnation: self.incarnation,
+        }
+    }
+
+    fn network_stats(&self) -> crate::p2p::NetworkStats {
+        self.mailbox().network_stats()
+    }
+
+    fn poisoned(&self) -> Option<usize> {
+        self.world.failure.poisoned()
+    }
+
+    fn failures_detected(&self) -> u64 {
+        self.world.failure.detected()
+    }
+
+    fn heartbeat(&self) {
+        self.beat();
+    }
+
+    fn fail_self(&self, fault: RankFault) -> ! {
+        let me = self.shared.members[self.local_rank];
+        match fault {
+            RankFault::Panic => panic!("injected rank fault: panic at rank {me}"),
+            RankFault::Hang => self.world.failure.park_hung(me),
+            RankFault::Disconnect => {
+                self.world.fail_rank(me);
+                std::panic::panic_any(PoisonedWorld { rank: me });
+            }
         }
     }
 }
@@ -741,5 +889,98 @@ mod extended_api_tests {
         });
         let (scan_last, all_last) = out[3];
         assert_eq!(scan_last, all_last);
+    }
+
+    // ------------------------------------------------------------------
+    // Failure model
+    // ------------------------------------------------------------------
+
+    /// Regression: a rank panicking used to leave peers blocked in
+    /// `recv` forever. The poisoned world must wake and abort them.
+    #[test]
+    fn panicked_peer_aborts_blocked_recv() {
+        let err = World::run_result(2, |comm| {
+            if comm.rank() == 1 {
+                panic!("rank 1 dies before sending");
+            }
+            // Would deadlock without poison propagation.
+            let (data, _) = comm.recv::<u64>(Some(1), Some(0));
+            data[0]
+        });
+        assert_eq!(err, Err(CommError::RankFailed { rank: 1 }));
+    }
+
+    /// Same regression for collectives: survivors parked at a barrier
+    /// must abort when a peer dies before arriving.
+    #[test]
+    fn panicked_peer_aborts_blocked_barrier() {
+        let err = World::run_result(4, |comm| {
+            if comm.rank() == 2 {
+                panic!("rank 2 dies before the barrier");
+            }
+            comm.barrier();
+            comm.rank()
+        });
+        assert_eq!(err, Err(CommError::RankFailed { rank: 2 }));
+    }
+
+    /// `World::run` still propagates the original panic payload (and
+    /// does not hang doing so).
+    #[test]
+    fn run_propagates_primary_panic() {
+        let result = std::panic::catch_unwind(|| {
+            World::run(2, |comm| {
+                if comm.rank() == 0 {
+                    panic!("boom");
+                }
+                comm.recv::<u64>(Some(0), Some(0)).0[0]
+            })
+        });
+        let payload = result.expect_err("world must fail");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "boom");
+    }
+
+    #[test]
+    fn fault_free_world_reports_zero_failures() {
+        let (out, stats) = World::run_elastic(3, |comm| {
+            comm.barrier();
+            comm.allreduce(&[1u64], ReduceOp::Sum)[0]
+        })
+        .expect("fault-free world");
+        assert_eq!(out, vec![3, 3, 3]);
+        assert_eq!(stats, ElasticWorldStats::default());
+    }
+
+    /// An elastic world replaces a failed rank: the respawned
+    /// incarnation reruns the closure, observes `incarnation() > 0`,
+    /// and completes the rendezvous the first incarnation abandoned.
+    #[test]
+    fn elastic_world_replaces_failed_rank() {
+        let (out, stats) = World::run_elastic(3, |comm| {
+            if comm.rank() == 1 && comm.incarnation() == 0 {
+                panic!("first incarnation of rank 1 dies");
+            }
+            comm.barrier();
+            let total = comm.allreduce(&[comm.rank() as u64], ReduceOp::Sum);
+            (comm.incarnation(), total[0])
+        })
+        .expect("elastic world recovers");
+        assert_eq!(out[0], (0, 3));
+        assert_eq!(out[1], (1, 3));
+        assert_eq!(out[2], (0, 3));
+        assert_eq!(stats.failures_detected, 1);
+        assert_eq!(stats.ranks_replaced, 1);
+    }
+
+    /// Exceeding the respawn budget fails the world instead of
+    /// respawning forever.
+    #[test]
+    fn elastic_budget_exhaustion_fails_world() {
+        let err = World::run_elastic(1, |comm: Comm| -> u64 {
+            let _ = comm.incarnation();
+            panic!("every incarnation dies");
+        });
+        assert_eq!(err, Err(CommError::RankFailed { rank: 0 }));
     }
 }

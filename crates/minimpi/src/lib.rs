@@ -43,13 +43,38 @@
 //! assert_eq!(sums, vec![10, 10, 10, 10]);
 //! ```
 
+//! ## Backends and fault tolerance
+//!
+//! The call surface is abstracted by the [`Communicator`] trait; two
+//! backends implement it:
+//!
+//! * **threads** (default feature): [`World::run`] launches ranks as
+//!   threads of one process. [`World::run_result`] converts a rank
+//!   failure into [`CommError::RankFailed`] instead of hanging the
+//!   survivors; [`World::run_elastic`] replaces a failed rank with a
+//!   fresh incarnation that resumes from its durable journal.
+//! * **socket** (optional feature): [`socket::Hub`] serves mailboxes and
+//!   rendezvous boards over a Unix socket so ranks run as separate
+//!   processes ([`socket::SocketComm`]); a `kill -9`'d rank is detected
+//!   by connection EOF and an elastic hub admits its replacement.
+
 pub mod collective;
+#[cfg(feature = "threads")]
 pub mod comm;
+pub mod communicator;
 pub mod datatype;
+pub mod failure;
 pub mod p2p;
 pub mod request;
+#[cfg(feature = "socket")]
+pub mod socket;
 
-pub use comm::{Comm, World};
+#[cfg(feature = "threads")]
+pub use comm::{Comm, ElasticWorldStats, World};
+pub use communicator::Communicator;
 pub use datatype::{MpiReduce, MpiType, ReduceOp};
+pub use failure::{CommError, FailureState, PoisonedWorld, RankFault, RANK_TIMEOUT_ENV};
 pub use p2p::{Message, NetworkStats, Status, Tag, ANY_SOURCE, ANY_TAG};
 pub use request::Request;
+#[cfg(feature = "socket")]
+pub use socket::{Hub, HubStats, SocketComm};

@@ -10,6 +10,9 @@
 use bytes::Bytes;
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
+use std::sync::Arc;
+
+use crate::failure::FailureState;
 
 /// Message tag (application-chosen demultiplexing key).
 pub type Tag = i32;
@@ -57,17 +60,47 @@ pub struct NetworkStats {
 }
 
 /// One rank's incoming-message queue.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Mailbox {
     inner: Mutex<VecDeque<Message>>,
     cv: Condvar,
     stats: Mutex<NetworkStats>,
+    /// World rank owning (receiving from) this mailbox; `usize::MAX` for
+    /// standalone mailboxes outside a world.
+    owner: usize,
+    /// The owning world's failure state (detached when standalone).
+    failure: Arc<FailureState>,
+}
+
+impl Default for Mailbox {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Mailbox {
-    /// Creates an empty mailbox.
+    /// Creates an empty standalone mailbox (no failure detection).
     pub fn new() -> Self {
-        Self::default()
+        Self::for_rank(usize::MAX, Arc::new(FailureState::detached()))
+    }
+
+    /// Creates the mailbox of world rank `owner`, wired to the world's
+    /// failure state so blocking receives abort when the world poisons.
+    pub fn for_rank(owner: usize, failure: Arc<FailureState>) -> Self {
+        Mailbox {
+            inner: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            stats: Mutex::new(NetworkStats::default()),
+            owner,
+            failure,
+        }
+    }
+
+    /// Wakes every thread blocked in [`Mailbox::take_matching`] so it can
+    /// re-check the world's poison flag (called by the world supervisor
+    /// after a rank failure).
+    pub fn wake_all(&self) {
+        self.cv.notify_all();
     }
 
     /// Deposits a message (never blocks).
@@ -105,13 +138,29 @@ impl Mailbox {
 
     /// Blocks until a message matching `(comm_id, src, tag)` is available
     /// and removes it. `None` filters are wildcards.
+    ///
+    /// In a world whose failure state is poisoned this call panics with a
+    /// [`crate::failure::PoisonedWorld`] payload instead of waiting
+    /// forever — the hang-on-dead-peer fix. With heartbeat detection
+    /// armed the wait polls and runs the stall scan on each expiry.
     pub fn take_matching(&self, comm_id: u64, src: Option<usize>, tag: Option<Tag>) -> Message {
         let mut q = self.inner.lock();
         loop {
             if let Some(idx) = Self::find(&q, comm_id, src, tag) {
                 return q.remove(idx).expect("index just found");
             }
-            self.cv.wait(&mut q);
+            self.failure.abort_if_poisoned();
+            match self.failure.wait_budget() {
+                None => self.cv.wait(&mut q),
+                Some(budget) => {
+                    self.failure.begin_wait(self.owner);
+                    let timed_out = self.cv.wait_for(&mut q, budget).timed_out();
+                    self.failure.end_wait(self.owner);
+                    if timed_out {
+                        self.failure.suspect_stall(self.owner);
+                    }
+                }
+            }
         }
     }
 

@@ -1,0 +1,995 @@
+//! Multi-process backend: ranks as processes around a Unix-socket hub.
+//!
+//! The hub owns the same [`Mailbox`] and [`Board`] primitives the threads
+//! backend uses — they just live in the hub process, so a rank dying does
+//! not take the world's rendezvous state with it. Each rank connects once
+//! ([`SocketComm::connect`]) and speaks a tiny length-prefixed frame
+//! protocol; every blocking operation is serviced by that connection's
+//! dedicated hub thread, which parks in `take_matching`/`exchange` on the
+//! rank's behalf.
+//!
+//! Failure detection is by connection EOF: a `kill -9`'d or disconnected
+//! rank drops its socket, the hub marks the rank failed and — unless the
+//! hub is *elastic* — poisons the world so every parked operation aborts
+//! (the client sees a `POISONED` reply and panics with
+//! [`PoisonedWorld`]). An elastic hub instead keeps the rank's mailbox
+//! and board slots intact and waits for a replacement to reconnect with a
+//! bumped incarnation number; survivors stay parked until the
+//! replacement's replayed run catches up with the rendezvous.
+
+use std::collections::{HashMap, HashSet};
+use std::io::{self, Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+
+use crate::collective::Board;
+use crate::communicator::Communicator;
+use crate::failure::{FailureState, PoisonedWorld, RankFault};
+use crate::p2p::{Mailbox, Message, NetworkStats, Tag};
+
+// Client → hub opcodes.
+const OP_HELLO: u8 = 1;
+const OP_SEND: u8 = 2;
+const OP_RECV: u8 = 3;
+const OP_TRYRECV: u8 = 4;
+const OP_PROBE: u8 = 5;
+const OP_EXCHANGE: u8 = 6;
+const OP_SPLIT: u8 = 7;
+const OP_STATS: u8 = 8;
+const OP_STATUS: u8 = 9;
+const OP_BYE: u8 = 10;
+const OP_FAILSELF: u8 = 11;
+const OP_BEAT: u8 = 12;
+
+// Hub → client opcodes.
+const RE_WELCOME: u8 = 0x81;
+const RE_MSG: u8 = 0x82;
+const RE_NOMSG: u8 = 0x83;
+const RE_BOOL: u8 = 0x84;
+const RE_SNAP: u8 = 0x85;
+const RE_COMMID: u8 = 0x86;
+const RE_STATS: u8 = 0x87;
+const RE_STATUS: u8 = 0x88;
+const RE_POISONED: u8 = 0x8F;
+
+/// Sentinel encoding `None` for optional source ranks on the wire.
+const NO_SRC: u64 = u64::MAX;
+/// Sentinel encoding `None` for optional tags on the wire.
+const NO_TAG: i64 = i64::MIN;
+
+// ----------------------------------------------------------------------
+// Framing
+// ----------------------------------------------------------------------
+
+fn write_frame(stream: &mut UnixStream, body: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(body.len()).expect("frame too large");
+    stream.write_all(&len.to_le_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+fn read_frame(stream: &mut UnixStream) -> io::Result<Vec<u8>> {
+    let mut len = [0u8; 4];
+    stream.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len) as usize;
+    // 64 MiB guards against a corrupt length prefix, not real payloads.
+    if len > 64 << 20 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("hostile frame length {len}"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body)?;
+    Ok(body)
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_i32(buf: &mut Vec<u8>, v: i32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_i64(buf: &mut Vec<u8>, v: i64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bytes(buf: &mut Vec<u8>, data: &[u8]) {
+    put_u32(buf, data.len() as u32);
+    buf.extend_from_slice(data);
+}
+
+/// Cursor over a received frame body.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn chunk(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
+        match end {
+            Some(end) => {
+                let s = &self.buf[self.pos..end];
+                self.pos = end;
+                Ok(s)
+            }
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "truncated frame",
+            )),
+        }
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.chunk(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.chunk(8)?.try_into().unwrap()))
+    }
+
+    fn i32(&mut self) -> io::Result<i32> {
+        Ok(i32::from_le_bytes(self.chunk(4)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> io::Result<i64> {
+        Ok(i64::from_le_bytes(self.chunk(8)?.try_into().unwrap()))
+    }
+
+    fn bytes(&mut self) -> io::Result<Bytes> {
+        let len = self.u32()? as usize;
+        Ok(Bytes::copy_from_slice(self.chunk(len)?))
+    }
+}
+
+fn encode_src(src: Option<usize>) -> u64 {
+    src.map_or(NO_SRC, |s| s as u64)
+}
+
+fn decode_src(v: u64) -> Option<usize> {
+    (v != NO_SRC).then_some(v as usize)
+}
+
+fn encode_tag(tag: Option<Tag>) -> i64 {
+    tag.map_or(NO_TAG, i64::from)
+}
+
+fn decode_tag(v: i64) -> Option<Tag> {
+    (v != NO_TAG).then_some(v as Tag)
+}
+
+// ----------------------------------------------------------------------
+// Hub
+// ----------------------------------------------------------------------
+
+/// Counters reported by [`Hub::serve`] once the world completed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HubStats {
+    /// Rank failures detected (connection EOF or heartbeat staleness).
+    pub failures_detected: u64,
+    /// Replacement connections admitted for a previously-failed rank.
+    pub ranks_replaced: u64,
+}
+
+type CommKey = (u64, u64, i64);
+
+#[derive(Debug)]
+struct HubComm {
+    board: Board,
+    /// Communicator-local rank → world rank.
+    members: Vec<usize>,
+}
+
+#[derive(Debug)]
+struct HubState {
+    size: usize,
+    mailboxes: Vec<Mailbox>,
+    failure: Arc<FailureState>,
+    next_id: Mutex<u64>,
+    splits: Mutex<HashMap<CommKey, u64>>,
+    by_id: Mutex<HashMap<u64, Arc<HubComm>>>,
+    /// Ranks that completed cleanly (sent BYE).
+    done: Mutex<HashSet<usize>>,
+    done_cv: Condvar,
+    replaced: AtomicU64,
+    elastic: bool,
+}
+
+impl HubState {
+    fn new(size: usize, elastic: bool) -> Arc<Self> {
+        let failure = Arc::new(FailureState::new(size));
+        failure.set_elastic(elastic);
+        let world = Arc::new(HubComm {
+            board: Board::with_failure(size, Arc::clone(&failure)),
+            members: (0..size).collect(),
+        });
+        let mut by_id = HashMap::new();
+        by_id.insert(0u64, world);
+        Arc::new(HubState {
+            size,
+            mailboxes: (0..size)
+                .map(|r| Mailbox::for_rank(r, Arc::clone(&failure)))
+                .collect(),
+            failure,
+            next_id: Mutex::new(1),
+            splits: Mutex::new(HashMap::new()),
+            by_id: Mutex::new(by_id),
+            done: Mutex::new(HashSet::new()),
+            done_cv: Condvar::new(),
+            replaced: AtomicU64::new(0),
+            elastic,
+        })
+    }
+
+    fn comm(&self, id: u64) -> Option<Arc<HubComm>> {
+        self.by_id.lock().get(&id).cloned()
+    }
+
+    /// Wakes every blocked primitive so parked handler threads re-check
+    /// the poison flag.
+    fn wake_world(&self) {
+        for mb in &self.mailboxes {
+            mb.wake_all();
+        }
+        for c in self.by_id.lock().values() {
+            c.board.wake_all();
+        }
+    }
+
+    fn fail_rank(&self, rank: usize) {
+        self.failure.mark_failed(rank);
+        if !self.elastic {
+            self.failure.poison(rank);
+            self.wake_world();
+        }
+        // Even a poisoned world must terminate serve(): count the rank as
+        // accounted for so the hub does not wait for a BYE that will
+        // never come.
+        self.done_cv.notify_all();
+    }
+}
+
+/// The rendezvous hub of a multi-process world.
+pub struct Hub;
+
+impl Hub {
+    /// Binds `path` and serves a world of `size` ranks until every rank
+    /// said goodbye (elastic worlds: until every rank *slot* completed,
+    /// possibly via a replacement incarnation) or the world poisoned.
+    /// Returns the failure counters.
+    pub fn serve(path: &Path, size: usize, elastic: bool) -> io::Result<HubStats> {
+        assert!(size >= 1, "world size must be at least 1");
+        let _ = std::fs::remove_file(path);
+        let listener = UnixListener::bind(path)?;
+        listener.set_nonblocking(true)?;
+        let state = HubState::new(size, elastic);
+        let stop = Arc::new(AtomicBool::new(false));
+
+        std::thread::scope(|s| {
+            // Heartbeat monitor: only armed when a rank timeout is set.
+            if state.failure.wait_budget().is_some() {
+                let state = Arc::clone(&state);
+                let stop = Arc::clone(&stop);
+                s.spawn(move || {
+                    let budget = state.failure.wait_budget().expect("armed");
+                    while !stop.load(Ordering::SeqCst) {
+                        std::thread::sleep(budget / 2);
+                        if let Some(rank) = state.failure.suspect_stall(usize::MAX) {
+                            let _ = rank;
+                            state.wake_world();
+                            state.done_cv.notify_all();
+                        }
+                    }
+                });
+            }
+            // Accept loop: polls so it can stop once the world is done.
+            {
+                let state = Arc::clone(&state);
+                let stop = Arc::clone(&stop);
+                s.spawn(move || loop {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    match listener.accept() {
+                        Ok((conn, _)) => {
+                            let state = Arc::clone(&state);
+                            s.spawn(move || {
+                                let _ = serve_connection(conn, &state);
+                            });
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                        Err(_) => break,
+                    }
+                });
+            }
+            // Wait for completion: all ranks done, or world poisoned with
+            // no survivors able to finish.
+            {
+                let mut done = state.done.lock();
+                loop {
+                    if done.len() == state.size {
+                        break;
+                    }
+                    if state.failure.poisoned().is_some() {
+                        // Poisoned: remaining ranks will abort, not BYE.
+                        break;
+                    }
+                    state.done_cv.wait_for(&mut done, Duration::from_millis(50));
+                }
+            }
+            stop.store(true, Ordering::SeqCst);
+            state.wake_world();
+        });
+        let _ = std::fs::remove_file(path);
+        Ok(HubStats {
+            failures_detected: state.failure.detected(),
+            ranks_replaced: state.replaced.load(Ordering::SeqCst),
+        })
+    }
+}
+
+/// Services one rank connection until BYE, EOF, or fatal error.
+fn serve_connection(mut conn: UnixStream, state: &HubState) -> io::Result<()> {
+    let hello = read_frame(&mut conn)?;
+    let mut r = Reader::new(&hello);
+    if r.chunk(1)?[0] != OP_HELLO {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "expected HELLO"));
+    }
+    let rank = r.u32()? as usize;
+    let size = r.u32()? as usize;
+    let incarnation = r.u64()?;
+    if rank >= state.size || size != state.size {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad HELLO: rank {rank} size {size}"),
+        ));
+    }
+    if incarnation > 0 || state.failure.is_failed(rank) {
+        state.failure.clear_failed(rank);
+        state.replaced.fetch_add(1, Ordering::SeqCst);
+    }
+    state.failure.beat(rank);
+    write_frame(&mut conn, &[RE_WELCOME])?;
+
+    loop {
+        let frame = match read_frame(&mut conn) {
+            Ok(f) => f,
+            Err(_) => {
+                // EOF or I/O failure without BYE: the rank died.
+                if !state.done.lock().contains(&rank) {
+                    state.fail_rank(rank);
+                }
+                return Ok(());
+            }
+        };
+        state.failure.beat(rank);
+        let mut r = Reader::new(&frame);
+        let op = r.chunk(1)?[0];
+        match op {
+            OP_SEND => {
+                let comm_id = r.u64()?;
+                let dest = r.u32()? as usize;
+                let n = r.u32()? as usize;
+                let mut msgs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let src = r.u32()? as usize;
+                    let tag = r.i32()?;
+                    let data = r.bytes()?;
+                    msgs.push(Message {
+                        src,
+                        tag,
+                        comm_id,
+                        data,
+                    });
+                }
+                let Some(comm) = state.comm(comm_id) else {
+                    continue;
+                };
+                let world_dest = comm.members[dest];
+                state.mailboxes[world_dest].deposit_batch(msgs);
+            }
+            OP_RECV | OP_TRYRECV | OP_PROBE => {
+                let comm_id = r.u64()?;
+                let src = decode_src(r.u64()?);
+                let tag = decode_tag(r.i64()?);
+                let Some(comm) = state.comm(comm_id) else {
+                    write_frame(&mut conn, &[RE_NOMSG])?;
+                    continue;
+                };
+                let my_world = comm
+                    .members
+                    .iter()
+                    .position(|&w| w == rank)
+                    .map(|local| comm.members[local])
+                    .unwrap_or(rank);
+                let mailbox = &state.mailboxes[my_world];
+                let reply = match op {
+                    OP_RECV => {
+                        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            mailbox.take_matching(comm_id, src, tag)
+                        })) {
+                            Ok(msg) => encode_msg(&msg),
+                            Err(payload) => poisoned_reply(payload),
+                        }
+                    }
+                    OP_TRYRECV => match mailbox.try_take_matching(comm_id, src, tag) {
+                        Some(msg) => encode_msg(&msg),
+                        None => vec![RE_NOMSG],
+                    },
+                    _ => {
+                        let hit = mailbox.probe(comm_id, src, tag);
+                        vec![RE_BOOL, hit as u8]
+                    }
+                };
+                write_frame(&mut conn, &reply)?;
+            }
+            OP_EXCHANGE => {
+                let comm_id = r.u64()?;
+                let local = r.u32()? as usize;
+                let n = r.u32()? as usize;
+                let mut mine = Vec::with_capacity(n);
+                for _ in 0..n {
+                    mine.push(r.bytes()?);
+                }
+                let Some(comm) = state.comm(comm_id) else {
+                    write_frame(&mut conn, &[RE_NOMSG])?;
+                    continue;
+                };
+                let reply = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    comm.board.exchange(local, mine)
+                })) {
+                    Ok(snap) => {
+                        let mut out = vec![RE_SNAP];
+                        put_u32(&mut out, snap.len() as u32);
+                        for slots in snap.iter() {
+                            put_u32(&mut out, slots.len() as u32);
+                            for slot in slots {
+                                put_bytes(&mut out, slot);
+                            }
+                        }
+                        out
+                    }
+                    Err(payload) => poisoned_reply(payload),
+                };
+                write_frame(&mut conn, &reply)?;
+            }
+            OP_SPLIT => {
+                let parent = r.u64()?;
+                let seq = r.u64()?;
+                let color = r.i64()?;
+                let n = r.u32()? as usize;
+                let mut members = Vec::with_capacity(n);
+                for _ in 0..n {
+                    members.push(r.u32()? as usize);
+                }
+                let key: CommKey = (parent, seq, color);
+                let id = {
+                    let mut splits = state.splits.lock();
+                    if let Some(&id) = splits.get(&key) {
+                        id
+                    } else {
+                        let mut next = state.next_id.lock();
+                        let id = *next;
+                        *next += 1;
+                        drop(next);
+                        let comm = Arc::new(HubComm {
+                            board: Board::with_members(
+                                members.len(),
+                                members.clone(),
+                                Arc::clone(&state.failure),
+                            ),
+                            members: members.clone(),
+                        });
+                        state.by_id.lock().insert(id, comm);
+                        splits.insert(key, id);
+                        id
+                    }
+                };
+                let mut out = vec![RE_COMMID];
+                put_u64(&mut out, id);
+                write_frame(&mut conn, &out)?;
+            }
+            OP_STATS => {
+                let stats = state.mailboxes[rank].network_stats();
+                let mut out = vec![RE_STATS];
+                put_u64(&mut out, stats.transfers);
+                put_u64(&mut out, stats.messages);
+                write_frame(&mut conn, &out)?;
+            }
+            OP_STATUS => {
+                let mut out = vec![RE_STATUS];
+                put_i64(&mut out, state.failure.poisoned().map_or(-1, |r| r as i64));
+                put_u64(&mut out, state.failure.detected());
+                write_frame(&mut conn, &out)?;
+            }
+            OP_BYE => {
+                let mut done = state.done.lock();
+                done.insert(rank);
+                state.done_cv.notify_all();
+                return Ok(());
+            }
+            OP_FAILSELF => {
+                let _kind = r.chunk(1)?[0];
+                state.fail_rank(rank);
+                return Ok(());
+            }
+            OP_BEAT => {}
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unknown opcode {other}"),
+                ));
+            }
+        }
+    }
+}
+
+fn encode_msg(msg: &Message) -> Vec<u8> {
+    let mut out = vec![RE_MSG];
+    put_u32(&mut out, msg.src as u32);
+    put_i32(&mut out, msg.tag);
+    put_bytes(&mut out, &msg.data);
+    out
+}
+
+fn poisoned_reply(payload: Box<dyn std::any::Any + Send>) -> Vec<u8> {
+    let rank = payload
+        .downcast_ref::<PoisonedWorld>()
+        .map_or(u32::MAX, |p| p.rank as u32);
+    let mut out = vec![RE_POISONED];
+    put_u32(&mut out, rank);
+    out
+}
+
+// ----------------------------------------------------------------------
+// Client
+// ----------------------------------------------------------------------
+
+/// A rank's communicator handle over the socket backend. Implements the
+/// same [`Communicator`] surface as the in-process [`crate::Comm`].
+#[derive(Debug)]
+pub struct SocketComm {
+    stream: Arc<Mutex<UnixStream>>,
+    rank: usize,
+    comm_id: u64,
+    /// Communicator-local rank → world rank.
+    members: Vec<usize>,
+    split_seq: std::cell::Cell<u64>,
+    incarnation: u64,
+    last_beat: Mutex<Option<std::time::Instant>>,
+}
+
+impl SocketComm {
+    /// Connects to the hub at `path` as world rank `rank` of `size`.
+    /// `incarnation` is 0 for a first spawn, >0 for a replacement of a
+    /// failed rank.
+    pub fn connect(
+        path: &Path,
+        rank: usize,
+        size: usize,
+        incarnation: u64,
+    ) -> io::Result<SocketComm> {
+        let mut stream = UnixStream::connect(path)?;
+        let mut hello = vec![OP_HELLO];
+        put_u32(&mut hello, rank as u32);
+        put_u32(&mut hello, size as u32);
+        put_u64(&mut hello, incarnation);
+        write_frame(&mut stream, &hello)?;
+        let reply = read_frame(&mut stream)?;
+        if reply.first() != Some(&RE_WELCOME) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "hub rejected HELLO",
+            ));
+        }
+        Ok(SocketComm {
+            stream: Arc::new(Mutex::new(stream)),
+            rank,
+            comm_id: 0,
+            members: (0..size).collect(),
+            split_seq: std::cell::Cell::new(0),
+            incarnation,
+            last_beat: Mutex::new(None),
+        })
+    }
+
+    /// Says goodbye to the hub (clean completion of this rank).
+    pub fn bye(self) -> io::Result<()> {
+        let mut stream = self.stream.lock();
+        write_frame(&mut stream, &[OP_BYE])
+    }
+
+    /// Sends `body` and awaits one reply frame, aborting via
+    /// [`PoisonedWorld`] if the hub reports a poisoned world.
+    fn request(&self, body: &[u8]) -> Vec<u8> {
+        let mut stream = self.stream.lock();
+        write_frame(&mut stream, body).unwrap_or_else(|e| hub_lost(&e));
+        let reply = read_frame(&mut stream).unwrap_or_else(|e| hub_lost(&e));
+        if reply.first() == Some(&RE_POISONED) {
+            let rank = Reader::new(&reply[1..]).u32().unwrap_or(u32::MAX);
+            std::panic::panic_any(PoisonedWorld {
+                rank: rank as usize,
+            });
+        }
+        reply
+    }
+
+    /// Sends a one-way frame (no reply expected).
+    fn send_oneway(&self, body: &[u8]) {
+        let mut stream = self.stream.lock();
+        write_frame(&mut stream, body).unwrap_or_else(|e| hub_lost(&e));
+    }
+
+    fn status(&self) -> (Option<usize>, u64) {
+        let reply = self.request(&[OP_STATUS]);
+        let mut r = Reader::new(&reply[1..]);
+        let poisoned = r.i64().ok().filter(|&v| v >= 0).map(|v| v as usize);
+        let detected = r.u64().unwrap_or(0);
+        (poisoned, detected)
+    }
+}
+
+fn hub_lost(e: &io::Error) -> ! {
+    panic!("hub connection lost: {e}");
+}
+
+impl Communicator for SocketComm {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    fn id(&self) -> u64 {
+        self.comm_id
+    }
+
+    fn world_rank(&self, local: usize) -> usize {
+        self.members[local]
+    }
+
+    fn incarnation(&self) -> u64 {
+        self.incarnation
+    }
+
+    fn deposit(&self, dest: usize, msgs: Vec<Message>) {
+        let mut body = vec![OP_SEND];
+        put_u64(&mut body, self.comm_id);
+        put_u32(&mut body, dest as u32);
+        put_u32(&mut body, msgs.len() as u32);
+        for msg in &msgs {
+            put_u32(&mut body, msg.src as u32);
+            put_i32(&mut body, msg.tag);
+            put_bytes(&mut body, &msg.data);
+        }
+        self.send_oneway(&body);
+    }
+
+    fn take(&self, src: Option<usize>, tag: Option<Tag>) -> Message {
+        let mut body = vec![OP_RECV];
+        put_u64(&mut body, self.comm_id);
+        put_u64(&mut body, encode_src(src));
+        put_i64(&mut body, encode_tag(tag));
+        let reply = self.request(&body);
+        decode_reply_msg(&reply, self.comm_id).expect("blocking recv returned no message")
+    }
+
+    fn try_take(&self, src: Option<usize>, tag: Option<Tag>) -> Option<Message> {
+        let mut body = vec![OP_TRYRECV];
+        put_u64(&mut body, self.comm_id);
+        put_u64(&mut body, encode_src(src));
+        put_i64(&mut body, encode_tag(tag));
+        let reply = self.request(&body);
+        decode_reply_msg(&reply, self.comm_id)
+    }
+
+    fn probe(&self, src: Option<usize>, tag: Option<Tag>) -> bool {
+        let mut body = vec![OP_PROBE];
+        put_u64(&mut body, self.comm_id);
+        put_u64(&mut body, encode_src(src));
+        put_i64(&mut body, encode_tag(tag));
+        let reply = self.request(&body);
+        reply.first() == Some(&RE_BOOL) && reply.get(1) == Some(&1)
+    }
+
+    fn exchange(&self, mine: Vec<Bytes>) -> Arc<Vec<Vec<Bytes>>> {
+        let mut body = vec![OP_EXCHANGE];
+        put_u64(&mut body, self.comm_id);
+        put_u32(&mut body, self.rank as u32);
+        put_u32(&mut body, mine.len() as u32);
+        for slot in &mine {
+            put_bytes(&mut body, slot);
+        }
+        let reply = self.request(&body);
+        let mut r = Reader::new(&reply);
+        let op = r.chunk(1).map(|c| c[0]).unwrap_or(0);
+        assert_eq!(op, RE_SNAP, "exchange expects a snapshot reply");
+        let nranks = r.u32().expect("snapshot rank count") as usize;
+        let mut snap = Vec::with_capacity(nranks);
+        for _ in 0..nranks {
+            let nslots = r.u32().expect("snapshot slot count") as usize;
+            let mut slots = Vec::with_capacity(nslots);
+            for _ in 0..nslots {
+                slots.push(r.bytes().expect("snapshot slot"));
+            }
+            snap.push(slots);
+        }
+        Arc::new(snap)
+    }
+
+    fn next_split_seq(&self) -> u64 {
+        let seq = self.split_seq.get();
+        self.split_seq.set(seq + 1);
+        seq
+    }
+
+    fn register_split(&self, seq: u64, color: i64, members: Vec<usize>, my_rank: usize) -> Self {
+        let mut body = vec![OP_SPLIT];
+        put_u64(&mut body, self.comm_id);
+        put_u64(&mut body, seq);
+        put_i64(&mut body, color);
+        put_u32(&mut body, members.len() as u32);
+        for &m in &members {
+            put_u32(&mut body, m as u32);
+        }
+        let reply = self.request(&body);
+        assert_eq!(reply.first(), Some(&RE_COMMID), "split expects a comm id");
+        let id = Reader::new(&reply[1..]).u64().expect("comm id");
+        SocketComm {
+            stream: Arc::clone(&self.stream),
+            rank: my_rank,
+            comm_id: id,
+            members,
+            split_seq: std::cell::Cell::new(0),
+            incarnation: self.incarnation,
+            last_beat: Mutex::new(None),
+        }
+    }
+
+    fn network_stats(&self) -> NetworkStats {
+        let reply = self.request(&[OP_STATS]);
+        let mut r = Reader::new(&reply[1..]);
+        NetworkStats {
+            transfers: r.u64().unwrap_or(0),
+            messages: r.u64().unwrap_or(0),
+        }
+    }
+
+    fn poisoned(&self) -> Option<usize> {
+        self.status().0
+    }
+
+    fn failures_detected(&self) -> u64 {
+        self.status().1
+    }
+
+    fn heartbeat(&self) {
+        // Throttled: a BEAT frame at most every 50 ms keeps hub-side
+        // staleness detection fed without per-event wire traffic.
+        let mut last = self.last_beat.lock();
+        let now = std::time::Instant::now();
+        if last.is_none_or(|t| now.duration_since(t) >= Duration::from_millis(50)) {
+            *last = Some(now);
+            drop(last);
+            self.send_oneway(&[OP_BEAT]);
+        }
+    }
+
+    fn fail_self(&self, fault: RankFault) -> ! {
+        match fault {
+            RankFault::Panic => panic!("injected rank fault: panic at rank {}", self.rank),
+            RankFault::Hang => loop {
+                // Go silent: no frames, no exit. The hub's heartbeat
+                // monitor (or the orchestrator) reaps this rank.
+                std::thread::sleep(Duration::from_secs(3600));
+            },
+            RankFault::Disconnect => {
+                self.send_oneway(&[OP_FAILSELF, 2]);
+                std::panic::panic_any(PoisonedWorld { rank: self.rank });
+            }
+        }
+    }
+}
+
+fn decode_reply_msg(reply: &[u8], comm_id: u64) -> Option<Message> {
+    let mut r = Reader::new(reply);
+    match r.chunk(1).map(|c| c[0]) {
+        Ok(op) if op == RE_MSG => {
+            let src = r.u32().ok()? as usize;
+            let tag = r.i32().ok()?;
+            let data = r.bytes().ok()?;
+            Some(Message {
+                src,
+                tag,
+                comm_id,
+                data,
+            })
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datatype::ReduceOp;
+    use std::sync::atomic::AtomicUsize;
+
+    static SOCKET_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+    fn temp_socket(tag: &str) -> std::path::PathBuf {
+        let n = SOCKET_SEQ.fetch_add(1, Ordering::SeqCst);
+        std::env::temp_dir().join(format!(
+            "pythia-minimpi-{}-{}-{}.sock",
+            std::process::id(),
+            tag,
+            n
+        ))
+    }
+
+    /// Runs `f` on `size` in-process clients against a hub thread (the
+    /// socket backend exercised without multi-process orchestration).
+    fn run_socket_world<R, F>(size: usize, elastic: bool, tag: &str, f: F) -> (Vec<R>, HubStats)
+    where
+        R: Send,
+        F: Fn(SocketComm) -> R + Send + Sync,
+    {
+        let path = temp_socket(tag);
+        let path2 = path.clone();
+        let hub = std::thread::spawn(move || Hub::serve(&path2, size, elastic).expect("hub"));
+        // Wait for the hub to bind.
+        for _ in 0..400 {
+            if path.exists() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let results = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..size)
+                .map(|rank| {
+                    let f = &f;
+                    let path = &path;
+                    s.spawn(move || {
+                        let comm = SocketComm::connect(path, rank, size, 0).expect("connect");
+                        f(comm)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("client thread"))
+                .collect::<Vec<R>>()
+        });
+        let stats = hub.join().expect("hub thread");
+        (results, stats)
+    }
+
+    #[test]
+    fn socket_ring_and_collectives() {
+        let (out, stats) = run_socket_world(4, false, "ring", |comm| {
+            let next = (comm.rank() + 1) % comm.size();
+            let prev = (comm.rank() + comm.size() - 1) % comm.size();
+            comm.send(&[comm.rank() as u64], next, 0);
+            let (data, status) = comm.recv::<u64>(Some(prev), Some(0));
+            assert_eq!(status.source, prev);
+            let total = comm.allreduce(&[comm.rank() as u64], ReduceOp::Sum);
+            comm.barrier();
+            let r = (data[0], total[0]);
+            comm.bye().expect("bye");
+            r
+        });
+        assert_eq!(
+            out.iter().map(|&(d, _)| d).collect::<Vec<_>>(),
+            vec![3, 0, 1, 2]
+        );
+        assert!(out.iter().all(|&(_, t)| t == 6));
+        assert_eq!(stats, HubStats::default());
+    }
+
+    #[test]
+    fn socket_split_and_alltoall() {
+        let (out, stats) = run_socket_world(4, false, "split", |comm| {
+            let row = (comm.rank() / 2) as i64;
+            let row_comm = comm.split(row, comm.rank() as i64);
+            assert_eq!(row_comm.size(), 2);
+            let total = row_comm.allreduce(&[comm.rank() as u64], ReduceOp::Sum);
+            let sends: Vec<Vec<u64>> = (0..comm.size())
+                .map(|d| vec![(comm.rank() * 10 + d) as u64])
+                .collect();
+            let recvd = comm.alltoall(&sends);
+            let r = (row_comm.rank(), total[0], recvd[2][0]);
+            comm.bye().expect("bye");
+            r
+        });
+        assert_eq!((out[0].0, out[0].1), (0, 1));
+        assert_eq!((out[3].0, out[3].1), (1, 5));
+        // alltoall: rank r receives 2*10 + r from sender 2.
+        for (r, entry) in out.iter().enumerate() {
+            assert_eq!(entry.2, (20 + r) as u64);
+        }
+        assert_eq!(stats.failures_detected, 0);
+    }
+
+    #[test]
+    fn socket_dead_rank_poisons_survivors() {
+        let (out, stats) = run_socket_world(2, false, "dead", |comm| {
+            if comm.rank() == 1 {
+                // Vanish without BYE: the hub sees EOF and poisons.
+                drop(comm);
+                return true;
+            }
+            let aborted = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                comm.recv::<u64>(Some(1), Some(7))
+            }))
+            .is_err();
+            let _ = comm.bye();
+            aborted
+        });
+        assert!(out[0], "survivor must abort, not hang");
+        assert_eq!(stats.failures_detected, 1);
+    }
+
+    #[test]
+    fn socket_elastic_replacement_rejoins() {
+        let path = temp_socket("elastic");
+        let path2 = path.clone();
+        let hub = std::thread::spawn(move || Hub::serve(&path2, 2, true).expect("hub"));
+        for _ in 0..400 {
+            if path.exists() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let survivor = {
+            let path = path.clone();
+            std::thread::spawn(move || {
+                let comm = SocketComm::connect(&path, 0, 2, 0).expect("connect");
+                // Blocks until the replacement incarnation of rank 1
+                // reaches the barrier.
+                comm.barrier();
+                let (data, _) = comm.recv::<u64>(Some(1), Some(3));
+                comm.bye().expect("bye");
+                data[0]
+            })
+        };
+        // First incarnation of rank 1 dies before the barrier.
+        {
+            let comm = SocketComm::connect(&path, 1, 2, 0).expect("connect");
+            drop(comm);
+        }
+        std::thread::sleep(Duration::from_millis(50));
+        // Replacement rejoins and completes the world.
+        {
+            let comm = SocketComm::connect(&path, 1, 2, 1).expect("reconnect");
+            assert_eq!(comm.incarnation(), 1);
+            comm.barrier();
+            comm.send(&[99u64], 0, 3);
+            comm.bye().expect("bye");
+        }
+        assert_eq!(survivor.join().expect("survivor"), 99);
+        let stats = hub.join().expect("hub");
+        assert_eq!(stats.failures_detected, 1);
+        assert_eq!(stats.ranks_replaced, 1);
+    }
+}

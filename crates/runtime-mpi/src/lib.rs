@@ -30,5 +30,6 @@ pub use omp_bridge::DurationPolicy;
 pub use probe::{AccuracyProbe, CostProbe, DistanceAccuracy};
 pub use recording::RecordingSession;
 pub use session::{
-    AggregationConfig, AggregationStats, MpiMode, PythiaComm, RankReport, SharedRegistry,
+    AggregationConfig, AggregationStats, ElasticStats, MpiMode, PythiaComm, RankReport,
+    SharedRegistry,
 };

@@ -28,12 +28,12 @@ use parking_lot::Mutex;
 use pythia_core::error::{Error, Result};
 use pythia_core::event::ConcurrentRegistry;
 use pythia_core::oracle::Oracle;
-use pythia_core::persist::{remove_sidecars, PersistConfig, RecoverReport};
+use pythia_core::persist::{remove_sidecars, salvage_rank_events, PersistConfig, RecoverReport};
 use pythia_core::record::{RecordConfig, RecordSnapshot, Recorder};
 use pythia_core::resilience::{HardenedOracle, ResilienceConfig};
 use pythia_core::sync::Published;
 use pythia_core::trace::TraceData;
-use pythia_minimpi::Comm;
+use pythia_minimpi::Communicator;
 
 use crate::session::{assemble_trace, PythiaComm, RankReport, SharedRegistry};
 
@@ -106,12 +106,47 @@ impl RecordingSession {
     /// the rank's events are journaled to
     /// `<trace>.r<rank>.journal` as it runs. Errors if the journal cannot
     /// be created.
-    pub fn wrap(&self, comm: Comm) -> Result<PythiaComm> {
+    pub fn wrap<C: Communicator>(&self, comm: C) -> Result<PythiaComm<C>> {
+        let recorder = self.durable_recorder(comm.rank())?;
+        Ok(self.finish_wrap(comm, recorder))
+    }
+
+    /// [`RecordingSession::wrap`] for worlds that may admit *replacement*
+    /// ranks (elastic worlds): a first-incarnation rank wraps normally; a
+    /// replacement (`comm.incarnation() > 0`) first salvages the dead
+    /// incarnation's journaled prefix ([`salvage_rank_events`]) and
+    /// replays it through a fresh durable recorder — Sequitur is
+    /// deterministic, so the rebuilt predictor state is byte-identical to
+    /// the dead rank's at its last flush — then re-journals as it goes.
+    ///
+    /// Returns the wrapper plus the number of recovered events `n`: the
+    /// application must fast-forward past its first `n` logical events
+    /// (they are already recorded; the communication they performed
+    /// already happened — the world's mailboxes survive a rank's death).
+    pub fn wrap_or_resume<C: Communicator>(&self, comm: C) -> Result<(PythiaComm<C>, u64)> {
+        if comm.incarnation() == 0 {
+            return Ok((self.wrap(comm)?, 0));
+        }
         let rank = comm.rank();
+        // Salvage BEFORE building the recorder: creating the durable
+        // journal truncates the dead incarnation's file. An unsalvageable
+        // rank (died before journaling anything) resumes from zero.
+        let salvaged = match salvage_rank_events(&self.trace_path, rank) {
+            Ok(s) => s.events,
+            Err(_) => Vec::new(),
+        };
+        let mut recorder = self.durable_recorder(rank)?;
+        for &(e, ts) in &salvaged {
+            recorder.record_at(e, ts);
+        }
+        Ok((self.finish_wrap(comm, recorder), salvaged.len() as u64))
+    }
+
+    fn durable_recorder(&self, rank: usize) -> Result<Recorder> {
         self.wrapped.fetch_max(rank + 1, Ordering::SeqCst);
         let mut persist = self.persist.clone();
         persist.registry = Some(Arc::clone(&self.registry));
-        let mut recorder = Recorder::durable(
+        Recorder::durable(
             RecordConfig {
                 timestamps: self.timestamps,
                 validate: false,
@@ -119,7 +154,11 @@ impl RecordingSession {
             &self.trace_path,
             rank,
             persist,
-        )?;
+        )
+    }
+
+    fn finish_wrap<C: Communicator>(&self, comm: C, mut recorder: Recorder) -> PythiaComm<C> {
+        let rank = comm.rank();
         let slot = recorder.share_snapshot();
         {
             let mut progress = self.progress.lock();
@@ -129,11 +168,7 @@ impl RecordingSession {
             progress[rank] = Some(slot);
         }
         let oracle = HardenedOracle::new(Oracle::Record(recorder), ResilienceConfig::default());
-        Ok(PythiaComm::wrap_recording(
-            comm,
-            Arc::clone(&self.registry),
-            oracle,
-        ))
+        PythiaComm::wrap_recording(comm, Arc::clone(&self.registry), oracle)
     }
 
     /// Assembles the per-rank reports into the final trace, atomically
@@ -297,6 +332,65 @@ mod tests {
         remove_sidecars(&path);
         let (_, report) = RecordingSession::recover(&path).unwrap();
         assert!(report.used_final_file);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn elastic_rank_panic_resumes_byte_identical() {
+        use pythia_core::resilience::FaultPlan;
+
+        let dir = session_dir("elastic");
+        let total = 120i64;
+
+        // Runs the same app over an elastic world, optionally arming a
+        // seeded rank fault, and returns the finalized trace file bytes.
+        let run = |name: &str, plan: Option<FaultPlan>| -> (Vec<u8>, u64) {
+            let path = dir.join(format!("{name}.pythia"));
+            let session = RecordingSession::with_persist(
+                &path,
+                false,
+                PersistConfig {
+                    // Flush every event: the replacement must recover the
+                    // dead rank's complete prefix for byte identity.
+                    flush_events: 1,
+                    ..PersistConfig::default()
+                },
+            );
+            let (reports, stats) = World::run_elastic(3, |comm| {
+                let (pc, resumed) = session.wrap_or_resume(comm).unwrap();
+                if let Some(p) = &plan {
+                    pc.arm_rank_faults(p);
+                }
+                // Fast-forward: the first `resumed` events are already
+                // recorded (and their communication already happened).
+                for i in resumed as i64..total {
+                    pc.custom_event("step", Some(i % 7));
+                }
+                pc.barrier();
+                pc.finish().unwrap()
+            })
+            .unwrap();
+            let replaced: u64 = reports.iter().map(|r| r.elastic.ranks_replaced).sum();
+            assert_eq!(replaced, stats.ranks_replaced);
+            session.finalize(reports).unwrap();
+            (std::fs::read(&path).unwrap(), stats.ranks_replaced)
+        };
+
+        let (clean, replaced) = run("free", None);
+        assert_eq!(replaced, 0);
+
+        // Rank 1 panics after recording 40 events; the replacement must
+        // salvage those 40 from the journal, resume at event 40, and end
+        // with a trace byte-identical to the fault-free run.
+        let silent_guard = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let (faulty, replaced) = run(
+            "faulty",
+            Some(FaultPlan::parse("rank-panic=40,rank-fault-rank=1")),
+        );
+        std::panic::set_hook(silent_guard);
+        assert_eq!(replaced, 1);
+        assert_eq!(clean, faulty, "recovered trace differs from fault-free run");
         std::fs::remove_dir_all(&dir).ok();
     }
 

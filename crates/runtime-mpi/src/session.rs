@@ -11,9 +11,11 @@ use pythia_core::event::ConcurrentRegistry;
 use pythia_core::oracle::Oracle;
 use pythia_core::predict::{PredictStats, PredictorConfig};
 use pythia_core::record::RecordConfig;
-use pythia_core::resilience::{HardenedOracle, ResilienceConfig, ResilienceStats};
+use pythia_core::resilience::{FaultPlan, HardenedOracle, ResilienceConfig, ResilienceStats};
 use pythia_core::trace::{ThreadTrace, TraceData};
-use pythia_minimpi::{Comm, MpiReduce, MpiType, ReduceOp, Request, Status, Tag};
+use pythia_minimpi::{
+    Comm, Communicator, MpiReduce, MpiType, RankFault, ReduceOp, Request, Status, Tag,
+};
 
 use crate::events::{EventCache, MpiCall};
 use crate::probe::{AccuracyProbe, CostProbe, DistanceAccuracy};
@@ -109,6 +111,25 @@ impl MpiMode {
     }
 }
 
+/// Elastic-world counters of one rank: what the membership/failure
+/// surface of the communicator observed during the run, plus how the
+/// prediction facade adapted to a world size different from the
+/// reference execution. All three are zero in a fault-free,
+/// size-matched run — the bench gates on exactly that.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ElasticStats {
+    /// Rank failures the communicator's world detected (heartbeat
+    /// timeouts, supervised aborts, connection loss).
+    pub rank_failures_detected: u64,
+    /// 1 if this rank is a replacement (incarnation > 0) admitted after
+    /// the original died, 0 for a first spawn.
+    pub ranks_replaced: u64,
+    /// Verifier-validated [`TraceData::remap_ranks`] remaps this rank
+    /// performed to predict from a reference trace of a different world
+    /// size.
+    pub remap_validations: u64,
+}
+
 /// Everything one rank accumulated during a run.
 #[derive(Debug)]
 pub struct RankReport {
@@ -135,6 +156,9 @@ pub struct RankReport {
     /// error (0 for in-memory recording and predict mode). Non-zero means
     /// the run completed but its crash-recovery sidecars are incomplete.
     pub dropped_events: u64,
+    /// Elastic-world counters (failures detected, replacements, remap
+    /// validations); all zero in a fault-free, size-matched run.
+    pub elastic: ElasticStats,
 }
 
 /// Configuration of prediction-driven send aggregation — the optimization
@@ -192,6 +216,14 @@ pub(crate) struct RankState {
     distances: Vec<usize>,
     events: u64,
     aggregation: Option<AggState>,
+    /// Armed rank fault from the `PYTHIA_CHAOS` plan: `(kind, at)` kills
+    /// this rank the chosen way once `events` reaches `at`. `None` on
+    /// every rank the plan does not target and on replacement
+    /// incarnations (or the replacement would die at the same point).
+    fault: Option<(RankFault, u64)>,
+    /// Validated trace remaps performed while wrapping (see
+    /// [`ElasticStats::remap_validations`]).
+    remap_validations: u64,
 }
 
 /// Single-owner cell carrying a rank's mutable oracle state.
@@ -323,13 +355,18 @@ pub fn assemble_trace(reports: Vec<RankReport>, registry: &SharedRegistry) -> Re
 /// Mirrors the [`Comm`] API; sub-communicators from [`PythiaComm::split`]
 /// share the rank's oracle (the paper maintains one event stream per
 /// process/thread, across all communicators).
-pub struct PythiaComm {
-    comm: Comm,
+///
+/// Generic over the transport: any [`Communicator`] backend works — the
+/// in-process threads backend ([`Comm`], the default) and the
+/// multi-process socket backend run the same facade, so a recording made
+/// over one is byte-identical to the same run over the other.
+pub struct PythiaComm<C: Communicator = Comm> {
+    comm: C,
     state: Arc<RankCell>,
     registry: SharedRegistry,
 }
 
-impl PythiaComm {
+impl<C: Communicator> PythiaComm<C> {
     /// Wraps a world communicator. `registry` must be shared by all ranks
     /// of the run; in predict mode it should start from the trace's
     /// registry (see [`PythiaComm::registry_for`]).
@@ -339,12 +376,13 @@ impl PythiaComm {
     /// runs with default decisions and reports the degradation in its
     /// [`RankReport::resilience`] stats. Use [`PythiaComm::try_wrap`] to
     /// surface such setup problems as errors instead.
-    pub fn wrap(comm: Comm, mode: &MpiMode, registry: SharedRegistry) -> Self {
-        let (oracle, accuracy, distances) = match mode {
+    pub fn wrap(comm: C, mode: &MpiMode, registry: SharedRegistry) -> Self {
+        let (oracle, accuracy, distances, remaps) = match mode {
             MpiMode::Vanilla => (
                 HardenedOracle::off(ResilienceConfig::default()),
                 None,
                 Vec::new(),
+                0,
             ),
             MpiMode::Record { timestamps } => (
                 HardenedOracle::new(
@@ -356,6 +394,7 @@ impl PythiaComm {
                 ),
                 None,
                 Vec::new(),
+                0,
             ),
             MpiMode::Predict {
                 trace,
@@ -363,9 +402,9 @@ impl PythiaComm {
                 map_ranks,
                 resilience,
             } => {
-                let thread = Self::thread_for(&comm, trace, *map_ranks);
+                let (view, thread, remaps) = Self::world_view(trace, &comm, *map_ranks);
                 let oracle = HardenedOracle::predict_or_bypass(
-                    trace,
+                    &view,
                     thread,
                     PredictorConfig::default(),
                     resilience.clone(),
@@ -374,16 +413,17 @@ impl PythiaComm {
                     oracle,
                     Some(AccuracyProbe::new(distances.clone())),
                     distances.clone(),
+                    remaps,
                 )
             }
         };
-        Self::from_parts(comm, registry, oracle, accuracy, distances)
+        Self::from_parts(comm, registry, oracle, accuracy, distances, remaps)
     }
 
     /// [`PythiaComm::wrap`] that errors instead of degrading when predict
     /// mode cannot build this rank's predictor (missing thread in the
     /// trace, or a hostile grammar that panics the index build).
-    pub fn try_wrap(comm: Comm, mode: &MpiMode, registry: SharedRegistry) -> Result<Self> {
+    pub fn try_wrap(comm: C, mode: &MpiMode, registry: SharedRegistry) -> Result<Self> {
         if let MpiMode::Predict {
             trace,
             distances,
@@ -391,9 +431,9 @@ impl PythiaComm {
             resilience,
         } = mode
         {
-            let thread = Self::thread_for(&comm, trace, *map_ranks);
+            let (view, thread, remaps) = Self::world_view(trace, &comm, *map_ranks);
             let oracle = HardenedOracle::try_predict(
-                trace,
+                &view,
                 thread,
                 PredictorConfig::default(),
                 resilience.clone(),
@@ -401,7 +441,7 @@ impl PythiaComm {
             let accuracy = Some(AccuracyProbe::new(distances.clone()));
             let distances = distances.clone();
             return Ok(Self::from_parts(
-                comm, registry, oracle, accuracy, distances,
+                comm, registry, oracle, accuracy, distances, remaps,
             ));
         }
         Ok(Self::wrap(comm, mode, registry))
@@ -412,14 +452,42 @@ impl PythiaComm {
     /// *durable* (journaling) recorder instead of the in-memory one
     /// [`PythiaComm::wrap`] builds.
     pub(crate) fn wrap_recording(
-        comm: Comm,
+        comm: C,
         registry: SharedRegistry,
         oracle: HardenedOracle,
     ) -> Self {
-        Self::from_parts(comm, registry, oracle, None, Vec::new())
+        Self::from_parts(comm, registry, oracle, None, Vec::new(), 0)
     }
 
-    fn thread_for(comm: &Comm, trace: &TraceData, map_ranks: bool) -> usize {
+    /// The trace view a rank of this world predicts from: the reference
+    /// trace itself when sizes match (or rank mapping is off), else a
+    /// verifier-validated [`TraceData::remap_ranks`] of it onto this
+    /// world's size — falling back to the paper's modulo thread mapping
+    /// when the remap is invalid (indivisible sizes, or the remapped
+    /// protocol fails verification). Returns `(trace, thread, remaps)`.
+    ///
+    /// The remap is deterministic, so every rank computing it arrives at
+    /// the same registry extension and grammars —
+    /// [`PythiaComm::registry_for_world`] seeds the shared registry from
+    /// the same remap so resolved event ids line up with the predictor's.
+    fn world_view(
+        trace: &Arc<TraceData>,
+        comm: &C,
+        map_ranks: bool,
+    ) -> (Arc<TraceData>, usize, u64) {
+        if map_ranks && trace.thread_count() != comm.size() {
+            if let Ok(remapped) = trace.remap_ranks(comm.size()) {
+                return (Arc::new(remapped), comm.rank(), 1);
+            }
+        }
+        (
+            Arc::clone(trace),
+            Self::thread_for(comm, trace, map_ranks),
+            0,
+        )
+    }
+
+    fn thread_for(comm: &C, trace: &TraceData, map_ranks: bool) -> usize {
         if map_ranks {
             comm.rank() % trace.thread_count().max(1)
         } else {
@@ -427,13 +495,44 @@ impl PythiaComm {
         }
     }
 
+    /// The rank fault the `PYTHIA_CHAOS` plan (or an explicit plan, see
+    /// [`PythiaComm::arm_rank_faults`]) injects into this communicator's
+    /// rank: `Some((kind, at))` only on the targeted world rank's first
+    /// incarnation — a replacement must not re-die at the same event.
+    fn rank_fault_from_plan(comm: &C, plan: &FaultPlan) -> Option<(RankFault, u64)> {
+        if !plan.has_rank_faults()
+            || comm.world_rank(comm.rank()) != plan.rank_fault_rank
+            || comm.incarnation() > 0
+        {
+            return None;
+        }
+        if let Some(n) = plan.rank_panic_at {
+            return Some((RankFault::Panic, n));
+        }
+        if let Some(n) = plan.rank_hang_at {
+            return Some((RankFault::Hang, n));
+        }
+        plan.rank_disconnect_at.map(|n| (RankFault::Disconnect, n))
+    }
+
+    /// Arms (or clears) this rank's injected fault from an explicit
+    /// plan, overriding whatever `PYTHIA_CHAOS` armed at wrap time.
+    /// Tests use this to inject deterministic rank faults without
+    /// touching process-global environment.
+    pub fn arm_rank_faults(&self, plan: &FaultPlan) {
+        let fault = Self::rank_fault_from_plan(&self.comm, plan);
+        self.state.with(|st| st.fault = fault);
+    }
+
     fn from_parts(
-        comm: Comm,
+        comm: C,
         registry: SharedRegistry,
         oracle: HardenedOracle,
         accuracy: Option<AccuracyProbe>,
         distances: Vec<usize>,
+        remap_validations: u64,
     ) -> Self {
+        let fault = FaultPlan::from_env().and_then(|p| Self::rank_fault_from_plan(&comm, &p));
         PythiaComm {
             comm,
             state: Arc::new(RankCell::new(RankState {
@@ -444,21 +543,10 @@ impl PythiaComm {
                 distances,
                 events: 0,
                 aggregation: None,
+                fault,
+                remap_validations,
             })),
             registry,
-        }
-    }
-
-    /// The registry a run in `mode` should share across ranks: one
-    /// seeded from the trace's registry in predict mode (every rank
-    /// shares this published snapshot — the registry is never cloned
-    /// per rank), a fresh one otherwise.
-    pub fn registry_for(mode: &MpiMode) -> SharedRegistry {
-        match mode {
-            MpiMode::Predict { trace, .. } => {
-                Arc::new(ConcurrentRegistry::from_registry(trace.registry()))
-            }
-            _ => Arc::new(ConcurrentRegistry::new()),
         }
     }
 
@@ -474,14 +562,34 @@ impl PythiaComm {
 
     /// The underlying communicator (escape hatch; calls made through it
     /// are invisible to the oracle).
-    pub fn inner(&self) -> &Comm {
+    pub fn inner(&self) -> &C {
         &self.comm
+    }
+
+    /// Per-event liveness + chaos hook, run inside the rank's cell entry
+    /// before the event is submitted. Unarmed (the common case) it costs
+    /// two predictable branches: a throttled [`Communicator::heartbeat`]
+    /// — so a rank grinding through a long communication-free stretch
+    /// still proves liveness to the hang detector — and the rank-fault
+    /// check, which diverges via [`Communicator::fail_self`] when the
+    /// `PYTHIA_CHAOS` plan says this rank dies at this event count.
+    #[inline]
+    fn observe_rank_chaos(&self, st: &mut RankState) {
+        if st.events & 0x3FF == 0 {
+            self.comm.heartbeat();
+        }
+        if let Some((kind, at)) = st.fault {
+            if st.events >= at {
+                self.comm.fail_self(kind);
+            }
+        }
     }
 
     fn event(&self, call: MpiCall, payload: Option<i64>) {
         // No lock on the per-event path: the rank's state is entered
         // through its single-owner cell.
         self.state.with(|st| {
+            self.observe_rank_chaos(st);
             if st.oracle.is_off() {
                 // Vanilla: no oracle work at all (the paper's baseline).
                 return;
@@ -519,8 +627,21 @@ impl PythiaComm {
     /// Errors with [`Error::OracleUnavailable`] if split/dup communicators
     /// sharing this rank's oracle are still alive.
     pub fn finish(self) -> Result<RankReport> {
+        self.finish_into().map(|(report, _)| report)
+    }
+
+    /// [`PythiaComm::finish`] that also hands back the underlying
+    /// communicator — backends with an explicit goodbye (the socket
+    /// backend's `bye`) need it after the report is assembled.
+    pub fn finish_into(self) -> Result<(RankReport, C)> {
         self.flush_pending();
         let rank = self.comm.rank();
+        let elastic = ElasticStats {
+            rank_failures_detected: self.comm.failures_detected(),
+            ranks_replaced: u64::from(self.comm.incarnation() > 0),
+            remap_validations: self.state.with(|st| st.remap_validations),
+        };
+        let comm = self.comm;
         let state = Arc::try_unwrap(self.state)
             .map_err(|_| {
                 Error::OracleUnavailable(format!(
@@ -544,18 +665,22 @@ impl PythiaComm {
             .map(|a| a.results())
             .unwrap_or_default();
         let thread_trace = state.oracle.finish()?;
-        Ok(RankReport {
-            rank,
-            events,
-            rules,
-            thread_trace,
-            accuracy,
-            cost: state.cost,
-            predict_stats,
-            aggregation,
-            resilience,
-            dropped_events,
-        })
+        Ok((
+            RankReport {
+                rank,
+                events,
+                rules,
+                thread_trace,
+                accuracy,
+                cost: state.cost,
+                predict_stats,
+                aggregation,
+                resilience,
+                dropped_events,
+                elastic,
+            },
+            comm,
+        ))
     }
 
     // ------------------------------------------------------------------
@@ -630,6 +755,7 @@ impl PythiaComm {
         // lock, but keeping blocking transport calls outside preserves
         // the old lock-discipline shape and keeps entries short).
         let ship = self.state.with(|st| {
+            self.observe_rank_chaos(st);
             if st.oracle.is_off() {
                 return true;
             }
@@ -806,7 +932,7 @@ impl PythiaComm {
     }
 
     /// `MPI_Comm_dup`: the duplicate shares this rank's oracle.
-    pub fn dup(&self) -> PythiaComm {
+    pub fn dup(&self) -> PythiaComm<C> {
         self.flush_pending();
         self.event(MpiCall::CommDup, None);
         PythiaComm {
@@ -831,6 +957,7 @@ impl PythiaComm {
             return;
         }
         self.state.with(|st| {
+            self.observe_rank_chaos(st);
             if st.oracle.is_off() {
                 return;
             }
@@ -863,7 +990,7 @@ impl PythiaComm {
     }
 
     /// `MPI_Comm_split`: the sub-communicator shares this rank's oracle.
-    pub fn split(&self, color: i64, key: i64) -> PythiaComm {
+    pub fn split(&self, color: i64, key: i64) -> PythiaComm<C> {
         self.flush_pending();
         self.event(MpiCall::CommSplit, Some(color));
         PythiaComm {
@@ -871,6 +998,49 @@ impl PythiaComm {
             state: Arc::clone(&self.state),
             registry: Arc::clone(&self.registry),
         }
+    }
+}
+
+/// Registry construction is backend-independent; a monomorphic impl so
+/// `PythiaComm::registry_for(..)` keeps resolving without a backend
+/// type annotation at every call site.
+impl PythiaComm {
+    /// The registry a run in `mode` should share across ranks: one
+    /// seeded from the trace's registry in predict mode (every rank
+    /// shares this published snapshot — the registry is never cloned
+    /// per rank), a fresh one otherwise.
+    pub fn registry_for(mode: &MpiMode) -> SharedRegistry {
+        match mode {
+            MpiMode::Predict { trace, .. } => {
+                Arc::new(ConcurrentRegistry::from_registry(trace.registry()))
+            }
+            _ => Arc::new(ConcurrentRegistry::new()),
+        }
+    }
+
+    /// [`PythiaComm::registry_for`] for a run whose world size may differ
+    /// from the reference trace: when predict mode maps ranks onto a
+    /// resized world, the shared registry must be seeded from the *same*
+    /// validated [`TraceData::remap_ranks`] view the per-rank predictors
+    /// are built from — the remap appends rewritten peer descriptors, and
+    /// seeding from the original registry would let runtime interning
+    /// assign those ids in a different order than the remapped grammars
+    /// reference. The remap is deterministic, so this seed and every
+    /// rank's [`PythiaComm::wrap`]-time remap agree exactly.
+    pub fn registry_for_world(mode: &MpiMode, world_size: usize) -> SharedRegistry {
+        if let MpiMode::Predict {
+            trace,
+            map_ranks: true,
+            ..
+        } = mode
+        {
+            if trace.thread_count() != world_size {
+                if let Ok(remapped) = trace.remap_ranks(world_size) {
+                    return Arc::new(ConcurrentRegistry::from_registry(remapped.registry()));
+                }
+            }
+        }
+        Self::registry_for(mode)
     }
 }
 
@@ -916,6 +1086,30 @@ mod tests {
         })
     }
 
+    /// Like [`run_app_in`] but with XOR-pair communication (`rank ^ 1`):
+    /// a world of `2n` ranks is exactly `n` independent copies of the
+    /// 2-rank world, matching the blockwise semantics of
+    /// [`TraceData::remap_ranks`].
+    fn run_pairwise_app(
+        size: usize,
+        mode: &MpiMode,
+        iters: usize,
+        registry: &SharedRegistry,
+    ) -> Vec<RankReport> {
+        World::run(size, |comm| {
+            let pc = PythiaComm::wrap(comm, mode, Arc::clone(registry));
+            for _ in 0..iters {
+                let partner = pc.rank() ^ 1;
+                let r1 = pc.isend(&[pc.rank() as u64], partner, 0);
+                let r2 = pc.irecv::<u64>(Some(partner), Some(0));
+                pc.waitall(vec![r1, r2]);
+                pc.allreduce(&[1.0f64], ReduceOp::Sum);
+            }
+            pc.barrier();
+            pc.finish().unwrap()
+        })
+    }
+
     #[test]
     fn vanilla_records_nothing() {
         let reports = run_app(2, MpiMode::Vanilla, 3);
@@ -934,6 +1128,60 @@ mod tests {
             assert!(r.rules >= 1);
             let t = r.thread_trace.as_ref().unwrap();
             assert_eq!(t.event_count, 41);
+            // Fault-free, size-matched run: every elastic counter is 0.
+            assert_eq!(r.elastic, ElasticStats::default());
+        }
+    }
+
+    #[test]
+    fn resized_world_predicts_through_validated_remap() {
+        // Record with 2 ranks, predict with 4: the facade remaps the
+        // reference trace blockwise onto the larger world instead of
+        // falling back to the modulo thread mapping.
+        let mode = MpiMode::record();
+        let registry = PythiaComm::registry_for(&mode);
+        let reports = run_pairwise_app(2, &mode, 20, &registry);
+        let trace = Arc::new(assemble_trace(reports, &registry).unwrap());
+
+        let mode = MpiMode::predict_mapped(Arc::clone(&trace), vec![1]);
+        let registry = PythiaComm::registry_for_world(&mode, 4);
+        let reports = run_pairwise_app(4, &mode, 20, &registry);
+        for r in reports {
+            assert_eq!(r.elastic.remap_validations, 1);
+            assert_eq!(r.elastic.rank_failures_detected, 0);
+            assert_eq!(r.elastic.ranks_replaced, 0);
+            assert!(!r.resilience.poisoned, "remapped predictor failed to build");
+            let (_, acc) = r.accuracy[0];
+            assert!(
+                acc.accuracy() > 0.8,
+                "rank {} accuracy {} through remapped trace",
+                r.rank,
+                acc.accuracy()
+            );
+        }
+    }
+
+    #[test]
+    fn indivisible_resize_falls_back_to_modulo_mapping() {
+        // 2 → 3 is not a valid blockwise remap; the facade keeps the
+        // paper's modulo mapping and reports no remap validation.
+        let mode = MpiMode::record();
+        let registry = PythiaComm::registry_for(&mode);
+        let reports = run_pairwise_app(2, &mode, 10, &registry);
+        let trace = Arc::new(assemble_trace(reports, &registry).unwrap());
+
+        let mode = MpiMode::predict_mapped(Arc::clone(&trace), vec![1]);
+        let registry = PythiaComm::registry_for_world(&mode, 3);
+        let reports = World::run(3, |comm| {
+            let pc = PythiaComm::wrap(comm, &mode, Arc::clone(&registry));
+            pc.barrier();
+            pc.allreduce(&[1.0f64], ReduceOp::Sum);
+            pc.barrier();
+            pc.finish().unwrap()
+        });
+        for r in reports {
+            assert_eq!(r.elastic.remap_validations, 0);
+            assert!(!r.resilience.poisoned, "modulo fallback must still build");
         }
     }
 

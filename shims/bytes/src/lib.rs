@@ -18,6 +18,11 @@ impl Bytes {
         Bytes::default()
     }
 
+    /// Copies a slice into a fresh buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes::from(data)
+    }
+
     /// Copies the bytes into a fresh `Vec`.
     pub fn to_vec(&self) -> Vec<u8> {
         self.data.as_ref().clone()

@@ -110,6 +110,24 @@ impl Condvar {
         guard.inner = Some(self.inner.wait(g).unwrap_or_else(PoisonError::into_inner));
     }
 
+    /// Blocks until notified or `timeout` elapses, releasing the guard's
+    /// mutex while waiting. Mirrors parking_lot's `wait_for`.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let g = guard.inner.take().expect("guard already taken");
+        let (g, res) = self
+            .inner
+            .wait_timeout(g, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(g);
+        WaitTimeoutResult {
+            timed_out: res.timed_out(),
+        }
+    }
+
     /// Wakes one waiting thread.
     pub fn notify_one(&self) {
         self.inner.notify_one();
@@ -118,6 +136,19 @@ impl Condvar {
     /// Wakes all waiting threads.
     pub fn notify_all(&self) {
         self.inner.notify_all();
+    }
+}
+
+/// Whether a [`Condvar::wait_for`] returned because the timeout elapsed.
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// True when the wait ended by timeout rather than notification.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
     }
 }
 
